@@ -1,0 +1,35 @@
+//! Criterion bench for **Figure 4**: RUBiS-C batch execution time per
+//! system (the fully-contended all-DT workload).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use prognosticator_bench::{run_trial, rubis_setup, SustainConfig, SystemKind};
+
+fn bench_rubis(c: &mut Criterion) {
+    let cfg = SustainConfig {
+        warmup_batches: 1,
+        measure_batches: 2,
+        workers: std::thread::available_parallelism().map_or(4, |p| p.get().clamp(2, 8)),
+        ..SustainConfig::default()
+    };
+    const BATCH: usize = 128;
+
+    let setup = rubis_setup();
+    let mut group = c.benchmark_group("fig4/rubis_c");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(BATCH as u64));
+    for kind in [
+        SystemKind::MqSf,
+        SystemKind::MqMf,
+        SystemKind::Calvin(10),
+        SystemKind::Nodo,
+        SystemKind::Seq,
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &k| {
+            b.iter(|| run_trial(k, &setup, &cfg, BATCH));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rubis);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion bench for **Table I**'s timing column: symbolic-execution
+//! analysis time per transaction, optimized vs unoptimized.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prognosticator_symexec::{analyze, ExplorerConfig};
+use prognosticator_workloads::{rubis, tpcc, RubisConfig, TpccConfig};
+use std::time::Duration;
+
+fn bench_analysis(c: &mut Criterion) {
+    let tpcc_cfg = TpccConfig::default();
+    let rubis_cfg = RubisConfig::default();
+    let tp = tpcc::programs(&tpcc_cfg);
+    let rp = rubis::programs(&rubis_cfg);
+    let opt = ExplorerConfig::optimized();
+    // Tight caps: unoptimized analyses legitimately explode (Table I);
+    // the bench tracks time-to-result-or-cap, not the full blow-up.
+    let unopt = ExplorerConfig {
+        max_states: 20_000,
+        time_budget: Duration::from_secs(1),
+        max_path_depth: 512,
+        ..ExplorerConfig::unoptimized()
+    };
+
+    let mut group = c.benchmark_group("table1/se_analysis");
+    group.sample_size(10);
+    for (name, program) in [
+        ("new_order", &tp.new_order),
+        ("payment", &tp.payment),
+        ("delivery", &tp.delivery),
+        ("store_bid", &rp.store_bid),
+        ("register_user", &rp.register_user),
+    ] {
+        group.bench_with_input(BenchmarkId::new("optimized", name), program, |b, p| {
+            b.iter(|| analyze(p, &opt).expect("optimized analysis succeeds"))
+        });
+        group.bench_with_input(BenchmarkId::new("unoptimized", name), program, |b, p| {
+            // Unoptimized runs may legitimately cap (that is the result).
+            b.iter(|| {
+                let _ = analyze(p, &unopt);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

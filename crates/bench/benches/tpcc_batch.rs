@@ -1,0 +1,41 @@
+//! Criterion bench for **Figures 3 and 5**: TPC-C batch execution time per
+//! system, at the three contention levels. Throughput shape = batch size /
+//! batch time; the `fig3`/`fig5` binaries run the full sustainable-
+//! throughput search, this bench tracks the same comparison at a fixed
+//! operating point.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use prognosticator_bench::{run_trial, tpcc_setup, SustainConfig, SystemKind};
+
+fn bench_tpcc(c: &mut Criterion) {
+    let cfg = SustainConfig {
+        warmup_batches: 1,
+        measure_batches: 2,
+        workers: std::thread::available_parallelism().map_or(4, |p| p.get().clamp(2, 8)),
+        ..SustainConfig::default()
+    };
+    const BATCH: usize = 256;
+
+    for warehouses in [10i64, 1] {
+        let setup = tpcc_setup(warehouses);
+        let mut group = c.benchmark_group(format!("fig3_fig5/tpcc_{warehouses}wh"));
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(BATCH as u64));
+        for kind in [
+            SystemKind::MqMf,
+            SystemKind::MqSf,
+            SystemKind::MqMfR,
+            SystemKind::Calvin(10),
+            SystemKind::Nodo,
+            SystemKind::Seq,
+        ] {
+            group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &k| {
+                b.iter(|| run_trial(k, &setup, &cfg, BATCH));
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_tpcc);
+criterion_main!(benches);

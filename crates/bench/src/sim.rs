@@ -1,0 +1,621 @@
+//! Deterministic discrete-event simulation of the deterministic-database
+//! engine over P workers.
+//!
+//! The paper's testbed is a 20-core Xeon over RocksDB; the evaluation
+//! figures are about *scheduling* — how much parallelism each policy
+//! extracts from a batch given its conflict structure. This simulator
+//! replays the engine's exact semantics (phases, per-key FIFO lock queues,
+//! DT preparation and pivot validation, SF/MF/next-batch failure handling,
+//! staleness, table-granularity NODO) against the real [`EpochStore`]
+//! state machine, but advances a virtual clock with an explicit
+//! [`CostModel`] instead of running threads. Results are therefore exact,
+//! reproducible, and independent of the host's core count — the
+//! substitution DESIGN.md §2 documents for the missing 20-core testbed.
+//! (The threaded [`prognosticator_core::Engine`] implements the same
+//! semantics and is cross-checked against this simulator in the test
+//! suite; use it for wall-clock runs on real multicore hardware.)
+//!
+//! All simulated durations are in nanoseconds of virtual time.
+
+use prognosticator_core::{
+    AccessScope, Catalog, ExecView, FailedPolicy, Granularity, PrepareMode, ProgId,
+    SchedulerConfig, TxClass, TxRequest,
+};
+use prognosticator_storage::EpochStore;
+use prognosticator_symexec::{PredictError, Prediction};
+use prognosticator_txir::{Interpreter, Key, TxStore, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Virtual-time costs. Defaults approximate the paper's RocksDB-behind-JNI
+/// deployment on a 20-core machine.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// One store read (ns).
+    pub read_ns: u64,
+    /// One store write (ns).
+    pub write_ns: u64,
+    /// Queuer work to classify one transaction and, for ITs, predict its
+    /// key-set from the profile (ns).
+    pub classify_ns: u64,
+    /// Queuer work per key enqueued into / released from the lock table
+    /// (ns).
+    pub lock_op_ns: u64,
+    /// Per-phase synchronization cost (barrier crossing, ns).
+    pub sync_ns: u64,
+    /// Number of simulated worker threads.
+    pub workers: usize,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            read_ns: 5_000,
+            write_ns: 6_000,
+            classify_ns: 500,
+            lock_op_ns: 300,
+            sync_ns: 50_000,
+            workers: 20,
+        }
+    }
+}
+
+/// Outcome of one simulated batch (mirrors
+/// [`prognosticator_core::BatchOutcome`], in virtual time).
+#[derive(Debug, Clone, Default)]
+pub struct SimOutcome {
+    /// Transactions in the batch.
+    pub batch_size: usize,
+    /// Committed transactions.
+    pub committed: usize,
+    /// Abort events.
+    pub aborts: usize,
+    /// Scheduling rounds used.
+    pub rounds: u32,
+    /// Requests handed back for a later batch (Calvin).
+    pub carried_over: Vec<TxRequest>,
+    /// Virtual batch makespan (ns).
+    pub makespan_ns: u64,
+    /// Per-committed-transaction completion times (ns from batch start).
+    pub latencies_ns: Vec<u64>,
+    /// Total / count of DT preparation work (ns, ops).
+    pub prepare_ns_total: u64,
+    /// Number of preparations.
+    pub prepare_count: u64,
+    /// Total first-failure→commit virtual time over re-executed txs.
+    pub reexec_ns_total: u64,
+    /// Number of re-executed transactions.
+    pub reexec_count: u64,
+}
+
+/// A store adapter that counts accesses (to charge virtual time) while
+/// delegating to a scoped, buffered [`ExecView`].
+struct CountingView<'a> {
+    view: ExecView<'a>,
+    reads: u64,
+    writes: u64,
+}
+
+impl TxStore for CountingView<'_> {
+    fn get(&mut self, key: &Key) -> Option<Value> {
+        self.reads += 1;
+        self.view.get(key)
+    }
+    fn put(&mut self, key: &Key, value: Value) {
+        self.writes += 1;
+        self.view.put(key, value)
+    }
+}
+
+struct SimTx {
+    req: TxRequest,
+    class: TxClass,
+    prediction: Option<Prediction>,
+    table_scope: Option<AccessScope>,
+    /// Completion time (ns), None until committed.
+    finished: Option<u64>,
+    first_fail: Option<u64>,
+}
+
+/// The simulated replica: real state, virtual time.
+pub struct SimReplica {
+    catalog: Arc<Catalog>,
+    store: Arc<EpochStore>,
+    config: SchedulerConfig,
+    cost: CostModel,
+    carry_over: Vec<TxRequest>,
+}
+
+impl SimReplica {
+    /// Creates a simulated replica over a (pre-populated) store.
+    pub fn new(
+        config: SchedulerConfig,
+        cost: CostModel,
+        catalog: Arc<Catalog>,
+        store: Arc<EpochStore>,
+    ) -> Self {
+        SimReplica { catalog, store, config, cost, carry_over: Vec::new() }
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &Arc<EpochStore> {
+        &self.store
+    }
+
+    /// Deterministic state digest (for engine/simulator cross-checks).
+    pub fn state_digest(&self) -> u64 {
+        self.store.state_digest()
+    }
+
+    /// Simulates one batch (prepending any carried-over requests) and
+    /// commits its epoch on the real store.
+    pub fn execute_batch(&mut self, batch: Vec<TxRequest>) -> SimOutcome {
+        let mut full = std::mem::take(&mut self.carry_over);
+        full.extend(batch);
+        let outcome = self.run_batch(full);
+        self.carry_over = outcome.carried_over.clone();
+        self.store.advance_epoch();
+        outcome
+    }
+
+    fn classify(&self, req: TxRequest) -> SimTx {
+        let entry = self.catalog.entry(req.program);
+        let mut prediction = None;
+        let mut table_scope = None;
+        let class = match self.config.granularity {
+            Granularity::Table => {
+                let tables: std::collections::HashSet<_> = entry
+                    .read_tables()
+                    .iter()
+                    .chain(entry.write_tables())
+                    .copied()
+                    .collect();
+                table_scope = Some(AccessScope::Tables(tables));
+                TxClass::Independent
+            }
+            Granularity::Key => match self.config.prepare {
+                PrepareMode::Profile => match entry.profile() {
+                    Some(p) if p.class() == TxClass::ReadOnly => TxClass::ReadOnly,
+                    Some(p) => match p.predict_direct(&req.inputs) {
+                        Ok(pred) => {
+                            prediction = Some(pred);
+                            TxClass::Independent
+                        }
+                        Err(PredictError::NeedsStore) => TxClass::Dependent,
+                        Err(PredictError::Eval(e)) => panic!("profile mismatch: {e}"),
+                    },
+                    None if !entry.writes() => TxClass::ReadOnly,
+                    None => TxClass::Dependent,
+                },
+                PrepareMode::Reconnaissance => {
+                    if entry.writes() {
+                        TxClass::Dependent
+                    } else {
+                        TxClass::ReadOnly
+                    }
+                }
+            },
+        };
+        SimTx { req, class, prediction, table_scope, finished: None, first_fail: None }
+    }
+
+    /// Prepares a DT: fills its prediction and returns the virtual cost.
+    fn prepare(&self, tx: &mut SimTx, epoch: Option<u64>) -> u64 {
+        let entry = self.catalog.entry(tx.req.program);
+        match self.config.prepare {
+            PrepareMode::Profile if entry.profile().is_some() => {
+                let profile = entry.profile().expect("checked").clone();
+                let mut reads = 0u64;
+                let store = &self.store;
+                let mut resolver = |k: &Key| -> Value {
+                    reads += 1;
+                    match epoch {
+                        Some(e) => store.get_at(k, e),
+                        None => store.get_latest(k),
+                    }
+                    .unwrap_or(Value::Unit)
+                };
+                let pred = profile
+                    .predict(&tx.req.inputs, Some(&mut resolver))
+                    .expect("profile prediction");
+                tx.prediction = Some(pred);
+                reads * self.cost.read_ns
+            }
+            _ => {
+                // Reconnaissance: pre-execute on the snapshot; charge every
+                // read (writes are buffered client-side).
+                let program = entry.program().clone();
+                let interp = Interpreter::new().without_input_validation();
+                struct SnapView<'a> {
+                    store: &'a EpochStore,
+                    epoch: Option<u64>,
+                    buffer: HashMap<Key, Value>,
+                    reads: u64,
+                }
+                impl TxStore for SnapView<'_> {
+                    fn get(&mut self, key: &Key) -> Option<Value> {
+                        if let Some(v) = self.buffer.get(key) {
+                            return Some(v.clone());
+                        }
+                        self.reads += 1;
+                        match self.epoch {
+                            Some(e) => self.store.get_at(key, e),
+                            None => self.store.get_latest(key),
+                        }
+                    }
+                    fn put(&mut self, key: &Key, value: Value) {
+                        self.buffer.insert(key.clone(), value);
+                    }
+                }
+                let mut view =
+                    SnapView { store: &self.store, epoch, buffer: HashMap::new(), reads: 0 };
+                let out = interp.run(&program, &tx.req.inputs, &mut view).expect("recon runs");
+                let mut pred = Prediction::default();
+                for k in &out.trace.reads {
+                    if !pred.reads.contains(k) {
+                        pred.reads.push(k.clone());
+                    }
+                }
+                for k in &out.trace.writes {
+                    if !pred.writes.contains(k) {
+                        pred.writes.push(k.clone());
+                    }
+                }
+                tx.prediction = Some(pred);
+                view.reads * self.cost.read_ns
+            }
+        }
+    }
+
+    /// Executes one update transaction against the real store, returning
+    /// `(committed, virtual cost)`.
+    fn execute(&self, tx: &SimTx) -> (bool, u64) {
+        let entry = self.catalog.entry(tx.req.program);
+        let program = entry.program();
+        let interp = Interpreter::new().without_input_validation();
+        let mut cost = 0u64;
+
+        if let Some(scope) = &tx.table_scope {
+            // NODO: scoped direct execution, never aborts.
+            let mut view =
+                CountingView { view: ExecView::new(&self.store, scope), reads: 0, writes: 0 };
+            interp.run(program, &tx.req.inputs, &mut view).expect("NODO execution");
+            cost += view.reads * self.cost.read_ns + view.writes * self.cost.write_ns;
+            assert!(!view.view.violated(), "static table scope cannot be violated");
+            view.view.commit();
+            return (true, cost);
+        }
+
+        let prediction = tx.prediction.as_ref().expect("prepared before execution");
+        // Pivot validation (profile mode observations; reconnaissance
+        // predictions have none — their check is scope containment).
+        for (key, observed) in &prediction.pivot_observations {
+            cost += self.cost.read_ns;
+            let current = self.store.get_latest(key).unwrap_or(Value::Unit);
+            if &current != observed {
+                return (false, cost);
+            }
+        }
+        let scope = AccessScope::keys_of(prediction);
+        let mut view =
+            CountingView { view: ExecView::new(&self.store, &scope), reads: 0, writes: 0 };
+        let run = interp.run(program, &tx.req.inputs, &mut view);
+        cost += view.reads * self.cost.read_ns + view.writes * self.cost.write_ns;
+        match run {
+            Ok(_) if !view.view.violated() => {
+                view.view.commit();
+                (true, cost)
+            }
+            Ok(_) => (false, cost),
+            Err(_) if view.view.violated() => (false, cost),
+            Err(e) => panic!("workload bug in {}: {e}", program.name()),
+        }
+    }
+
+    /// Serial, lock-free execution against the live store (the SF path);
+    /// returns the virtual cost.
+    fn execute_serial(&self, tx: &SimTx) -> u64 {
+        let entry = self.catalog.entry(tx.req.program);
+        let interp = Interpreter::new().without_input_validation();
+        struct CountingLive<'a> {
+            store: &'a EpochStore,
+            reads: u64,
+            writes: u64,
+        }
+        impl TxStore for CountingLive<'_> {
+            fn get(&mut self, key: &Key) -> Option<Value> {
+                self.reads += 1;
+                self.store.get_latest(key)
+            }
+            fn put(&mut self, key: &Key, value: Value) {
+                self.writes += 1;
+                self.store.put(key, value);
+            }
+        }
+        let mut view = CountingLive { store: &self.store, reads: 0, writes: 0 };
+        interp.run(entry.program(), &tx.req.inputs, &mut view).expect("serial execution");
+        view.reads * self.cost.read_ns + view.writes * self.cost.write_ns
+    }
+
+    fn run_batch(&mut self, batch: Vec<TxRequest>) -> SimOutcome {
+        let cost = self.cost.clone();
+        let snapshot = self.store.snapshot_epoch();
+        let prepare_epoch = snapshot.saturating_sub(self.config.prepare_staleness);
+        let mut outcome = SimOutcome { batch_size: batch.len(), ..SimOutcome::default() };
+
+        // --- Classification (queuer, serial) ---
+        let mut txs: Vec<SimTx> = batch.into_iter().map(|r| self.classify(r)).collect();
+        let queuer_busy_ns = txs.len() as u64 * cost.classify_ns;
+
+        let mut rot_idxs = Vec::new();
+        let mut dt_idxs = Vec::new();
+        let mut it_idxs = Vec::new();
+        for (i, tx) in txs.iter().enumerate() {
+            match tx.class {
+                TxClass::ReadOnly => rot_idxs.push(i),
+                TxClass::Dependent => dt_idxs.push(i),
+                TxClass::Independent => it_idxs.push(i),
+            }
+        }
+
+        // --- Phase 1: ROTs on workers, DT preparation (queuer ± workers) ---
+        let mut worker_free = vec![0u64; cost.workers];
+        for (n, &i) in rot_idxs.iter().enumerate() {
+            let w = n % cost.workers;
+            let entry = self.catalog.entry(txs[i].req.program);
+            let program = entry.program().clone();
+            let interp = Interpreter::new().without_input_validation();
+            let mut view = self.store.snapshot(snapshot);
+            let out = interp.run(&program, &txs[i].req.inputs, &mut view).expect("ROT runs");
+            let rot_cost = out.trace.reads.len() as u64 * cost.read_ns;
+            worker_free[w] += rot_cost;
+            txs[i].finished = Some(worker_free[w]);
+        }
+        // Prepare tasks: greedy to the earliest-free preparer. The queuer
+        // starts after classification; workers (MQ only) after their ROTs.
+        let mut preparers: Vec<u64> = if self.config.parallel_prepare {
+            let mut v = worker_free.clone();
+            v.push(queuer_busy_ns);
+            v
+        } else {
+            vec![queuer_busy_ns]
+        };
+        for &i in &dt_idxs {
+            let prep_cost = {
+                let tx = &mut txs[i];
+                self.prepare(tx, Some(prepare_epoch))
+            };
+            let who = (0..preparers.len())
+                .min_by_key(|&p| preparers[p])
+                .expect("at least the queuer");
+            preparers[who] += prep_cost;
+            outcome.prepare_ns_total += prep_cost;
+            outcome.prepare_count += 1;
+        }
+        let phase1_end = worker_free
+            .iter()
+            .chain(preparers.iter())
+            .copied()
+            .max()
+            .unwrap_or(0)
+            + cost.sync_ns;
+
+        // --- Rounds ---
+        let mut clock = phase1_end;
+        let mut members: Vec<usize> = dt_idxs.iter().chain(it_idxs.iter()).copied().collect();
+        loop {
+            outcome.rounds += 1;
+
+            // Build phase (queuer, serial).
+            let mut key_queues: HashMap<Key, Vec<usize>> = HashMap::new();
+            let mut key_count = 0u64;
+            let mut lock_keys: Vec<Vec<Key>> = Vec::with_capacity(members.len());
+            for &i in &members {
+                let keys: Vec<Key> = match &txs[i].table_scope {
+                    Some(AccessScope::Tables(tables)) => {
+                        let mut ks: Vec<Key> =
+                            tables.iter().map(|t| Key::new(*t, Vec::new())).collect();
+                        ks.sort();
+                        ks
+                    }
+                    _ => txs[i].prediction.as_ref().expect("prepared").key_set(),
+                };
+                key_count += keys.len() as u64;
+                for k in &keys {
+                    key_queues.entry(k.clone()).or_default().push(i);
+                }
+                lock_keys.push(keys);
+            }
+            clock += key_count * cost.lock_op_ns + cost.sync_ns;
+
+            // Update phase: discrete-event loop.
+            let member_pos: HashMap<usize, usize> =
+                members.iter().enumerate().map(|(pos, &i)| (i, pos)).collect();
+            let mut remaining: HashMap<usize, usize> =
+                members.iter().map(|&i| (i, lock_keys[member_pos[&i]].len())).collect();
+            let mut cursor: HashMap<&Key, usize> = HashMap::new();
+            // Min-heap of (ready time, tx index): the moment a tx reached
+            // the head of all its queues.
+            use std::cmp::Reverse;
+            use std::collections::BinaryHeap;
+            let mut ready: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+            for (k, q) in &key_queues {
+                let head = q[0];
+                let r = remaining.get_mut(&head).expect("member");
+                *r -= 1;
+                if *r == 0 {
+                    ready.push(Reverse((clock, head)));
+                }
+                cursor.insert(k, 0usize);
+            }
+            for (&i, &r) in &remaining {
+                if r == 0 && lock_keys[member_pos[&i]].is_empty() {
+                    ready.push(Reverse((clock, i)));
+                }
+            }
+            let mut workers: Vec<u64> = vec![clock; cost.workers];
+            let mut failed: Vec<usize> = Vec::new();
+            let mut done = 0usize;
+            let total = members.len();
+            let mut phase_end = clock;
+            while done < total {
+                // Earliest-ready transaction; ties by index (determinism).
+                let Reverse((ready_at, i)) = ready.pop().expect("liveness: a ready tx exists");
+                // Earliest-free worker.
+                let w = (0..workers.len())
+                    .min_by_key(|&w| workers[w])
+                    .expect("nonzero workers");
+                let start = workers[w].max(ready_at);
+                let (committed, exec_cost) = self.execute(&txs[i]);
+                let finish = start + exec_cost;
+                workers[w] = finish;
+                phase_end = phase_end.max(finish);
+                if committed {
+                    txs[i].finished = Some(finish);
+                } else {
+                    outcome.aborts += 1;
+                    txs[i].first_fail.get_or_insert(finish);
+                    failed.push(i);
+                }
+                // Release locks: successors whose queues all reached them
+                // become ready at `finish`.
+                for k in &lock_keys[member_pos[&i]] {
+                    let q = &key_queues[k];
+                    let c = cursor.get_mut(k as &Key).expect("cursor");
+                    debug_assert_eq!(q[*c], i);
+                    *c += 1;
+                    if let Some(&succ) = q.get(*c) {
+                        let r = remaining.get_mut(&succ).expect("member");
+                        *r -= 1;
+                        if *r == 0 {
+                            ready.push(Reverse((finish, succ)));
+                        }
+                    }
+                }
+                done += 1;
+            }
+            clock = phase_end + cost.sync_ns;
+
+            // Failed handling.
+            failed.sort_unstable();
+            if failed.is_empty() {
+                break;
+            }
+            let fall_back = outcome.rounds >= self.config.max_rounds;
+            match self.config.failed {
+                FailedPolicy::NextBatch => {
+                    for &i in &failed {
+                        outcome.carried_over.push(txs[i].req.clone());
+                    }
+                    break;
+                }
+                FailedPolicy::SingleThread => {
+                    // Serial on the queuer: plain re-execution, no locks,
+                    // no preparation, no validation (nothing else runs).
+                    for &i in &failed {
+                        clock += self.execute_serial(&txs[i]);
+                        txs[i].finished = Some(clock);
+                    }
+                    break;
+                }
+                FailedPolicy::Reenqueue if !fall_back => {
+                    // Re-prepare against live state (queuer ± workers,
+                    // all idle at `clock`).
+                    let mut preparers =
+                        vec![clock; if self.config.parallel_prepare { cost.workers + 1 } else { 1 }];
+                    for &i in &failed {
+                        let prep = {
+                            let tx = &mut txs[i];
+                            self.prepare(tx, None)
+                        };
+                        let who = (0..preparers.len())
+                            .min_by_key(|&p| preparers[p])
+                            .expect("preparer");
+                        preparers[who] += prep;
+                        outcome.prepare_ns_total += prep;
+                        outcome.prepare_count += 1;
+                    }
+                    clock = preparers.into_iter().max().expect("preparer") + cost.sync_ns;
+                    members = failed;
+                }
+                FailedPolicy::Reenqueue => {
+                    // max_rounds exceeded: terminate serially.
+                    for &i in &failed {
+                        clock += self.execute_serial(&txs[i]);
+                        txs[i].finished = Some(clock);
+                    }
+                    break;
+                }
+            }
+        }
+
+        outcome.makespan_ns = clock;
+        for tx in &txs {
+            if let Some(f) = tx.finished {
+                outcome.committed += 1;
+                outcome.latencies_ns.push(f);
+                if let Some(ff) = tx.first_fail {
+                    outcome.reexec_ns_total += f.saturating_sub(ff);
+                    outcome.reexec_count += 1;
+                }
+            }
+        }
+        outcome
+    }
+}
+
+/// A simulated SEQ baseline: one worker executes everything serially.
+pub struct SimSeq {
+    catalog: Arc<Catalog>,
+    store: Arc<EpochStore>,
+    cost: CostModel,
+}
+
+impl SimSeq {
+    /// Creates the simulated sequential engine.
+    pub fn new(cost: CostModel, catalog: Arc<Catalog>, store: Arc<EpochStore>) -> Self {
+        SimSeq { catalog, store, cost }
+    }
+
+    /// Simulates one batch serially.
+    pub fn execute_batch(&mut self, batch: Vec<TxRequest>) -> SimOutcome {
+        let mut outcome = SimOutcome { batch_size: batch.len(), rounds: 1, ..Default::default() };
+        let interp = Interpreter::new().without_input_validation();
+        let mut clock = 0u64;
+        for req in batch {
+            let entry = self.catalog.entry(req.program);
+            struct CountingLive<'a> {
+                store: &'a EpochStore,
+                reads: u64,
+                writes: u64,
+            }
+            impl TxStore for CountingLive<'_> {
+                fn get(&mut self, key: &Key) -> Option<Value> {
+                    self.reads += 1;
+                    self.store.get_latest(key)
+                }
+                fn put(&mut self, key: &Key, value: Value) {
+                    self.writes += 1;
+                    self.store.put(key, value);
+                }
+            }
+            let mut view = CountingLive { store: &self.store, reads: 0, writes: 0 };
+            interp.run(entry.program(), &req.inputs, &mut view).expect("SEQ execution");
+            clock += view.reads * self.cost.read_ns + view.writes * self.cost.write_ns;
+            outcome.committed += 1;
+            outcome.latencies_ns.push(clock);
+        }
+        outcome.makespan_ns = clock;
+        self.store.advance_epoch();
+        outcome
+    }
+
+    /// Deterministic state digest.
+    pub fn state_digest(&self) -> u64 {
+        self.store.state_digest()
+    }
+}
+
+/// Retrofit of [`ProgId`] import (used by doc examples).
+#[allow(unused)]
+fn _assert_types(_: ProgId) {}

@@ -1,0 +1,112 @@
+//! Client-side batching: collect requests into fixed-interval batches.
+//!
+//! The paper's Client Request Dispatcher "receives transactions from
+//! external clients and is responsible for generating batches … within a
+//! certain time window" (§III-A, §III-C). This batcher is generic over the
+//! request type so the consensus crate stays independent of the
+//! transaction layer.
+
+use std::time::{Duration, Instant};
+
+/// Accumulates items and cuts a batch when the window elapses or the batch
+/// reaches its size cap.
+#[derive(Debug)]
+pub struct Batcher<T> {
+    window: Duration,
+    max_size: usize,
+    buffer: Vec<T>,
+    window_start: Instant,
+}
+
+impl<T> Batcher<T> {
+    /// Creates a batcher cutting batches every `window`, or earlier when
+    /// `max_size` items accumulate.
+    ///
+    /// # Panics
+    /// Panics if `max_size` is zero.
+    pub fn new(window: Duration, max_size: usize) -> Self {
+        assert!(max_size > 0, "batch size cap must be positive");
+        Batcher { window, max_size, buffer: Vec::new(), window_start: Instant::now() }
+    }
+
+    /// Adds an item; returns a finished batch if the size cap was hit.
+    pub fn push(&mut self, item: T) -> Option<Vec<T>> {
+        self.buffer.push(item);
+        if self.buffer.len() >= self.max_size {
+            return Some(self.cut());
+        }
+        None
+    }
+
+    /// Returns a finished batch if the window has elapsed (empty windows
+    /// produce no batch).
+    pub fn poll(&mut self) -> Option<Vec<T>> {
+        if self.window_start.elapsed() >= self.window && !self.buffer.is_empty() {
+            return Some(self.cut());
+        }
+        None
+    }
+
+    /// Flushes whatever is buffered (end of stream).
+    pub fn flush(&mut self) -> Option<Vec<T>> {
+        if self.buffer.is_empty() {
+            None
+        } else {
+            Some(self.cut())
+        }
+    }
+
+    /// Items currently buffered.
+    pub fn pending(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Time remaining in the current window.
+    pub fn time_to_cut(&self) -> Duration {
+        self.window.saturating_sub(self.window_start.elapsed())
+    }
+
+    fn cut(&mut self) -> Vec<T> {
+        self.window_start = Instant::now();
+        std::mem::take(&mut self.buffer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cuts_on_size_cap() {
+        let mut b = Batcher::new(Duration::from_secs(60), 3);
+        assert!(b.push(1).is_none());
+        assert!(b.push(2).is_none());
+        let batch = b.push(3).expect("size cap");
+        assert_eq!(batch, vec![1, 2, 3]);
+        assert_eq!(b.pending(), 0);
+    }
+
+    #[test]
+    fn cuts_on_window() {
+        let mut b = Batcher::new(Duration::from_millis(10), 1000);
+        b.push(1);
+        assert!(b.poll().is_none(), "window not elapsed yet");
+        std::thread::sleep(Duration::from_millis(15));
+        assert_eq!(b.poll(), Some(vec![1]));
+        assert!(b.poll().is_none(), "empty window produces nothing");
+    }
+
+    #[test]
+    fn flush_drains() {
+        let mut b = Batcher::new(Duration::from_secs(60), 10);
+        assert_eq!(b.flush(), None);
+        b.push(5);
+        assert_eq!(b.flush(), Some(vec![5]));
+    }
+
+    #[test]
+    fn time_to_cut_counts_down() {
+        let b: Batcher<u8> = Batcher::new(Duration::from_secs(1), 10);
+        assert!(b.time_to_cut() <= Duration::from_secs(1));
+    }
+}

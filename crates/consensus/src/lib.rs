@@ -1,0 +1,20 @@
+#![warn(missing_docs)]
+//! The sequencing layer Prognosticator assumes: clients batch transactions
+//! and a consensus protocol delivers identical batches, in the same order,
+//! to every replica (paper §III-A).
+//!
+//! * [`Batcher`] — client-side time/size-windowed batching;
+//! * [`RaftCluster`] — Raft-lite (election, replication, majority commit)
+//!   over a [`SimNet`] with injectable delay, loss and partitions.
+//!
+//! The payload type is generic; the full pipeline replicates
+//! `Vec<TxRequest>` batches through it (see the `replicated_pipeline`
+//! example at the repository root).
+
+pub mod batcher;
+pub mod raft;
+pub mod simnet;
+
+pub use batcher::Batcher;
+pub use raft::{LogEntry, NodeView, RaftCluster, RaftMsg, RaftTiming};
+pub use simnet::{NetConfig, NodeId, SimNet};

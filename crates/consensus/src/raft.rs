@@ -1,0 +1,765 @@
+//! Raft-lite: leader election + log replication + commit, enough to give
+//! every replica the same ordered stream of batches.
+//!
+//! The paper assumes a consensus layer (Paxos/Raft, §III-A) that delivers
+//! identical batches in the same order to all replicas. This module
+//! implements that contract over the [`crate::simnet::SimNet`]: randomized
+//! election timeouts, per-term single votes, log-matching append, and
+//! majority commit. Omitted relative to full Raft: persistence, snapshots,
+//! and membership changes — none of which the paper's pipeline exercises.
+
+use crate::simnet::{NetConfig, NodeId, SimNet};
+use parking_lot::RwLock;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One replicated log entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogEntry<T> {
+    /// Term the entry was appended in.
+    pub term: u64,
+    /// Client-assigned unique id (used to deduplicate re-proposals).
+    pub id: u64,
+    /// The payload (a transaction batch, in the full pipeline).
+    pub payload: T,
+}
+
+/// Messages exchanged by Raft nodes.
+#[derive(Debug, Clone)]
+pub enum RaftMsg<T> {
+    /// Candidate solicits a vote.
+    RequestVote {
+        /// Candidate's term.
+        term: u64,
+        /// Candidate's id.
+        candidate: NodeId,
+        /// Index of the candidate's last log entry.
+        last_log_index: u64,
+        /// Term of the candidate's last log entry.
+        last_log_term: u64,
+    },
+    /// Vote response.
+    Vote {
+        /// Voter's current term.
+        term: u64,
+        /// Voter id.
+        from: NodeId,
+        /// Whether the vote was granted.
+        granted: bool,
+    },
+    /// Leader replicates entries (empty = heartbeat).
+    AppendEntries {
+        /// Leader's term.
+        term: u64,
+        /// Leader id.
+        leader: NodeId,
+        /// Index of the entry preceding `entries`.
+        prev_index: u64,
+        /// Term of that entry.
+        prev_term: u64,
+        /// Entries to append.
+        entries: Vec<LogEntry<T>>,
+        /// Leader's commit index.
+        leader_commit: u64,
+    },
+    /// Append response.
+    AppendResp {
+        /// Follower's current term.
+        term: u64,
+        /// Follower id.
+        from: NodeId,
+        /// Whether the append matched.
+        success: bool,
+        /// Highest index known replicated on the follower.
+        match_index: u64,
+    },
+    /// Client proposal (only the leader acts on it).
+    Propose {
+        /// Client-assigned unique id.
+        id: u64,
+        /// The payload.
+        payload: T,
+    },
+}
+
+/// Timing knobs (kept small so tests converge quickly).
+#[derive(Debug, Clone)]
+pub struct RaftTiming {
+    /// Minimum election timeout.
+    pub election_min: Duration,
+    /// Maximum election timeout.
+    pub election_max: Duration,
+    /// Leader heartbeat interval.
+    pub heartbeat: Duration,
+}
+
+impl Default for RaftTiming {
+    fn default() -> Self {
+        RaftTiming {
+            election_min: Duration::from_millis(80),
+            election_max: Duration::from_millis(160),
+            heartbeat: Duration::from_millis(25),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Role {
+    Follower,
+    Candidate,
+    Leader,
+}
+
+/// Shared observable state of one node (what tests and the pipeline read).
+#[derive(Debug)]
+pub struct NodeView<T> {
+    /// Committed entries in order.
+    pub committed: RwLock<Vec<LogEntry<T>>>,
+    /// Current term (best effort, for diagnostics).
+    pub term: RwLock<u64>,
+    /// Whether this node currently believes itself leader.
+    pub is_leader: AtomicBool,
+    /// Every term in which this node won an election — lets tests check
+    /// the Election Safety property (at most one leader per term).
+    pub leader_terms: RwLock<Vec<u64>>,
+}
+
+impl<T> Default for NodeView<T> {
+    fn default() -> Self {
+        NodeView {
+            committed: RwLock::new(Vec::new()),
+            term: RwLock::new(0),
+            is_leader: AtomicBool::new(false),
+            leader_terms: RwLock::new(Vec::new()),
+        }
+    }
+}
+
+struct Node<T> {
+    id: NodeId,
+    n: usize,
+    term: u64,
+    voted_for: Option<NodeId>,
+    log: Vec<LogEntry<T>>, // index i ↔ log[i-1]; indices are 1-based
+    commit_index: u64,
+    role: Role,
+    votes: usize,
+    next_index: Vec<u64>,
+    match_index: Vec<u64>,
+    leader_hint: Option<NodeId>,
+    view: Arc<NodeView<T>>,
+    subscribers: Vec<Sender<LogEntry<T>>>,
+    rng: StdRng,
+    timing: RaftTiming,
+    deadline: Instant,
+}
+
+impl<T: Clone + Send + Sync + 'static> Node<T> {
+    fn last_log_index(&self) -> u64 {
+        self.log.len() as u64
+    }
+
+    fn last_log_term(&self) -> u64 {
+        self.log.last().map_or(0, |e| e.term)
+    }
+
+    fn term_at(&self, index: u64) -> u64 {
+        if index == 0 {
+            0
+        } else {
+            self.log.get(index as usize - 1).map_or(0, |e| e.term)
+        }
+    }
+
+    fn reset_election_deadline(&mut self) {
+        let span = self.timing.election_max - self.timing.election_min;
+        let jitter = Duration::from_nanos(self.rng.gen_range(0..span.as_nanos().max(1) as u64));
+        self.deadline = Instant::now() + self.timing.election_min + jitter;
+    }
+
+    fn become_follower(&mut self, term: u64) {
+        self.term = term;
+        self.role = Role::Follower;
+        self.voted_for = None;
+        self.view.is_leader.store(false, Ordering::Release);
+        *self.view.term.write() = term;
+        self.reset_election_deadline();
+    }
+
+    fn become_leader(&mut self, net: &SimNet<RaftMsg<T>>) {
+        self.role = Role::Leader;
+        self.view.is_leader.store(true, Ordering::Release);
+        self.view.leader_terms.write().push(self.term);
+        self.next_index = vec![self.last_log_index() + 1; self.n];
+        self.match_index = vec![0; self.n];
+        self.match_index[self.id] = self.last_log_index();
+        self.deadline = Instant::now(); // heartbeat immediately
+        self.broadcast_append(net);
+    }
+
+    fn start_election(&mut self, net: &SimNet<RaftMsg<T>>) {
+        self.term += 1;
+        *self.view.term.write() = self.term;
+        self.role = Role::Candidate;
+        self.voted_for = Some(self.id);
+        self.votes = 1;
+        self.view.is_leader.store(false, Ordering::Release);
+        self.reset_election_deadline();
+        for peer in 0..self.n {
+            if peer != self.id {
+                net.send(
+                    self.id,
+                    peer,
+                    RaftMsg::RequestVote {
+                        term: self.term,
+                        candidate: self.id,
+                        last_log_index: self.last_log_index(),
+                        last_log_term: self.last_log_term(),
+                    },
+                );
+            }
+        }
+        // Single-node cluster: win immediately.
+        if self.votes * 2 > self.n {
+            self.become_leader(net);
+        }
+    }
+
+    fn broadcast_append(&mut self, net: &SimNet<RaftMsg<T>>) {
+        for peer in 0..self.n {
+            if peer == self.id {
+                continue;
+            }
+            let next = self.next_index[peer];
+            let prev_index = next - 1;
+            let prev_term = self.term_at(prev_index);
+            let entries: Vec<LogEntry<T>> =
+                self.log.iter().skip(prev_index as usize).cloned().collect();
+            net.send(
+                self.id,
+                peer,
+                RaftMsg::AppendEntries {
+                    term: self.term,
+                    leader: self.id,
+                    prev_index,
+                    prev_term,
+                    entries,
+                    leader_commit: self.commit_index,
+                },
+            );
+        }
+        self.deadline = Instant::now() + self.timing.heartbeat;
+    }
+
+    fn advance_commit(&mut self) {
+        if self.role != Role::Leader {
+            return;
+        }
+        for n in (self.commit_index + 1..=self.last_log_index()).rev() {
+            if self.term_at(n) != self.term {
+                continue;
+            }
+            let replicas = self.match_index.iter().filter(|&&m| m >= n).count();
+            if replicas * 2 > self.n {
+                self.set_commit(n);
+                break;
+            }
+        }
+    }
+
+    fn set_commit(&mut self, index: u64) {
+        let index = index.min(self.last_log_index());
+        while self.commit_index < index {
+            self.commit_index += 1;
+            let entry = self.log[self.commit_index as usize - 1].clone();
+            self.view.committed.write().push(entry.clone());
+            self.subscribers.retain(|s| s.send(entry.clone()).is_ok());
+        }
+    }
+
+    fn handle(&mut self, msg: RaftMsg<T>, net: &SimNet<RaftMsg<T>>) {
+        match msg {
+            RaftMsg::RequestVote { term, candidate, last_log_index, last_log_term } => {
+                if term > self.term {
+                    self.become_follower(term);
+                }
+                let up_to_date = (last_log_term, last_log_index)
+                    >= (self.last_log_term(), self.last_log_index());
+                let granted = term == self.term
+                    && up_to_date
+                    && (self.voted_for.is_none() || self.voted_for == Some(candidate));
+                if granted {
+                    self.voted_for = Some(candidate);
+                    self.reset_election_deadline();
+                }
+                net.send(self.id, candidate, RaftMsg::Vote { term: self.term, from: self.id, granted });
+            }
+            RaftMsg::Vote { term, granted, .. } => {
+                if term > self.term {
+                    self.become_follower(term);
+                    return;
+                }
+                if self.role == Role::Candidate && term == self.term && granted {
+                    self.votes += 1;
+                    if self.votes * 2 > self.n {
+                        self.become_leader(net);
+                    }
+                }
+            }
+            RaftMsg::AppendEntries { term, leader, prev_index, prev_term, entries, leader_commit } => {
+                if term > self.term || (term == self.term && self.role != Role::Leader) {
+                    if term > self.term {
+                        self.become_follower(term);
+                    } else {
+                        self.reset_election_deadline();
+                        self.role = Role::Follower;
+                        self.view.is_leader.store(false, Ordering::Release);
+                    }
+                    self.leader_hint = Some(leader);
+                    // Log matching check.
+                    let ok = prev_index <= self.last_log_index()
+                        && self.term_at(prev_index) == prev_term;
+                    if ok {
+                        // Truncate conflicts and append.
+                        let mut idx = prev_index as usize;
+                        for entry in entries {
+                            if idx < self.log.len() {
+                                if self.log[idx].term != entry.term {
+                                    debug_assert!(
+                                        idx as u64 >= self.commit_index,
+                                        "conflicting entry below commit index"
+                                    );
+                                    self.log.truncate(idx);
+                                    self.log.push(entry);
+                                }
+                            } else {
+                                self.log.push(entry);
+                            }
+                            idx += 1;
+                        }
+                        self.set_commit(leader_commit.min(self.last_log_index()));
+                        net.send(
+                            self.id,
+                            leader,
+                            RaftMsg::AppendResp {
+                                term: self.term,
+                                from: self.id,
+                                success: true,
+                                match_index: self.last_log_index(),
+                            },
+                        );
+                    } else {
+                        net.send(
+                            self.id,
+                            leader,
+                            RaftMsg::AppendResp {
+                                term: self.term,
+                                from: self.id,
+                                success: false,
+                                match_index: prev_index.saturating_sub(1),
+                            },
+                        );
+                    }
+                } else if term < self.term {
+                    net.send(
+                        self.id,
+                        leader,
+                        RaftMsg::AppendResp {
+                            term: self.term,
+                            from: self.id,
+                            success: false,
+                            match_index: 0,
+                        },
+                    );
+                }
+            }
+            RaftMsg::AppendResp { term, from, success, match_index } => {
+                if term > self.term {
+                    self.become_follower(term);
+                    return;
+                }
+                if self.role != Role::Leader || term != self.term {
+                    return;
+                }
+                if success {
+                    self.match_index[from] = self.match_index[from].max(match_index);
+                    self.next_index[from] = self.match_index[from] + 1;
+                    self.advance_commit();
+                } else {
+                    // Back off (to the follower's hint) and retry at the
+                    // next heartbeat.
+                    self.next_index[from] = (match_index + 1).max(1);
+                }
+            }
+            RaftMsg::Propose { id, payload } => {
+                if self.role == Role::Leader {
+                    let duplicate = self.log.iter().any(|e| e.id == id);
+                    if !duplicate {
+                        self.log.push(LogEntry { term: self.term, id, payload });
+                        self.match_index[self.id] = self.last_log_index();
+                        self.broadcast_append(net);
+                        if self.n == 1 {
+                            self.advance_commit();
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A running Raft cluster over a simulated network.
+pub struct RaftCluster<T: Clone + Send + Sync + 'static> {
+    net: Arc<SimNet<RaftMsg<T>>>,
+    views: Vec<Arc<NodeView<T>>>,
+    shutdown: Arc<AtomicBool>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    next_id: std::sync::atomic::AtomicU64,
+}
+
+impl<T: Clone + Send + Sync + 'static> RaftCluster<T> {
+    /// Spawns `n` nodes with the given network fault model and timing.
+    pub fn new(n: usize, net_config: NetConfig, timing: RaftTiming, seed: u64) -> Self {
+        Self::with_subscribers(n, net_config, timing, seed, Vec::new())
+    }
+
+    /// Like [`RaftCluster::new`], additionally attaching a committed-entry
+    /// subscriber channel to each node (index-aligned; missing = none).
+    pub fn with_subscribers(
+        n: usize,
+        net_config: NetConfig,
+        timing: RaftTiming,
+        seed: u64,
+        mut subscribers: Vec<Vec<Sender<LogEntry<T>>>>,
+    ) -> Self {
+        assert!(n > 0, "cluster needs at least one node");
+        subscribers.resize_with(n, Vec::new);
+        let mut inboxes = Vec::new();
+        let mut rxs: Vec<Receiver<RaftMsg<T>>> = Vec::new();
+        for _ in 0..n {
+            let (tx, rx) = channel();
+            inboxes.push(tx);
+            rxs.push(rx);
+        }
+        let net = Arc::new(SimNet::new(inboxes, net_config, seed));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let mut views = Vec::new();
+        let mut handles = Vec::new();
+        for (id, (rx, subs)) in rxs.into_iter().zip(subscribers).enumerate() {
+            let view = Arc::new(NodeView::default());
+            views.push(Arc::clone(&view));
+            let net = Arc::clone(&net);
+            let shutdown = Arc::clone(&shutdown);
+            let timing = timing.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("raft-node-{id}"))
+                .spawn(move || {
+                    let mut node = Node {
+                        id,
+                        n,
+                        term: 0,
+                        voted_for: None,
+                        log: Vec::new(),
+                        commit_index: 0,
+                        role: Role::Follower,
+                        votes: 0,
+                        next_index: vec![1; n],
+                        match_index: vec![0; n],
+                        leader_hint: None,
+                        view,
+                        subscribers: subs,
+                        rng: StdRng::seed_from_u64(seed ^ (id as u64).wrapping_mul(0x9e37)),
+                        timing,
+                        deadline: Instant::now(),
+                    };
+                    node.reset_election_deadline();
+                    node_loop(&mut node, &net, &shutdown, rx);
+                })
+                .expect("spawn raft node");
+            handles.push(handle);
+        }
+        RaftCluster { net, views, shutdown, handles, next_id: std::sync::atomic::AtomicU64::new(1) }
+    }
+
+    /// The simulated network (for partitions / fault injection).
+    pub fn net(&self) -> &SimNet<RaftMsg<T>> {
+        &self.net
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.views.len()
+    }
+
+    /// Whether the cluster has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.views.is_empty()
+    }
+
+    /// The current leader, if any node believes it is one.
+    pub fn leader(&self) -> Option<NodeId> {
+        self.views.iter().position(|v| v.is_leader.load(Ordering::Acquire))
+    }
+
+    /// Waits until some node is leader.
+    pub fn wait_for_leader(&self, timeout: Duration) -> Option<NodeId> {
+        let deadline = Instant::now() + timeout;
+        while Instant::now() < deadline {
+            if let Some(l) = self.leader() {
+                return Some(l);
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        None
+    }
+
+    /// Broadcasts a proposal (assigning it a fresh id) to every node; the
+    /// leader appends it. Returns the id.
+    pub fn propose(&self, payload: T) -> u64 {
+        let id = self.next_id.fetch_add(1, std::sync::atomic::Ordering::AcqRel);
+        self.propose_with_id(id, payload);
+        id
+    }
+
+    /// Re-broadcasts a proposal with a known id (idempotent thanks to
+    /// leader-side dedup).
+    pub fn propose_with_id(&self, id: u64, payload: T) {
+        for node in 0..self.len() {
+            // "from" does not matter for client messages; use the target.
+            self.net.send(node, node, RaftMsg::Propose { id, payload: payload.clone() });
+        }
+    }
+
+    /// Proposes and re-broadcasts until the entry commits on `observer`,
+    /// or the timeout expires. Returns whether it committed.
+    pub fn propose_until_committed(&self, payload: T, timeout: Duration) -> bool {
+        let id = self.next_id.fetch_add(1, std::sync::atomic::Ordering::AcqRel);
+        let deadline = Instant::now() + timeout;
+        loop {
+            self.propose_with_id(id, payload.clone());
+            let wait_until = (Instant::now() + Duration::from_millis(40)).min(deadline);
+            while Instant::now() < wait_until {
+                if self.views.iter().any(|v| v.committed.read().iter().any(|e| e.id == id)) {
+                    return true;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+        }
+    }
+
+    /// Snapshot of `node`'s committed log payloads.
+    pub fn committed(&self, node: NodeId) -> Vec<LogEntry<T>> {
+        self.views[node].committed.read().clone()
+    }
+
+    /// Every `(node, term)` leadership claim observed so far — for
+    /// checking the Election Safety property in tests.
+    pub fn leadership_claims(&self) -> Vec<(NodeId, u64)> {
+        let mut out = Vec::new();
+        for (node, view) in self.views.iter().enumerate() {
+            for term in view.leader_terms.read().iter() {
+                out.push((node, *term));
+            }
+        }
+        out
+    }
+
+    /// Waits until `node` has committed at least `count` entries.
+    pub fn wait_for_committed(&self, node: NodeId, count: usize, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while Instant::now() < deadline {
+            if self.views[node].committed.read().len() >= count {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        false
+    }
+
+    /// Stops all nodes and the network.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl<T: Clone + Send + Sync + 'static> Drop for RaftCluster<T> {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn node_loop<T: Clone + Send + Sync + 'static>(
+    node: &mut Node<T>,
+    net: &SimNet<RaftMsg<T>>,
+    shutdown: &AtomicBool,
+    rx: Receiver<RaftMsg<T>>,
+) {
+    while !shutdown.load(Ordering::Acquire) {
+        let now = Instant::now();
+        let wait = node.deadline.saturating_duration_since(now).min(Duration::from_millis(50));
+        match rx.recv_timeout(wait) {
+            Ok(msg) => node.handle(msg, net),
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+        if Instant::now() >= node.deadline {
+            match node.role {
+                Role::Leader => node.broadcast_append(net),
+                Role::Follower | Role::Candidate => node.start_election(net),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(n: usize, seed: u64) -> RaftCluster<u64> {
+        RaftCluster::new(n, NetConfig::default(), RaftTiming::default(), seed)
+    }
+
+    #[test]
+    fn elects_a_leader() {
+        let c = cluster(3, 1);
+        assert!(c.wait_for_leader(Duration::from_secs(5)).is_some());
+    }
+
+    #[test]
+    fn single_node_cluster_commits_alone() {
+        let c = cluster(1, 2);
+        assert!(c.wait_for_leader(Duration::from_secs(5)).is_some());
+        assert!(c.propose_until_committed(7, Duration::from_secs(5)));
+        assert_eq!(c.committed(0).len(), 1);
+        assert_eq!(c.committed(0)[0].payload, 7);
+    }
+
+    #[test]
+    fn replicates_in_order_to_all_nodes() {
+        let c = cluster(3, 3);
+        c.wait_for_leader(Duration::from_secs(5)).expect("leader");
+        for i in 0..10u64 {
+            assert!(c.propose_until_committed(i, Duration::from_secs(5)), "entry {i}");
+        }
+        for node in 0..3 {
+            assert!(c.wait_for_committed(node, 10, Duration::from_secs(5)), "node {node}");
+            let payloads: Vec<u64> = c.committed(node).iter().map(|e| e.payload).collect();
+            assert_eq!(payloads, (0..10).collect::<Vec<_>>(), "node {node} order");
+        }
+    }
+
+    #[test]
+    fn commits_despite_message_loss() {
+        let c = RaftCluster::new(
+            3,
+            NetConfig { drop_prob: 0.10, ..NetConfig::default() },
+            RaftTiming::default(),
+            4,
+        );
+        c.wait_for_leader(Duration::from_secs(10)).expect("leader despite loss");
+        for i in 0..5u64 {
+            assert!(c.propose_until_committed(i, Duration::from_secs(10)), "entry {i}");
+        }
+        assert!(c.wait_for_committed(0, 5, Duration::from_secs(10)));
+    }
+
+    #[test]
+    fn survives_leader_isolation() {
+        let c = cluster(3, 5);
+        let first = c.wait_for_leader(Duration::from_secs(5)).expect("leader");
+        assert!(c.propose_until_committed(1, Duration::from_secs(5)));
+        // Cut the leader off; the rest must elect a replacement and keep
+        // committing.
+        c.net().isolate(first);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut second = None;
+        while Instant::now() < deadline {
+            if let Some(l) = (0..3).find(|&n| {
+                n != first && c.views[n].is_leader.load(Ordering::Acquire)
+            }) {
+                second = Some(l);
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let second = second.expect("new leader elected after isolation");
+        assert_ne!(second, first);
+        assert!(c.propose_until_committed(2, Duration::from_secs(10)));
+        // Heal: the old leader catches up.
+        c.net().reconnect(first);
+        assert!(c.wait_for_committed(first, 2, Duration::from_secs(10)));
+        let a: Vec<u64> = c.committed(first).iter().map(|e| e.payload).collect();
+        let b: Vec<u64> = c.committed(second).iter().map(|e| e.payload).collect();
+        assert_eq!(a, b[..a.len().min(b.len())].to_vec());
+    }
+
+    #[test]
+    fn committed_prefixes_always_agree() {
+        let c = cluster(5, 6);
+        c.wait_for_leader(Duration::from_secs(5)).expect("leader");
+        for i in 0..20u64 {
+            assert!(c.propose_until_committed(i, Duration::from_secs(5)));
+        }
+        for node in 0..5 {
+            c.wait_for_committed(node, 20, Duration::from_secs(10));
+        }
+        let logs: Vec<Vec<u64>> =
+            (0..5).map(|n| c.committed(n).iter().map(|e| e.payload).collect()).collect();
+        for pair in logs.windows(2) {
+            let min = pair[0].len().min(pair[1].len());
+            assert_eq!(pair[0][..min], pair[1][..min], "prefix disagreement");
+        }
+    }
+
+    #[test]
+    fn election_safety_under_churn() {
+        // Repeatedly isolate whoever is leader; across all the forced
+        // elections, no term may ever have two distinct leaders.
+        let c = cluster(5, 11);
+        for round in 0..4 {
+            let leader = c.wait_for_leader(Duration::from_secs(10)).expect("leader");
+            assert!(c.propose_until_committed(round, Duration::from_secs(10)));
+            c.net().isolate(leader);
+            std::thread::sleep(Duration::from_millis(250));
+            c.net().reconnect(leader);
+        }
+        let mut claims = c.leadership_claims();
+        claims.sort_by_key(|&(_, term)| term);
+        for pair in claims.windows(2) {
+            if pair[0].1 == pair[1].1 {
+                assert_eq!(
+                    pair[0].0, pair[1].0,
+                    "two different leaders in term {}",
+                    pair[0].1
+                );
+            }
+        }
+        assert!(!claims.is_empty());
+    }
+
+    #[test]
+    fn subscriber_stream_receives_commits() {
+        let (tx, rx) = channel();
+        let c = RaftCluster::with_subscribers(
+            3,
+            NetConfig::default(),
+            RaftTiming::default(),
+            7,
+            vec![vec![tx]],
+        );
+        c.wait_for_leader(Duration::from_secs(5)).expect("leader");
+        assert!(c.propose_until_committed(99, Duration::from_secs(5)));
+        let entry = rx.recv_timeout(Duration::from_secs(5)).expect("stream entry");
+        assert_eq!(entry.payload, 99);
+    }
+}

@@ -1,0 +1,255 @@
+//! The program catalog: registered stored procedures plus their offline
+//! symbolic-execution profiles.
+
+use prognosticator_symexec::{
+    analyze, ExploreError, ExplorerConfig, Profile, TxClass,
+};
+use prognosticator_txir::{Program, Stmt, TableId};
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifier of a registered program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ProgId(pub usize);
+
+impl fmt::Display for ProgId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "prog{}", self.0)
+    }
+}
+
+/// A transaction request: which program to run, with which inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TxRequest {
+    /// The registered program.
+    pub program: ProgId,
+    /// Concrete inputs.
+    pub inputs: Vec<prognosticator_txir::Value>,
+}
+
+impl TxRequest {
+    /// Builds a request.
+    pub fn new(program: ProgId, inputs: Vec<prognosticator_txir::Value>) -> Self {
+        TxRequest { program, inputs }
+    }
+}
+
+/// One catalog entry.
+#[derive(Debug)]
+pub struct CatalogEntry {
+    program: Arc<Program>,
+    /// `None` when symbolic execution hit its cap — the paper's fallback:
+    /// classify as dependent and obtain key-sets by reconnaissance.
+    profile: Option<Arc<Profile>>,
+    /// Tables touched anywhere in the program (static scan) — the NODO
+    /// baseline's table-granularity "profile".
+    read_tables: Vec<TableId>,
+    write_tables: Vec<TableId>,
+    /// Whether the program can write at all (static scan).
+    writes: bool,
+}
+
+impl CatalogEntry {
+    /// The registered program.
+    pub fn program(&self) -> &Arc<Program> {
+        &self.program
+    }
+
+    /// The SE profile, if analysis succeeded.
+    pub fn profile(&self) -> Option<&Arc<Profile>> {
+        self.profile.as_ref()
+    }
+
+    /// Program-level classification: from the profile when available,
+    /// otherwise static (no PUT ⇒ read-only, else dependent-by-fallback).
+    pub fn class(&self) -> TxClass {
+        match &self.profile {
+            Some(p) => p.class(),
+            None if !self.writes => TxClass::ReadOnly,
+            None => TxClass::Dependent,
+        }
+    }
+
+    /// Tables the program may read (static).
+    pub fn read_tables(&self) -> &[TableId] {
+        &self.read_tables
+    }
+
+    /// Tables the program may write (static).
+    pub fn write_tables(&self) -> &[TableId] {
+        &self.write_tables
+    }
+
+    /// Whether the program contains any PUT (static).
+    pub fn writes(&self) -> bool {
+        self.writes
+    }
+}
+
+/// Registry of programs and profiles shared by clients and replicas.
+///
+/// Profiling happens once, at registration ("one time and offline",
+/// §III-A); the catalog is then immutable and shared via `Arc`.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    entries: Vec<CatalogEntry>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a program, running symbolic execution with `config`.
+    /// A capped analysis ([`ExploreError::StateLimit`] /
+    /// [`ExploreError::TimeBudget`]) degrades to the reconnaissance
+    /// fallback instead of failing.
+    ///
+    /// # Errors
+    /// Propagates analysis errors other than the caps (malformed programs).
+    pub fn register_with(
+        &mut self,
+        program: Program,
+        config: &ExplorerConfig,
+    ) -> Result<ProgId, ExploreError> {
+        let profile = match analyze(&program, config) {
+            Ok(a) => Some(Arc::new(a.profile)),
+            Err(ExploreError::StateLimit(_))
+            | Err(ExploreError::TimeBudget(_))
+            | Err(ExploreError::DepthLimit(_)) => None,
+            Err(e) => return Err(e),
+        };
+        let (read_tables, write_tables) = scan_tables(&program);
+        let writes = !write_tables.is_empty();
+        self.entries.push(CatalogEntry { program: Arc::new(program), profile, read_tables, write_tables, writes });
+        Ok(ProgId(self.entries.len() - 1))
+    }
+
+    /// Registers with the default (fully optimized) analysis.
+    ///
+    /// # Errors
+    /// See [`Catalog::register_with`].
+    pub fn register(&mut self, program: Program) -> Result<ProgId, ExploreError> {
+        self.register_with(program, &ExplorerConfig::optimized())
+    }
+
+    /// Looks up an entry.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this catalog.
+    pub fn entry(&self, id: ProgId) -> &CatalogEntry {
+        &self.entries[id.0]
+    }
+
+    /// Number of registered programs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(id, entry)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ProgId, &CatalogEntry)> {
+        self.entries.iter().enumerate().map(|(i, e)| (ProgId(i), e))
+    }
+}
+
+/// Static scan of the tables a program touches.
+fn scan_tables(program: &Program) -> (Vec<TableId>, Vec<TableId>) {
+    let mut reads = Vec::new();
+    let mut writes = Vec::new();
+    for s in program.body() {
+        s.visit(&mut |st| match st {
+            Stmt::Get(_, key) => collect_table(key, &mut reads),
+            Stmt::Put(key, _) => collect_table(key, &mut writes),
+            _ => {}
+        });
+    }
+    (reads, writes)
+}
+
+fn collect_table(key: &prognosticator_txir::Expr, out: &mut Vec<TableId>) {
+    if let prognosticator_txir::Expr::Key(t, _) = key {
+        if !out.contains(t) {
+            out.push(*t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prognosticator_txir::{Expr, InputBound, ProgramBuilder};
+
+    fn update_program() -> Program {
+        let mut b = ProgramBuilder::new("upd");
+        let t = b.table("a");
+        let u = b.table("b");
+        let id = b.input("id", InputBound::int(0, 9));
+        let v = b.var("v");
+        b.get(v, Expr::key(t, vec![Expr::input(id)]));
+        b.put(Expr::key(u, vec![Expr::input(id)]), Expr::var(v));
+        b.build()
+    }
+
+    fn rot_program() -> Program {
+        let mut b = ProgramBuilder::new("rot");
+        let t = b.table("a");
+        let id = b.input("id", InputBound::int(0, 9));
+        let v = b.var("v");
+        b.get(v, Expr::key(t, vec![Expr::input(id)]));
+        b.emit(Expr::var(v));
+        b.build()
+    }
+
+    #[test]
+    fn register_and_classify() {
+        let mut c = Catalog::new();
+        let upd = c.register(update_program()).unwrap();
+        let rot = c.register(rot_program()).unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.entry(upd).class(), TxClass::Independent);
+        assert_eq!(c.entry(rot).class(), TxClass::ReadOnly);
+        assert!(c.entry(upd).writes());
+        assert!(!c.entry(rot).writes());
+        assert_eq!(c.entry(upd).read_tables(), &[TableId(0)]);
+        assert_eq!(c.entry(upd).write_tables(), &[TableId(1)]);
+    }
+
+    #[test]
+    fn capped_analysis_degrades_to_reconnaissance() {
+        // A program whose analysis blows the (tiny) state cap.
+        let mut b = ProgramBuilder::new("boom");
+        let t = b.table("t");
+        for k in 0..6usize {
+            let x = b.input(&format!("x{k}"), InputBound::int(0, 1));
+            let _ = x;
+        }
+        for k in 0..6usize {
+            b.if_(
+                Expr::input(k).eq(Expr::lit(1)),
+                |bb| bb.put(Expr::key(t, vec![Expr::lit(2 * k as i64)]), Expr::lit(0)),
+                |bb| bb.put(Expr::key(t, vec![Expr::lit(2 * k as i64 + 1)]), Expr::lit(0)),
+            );
+        }
+        let program = b.build();
+        let mut c = Catalog::new();
+        let cfg = ExplorerConfig { max_states: 4, ..ExplorerConfig::optimized() };
+        let id = c.register_with(program, &cfg).unwrap();
+        assert!(c.entry(id).profile().is_none());
+        assert_eq!(c.entry(id).class(), TxClass::Dependent);
+    }
+
+    #[test]
+    fn iterates_entries() {
+        let mut c = Catalog::new();
+        c.register(update_program()).unwrap();
+        c.register(rot_program()).unwrap();
+        let names: Vec<_> = c.iter().map(|(_, e)| e.program().name().to_owned()).collect();
+        assert_eq!(names, vec!["upd", "rot"]);
+    }
+}

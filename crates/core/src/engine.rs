@@ -1,0 +1,803 @@
+//! The deterministic multi-threaded batch execution engine.
+//!
+//! One [`Engine`] is a replica's transaction-processing layer: a single
+//! *queuer* (the thread calling [`Engine::execute_batch`]) plus a pool of
+//! persistent *worker threads*, executing batches in phases (paper §III-C):
+//!
+//! 1. **ROT + prepare** — workers drain their private read-only-transaction
+//!    queues against the pre-batch snapshot (lock-less) and, in `MQ` mode,
+//!    help the queuer *prepare indirect keys* for dependent transactions;
+//! 2. **build** — the queuer populates the lock table, dependent
+//!    transactions ahead of independent ones;
+//! 3. **update** — workers consume non-conflicting transactions from the
+//!    ready queue; dependent transactions validate their pivots first and
+//!    abort (without side effects) if stale;
+//! 4. **failed handling** — single-threaded re-execution in client order
+//!    (`SF`), deterministic re-prepare + re-enqueue rounds (`MF`), or
+//!    hand-back to the client for a future batch (the Calvin baseline).
+//!
+//! The same engine, differently configured, realizes every system in the
+//! paper's evaluation except `SEQ` (see [`crate::baselines`]).
+
+use crate::catalog::{Catalog, TxRequest};
+use crate::exec::{
+    execute_read_only, execute_reconnoitered, execute_scoped, execute_update, reconnoiter,
+    AccessScope, TxFailure,
+};
+use crate::locktable::{LockTable, LockTableBuilder, TxIdx};
+use crossbeam::queue::SegQueue;
+use crossbeam::utils::Backoff;
+use parking_lot::{Condvar, Mutex, RwLock};
+use prognosticator_storage::EpochStore;
+use prognosticator_symexec::{PredictError, Prediction, Profile, TxClass};
+use prognosticator_txir::{Key, Program, Value};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How key-sets of update transactions are obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrepareMode {
+    /// From the offline symbolic-execution profile; only pivot keys are
+    /// read during preparation (Prognosticator).
+    Profile,
+    /// By pre-executing the whole transaction logic on a snapshot
+    /// (Calvin's OLLP / the `*-R` ablation variants).
+    Reconnaissance,
+}
+
+/// What happens to transactions that fail validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailedPolicy {
+    /// Re-execute sequentially on the queuer, in client order (`SF`).
+    SingleThread,
+    /// Re-prepare and re-enqueue into a fresh lock table, repeatedly
+    /// (`MF`).
+    Reenqueue,
+    /// Return to the client to be retried in a future batch (Calvin).
+    NextBatch,
+}
+
+/// Conflict-detection granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Granularity {
+    /// Key-level (Prognosticator, Calvin).
+    Key,
+    /// Table-level (NODO): coarse, but transactions never abort.
+    Table,
+}
+
+/// Full scheduler configuration. Presets for every paper variant live in
+/// [`crate::baselines`].
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// Number of worker threads (the queuer is the calling thread).
+    pub workers: usize,
+    /// Key-set acquisition strategy.
+    pub prepare: PrepareMode,
+    /// `true` = `MQ` (workers help prepare), `false` = `1Q`.
+    pub parallel_prepare: bool,
+    /// Failed-transaction policy.
+    pub failed: FailedPolicy,
+    /// Conflict granularity.
+    pub granularity: Granularity,
+    /// How many epochs stale the preparation snapshot is: `0` = the
+    /// freshest committed state (Prognosticator), `k > 0` emulates a
+    /// Calvin client that prepared `k` batches ahead of execution.
+    pub prepare_staleness: u64,
+    /// Safety valve: after this many `Reenqueue` rounds, fall back to
+    /// single-threaded re-execution (guarantees termination).
+    pub max_rounds: u32,
+    /// When set, garbage-collect store history after each batch, keeping
+    /// this many epochs (must exceed `prepare_staleness`; snapshots older
+    /// than the kept window become unreadable). `None` keeps everything.
+    pub gc_keep_epochs: Option<u64>,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            workers: 4,
+            prepare: PrepareMode::Profile,
+            parallel_prepare: true,
+            failed: FailedPolicy::Reenqueue,
+            granularity: Granularity::Key,
+            prepare_staleness: 0,
+            max_rounds: 64,
+            gc_keep_epochs: None,
+        }
+    }
+}
+
+/// Per-batch outcome and metrics.
+#[derive(Debug, Clone, Default)]
+pub struct BatchOutcome {
+    /// Transactions in the batch (including read-only ones).
+    pub batch_size: usize,
+    /// Committed transactions.
+    pub committed: usize,
+    /// Abort events (one transaction may abort several times).
+    pub aborts: usize,
+    /// Scheduling rounds used (1 = no failures).
+    pub rounds: u32,
+    /// Transactions handed back to the client ([`FailedPolicy::NextBatch`]).
+    pub carried_over: Vec<TxRequest>,
+    /// Per-committed-transaction latency from batch start, nanoseconds.
+    pub latencies_ns: Vec<u64>,
+    /// Total time spent preparing dependent transactions, and how many
+    /// preparations ran (Fig. 5b's "prepare" component).
+    pub prepare_ns_total: u64,
+    /// Number of preparation operations.
+    pub prepare_count: u64,
+    /// Total first-failure→commit time over re-executed transactions
+    /// (Fig. 5b's "re-execute failed" component).
+    pub reexec_ns_total: u64,
+    /// Number of transactions that needed re-execution.
+    pub reexec_count: u64,
+    /// Wall-clock batch duration.
+    pub duration: Duration,
+    /// Results emitted by read-only transactions, indexed by batch
+    /// position (`None` for update transactions and carried-over ones).
+    pub outputs: Vec<Option<Vec<Value>>>,
+}
+
+impl BatchOutcome {
+    /// Throughput implied by this batch alone (committed / duration).
+    pub fn throughput_tps(&self) -> f64 {
+        if self.duration.is_zero() {
+            return 0.0;
+        }
+        self.committed as f64 / self.duration.as_secs_f64()
+    }
+}
+
+const ACTION_CONTINUE: u8 = 0;
+const ACTION_DONE: u8 = 1;
+
+struct TxSlot {
+    req: TxRequest,
+    class: TxClass,
+    program: Arc<Program>,
+    profile: Option<Arc<Profile>>,
+    /// Table-granularity scope (NODO) computed at classification.
+    table_scope: Option<AccessScope>,
+    prediction: Mutex<Option<Prediction>>,
+    output: Mutex<Option<Vec<Value>>>,
+    finished_ns: AtomicU64,
+    first_fail_ns: AtomicU64,
+    aborts: AtomicU32,
+}
+
+struct BatchWork {
+    slots: Vec<TxSlot>,
+    rot_queues: Vec<SegQueue<TxIdx>>,
+    prepare_queue: SegQueue<TxIdx>,
+    lock_table: RwLock<Option<Arc<LockTable>>>,
+    round_total: AtomicUsize,
+    completed: AtomicUsize,
+    failed: Mutex<Vec<TxIdx>>,
+    action: AtomicU8,
+    /// Epoch DT preparation reads from in round 1.
+    prepare_epoch: u64,
+    /// Epoch ROTs read from.
+    snapshot_epoch: u64,
+    /// Round ≥ 2 preparation reads live state instead.
+    prepare_live: AtomicBool,
+    parallel_prepare: bool,
+    prepare_mode: PrepareMode,
+    batch_start: Instant,
+    prepare_ns: AtomicU64,
+    prepare_count: AtomicU64,
+    /// Set when any thread hits a workload bug (panic); the batch is
+    /// wound down through the normal barrier sequence so no thread
+    /// deadlocks, and the queuer re-raises the panic afterwards.
+    fatal: AtomicBool,
+    fatal_msg: Mutex<Option<String>>,
+}
+
+/// Runs `f`, converting a panic into the batch-fatal flag so every thread
+/// still reaches its barriers.
+fn run_guarded(work: &BatchWork, f: impl FnOnce()) {
+    if work.fatal.load(Ordering::Acquire) {
+        return;
+    }
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+    if let Err(payload) = result {
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .unwrap_or_else(|| "worker panicked".to_string());
+        *work.fatal_msg.lock() = Some(msg);
+        work.fatal.store(true, Ordering::Release);
+    }
+}
+
+impl BatchWork {
+    fn now_ns(&self) -> u64 {
+        self.batch_start.elapsed().as_nanos() as u64
+    }
+}
+
+struct Shared {
+    barrier: std::sync::Barrier,
+    work: RwLock<Option<Arc<BatchWork>>>,
+    generation: Mutex<u64>,
+    wake: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// A replica's transaction-processing engine. See the module docs.
+pub struct Engine {
+    config: SchedulerConfig,
+    catalog: Arc<Catalog>,
+    store: Arc<EpochStore>,
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("config", &self.config)
+            .field("workers", &self.handles.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Engine {
+    /// Spawns the worker pool.
+    ///
+    /// # Panics
+    /// Panics if `config.workers` is zero.
+    pub fn new(config: SchedulerConfig, catalog: Arc<Catalog>, store: Arc<EpochStore>) -> Self {
+        assert!(config.workers > 0, "at least one worker thread is required");
+        let shared = Arc::new(Shared {
+            barrier: std::sync::Barrier::new(config.workers + 1),
+            work: RwLock::new(None),
+            generation: Mutex::new(0),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let mut handles = Vec::with_capacity(config.workers);
+        for worker_id in 0..config.workers {
+            let shared = Arc::clone(&shared);
+            let store = Arc::clone(&store);
+            let handle = std::thread::Builder::new()
+                .name(format!("prognosticator-worker-{worker_id}"))
+                .spawn(move || worker_loop(worker_id, &shared, &store))
+                .expect("spawn worker thread");
+            handles.push(handle);
+        }
+        Engine { config, catalog, store, shared, handles }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.config
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &Arc<EpochStore> {
+        &self.store
+    }
+
+    /// The shared program catalog.
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    /// Executes one ordered batch to completion and commits its epoch.
+    /// The calling thread acts as the queuer.
+    pub fn execute_batch(&mut self, batch: Vec<TxRequest>) -> BatchOutcome {
+        let trace = std::env::var_os("PROGNOSTICATOR_PHASE_TRACE").is_some();
+        let mut t_mark = Instant::now();
+        let mut mark = move |label: &str| {
+            if trace {
+                eprintln!("[phase] {label}: {:?}", t_mark.elapsed());
+            }
+            t_mark = Instant::now();
+        };
+        let batch_start = Instant::now();
+        let batch_size = batch.len();
+        let current = self.store.current_epoch();
+        let snapshot_epoch = current - 1;
+        let prepare_epoch = snapshot_epoch.saturating_sub(self.config.prepare_staleness);
+
+        // --- Classification (queuer, single-threaded, deterministic) ---
+        let mut slots = Vec::with_capacity(batch.len());
+        let mut rot_idxs: Vec<TxIdx> = Vec::new();
+        let mut dt_idxs: Vec<TxIdx> = Vec::new();
+        let mut it_idxs: Vec<TxIdx> = Vec::new();
+        for (i, req) in batch.into_iter().enumerate() {
+            let slot = self.classify(req);
+            match slot.class {
+                TxClass::ReadOnly => rot_idxs.push(i as TxIdx),
+                TxClass::Dependent => dt_idxs.push(i as TxIdx),
+                TxClass::Independent => it_idxs.push(i as TxIdx),
+            }
+            slots.push(slot);
+        }
+
+        let work = Arc::new(BatchWork {
+            slots,
+            rot_queues: (0..self.config.workers).map(|_| SegQueue::new()).collect(),
+            prepare_queue: SegQueue::new(),
+            lock_table: RwLock::new(None),
+            round_total: AtomicUsize::new(0),
+            completed: AtomicUsize::new(0),
+            failed: Mutex::new(Vec::new()),
+            action: AtomicU8::new(ACTION_CONTINUE),
+            prepare_epoch,
+            snapshot_epoch,
+            prepare_live: AtomicBool::new(false),
+            parallel_prepare: self.config.parallel_prepare,
+            prepare_mode: self.config.prepare,
+            batch_start,
+            prepare_ns: AtomicU64::new(0),
+            prepare_count: AtomicU64::new(0),
+            fatal: AtomicBool::new(false),
+            fatal_msg: Mutex::new(None),
+        });
+
+        mark("classify");
+        // Distribute ROTs round-robin over the per-worker queues.
+        for (n, &i) in rot_idxs.iter().enumerate() {
+            work.rot_queues[n % self.config.workers].push(i);
+        }
+        // Dependent transactions need preparation.
+        for &i in &dt_idxs {
+            work.prepare_queue.push(i);
+        }
+
+        // Publish the batch and wake the pool.
+        *self.shared.work.write() = Some(Arc::clone(&work));
+        {
+            let mut generation = self.shared.generation.lock();
+            *generation += 1;
+            self.shared.wake.notify_all();
+        }
+
+        // --- Rounds ---
+        let mut outcome = BatchOutcome { batch_size, ..BatchOutcome::default() };
+        let mut round_members: Vec<TxIdx> = Vec::new(); // set in each round
+        let mut first_round = true;
+        loop {
+            outcome.rounds += 1;
+            // Phase 1: the queuer always helps preparing (in 1Q mode it is
+            // the only preparer: workers skip the queue).
+            run_guarded(&work, || {
+                while let Some(i) = work.prepare_queue.pop() {
+                    prepare_slot(&work, i, &self.store);
+                }
+            });
+            mark("prepare");
+            self.shared.barrier.wait(); // (1) prepare done
+
+            // Phase 2: build the lock table — DTs ahead of ITs (§III-C).
+            let members: Vec<TxIdx> = if first_round {
+                dt_idxs.iter().chain(it_idxs.iter()).copied().collect()
+            } else {
+                round_members.clone()
+            };
+            let mut builder = LockTableBuilder::new();
+            for &i in &members {
+                let keys = self.lock_keys(&work.slots[i as usize]);
+                builder.enqueue(i, keys);
+            }
+            let table = Arc::new(builder.freeze(work.slots.len()));
+            work.round_total.store(members.len(), Ordering::Release);
+            work.completed.store(0, Ordering::Release);
+            work.failed.lock().clear();
+            *work.lock_table.write() = Some(table);
+            mark("build");
+            self.shared.barrier.wait(); // (2) lock table published
+
+            // Phase 3: workers execute; the queuer waits.
+            self.shared.barrier.wait(); // (3) update phase done
+            mark("update");
+
+            // Phase 4: failed handling.
+            let mut failed = std::mem::take(&mut *work.failed.lock());
+            failed.sort_unstable();
+            outcome.aborts += failed.len();
+            for &i in &failed {
+                let slot = &work.slots[i as usize];
+                slot.first_fail_ns
+                    .compare_exchange(0, work.now_ns().max(1), Ordering::AcqRel, Ordering::Acquire)
+                    .ok();
+            }
+
+            let fall_back_to_serial = outcome.rounds >= self.config.max_rounds;
+            if failed.is_empty() {
+                work.action.store(ACTION_DONE, Ordering::Release);
+            } else {
+                match self.config.failed {
+                    FailedPolicy::SingleThread => {
+                        run_guarded(&work, || self.reexecute_serially(&work, &failed));
+                        work.action.store(ACTION_DONE, Ordering::Release);
+                    }
+                    FailedPolicy::Reenqueue if !fall_back_to_serial => {
+                        // Deterministic re-prepare against the live state.
+                        work.prepare_live.store(true, Ordering::Release);
+                        for &i in &failed {
+                            *work.slots[i as usize].prediction.lock() = None;
+                            work.prepare_queue.push(i);
+                        }
+                        round_members = failed;
+                        work.action.store(ACTION_CONTINUE, Ordering::Release);
+                    }
+                    FailedPolicy::Reenqueue => {
+                        run_guarded(&work, || self.reexecute_serially(&work, &failed));
+                        work.action.store(ACTION_DONE, Ordering::Release);
+                    }
+                    FailedPolicy::NextBatch => {
+                        for &i in &failed {
+                            outcome.carried_over.push(work.slots[i as usize].req.clone());
+                        }
+                        work.action.store(ACTION_DONE, Ordering::Release);
+                    }
+                }
+            }
+            if work.fatal.load(Ordering::Acquire) {
+                work.action.store(ACTION_DONE, Ordering::Release);
+            }
+            self.shared.barrier.wait(); // (4) action published
+            mark("failed-handling");
+            first_round = false;
+            if work.action.load(Ordering::Acquire) == ACTION_DONE {
+                break;
+            }
+        }
+
+        // Retire the batch.
+        *self.shared.work.write() = None;
+        if work.fatal.load(Ordering::Acquire) {
+            let msg = work.fatal_msg.lock().take().unwrap_or_default();
+            panic!("batch aborted by workload bug: {msg}");
+        }
+        self.store.advance_epoch();
+        if let Some(keep) = self.config.gc_keep_epochs {
+            debug_assert!(
+                keep > self.config.prepare_staleness,
+                "GC window must retain the preparation snapshots"
+            );
+            self.store.gc_before(self.store.current_epoch().saturating_sub(keep));
+        }
+
+        // --- Metrics --- (carried-over slots never set `finished_ns`)
+        for slot in &work.slots {
+            outcome.outputs.push(slot.output.lock().take());
+            let finished = slot.finished_ns.load(Ordering::Acquire);
+            if finished > 0 {
+                outcome.committed += 1;
+                outcome.latencies_ns.push(finished);
+                let first_fail = slot.first_fail_ns.load(Ordering::Acquire);
+                if first_fail > 0 {
+                    outcome.reexec_ns_total += finished.saturating_sub(first_fail);
+                    outcome.reexec_count += 1;
+                }
+            }
+        }
+        outcome.prepare_ns_total = work.prepare_ns.load(Ordering::Acquire);
+        outcome.prepare_count = work.prepare_count.load(Ordering::Acquire);
+        outcome.duration = batch_start.elapsed();
+        outcome
+    }
+
+    /// Classifies one request into a slot (instance-level: a DT program
+    /// whose chosen path needs no pivots is treated as an IT instance).
+    fn classify(&self, req: TxRequest) -> TxSlot {
+        let entry = self.catalog.entry(req.program);
+        let program = Arc::clone(entry.program());
+        let profile = entry.profile().cloned();
+        let mut prediction = None;
+        let mut table_scope = None;
+
+        let class = match self.config.granularity {
+            Granularity::Table => {
+                // NODO: everything is an independent transaction over
+                // table-granularity conflict classes.
+                let tables: std::collections::HashSet<_> = entry
+                    .read_tables()
+                    .iter()
+                    .chain(entry.write_tables())
+                    .copied()
+                    .collect();
+                table_scope = Some(AccessScope::Tables(tables));
+                TxClass::Independent
+            }
+            Granularity::Key => match self.config.prepare {
+                PrepareMode::Profile => match &profile {
+                    Some(p) if p.class() == TxClass::ReadOnly => TxClass::ReadOnly,
+                    Some(p) => match p.predict_direct(&req.inputs) {
+                        Ok(pred) => {
+                            prediction = Some(pred);
+                            TxClass::Independent
+                        }
+                        Err(PredictError::NeedsStore) => TxClass::Dependent,
+                        Err(PredictError::Eval(e)) => {
+                            panic!("profile/input mismatch for {}: {e}", program.name())
+                        }
+                    },
+                    // SE was capped: reconnaissance fallback.
+                    None if !entry.writes() => TxClass::ReadOnly,
+                    None => TxClass::Dependent,
+                },
+                PrepareMode::Reconnaissance => {
+                    if entry.writes() {
+                        TxClass::Dependent
+                    } else {
+                        TxClass::ReadOnly
+                    }
+                }
+            },
+        };
+        TxSlot {
+            req,
+            class,
+            program,
+            profile,
+            table_scope,
+            prediction: Mutex::new(prediction),
+            output: Mutex::new(None),
+            finished_ns: AtomicU64::new(0),
+            first_fail_ns: AtomicU64::new(0),
+            aborts: AtomicU32::new(0),
+        }
+    }
+
+    /// The keys to enqueue in the lock table for a slot.
+    fn lock_keys(&self, slot: &TxSlot) -> Vec<Key> {
+        match &slot.table_scope {
+            Some(AccessScope::Tables(tables)) => {
+                let mut keys: Vec<Key> =
+                    tables.iter().map(|t| Key::new(*t, Vec::new())).collect();
+                keys.sort();
+                keys
+            }
+            _ => slot
+                .prediction
+                .lock()
+                .as_ref()
+                .expect("update transaction prepared before enqueue")
+                .key_set(),
+        }
+    }
+
+    /// `SF`: the queuer re-executes failed transactions sequentially in
+    /// client order. Single-threaded execution needs no locks, preparation
+    /// or validation — it simply runs the transaction logic against the
+    /// live state (paper §III-C: serial re-execution "would ensure that
+    /// these transactions would not fail again"), and is trivially
+    /// deterministic because the workers are idle at the barrier.
+    fn reexecute_serially(&self, work: &BatchWork, failed: &[TxIdx]) {
+        let interp = prognosticator_txir::Interpreter::new().without_input_validation();
+        for &i in failed {
+            let slot = &work.slots[i as usize];
+            let mut view = self.store.live();
+            match interp.run(&slot.program, &slot.req.inputs, &mut view) {
+                Ok(_) => slot.finished_ns.store(work.now_ns().max(1), Ordering::Release),
+                Err(e) => panic!("workload bug in {}: {e}", slot.program.name()),
+            }
+        }
+    }
+
+    /// Stops the worker pool. Also invoked on drop.
+    pub fn shutdown(&mut self) {
+        if self.handles.is_empty() {
+            return;
+        }
+        self.shared.shutdown.store(true, Ordering::Release);
+        {
+            let _g = self.shared.generation.lock();
+            self.shared.wake.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Prepares slot `i`: fills its [`Prediction`] from the configured source.
+/// Runs on the queuer and (in `MQ` mode) on idle workers.
+fn prepare_slot(work: &BatchWork, i: TxIdx, store: &EpochStore) {
+    if work.prepare_live.load(Ordering::Acquire) {
+        prepare_slot_live(work, i, store);
+    } else {
+        prepare_slot_at(work, i, store, SnapshotKind::Epoch(work.prepare_epoch));
+    }
+}
+
+fn prepare_slot_live(work: &BatchWork, i: TxIdx, store: &EpochStore) {
+    prepare_slot_at(work, i, store, SnapshotKind::Live);
+}
+
+#[derive(Clone, Copy)]
+enum SnapshotKind {
+    Epoch(u64),
+    Live,
+}
+
+fn prepare_slot_at(work: &BatchWork, i: TxIdx, store: &EpochStore, snap: SnapshotKind) {
+    let t0 = Instant::now();
+    let slot = &work.slots[i as usize];
+    let prediction = match work.prepare_mode {
+        PrepareMode::Profile => {
+            let profile = slot
+                .profile
+                .as_ref()
+                .filter(|p| p.class() != TxClass::ReadOnly)
+                .cloned();
+            match profile {
+                Some(profile) => {
+                    let mut resolver = |k: &Key| -> Value {
+                        let v = match snap {
+                            SnapshotKind::Epoch(e) => store.get_at(k, e),
+                            SnapshotKind::Live => store.get_latest(k),
+                        };
+                        v.unwrap_or(Value::Unit)
+                    };
+                    profile
+                        .predict(&slot.req.inputs, Some(&mut resolver))
+                        .expect("profile prediction with resolver cannot need more")
+                }
+                // SE-capped program: full reconnaissance.
+                None => reconnoiter_with(store, slot, snap),
+            }
+        }
+        PrepareMode::Reconnaissance => reconnoiter_with(store, slot, snap),
+    };
+    *slot.prediction.lock() = Some(prediction);
+    work.prepare_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    work.prepare_count.fetch_add(1, Ordering::Relaxed);
+}
+
+fn reconnoiter_with(store: &EpochStore, slot: &TxSlot, snap: SnapshotKind) -> Prediction {
+    let epoch = match snap {
+        SnapshotKind::Epoch(e) => e,
+        // "Live" reconnaissance reads through the latest state; since the
+        // engine only re-prepares while workers are idle, reading latest
+        // versions via a very-future epoch is equivalent and keeps the
+        // snapshot interface.
+        SnapshotKind::Live => u64::MAX,
+    };
+    match reconnoiter(store, &slot.program, &slot.req.inputs, epoch) {
+        Ok(p) => p,
+        Err(TxFailure::Eval(e)) => panic!("workload bug in {}: {e}", slot.program.name()),
+        Err(_) => unreachable!("reconnoiter only fails with Eval"),
+    }
+}
+
+/// The worker thread body.
+fn worker_loop(worker_id: usize, shared: &Shared, store: &EpochStore) {
+    let mut last_generation = 0u64;
+    loop {
+        // Wait for a new batch (or shutdown).
+        {
+            let mut generation = shared.generation.lock();
+            while *generation == last_generation && !shared.shutdown.load(Ordering::Acquire) {
+                shared.wake.wait(&mut generation);
+            }
+            if shared.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            last_generation = *generation;
+        }
+        let work = match shared.work.read().clone() {
+            Some(w) => w,
+            None => continue,
+        };
+
+        loop {
+            // Phase 1: ROTs (non-empty only in round 1), then help prepare.
+            run_guarded(&work, || {
+                while let Some(i) = work.rot_queues[worker_id].pop() {
+                    let slot = &work.slots[i as usize];
+                    match execute_read_only(
+                        store,
+                        &slot.program,
+                        &slot.req.inputs,
+                        work.snapshot_epoch,
+                    ) {
+                        Ok(emitted) => {
+                            *slot.output.lock() = Some(emitted);
+                            slot.finished_ns.store(work.now_ns().max(1), Ordering::Release);
+                        }
+                        Err(TxFailure::Eval(e)) => {
+                            panic!("workload bug in {}: {e}", slot.program.name())
+                        }
+                        Err(_) => unreachable!("ROTs cannot fail validation"),
+                    }
+                }
+                if work.parallel_prepare {
+                    while let Some(i) = work.prepare_queue.pop() {
+                        prepare_slot(&work, i, store);
+                    }
+                }
+            });
+            shared.barrier.wait(); // (1)
+            shared.barrier.wait(); // (2) lock table ready
+            let table = work
+                .lock_table
+                .read()
+                .clone()
+                .expect("lock table published before phase 3");
+
+            // Phase 3: update transactions. Idle workers spin hot: the
+            // phase lasts at most a batch interval and parked threads pay
+            // wake-up latency on every lock-chain handoff, which would
+            // serialize contended batches (workers ≤ cores by config).
+            run_guarded(&work, || {
+                let backoff = Backoff::new();
+                loop {
+                    let total = work.round_total.load(Ordering::Acquire);
+                    if work.completed.load(Ordering::Acquire) >= total
+                        || work.fatal.load(Ordering::Acquire)
+                    {
+                        break;
+                    }
+                    match table.pop_ready() {
+                        Some(i) => {
+                            backoff.reset();
+                            execute_update_slot(&work, i, store);
+                            table.release(i);
+                            work.completed.fetch_add(1, Ordering::AcqRel);
+                        }
+                        None => {
+                            backoff.spin();
+                        }
+                    }
+                }
+            });
+            shared.barrier.wait(); // (3)
+            shared.barrier.wait(); // (4) action published
+            if work.action.load(Ordering::Acquire) == ACTION_DONE {
+                break;
+            }
+        }
+    }
+}
+
+/// Executes update slot `i`, recording success or pushing it to the failed
+/// list.
+fn execute_update_slot(work: &BatchWork, i: TxIdx, store: &EpochStore) {
+    let slot = &work.slots[i as usize];
+    let result = match &slot.table_scope {
+        Some(scope) => {
+            // NODO: table locks, direct scoped execution, no validation.
+            execute_scoped(store, &slot.program, &slot.req.inputs, scope)
+        }
+        None => {
+            let prediction = slot.prediction.lock().clone().expect("prepared");
+            match work.prepare_mode {
+                PrepareMode::Profile if slot.profile.is_some() => {
+                    execute_update(store, &slot.program, &slot.req.inputs, &prediction)
+                }
+                _ => {
+                    // Reconnaissance-prepared (also the SE-capped
+                    // fallback): the commit check is key-set containment,
+                    // not pivot validation.
+                    execute_reconnoitered(store, &slot.program, &slot.req.inputs, &prediction)
+                }
+            }
+        }
+    };
+    match result {
+        Ok(()) => {
+            slot.finished_ns.store(work.now_ns().max(1), Ordering::Release);
+        }
+        Err(TxFailure::Eval(e)) => panic!("workload bug in {}: {e}", slot.program.name()),
+        Err(_) => {
+            slot.aborts.fetch_add(1, Ordering::Relaxed);
+            work.failed.lock().push(i);
+        }
+    }
+}

@@ -1,0 +1,425 @@
+//! Transaction execution against the store: buffered views, pivot
+//! validation, and deterministic violation detection.
+
+use prognosticator_storage::EpochStore;
+use prognosticator_symexec::Prediction;
+use prognosticator_txir::{EvalError, Interpreter, Key, Program, TableId, TxStore, Value};
+use std::collections::{HashMap, HashSet};
+
+/// The set of data a transaction is allowed to touch while holding its
+/// locks: key-granularity for Prognosticator/Calvin, table-granularity for
+/// the NODO baseline (paper §IV-B).
+#[derive(Debug, Clone)]
+pub enum AccessScope {
+    /// Exact keys (Prognosticator's key-level conflict detection).
+    Keys(HashSet<Key>),
+    /// Whole tables (NODO's table-level conflict classes).
+    Tables(HashSet<TableId>),
+}
+
+impl AccessScope {
+    /// Scope covering a prediction's key-set.
+    pub fn keys_of(prediction: &Prediction) -> Self {
+        AccessScope::Keys(prediction.key_set().into_iter().collect())
+    }
+
+    /// Whether `key` is inside the scope.
+    pub fn allows(&self, key: &Key) -> bool {
+        match self {
+            AccessScope::Keys(ks) => ks.contains(key),
+            AccessScope::Tables(ts) => ts.contains(&key.table),
+        }
+    }
+}
+
+/// Why a transaction execution failed and must be retried.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TxFailure {
+    /// A pivot's current value differs from the value observed during the
+    /// *prepare indirect keys* phase (the paper's DT validation).
+    PivotChanged {
+        /// The pivot key whose value changed.
+        key: Key,
+    },
+    /// Execution touched a key outside the predicted (locked) key-set —
+    /// the reconnaissance/OLLP mismatch case.
+    KeySetViolation,
+    /// The program itself failed to evaluate (a workload bug).
+    Eval(EvalError),
+}
+
+/// A write-buffered execution view.
+///
+/// Reads of keys inside the allowed (locked) set go to the latest store
+/// state; reads outside it **deterministically** return [`Value::Unit`] and
+/// flag a violation — never a racy value, so the abort decision is
+/// replica-deterministic. Writes are buffered and flushed only on commit.
+#[derive(Debug)]
+pub struct ExecView<'a> {
+    store: &'a EpochStore,
+    allowed: &'a AccessScope,
+    buffer: HashMap<Key, Value>,
+    violated: bool,
+}
+
+impl<'a> ExecView<'a> {
+    /// Creates a view allowing access to `allowed` (the locked scope).
+    pub fn new(store: &'a EpochStore, allowed: &'a AccessScope) -> Self {
+        ExecView { store, allowed, buffer: HashMap::new(), violated: false }
+    }
+
+    /// Whether any out-of-set access happened.
+    pub fn violated(&self) -> bool {
+        self.violated
+    }
+
+    /// Flushes buffered writes to the store (call only on commit).
+    pub fn commit(self) {
+        debug_assert!(!self.violated, "committing a violated execution");
+        for (k, v) in self.buffer {
+            self.store.put(&k, v);
+        }
+    }
+}
+
+impl TxStore for ExecView<'_> {
+    fn get(&mut self, key: &Key) -> Option<Value> {
+        if let Some(v) = self.buffer.get(key) {
+            return Some(v.clone());
+        }
+        if self.allowed.allows(key) {
+            self.store.get_latest(key)
+        } else {
+            self.violated = true;
+            None
+        }
+    }
+
+    fn put(&mut self, key: &Key, value: Value) {
+        if !self.allowed.allows(key) {
+            self.violated = true;
+        }
+        self.buffer.insert(key.clone(), value);
+    }
+}
+
+/// Validates a dependent transaction's pivots: every observed pivot value
+/// must still equal the current value (paper §III-C).
+///
+/// # Errors
+/// Returns [`TxFailure::PivotChanged`] naming the first stale pivot.
+pub fn validate_pivots(store: &EpochStore, prediction: &Prediction) -> Result<(), TxFailure> {
+    for (key, observed) in &prediction.pivot_observations {
+        let current = store.get_latest(key).unwrap_or(Value::Unit);
+        if &current != observed {
+            return Err(TxFailure::PivotChanged { key: key.clone() });
+        }
+    }
+    Ok(())
+}
+
+/// Executes an update transaction under its predicted key-set:
+/// validate pivots → run buffered → commit (or abort without side
+/// effects).
+///
+/// # Errors
+/// [`TxFailure`] on stale pivots, key-set violations, or workload bugs.
+pub fn execute_update(
+    store: &EpochStore,
+    program: &Program,
+    inputs: &[Value],
+    prediction: &Prediction,
+) -> Result<(), TxFailure> {
+    validate_pivots(store, prediction)?;
+    let allowed = AccessScope::keys_of(prediction);
+    let view = ExecView::new(store, &allowed);
+    execute_in_view(view, program, inputs)
+}
+
+/// Executes a read-only transaction against the batch snapshot (lock-less,
+/// paper §III-C). Returns the emitted values.
+///
+/// # Errors
+/// [`TxFailure::Eval`] on workload bugs (ROTs cannot otherwise fail).
+pub fn execute_read_only(
+    store: &EpochStore,
+    program: &Program,
+    inputs: &[Value],
+    snapshot_epoch: u64,
+) -> Result<Vec<Value>, TxFailure> {
+    let mut view = store.snapshot(snapshot_epoch);
+    let interp = Interpreter::new().without_input_validation();
+    match interp.run(program, inputs, &mut view) {
+        Ok(out) => Ok(out.emitted),
+        Err(e) => Err(TxFailure::Eval(e)),
+    }
+}
+
+/// Reconnaissance: pre-executes the transaction logic against a snapshot
+/// to discover its key-set (Calvin's OLLP and the `*-R` ablation variants,
+/// §IV-C). Returns a [`Prediction`] whose pivot observations cover *all*
+/// keys read, since without symbolic execution there is no way to know
+/// which reads pivot the key-set.
+///
+/// # Errors
+/// [`TxFailure::Eval`] on workload bugs.
+pub fn reconnoiter(
+    store: &EpochStore,
+    program: &Program,
+    inputs: &[Value],
+    snapshot_epoch: u64,
+) -> Result<Prediction, TxFailure> {
+    // Reads come from the snapshot; writes are buffered locally (with
+    // read-your-writes) and discarded — reconnaissance must not mutate.
+    struct ReconView<'a> {
+        store: &'a EpochStore,
+        epoch: u64,
+        buffer: HashMap<Key, Value>,
+    }
+    impl TxStore for ReconView<'_> {
+        fn get(&mut self, key: &Key) -> Option<Value> {
+            if let Some(v) = self.buffer.get(key) {
+                return Some(v.clone());
+            }
+            self.store.get_at(key, self.epoch)
+        }
+        fn put(&mut self, key: &Key, value: Value) {
+            self.buffer.insert(key.clone(), value);
+        }
+    }
+    let mut view = ReconView { store, epoch: snapshot_epoch, buffer: HashMap::new() };
+    let interp = Interpreter::new().without_input_validation();
+    let outcome = interp.run(program, inputs, &mut view).map_err(TxFailure::Eval)?;
+    let mut prediction = Prediction::default();
+    for k in &outcome.trace.reads {
+        if !prediction.reads.contains(k) {
+            prediction.reads.push(k.clone());
+        }
+    }
+    for k in &outcome.trace.writes {
+        if !prediction.writes.contains(k) {
+            prediction.writes.push(k.clone());
+        }
+    }
+    Ok(prediction)
+}
+
+/// Executes a reconnaissance-predicted transaction: run buffered under the
+/// predicted key-set and commit only if no out-of-set access occurred
+/// (the OLLP re-check).
+///
+/// # Errors
+/// [`TxFailure::KeySetViolation`] when the state diverged enough that the
+/// transaction needs keys it did not lock; [`TxFailure::Eval`] on bugs.
+pub fn execute_reconnoitered(
+    store: &EpochStore,
+    program: &Program,
+    inputs: &[Value],
+    prediction: &Prediction,
+) -> Result<(), TxFailure> {
+    let allowed = AccessScope::keys_of(prediction);
+    let view = ExecView::new(store, &allowed);
+    execute_in_view(view, program, inputs)
+}
+
+/// Executes a transaction inside an arbitrary [`AccessScope`] (used by the
+/// NODO baseline with table scopes).
+///
+/// # Errors
+/// [`TxFailure::KeySetViolation`] on out-of-scope access,
+/// [`TxFailure::Eval`] on workload bugs.
+pub fn execute_scoped(
+    store: &EpochStore,
+    program: &Program,
+    inputs: &[Value],
+    scope: &AccessScope,
+) -> Result<(), TxFailure> {
+    let view = ExecView::new(store, scope);
+    execute_in_view(view, program, inputs)
+}
+
+fn execute_in_view(
+    mut view: ExecView<'_>,
+    program: &Program,
+    inputs: &[Value],
+) -> Result<(), TxFailure> {
+    let interp = Interpreter::new().without_input_validation();
+    match interp.run(program, inputs, &mut view) {
+        Ok(_) => {
+            if view.violated() {
+                return Err(TxFailure::KeySetViolation);
+            }
+            view.commit();
+            Ok(())
+        }
+        // An evaluation error after an out-of-scope access is the
+        // violation itself: the view deterministically injected `Unit`
+        // for the foreign read, and the program choked on it. Only a
+        // clean-scope evaluation error is a genuine workload bug.
+        Err(_) if view.violated() => Err(TxFailure::KeySetViolation),
+        Err(e) => Err(TxFailure::Eval(e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prognosticator_txir::{Expr, InputBound, ProgramBuilder, TableId};
+
+    fn k(i: i64) -> Key {
+        Key::of_ints(TableId(0), &[i])
+    }
+
+    fn k1(i: i64) -> Key {
+        Key::of_ints(TableId(1), &[i])
+    }
+
+    /// v = GET(t0(id)); PUT(t1(v), 1)  — dependent transaction.
+    fn dep_program() -> prognosticator_txir::Program {
+        let mut b = ProgramBuilder::new("dep");
+        let t = b.table("t0");
+        let u = b.table("t1");
+        let id = b.input("id", InputBound::int(0, 99));
+        let v = b.var("v");
+        b.get(v, Expr::key(t, vec![Expr::input(id)]));
+        b.put(Expr::key(u, vec![Expr::var(v)]), Expr::lit(1));
+        b.build()
+    }
+
+    #[test]
+    fn exec_view_buffers_and_commits() {
+        let store = EpochStore::new();
+        store.populate(vec![(k(1), Value::Int(10))]);
+        let allowed = AccessScope::Keys([k(1)].into_iter().collect());
+        let mut view = ExecView::new(&store, &allowed);
+        assert_eq!(view.get(&k(1)), Some(Value::Int(10)));
+        view.put(&k(1), Value::Int(11));
+        // Not visible in the store until commit.
+        assert_eq!(store.get_latest(&k(1)), Some(Value::Int(10)));
+        // Read-your-writes inside the view.
+        assert_eq!(view.get(&k(1)), Some(Value::Int(11)));
+        assert!(!view.violated());
+        view.commit();
+        assert_eq!(store.get_latest(&k(1)), Some(Value::Int(11)));
+    }
+
+    #[test]
+    fn out_of_set_read_is_deterministic_unit() {
+        let store = EpochStore::new();
+        store.populate(vec![(k(2), Value::Int(7))]);
+        let allowed = AccessScope::Keys([k(1)].into_iter().collect());
+        let mut view = ExecView::new(&store, &allowed);
+        // k(2) exists but is outside the allowed set: Unit, flagged.
+        assert_eq!(view.get(&k(2)), None);
+        assert!(view.violated());
+    }
+
+    #[test]
+    fn out_of_set_write_flags_violation() {
+        let store = EpochStore::new();
+        let allowed = AccessScope::Keys(HashSet::new());
+        let mut view = ExecView::new(&store, &allowed);
+        view.put(&k(3), Value::Int(1));
+        assert!(view.violated());
+        // Abort path: dropping the view writes nothing.
+        drop(view);
+        assert_eq!(store.get_latest(&k(3)), None);
+    }
+
+    #[test]
+    fn pivot_validation_detects_change() {
+        let store = EpochStore::new();
+        store.populate(vec![(k(1), Value::Int(5))]);
+        let pred = Prediction {
+            reads: vec![k(1)],
+            writes: vec![],
+            pivot_observations: vec![(k(1), Value::Int(5))],
+        };
+        assert!(validate_pivots(&store, &pred).is_ok());
+        store.put(&k(1), Value::Int(6));
+        assert_eq!(
+            validate_pivots(&store, &pred),
+            Err(TxFailure::PivotChanged { key: k(1) })
+        );
+    }
+
+    #[test]
+    fn execute_update_aborts_cleanly_on_stale_pivot() {
+        let store = EpochStore::new();
+        store.populate(vec![(k(1), Value::Int(5))]);
+        let program = dep_program();
+        // Prediction made when pivot was 5 → writes t1(5).
+        let pred = Prediction {
+            reads: vec![k(1)],
+            writes: vec![k1(5)],
+            pivot_observations: vec![(k(1), Value::Int(5))],
+        };
+        // Pivot changes before execution.
+        store.put(&k(1), Value::Int(9));
+        let err = execute_update(&store, &program, &[Value::Int(1)], &pred).unwrap_err();
+        assert!(matches!(err, TxFailure::PivotChanged { .. }));
+        // Nothing was written.
+        assert_eq!(store.get_latest(&k1(5)), None);
+        assert_eq!(store.get_latest(&k1(9)), None);
+    }
+
+    #[test]
+    fn execute_update_commits_on_valid_pivot() {
+        let store = EpochStore::new();
+        store.populate(vec![(k(1), Value::Int(5))]);
+        let program = dep_program();
+        let pred = Prediction {
+            reads: vec![k(1)],
+            writes: vec![k1(5)],
+            pivot_observations: vec![(k(1), Value::Int(5))],
+        };
+        execute_update(&store, &program, &[Value::Int(1)], &pred).unwrap();
+        assert_eq!(store.get_latest(&k1(5)), Some(Value::Int(1)));
+    }
+
+    #[test]
+    fn read_only_reads_snapshot() {
+        let store = EpochStore::new();
+        store.populate(vec![(k(1), Value::Int(5))]);
+        let mut b = ProgramBuilder::new("rot");
+        let t = b.table("t0");
+        let v = b.var("v");
+        b.get(v, Expr::key(t, vec![Expr::lit(1)]));
+        b.emit(Expr::var(v));
+        let program = b.build();
+        // Uncommitted write in the current batch is invisible to the ROT.
+        store.put(&k(1), Value::Int(99));
+        let out =
+            execute_read_only(&store, &program, &[], store.snapshot_epoch()).unwrap();
+        assert_eq!(out, vec![Value::Int(5)]);
+    }
+
+    #[test]
+    fn reconnaissance_roundtrip() {
+        let store = EpochStore::new();
+        store.populate(vec![(k(1), Value::Int(5))]);
+        let program = dep_program();
+        let pred =
+            reconnoiter(&store, &program, &[Value::Int(1)], store.snapshot_epoch()).unwrap();
+        assert_eq!(pred.reads, vec![k(1)]);
+        assert_eq!(pred.writes, vec![k1(5)]);
+        // Execution with a matching state commits.
+        execute_reconnoitered(&store, &program, &[Value::Int(1)], &pred).unwrap();
+        assert_eq!(store.get_latest(&k1(5)), Some(Value::Int(1)));
+    }
+
+    #[test]
+    fn reconnaissance_detects_divergence() {
+        let store = EpochStore::new();
+        store.populate(vec![(k(1), Value::Int(5))]);
+        let program = dep_program();
+        let pred =
+            reconnoiter(&store, &program, &[Value::Int(1)], store.snapshot_epoch()).unwrap();
+        // State changes: the transaction now needs t1(9), not locked.
+        store.put(&k(1), Value::Int(9));
+        let err =
+            execute_reconnoitered(&store, &program, &[Value::Int(1)], &pred).unwrap_err();
+        assert_eq!(err, TxFailure::KeySetViolation);
+        assert_eq!(store.get_latest(&k1(9)), None, "abort left no writes");
+    }
+}

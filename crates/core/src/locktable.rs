@@ -1,0 +1,257 @@
+//! The lock table: per-key FIFO queues driving deterministic scheduling.
+//!
+//! The paper's `lock table` (§III-C, Fig. 2) is a set of queues, one per
+//! key. The single queuer thread enqueues every update transaction into the
+//! queues of all keys in its key-set, in the agreed order; a transaction at
+//! the head of *all* its queues conflicts with no running transaction and
+//! is safe to execute. Workers pop such transactions from a `ready queue`,
+//! execute them, and on completion advance the queues — decrementing the
+//! successor's `total locks` counter and publishing newly-ready
+//! transactions — using only atomics (there is no logical contention
+//! between workers and the queuer: the queue vectors are frozen once the
+//! batch is built).
+
+use crossbeam::queue::SegQueue;
+use prognosticator_txir::Key;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+
+/// Index of a transaction within the current scheduling round.
+pub type TxIdx = u32;
+
+/// Build-phase lock table: single-threaded, mutable.
+#[derive(Debug, Default)]
+pub struct LockTableBuilder {
+    queues: HashMap<Key, Vec<TxIdx>>,
+    keysets: Vec<(TxIdx, Vec<Key>)>,
+}
+
+impl LockTableBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueues `tx` into the queue of every key in `keys`, in the agreed
+    /// order. `keys` must be duplicate-free (use
+    /// `Prediction::key_set`).
+    pub fn enqueue(&mut self, tx: TxIdx, keys: Vec<Key>) {
+        debug_assert!(
+            keys.iter().collect::<std::collections::HashSet<_>>().len() == keys.len(),
+            "key-set must be duplicate-free"
+        );
+        for k in &keys {
+            self.queues.entry(k.clone()).or_default().push(tx);
+        }
+        self.keysets.push((tx, keys));
+    }
+
+    /// Freezes the table for concurrent execution and computes the
+    /// initially-ready transactions.
+    pub fn freeze(self, max_tx: usize) -> LockTable {
+        let mut remaining: Vec<AtomicU32> = Vec::with_capacity(max_tx);
+        for _ in 0..max_tx {
+            remaining.push(AtomicU32::new(0));
+        }
+        let mut keysets: Vec<Vec<Key>> = (0..max_tx).map(|_| Vec::new()).collect();
+        let mut enqueued: Vec<bool> = vec![false; max_tx];
+        for (tx, keys) in self.keysets {
+            remaining[tx as usize].store(keys.len() as u32, Ordering::Relaxed);
+            keysets[tx as usize] = keys;
+            enqueued[tx as usize] = true;
+        }
+        let queues: HashMap<Key, FrozenQueue> = self
+            .queues
+            .into_iter()
+            .map(|(k, txs)| (k, FrozenQueue { txs, cursor: AtomicUsize::new(0) }))
+            .collect();
+        let ready = SegQueue::new();
+        // Transactions at the head of all their queues are ready. (A
+        // transaction with an empty key-set is trivially ready.)
+        for (k, q) in &queues {
+            let _ = k;
+            if let Some(&head) = q.txs.first() {
+                if remaining[head as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
+                    ready.push(head);
+                }
+            }
+        }
+        for (tx, was_enqueued) in enqueued.iter().enumerate() {
+            if *was_enqueued && keysets[tx].is_empty() {
+                ready.push(tx as TxIdx);
+            }
+        }
+        LockTable { queues, remaining, keysets, ready }
+    }
+}
+
+#[derive(Debug)]
+struct FrozenQueue {
+    txs: Vec<TxIdx>,
+    /// Index of the current head within `txs`.
+    cursor: AtomicUsize,
+}
+
+/// Frozen lock table: shared read-only structure plus atomic cursors.
+#[derive(Debug)]
+pub struct LockTable {
+    queues: HashMap<Key, FrozenQueue>,
+    /// Per-transaction count of queues it is not yet at the head of (the
+    /// paper's `total locks`).
+    remaining: Vec<AtomicU32>,
+    keysets: Vec<Vec<Key>>,
+    ready: SegQueue<TxIdx>,
+}
+
+impl LockTable {
+    /// Pops a ready transaction, if any. Ready transactions are mutually
+    /// non-conflicting and safe to execute concurrently.
+    pub fn pop_ready(&self) -> Option<TxIdx> {
+        self.ready.pop()
+    }
+
+    /// Releases `tx`'s locks after it committed **or aborted**: advances
+    /// each of its queues and publishes any successor that became ready.
+    ///
+    /// # Panics
+    /// Panics (debug) if `tx` is not at the head of one of its queues —
+    /// that would be a scheduling bug.
+    pub fn release(&self, tx: TxIdx) {
+        for key in &self.keysets[tx as usize] {
+            let q = self.queues.get(key).expect("key was enqueued");
+            let cur = q.cursor.load(Ordering::Acquire);
+            debug_assert_eq!(q.txs.get(cur), Some(&tx), "release out of order");
+            let next = cur + 1;
+            q.cursor.store(next, Ordering::Release);
+            if let Some(&succ) = q.txs.get(next) {
+                if self.remaining[succ as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
+                    self.ready.push(succ);
+                }
+            }
+        }
+    }
+
+    /// The key-set `tx` was enqueued with.
+    pub fn key_set(&self, tx: TxIdx) -> &[Key] {
+        &self.keysets[tx as usize]
+    }
+
+    /// Number of distinct keys with queues.
+    pub fn key_count(&self) -> usize {
+        self.queues.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prognosticator_txir::TableId;
+
+    fn k(i: i64) -> Key {
+        Key::of_ints(TableId(0), &[i])
+    }
+
+    fn drain_ready(t: &LockTable) -> Vec<TxIdx> {
+        let mut out = Vec::new();
+        while let Some(x) = t.pop_ready() {
+            out.push(x);
+        }
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn disjoint_txs_all_ready() {
+        let mut b = LockTableBuilder::new();
+        b.enqueue(0, vec![k(1), k(2)]);
+        b.enqueue(1, vec![k(3)]);
+        b.enqueue(2, vec![k(4), k(5)]);
+        let t = b.freeze(3);
+        assert_eq!(drain_ready(&t), vec![0, 1, 2]);
+        assert_eq!(t.key_count(), 5);
+    }
+
+    #[test]
+    fn conflicting_txs_serialize_in_order() {
+        // The paper's Fig. 2 shape: tx0 and tx1 disjoint, tx2 behind both.
+        let mut b = LockTableBuilder::new();
+        b.enqueue(0, vec![k(1), k(2)]);
+        b.enqueue(1, vec![k(3)]);
+        b.enqueue(2, vec![k(2), k(3)]);
+        let t = b.freeze(3);
+        assert_eq!(drain_ready(&t), vec![0, 1]);
+        t.release(0);
+        assert_eq!(drain_ready(&t), vec![], "tx2 still waits on k3");
+        t.release(1);
+        assert_eq!(drain_ready(&t), vec![2]);
+        t.release(2);
+        assert_eq!(drain_ready(&t), vec![]);
+    }
+
+    #[test]
+    fn chain_of_conflicts_preserves_order() {
+        let mut b = LockTableBuilder::new();
+        for i in 0..5 {
+            b.enqueue(i, vec![k(9)]);
+        }
+        let t = b.freeze(5);
+        for expect in 0..5 {
+            let ready = drain_ready(&t);
+            assert_eq!(ready, vec![expect]);
+            t.release(expect);
+        }
+    }
+
+    #[test]
+    fn empty_keyset_is_trivially_ready() {
+        let mut b = LockTableBuilder::new();
+        b.enqueue(0, vec![]);
+        b.enqueue(1, vec![k(1)]);
+        let t = b.freeze(2);
+        assert_eq!(drain_ready(&t), vec![0, 1]);
+    }
+
+    #[test]
+    fn release_after_abort_unblocks_successors() {
+        let mut b = LockTableBuilder::new();
+        b.enqueue(0, vec![k(1)]);
+        b.enqueue(1, vec![k(1)]);
+        let t = b.freeze(2);
+        assert_eq!(drain_ready(&t), vec![0]);
+        // tx0 aborts — release still advances the queue.
+        t.release(0);
+        assert_eq!(drain_ready(&t), vec![1]);
+    }
+
+    #[test]
+    fn concurrent_release_is_safe() {
+        use std::sync::Arc;
+        // 64 disjoint chains of 2; release the heads from 8 threads.
+        let mut b = LockTableBuilder::new();
+        for i in 0..64u32 {
+            b.enqueue(i, vec![k(i64::from(i))]);
+            b.enqueue(64 + i, vec![k(i64::from(i))]);
+        }
+        let t = Arc::new(b.freeze(128));
+        let heads: Vec<TxIdx> = (0..64).collect();
+        let mut handles = Vec::new();
+        for chunk in heads.chunks(8) {
+            let t = Arc::clone(&t);
+            let chunk = chunk.to_vec();
+            handles.push(std::thread::spawn(move || {
+                for tx in chunk {
+                    t.release(tx);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("release thread");
+        }
+        let mut ready = Vec::new();
+        while let Some(x) = t.pop_ready() {
+            ready.push(x);
+        }
+        // First 64 were ready at freeze; after releases the other 64 are.
+        assert_eq!(ready.len(), 128);
+    }
+}

@@ -1,0 +1,69 @@
+//! A replica: store + engine + carried-over transaction handling.
+
+use crate::catalog::{Catalog, TxRequest};
+use crate::engine::{BatchOutcome, Engine, SchedulerConfig};
+use prognosticator_storage::EpochStore;
+use std::sync::Arc;
+
+/// A full replica of the deterministic database: its own store and engine.
+///
+/// Feeding the same sequence of batches to any number of replicas must
+/// leave them with identical [`Replica::state_digest`]s — the correctness
+/// property of deterministic databases, exercised heavily by the
+/// integration tests.
+#[derive(Debug)]
+pub struct Replica {
+    store: Arc<EpochStore>,
+    engine: Engine,
+    /// Transactions handed back by the engine (Calvin's failed DTs),
+    /// queued for the next batch.
+    carry_over: Vec<TxRequest>,
+}
+
+impl Replica {
+    /// Creates a replica with a fresh store.
+    pub fn new(config: SchedulerConfig, catalog: Arc<Catalog>) -> Self {
+        Self::with_store(config, catalog, Arc::new(EpochStore::new()))
+    }
+
+    /// Creates a replica over an existing (pre-populated) store.
+    pub fn with_store(
+        config: SchedulerConfig,
+        catalog: Arc<Catalog>,
+        store: Arc<EpochStore>,
+    ) -> Self {
+        let engine = Engine::new(config, catalog, Arc::clone(&store));
+        Replica { store, engine, carry_over: Vec::new() }
+    }
+
+    /// The replica's store.
+    pub fn store(&self) -> &Arc<EpochStore> {
+        &self.store
+    }
+
+    /// Executes the next ordered batch. Carried-over transactions from the
+    /// previous batch are prepended (they arrived first), exactly like a
+    /// Calvin client re-submitting failed transactions.
+    pub fn execute_batch(&mut self, batch: Vec<TxRequest>) -> BatchOutcome {
+        let mut full = std::mem::take(&mut self.carry_over);
+        full.extend(batch);
+        let outcome = self.engine.execute_batch(full);
+        self.carry_over = outcome.carried_over.clone();
+        outcome
+    }
+
+    /// Transactions still waiting to be retried.
+    pub fn pending_carry_over(&self) -> usize {
+        self.carry_over.len()
+    }
+
+    /// Deterministic digest of the replica state.
+    pub fn state_digest(&self) -> u64 {
+        self.store.state_digest()
+    }
+
+    /// Stops the engine's worker pool.
+    pub fn shutdown(&mut self) {
+        self.engine.shutdown();
+    }
+}

@@ -1,0 +1,405 @@
+//! Behavioural integration tests of the deterministic engine: replica
+//! equivalence, dependent-transaction abort/retry, Calvin carry-over,
+//! NODO table scheduling, and read-only snapshot isolation.
+
+use prognosticator_core::{baselines, Catalog, ProgId, Replica, SchedulerConfig, TxRequest};
+use prognosticator_core::baselines::SeqEngine;
+use prognosticator_storage::EpochStore;
+use prognosticator_txir::{Expr, InputBound, Key, ProgramBuilder, TableId, Value};
+use std::sync::Arc;
+
+/// Tables: 0 = counters, 1 = directory, 2 = data.
+struct Fixture {
+    catalog: Arc<Catalog>,
+    bump: ProgId,
+    redirect: ProgId,
+    follow: ProgId,
+    pivot_move: ProgId,
+    read_counter: ProgId,
+}
+
+const COUNTERS: TableId = TableId(0);
+const DIRECTORY: TableId = TableId(1);
+const DATA: TableId = TableId(2);
+
+fn fixture() -> Fixture {
+    let mut catalog = Catalog::new();
+
+    // bump(id): counters[id] += 1  — independent transaction.
+    let mut b = ProgramBuilder::new("bump");
+    let t = b.table("counters");
+    b.table("directory");
+    b.table("data");
+    let id = b.input("id", InputBound::int(0, 63));
+    let v = b.var("v");
+    b.get(v, Expr::key(t, vec![Expr::input(id)]));
+    b.put(Expr::key(t, vec![Expr::input(id)]), Expr::var(v).add(Expr::lit(1)));
+    let bump = catalog.register(b.build()).unwrap();
+
+    // redirect(id, target): directory[id] = target — independent.
+    let mut b = ProgramBuilder::new("redirect");
+    b.table("counters");
+    let dir = b.table("directory");
+    b.table("data");
+    let id = b.input("id", InputBound::int(0, 63));
+    let target = b.input("target", InputBound::int(0, 63));
+    b.put(Expr::key(dir, vec![Expr::input(id)]), Expr::input(target));
+    let redirect = catalog.register(b.build()).unwrap();
+
+    // follow(id): data[directory[id]] += 10 — dependent (pivot: directory).
+    let mut b = ProgramBuilder::new("follow");
+    b.table("counters");
+    let dir = b.table("directory");
+    let data = b.table("data");
+    let id = b.input("id", InputBound::int(0, 63));
+    let ptr = b.var("ptr");
+    let cur = b.var("cur");
+    b.get(ptr, Expr::key(dir, vec![Expr::input(id)]));
+    b.get(cur, Expr::key(data, vec![Expr::var(ptr)]));
+    b.put(Expr::key(data, vec![Expr::var(ptr)]), Expr::var(cur).add(Expr::lit(10)));
+    let follow = catalog.register(b.build()).unwrap();
+
+    // pivot_move(id, target): directory[directory[id]] = target —
+    // dependent (its *write key* is the pivot), so it can invalidate a
+    // later dependent transaction within the same batch.
+    let mut b = ProgramBuilder::new("pivot_move");
+    b.table("counters");
+    let dir = b.table("directory");
+    b.table("data");
+    let id = b.input("id", InputBound::int(0, 63));
+    let target = b.input("target", InputBound::int(0, 63));
+    let p = b.var("p");
+    b.get(p, Expr::key(dir, vec![Expr::input(id)]));
+    b.put(Expr::key(dir, vec![Expr::var(p)]), Expr::input(target));
+    let pivot_move = catalog.register(b.build()).unwrap();
+
+    // read_counter(id): emit counters[id] — read-only.
+    let mut b = ProgramBuilder::new("read_counter");
+    let t = b.table("counters");
+    b.table("directory");
+    b.table("data");
+    let id = b.input("id", InputBound::int(0, 63));
+    let v = b.var("v");
+    b.get(v, Expr::key(t, vec![Expr::input(id)]));
+    b.emit(Expr::var(v));
+    let read_counter = catalog.register(b.build()).unwrap();
+
+    Fixture { catalog: Arc::new(catalog), bump, redirect, follow, pivot_move, read_counter }
+}
+
+fn populate(store: &EpochStore) {
+    for i in 0..64i64 {
+        store.insert_initial(Key::of_ints(COUNTERS, &[i]), Value::Int(0));
+        store.insert_initial(Key::of_ints(DIRECTORY, &[i]), Value::Int(i));
+        store.insert_initial(Key::of_ints(DATA, &[i]), Value::Int(0));
+    }
+}
+
+fn replica(config: SchedulerConfig, fx: &Fixture) -> Replica {
+    let store = Arc::new(EpochStore::new());
+    populate(&store);
+    Replica::with_store(config, Arc::clone(&fx.catalog), store)
+}
+
+fn classes_are_as_expected(fx: &Fixture) {
+    use prognosticator_core::TxClass;
+    assert_eq!(fx.catalog.entry(fx.bump).class(), TxClass::Independent);
+    assert_eq!(fx.catalog.entry(fx.redirect).class(), TxClass::Independent);
+    assert_eq!(fx.catalog.entry(fx.follow).class(), TxClass::Dependent);
+    assert_eq!(fx.catalog.entry(fx.pivot_move).class(), TxClass::Dependent);
+    assert_eq!(fx.catalog.entry(fx.read_counter).class(), TxClass::ReadOnly);
+}
+
+fn mixed_batch(fx: &Fixture, seed: i64, size: usize) -> Vec<TxRequest> {
+    // Deterministic pseudo-random mix (LCG) so every replica gets the
+    // same batch without needing a shared RNG.
+    let mut state = seed;
+    let mut next = || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33).abs()
+    };
+    (0..size)
+        .map(|_| {
+            let id = next() % 64;
+            match next() % 4 {
+                0 => TxRequest::new(fx.bump, vec![Value::Int(id)]),
+                1 => TxRequest::new(fx.redirect, vec![Value::Int(id), Value::Int(next() % 64)]),
+                2 => TxRequest::new(fx.follow, vec![Value::Int(id)]),
+                _ => TxRequest::new(fx.read_counter, vec![Value::Int(id)]),
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn fixture_classes() {
+    classes_are_as_expected(&fixture());
+}
+
+#[test]
+fn replicas_converge_under_all_prognosticator_variants() {
+    let fx = fixture();
+    let configs = [
+        baselines::mq_mf(3),
+        baselines::mq_sf(3),
+        baselines::q1_mf(2),
+        baselines::q1_sf(2),
+        baselines::mq_mf_r(3),
+        baselines::mq_sf_r(2),
+        baselines::q1_mf_r(3),
+        baselines::q1_sf_r(2),
+    ];
+    for config in configs {
+        let label = format!("{config:?}");
+        let mut r1 = replica(config.clone(), &fx);
+        let mut r2 = replica(config, &fx);
+        for batch_no in 0..5 {
+            let batch = mixed_batch(&fx, batch_no, 40);
+            let o1 = r1.execute_batch(batch.clone());
+            let o2 = r2.execute_batch(batch);
+            assert_eq!(o1.committed, o2.committed, "commit divergence: {label}");
+            assert_eq!(o1.committed, 40, "lost transactions: {label}");
+            assert_eq!(
+                r1.state_digest(),
+                r2.state_digest(),
+                "replica state divergence after batch {batch_no}: {label}"
+            );
+        }
+        r1.shutdown();
+        r2.shutdown();
+    }
+}
+
+#[test]
+fn it_only_workload_matches_seq() {
+    // With only independent transactions, Prognosticator preserves client
+    // order exactly, so it must match the sequential baseline bit-for-bit.
+    let fx = fixture();
+    let mut prog = replica(baselines::mq_mf(4), &fx);
+    let seq_store = Arc::new(EpochStore::new());
+    populate(&seq_store);
+    let mut seq = SeqEngine::new(Arc::clone(&fx.catalog), Arc::clone(&seq_store));
+
+    let mut state = 7i64;
+    let mut next = || {
+        state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        (state >> 33).abs()
+    };
+    for _ in 0..5 {
+        let batch: Vec<TxRequest> = (0..50)
+            .map(|_| {
+                if next() % 2 == 0 {
+                    TxRequest::new(fx.bump, vec![Value::Int(next() % 64)])
+                } else {
+                    TxRequest::new(
+                        fx.redirect,
+                        vec![Value::Int(next() % 64), Value::Int(next() % 64)],
+                    )
+                }
+            })
+            .collect();
+        prog.execute_batch(batch.clone());
+        seq.execute_batch(batch);
+        assert_eq!(prog.state_digest(), seq_store.state_digest());
+    }
+    prog.shutdown();
+}
+
+#[test]
+fn nodo_matches_seq_on_any_workload() {
+    // NODO's table locks preserve client order for *all* transactions, so
+    // it is always SEQ-equivalent — even with dependent transactions.
+    let fx = fixture();
+    let mut nodo = replica(baselines::nodo(4), &fx);
+    let seq_store = Arc::new(EpochStore::new());
+    populate(&seq_store);
+    let mut seq = SeqEngine::new(Arc::clone(&fx.catalog), Arc::clone(&seq_store));
+    for batch_no in 0..5 {
+        let batch = mixed_batch(&fx, 100 + batch_no, 40);
+        let o = nodo.execute_batch(batch.clone());
+        assert_eq!(o.aborts, 0, "NODO transactions never abort");
+        seq.execute_batch(batch);
+        assert_eq!(nodo.state_digest(), seq_store.state_digest());
+    }
+    nodo.shutdown();
+}
+
+/// Forces a dependent transaction to fail. Both transactions are
+/// dependent (the engine deliberately enqueues DTs ahead of ITs, so an IT
+/// cannot invalidate a DT in the same batch): `pivot_move(1, 42)` writes
+/// `directory[directory[1]] = directory[1] = 42`, invalidating the pivot
+/// `follow(1)` observed during preparation.
+fn conflict_batch(fx: &Fixture) -> Vec<TxRequest> {
+    vec![
+        TxRequest::new(fx.pivot_move, vec![Value::Int(1), Value::Int(42)]),
+        TxRequest::new(fx.follow, vec![Value::Int(1)]),
+    ]
+}
+
+#[test]
+fn dependent_transaction_aborts_and_retries_mf() {
+    let fx = fixture();
+    let mut r = replica(baselines::mq_mf(2), &fx);
+    let outcome = r.execute_batch(conflict_batch(&fx));
+    assert_eq!(outcome.committed, 2);
+    assert!(outcome.aborts >= 1, "follow must fail validation once");
+    assert!(outcome.rounds >= 2, "MF re-enqueues into a new round");
+    assert_eq!(outcome.reexec_count, 1);
+    // follow re-prepared against the live state: directory[1] = 42 now.
+    assert_eq!(
+        r.store().get_latest(&Key::of_ints(DATA, &[42])),
+        Some(Value::Int(10)),
+        "retried transaction must follow the *new* pointer"
+    );
+    assert_eq!(r.store().get_latest(&Key::of_ints(DATA, &[1])), Some(Value::Int(0)));
+    r.shutdown();
+}
+
+#[test]
+fn dependent_transaction_aborts_and_retries_sf() {
+    let fx = fixture();
+    let mut r = replica(baselines::mq_sf(2), &fx);
+    let outcome = r.execute_batch(conflict_batch(&fx));
+    assert_eq!(outcome.committed, 2);
+    assert!(outcome.aborts >= 1);
+    assert_eq!(outcome.rounds, 1, "SF finishes within the round");
+    assert_eq!(
+        r.store().get_latest(&Key::of_ints(DATA, &[42])),
+        Some(Value::Int(10))
+    );
+    r.shutdown();
+}
+
+#[test]
+fn calvin_hands_failed_transactions_to_the_next_batch() {
+    let fx = fixture();
+    let mut r = replica(baselines::calvin(2, 0), &fx);
+    let outcome = r.execute_batch(conflict_batch(&fx));
+    assert_eq!(outcome.committed, 1, "only redirect commits in batch 1");
+    assert_eq!(outcome.carried_over.len(), 1);
+    assert_eq!(r.pending_carry_over(), 1);
+    // data untouched so far.
+    assert_eq!(r.store().get_latest(&Key::of_ints(DATA, &[42])), Some(Value::Int(0)));
+
+    // The retry rides the next batch and now sees the new pointer.
+    let outcome = r.execute_batch(vec![]);
+    assert_eq!(outcome.committed, 1);
+    assert_eq!(r.pending_carry_over(), 0);
+    assert_eq!(
+        r.store().get_latest(&Key::of_ints(DATA, &[42])),
+        Some(Value::Int(10))
+    );
+    r.shutdown();
+}
+
+#[test]
+fn calvin_staleness_increases_aborts() {
+    let fx = fixture();
+    // Build up history: the directory entry changes every batch, so a
+    // staleness-k prepare always observes an outdated pivot.
+    let mut fresh = replica(baselines::calvin(2, 0), &fx);
+    let mut stale = replica(baselines::calvin(2, 3), &fx);
+    let mut fresh_aborts = 0;
+    let mut stale_aborts = 0;
+    for batch_no in 0..10i64 {
+        let batch = vec![
+            TxRequest::new(fx.pivot_move, vec![Value::Int(1), Value::Int(batch_no % 64)]),
+            TxRequest::new(fx.follow, vec![Value::Int(1)]),
+        ];
+        fresh_aborts += fresh.execute_batch(batch.clone()).aborts;
+        stale_aborts += stale.execute_batch(batch).aborts;
+    }
+    assert!(
+        stale_aborts >= fresh_aborts,
+        "staler reconnaissance must not abort less (stale={stale_aborts}, fresh={fresh_aborts})"
+    );
+    assert!(stale_aborts > 0);
+    fresh.shutdown();
+    stale.shutdown();
+}
+
+#[test]
+fn read_only_transactions_see_previous_batch_snapshot() {
+    let fx = fixture();
+    let mut r = replica(baselines::mq_mf(2), &fx);
+    // Batch 1: bump counter 5 twice.
+    r.execute_batch(vec![
+        TxRequest::new(fx.bump, vec![Value::Int(5)]),
+        TxRequest::new(fx.bump, vec![Value::Int(5)]),
+    ]);
+    // Batch 2: a ROT and another bump in the same batch — the ROT must see
+    // the state after batch 1 (2), not the concurrent bump (3).
+    let outcome = r.execute_batch(vec![
+        TxRequest::new(fx.read_counter, vec![Value::Int(5)]),
+        TxRequest::new(fx.bump, vec![Value::Int(5)]),
+    ]);
+    assert_eq!(outcome.outputs[0], Some(vec![Value::Int(2)]));
+    assert_eq!(outcome.outputs[1], None);
+    assert_eq!(
+        r.store().get_latest(&Key::of_ints(COUNTERS, &[5])),
+        Some(Value::Int(3))
+    );
+    r.shutdown();
+}
+
+#[test]
+fn empty_and_rot_only_batches() {
+    let fx = fixture();
+    let mut r = replica(baselines::mq_mf(2), &fx);
+    let outcome = r.execute_batch(vec![]);
+    assert_eq!(outcome.committed, 0);
+    let outcome = r.execute_batch(vec![
+        TxRequest::new(fx.read_counter, vec![Value::Int(1)]),
+        TxRequest::new(fx.read_counter, vec![Value::Int(2)]),
+        TxRequest::new(fx.read_counter, vec![Value::Int(3)]),
+    ]);
+    assert_eq!(outcome.committed, 3);
+    assert_eq!(outcome.aborts, 0);
+    r.shutdown();
+}
+
+#[test]
+fn large_contended_batch_commits_everything() {
+    let fx = fixture();
+    let mut r1 = replica(baselines::mq_mf(4), &fx);
+    let mut r2 = replica(baselines::mq_sf(4), &fx);
+    // All 200 transactions fight over 4 hot ids.
+    let mut state = 99i64;
+    let mut next = || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (state >> 33).abs()
+    };
+    let batch: Vec<TxRequest> = (0..200)
+        .map(|_| {
+            let id = next() % 4;
+            match next() % 3 {
+                0 => TxRequest::new(fx.pivot_move, vec![Value::Int(id), Value::Int(next() % 4)]),
+                1 => TxRequest::new(fx.follow, vec![Value::Int(id)]),
+                _ => TxRequest::new(fx.bump, vec![Value::Int(id)]),
+            }
+        })
+        .collect();
+    let o1 = r1.execute_batch(batch.clone());
+    let o2 = r2.execute_batch(batch);
+    assert_eq!(o1.committed, 200);
+    assert_eq!(o2.committed, 200);
+    // MF and SF are both deterministic but need not agree with each other
+    // on the final state (they re-execute in different orders); each must
+    // be self-consistent though, which replicas_converge covers. Here we
+    // check both made progress under heavy conflicts.
+    assert!(o1.aborts > 0 || o2.aborts > 0, "hot keys should cause DT aborts");
+    r1.shutdown();
+    r2.shutdown();
+}
+
+#[test]
+fn latencies_and_prepare_metrics_populate() {
+    let fx = fixture();
+    let mut r = replica(baselines::mq_mf(2), &fx);
+    let outcome = r.execute_batch(mixed_batch(&fx, 5, 30));
+    assert_eq!(outcome.latencies_ns.len(), outcome.committed);
+    assert!(outcome.prepare_count > 0, "DTs must have been prepared");
+    assert!(outcome.duration.as_nanos() > 0);
+    assert!(outcome.throughput_tps() > 0.0);
+    r.shutdown();
+}

@@ -1,0 +1,154 @@
+//! Fault handling and lifecycle edge cases of the engine: workload bugs
+//! must fail fast (no deadlocks), shutdown must always succeed, and
+//! history garbage collection must not disturb ongoing batches.
+
+use prognosticator_core::{baselines, Catalog, Replica, TxRequest};
+use prognosticator_storage::EpochStore;
+use prognosticator_txir::{Expr, InputBound, Key, ProgramBuilder, TableId, Value};
+use std::sync::Arc;
+
+fn counter_fixture() -> (Arc<Catalog>, prognosticator_core::ProgId, prognosticator_core::ProgId) {
+    let mut catalog = Catalog::new();
+
+    // bump(id): fine when populated.
+    let mut b = ProgramBuilder::new("bump");
+    let t = b.table("t");
+    let id = b.input("id", InputBound::int(0, 9));
+    let v = b.var("v");
+    b.get(v, Expr::key(t, vec![Expr::input(id)]));
+    b.put(Expr::key(t, vec![Expr::input(id)]), Expr::var(v).add(Expr::lit(1)));
+    let bump = catalog.register(b.build()).unwrap();
+
+    // buggy(id): divides by a value read from the store — a workload bug
+    // when that value is zero.
+    let mut b = ProgramBuilder::new("buggy");
+    let t = b.table("t");
+    let id = b.input("id", InputBound::int(0, 9));
+    let v = b.var("v");
+    b.get(v, Expr::key(t, vec![Expr::input(id)]));
+    b.put(Expr::key(t, vec![Expr::input(id)]), Expr::lit(100).div(Expr::var(v)));
+    let buggy = catalog.register(b.build()).unwrap();
+
+    (Arc::new(catalog), bump, buggy)
+}
+
+fn populated(value: i64) -> Arc<EpochStore> {
+    let store = Arc::new(EpochStore::new());
+    store.populate((0..10).map(|i| (Key::of_ints(TableId(0), &[i]), Value::Int(value))));
+    store
+}
+
+#[test]
+fn workload_bug_fails_fast_and_shutdown_still_works() {
+    let (catalog, bump, buggy) = counter_fixture();
+    // Populate with zeros: `buggy` divides by zero.
+    let store = populated(0);
+    let mut replica = Replica::with_store(baselines::mq_mf(2), catalog, store);
+
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        replica.execute_batch(vec![
+            TxRequest::new(bump, vec![Value::Int(1)]),
+            TxRequest::new(buggy, vec![Value::Int(2)]),
+        ]);
+    }));
+    assert!(result.is_err(), "workload bug must surface as a panic");
+    let msg = result
+        .unwrap_err()
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    assert!(msg.contains("workload bug") || msg.contains("buggy"), "got: {msg}");
+
+    // The pool must not be deadlocked: shutdown joins all workers.
+    replica.shutdown();
+}
+
+#[test]
+fn healthy_batches_work_after_engine_restart() {
+    let (catalog, bump, _) = counter_fixture();
+    let store = populated(1);
+    // First engine shut down cleanly; a new one reuses the same store.
+    {
+        let mut r = Replica::with_store(
+            baselines::mq_mf(2),
+            Arc::clone(&catalog),
+            Arc::clone(&store),
+        );
+        let o = r.execute_batch(vec![TxRequest::new(bump, vec![Value::Int(3)])]);
+        assert_eq!(o.committed, 1);
+        r.shutdown();
+    }
+    let mut r = Replica::with_store(baselines::mq_sf(3), catalog, Arc::clone(&store));
+    let o = r.execute_batch(vec![TxRequest::new(bump, vec![Value::Int(3)])]);
+    assert_eq!(o.committed, 1);
+    assert_eq!(store.get_latest(&Key::of_ints(TableId(0), &[3])), Some(Value::Int(3)));
+    r.shutdown();
+}
+
+#[test]
+fn more_workers_than_transactions() {
+    let (catalog, bump, _) = counter_fixture();
+    let store = populated(0);
+    let mut r = Replica::with_store(baselines::mq_mf(16), catalog, store);
+    let o = r.execute_batch(vec![TxRequest::new(bump, vec![Value::Int(0)])]);
+    assert_eq!(o.committed, 1);
+    r.shutdown();
+}
+
+#[test]
+#[should_panic(expected = "at least one worker")]
+fn zero_workers_rejected() {
+    let (catalog, _, _) = counter_fixture();
+    let _ = Replica::with_store(baselines::mq_mf(0), catalog, populated(0));
+}
+
+#[test]
+fn gc_between_batches_preserves_correctness() {
+    let (catalog, bump, _) = counter_fixture();
+    let store = populated(0);
+    let mut r =
+        Replica::with_store(baselines::mq_mf(2), catalog, Arc::clone(&store));
+    for round in 1..=20i64 {
+        let o = r.execute_batch(vec![
+            TxRequest::new(bump, vec![Value::Int(0)]),
+            TxRequest::new(bump, vec![Value::Int(1)]),
+        ]);
+        assert_eq!(o.committed, 2, "round {round}");
+        // Aggressively GC everything older than the current snapshot.
+        store.gc_before(store.snapshot_epoch());
+    }
+    assert_eq!(store.get_latest(&Key::of_ints(TableId(0), &[0])), Some(Value::Int(20)));
+    assert!(store.version_count() < 40, "GC kept history bounded");
+    r.shutdown();
+}
+
+#[test]
+fn automatic_gc_bounds_history() {
+    let (catalog, bump, _) = counter_fixture();
+    let store = populated(0);
+    let config = prognosticator_core::SchedulerConfig {
+        workers: 2,
+        gc_keep_epochs: Some(4),
+        ..prognosticator_core::SchedulerConfig::default()
+    };
+    let mut r = Replica::with_store(config, catalog, Arc::clone(&store));
+    for _ in 0..30 {
+        r.execute_batch(vec![
+            TxRequest::new(bump, vec![Value::Int(0)]),
+            TxRequest::new(bump, vec![Value::Int(1)]),
+        ]);
+    }
+    assert_eq!(store.get_latest(&Key::of_ints(TableId(0), &[0])), Some(Value::Int(30)));
+    // 10 keys, ≤ ~5 retained versions for the 2 hot ones + 1 each else.
+    assert!(store.version_count() <= 10 + 2 * 6, "history stayed bounded");
+    r.shutdown();
+}
+
+#[test]
+fn double_shutdown_is_idempotent() {
+    let (catalog, bump, _) = counter_fixture();
+    let mut r = Replica::with_store(baselines::mq_mf(2), catalog, populated(0));
+    r.execute_batch(vec![TxRequest::new(bump, vec![Value::Int(0)])]);
+    r.shutdown();
+    r.shutdown(); // second call must be a no-op
+}

@@ -1,0 +1,26 @@
+use prognosticator_core::{baselines, Catalog, Replica, TxRequest};
+use prognosticator_txir::{Expr, InputBound, ProgramBuilder, Value};
+use std::sync::Arc;
+
+#[test]
+fn smoke() {
+    let mut b = ProgramBuilder::new("bump");
+    let t = b.table("counters");
+    let id = b.input("id", InputBound::int(0, 9));
+    let v = b.var("v");
+    b.get(v, Expr::key(t, vec![Expr::input(id)]));
+    b.put(Expr::key(t, vec![Expr::input(id)]), Expr::var(v).add(Expr::lit(1)));
+    let mut catalog = Catalog::new();
+    let bump = catalog.register(b.build()).unwrap();
+    eprintln!("registered");
+    let mut replica = Replica::new(baselines::mq_mf(2), Arc::new(catalog));
+    replica.store().populate((0..10).map(|i| {
+        (prognosticator_txir::Key::of_ints(t, &[i]), Value::Int(0))
+    }));
+    eprintln!("replica up");
+    let batch = (0..10).map(|i| TxRequest::new(bump, vec![Value::Int(i % 4)])).collect();
+    let outcome = replica.execute_batch(batch);
+    eprintln!("batch done: {:?}", outcome.committed);
+    assert_eq!(outcome.committed, 10);
+    replica.shutdown();
+}

@@ -1,0 +1,105 @@
+//! Property tests of the lock table: liveness (every enqueued transaction
+//! eventually becomes ready) and per-key order preservation — the two
+//! invariants deterministic scheduling rests on.
+
+use prognosticator_core::{LockTableBuilder, TxIdx};
+use prognosticator_txir::{Key, TableId};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn keysets_strategy() -> impl Strategy<Value = Vec<Vec<i64>>> {
+    prop::collection::vec(
+        prop::collection::btree_set(0..12i64, 0..5).prop_map(|s| s.into_iter().collect()),
+        1..40,
+    )
+}
+
+fn build(keysets: &[Vec<i64>]) -> prognosticator_core::LockTable {
+    let mut b = LockTableBuilder::new();
+    for (i, ks) in keysets.iter().enumerate() {
+        b.enqueue(
+            i as TxIdx,
+            ks.iter().map(|&k| Key::of_ints(TableId(0), &[k])).collect(),
+        );
+    }
+    b.freeze(keysets.len())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// Draining the table (pop → release, repeatedly) completes every
+    /// transaction exactly once, and conflicting transactions commit in
+    /// enqueue order.
+    #[test]
+    fn drains_completely_in_per_key_order(keysets in keysets_strategy()) {
+        let table = build(&keysets);
+        let mut commit_order = Vec::new();
+        while let Some(tx) = table.pop_ready() {
+            commit_order.push(tx);
+            table.release(tx);
+        }
+        // Everyone committed exactly once.
+        let mut seen = commit_order.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        prop_assert_eq!(seen.len(), keysets.len(), "lost or duplicated transactions");
+
+        // Per-key order preservation: for any two txs sharing a key, the
+        // earlier-enqueued one commits first.
+        let position: HashMap<TxIdx, usize> =
+            commit_order.iter().enumerate().map(|(p, &t)| (t, p)).collect();
+        for i in 0..keysets.len() {
+            for j in (i + 1)..keysets.len() {
+                if keysets[i].iter().any(|k| keysets[j].contains(k)) {
+                    prop_assert!(
+                        position[&(i as TxIdx)] < position[&(j as TxIdx)],
+                        "tx{j} overtook conflicting tx{i}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The set of concurrently-ready transactions is always mutually
+    /// non-conflicting (safety of the ready queue).
+    #[test]
+    fn ready_sets_are_conflict_free(keysets in keysets_strategy()) {
+        let table = build(&keysets);
+        loop {
+            // Drain the entire current ready set before releasing any of
+            // it — these would run concurrently in the engine.
+            let mut wave = Vec::new();
+            while let Some(tx) = table.pop_ready() {
+                wave.push(tx);
+            }
+            if wave.is_empty() {
+                break;
+            }
+            for a in 0..wave.len() {
+                for b in (a + 1)..wave.len() {
+                    let (i, j) = (wave[a] as usize, wave[b] as usize);
+                    prop_assert!(
+                        !keysets[i].iter().any(|k| keysets[j].contains(k)),
+                        "ready set contains conflicting tx{i} and tx{j}"
+                    );
+                }
+            }
+            for tx in wave {
+                table.release(tx);
+            }
+        }
+    }
+
+    /// Key-set sizes and table geometry are consistent.
+    #[test]
+    fn key_accounting(keysets in keysets_strategy()) {
+        let table = build(&keysets);
+        let distinct: std::collections::BTreeSet<i64> =
+            keysets.iter().flatten().copied().collect();
+        prop_assert_eq!(table.key_count(), distinct.len());
+        for (i, ks) in keysets.iter().enumerate() {
+            prop_assert_eq!(table.key_set(i as TxIdx).len(), ks.len());
+        }
+    }
+}

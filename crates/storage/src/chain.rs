@@ -1,0 +1,158 @@
+//! Per-key version chains.
+
+use prognosticator_txir::Value;
+
+/// The versions of one key, ordered by epoch (strictly increasing).
+///
+/// Epochs correspond to transaction batches: all writes of batch *e* are
+/// tagged with epoch *e*, so "the state after batch *e*" is recovered by
+/// [`VersionChain::get_at`]. This is what gives read-only transactions and
+/// the *prepare indirect keys* phase a stable snapshot (paper §III-C), and
+/// what lets the Calvin baseline read deliberately stale state.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct VersionChain {
+    /// `(epoch, value)` pairs, ascending by epoch.
+    versions: Vec<(u64, Value)>,
+}
+
+impl VersionChain {
+    /// Creates an empty chain.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a chain with a single initial version.
+    pub fn with_initial(epoch: u64, value: Value) -> Self {
+        VersionChain { versions: vec![(epoch, value)] }
+    }
+
+    /// The latest value, if any.
+    pub fn latest(&self) -> Option<&Value> {
+        self.versions.last().map(|(_, v)| v)
+    }
+
+    /// The epoch of the latest version, if any.
+    pub fn latest_epoch(&self) -> Option<u64> {
+        self.versions.last().map(|(e, _)| *e)
+    }
+
+    /// The newest value with version epoch ≤ `epoch`.
+    pub fn get_at(&self, epoch: u64) -> Option<&Value> {
+        match self.versions.binary_search_by_key(&epoch, |(e, _)| *e) {
+            Ok(i) => Some(&self.versions[i].1),
+            Err(0) => None,
+            Err(i) => Some(&self.versions[i - 1].1),
+        }
+    }
+
+    /// Writes `value` at `epoch`.
+    ///
+    /// Writing at the latest epoch replaces that version (last write in a
+    /// batch wins); writing at a newer epoch appends.
+    ///
+    /// # Panics
+    /// Panics if `epoch` is older than the latest version — batches only
+    /// move forward.
+    pub fn put(&mut self, epoch: u64, value: Value) {
+        match self.versions.last_mut() {
+            Some((e, v)) if *e == epoch => *v = value,
+            Some((e, _)) => {
+                assert!(*e < epoch, "write at epoch {epoch} older than latest {e}");
+                self.versions.push((epoch, value));
+            }
+            None => self.versions.push((epoch, value)),
+        }
+    }
+
+    /// Number of stored versions.
+    pub fn len(&self) -> usize {
+        self.versions.len()
+    }
+
+    /// Whether the chain has no versions.
+    pub fn is_empty(&self) -> bool {
+        self.versions.is_empty()
+    }
+
+    /// Drops all versions that are superseded at or before `epoch`,
+    /// keeping the newest version ≤ `epoch` (still needed for snapshot
+    /// reads at `epoch`) and everything newer.
+    pub fn gc_before(&mut self, epoch: u64) {
+        let keep_from = match self.versions.iter().rposition(|(e, _)| *e <= epoch) {
+            Some(i) => i,
+            None => return,
+        };
+        if keep_from > 0 {
+            self.versions.drain(..keep_from);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reads_see_epoch_boundaries() {
+        let mut c = VersionChain::with_initial(0, Value::Int(10));
+        c.put(2, Value::Int(20));
+        c.put(5, Value::Int(50));
+        assert_eq!(c.get_at(0), Some(&Value::Int(10)));
+        assert_eq!(c.get_at(1), Some(&Value::Int(10)));
+        assert_eq!(c.get_at(2), Some(&Value::Int(20)));
+        assert_eq!(c.get_at(4), Some(&Value::Int(20)));
+        assert_eq!(c.get_at(5), Some(&Value::Int(50)));
+        assert_eq!(c.get_at(99), Some(&Value::Int(50)));
+        assert_eq!(c.latest(), Some(&Value::Int(50)));
+        assert_eq!(c.latest_epoch(), Some(5));
+    }
+
+    #[test]
+    fn empty_chain_reads_none() {
+        let c = VersionChain::new();
+        assert_eq!(c.get_at(0), None);
+        assert_eq!(c.latest(), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn missing_before_first_version() {
+        let c = VersionChain::with_initial(3, Value::Int(1));
+        assert_eq!(c.get_at(2), None);
+        assert_eq!(c.get_at(3), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn same_epoch_overwrites() {
+        let mut c = VersionChain::new();
+        c.put(1, Value::Int(1));
+        c.put(1, Value::Int(2));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.latest(), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "older than latest")]
+    fn backwards_write_panics() {
+        let mut c = VersionChain::new();
+        c.put(5, Value::Int(1));
+        c.put(3, Value::Int(2));
+    }
+
+    #[test]
+    fn gc_keeps_snapshot_visible_version() {
+        let mut c = VersionChain::new();
+        c.put(0, Value::Int(0));
+        c.put(1, Value::Int(1));
+        c.put(2, Value::Int(2));
+        c.put(5, Value::Int(5));
+        c.gc_before(2);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get_at(2), Some(&Value::Int(2)));
+        assert_eq!(c.get_at(3), Some(&Value::Int(2)));
+        assert_eq!(c.get_at(5), Some(&Value::Int(5)));
+        // Versions strictly before the kept one are gone: reads at older
+        // epochs now miss (GC callers must not need those snapshots).
+        assert_eq!(c.get_at(1), None);
+    }
+}

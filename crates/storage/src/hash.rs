@@ -1,0 +1,147 @@
+//! A stable, process-independent hash for store digests.
+//!
+//! `DefaultHasher` is randomized per process; replica-equivalence checks
+//! need digests that are reproducible across runs (and meaningful to log),
+//! so this module implements FNV-1a over a canonical byte encoding of keys
+//! and values.
+
+use prognosticator_txir::{Key, Value};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a streaming hasher with canonical encodings for store types.
+#[derive(Debug, Clone)]
+pub struct StableHasher {
+    state: u64,
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StableHasher {
+    /// Creates a hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        StableHasher { state: FNV_OFFSET }
+    }
+
+    /// Feeds raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Feeds a `u64` (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Feeds an `i64` (little-endian two's complement).
+    pub fn write_i64(&mut self, v: i64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Feeds a value with a type tag so e.g. `Int(0)` and `Bool(false)`
+    /// hash differently.
+    pub fn write_value(&mut self, v: &Value) {
+        match v {
+            Value::Unit => self.write_bytes(&[0]),
+            Value::Bool(b) => {
+                self.write_bytes(&[1, u8::from(*b)]);
+            }
+            Value::Int(i) => {
+                self.write_bytes(&[2]);
+                self.write_i64(*i);
+            }
+            Value::Str(s) => {
+                self.write_bytes(&[3]);
+                self.write_u64(s.len() as u64);
+                self.write_bytes(s.as_bytes());
+            }
+            Value::Record(fields) => {
+                self.write_bytes(&[4]);
+                self.write_u64(fields.len() as u64);
+                for f in fields.iter() {
+                    self.write_value(f);
+                }
+            }
+            Value::List(items) => {
+                self.write_bytes(&[5]);
+                self.write_u64(items.len() as u64);
+                for i in items.iter() {
+                    self.write_value(i);
+                }
+            }
+        }
+    }
+
+    /// Feeds a key (table id + parts).
+    pub fn write_key(&mut self, k: &Key) {
+        self.write_u64(u64::from(k.table.0));
+        self.write_u64(k.parts.len() as u64);
+        for p in &k.parts {
+            self.write_value(p);
+        }
+    }
+
+    /// The current hash state.
+    pub fn finish_u64(&self) -> u64 {
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prognosticator_txir::TableId;
+
+    fn hash_value(v: &Value) -> u64 {
+        let mut h = StableHasher::new();
+        h.write_value(v);
+        h.finish_u64()
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let v = Value::record(vec![Value::Int(1), Value::str("abc")]);
+        assert_eq!(hash_value(&v), hash_value(&v.clone()));
+    }
+
+    #[test]
+    fn type_tags_disambiguate() {
+        assert_ne!(hash_value(&Value::Int(0)), hash_value(&Value::Bool(false)));
+        assert_ne!(hash_value(&Value::Unit), hash_value(&Value::Int(0)));
+        assert_ne!(
+            hash_value(&Value::list(vec![Value::Int(1)])),
+            hash_value(&Value::record(vec![Value::Int(1)]))
+        );
+    }
+
+    #[test]
+    fn length_prefix_prevents_concat_ambiguity() {
+        let a = Value::list(vec![Value::str("ab"), Value::str("c")]);
+        let b = Value::list(vec![Value::str("a"), Value::str("bc")]);
+        assert_ne!(hash_value(&a), hash_value(&b));
+    }
+
+    #[test]
+    fn keys_hash_table_and_parts() {
+        let mut h1 = StableHasher::new();
+        h1.write_key(&Key::of_ints(TableId(1), &[2]));
+        let mut h2 = StableHasher::new();
+        h2.write_key(&Key::of_ints(TableId(2), &[2]));
+        assert_ne!(h1.finish_u64(), h2.finish_u64());
+    }
+
+    #[test]
+    fn known_fnv_vector() {
+        // FNV-1a of empty input is the offset basis.
+        let h = StableHasher::new();
+        assert_eq!(h.finish_u64(), 0xcbf2_9ce4_8422_2325);
+    }
+}

@@ -1,0 +1,82 @@
+//! Artificial access-latency injection.
+//!
+//! The paper's store is RocksDB behind a Java API; access latency is what
+//! makes the *prepare indirect keys* phase a bottleneck and motivates the
+//! worker-helps-queuer optimization (§III-C, §IV-C). The in-memory store is
+//! far faster, so experiments can inject a configurable per-access delay to
+//! recreate that regime. Delays are busy-wait spins: `thread::sleep` cannot
+//! express sub-microsecond latencies accurately.
+
+use std::time::{Duration, Instant};
+
+/// Per-access latency to inject. Zero (the default) disables injection.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyConfig {
+    /// Added to every read.
+    pub read: Duration,
+    /// Added to every write.
+    pub write: Duration,
+}
+
+impl LatencyConfig {
+    /// No injected latency.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// The same latency for reads and writes.
+    pub fn symmetric(latency: Duration) -> Self {
+        LatencyConfig { read: latency, write: latency }
+    }
+
+    /// Spins for the read latency (no-op when zero).
+    pub fn charge_read(&self) {
+        spin_for(self.read);
+    }
+
+    /// Spins for the write latency (no-op when zero).
+    pub fn charge_write(&self) {
+        spin_for(self.write);
+    }
+}
+
+#[inline]
+fn spin_for(d: Duration) {
+    if d.is_zero() {
+        return;
+    }
+    let end = Instant::now() + d;
+    while Instant::now() < end {
+        std::hint::spin_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_latency_is_free() {
+        let c = LatencyConfig::none();
+        let t = Instant::now();
+        for _ in 0..10_000 {
+            c.charge_read();
+            c.charge_write();
+        }
+        assert!(t.elapsed() < Duration::from_millis(50));
+    }
+
+    #[test]
+    fn nonzero_latency_spins() {
+        let c = LatencyConfig::symmetric(Duration::from_micros(200));
+        let t = Instant::now();
+        c.charge_read();
+        assert!(t.elapsed() >= Duration::from_micros(200));
+    }
+
+    #[test]
+    fn symmetric_sets_both() {
+        let c = LatencyConfig::symmetric(Duration::from_micros(5));
+        assert_eq!(c.read, c.write);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests of the epoch-MVCC store against a reference model: a
+//! `BTreeMap<(key, epoch), value>` replays the same history and must agree
+//! with every read, at every epoch, before and after garbage collection.
+
+use prognosticator_storage::EpochStore;
+use prognosticator_txir::{Key, TableId, Value};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put { key: i64, value: i64 },
+    Advance,
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            3 => (0..6i64, 0..100i64).prop_map(|(key, value)| Op::Put { key, value }),
+            1 => Just(Op::Advance),
+        ],
+        1..60,
+    )
+}
+
+fn k(i: i64) -> Key {
+    Key::of_ints(TableId(0), &[i])
+}
+
+/// Reference: last write per (key, epoch'), epoch' ≤ epoch.
+fn model_get_at(model: &BTreeMap<(i64, u64), i64>, key: i64, epoch: u64) -> Option<i64> {
+    model
+        .range((key, 0)..=(key, epoch))
+        .next_back()
+        .map(|(_, v)| *v)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn store_agrees_with_reference_model(ops in ops_strategy()) {
+        let store = EpochStore::with_shards(4);
+        let mut model: BTreeMap<(i64, u64), i64> = BTreeMap::new();
+        let mut max_epoch = store.current_epoch();
+
+        for op in &ops {
+            match op {
+                Op::Put { key, value } => {
+                    store.put(&k(*key), Value::Int(*value));
+                    model.insert((*key, store.current_epoch()), *value);
+                }
+                Op::Advance => {
+                    max_epoch = store.advance_epoch();
+                }
+            }
+        }
+
+        // Every key at every epoch agrees with the model.
+        for key in 0..6 {
+            for epoch in 0..=max_epoch {
+                let expect = model_get_at(&model, key, epoch).map(Value::Int);
+                prop_assert_eq!(
+                    store.get_at(&k(key), epoch),
+                    expect.clone(),
+                    "key {} at epoch {}", key, epoch
+                );
+            }
+            let latest = model_get_at(&model, key, u64::MAX).map(Value::Int);
+            prop_assert_eq!(store.get_latest(&k(key)), latest);
+        }
+
+        // Digest is insensitive to sharding.
+        let replay = EpochStore::with_shards(16);
+        for op in &ops {
+            match op {
+                Op::Put { key, value } => replay.put(&k(*key), Value::Int(*value)),
+                Op::Advance => {
+                    replay.advance_epoch();
+                }
+            }
+        }
+        prop_assert_eq!(store.state_digest(), replay.state_digest());
+    }
+
+    /// GC below an epoch preserves every read at or after that epoch.
+    #[test]
+    fn gc_preserves_recent_snapshots(ops in ops_strategy(), gc_at in 0..6u64) {
+        let store = EpochStore::with_shards(4);
+        let mut model: BTreeMap<(i64, u64), i64> = BTreeMap::new();
+        for op in &ops {
+            match op {
+                Op::Put { key, value } => {
+                    store.put(&k(*key), Value::Int(*value));
+                    model.insert((*key, store.current_epoch()), *value);
+                }
+                Op::Advance => {
+                    store.advance_epoch();
+                }
+            }
+        }
+        let max_epoch = store.current_epoch();
+        let gc_at = gc_at.min(max_epoch);
+        store.gc_before(gc_at);
+        for key in 0..6 {
+            for epoch in gc_at..=max_epoch {
+                let expect = model_get_at(&model, key, epoch).map(Value::Int);
+                prop_assert_eq!(
+                    store.get_at(&k(key), epoch),
+                    expect.clone(),
+                    "post-GC read: key {} at epoch {} (gc_at {})", key, epoch, gc_at
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,570 @@
+//! A compact, self-contained binary codec for transaction profiles.
+//!
+//! In the paper's architecture the SE engine runs once, offline, at the
+//! client, and "the Client Request Dispatcher sends the transaction
+//! requests enriched with this information to the System Replicas"
+//! (§III-A). That requires profiles to cross process boundaries; this
+//! module provides a dependency-free, versioned wire format (the offline
+//! crate set has no serde *format* crate, so the encoding is hand-rolled
+//! and covered by round-trip property tests).
+
+use crate::profile::{Profile, ProfileNode};
+use crate::rws::{RwsEntry, RwsTemplate};
+use crate::sym::{KeyTemplate, LoopVarId, PivotId, SymExpr};
+use prognosticator_txir::{BinOp, TableId, UnOp, Value};
+use std::fmt;
+
+/// Format version tag (first byte of every encoded profile).
+pub const CODEC_VERSION: u8 = 1;
+
+/// Errors raised while decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input ended prematurely.
+    UnexpectedEof,
+    /// Unknown tag byte at the given offset.
+    BadTag {
+        /// What was being decoded.
+        what: &'static str,
+        /// The offending byte.
+        tag: u8,
+    },
+    /// Unsupported format version.
+    BadVersion(u8),
+    /// A length prefix exceeded sanity limits.
+    LengthOverflow,
+    /// Embedded string was not UTF-8.
+    BadUtf8,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnexpectedEof => write!(f, "unexpected end of input"),
+            DecodeError::BadTag { what, tag } => write!(f, "bad tag {tag:#x} while decoding {what}"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported codec version {v}"),
+            DecodeError::LengthOverflow => write!(f, "length prefix exceeds sanity limit"),
+            DecodeError::BadUtf8 => write!(f, "embedded string is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+const MAX_LEN: usize = 1 << 24;
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    /// LEB128-style variable-length unsigned integer.
+    fn uvarint(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(byte);
+                return;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
+    /// Zig-zag signed integer.
+    fn ivarint(&mut self, v: i64) {
+        self.uvarint(((v << 1) ^ (v >> 63)) as u64);
+    }
+    fn bytes(&mut self, b: &[u8]) {
+        self.uvarint(b.len() as u64);
+        self.buf.extend_from_slice(b);
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        let b = *self.buf.get(self.pos).ok_or(DecodeError::UnexpectedEof)?;
+        self.pos += 1;
+        Ok(b)
+    }
+    fn uvarint(&mut self) -> Result<u64, DecodeError> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.u8()?;
+            v |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+            if shift >= 64 {
+                return Err(DecodeError::LengthOverflow);
+            }
+        }
+    }
+    fn ivarint(&mut self) -> Result<i64, DecodeError> {
+        let v = self.uvarint()?;
+        Ok(((v >> 1) as i64) ^ -((v & 1) as i64))
+    }
+    fn len(&mut self) -> Result<usize, DecodeError> {
+        let n = self.uvarint()? as usize;
+        if n > MAX_LEN {
+            return Err(DecodeError::LengthOverflow);
+        }
+        Ok(n)
+    }
+    fn bytes(&mut self) -> Result<&'a [u8], DecodeError> {
+        let n = self.len()?;
+        let end = self.pos.checked_add(n).ok_or(DecodeError::LengthOverflow)?;
+        let s = self.buf.get(self.pos..end).ok_or(DecodeError::UnexpectedEof)?;
+        self.pos = end;
+        Ok(s)
+    }
+}
+
+fn write_value(w: &mut Writer, v: &Value) {
+    match v {
+        Value::Unit => w.u8(0),
+        Value::Bool(b) => {
+            w.u8(1);
+            w.u8(u8::from(*b));
+        }
+        Value::Int(i) => {
+            w.u8(2);
+            w.ivarint(*i);
+        }
+        Value::Str(s) => {
+            w.u8(3);
+            w.bytes(s.as_bytes());
+        }
+        Value::Record(fields) => {
+            w.u8(4);
+            w.uvarint(fields.len() as u64);
+            for f in fields.iter() {
+                write_value(w, f);
+            }
+        }
+        Value::List(items) => {
+            w.u8(5);
+            w.uvarint(items.len() as u64);
+            for i in items.iter() {
+                write_value(w, i);
+            }
+        }
+    }
+}
+
+fn read_value(r: &mut Reader<'_>) -> Result<Value, DecodeError> {
+    Ok(match r.u8()? {
+        0 => Value::Unit,
+        1 => Value::Bool(r.u8()? != 0),
+        2 => Value::Int(r.ivarint()?),
+        3 => Value::Str(
+            std::str::from_utf8(r.bytes()?).map_err(|_| DecodeError::BadUtf8)?.into(),
+        ),
+        4 => {
+            let n = r.len()?;
+            let mut fields = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                fields.push(read_value(r)?);
+            }
+            Value::record(fields)
+        }
+        5 => {
+            let n = r.len()?;
+            let mut items = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                items.push(read_value(r)?);
+            }
+            Value::list(items)
+        }
+        tag => return Err(DecodeError::BadTag { what: "value", tag }),
+    })
+}
+
+fn bin_op_code(op: BinOp) -> u8 {
+    match op {
+        BinOp::Add => 0,
+        BinOp::Sub => 1,
+        BinOp::Mul => 2,
+        BinOp::Div => 3,
+        BinOp::Mod => 4,
+        BinOp::Eq => 5,
+        BinOp::Ne => 6,
+        BinOp::Lt => 7,
+        BinOp::Le => 8,
+        BinOp::Gt => 9,
+        BinOp::Ge => 10,
+        BinOp::And => 11,
+        BinOp::Or => 12,
+    }
+}
+
+fn bin_op_of(code: u8) -> Result<BinOp, DecodeError> {
+    Ok(match code {
+        0 => BinOp::Add,
+        1 => BinOp::Sub,
+        2 => BinOp::Mul,
+        3 => BinOp::Div,
+        4 => BinOp::Mod,
+        5 => BinOp::Eq,
+        6 => BinOp::Ne,
+        7 => BinOp::Lt,
+        8 => BinOp::Le,
+        9 => BinOp::Gt,
+        10 => BinOp::Ge,
+        11 => BinOp::And,
+        12 => BinOp::Or,
+        tag => return Err(DecodeError::BadTag { what: "binop", tag }),
+    })
+}
+
+fn write_expr(w: &mut Writer, e: &SymExpr) {
+    match e {
+        SymExpr::Const(v) => {
+            w.u8(0);
+            write_value(w, v);
+        }
+        SymExpr::Input(i) => {
+            w.u8(1);
+            w.uvarint(*i as u64);
+        }
+        SymExpr::InputIndex(i, idx) => {
+            w.u8(2);
+            w.uvarint(*i as u64);
+            write_expr(w, idx);
+        }
+        SymExpr::InputLen(i) => {
+            w.u8(3);
+            w.uvarint(*i as u64);
+        }
+        SymExpr::Pivot(p) => {
+            w.u8(4);
+            w.uvarint(u64::from(p.0));
+        }
+        SymExpr::Field(e, idx) => {
+            w.u8(5);
+            write_expr(w, e);
+            w.uvarint(*idx as u64);
+        }
+        SymExpr::Bin(op, a, b) => {
+            w.u8(6);
+            w.u8(bin_op_code(*op));
+            write_expr(w, a);
+            write_expr(w, b);
+        }
+        SymExpr::Un(op, e) => {
+            w.u8(7);
+            w.u8(match op {
+                UnOp::Not => 0,
+                UnOp::Neg => 1,
+            });
+            write_expr(w, e);
+        }
+        SymExpr::Record(fields) => {
+            w.u8(8);
+            w.uvarint(fields.len() as u64);
+            for f in fields {
+                write_expr(w, f);
+            }
+        }
+        SymExpr::SetField(base, idx, v) => {
+            w.u8(9);
+            write_expr(w, base);
+            w.uvarint(*idx as u64);
+            write_expr(w, v);
+        }
+        SymExpr::LoopVar(l) => {
+            w.u8(10);
+            w.uvarint(u64::from(l.0));
+        }
+    }
+}
+
+fn read_expr(r: &mut Reader<'_>) -> Result<SymExpr, DecodeError> {
+    Ok(match r.u8()? {
+        0 => SymExpr::Const(read_value(r)?),
+        1 => SymExpr::Input(r.uvarint()? as usize),
+        2 => {
+            let i = r.uvarint()? as usize;
+            SymExpr::InputIndex(i, Box::new(read_expr(r)?))
+        }
+        3 => SymExpr::InputLen(r.uvarint()? as usize),
+        4 => SymExpr::Pivot(PivotId(r.uvarint()? as u32)),
+        5 => {
+            let e = read_expr(r)?;
+            SymExpr::Field(Box::new(e), r.uvarint()? as usize)
+        }
+        6 => {
+            let op = bin_op_of(r.u8()?)?;
+            let a = read_expr(r)?;
+            let b = read_expr(r)?;
+            SymExpr::Bin(op, Box::new(a), Box::new(b))
+        }
+        7 => {
+            let op = match r.u8()? {
+                0 => UnOp::Not,
+                1 => UnOp::Neg,
+                tag => return Err(DecodeError::BadTag { what: "unop", tag }),
+            };
+            SymExpr::Un(op, Box::new(read_expr(r)?))
+        }
+        8 => {
+            let n = r.len()?;
+            let mut fields = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                fields.push(read_expr(r)?);
+            }
+            SymExpr::Record(fields)
+        }
+        9 => {
+            let base = read_expr(r)?;
+            let idx = r.uvarint()? as usize;
+            let v = read_expr(r)?;
+            SymExpr::SetField(Box::new(base), idx, Box::new(v))
+        }
+        10 => SymExpr::LoopVar(LoopVarId(r.uvarint()? as u32)),
+        tag => return Err(DecodeError::BadTag { what: "expr", tag }),
+    })
+}
+
+fn write_key_template(w: &mut Writer, kt: &KeyTemplate) {
+    w.uvarint(u64::from(kt.table.0));
+    w.uvarint(kt.parts.len() as u64);
+    for p in &kt.parts {
+        write_expr(w, p);
+    }
+}
+
+fn read_key_template(r: &mut Reader<'_>) -> Result<KeyTemplate, DecodeError> {
+    let table = TableId(r.uvarint()? as u16);
+    let n = r.len()?;
+    let mut parts = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        parts.push(read_expr(r)?);
+    }
+    Ok(KeyTemplate::new(table, parts))
+}
+
+fn write_entry(w: &mut Writer, e: &RwsEntry) {
+    match e {
+        RwsEntry::Single(kt) => {
+            w.u8(0);
+            write_key_template(w, kt);
+        }
+        RwsEntry::Range { loop_var, from, to, entries } => {
+            w.u8(1);
+            w.uvarint(u64::from(loop_var.0));
+            write_expr(w, from);
+            write_expr(w, to);
+            w.uvarint(entries.len() as u64);
+            for e in entries {
+                write_entry(w, e);
+            }
+        }
+    }
+}
+
+fn read_entry(r: &mut Reader<'_>) -> Result<RwsEntry, DecodeError> {
+    Ok(match r.u8()? {
+        0 => RwsEntry::Single(read_key_template(r)?),
+        1 => {
+            let loop_var = LoopVarId(r.uvarint()? as u32);
+            let from = read_expr(r)?;
+            let to = read_expr(r)?;
+            let n = r.len()?;
+            let mut entries = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                entries.push(read_entry(r)?);
+            }
+            RwsEntry::Range { loop_var, from, to, entries }
+        }
+        tag => return Err(DecodeError::BadTag { what: "rws entry", tag }),
+    })
+}
+
+fn write_template(w: &mut Writer, t: &RwsTemplate) {
+    w.uvarint(t.reads.len() as u64);
+    for e in &t.reads {
+        write_entry(w, e);
+    }
+    w.uvarint(t.writes.len() as u64);
+    for e in &t.writes {
+        write_entry(w, e);
+    }
+}
+
+fn read_template(r: &mut Reader<'_>) -> Result<RwsTemplate, DecodeError> {
+    let nr = r.len()?;
+    let mut reads = Vec::with_capacity(nr.min(1024));
+    for _ in 0..nr {
+        reads.push(read_entry(r)?);
+    }
+    let nw = r.len()?;
+    let mut writes = Vec::with_capacity(nw.min(1024));
+    for _ in 0..nw {
+        writes.push(read_entry(r)?);
+    }
+    Ok(RwsTemplate { reads, writes })
+}
+
+fn write_node(w: &mut Writer, node: &ProfileNode) {
+    match node {
+        ProfileNode::Leaf(t) => {
+            w.u8(0);
+            write_template(w, t);
+        }
+        ProfileNode::Branch { cond, then, els } => {
+            w.u8(1);
+            write_expr(w, cond);
+            write_node(w, then);
+            write_node(w, els);
+        }
+    }
+}
+
+fn read_node(r: &mut Reader<'_>, depth: u32) -> Result<ProfileNode, DecodeError> {
+    if depth > 10_000 {
+        return Err(DecodeError::LengthOverflow);
+    }
+    Ok(match r.u8()? {
+        0 => ProfileNode::Leaf(read_template(r)?),
+        1 => {
+            let cond = read_expr(r)?;
+            let then = read_node(r, depth + 1)?;
+            let els = read_node(r, depth + 1)?;
+            ProfileNode::Branch { cond, then: Box::new(then), els: Box::new(els) }
+        }
+        tag => return Err(DecodeError::BadTag { what: "profile node", tag }),
+    })
+}
+
+/// Encodes a profile to bytes.
+pub fn encode_profile(profile: &Profile) -> Vec<u8> {
+    let mut w = Writer { buf: Vec::with_capacity(256) };
+    w.u8(CODEC_VERSION);
+    w.bytes(profile.program_name().as_bytes());
+    w.uvarint(profile.pivot_specs().len() as u64);
+    for kt in profile.pivot_specs() {
+        write_key_template(&mut w, kt);
+    }
+    write_node(&mut w, profile.root());
+    w.buf
+}
+
+/// Decodes a profile from bytes.
+///
+/// # Errors
+/// Returns a [`DecodeError`] on malformed or truncated input; trailing
+/// bytes are rejected.
+pub fn decode_profile(bytes: &[u8]) -> Result<Profile, DecodeError> {
+    let mut r = Reader { buf: bytes, pos: 0 };
+    let version = r.u8()?;
+    if version != CODEC_VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let name = std::str::from_utf8(r.bytes()?)
+        .map_err(|_| DecodeError::BadUtf8)?
+        .to_owned();
+    let n = r.len()?;
+    let mut pivots = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        pivots.push(read_key_template(&mut r)?);
+    }
+    let root = read_node(&mut r, 0)?;
+    if r.pos != bytes.len() {
+        return Err(DecodeError::BadTag { what: "trailing bytes", tag: bytes[r.pos] });
+    }
+    Ok(Profile::new(name, root, pivots))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explorer::{analyze, ExplorerConfig};
+    use prognosticator_txir::{Expr, InputBound, ProgramBuilder};
+
+    fn roundtrip(profile: &Profile) {
+        let bytes = encode_profile(profile);
+        let back = decode_profile(&bytes).expect("decodes");
+        assert_eq!(profile, &back);
+        assert_eq!(profile.class(), back.class());
+    }
+
+    #[test]
+    fn roundtrips_simple_profiles() {
+        let mut b = ProgramBuilder::new("simple");
+        let t = b.table("t");
+        let id = b.input("id", InputBound::int(0, 9));
+        let v = b.var("v");
+        b.get(v, Expr::key(t, vec![Expr::input(id)]));
+        b.put(Expr::key(t, vec![Expr::input(id)]), Expr::var(v).add(Expr::lit(1)));
+        let a = analyze(&b.build(), &ExplorerConfig::optimized()).expect("analyzes");
+        roundtrip(&a.profile);
+    }
+
+    #[test]
+    fn roundtrips_branchy_and_dependent_profiles() {
+        let mut b = ProgramBuilder::new("dep");
+        let t = b.table("t");
+        let u = b.table("u");
+        let id = b.input("id", InputBound::int(0, 9));
+        let n = b.input("n", InputBound::int(1, 4));
+        let v = b.var("v");
+        let i = b.var("i");
+        b.get(v, Expr::key(t, vec![Expr::input(id)]));
+        b.if_(
+            Expr::var(v).gt(Expr::lit(5)),
+            |b| b.put(Expr::key(u, vec![Expr::var(v)]), Expr::lit(1)),
+            |b| {
+                b.for_(i, Expr::lit(0), Expr::input(n), |b| {
+                    b.put(Expr::key(u, vec![Expr::var(i)]), Expr::lit(0));
+                });
+            },
+        );
+        let a = analyze(&b.build(), &ExplorerConfig::optimized()).expect("analyzes");
+        assert!(a.profile.partition_count() >= 2);
+        roundtrip(&a.profile);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert_eq!(decode_profile(&[]), Err(DecodeError::UnexpectedEof));
+        assert_eq!(decode_profile(&[9]), Err(DecodeError::BadVersion(9)));
+        // Corrupt every byte of a valid encoding; decoding must never
+        // panic, only error or produce *some* profile.
+        let mut b = ProgramBuilder::new("x");
+        let t = b.table("t");
+        b.put(Expr::key(t, vec![Expr::lit(1)]), Expr::lit(2));
+        let a = analyze(&b.build(), &ExplorerConfig::optimized()).expect("analyzes");
+        let bytes = encode_profile(&a.profile);
+        for i in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0xff;
+            let _ = decode_profile(&corrupt); // must not panic
+        }
+        // Truncations likewise.
+        for i in 0..bytes.len() {
+            let _ = decode_profile(&bytes[..i]);
+        }
+    }
+
+    #[test]
+    fn varint_edges() {
+        let mut w = Writer { buf: Vec::new() };
+        for v in [0i64, 1, -1, i64::MAX, i64::MIN, 300, -300] {
+            w.ivarint(v);
+        }
+        let mut r = Reader { buf: &w.buf, pos: 0 };
+        for v in [0i64, 1, -1, i64::MAX, i64::MIN, 300, -300] {
+            assert_eq!(r.ivarint().unwrap(), v);
+        }
+    }
+}

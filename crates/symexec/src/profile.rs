@@ -1,0 +1,425 @@
+//! Transaction profiles: the offline artifact of symbolic execution.
+//!
+//! A profile is the paper's set of `<PSC_i, RWS_i>` pairs encoded as a
+//! binary decision tree (§III-B): internal nodes carry path-set conditions
+//! (symbolic predicates over inputs and pivots), leaves carry
+//! [`RwsTemplate`]s. At run time, [`Profile::predict`] walks the tree in
+//! O(depth) and instantiates the leaf's template into the concrete key-set
+//! of a transaction instance.
+
+use crate::rws::{Instantiator, Prediction, PivotResolver, RwsTemplate, TxClass};
+use crate::sym::{KeyTemplate, SymExpr};
+use prognosticator_txir::{EvalError, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
+
+/// A node of the profile tree.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProfileNode {
+    /// A path partition: all executions reaching here share this RWS.
+    Leaf(RwsTemplate),
+    /// A path-set condition splitting the partition.
+    Branch {
+        /// The condition (over inputs and possibly pivots).
+        cond: SymExpr,
+        /// Subtree when `cond` holds.
+        then: Box<ProfileNode>,
+        /// Subtree when `cond` does not hold.
+        els: Box<ProfileNode>,
+    },
+}
+
+impl ProfileNode {
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> u64 {
+        match self {
+            ProfileNode::Leaf(_) => 1,
+            ProfileNode::Branch { then, els, .. } => then.leaf_count() + els.leaf_count(),
+        }
+    }
+
+    /// Maximum branch depth (a leaf-only tree has depth 0).
+    pub fn depth(&self) -> u32 {
+        match self {
+            ProfileNode::Leaf(_) => 0,
+            ProfileNode::Branch { then, els, .. } => 1 + then.depth().max(els.depth()),
+        }
+    }
+
+    /// Visits every leaf template.
+    pub fn visit_leaves<'a>(&'a self, f: &mut impl FnMut(&'a RwsTemplate)) {
+        match self {
+            ProfileNode::Leaf(t) => f(t),
+            ProfileNode::Branch { then, els, .. } => {
+                then.visit_leaves(f);
+                els.visit_leaves(f);
+            }
+        }
+    }
+
+    /// Whether any branch condition mentions a pivot (an *indirect* PSC:
+    /// these profiles cannot be predicted client-side, §III-C
+    /// optimizations).
+    pub fn has_pivot_condition(&self) -> bool {
+        match self {
+            ProfileNode::Leaf(_) => false,
+            ProfileNode::Branch { cond, then, els } => {
+                cond.mentions_pivot() || then.has_pivot_condition() || els.has_pivot_condition()
+            }
+        }
+    }
+
+    /// Rough heap-size estimate in bytes (Table I memory column).
+    pub fn approx_size(&self) -> usize {
+        match self {
+            ProfileNode::Leaf(t) => std::mem::size_of::<Self>() + t.approx_size(),
+            ProfileNode::Branch { cond, then, els } => {
+                std::mem::size_of::<Self>() + cond.approx_size() + then.approx_size() + els.approx_size()
+            }
+        }
+    }
+}
+
+/// Errors raised when predicting from a profile.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PredictError {
+    /// The prediction requires reading pivots but no resolver was supplied
+    /// (the transaction instance is dependent; run the *prepare indirect
+    /// keys* phase with a store snapshot).
+    NeedsStore,
+    /// Instantiation failed (profile/input mismatch — a profiler bug or
+    /// out-of-bounds inputs).
+    Eval(EvalError),
+}
+
+impl fmt::Display for PredictError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PredictError::NeedsStore => {
+                write!(f, "prediction needs a pivot resolver (dependent transaction)")
+            }
+            PredictError::Eval(e) => write!(f, "prediction failed: {e}"),
+        }
+    }
+}
+
+impl Error for PredictError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PredictError::Eval(e) => Some(e),
+            PredictError::NeedsStore => None,
+        }
+    }
+}
+
+impl From<EvalError> for PredictError {
+    fn from(e: EvalError) -> Self {
+        // The instantiator signals a missing resolver with a sentinel
+        // TypeMismatch; fold it into the dedicated variant.
+        if let EvalError::TypeMismatch { expected, .. } = &e {
+            if expected.contains("pivot resolver") {
+                return PredictError::NeedsStore;
+            }
+        }
+        PredictError::Eval(e)
+    }
+}
+
+/// The complete offline profile of one transaction program.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Profile {
+    program_name: String,
+    root: ProfileNode,
+    /// Pivot key templates, indexed by [`crate::sym::PivotId`].
+    pivots: Vec<KeyTemplate>,
+    class: TxClass,
+}
+
+impl Profile {
+    /// Assembles a profile (used by the explorer).
+    pub(crate) fn new(program_name: String, root: ProfileNode, pivots: Vec<KeyTemplate>) -> Self {
+        let mut writes = false;
+        let mut indirect = false;
+        root.visit_leaves(&mut |t| {
+            writes |= !t.is_read_only();
+            indirect |= t.has_indirect();
+        });
+        indirect |= root.has_pivot_condition();
+        let class = if !writes {
+            TxClass::ReadOnly
+        } else if indirect {
+            TxClass::Dependent
+        } else {
+            TxClass::Independent
+        };
+        Profile { program_name, root, pivots, class }
+    }
+
+    /// Name of the profiled program.
+    pub fn program_name(&self) -> &str {
+        &self.program_name
+    }
+
+    /// The transaction classification (ROT / IT / DT).
+    pub fn class(&self) -> TxClass {
+        self.class
+    }
+
+    /// The root of the PSC tree.
+    pub fn root(&self) -> &ProfileNode {
+        &self.root
+    }
+
+    /// Pivot key templates (indexed by pivot id).
+    pub fn pivot_specs(&self) -> &[KeyTemplate] {
+        &self.pivots
+    }
+
+    /// Number of `<PSC, RWS>` partitions (leaves).
+    pub fn partition_count(&self) -> u64 {
+        self.root.leaf_count()
+    }
+
+    /// Number of *distinct* RWS templates across partitions — the paper's
+    /// "unique key-sets" column of Table I.
+    pub fn unique_key_sets(&self) -> u64 {
+        let mut set: HashSet<&RwsTemplate> = HashSet::new();
+        self.root.visit_leaves(&mut |t| {
+            set.insert(t);
+        });
+        set.len() as u64
+    }
+
+    /// Maximum PSC-tree depth.
+    pub fn depth(&self) -> u32 {
+        self.root.depth()
+    }
+
+    /// The paper's "indirect keys" metric: how many distinct data items
+    /// must be consulted during the *prepare indirect keys* phase — i.e.
+    /// the number of pivot key templates (TPC-C delivery: 10 district
+    /// cursors + 10 order records = 20, matching Table I).
+    pub fn indirect_keys(&self) -> u64 {
+        self.pivots.len() as u64
+    }
+
+    /// The largest number of pivot-dependent key entries any single
+    /// partition predicts (a complementary indirection measure).
+    pub fn max_indirect_entries(&self) -> u64 {
+        let mut max = 0;
+        self.root.visit_leaves(&mut |t| {
+            max = max.max(t.indirect_count());
+        });
+        max
+    }
+
+    /// Rough profile size in bytes.
+    pub fn approx_size(&self) -> usize {
+        self.root.approx_size()
+            + self
+                .pivots
+                .iter()
+                .map(|kt| kt.parts.iter().map(SymExpr::approx_size).sum::<usize>())
+                .sum::<usize>()
+    }
+
+    /// Predicts the concrete key-set of a transaction instance.
+    ///
+    /// For independent transactions `resolver` may be `None` (pure
+    /// client-side prediction). Dependent instances need a resolver reading
+    /// the *prepare indirect keys* snapshot; every pivot consulted is
+    /// recorded in [`Prediction::pivot_observations`] for execution-time
+    /// validation.
+    ///
+    /// # Errors
+    /// [`PredictError::NeedsStore`] if a pivot is required but no resolver
+    /// was given; [`PredictError::Eval`] on profile/input mismatch.
+    pub fn predict(
+        &self,
+        inputs: &[Value],
+        mut resolver: Option<&mut dyn PivotResolver>,
+    ) -> Result<Prediction, PredictError> {
+        let mut inst = Instantiator {
+            inputs,
+            pivot_specs: &self.pivots,
+            resolver: resolver.take().map(|r| r as &mut dyn PivotResolver),
+            cache: Default::default(),
+            observations: Vec::new(),
+        };
+        let mut loop_env = Vec::new();
+        // Walk the PSC tree.
+        let mut node = &self.root;
+        loop {
+            match node {
+                ProfileNode::Branch { cond, then, els } => {
+                    let v = inst.eval(cond, &mut loop_env)?;
+                    match v {
+                        Value::Bool(true) => node = then,
+                        Value::Bool(false) => node = els,
+                        other => {
+                            return Err(PredictError::Eval(EvalError::TypeMismatch {
+                                expected: "bool",
+                                got: other,
+                            }))
+                        }
+                    }
+                }
+                ProfileNode::Leaf(template) => {
+                    let mut prediction = Prediction::default();
+                    for e in &template.reads {
+                        inst.expand(e, &mut loop_env, false, &mut prediction)?;
+                    }
+                    for e in &template.writes {
+                        inst.expand(e, &mut loop_env, true, &mut prediction)?;
+                    }
+                    for (k, v) in inst.observations {
+                        if !prediction.pivot_observations.iter().any(|(pk, _)| pk == &k) {
+                            prediction.pivot_observations.push((k, v));
+                        }
+                    }
+                    return Ok(prediction);
+                }
+            }
+        }
+    }
+
+    /// Predicts without consulting any store; succeeds only when the chosen
+    /// path and its RWS are direct (functions of the inputs alone).
+    ///
+    /// # Errors
+    /// Same as [`Profile::predict`]; [`PredictError::NeedsStore`] marks the
+    /// instance as dependent.
+    pub fn predict_direct(&self, inputs: &[Value]) -> Result<Prediction, PredictError> {
+        self.predict(inputs, None)
+    }
+}
+
+impl fmt::Display for Profile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "profile {} [{}]: {} partitions, {} unique key-sets, depth {}, {} pivots",
+            self.program_name,
+            self.class,
+            self.partition_count(),
+            self.unique_key_sets(),
+            self.depth(),
+            self.pivots.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rws::RwsEntry;
+    use crate::sym::PivotId;
+    use prognosticator_txir::{BinOp, Key, TableId};
+
+    fn single(table: u16, part: SymExpr) -> RwsEntry {
+        RwsEntry::Single(KeyTemplate::new(TableId(table), vec![part]))
+    }
+
+    fn leaf(reads: Vec<RwsEntry>, writes: Vec<RwsEntry>) -> ProfileNode {
+        ProfileNode::Leaf(RwsTemplate { reads, writes })
+    }
+
+    #[test]
+    fn classify_read_only() {
+        let p = Profile::new(
+            "rot".into(),
+            leaf(vec![single(0, SymExpr::Input(0))], vec![]),
+            vec![],
+        );
+        assert_eq!(p.class(), TxClass::ReadOnly);
+        assert_eq!(p.partition_count(), 1);
+        assert_eq!(p.depth(), 0);
+    }
+
+    #[test]
+    fn classify_independent_and_predict() {
+        let root = ProfileNode::Branch {
+            cond: SymExpr::bin(BinOp::Gt, SymExpr::Input(0), SymExpr::int(5)),
+            then: Box::new(leaf(vec![], vec![single(1, SymExpr::Input(0))])),
+            els: Box::new(leaf(vec![], vec![single(2, SymExpr::Input(0))])),
+        };
+        let p = Profile::new("it".into(), root, vec![]);
+        assert_eq!(p.class(), TxClass::Independent);
+        assert_eq!(p.unique_key_sets(), 2);
+        assert_eq!(p.depth(), 1);
+
+        let pred = p.predict_direct(&[Value::Int(9)]).unwrap();
+        assert_eq!(pred.writes, vec![Key::of_ints(TableId(1), &[9])]);
+        let pred = p.predict_direct(&[Value::Int(3)]).unwrap();
+        assert_eq!(pred.writes, vec![Key::of_ints(TableId(2), &[3])]);
+    }
+
+    #[test]
+    fn classify_dependent_and_needs_store() {
+        let piv = KeyTemplate::new(TableId(0), vec![SymExpr::Input(0)]);
+        let root = leaf(
+            vec![single(0, SymExpr::Input(0))],
+            vec![single(1, SymExpr::Field(Box::new(SymExpr::Pivot(PivotId(0))), 0))],
+        );
+        let p = Profile::new("dt".into(), root, vec![piv]);
+        assert_eq!(p.class(), TxClass::Dependent);
+        assert_eq!(p.indirect_keys(), 1);
+
+        let err = p.predict_direct(&[Value::Int(1)]).unwrap_err();
+        assert_eq!(err, PredictError::NeedsStore);
+
+        let mut resolver = |_: &Key| Value::record(vec![Value::Int(7)]);
+        let pred = p.predict(&[Value::Int(1)], Some(&mut resolver)).unwrap();
+        assert_eq!(pred.writes, vec![Key::of_ints(TableId(1), &[7])]);
+        assert_eq!(pred.pivot_observations.len(), 1);
+        assert!(pred.is_dependent());
+    }
+
+    #[test]
+    fn pivot_condition_makes_dependent() {
+        let piv = KeyTemplate::new(TableId(0), vec![SymExpr::int(1)]);
+        let root = ProfileNode::Branch {
+            cond: SymExpr::bin(
+                BinOp::Ne,
+                SymExpr::Field(Box::new(SymExpr::Pivot(PivotId(0))), 0),
+                SymExpr::int(0),
+            ),
+            then: Box::new(leaf(vec![], vec![single(1, SymExpr::Input(0))])),
+            els: Box::new(leaf(vec![], vec![single(2, SymExpr::Input(0))])),
+        };
+        let p = Profile::new("dt2".into(), root.clone(), vec![piv]);
+        assert_eq!(p.class(), TxClass::Dependent);
+        assert!(root.has_pivot_condition());
+
+        // Traversal resolves the pivot through the resolver.
+        let mut resolver = |_: &Key| Value::record(vec![Value::Int(5)]);
+        let pred = p.predict(&[Value::Int(3)], Some(&mut resolver)).unwrap();
+        assert_eq!(pred.writes, vec![Key::of_ints(TableId(1), &[3])]);
+    }
+
+    #[test]
+    fn unique_key_sets_dedupes() {
+        let same = leaf(vec![], vec![single(1, SymExpr::Input(0))]);
+        let root = ProfileNode::Branch {
+            cond: SymExpr::bin(BinOp::Gt, SymExpr::Input(0), SymExpr::int(5)),
+            then: Box::new(same.clone()),
+            els: Box::new(same),
+        };
+        let p = Profile::new("dup".into(), root, vec![]);
+        assert_eq!(p.partition_count(), 2);
+        assert_eq!(p.unique_key_sets(), 1);
+    }
+
+    #[test]
+    fn display_and_size() {
+        let p = Profile::new(
+            "d".into(),
+            leaf(vec![single(0, SymExpr::Input(0))], vec![]),
+            vec![],
+        );
+        assert!(format!("{p}").contains("ROT"));
+        assert!(p.approx_size() > 0);
+    }
+}

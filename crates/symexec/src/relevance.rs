@@ -1,0 +1,339 @@
+//! Irrelevant-variable analysis (the paper's Soot-based optimization).
+//!
+//! A variable or input is **relevant** when information can flow from it —
+//! explicitly through assignments, or implicitly through control flow —
+//! into the *identity* of a key passed to GET/PUT (paper §III-B, "avoiding
+//! irrelevant paths"). Everything else is *irrelevant* and is concretized
+//! during symbolic execution (concolic execution), so branches that depend
+//! only on irrelevant data follow a single path.
+//!
+//! The analysis is a conservative backward fixpoint:
+//!
+//! * **seed** — variables/inputs appearing in any GET/PUT key expression,
+//!   and the bounds of any loop whose body performs a store access (the
+//!   iteration count decides *which* keys are touched);
+//! * **explicit flow** — if `v` is relevant and `v = e`, everything `e`
+//!   reads is relevant;
+//! * **implicit flow** — if a branch (or loop) assigns a relevant variable,
+//!   the branch condition (loop bounds) is relevant;
+//! * **access-shape flow** — if the two arms of a branch perform
+//!   syntactically different store accesses, the condition is relevant
+//!   (this is what keeps TPC-C `delivery`'s per-district `if` symbolic
+//!   while letting `newOrder`'s stock-update `if` collapse).
+
+use prognosticator_txir::{Expr, Program, Stmt, VarId};
+use std::collections::HashSet;
+
+/// Result of the analysis.
+#[derive(Debug, Clone, Default)]
+pub struct Relevance {
+    relevant_vars: HashSet<VarId>,
+    relevant_inputs: HashSet<usize>,
+}
+
+impl Relevance {
+    /// Whether local variable `v` can influence key identities.
+    pub fn var_is_relevant(&self, v: VarId) -> bool {
+        self.relevant_vars.contains(&v)
+    }
+
+    /// Whether input `i` can influence key identities.
+    pub fn input_is_relevant(&self, i: usize) -> bool {
+        self.relevant_inputs.contains(&i)
+    }
+
+    /// Number of relevant variables (diagnostics).
+    pub fn relevant_var_count(&self) -> usize {
+        self.relevant_vars.len()
+    }
+
+    /// Number of relevant inputs (diagnostics).
+    pub fn relevant_input_count(&self) -> usize {
+        self.relevant_inputs.len()
+    }
+
+    fn mark_expr(&mut self, e: &Expr) -> bool {
+        let mut changed = false;
+        for v in e.vars() {
+            changed |= self.relevant_vars.insert(v);
+        }
+        for i in e.inputs() {
+            changed |= self.relevant_inputs.insert(i);
+        }
+        changed
+    }
+}
+
+/// Runs the analysis on `program`.
+pub fn analyze(program: &Program) -> Relevance {
+    let mut rel = Relevance::default();
+    // Seed: key expressions and bounds of access-performing loops.
+    seed_block(program.body(), &mut rel);
+    // Fixpoint propagation.
+    loop {
+        if !propagate_block(program.body(), &mut rel) {
+            break;
+        }
+    }
+    rel
+}
+
+fn seed_block(block: &[Stmt], rel: &mut Relevance) {
+    for stmt in block {
+        match stmt {
+            Stmt::Get(_, key) | Stmt::Put(key, _) => {
+                rel.mark_expr(key);
+            }
+            Stmt::If(_, t, e) => {
+                seed_block(t, rel);
+                seed_block(e, rel);
+            }
+            Stmt::For { from, to, body, .. } => {
+                if block_accesses_store(body) {
+                    rel.mark_expr(from);
+                    rel.mark_expr(to);
+                }
+                seed_block(body, rel);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn block_accesses_store(block: &[Stmt]) -> bool {
+    let mut found = false;
+    for s in block {
+        s.visit(&mut |st| {
+            if matches!(st, Stmt::Get(..) | Stmt::Put(..)) {
+                found = true;
+            }
+        });
+    }
+    found
+}
+
+/// Variables assigned anywhere in a block (including nested).
+fn assigned_vars(block: &[Stmt]) -> HashSet<VarId> {
+    let mut out = HashSet::new();
+    for s in block {
+        s.visit(&mut |st| match st {
+            Stmt::Assign(v, _) | Stmt::Get(v, _) | Stmt::SetField(v, _, _) => {
+                out.insert(*v);
+            }
+            Stmt::For { var, .. } => {
+                out.insert(*var);
+            }
+            _ => {}
+        });
+    }
+    out
+}
+
+/// The flattened "access shape" of a block: ordered `(is_put, key expr)`
+/// list, used to decide whether two branch arms touch the same keys.
+fn access_shape(block: &[Stmt]) -> Vec<(bool, Expr)> {
+    let mut out = Vec::new();
+    for s in block {
+        s.visit(&mut |st| match st {
+            Stmt::Get(_, key) => out.push((false, key.clone())),
+            Stmt::Put(key, _) => out.push((true, key.clone())),
+            _ => {}
+        });
+    }
+    out
+}
+
+fn propagate_block(block: &[Stmt], rel: &mut Relevance) -> bool {
+    let mut changed = false;
+    for stmt in block {
+        match stmt {
+            Stmt::Assign(v, e) => {
+                if rel.var_is_relevant(*v) {
+                    changed |= rel.mark_expr(e);
+                }
+            }
+            Stmt::Get(v, key) => {
+                // The key is always relevant (seeded); if the *result*
+                // is relevant, this GET is a pivot — its key already is
+                // marked, nothing further flows backward.
+                if rel.var_is_relevant(*v) {
+                    changed |= rel.mark_expr(key);
+                }
+            }
+            Stmt::Put(..) | Stmt::Emit(_) => {}
+            Stmt::SetField(v, _, e) => {
+                if rel.var_is_relevant(*v) {
+                    changed |= rel.mark_expr(e);
+                }
+            }
+            Stmt::If(cond, t, e) => {
+                let assigns_relevant = assigned_vars(t)
+                    .union(&assigned_vars(e))
+                    .any(|v| rel.var_is_relevant(*v));
+                let shapes_differ = access_shape(t) != access_shape(e);
+                if assigns_relevant || shapes_differ {
+                    changed |= rel.mark_expr(cond);
+                }
+                changed |= propagate_block(t, rel);
+                changed |= propagate_block(e, rel);
+            }
+            Stmt::For { var, from, to, body } => {
+                if rel.var_is_relevant(*var)
+                    || assigned_vars(body).iter().any(|v| rel.var_is_relevant(*v))
+                {
+                    changed |= rel.mark_expr(from);
+                    changed |= rel.mark_expr(to);
+                }
+                changed |= propagate_block(body, rel);
+            }
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prognosticator_txir::{Expr, InputBound, ProgramBuilder};
+
+    #[test]
+    fn key_inputs_are_relevant() {
+        let mut b = ProgramBuilder::new("p");
+        let t = b.table("t");
+        let id = b.input("id", InputBound::int(0, 9));
+        let amt = b.input("amt", InputBound::int(0, 9));
+        let v = b.var("v");
+        b.get(v, Expr::key(t, vec![Expr::input(id)]));
+        b.put(Expr::key(t, vec![Expr::input(id)]), Expr::input(amt));
+        let p = b.build();
+        let rel = analyze(&p);
+        assert!(rel.input_is_relevant(id));
+        assert!(!rel.input_is_relevant(amt), "PUT value must not be relevant");
+        assert!(!rel.var_is_relevant(v), "read result only flows to nothing");
+    }
+
+    #[test]
+    fn explicit_flow_chases_assignments() {
+        let mut b = ProgramBuilder::new("p");
+        let t = b.table("t");
+        let id = b.input("id", InputBound::int(0, 9));
+        let x = b.var("x");
+        let y = b.var("y");
+        b.assign(x, Expr::input(id).add(Expr::lit(1)));
+        b.assign(y, Expr::var(x).mul(Expr::lit(2)));
+        b.put(Expr::key(t, vec![Expr::var(y)]), Expr::lit(0));
+        let p = b.build();
+        let rel = analyze(&p);
+        assert!(rel.var_is_relevant(y));
+        assert!(rel.var_is_relevant(x));
+        assert!(rel.input_is_relevant(id));
+    }
+
+    #[test]
+    fn pivot_get_marks_result_dependency() {
+        // v = GET(t(id)); PUT(t(v.0), 0) — v is relevant, hence id stays
+        // relevant and the GET becomes a pivot read.
+        let mut b = ProgramBuilder::new("p");
+        let t = b.table("t");
+        let id = b.input("id", InputBound::int(0, 9));
+        let v = b.var("v");
+        b.get(v, Expr::key(t, vec![Expr::input(id)]));
+        b.put(Expr::key(t, vec![Expr::var(v).field(0)]), Expr::lit(0));
+        let p = b.build();
+        let rel = analyze(&p);
+        assert!(rel.var_is_relevant(v));
+        assert!(rel.input_is_relevant(id));
+    }
+
+    #[test]
+    fn same_shape_branches_keep_condition_irrelevant() {
+        // The newOrder pattern: both arms PUT the same key, different value.
+        let mut b = ProgramBuilder::new("p");
+        let t = b.table("stock");
+        let id = b.input("id", InputBound::int(0, 9));
+        let qty = b.input("qty", InputBound::int(0, 9));
+        let item = b.var("item");
+        let key = Expr::key(t, vec![Expr::input(id)]);
+        b.get(item, key.clone());
+        b.if_(
+            Expr::var(item).field(0).le(Expr::input(qty)),
+            |b| b.put(key.clone(), Expr::lit(1)),
+            |b| b.put(key.clone(), Expr::lit(2)),
+        );
+        let p = b.build();
+        let rel = analyze(&p);
+        assert!(!rel.input_is_relevant(qty), "branch condition is irrelevant");
+        assert!(!rel.var_is_relevant(item));
+    }
+
+    #[test]
+    fn different_shape_branches_make_condition_relevant() {
+        // The delivery pattern: one arm accesses the store, the other not.
+        let mut b = ProgramBuilder::new("p");
+        let t = b.table("orders");
+        let id = b.input("id", InputBound::int(0, 9));
+        let c = b.var("c");
+        b.get(c, Expr::key(t, vec![Expr::input(id)]));
+        b.if_(
+            Expr::var(c).ne(Expr::lit(0)),
+            |b| b.put(Expr::key(prognosticator_txir::TableId(0), vec![Expr::var(c)]), Expr::lit(0)),
+            |_| {},
+        );
+        let p = b.build();
+        let rel = analyze(&p);
+        assert!(rel.var_is_relevant(c), "condition variable must be relevant");
+    }
+
+    #[test]
+    fn implicit_flow_through_branch_assignment() {
+        // if (flag) { x = 1 } else { x = 2 }; PUT(t(x)) — flag is relevant.
+        let mut b = ProgramBuilder::new("p");
+        let t = b.table("t");
+        let flag = b.input("flag", InputBound::int(0, 1));
+        let x = b.var("x");
+        b.if_(
+            Expr::input(flag).eq(Expr::lit(1)),
+            |b| b.assign(x, Expr::lit(1)),
+            |b| b.assign(x, Expr::lit(2)),
+        );
+        b.put(Expr::key(t, vec![Expr::var(x)]), Expr::lit(0));
+        let p = b.build();
+        let rel = analyze(&p);
+        assert!(rel.var_is_relevant(x));
+        assert!(rel.input_is_relevant(flag), "implicit flow must be tracked");
+    }
+
+    #[test]
+    fn loop_bounds_relevant_when_body_accesses_store() {
+        let mut b = ProgramBuilder::new("p");
+        let t = b.table("t");
+        let n = b.input("n", InputBound::int(1, 5));
+        let i = b.var("i");
+        b.for_(i, Expr::lit(0), Expr::input(n), |b| {
+            b.put(Expr::key(t, vec![Expr::var(i)]), Expr::lit(0));
+        });
+        let p = b.build();
+        let rel = analyze(&p);
+        assert!(rel.input_is_relevant(n));
+        assert!(rel.var_is_relevant(i));
+    }
+
+    #[test]
+    fn pure_compute_loop_is_irrelevant() {
+        let mut b = ProgramBuilder::new("p");
+        let n = b.input("n", InputBound::int(1, 5));
+        let i = b.var("i");
+        let acc = b.var("acc");
+        b.assign(acc, Expr::lit(0));
+        b.for_(i, Expr::lit(0), Expr::input(n), |b| {
+            b.assign(acc, Expr::var(acc).add(Expr::var(i)));
+        });
+        b.emit(Expr::var(acc));
+        let p = b.build();
+        let rel = analyze(&p);
+        assert!(!rel.input_is_relevant(n));
+        assert!(!rel.var_is_relevant(acc));
+        assert_eq!(rel.relevant_var_count(), 0);
+        assert_eq!(rel.relevant_input_count(), 0);
+    }
+}

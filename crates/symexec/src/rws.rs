@@ -1,0 +1,572 @@
+//! Read/write-set templates and their concrete instantiation (prediction).
+
+use crate::sym::{ConcreteEnv, KeyTemplate, LoopVarId, PivotId, SymExpr};
+use prognosticator_txir::{EvalError, Key, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// One entry of a read- or write-set template.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RwsEntry {
+    /// A single (possibly symbolic, possibly indirect) key.
+    Single(KeyTemplate),
+    /// A summarized loop: for `loop_var` in `from..to`, every nested entry
+    /// is accessed once per iteration. Produced by loop summarization
+    /// (§III-B "exploring and merging execution paths"): this is what lets
+    /// TPC-C `newOrder` collapse to a single key-set.
+    Range {
+        /// The summarized induction variable.
+        loop_var: LoopVarId,
+        /// Inclusive start (symbolic over inputs).
+        from: SymExpr,
+        /// Exclusive end (symbolic over inputs).
+        to: SymExpr,
+        /// Per-iteration entries (may reference `loop_var`).
+        entries: Vec<RwsEntry>,
+    },
+}
+
+impl RwsEntry {
+    /// Whether this entry (or any nested entry) depends on a pivot.
+    pub fn is_indirect(&self) -> bool {
+        match self {
+            RwsEntry::Single(kt) => kt.is_indirect(),
+            RwsEntry::Range { entries, .. } => entries.iter().any(RwsEntry::is_indirect),
+        }
+    }
+
+    /// Number of leaf (Single) entries that are indirect; `Range` entries
+    /// count their body once (the Table I "indirect keys" metric counts
+    /// template positions, not expansions).
+    pub fn indirect_count(&self) -> u64 {
+        match self {
+            RwsEntry::Single(kt) => u64::from(kt.is_indirect()),
+            RwsEntry::Range { entries, .. } => entries.iter().map(RwsEntry::indirect_count).sum(),
+        }
+    }
+
+    /// Pivots mentioned anywhere in the entry.
+    pub fn pivots(&self) -> Vec<PivotId> {
+        let mut out = Vec::new();
+        self.collect_pivots(&mut out);
+        out
+    }
+
+    fn collect_pivots(&self, out: &mut Vec<PivotId>) {
+        match self {
+            RwsEntry::Single(kt) => {
+                for p in kt.pivots() {
+                    if !out.contains(&p) {
+                        out.push(p);
+                    }
+                }
+            }
+            RwsEntry::Range { entries, .. } => {
+                for e in entries {
+                    e.collect_pivots(out);
+                }
+            }
+        }
+    }
+
+    /// Rough heap-size estimate in bytes.
+    pub fn approx_size(&self) -> usize {
+        match self {
+            RwsEntry::Single(kt) => {
+                std::mem::size_of::<Self>()
+                    + kt.parts.iter().map(SymExpr::approx_size).sum::<usize>()
+            }
+            RwsEntry::Range { from, to, entries, .. } => {
+                std::mem::size_of::<Self>()
+                    + from.approx_size()
+                    + to.approx_size()
+                    + entries.iter().map(RwsEntry::approx_size).sum::<usize>()
+            }
+        }
+    }
+}
+
+impl fmt::Display for RwsEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RwsEntry::Single(kt) => write!(f, "{kt}"),
+            RwsEntry::Range { loop_var, from, to, entries } => {
+                write!(f, "for {loop_var} in {from}..{to} {{")?;
+                for (i, e) in entries.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+/// The read/write-set template of one execution-path partition (one profile
+/// leaf): the `RWS_i` of a `<PSC_i, RWS_i>` pair in the paper's terms.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct RwsTemplate {
+    /// Read-set entries, deduplicated, program order.
+    pub reads: Vec<RwsEntry>,
+    /// Write-set entries, deduplicated, program order.
+    pub writes: Vec<RwsEntry>,
+}
+
+impl RwsTemplate {
+    /// Whether the path writes nothing.
+    pub fn is_read_only(&self) -> bool {
+        self.writes.is_empty()
+    }
+
+    /// Whether any entry is indirect (pivot-dependent).
+    pub fn has_indirect(&self) -> bool {
+        self.reads.iter().chain(&self.writes).any(RwsEntry::is_indirect)
+    }
+
+    /// Indirect-entry count (see [`RwsEntry::indirect_count`]).
+    pub fn indirect_count(&self) -> u64 {
+        self.reads.iter().chain(&self.writes).map(RwsEntry::indirect_count).sum()
+    }
+
+    /// All pivots referenced by the template.
+    pub fn pivots(&self) -> Vec<PivotId> {
+        let mut out = Vec::new();
+        for e in self.reads.iter().chain(&self.writes) {
+            e.collect_pivots(&mut out);
+        }
+        out
+    }
+
+    /// Rough heap-size estimate in bytes.
+    pub fn approx_size(&self) -> usize {
+        self.reads.iter().chain(&self.writes).map(RwsEntry::approx_size).sum()
+    }
+}
+
+/// Classification of a transaction program, derived from its profile
+/// (paper §III-C): read-only (ROT), independent (IT) or dependent (DT).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TxClass {
+    /// Never writes; executed lock-less against a snapshot.
+    ReadOnly,
+    /// Key-set is a function of the inputs alone.
+    Independent,
+    /// Key-set depends on database state (has pivots); requires the
+    /// *prepare indirect keys* phase and validation at execution time.
+    Dependent,
+}
+
+impl fmt::Display for TxClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TxClass::ReadOnly => "ROT",
+            TxClass::Independent => "IT",
+            TxClass::Dependent => "DT",
+        })
+    }
+}
+
+/// The concrete key-set predicted for one transaction instance.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Prediction {
+    /// Concrete keys predicted to be read (deduplicated).
+    pub reads: Vec<Key>,
+    /// Concrete keys predicted to be written (deduplicated).
+    pub writes: Vec<Key>,
+    /// Pivot observations made while predicting: `(key, value at
+    /// prediction time)`. Workers re-read these at execution time and abort
+    /// the transaction if any changed (the paper's DT validation).
+    pub pivot_observations: Vec<(Key, Value)>,
+}
+
+impl Prediction {
+    /// Deduplicated union of reads and writes — the keys to lock.
+    pub fn key_set(&self) -> Vec<Key> {
+        let mut out = self.reads.clone();
+        for k in &self.writes {
+            if !out.contains(k) {
+                out.push(k.clone());
+            }
+        }
+        out
+    }
+
+    /// Whether any pivot was consulted (i.e. this instance is dependent).
+    pub fn is_dependent(&self) -> bool {
+        !self.pivot_observations.is_empty()
+    }
+
+    fn push_read(&mut self, k: Key) {
+        if !self.reads.contains(&k) {
+            self.reads.push(k);
+        }
+    }
+
+    fn push_write(&mut self, k: Key) {
+        if !self.writes.contains(&k) {
+            self.writes.push(k);
+        }
+    }
+}
+
+/// Resolves pivot keys against a store snapshot during prediction — the
+/// *prepare indirect keys* phase reads through this.
+pub trait PivotResolver {
+    /// Reads the current snapshot value of `key` (`Value::Unit` if absent).
+    fn read(&mut self, key: &Key) -> Value;
+}
+
+impl<F: FnMut(&Key) -> Value> PivotResolver for F {
+    fn read(&mut self, key: &Key) -> Value {
+        self(key)
+    }
+}
+
+/// Expands a leaf's template into a concrete [`Prediction`].
+///
+/// `pivot_specs[p]` gives the key template of pivot `p`. Pivot values are
+/// fetched through `resolver` (at most once per concrete key) and recorded
+/// as observations. If `resolver` is `None`, any pivot reference fails —
+/// used for pure client-side prediction of independent transactions.
+#[cfg_attr(not(test), allow(dead_code))]
+pub(crate) fn instantiate_template<'a>(
+    template: &RwsTemplate,
+    inputs: &'a [Value],
+    pivot_specs: &'a [KeyTemplate],
+    resolver: Option<&'a mut dyn PivotResolver>,
+    prediction: &mut Prediction,
+) -> Result<(), EvalError> {
+    let mut cx = Instantiator {
+        inputs,
+        pivot_specs,
+        resolver,
+        cache: HashMap::new(),
+        observations: Vec::new(),
+    };
+    let mut loop_env = Vec::new();
+    for e in &template.reads {
+        cx.expand(e, &mut loop_env, false, prediction)?;
+    }
+    for e in &template.writes {
+        cx.expand(e, &mut loop_env, true, prediction)?;
+    }
+    for (k, v) in cx.observations {
+        if !prediction.pivot_observations.iter().any(|(pk, _)| pk == &k) {
+            prediction.pivot_observations.push((k, v));
+        }
+    }
+    Ok(())
+}
+
+/// Evaluates a symbolic expression during prediction, resolving pivots via
+/// the resolver. Shared with profile-tree condition evaluation.
+pub(crate) struct Instantiator<'a> {
+    pub inputs: &'a [Value],
+    pub pivot_specs: &'a [KeyTemplate],
+    pub resolver: Option<&'a mut dyn PivotResolver>,
+    /// Cache of pivot values by concrete key.
+    pub cache: HashMap<Key, Value>,
+    pub observations: Vec<(Key, Value)>,
+}
+
+impl<'a> Instantiator<'a> {
+    /// Evaluates `expr` with loop bindings `loop_env` (innermost last).
+    pub fn eval(
+        &mut self,
+        expr: &SymExpr,
+        loop_env: &mut Vec<(LoopVarId, i64)>,
+    ) -> Result<Value, EvalError> {
+        // The ConcreteEnv closure API cannot re-enter `self` mutably, so
+        // walk the expression here for the pivot/loop cases and delegate
+        // pure parts to SymExpr::eval.
+        match expr {
+            SymExpr::Pivot(p) => self.pivot_value(*p, loop_env),
+            SymExpr::Field(e, idx) => match self.eval(e, loop_env)? {
+                Value::Record(r) => r
+                    .get(*idx)
+                    .cloned()
+                    .ok_or(EvalError::FieldOutOfRange { index: *idx, len: r.len() }),
+                Value::Unit => Ok(Value::Int(0)),
+                other => Err(EvalError::TypeMismatch { expected: "record", got: other }),
+            },
+            SymExpr::Bin(op, a, b) => {
+                let av = self.eval(a, loop_env)?;
+                let bv = self.eval(b, loop_env)?;
+                prognosticator_txir::interp::apply_bin(*op, av, bv)
+            }
+            SymExpr::Un(op, e) => {
+                let v = self.eval(e, loop_env)?;
+                match (op, v) {
+                    (prognosticator_txir::UnOp::Not, Value::Bool(b)) => Ok(Value::Bool(!b)),
+                    (prognosticator_txir::UnOp::Neg, Value::Int(i)) => {
+                        i.checked_neg().map(Value::Int).ok_or(EvalError::Overflow)
+                    }
+                    (_, other) => {
+                        Err(EvalError::TypeMismatch { expected: "bool/int", got: other })
+                    }
+                }
+            }
+            SymExpr::Record(fields) => {
+                let mut vals = Vec::with_capacity(fields.len());
+                for f in fields {
+                    vals.push(self.eval(f, loop_env)?);
+                }
+                Ok(Value::record(vals))
+            }
+            SymExpr::SetField(base, idx, v) => match self.eval(base, loop_env)? {
+                Value::Record(r) => {
+                    if *idx >= r.len() {
+                        return Err(EvalError::FieldOutOfRange { index: *idx, len: r.len() });
+                    }
+                    let mut fields = r.as_ref().clone();
+                    fields[*idx] = self.eval(v, loop_env)?;
+                    Ok(Value::record(fields))
+                }
+                other => Err(EvalError::TypeMismatch { expected: "record", got: other }),
+            },
+            SymExpr::InputIndex(i, idx) => {
+                let idxv = self.eval(idx, loop_env)?;
+                let env = ConcreteEnv::inputs_only(self.inputs);
+                SymExpr::InputIndex(*i, Box::new(SymExpr::Const(idxv))).eval(&env)
+            }
+            SymExpr::LoopVar(l) => loop_env
+                .iter()
+                .rev()
+                .find(|(lv, _)| lv == l)
+                .map(|(_, v)| Value::Int(*v))
+                .ok_or(EvalError::TypeMismatch {
+                    expected: "bound loop variable",
+                    got: Value::str(&format!("{l}")),
+                }),
+            other => {
+                let env = ConcreteEnv::inputs_only(self.inputs);
+                other.eval(&env)
+            }
+        }
+    }
+
+    fn pivot_value(
+        &mut self,
+        p: PivotId,
+        loop_env: &mut Vec<(LoopVarId, i64)>,
+    ) -> Result<Value, EvalError> {
+        let spec = self.pivot_specs.get(p.0 as usize).cloned().ok_or(
+            EvalError::TypeMismatch {
+                expected: "known pivot",
+                got: Value::str(&format!("{p}")),
+            },
+        )?;
+        let mut parts = Vec::with_capacity(spec.parts.len());
+        for part in &spec.parts {
+            parts.push(self.eval(part, loop_env)?);
+        }
+        let key = Key::new(spec.table, parts);
+        if let Some(v) = self.cache.get(&key) {
+            return Ok(v.clone());
+        }
+        let resolver = self.resolver.as_mut().ok_or(EvalError::TypeMismatch {
+            expected: "pivot resolver (dependent transaction)",
+            got: Value::str(&format!("{p}")),
+        })?;
+        let v = resolver.read(&key);
+        self.cache.insert(key.clone(), v.clone());
+        self.observations.push((key, v.clone()));
+        Ok(v)
+    }
+
+    pub(crate) fn expand(
+        &mut self,
+        entry: &RwsEntry,
+        loop_env: &mut Vec<(LoopVarId, i64)>,
+        is_write: bool,
+        prediction: &mut Prediction,
+    ) -> Result<(), EvalError> {
+        match entry {
+            RwsEntry::Single(kt) => {
+                let mut parts = Vec::with_capacity(kt.parts.len());
+                for p in &kt.parts {
+                    parts.push(self.eval(p, loop_env)?);
+                }
+                let key = Key::new(kt.table, parts);
+                if is_write {
+                    prediction.push_write(key);
+                } else {
+                    prediction.push_read(key);
+                }
+                Ok(())
+            }
+            RwsEntry::Range { loop_var, from, to, entries } => {
+                let from = match self.eval(from, loop_env)? {
+                    Value::Int(i) => i,
+                    other => return Err(EvalError::TypeMismatch { expected: "int", got: other }),
+                };
+                let to = match self.eval(to, loop_env)? {
+                    Value::Int(i) => i,
+                    other => return Err(EvalError::TypeMismatch { expected: "int", got: other }),
+                };
+                for i in from..to {
+                    loop_env.push((*loop_var, i));
+                    for e in entries {
+                        self.expand(e, loop_env, is_write, prediction)?;
+                    }
+                    loop_env.pop();
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prognosticator_txir::TableId;
+
+    fn direct(table: u16, part: SymExpr) -> RwsEntry {
+        RwsEntry::Single(KeyTemplate::new(TableId(table), vec![part]))
+    }
+
+    #[test]
+    fn tx_class_display() {
+        assert_eq!(TxClass::ReadOnly.to_string(), "ROT");
+        assert_eq!(TxClass::Independent.to_string(), "IT");
+        assert_eq!(TxClass::Dependent.to_string(), "DT");
+    }
+
+    #[test]
+    fn instantiate_direct_template() {
+        let t = RwsTemplate {
+            reads: vec![direct(0, SymExpr::Input(0))],
+            writes: vec![direct(1, SymExpr::bin(
+                prognosticator_txir::BinOp::Add,
+                SymExpr::Input(0),
+                SymExpr::int(1),
+            ))],
+        };
+        assert!(!t.has_indirect());
+        let mut pred = Prediction::default();
+        instantiate_template(&t, &[Value::Int(4)], &[], None, &mut pred).unwrap();
+        assert_eq!(pred.reads, vec![Key::of_ints(TableId(0), &[4])]);
+        assert_eq!(pred.writes, vec![Key::of_ints(TableId(1), &[5])]);
+        assert!(!pred.is_dependent());
+        assert_eq!(pred.key_set().len(), 2);
+    }
+
+    #[test]
+    fn instantiate_range_template() {
+        let lv = LoopVarId(0);
+        let t = RwsTemplate {
+            reads: vec![RwsEntry::Range {
+                loop_var: lv,
+                from: SymExpr::int(0),
+                to: SymExpr::Input(0),
+                entries: vec![direct(2, SymExpr::LoopVar(lv))],
+            }],
+            writes: vec![],
+        };
+        let mut pred = Prediction::default();
+        instantiate_template(&t, &[Value::Int(3)], &[], None, &mut pred).unwrap();
+        assert_eq!(
+            pred.reads,
+            vec![
+                Key::of_ints(TableId(2), &[0]),
+                Key::of_ints(TableId(2), &[1]),
+                Key::of_ints(TableId(2), &[2]),
+            ]
+        );
+        assert!(t.is_read_only());
+    }
+
+    #[test]
+    fn instantiate_pivot_template_records_observation() {
+        // pivot p0 = GET(t0(in0)); write t1(p0.0 + 1)
+        let p0_spec = KeyTemplate::new(TableId(0), vec![SymExpr::Input(0)]);
+        let t = RwsTemplate {
+            reads: vec![direct(0, SymExpr::Input(0))],
+            writes: vec![direct(
+                1,
+                SymExpr::bin(
+                    prognosticator_txir::BinOp::Add,
+                    SymExpr::Field(Box::new(SymExpr::Pivot(PivotId(0))), 0),
+                    SymExpr::int(1),
+                ),
+            )],
+        };
+        assert!(t.has_indirect());
+        assert_eq!(t.indirect_count(), 1);
+        assert_eq!(t.pivots(), vec![PivotId(0)]);
+
+        let mut pred = Prediction::default();
+        let mut resolver = |k: &Key| {
+            assert_eq!(k, &Key::of_ints(TableId(0), &[7]));
+            Value::record(vec![Value::Int(41)])
+        };
+        instantiate_template(
+            &t,
+            &[Value::Int(7)],
+            std::slice::from_ref(&p0_spec),
+            Some(&mut resolver),
+            &mut pred,
+        )
+        .unwrap();
+        assert_eq!(pred.writes, vec![Key::of_ints(TableId(1), &[42])]);
+        assert!(pred.is_dependent());
+        assert_eq!(pred.pivot_observations.len(), 1);
+    }
+
+    #[test]
+    fn pivot_without_resolver_fails() {
+        let p0_spec = KeyTemplate::new(TableId(0), vec![SymExpr::int(1)]);
+        let t = RwsTemplate {
+            reads: vec![],
+            writes: vec![direct(1, SymExpr::Pivot(PivotId(0)))],
+        };
+        let mut pred = Prediction::default();
+        let err =
+            instantiate_template(&t, &[], std::slice::from_ref(&p0_spec), None, &mut pred);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn pivot_cache_reads_once() {
+        let p0_spec = KeyTemplate::new(TableId(0), vec![SymExpr::int(1)]);
+        let t = RwsTemplate {
+            reads: vec![
+                direct(1, SymExpr::Field(Box::new(SymExpr::Pivot(PivotId(0))), 0)),
+                direct(2, SymExpr::Field(Box::new(SymExpr::Pivot(PivotId(0))), 0)),
+            ],
+            writes: vec![],
+        };
+        let mut count = 0;
+        let mut resolver = |_: &Key| {
+            count += 1;
+            Value::record(vec![Value::Int(5)])
+        };
+        let mut pred = Prediction::default();
+        instantiate_template(
+            &t,
+            &[],
+            std::slice::from_ref(&p0_spec),
+            Some(&mut resolver),
+            &mut pred,
+        )
+        .unwrap();
+        assert_eq!(count, 1);
+        assert_eq!(pred.pivot_observations.len(), 1);
+        assert_eq!(pred.reads.len(), 2);
+    }
+
+    #[test]
+    fn display_entries() {
+        let e = RwsEntry::Range {
+            loop_var: LoopVarId(1),
+            from: SymExpr::int(0),
+            to: SymExpr::Input(0),
+            entries: vec![direct(0, SymExpr::LoopVar(LoopVarId(1)))],
+        };
+        assert!(format!("{e}").contains(".."));
+    }
+}

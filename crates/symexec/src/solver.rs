@@ -1,0 +1,587 @@
+//! Path-constraint satisfiability over bounded inputs.
+//!
+//! The paper uses an off-the-shelf constraint solver via Symbolic
+//! PathFinder. Here, every symbolic variable that can appear in a branch
+//! condition is either (a) a **bounded** integer/choice transaction input,
+//! (b) the length of a bounded list input, or (c) an unconstrained pivot
+//! value. This makes a small decision procedure exact for (a)/(b):
+//!
+//! 1. fold away constant conjuncts,
+//! 2. check for syntactic complement pairs (`c` and `¬c`), then
+//! 3. decide the input-only fragment by interval propagation and, when the
+//!    domain product is small, exact enumeration.
+//!
+//! Conjuncts mentioning pivots (or list elements) are treated as
+//! satisfiable unless step 2 refutes them. The procedure is therefore
+//! *sound for pruning*: it never reports `Unsat` for a satisfiable path, so
+//! no feasible execution path is ever dropped — the same requirement JPF
+//! places on its solver backends.
+
+use crate::sym::SymExpr;
+use prognosticator_txir::{BinOp, InputBound, UnOp, Value};
+use std::collections::{HashMap, HashSet};
+
+/// Default cap on the enumerated assignment count.
+pub const DEFAULT_ENUM_LIMIT: u128 = 200_000;
+
+/// Variables the enumerator assigns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum EnumVar {
+    /// The value of integer/choice input `i`.
+    Val(usize),
+    /// The length of list input `i`.
+    Len(usize),
+}
+
+/// Satisfiability verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sat {
+    /// A satisfying assignment exists (or could not be ruled out).
+    Sat,
+    /// Definitely unsatisfiable.
+    Unsat,
+}
+
+/// Decides path-constraint satisfiability given the program's input bounds.
+#[derive(Debug, Clone)]
+pub struct Solver {
+    bounds: Vec<InputBound>,
+    enum_limit: u128,
+}
+
+impl Solver {
+    /// Creates a solver for a program with the given input bounds.
+    pub fn new(bounds: Vec<InputBound>) -> Self {
+        Solver { bounds, enum_limit: DEFAULT_ENUM_LIMIT }
+    }
+
+    /// Overrides the enumeration limit.
+    pub fn with_enum_limit(mut self, limit: u128) -> Self {
+        self.enum_limit = limit.max(1);
+        self
+    }
+
+    /// Whether the conjunction of `constraints` is satisfiable.
+    ///
+    /// `Sat` may be over-approximate (never prunes a feasible path);
+    /// `Unsat` is always exact.
+    pub fn check(&self, constraints: &[SymExpr]) -> Sat {
+        let mut enumerable: Vec<&SymExpr> = Vec::new();
+        let mut seen: HashSet<&SymExpr> = HashSet::new();
+        for c in constraints {
+            match c {
+                SymExpr::Const(Value::Bool(true)) => continue,
+                SymExpr::Const(Value::Bool(false)) => return Sat::Unsat,
+                _ => {}
+            }
+            // Syntactic complement check: `c` together with `¬c` (as the
+            // smart constructor would have normalized it) is contradictory
+            // regardless of pivots.
+            let neg = SymExpr::un(UnOp::Not, c.clone());
+            if constraints.iter().any(|other| *other == neg) {
+                return Sat::Unsat;
+            }
+            if self.is_enumerable(c) && seen.insert(c) {
+                enumerable.push(c);
+            }
+        }
+        if enumerable.is_empty() {
+            return Sat::Sat;
+        }
+        // Interval propagation first: cheap, and handles large domains.
+        if self.intervals_refute(&enumerable) {
+            return Sat::Unsat;
+        }
+        // Split the conjunction into connected components (conjuncts
+        // sharing variables): a conjunction is satisfiable iff every
+        // component is, and per-component enumeration is exponentially
+        // cheaper than the full cross-product.
+        for component in split_components(&enumerable) {
+            match self.enumerate(&component) {
+                Some(Sat::Unsat) => return Sat::Unsat,
+                Some(Sat::Sat) => {}
+                None => {} // component too large to enumerate: assume SAT
+            }
+        }
+        Sat::Sat
+    }
+
+    /// Whether every variable in `e` is an enumerable bounded input.
+    fn is_enumerable(&self, e: &SymExpr) -> bool {
+        let mut ok = true;
+        e.visit(&mut |sub| match sub {
+            SymExpr::Input(i) => {
+                ok &= matches!(
+                    self.bounds.get(*i),
+                    Some(InputBound::Int { .. }) | Some(InputBound::Choice(_))
+                );
+            }
+            SymExpr::InputLen(i) => {
+                ok &= matches!(self.bounds.get(*i), Some(InputBound::IntList { .. }));
+            }
+            SymExpr::InputIndex(..)
+            | SymExpr::Pivot(_)
+            | SymExpr::LoopVar(_)
+            | SymExpr::SetField(..) => ok = false,
+            _ => {}
+        });
+        ok
+    }
+
+    fn var_domain_size(&self, v: EnumVar) -> u128 {
+        match v {
+            EnumVar::Val(i) => match &self.bounds[i] {
+                InputBound::Int { lo, hi } => (*hi as i128 - *lo as i128 + 1) as u128,
+                InputBound::Choice(vs) => vs.len() as u128,
+                _ => u128::MAX,
+            },
+            EnumVar::Len(i) => match &self.bounds[i] {
+                InputBound::IntList { len_lo, len_hi, .. } => (len_hi - len_lo + 1) as u128,
+                _ => u128::MAX,
+            },
+        }
+    }
+
+    fn var_domain(&self, v: EnumVar) -> Vec<Value> {
+        match v {
+            EnumVar::Val(i) => match &self.bounds[i] {
+                InputBound::Int { lo, hi } => (*lo..=*hi).map(Value::Int).collect(),
+                InputBound::Choice(vs) => vs.clone(),
+                _ => unreachable!("is_enumerable checked the bound kind"),
+            },
+            EnumVar::Len(i) => match &self.bounds[i] {
+                InputBound::IntList { len_lo, len_hi, .. } => {
+                    (*len_lo..=*len_hi).map(|l| Value::Int(l as i64)).collect()
+                }
+                _ => unreachable!("is_enumerable checked the bound kind"),
+            },
+        }
+    }
+
+    fn collect_vars(&self, conjuncts: &[&SymExpr]) -> Vec<EnumVar> {
+        let mut vars = Vec::new();
+        for c in conjuncts {
+            c.visit(&mut |sub| {
+                let v = match sub {
+                    SymExpr::Input(i) => EnumVar::Val(*i),
+                    SymExpr::InputLen(i) => EnumVar::Len(*i),
+                    _ => return,
+                };
+                if !vars.contains(&v) {
+                    vars.push(v);
+                }
+            });
+        }
+        vars.sort();
+        vars
+    }
+
+    /// Interval propagation: for conjuncts of the form `a·x + b ⋈ c` (a
+    /// single variable against a constant), intersect per-variable
+    /// intervals; an empty interval refutes the conjunction.
+    fn intervals_refute(&self, conjuncts: &[&SymExpr]) -> bool {
+        let mut intervals: HashMap<EnumVar, (i64, i64)> = HashMap::new();
+        let bound_of = |v: EnumVar| -> (i64, i64) {
+            match v {
+                EnumVar::Val(i) => match &self.bounds[i] {
+                    InputBound::Int { lo, hi } => (*lo, *hi),
+                    InputBound::Choice(vs) => {
+                        let ints: Vec<i64> = vs.iter().filter_map(Value::as_int).collect();
+                        if ints.len() == vs.len() && !ints.is_empty() {
+                            (*ints.iter().min().expect("nonempty"), *ints.iter().max().expect("nonempty"))
+                        } else {
+                            (i64::MIN, i64::MAX)
+                        }
+                    }
+                    _ => (i64::MIN, i64::MAX),
+                },
+                EnumVar::Len(i) => match &self.bounds[i] {
+                    InputBound::IntList { len_lo, len_hi, .. } => (*len_lo as i64, *len_hi as i64),
+                    _ => (i64::MIN, i64::MAX),
+                },
+            }
+        };
+        for c in conjuncts {
+            let Some((var, a, b, op, rhs)) = linear_vs_const(c) else { continue };
+            if a == 0 {
+                continue;
+            }
+            // a*x + b op rhs  →  x op' bound, for a = ±1 only (exactness).
+            if a.abs() != 1 {
+                continue;
+            }
+            let target = match rhs.checked_sub(b) {
+                Some(t) => t,
+                None => continue,
+            };
+            // For a = -1:  -x op target  →  x flip(op) -target.
+            let (op, target) = if a == 1 {
+                (op, target)
+            } else {
+                let flipped = match op {
+                    BinOp::Lt => BinOp::Gt,
+                    BinOp::Le => BinOp::Ge,
+                    BinOp::Gt => BinOp::Lt,
+                    BinOp::Ge => BinOp::Le,
+                    other => other,
+                };
+                match target.checked_neg() {
+                    Some(t) => (flipped, t),
+                    None => continue,
+                }
+            };
+            let entry = intervals.entry(var).or_insert_with(|| bound_of(var));
+            match op {
+                BinOp::Lt => entry.1 = entry.1.min(target.saturating_sub(1)),
+                BinOp::Le => entry.1 = entry.1.min(target),
+                BinOp::Gt => entry.0 = entry.0.max(target.saturating_add(1)),
+                BinOp::Ge => entry.0 = entry.0.max(target),
+                BinOp::Eq => {
+                    entry.0 = entry.0.max(target);
+                    entry.1 = entry.1.min(target);
+                }
+                // `Ne` only refutes with a point domain; handled below.
+                BinOp::Ne => {
+                    if entry.0 == entry.1 && entry.0 == target {
+                        return true;
+                    }
+                }
+                _ => {}
+            }
+            if entry.0 > entry.1 {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Exact enumeration of the bounded variables. Returns `None` if the
+    /// domain product exceeds the limit.
+    fn enumerate(&self, conjuncts: &[&SymExpr]) -> Option<Sat> {
+        let vars = self.collect_vars(conjuncts);
+        // Check the domain product *before* materializing any domain, so
+        // huge input ranges never allocate.
+        let mut product: u128 = 1;
+        for &v in &vars {
+            product = product.checked_mul(self.var_domain_size(v))?;
+            if product > self.enum_limit {
+                return None;
+            }
+        }
+        let domains: Vec<Vec<Value>> = vars.iter().map(|&v| self.var_domain(v)).collect();
+        let mut idx = vec![0usize; vars.len()];
+        loop {
+            let assignment: HashMap<EnumVar, &Value> =
+                vars.iter().zip(&domains).zip(&idx).map(|((v, d), i)| (*v, &d[*i])).collect();
+            // `None` (a type surprise) counts as satisfied: the solver must
+            // never refute what it cannot evaluate.
+            if conjuncts.iter().all(|c| eval_with(c, &assignment).unwrap_or(true)) {
+                return Some(Sat::Sat);
+            }
+            // odometer increment
+            let mut carry = true;
+            for (i, d) in idx.iter_mut().zip(&domains) {
+                if carry {
+                    *i += 1;
+                    if *i == d.len() {
+                        *i = 0;
+                    } else {
+                        carry = false;
+                    }
+                }
+            }
+            if carry {
+                return Some(Sat::Unsat);
+            }
+        }
+    }
+}
+
+/// Partitions conjuncts into connected components by shared variables
+/// (union-find over conjunct indices).
+fn split_components<'e>(conjuncts: &[&'e SymExpr]) -> Vec<Vec<&'e SymExpr>> {
+    let vars_of = |e: &SymExpr| -> Vec<EnumVar> {
+        let mut out = Vec::new();
+        e.visit(&mut |sub| {
+            let v = match sub {
+                SymExpr::Input(i) => EnumVar::Val(*i),
+                SymExpr::InputLen(i) => EnumVar::Len(*i),
+                _ => return,
+            };
+            if !out.contains(&v) {
+                out.push(v);
+            }
+        });
+        out
+    };
+    let var_sets: Vec<Vec<EnumVar>> = conjuncts.iter().map(|e| vars_of(e)).collect();
+    let mut parent: Vec<usize> = (0..conjuncts.len()).collect();
+    fn find(parent: &mut Vec<usize>, mut i: usize) -> usize {
+        while parent[i] != i {
+            parent[i] = parent[parent[i]];
+            i = parent[i];
+        }
+        i
+    }
+    let mut owner: HashMap<EnumVar, usize> = HashMap::new();
+    for (i, vs) in var_sets.iter().enumerate() {
+        for v in vs {
+            match owner.get(v) {
+                Some(&j) => {
+                    let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                    parent[ri] = rj;
+                }
+                None => {
+                    owner.insert(*v, i);
+                }
+            }
+        }
+    }
+    let mut groups: HashMap<usize, Vec<&SymExpr>> = HashMap::new();
+    for (i, e) in conjuncts.iter().enumerate() {
+        groups.entry(find(&mut parent, i)).or_default().push(e);
+    }
+    groups.into_values().collect()
+}
+
+/// Recognizes `lin ⋈ const` or `const ⋈ lin` where `lin = a·x + b` over a
+/// single enumerable variable; returns `(x, a, b, op-normalized-to-lin-on-
+/// the-left, rhs)`.
+fn linear_vs_const(e: &SymExpr) -> Option<(EnumVar, i64, i64, BinOp, i64)> {
+    let SymExpr::Bin(op, l, r) = e else { return None };
+    if !op.is_predicate() || matches!(op, BinOp::And | BinOp::Or) {
+        return None;
+    }
+    match (linear_form(l), linear_form(r)) {
+        (Some((Some(x), a, b)), Some((None, _, c))) => Some((x, a, b, *op, c)),
+        (Some((None, _, c)), Some((Some(x), a, b))) => {
+            // const op lin  →  lin flip(op) const
+            let flipped = match op {
+                BinOp::Lt => BinOp::Gt,
+                BinOp::Le => BinOp::Ge,
+                BinOp::Gt => BinOp::Lt,
+                BinOp::Ge => BinOp::Le,
+                other => *other,
+            };
+            Some((x, a, b, flipped, c))
+        }
+        _ => None,
+    }
+}
+
+/// Returns `(var, a, b)` meaning `a·var + b` (var `None` for constants).
+fn linear_form(e: &SymExpr) -> Option<(Option<EnumVar>, i64, i64)> {
+    match e {
+        SymExpr::Const(Value::Int(c)) => Some((None, 0, *c)),
+        SymExpr::Input(i) => Some((Some(EnumVar::Val(*i)), 1, 0)),
+        SymExpr::InputLen(i) => Some((Some(EnumVar::Len(*i)), 1, 0)),
+        SymExpr::Un(UnOp::Neg, inner) => {
+            let (v, a, b) = linear_form(inner)?;
+            Some((v, a.checked_neg()?, b.checked_neg()?))
+        }
+        SymExpr::Bin(op @ (BinOp::Add | BinOp::Sub), l, r) => {
+            let (vl, al, bl) = linear_form(l)?;
+            let (vr, ar, br) = linear_form(r)?;
+            let (ar, br) = if *op == BinOp::Sub { (ar.checked_neg()?, br.checked_neg()?) } else { (ar, br) };
+            let v = match (vl, vr) {
+                (Some(x), Some(y)) if x == y => Some(x),
+                (Some(x), None) => Some(x),
+                (None, Some(y)) => Some(y),
+                (None, None) => None,
+                _ => return None, // two distinct variables: not single-var linear
+            };
+            Some((v, al.checked_add(ar)?, bl.checked_add(br)?))
+        }
+        SymExpr::Bin(BinOp::Mul, l, r) => {
+            let (vl, al, bl) = linear_form(l)?;
+            let (vr, ar, br) = linear_form(r)?;
+            match (vl, vr) {
+                (Some(x), None) => Some((Some(x), al.checked_mul(br)?, bl.checked_mul(br)?)),
+                (None, Some(y)) => Some((Some(y), ar.checked_mul(bl)?, br.checked_mul(bl)?)),
+                (None, None) => Some((None, 0, bl.checked_mul(br)?)),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Evaluates a predicate under a variable assignment; `None` on any type
+/// surprise (treated by the caller as "cannot refute").
+fn eval_with(e: &SymExpr, assignment: &HashMap<EnumVar, &Value>) -> Option<bool> {
+    match eval_value(e, assignment)? {
+        Value::Bool(b) => Some(b),
+        _ => None,
+    }
+}
+
+fn eval_value(e: &SymExpr, assignment: &HashMap<EnumVar, &Value>) -> Option<Value> {
+    use prognosticator_txir::interp::apply_bin;
+    match e {
+        SymExpr::Const(v) => Some(v.clone()),
+        SymExpr::Input(i) => assignment.get(&EnumVar::Val(*i)).map(|v| (*v).clone()),
+        SymExpr::InputLen(i) => assignment.get(&EnumVar::Len(*i)).map(|v| (*v).clone()),
+        SymExpr::Bin(op, a, b) => {
+            apply_bin(*op, eval_value(a, assignment)?, eval_value(b, assignment)?).ok()
+        }
+        SymExpr::Un(op, inner) => match (op, eval_value(inner, assignment)?) {
+            (UnOp::Not, Value::Bool(b)) => Some(Value::Bool(!b)),
+            (UnOp::Neg, Value::Int(i)) => i.checked_neg().map(Value::Int),
+            _ => None,
+        },
+        SymExpr::Field(inner, idx) => match eval_value(inner, assignment)? {
+            Value::Record(r) => r.get(*idx).cloned(),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int_input(lo: i64, hi: i64) -> InputBound {
+        InputBound::int(lo, hi)
+    }
+
+    fn x() -> SymExpr {
+        SymExpr::Input(0)
+    }
+
+    #[test]
+    fn trivial_cases() {
+        let s = Solver::new(vec![int_input(0, 10)]);
+        assert_eq!(s.check(&[]), Sat::Sat);
+        assert_eq!(s.check(&[SymExpr::bool(true)]), Sat::Sat);
+        assert_eq!(s.check(&[SymExpr::bool(false)]), Sat::Unsat);
+    }
+
+    #[test]
+    fn bounds_refute() {
+        let s = Solver::new(vec![int_input(5, 15)]);
+        // x > 15 is impossible
+        let c = SymExpr::bin(BinOp::Gt, x(), SymExpr::int(15));
+        assert_eq!(s.check(&[c]), Sat::Unsat);
+        // x >= 15 is possible
+        let c = SymExpr::bin(BinOp::Ge, x(), SymExpr::int(15));
+        assert_eq!(s.check(&[c]), Sat::Sat);
+    }
+
+    #[test]
+    fn conjunction_narrowing() {
+        let s = Solver::new(vec![int_input(0, 100)]);
+        let a = SymExpr::bin(BinOp::Gt, x(), SymExpr::int(50));
+        let b = SymExpr::bin(BinOp::Lt, x(), SymExpr::int(50));
+        assert_eq!(s.check(&[a.clone()]), Sat::Sat);
+        assert_eq!(s.check(&[a.clone(), b.clone()]), Sat::Unsat);
+        let c = SymExpr::bin(BinOp::Eq, x(), SymExpr::int(50));
+        assert_eq!(s.check(&[c.clone()]), Sat::Sat);
+        assert_eq!(s.check(&[c, a]), Sat::Unsat);
+    }
+
+    #[test]
+    fn complement_pair_refutes_even_with_pivots() {
+        let s = Solver::new(vec![int_input(0, 10)]);
+        let p = SymExpr::bin(
+            BinOp::Gt,
+            SymExpr::Field(Box::new(SymExpr::Pivot(crate::sym::PivotId(0))), 0),
+            SymExpr::int(3),
+        );
+        let np = SymExpr::un(UnOp::Not, p.clone());
+        assert_eq!(s.check(&[p.clone()]), Sat::Sat);
+        assert_eq!(s.check(&[p, np]), Sat::Unsat);
+    }
+
+    #[test]
+    fn pivot_conjuncts_assumed_sat() {
+        let s = Solver::new(vec![int_input(0, 10)]);
+        let p = SymExpr::bin(BinOp::Eq, SymExpr::Pivot(crate::sym::PivotId(0)), SymExpr::int(1));
+        let q = SymExpr::bin(BinOp::Eq, SymExpr::Pivot(crate::sym::PivotId(0)), SymExpr::int(2));
+        // Actually unsat, but pivots are free: the solver must stay sound
+        // (Sat) rather than risk pruning feasible paths.
+        assert_eq!(s.check(&[p, q]), Sat::Sat);
+    }
+
+    #[test]
+    fn two_variable_enumeration() {
+        let s = Solver::new(vec![int_input(0, 9), int_input(0, 9)]);
+        let y = SymExpr::Input(1);
+        // x + y == 18 is satisfiable only by (9, 9)
+        let c = SymExpr::bin(BinOp::Eq, SymExpr::bin(BinOp::Add, x(), y.clone()), SymExpr::int(18));
+        assert_eq!(s.check(&[c.clone()]), Sat::Sat);
+        // adding x < 9 refutes
+        let d = SymExpr::bin(BinOp::Lt, x(), SymExpr::int(9));
+        assert_eq!(s.check(&[c, d]), Sat::Unsat);
+    }
+
+    #[test]
+    fn list_length_constraints() {
+        let s = Solver::new(vec![InputBound::int_list(5, 15, 0, 100)]);
+        let len = SymExpr::InputLen(0);
+        let c = SymExpr::bin(BinOp::Gt, len.clone(), SymExpr::int(15));
+        assert_eq!(s.check(&[c]), Sat::Unsat);
+        let c = SymExpr::bin(BinOp::Ge, len, SymExpr::int(6));
+        assert_eq!(s.check(&[c]), Sat::Sat);
+    }
+
+    #[test]
+    fn choice_inputs_enumerate() {
+        let s = Solver::new(vec![InputBound::Choice(vec![Value::Int(2), Value::Int(4)])]);
+        let c = SymExpr::bin(BinOp::Eq, x(), SymExpr::int(3));
+        assert_eq!(s.check(&[c]), Sat::Unsat);
+        let c = SymExpr::bin(BinOp::Eq, x(), SymExpr::int(4));
+        assert_eq!(s.check(&[c]), Sat::Sat);
+    }
+
+    #[test]
+    fn huge_domains_fall_back_to_intervals() {
+        let s = Solver::new(vec![int_input(0, 1_000_000_000), int_input(0, 1_000_000_000)]);
+        let y = SymExpr::Input(1);
+        // Interval reasoning still refutes single-variable contradictions.
+        let a = SymExpr::bin(BinOp::Gt, x(), SymExpr::int(2_000_000_000));
+        assert_eq!(s.check(&[a]), Sat::Unsat);
+        // Cross-variable constraints on huge domains are assumed SAT.
+        let c = SymExpr::bin(
+            BinOp::Eq,
+            SymExpr::bin(BinOp::Add, x(), y),
+            SymExpr::int(2_000_000_001),
+        );
+        assert_eq!(s.check(&[c]), Sat::Sat);
+    }
+
+    #[test]
+    fn negative_coefficient_interval() {
+        let s = Solver::new(vec![int_input(0, 10)]);
+        // -x > 0 → x < 0, impossible for x ∈ [0, 10]
+        let c = SymExpr::Bin(
+            BinOp::Gt,
+            Box::new(SymExpr::Un(UnOp::Neg, Box::new(x()))),
+            Box::new(SymExpr::int(0)),
+        );
+        assert_eq!(s.check(&[c]), Sat::Unsat);
+    }
+
+    #[test]
+    fn const_on_left_normalizes() {
+        let s = Solver::new(vec![int_input(0, 10)]);
+        // 11 < x  → unsat
+        let c = SymExpr::Bin(BinOp::Lt, Box::new(SymExpr::int(11)), Box::new(x()));
+        assert_eq!(s.check(&[c]), Sat::Unsat);
+        // 5 < x → sat
+        let c = SymExpr::Bin(BinOp::Lt, Box::new(SymExpr::int(5)), Box::new(x()));
+        assert_eq!(s.check(&[c]), Sat::Sat);
+    }
+
+    #[test]
+    fn linear_with_offset() {
+        let s = Solver::new(vec![int_input(5, 15)]);
+        // x - 1 >= 15  → x >= 16 → unsat
+        let c = SymExpr::Bin(
+            BinOp::Ge,
+            Box::new(SymExpr::Bin(BinOp::Sub, Box::new(x()), Box::new(SymExpr::int(1)))),
+            Box::new(SymExpr::int(15)),
+        );
+        assert_eq!(s.check(&[c]), Sat::Unsat);
+    }
+}

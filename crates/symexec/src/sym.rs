@@ -1,0 +1,599 @@
+//! Symbolic expressions: the symbolic-store values of the SE engine.
+
+use prognosticator_txir::interp::apply_bin;
+use prognosticator_txir::{BinOp, EvalError, Key, TableId, UnOp, Value};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a *pivot*: a data item read from the store during symbolic
+/// execution whose value influences the transaction's key-set or control
+/// flow (paper §III-B). Transactions with pivots are *dependent* (DT).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct PivotId(pub u32);
+
+impl fmt::Display for PivotId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Identifier of a summarized loop's induction variable. Stable per loop
+/// site so that RWS templates from sibling paths compare equal.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct LoopVarId(pub u32);
+
+impl fmt::Display for LoopVarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ℓ{}", self.0)
+    }
+}
+
+/// A symbolic expression over transaction inputs and pivot values.
+///
+/// This is the symbolic store's value universe: program variables map to
+/// `SymExpr`s during exploration. `Const` leaves make the representation
+/// uniformly *concolic* — concretized (irrelevant) data is just a constant.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SymExpr {
+    /// A concrete value.
+    Const(Value),
+    /// The i-th transaction input (symbolic).
+    Input(usize),
+    /// Element of a list-typed input at a (possibly symbolic) index.
+    InputIndex(usize, Box<SymExpr>),
+    /// Length of a list-typed input.
+    InputLen(usize),
+    /// The value of a pivot item (unknown until the store is consulted).
+    Pivot(PivotId),
+    /// Positional field of a record-valued expression.
+    Field(Box<SymExpr>, usize),
+    /// Binary operation.
+    Bin(BinOp, Box<SymExpr>, Box<SymExpr>),
+    /// Unary operation.
+    Un(UnOp, Box<SymExpr>),
+    /// Record construction.
+    Record(Vec<SymExpr>),
+    /// Functional field update of a record-valued expression whose arity is
+    /// unknown (e.g. a pivot value): `SetField(base, i, v)` equals `base`
+    /// with field `i` replaced by `v`.
+    SetField(Box<SymExpr>, usize, Box<SymExpr>),
+    /// The induction variable of a summarized loop.
+    LoopVar(LoopVarId),
+}
+
+impl SymExpr {
+    /// A concrete integer.
+    pub fn int(v: i64) -> SymExpr {
+        SymExpr::Const(Value::Int(v))
+    }
+
+    /// A concrete boolean.
+    pub fn bool(b: bool) -> SymExpr {
+        SymExpr::Const(Value::Bool(b))
+    }
+
+    /// Whether this expression is fully concrete.
+    pub fn is_const(&self) -> bool {
+        matches!(self, SymExpr::Const(_))
+    }
+
+    /// The concrete value, if fully concrete.
+    pub fn as_const(&self) -> Option<&Value> {
+        match self {
+            SymExpr::Const(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Smart binary constructor with constant folding and light
+    /// simplification. Folding keeps concolic states small (the symbolic
+    /// store only grows where genuine symbolism exists).
+    pub fn bin(op: BinOp, a: SymExpr, b: SymExpr) -> SymExpr {
+        if let (SymExpr::Const(x), SymExpr::Const(y)) = (&a, &b) {
+            if let Ok(v) = apply_bin(op, x.clone(), y.clone()) {
+                return SymExpr::Const(v);
+            }
+        }
+        // x + 0, x - 0, x * 1 → x ; x && true → x ; x || false → x
+        match (op, &a, &b) {
+            (BinOp::Add | BinOp::Sub, _, SymExpr::Const(Value::Int(0))) => return a,
+            (BinOp::Add, SymExpr::Const(Value::Int(0)), _) => return b,
+            (BinOp::Mul, _, SymExpr::Const(Value::Int(1))) => return a,
+            (BinOp::Mul, SymExpr::Const(Value::Int(1)), _) => return b,
+            (BinOp::And, _, SymExpr::Const(Value::Bool(true))) => return a,
+            (BinOp::And, SymExpr::Const(Value::Bool(true)), _) => return b,
+            (BinOp::Or, _, SymExpr::Const(Value::Bool(false))) => return a,
+            (BinOp::Or, SymExpr::Const(Value::Bool(false)), _) => return b,
+            _ => {}
+        }
+        SymExpr::Bin(op, Box::new(a), Box::new(b))
+    }
+
+    /// Smart unary constructor with constant folding and double-negation /
+    /// comparison-flip simplification.
+    pub fn un(op: UnOp, e: SymExpr) -> SymExpr {
+        match (op, e) {
+            (UnOp::Not, SymExpr::Const(Value::Bool(b))) => SymExpr::bool(!b),
+            (UnOp::Neg, SymExpr::Const(Value::Int(i))) if i != i64::MIN => SymExpr::int(-i),
+            (UnOp::Not, SymExpr::Un(UnOp::Not, inner)) => *inner,
+            (UnOp::Not, SymExpr::Bin(cmp, a, b)) if cmp.negated().is_some() => {
+                SymExpr::Bin(cmp.negated().expect("checked"), a, b)
+            }
+            (op, e) => SymExpr::Un(op, Box::new(e)),
+        }
+    }
+
+    /// Smart field access: projects through `Record`, `Const(Record)` and
+    /// `SetField`; a `Const(Unit)` placeholder (concretized irrelevant store
+    /// read) projects to integer 0, deterministically.
+    pub fn field(e: SymExpr, idx: usize) -> Result<SymExpr, EvalError> {
+        match e {
+            SymExpr::Const(Value::Record(r)) => r
+                .get(idx)
+                .cloned()
+                .map(SymExpr::Const)
+                .ok_or(EvalError::FieldOutOfRange { index: idx, len: r.len() }),
+            SymExpr::Record(fields) => {
+                let len = fields.len();
+                fields
+                    .into_iter()
+                    .nth(idx)
+                    .ok_or(EvalError::FieldOutOfRange { index: idx, len })
+            }
+            SymExpr::SetField(base, f, v) => {
+                if f == idx {
+                    Ok(*v)
+                } else {
+                    SymExpr::field(*base, idx)
+                }
+            }
+            SymExpr::Const(Value::Unit) => Ok(SymExpr::int(0)),
+            SymExpr::Const(other) => Err(EvalError::TypeMismatch { expected: "record", got: other }),
+            sym => Ok(SymExpr::Field(Box::new(sym), idx)),
+        }
+    }
+
+    /// Smart record-field update: rebuilds `Record`/`Const(Record)` bases in
+    /// place, otherwise produces a symbolic [`SymExpr::SetField`].
+    pub fn set_field(base: SymExpr, idx: usize, v: SymExpr) -> Result<SymExpr, EvalError> {
+        match base {
+            SymExpr::Const(Value::Record(r)) => {
+                if idx >= r.len() {
+                    return Err(EvalError::FieldOutOfRange { index: idx, len: r.len() });
+                }
+                let mut fields: Vec<SymExpr> =
+                    r.iter().cloned().map(SymExpr::Const).collect();
+                fields[idx] = v;
+                Ok(SymExpr::Record(fields))
+            }
+            SymExpr::Record(mut fields) => {
+                if idx >= fields.len() {
+                    return Err(EvalError::FieldOutOfRange { index: idx, len: fields.len() });
+                }
+                fields[idx] = v;
+                Ok(SymExpr::Record(fields))
+            }
+            SymExpr::Const(other) if !matches!(other, Value::Unit) => {
+                Err(EvalError::TypeMismatch { expected: "record", got: other })
+            }
+            base => Ok(SymExpr::SetField(Box::new(base), idx, Box::new(v))),
+        }
+    }
+
+    /// Visits every sub-expression in pre-order.
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a SymExpr)) {
+        f(self);
+        match self {
+            SymExpr::Const(_)
+            | SymExpr::Input(_)
+            | SymExpr::InputLen(_)
+            | SymExpr::Pivot(_)
+            | SymExpr::LoopVar(_) => {}
+            SymExpr::InputIndex(_, e) | SymExpr::Field(e, _) | SymExpr::Un(_, e) => e.visit(f),
+            SymExpr::Bin(_, a, b) | SymExpr::SetField(a, _, b) => {
+                a.visit(f);
+                b.visit(f);
+            }
+            SymExpr::Record(es) => {
+                for e in es {
+                    e.visit(f);
+                }
+            }
+        }
+    }
+
+    /// Whether any sub-expression references a pivot.
+    pub fn mentions_pivot(&self) -> bool {
+        let mut found = false;
+        self.visit(&mut |e| {
+            if matches!(e, SymExpr::Pivot(_)) {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// Pivots referenced by this expression (deduplicated).
+    pub fn pivots(&self) -> Vec<PivotId> {
+        let mut out = Vec::new();
+        self.visit(&mut |e| {
+            if let SymExpr::Pivot(p) = e {
+                if !out.contains(p) {
+                    out.push(*p);
+                }
+            }
+        });
+        out
+    }
+
+    /// Input indices referenced by this expression (deduplicated).
+    pub fn input_refs(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.visit(&mut |e| {
+            let i = match e {
+                SymExpr::Input(i) | SymExpr::InputIndex(i, _) | SymExpr::InputLen(i) => *i,
+                _ => return,
+            };
+            if !out.contains(&i) {
+                out.push(i);
+            }
+        });
+        out
+    }
+
+    /// Whether any sub-expression references a loop variable.
+    pub fn mentions_loop_var(&self) -> bool {
+        let mut found = false;
+        self.visit(&mut |e| {
+            if matches!(e, SymExpr::LoopVar(_)) {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// A coarse heap-footprint estimate in bytes (Table I memory column).
+    pub fn approx_size(&self) -> usize {
+        let mut n = 0;
+        self.visit(&mut |e| {
+            n += std::mem::size_of::<SymExpr>();
+            if let SymExpr::Const(v) = e {
+                n += v.approx_size();
+            }
+        });
+        n
+    }
+
+    /// Evaluates this expression with concrete inputs and an assignment of
+    /// pivot values and loop variables.
+    ///
+    /// # Errors
+    /// Fails on type mismatches, missing pivots, or out-of-range accesses —
+    /// indicating that the caller's environment does not match the profile.
+    pub fn eval(&self, env: &ConcreteEnv<'_>) -> Result<Value, EvalError> {
+        match self {
+            SymExpr::Const(v) => Ok(v.clone()),
+            SymExpr::Input(i) => {
+                env.inputs.get(*i).cloned().ok_or(EvalError::InputOutOfRange(*i))
+            }
+            SymExpr::InputIndex(i, idx) => {
+                let list = env.inputs.get(*i).cloned().ok_or(EvalError::InputOutOfRange(*i))?;
+                let idx = match idx.eval(env)? {
+                    Value::Int(v) => v,
+                    other => return Err(EvalError::TypeMismatch { expected: "int", got: other }),
+                };
+                match list {
+                    Value::List(items) => {
+                        if idx < 0 || idx as usize >= items.len() {
+                            Err(EvalError::IndexOutOfRange { index: idx, len: items.len() })
+                        } else {
+                            Ok(items[idx as usize].clone())
+                        }
+                    }
+                    other => Err(EvalError::TypeMismatch { expected: "list", got: other }),
+                }
+            }
+            SymExpr::InputLen(i) => {
+                match env.inputs.get(*i).ok_or(EvalError::InputOutOfRange(*i))? {
+                    Value::List(items) => Ok(Value::Int(items.len() as i64)),
+                    other => {
+                        Err(EvalError::TypeMismatch { expected: "list", got: other.clone() })
+                    }
+                }
+            }
+            SymExpr::Pivot(p) => (env.pivot)(*p),
+            SymExpr::Field(e, idx) => match e.eval(env)? {
+                Value::Record(r) => r
+                    .get(*idx)
+                    .cloned()
+                    .ok_or(EvalError::FieldOutOfRange { index: *idx, len: r.len() }),
+                // A pivot read of an absent key yields Unit; projecting a
+                // field of it mirrors the concolic placeholder rule.
+                Value::Unit => Ok(Value::Int(0)),
+                other => Err(EvalError::TypeMismatch { expected: "record", got: other }),
+            },
+            SymExpr::SetField(base, idx, v) => match base.eval(env)? {
+                Value::Record(r) => {
+                    if *idx >= r.len() {
+                        return Err(EvalError::FieldOutOfRange { index: *idx, len: r.len() });
+                    }
+                    let mut fields = r.as_ref().clone();
+                    fields[*idx] = v.eval(env)?;
+                    Ok(Value::record(fields))
+                }
+                other => Err(EvalError::TypeMismatch { expected: "record", got: other }),
+            },
+            SymExpr::Bin(op, a, b) => apply_bin(*op, a.eval(env)?, b.eval(env)?),
+            SymExpr::Un(op, e) => match (op, e.eval(env)?) {
+                (UnOp::Not, Value::Bool(b)) => Ok(Value::Bool(!b)),
+                (UnOp::Neg, Value::Int(i)) => {
+                    i.checked_neg().map(Value::Int).ok_or(EvalError::Overflow)
+                }
+                (UnOp::Not, other) => Err(EvalError::TypeMismatch { expected: "bool", got: other }),
+                (UnOp::Neg, other) => Err(EvalError::TypeMismatch { expected: "int", got: other }),
+            },
+            SymExpr::Record(fields) => {
+                let mut vals = Vec::with_capacity(fields.len());
+                for f in fields {
+                    vals.push(f.eval(env)?);
+                }
+                Ok(Value::record(vals))
+            }
+            SymExpr::LoopVar(l) => (env.loop_var)(*l),
+        }
+    }
+}
+
+impl fmt::Display for SymExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SymExpr::Const(v) => write!(f, "{v}"),
+            SymExpr::Input(i) => write!(f, "in{i}"),
+            SymExpr::InputIndex(i, idx) => write!(f, "in{i}[{idx}]"),
+            SymExpr::InputLen(i) => write!(f, "len(in{i})"),
+            SymExpr::Pivot(p) => write!(f, "{p}"),
+            SymExpr::Field(e, i) => write!(f, "{e}.{i}"),
+            SymExpr::Bin(op, a, b) => write!(f, "({a} {op} {b})"),
+            SymExpr::Un(op, e) => write!(f, "{op}{e}"),
+            SymExpr::Record(es) => {
+                write!(f, "{{")?;
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, "}}")
+            }
+            SymExpr::SetField(base, i, v) => write!(f, "{base}[.{i}={v}]"),
+            SymExpr::LoopVar(l) => write!(f, "{l}"),
+        }
+    }
+}
+
+/// Environment for concrete instantiation of symbolic expressions.
+pub struct ConcreteEnv<'a> {
+    /// Concrete transaction inputs.
+    pub inputs: &'a [Value],
+    /// Resolves a pivot's observed value.
+    pub pivot: &'a dyn Fn(PivotId) -> Result<Value, EvalError>,
+    /// Resolves a summarized loop variable's current value.
+    pub loop_var: &'a dyn Fn(LoopVarId) -> Result<Value, EvalError>,
+}
+
+impl<'a> ConcreteEnv<'a> {
+    /// An environment with inputs only; pivot or loop-var references fail.
+    pub fn inputs_only(inputs: &'a [Value]) -> Self {
+        ConcreteEnv {
+            inputs,
+            pivot: &|p| {
+                Err(EvalError::TypeMismatch {
+                    expected: "resolved pivot",
+                    got: Value::str(&format!("{p}")),
+                })
+            },
+            loop_var: &|l| {
+                Err(EvalError::TypeMismatch {
+                    expected: "bound loop variable",
+                    got: Value::str(&format!("{l}")),
+                })
+            },
+        }
+    }
+}
+
+/// A symbolic database key: table plus symbolic parts. The unit the RWS
+/// templates are made of.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct KeyTemplate {
+    /// Table of the key.
+    pub table: TableId,
+    /// Symbolic key parts.
+    pub parts: Vec<SymExpr>,
+}
+
+impl KeyTemplate {
+    /// Builds a template.
+    pub fn new(table: TableId, parts: Vec<SymExpr>) -> Self {
+        KeyTemplate { table, parts }
+    }
+
+    /// Whether every part is concrete.
+    pub fn is_concrete(&self) -> bool {
+        self.parts.iter().all(SymExpr::is_const)
+    }
+
+    /// Whether any part depends on a pivot (an *indirect* key, paper §III-B).
+    pub fn is_indirect(&self) -> bool {
+        self.parts.iter().any(SymExpr::mentions_pivot)
+    }
+
+    /// Whether any part depends on a loop variable.
+    pub fn mentions_loop_var(&self) -> bool {
+        self.parts.iter().any(SymExpr::mentions_loop_var)
+    }
+
+    /// Instantiates the template into a concrete [`Key`].
+    ///
+    /// # Errors
+    /// Fails if a referenced pivot or loop variable is unresolved in `env`.
+    pub fn instantiate(&self, env: &ConcreteEnv<'_>) -> Result<Key, EvalError> {
+        let mut parts = Vec::with_capacity(self.parts.len());
+        for p in &self.parts {
+            parts.push(p.eval(env)?);
+        }
+        Ok(Key::new(self.table, parts))
+    }
+
+    /// Pivots mentioned anywhere in the template.
+    pub fn pivots(&self) -> Vec<PivotId> {
+        let mut out = Vec::new();
+        for p in &self.parts {
+            for pv in p.pivots() {
+                if !out.contains(&pv) {
+                    out.push(pv);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for KeyTemplate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.table)?;
+        for (i, p) in self.parts.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_folding() {
+        let e = SymExpr::bin(BinOp::Add, SymExpr::int(2), SymExpr::int(3));
+        assert_eq!(e, SymExpr::int(5));
+        let e = SymExpr::bin(BinOp::Lt, SymExpr::int(2), SymExpr::int(3));
+        assert_eq!(e, SymExpr::bool(true));
+    }
+
+    #[test]
+    fn identity_simplification() {
+        let x = SymExpr::Input(0);
+        assert_eq!(SymExpr::bin(BinOp::Add, x.clone(), SymExpr::int(0)), x);
+        assert_eq!(SymExpr::bin(BinOp::Mul, SymExpr::int(1), x.clone()), x);
+        assert_eq!(SymExpr::bin(BinOp::And, x.clone(), SymExpr::bool(true)), x);
+    }
+
+    #[test]
+    fn negation_pushing() {
+        let cmp = SymExpr::bin(BinOp::Lt, SymExpr::Input(0), SymExpr::int(3));
+        let neg = SymExpr::un(UnOp::Not, cmp);
+        match neg {
+            SymExpr::Bin(BinOp::Ge, _, _) => {}
+            other => panic!("expected flipped comparison, got {other:?}"),
+        }
+        let dbl = SymExpr::un(UnOp::Not, SymExpr::un(UnOp::Not, SymExpr::Input(1)));
+        assert_eq!(dbl, SymExpr::Input(1));
+    }
+
+    #[test]
+    fn field_projection() {
+        let rec = SymExpr::Record(vec![SymExpr::int(1), SymExpr::Input(0)]);
+        assert_eq!(SymExpr::field(rec, 1).unwrap(), SymExpr::Input(0));
+        let unit = SymExpr::Const(Value::Unit);
+        assert_eq!(SymExpr::field(unit, 3).unwrap(), SymExpr::int(0));
+        let piv = SymExpr::Pivot(PivotId(0));
+        assert!(matches!(SymExpr::field(piv, 0).unwrap(), SymExpr::Field(..)));
+    }
+
+    #[test]
+    fn pivot_and_input_detection() {
+        let e = SymExpr::bin(
+            BinOp::Add,
+            SymExpr::Field(Box::new(SymExpr::Pivot(PivotId(2))), 0),
+            SymExpr::Input(3),
+        );
+        assert!(e.mentions_pivot());
+        assert_eq!(e.pivots(), vec![PivotId(2)]);
+        assert_eq!(e.input_refs(), vec![3]);
+        assert!(!SymExpr::Input(0).mentions_pivot());
+    }
+
+    #[test]
+    fn eval_with_env() {
+        let e = SymExpr::bin(
+            BinOp::Mul,
+            SymExpr::Input(0),
+            SymExpr::bin(BinOp::Add, SymExpr::Pivot(PivotId(0)), SymExpr::int(1)),
+        );
+        let inputs = vec![Value::Int(3)];
+        let env = ConcreteEnv {
+            inputs: &inputs,
+            pivot: &|_| Ok(Value::Int(4)),
+            loop_var: &|_| Ok(Value::Int(0)),
+        };
+        assert_eq!(e.eval(&env).unwrap(), Value::Int(15));
+    }
+
+    #[test]
+    fn inputs_only_env_rejects_pivots() {
+        let inputs = vec![Value::Int(1)];
+        let env = ConcreteEnv::inputs_only(&inputs);
+        assert!(SymExpr::Pivot(PivotId(0)).eval(&env).is_err());
+        assert!(SymExpr::LoopVar(LoopVarId(0)).eval(&env).is_err());
+        assert_eq!(SymExpr::Input(0).eval(&env).unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn key_template_instantiation() {
+        let kt = KeyTemplate::new(
+            TableId(1),
+            vec![SymExpr::Input(0), SymExpr::Field(Box::new(SymExpr::Pivot(PivotId(0))), 1)],
+        );
+        assert!(!kt.is_concrete());
+        assert!(kt.is_indirect());
+        assert_eq!(kt.pivots(), vec![PivotId(0)]);
+        let inputs = vec![Value::Int(9)];
+        let env = ConcreteEnv {
+            inputs: &inputs,
+            pivot: &|_| Ok(Value::record(vec![Value::Int(0), Value::Int(7)])),
+            loop_var: &|_| Ok(Value::Int(0)),
+        };
+        let k = kt.instantiate(&env).unwrap();
+        assert_eq!(k, Key::new(TableId(1), vec![Value::Int(9), Value::Int(7)]));
+    }
+
+    #[test]
+    fn list_input_eval() {
+        let e = SymExpr::InputIndex(0, Box::new(SymExpr::LoopVar(LoopVarId(0))));
+        let inputs = vec![Value::list(vec![Value::Int(5), Value::Int(6)])];
+        let env = ConcreteEnv {
+            inputs: &inputs,
+            pivot: &|_| Ok(Value::Unit),
+            loop_var: &|_| Ok(Value::Int(1)),
+        };
+        assert_eq!(e.eval(&env).unwrap(), Value::Int(6));
+        let len = SymExpr::InputLen(0);
+        assert_eq!(len.eval(&env).unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let e = SymExpr::bin(BinOp::Add, SymExpr::Input(0), SymExpr::Pivot(PivotId(1)));
+        assert!(!format!("{e}").is_empty());
+        let kt = KeyTemplate::new(TableId(0), vec![SymExpr::int(1)]);
+        assert_eq!(format!("{kt}"), "t0(1)");
+    }
+}

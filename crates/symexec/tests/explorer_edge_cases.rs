@@ -1,0 +1,201 @@
+//! Edge-case coverage of the symbolic explorer: enum-like (Choice)
+//! inputs, nested loops, empty programs, string keys, and metric
+//! consistency invariants.
+
+use prognosticator_symexec::{
+    analyze, profile_program, ExploreError, ExplorerConfig, TxClass,
+};
+use prognosticator_txir::{
+    Expr, InputBound, Key, ProgramBuilder, TableId, Value,
+};
+
+#[test]
+fn empty_program_is_trivially_read_only() {
+    let b = ProgramBuilder::new("empty");
+    let a = profile_program(&b.build()).expect("analyzes");
+    assert_eq!(a.profile.class(), TxClass::ReadOnly);
+    assert_eq!(a.profile.partition_count(), 1);
+    assert_eq!(a.stats.states_explored, 1);
+}
+
+#[test]
+fn choice_input_branches_enumerate() {
+    // An enum-like string input drives which table is written — the
+    // solver must enumerate the choice domain to prune impossible arms.
+    let mut b = ProgramBuilder::new("choice");
+    let gold = b.table("gold");
+    let silver = b.table("silver");
+    let tier = b.input(
+        "tier",
+        InputBound::Choice(vec![Value::str("gold"), Value::str("silver")]),
+    );
+    let id = b.input("id", InputBound::int(0, 9));
+    b.if_(
+        Expr::input(tier).eq(Expr::lit_str("gold")),
+        |b| b.put(Expr::key(gold, vec![Expr::input(id)]), Expr::lit(1)),
+        |b| b.put(Expr::key(silver, vec![Expr::input(id)]), Expr::lit(1)),
+    );
+    let p = b.build();
+    let a = profile_program(&p).expect("analyzes");
+    assert_eq!(a.profile.class(), TxClass::Independent);
+    assert_eq!(a.profile.partition_count(), 2);
+
+    let pred = a
+        .profile
+        .predict_direct(&[Value::str("gold"), Value::Int(3)])
+        .expect("predicts");
+    assert_eq!(pred.writes, vec![Key::new(TableId(0), vec![Value::Int(3)])]);
+    let pred = a
+        .profile
+        .predict_direct(&[Value::str("silver"), Value::Int(3)])
+        .expect("predicts");
+    assert_eq!(pred.writes, vec![Key::new(TableId(1), vec![Value::Int(3)])]);
+}
+
+#[test]
+fn impossible_choice_branch_is_pruned() {
+    let mut b = ProgramBuilder::new("pruned");
+    let t = b.table("t");
+    let tier = b.input("tier", InputBound::Choice(vec![Value::str("only")]));
+    b.if_(
+        Expr::input(tier).eq(Expr::lit_str("other")), // never true
+        |b| b.put(Expr::key(t, vec![Expr::lit(1)]), Expr::lit(1)),
+        |b| b.put(Expr::key(t, vec![Expr::lit(2)]), Expr::lit(1)),
+    );
+    let a = profile_program(&b.build()).expect("analyzes");
+    assert_eq!(a.profile.partition_count(), 1, "infeasible arm pruned");
+    assert!(a.stats.pruned_infeasible >= 1);
+}
+
+#[test]
+fn nested_concrete_loops_unroll_fully() {
+    let mut b = ProgramBuilder::new("nested");
+    let t = b.table("t");
+    let i = b.var("i");
+    let j = b.var("j");
+    b.for_(i, Expr::lit(0), Expr::lit(3), |b| {
+        b.for_(j, Expr::lit(0), Expr::lit(2), |b| {
+            b.put(
+                Expr::key(t, vec![Expr::var(i).mul(Expr::lit(10)).add(Expr::var(j))]),
+                Expr::lit(0),
+            );
+        });
+    });
+    let a = profile_program(&b.build()).expect("analyzes");
+    let pred = a.profile.predict_direct(&[]).expect("predicts");
+    assert_eq!(pred.writes.len(), 6);
+    assert!(pred.writes.contains(&Key::of_ints(TableId(0), &[21])));
+}
+
+#[test]
+fn symbolic_outer_concrete_inner_loop_summarizes() {
+    // for i in 0..n { for j in 0..2 { PUT t[i*10 + j] } } — the outer
+    // summarization must carry the inner loop as nested Range entries.
+    let mut b = ProgramBuilder::new("nested_sym");
+    let t = b.table("t");
+    let n = b.input("n", InputBound::int(1, 4));
+    let i = b.var("i");
+    let j = b.var("j");
+    b.for_(i, Expr::lit(0), Expr::input(n), |b| {
+        b.for_(j, Expr::lit(0), Expr::lit(2), |b| {
+            b.put(
+                Expr::key(t, vec![Expr::var(i).mul(Expr::lit(10)).add(Expr::var(j))]),
+                Expr::lit(0),
+            );
+        });
+    });
+    let a = profile_program(&b.build()).expect("analyzes");
+    assert_eq!(a.profile.partition_count(), 1, "uniform loop nest stays one partition");
+    let pred = a.profile.predict_direct(&[Value::Int(3)]).expect("predicts");
+    assert_eq!(pred.writes.len(), 6);
+    assert!(pred.writes.contains(&Key::of_ints(TableId(0), &[21])));
+    assert!(!pred.writes.contains(&Key::of_ints(TableId(0), &[31])));
+}
+
+#[test]
+fn string_key_parts_round_trip() {
+    let mut b = ProgramBuilder::new("strkey");
+    let t = b.table("t");
+    let name = b.input("name", InputBound::Str);
+    let v = b.var("v");
+    b.get(v, Expr::key(t, vec![Expr::input(name)]));
+    b.put(
+        Expr::key(t, vec![Expr::input(name).add(Expr::lit_str("!"))]),
+        Expr::var(v),
+    );
+    let a = profile_program(&b.build()).expect("analyzes");
+    assert_eq!(a.profile.class(), TxClass::Independent);
+    let pred = a.profile.predict_direct(&[Value::str("bob")]).expect("predicts");
+    assert_eq!(pred.reads, vec![Key::new(TableId(0), vec![Value::str("bob")])]);
+    assert_eq!(pred.writes, vec![Key::new(TableId(0), vec![Value::str("bob!")])]);
+}
+
+#[test]
+fn metrics_are_internally_consistent() {
+    // Across a handful of structurally different programs, the profile
+    // metrics must satisfy their basic relations.
+    let programs = {
+        let mut out = Vec::new();
+        // branchy
+        let mut b = ProgramBuilder::new("p1");
+        let t = b.table("t");
+        let x = b.input("x", InputBound::int(0, 3));
+        b.if_(
+            Expr::input(x).lt(Expr::lit(2)),
+            |b| b.put(Expr::key(t, vec![Expr::lit(0)]), Expr::lit(0)),
+            |b| b.put(Expr::key(t, vec![Expr::lit(1)]), Expr::lit(0)),
+        );
+        out.push(b.build());
+        // dependent
+        let mut b = ProgramBuilder::new("p2");
+        let t = b.table("t");
+        let x = b.input("x", InputBound::int(0, 3));
+        let v = b.var("v");
+        b.get(v, Expr::key(t, vec![Expr::input(x)]));
+        b.put(Expr::key(t, vec![Expr::var(v)]), Expr::lit(0));
+        out.push(b.build());
+        out
+    };
+    for p in &programs {
+        let a = analyze(p, &ExplorerConfig::optimized()).expect("analyzes");
+        let profile = &a.profile;
+        assert!(profile.unique_key_sets() <= profile.partition_count());
+        assert!(u64::from(profile.depth()) < profile.partition_count() * 2 + 1);
+        assert!(profile.approx_size() > 0);
+        assert_eq!(
+            profile.indirect_keys(),
+            profile.pivot_specs().len() as u64
+        );
+        assert!(a.stats.paths >= profile.partition_count());
+    }
+}
+
+#[test]
+fn zero_iteration_loops_predict_empty_ranges() {
+    let mut b = ProgramBuilder::new("maybe_empty");
+    let t = b.table("t");
+    let n = b.input("n", InputBound::int(0, 3));
+    let i = b.var("i");
+    b.for_(i, Expr::lit(0), Expr::input(n), |b| {
+        b.put(Expr::key(t, vec![Expr::var(i)]), Expr::lit(0));
+    });
+    let a = profile_program(&b.build()).expect("analyzes");
+    let pred = a.profile.predict_direct(&[Value::Int(0)]).expect("predicts");
+    assert!(pred.writes.is_empty(), "n = 0 ⇒ no writes");
+    let pred = a.profile.predict_direct(&[Value::Int(3)]).expect("predicts");
+    assert_eq!(pred.writes.len(), 3);
+}
+
+#[test]
+fn unsupported_constructs_error_cleanly() {
+    // A symbolic loop *start* is not supported — must error, not panic.
+    let mut b = ProgramBuilder::new("bad");
+    let t = b.table("t");
+    let n = b.input("n", InputBound::int(0, 3));
+    let i = b.var("i");
+    b.for_(i, Expr::input(n), Expr::lit(5), |b| {
+        b.put(Expr::key(t, vec![Expr::var(i)]), Expr::lit(0));
+    });
+    let err = profile_program(&b.build()).unwrap_err();
+    assert!(matches!(err, ExploreError::Unsupported(_)), "got {err:?}");
+}

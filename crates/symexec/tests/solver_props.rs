@@ -1,0 +1,131 @@
+//! Property tests for the path-constraint solver: compared against a
+//! brute-force ground truth over the full input domain, `Unsat` must be
+//! exact and `Sat` must never be wrong when the solver *could* decide.
+
+use prognosticator_symexec::{Sat, Solver, SymExpr};
+use prognosticator_txir::{BinOp, InputBound, UnOp, Value};
+use proptest::prelude::*;
+
+const LO: i64 = 0;
+const HI: i64 = 7;
+
+#[derive(Debug, Clone)]
+struct Cmp {
+    var: usize,
+    coeff: i64,
+    offset: i64,
+    op: u8,
+    rhs: i64,
+    negate: bool,
+}
+
+fn cmp_strategy() -> impl Strategy<Value = Cmp> {
+    (0..2usize, 1..3i64, -2..3i64, 0..6u8, -3..12i64, any::<bool>()).prop_map(
+        |(var, coeff, offset, op, rhs, negate)| Cmp { var, coeff, offset, op, rhs, negate },
+    )
+}
+
+fn op_of(code: u8) -> BinOp {
+    match code {
+        0 => BinOp::Eq,
+        1 => BinOp::Ne,
+        2 => BinOp::Lt,
+        3 => BinOp::Le,
+        4 => BinOp::Gt,
+        _ => BinOp::Ge,
+    }
+}
+
+fn to_sym(c: &Cmp) -> SymExpr {
+    let lhs = SymExpr::bin(
+        BinOp::Add,
+        SymExpr::bin(
+            BinOp::Mul,
+            SymExpr::Const(Value::Int(c.coeff)),
+            SymExpr::Input(c.var),
+        ),
+        SymExpr::Const(Value::Int(c.offset)),
+    );
+    let base = SymExpr::bin(op_of(c.op), lhs, SymExpr::Const(Value::Int(c.rhs)));
+    if c.negate {
+        SymExpr::un(UnOp::Not, base)
+    } else {
+        base
+    }
+}
+
+fn holds(c: &Cmp, x0: i64, x1: i64) -> bool {
+    let v = if c.var == 0 { x0 } else { x1 };
+    let lhs = c.coeff * v + c.offset;
+    let r = match op_of(c.op) {
+        BinOp::Eq => lhs == c.rhs,
+        BinOp::Ne => lhs != c.rhs,
+        BinOp::Lt => lhs < c.rhs,
+        BinOp::Le => lhs <= c.rhs,
+        BinOp::Gt => lhs > c.rhs,
+        BinOp::Ge => lhs >= c.rhs,
+        _ => unreachable!(),
+    };
+    r != c.negate
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// The solver agrees with brute force on fully enumerable conjunctions
+    /// (its domain product here is 64 ≤ the enumeration limit, so it must
+    /// be exact in both directions).
+    #[test]
+    fn solver_is_exact_on_enumerable_conjunctions(
+        cmps in prop::collection::vec(cmp_strategy(), 1..6)
+    ) {
+        let solver = Solver::new(vec![InputBound::int(LO, HI), InputBound::int(LO, HI)]);
+        let constraints: Vec<SymExpr> = cmps.iter().map(to_sym).collect();
+        // Some constraints constant-fold; the solver must still agree.
+        let truth = (LO..=HI).any(|x0| {
+            (LO..=HI).any(|x1| cmps.iter().all(|c| holds(c, x0, x1)))
+        });
+        let verdict = solver.check(&constraints);
+        prop_assert_eq!(
+            verdict == Sat::Sat,
+            truth,
+            "constraints: {:?}",
+            constraints.iter().map(|c| c.to_string()).collect::<Vec<_>>()
+        );
+    }
+
+    /// Adding a constraint can only shrink the satisfiable set
+    /// (monotonicity): if the extended conjunction is SAT, the prefix is.
+    #[test]
+    fn conjunction_is_monotone(
+        cmps in prop::collection::vec(cmp_strategy(), 2..6)
+    ) {
+        let solver = Solver::new(vec![InputBound::int(LO, HI), InputBound::int(LO, HI)]);
+        let all: Vec<SymExpr> = cmps.iter().map(to_sym).collect();
+        let prefix = &all[..all.len() - 1];
+        if solver.check(&all) == Sat::Sat {
+            prop_assert_eq!(solver.check(prefix), Sat::Sat);
+        }
+    }
+
+    /// Pivot-containing conjuncts must never cause an over-eager Unsat:
+    /// mixing an arbitrary pivot predicate into a satisfiable input
+    /// conjunction keeps it satisfiable (soundness for pruning).
+    #[test]
+    fn pivots_never_refute_satisfiable_inputs(
+        cmps in prop::collection::vec(cmp_strategy(), 1..4),
+        pivot_rhs in -5..5i64,
+    ) {
+        let solver = Solver::new(vec![InputBound::int(LO, HI), InputBound::int(LO, HI)]);
+        let mut constraints: Vec<SymExpr> = cmps.iter().map(to_sym).collect();
+        if solver.check(&constraints) == Sat::Unsat {
+            return Ok(());
+        }
+        constraints.push(SymExpr::bin(
+            BinOp::Gt,
+            SymExpr::Pivot(prognosticator_symexec::PivotId(0)),
+            SymExpr::Const(Value::Int(pivot_rhs)),
+        ));
+        prop_assert_eq!(solver.check(&constraints), Sat::Sat);
+    }
+}

@@ -1,0 +1,202 @@
+//! Ergonomic construction of [`Program`]s.
+
+use crate::expr::Expr;
+use crate::program::{InputBound, InputSpec, Program, VarId};
+use crate::stmt::Stmt;
+use crate::value::{TableId, TableRegistry};
+
+/// Builder for [`Program`]s.
+///
+/// Control flow is expressed with closures so nesting is checked by the
+/// compiler:
+///
+/// ```
+/// use prognosticator_txir::{ProgramBuilder, InputBound, Expr};
+///
+/// let mut b = ProgramBuilder::new("demo");
+/// let t = b.table("acct");
+/// let amt = b.input("amt", InputBound::int(0, 100));
+/// let bal = b.var("bal");
+/// b.get(bal, Expr::key(t, vec![Expr::lit(1)]));
+/// b.if_(
+///     Expr::var(bal).ge(Expr::input(amt)),
+///     |b| b.put(Expr::key(t, vec![Expr::lit(1)]), Expr::var(bal).sub(Expr::input(amt))),
+///     |b| b.emit(Expr::lit_str("insufficient")),
+/// );
+/// let p = b.build();
+/// assert_eq!(p.inputs().len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    name: String,
+    inputs: Vec<InputSpec>,
+    var_names: Vec<String>,
+    /// Stack of open statement blocks; index 0 is the program body.
+    blocks: Vec<Vec<Stmt>>,
+    tables: TableRegistry,
+}
+
+impl ProgramBuilder {
+    /// Starts a new program named `name`.
+    pub fn new(name: &str) -> Self {
+        ProgramBuilder {
+            name: name.to_owned(),
+            inputs: Vec::new(),
+            var_names: Vec::new(),
+            blocks: vec![Vec::new()],
+            tables: TableRegistry::new(),
+        }
+    }
+
+    /// Starts a new program sharing an existing table registry (so multiple
+    /// programs of one workload agree on table ids).
+    pub fn with_tables(name: &str, tables: TableRegistry) -> Self {
+        let mut b = Self::new(name);
+        b.tables = tables;
+        b
+    }
+
+    /// Registers (or finds) a table by name.
+    pub fn table(&mut self, name: &str) -> TableId {
+        self.tables.register(name)
+    }
+
+    /// The registry accumulated so far (pass to the next builder via
+    /// [`ProgramBuilder::with_tables`]).
+    pub fn tables(&self) -> &TableRegistry {
+        &self.tables
+    }
+
+    /// Declares an input with the given bound; returns its positional index.
+    pub fn input(&mut self, name: &str, bound: InputBound) -> usize {
+        self.inputs.push(InputSpec { name: name.to_owned(), bound });
+        self.inputs.len() - 1
+    }
+
+    /// Declares a local variable; returns its id.
+    pub fn var(&mut self, name: &str) -> VarId {
+        self.var_names.push(name.to_owned());
+        VarId(self.var_names.len() - 1)
+    }
+
+    fn push(&mut self, s: Stmt) {
+        self.blocks.last_mut().expect("builder always has an open block").push(s);
+    }
+
+    /// Emits `var = expr`.
+    pub fn assign(&mut self, var: VarId, expr: Expr) {
+        self.push(Stmt::Assign(var, expr));
+    }
+
+    /// Emits `var = GET(key)`.
+    pub fn get(&mut self, var: VarId, key: Expr) {
+        self.push(Stmt::Get(var, key));
+    }
+
+    /// Emits `PUT(key, value)`.
+    pub fn put(&mut self, key: Expr, value: Expr) {
+        self.push(Stmt::Put(key, value));
+    }
+
+    /// Emits `var.field = expr`.
+    pub fn set_field(&mut self, var: VarId, field: usize, expr: Expr) {
+        self.push(Stmt::SetField(var, field, expr));
+    }
+
+    /// Emits `EMIT(expr)` (appends to the transaction result).
+    pub fn emit(&mut self, expr: Expr) {
+        self.push(Stmt::Emit(expr));
+    }
+
+    /// Emits an `if cond { then } else { els }` statement.
+    pub fn if_(
+        &mut self,
+        cond: Expr,
+        then: impl FnOnce(&mut Self),
+        els: impl FnOnce(&mut Self),
+    ) {
+        self.blocks.push(Vec::new());
+        then(self);
+        let t = self.blocks.pop().expect("then block");
+        self.blocks.push(Vec::new());
+        els(self);
+        let e = self.blocks.pop().expect("else block");
+        self.push(Stmt::If(cond, t, e));
+    }
+
+    /// Emits an `if cond { then }` statement with an empty else branch.
+    pub fn if_then(&mut self, cond: Expr, then: impl FnOnce(&mut Self)) {
+        self.if_(cond, then, |_| {});
+    }
+
+    /// Emits a `for var in from..to { body }` loop.
+    pub fn for_(&mut self, var: VarId, from: Expr, to: Expr, body: impl FnOnce(&mut Self)) {
+        self.blocks.push(Vec::new());
+        body(self);
+        let b = self.blocks.pop().expect("loop body");
+        self.push(Stmt::For { var, from, to, body: b });
+    }
+
+    /// Finishes the program.
+    ///
+    /// # Panics
+    /// Panics if called while a nested block is still open (impossible when
+    /// using the closure API).
+    pub fn build(mut self) -> Program {
+        assert_eq!(self.blocks.len(), 1, "unclosed block in program builder");
+        let body = self.blocks.pop().expect("program body");
+        Program::new(self.name, self.inputs, self.var_names, body)
+    }
+
+    /// Finishes the program and also returns the table registry.
+    pub fn build_with_tables(self) -> (Program, TableRegistry) {
+        let tables = self.tables.clone();
+        (self.build(), tables)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stmt::Stmt;
+
+    #[test]
+    fn builds_nested_structure() {
+        let mut b = ProgramBuilder::new("t");
+        let i = b.var("i");
+        let acc = b.var("acc");
+        b.assign(acc, Expr::lit(0));
+        b.for_(i, Expr::lit(0), Expr::lit(4), |b| {
+            b.if_(
+                Expr::var(i).rem(Expr::lit(2)).eq(Expr::lit(0)),
+                |b| b.assign(acc, Expr::var(acc).add(Expr::var(i))),
+                |b| b.assign(acc, Expr::var(acc).sub(Expr::var(i))),
+            );
+        });
+        let p = b.build();
+        assert_eq!(p.var_count(), 2);
+        assert_eq!(p.body().len(), 2);
+        match &p.body()[1] {
+            Stmt::For { body, .. } => assert_eq!(body.len(), 1),
+            other => panic!("expected For, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shares_table_registry() {
+        let mut a = ProgramBuilder::new("a");
+        let t1 = a.table("x");
+        let (_, reg) = a.build_with_tables();
+        let mut b = ProgramBuilder::with_tables("b", reg);
+        assert_eq!(b.table("x"), t1);
+        assert_ne!(b.table("y"), t1);
+    }
+
+    #[test]
+    fn var_names_resolve() {
+        let mut b = ProgramBuilder::new("n");
+        let v = b.var("warehouse");
+        let p = b.build();
+        assert_eq!(p.var_name(v), "warehouse");
+    }
+}

@@ -1,0 +1,97 @@
+//! Errors produced when evaluating IR programs.
+
+use crate::value::Value;
+use std::error::Error;
+use std::fmt;
+
+/// An error raised during concrete (or symbolic) evaluation of a program.
+///
+/// With well-formed workload programs these indicate a bug in the program or
+/// a population mismatch, not a user-facing condition — but the interpreter
+/// never panics on malformed programs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// An operator was applied to operands of the wrong type.
+    TypeMismatch {
+        /// What the operation expected.
+        expected: &'static str,
+        /// The offending value.
+        got: Value,
+    },
+    /// Integer division or remainder by zero.
+    DivisionByZero,
+    /// Record field index out of range.
+    FieldOutOfRange {
+        /// Requested field index.
+        index: usize,
+        /// Number of fields in the record.
+        len: usize,
+    },
+    /// List index out of range.
+    IndexOutOfRange {
+        /// Requested element index.
+        index: i64,
+        /// Length of the list.
+        len: usize,
+    },
+    /// Input index out of range (arity mismatch).
+    InputOutOfRange(usize),
+    /// An input violated its declared bound.
+    InputOutOfBounds {
+        /// Input position.
+        index: usize,
+        /// Input name from the [`crate::InputSpec`].
+        name: String,
+    },
+    /// A loop exceeded the interpreter's iteration fuel (defensive bound).
+    LoopFuelExhausted,
+    /// Arithmetic overflow.
+    Overflow,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::TypeMismatch { expected, got } => {
+                write!(f, "type mismatch: expected {expected}, got {got}")
+            }
+            EvalError::DivisionByZero => write!(f, "division by zero"),
+            EvalError::FieldOutOfRange { index, len } => {
+                write!(f, "record field {index} out of range (record has {len} fields)")
+            }
+            EvalError::IndexOutOfRange { index, len } => {
+                write!(f, "list index {index} out of range (list has {len} items)")
+            }
+            EvalError::InputOutOfRange(i) => write!(f, "input {i} out of range"),
+            EvalError::InputOutOfBounds { index, name } => {
+                write!(f, "input {index} ({name}) violates its declared bound")
+            }
+            EvalError::LoopFuelExhausted => write!(f, "loop iteration fuel exhausted"),
+            EvalError::Overflow => write!(f, "integer overflow"),
+        }
+    }
+}
+
+impl Error for EvalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let errs: Vec<EvalError> = vec![
+            EvalError::TypeMismatch { expected: "int", got: Value::Bool(true) },
+            EvalError::DivisionByZero,
+            EvalError::FieldOutOfRange { index: 3, len: 2 },
+            EvalError::IndexOutOfRange { index: -1, len: 0 },
+            EvalError::InputOutOfRange(2),
+            EvalError::InputOutOfBounds { index: 0, name: "olCnt".into() },
+            EvalError::LoopFuelExhausted,
+            EvalError::Overflow,
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,356 @@
+//! Expressions of the transaction IR.
+
+use crate::program::VarId;
+use crate::value::{TableId, Value};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinOp {
+    /// Integer addition (or string concatenation when both sides are `Str`).
+    Add,
+    /// Integer subtraction.
+    Sub,
+    /// Integer multiplication.
+    Mul,
+    /// Integer division (Euclidean; division by zero is an error).
+    Div,
+    /// Integer remainder (Euclidean; division by zero is an error).
+    Mod,
+    /// Structural equality on any two values.
+    Eq,
+    /// Structural inequality.
+    Ne,
+    /// Integer less-than.
+    Lt,
+    /// Integer less-or-equal.
+    Le,
+    /// Integer greater-than.
+    Gt,
+    /// Integer greater-or-equal.
+    Ge,
+    /// Boolean conjunction (both sides always evaluated: the IR has no
+    /// side-effecting expressions, so short-circuiting is unobservable).
+    And,
+    /// Boolean disjunction.
+    Or,
+}
+
+impl BinOp {
+    /// Whether this operator returns a boolean.
+    pub fn is_predicate(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::And | BinOp::Or
+        )
+    }
+
+    /// The operator computing the negation of this comparison, if any.
+    /// Used by the symbolic engine to push negations into constraints.
+    pub fn negated(self) -> Option<BinOp> {
+        Some(match self {
+            BinOp::Eq => BinOp::Ne,
+            BinOp::Ne => BinOp::Eq,
+            BinOp::Lt => BinOp::Ge,
+            BinOp::Le => BinOp::Gt,
+            BinOp::Gt => BinOp::Le,
+            BinOp::Ge => BinOp::Lt,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UnOp {
+    /// Boolean negation.
+    Not,
+    /// Integer negation.
+    Neg,
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            UnOp::Not => "!",
+            UnOp::Neg => "-",
+        })
+    }
+}
+
+/// An expression tree.
+///
+/// Expressions are side-effect free; all store interaction happens in
+/// [`crate::Stmt::Get`]/[`crate::Stmt::Put`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Expr {
+    /// Literal constant.
+    Const(Value),
+    /// The i-th transaction input.
+    Input(usize),
+    /// A local variable.
+    Var(VarId),
+    /// Positional field of a record value.
+    Field(Box<Expr>, usize),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Un(UnOp, Box<Expr>),
+    /// Construct a database key `table(part0, part1, …)`.
+    Key(TableId, Vec<Expr>),
+    /// Construct a record value from positional fields.
+    MakeRecord(Vec<Expr>),
+    /// Index into a list (`list[idx]`; out of bounds is an error).
+    ListIndex(Box<Expr>, Box<Expr>),
+    /// Length of a list.
+    ListLen(Box<Expr>),
+}
+
+impl Expr {
+    /// Literal integer.
+    pub fn lit(v: i64) -> Expr {
+        Expr::Const(Value::Int(v))
+    }
+
+    /// Literal string.
+    pub fn lit_str(s: &str) -> Expr {
+        Expr::Const(Value::str(s))
+    }
+
+    /// Literal boolean.
+    pub fn lit_bool(b: bool) -> Expr {
+        Expr::Const(Value::Bool(b))
+    }
+
+    /// The i-th input.
+    pub fn input(i: usize) -> Expr {
+        Expr::Input(i)
+    }
+
+    /// A variable reference.
+    pub fn var(v: VarId) -> Expr {
+        Expr::Var(v)
+    }
+
+    /// A key constructor.
+    pub fn key(table: TableId, parts: Vec<Expr>) -> Expr {
+        Expr::Key(table, parts)
+    }
+
+    /// Positional field access.
+    pub fn field(self, idx: usize) -> Expr {
+        Expr::Field(Box::new(self), idx)
+    }
+
+    /// List indexing.
+    pub fn index(self, idx: Expr) -> Expr {
+        Expr::ListIndex(Box::new(self), Box::new(idx))
+    }
+
+    /// List length.
+    pub fn len(self) -> Expr {
+        Expr::ListLen(Box::new(self))
+    }
+
+    fn bin(self, op: BinOp, rhs: Expr) -> Expr {
+        Expr::Bin(op, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self + rhs`
+    pub fn add(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Add, rhs)
+    }
+    /// `self - rhs`
+    pub fn sub(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Sub, rhs)
+    }
+    /// `self * rhs`
+    pub fn mul(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Mul, rhs)
+    }
+    /// `self / rhs`
+    pub fn div(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Div, rhs)
+    }
+    /// `self % rhs`
+    pub fn rem(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Mod, rhs)
+    }
+    /// `self == rhs`
+    pub fn eq(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Eq, rhs)
+    }
+    /// `self != rhs`
+    pub fn ne(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Ne, rhs)
+    }
+    /// `self < rhs`
+    pub fn lt(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Lt, rhs)
+    }
+    /// `self <= rhs`
+    pub fn le(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Le, rhs)
+    }
+    /// `self > rhs`
+    pub fn gt(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Gt, rhs)
+    }
+    /// `self >= rhs`
+    pub fn ge(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Ge, rhs)
+    }
+    /// `self && rhs`
+    pub fn and(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::And, rhs)
+    }
+    /// `self || rhs`
+    pub fn or(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Or, rhs)
+    }
+    /// `!self`
+    pub fn not(self) -> Expr {
+        Expr::Un(UnOp::Not, Box::new(self))
+    }
+    /// `-self`
+    pub fn neg(self) -> Expr {
+        Expr::Un(UnOp::Neg, Box::new(self))
+    }
+
+    /// Visits every sub-expression (including `self`) in pre-order.
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        f(self);
+        match self {
+            Expr::Const(_) | Expr::Input(_) | Expr::Var(_) => {}
+            Expr::Field(e, _) | Expr::Un(_, e) | Expr::ListLen(e) => e.visit(f),
+            Expr::Bin(_, a, b) | Expr::ListIndex(a, b) => {
+                a.visit(f);
+                b.visit(f);
+            }
+            Expr::Key(_, es) | Expr::MakeRecord(es) => {
+                for e in es {
+                    e.visit(f);
+                }
+            }
+        }
+    }
+
+    /// Collects the set of variables read by this expression.
+    pub fn vars(&self) -> Vec<VarId> {
+        let mut out = Vec::new();
+        self.visit(&mut |e| {
+            if let Expr::Var(v) = e {
+                if !out.contains(v) {
+                    out.push(*v);
+                }
+            }
+        });
+        out
+    }
+
+    /// Collects the set of input indices read by this expression.
+    pub fn inputs(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.visit(&mut |e| {
+            if let Expr::Input(i) = e {
+                if !out.contains(i) {
+                    out.push(*i);
+                }
+            }
+        });
+        out
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Const(v) => write!(f, "{v}"),
+            Expr::Input(i) => write!(f, "in{i}"),
+            Expr::Var(v) => write!(f, "v{}", v.0),
+            Expr::Field(e, i) => write!(f, "{e}.{i}"),
+            Expr::Bin(op, a, b) => write!(f, "({a} {op} {b})"),
+            Expr::Un(op, e) => write!(f, "{op}{e}"),
+            Expr::Key(t, parts) => {
+                write!(f, "{t}(")?;
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::MakeRecord(fs) => {
+                write!(f, "{{")?;
+                for (i, p) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, "}}")
+            }
+            Expr::ListIndex(l, i) => write!(f, "{l}[{i}]"),
+            Expr::ListLen(l) => write!(f, "len({l})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn negated_comparisons() {
+        assert_eq!(BinOp::Lt.negated(), Some(BinOp::Ge));
+        assert_eq!(BinOp::Eq.negated(), Some(BinOp::Ne));
+        assert_eq!(BinOp::Add.negated(), None);
+    }
+
+    #[test]
+    fn predicate_classification() {
+        assert!(BinOp::Eq.is_predicate());
+        assert!(BinOp::And.is_predicate());
+        assert!(!BinOp::Mul.is_predicate());
+    }
+
+    #[test]
+    fn collects_vars_and_inputs() {
+        let e = Expr::var(VarId(1)).add(Expr::input(0)).mul(Expr::var(VarId(2)).add(Expr::var(VarId(1))));
+        let mut vs = e.vars();
+        vs.sort();
+        assert_eq!(vs, vec![VarId(1), VarId(2)]);
+        assert_eq!(e.inputs(), vec![0]);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = Expr::key(TableId(2), vec![Expr::input(0), Expr::lit(5)]);
+        assert_eq!(format!("{e}"), "t2(in0,5)");
+        let c = Expr::input(1).le(Expr::lit(3)).not();
+        assert_eq!(format!("{c}"), "!(in1 <= 3)");
+    }
+}

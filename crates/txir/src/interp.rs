@@ -1,0 +1,575 @@
+//! Concrete interpreter for the transaction IR.
+
+use crate::error::EvalError;
+use crate::expr::{BinOp, Expr, UnOp};
+use crate::program::Program;
+use crate::stmt::Stmt;
+use crate::store::TxStore;
+use crate::value::{Key, Value};
+use std::sync::Arc;
+
+/// Ordered record of the keys a concrete execution touched.
+///
+/// Used to cross-check symbolic profiles (a profile is correct iff the
+/// predicted RWS covers the trace for every input/state), and by the
+/// reconnaissance (`*-R`, Calvin/OLLP-style) baselines to discover key-sets
+/// by pre-executing the transaction.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AccessTrace {
+    /// Keys read, in program order (duplicates preserved).
+    pub reads: Vec<Key>,
+    /// Keys written, in program order (duplicates preserved).
+    pub writes: Vec<Key>,
+}
+
+impl AccessTrace {
+    /// Deduplicated union of reads and writes.
+    pub fn key_set(&self) -> Vec<Key> {
+        let mut out: Vec<Key> = Vec::new();
+        for k in self.reads.iter().chain(self.writes.iter()) {
+            if !out.contains(k) {
+                out.push(k.clone());
+            }
+        }
+        out
+    }
+
+    /// Whether no write was performed (the execution was read-only).
+    pub fn is_read_only(&self) -> bool {
+        self.writes.is_empty()
+    }
+}
+
+/// Result of a completed execution.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExecOutcome {
+    /// Values produced by `Emit` statements, in order.
+    pub emitted: Vec<Value>,
+    /// The access trace.
+    pub trace: AccessTrace,
+}
+
+/// Default iteration fuel; generous for the benchmark programs (whose loops
+/// are bounded by inputs ≤ a few dozen) while catching runaway loops.
+pub const DEFAULT_LOOP_FUEL: u64 = 1_000_000;
+
+/// Interprets [`Program`]s against a [`TxStore`].
+///
+/// The interpreter is stateless between runs and cheap to construct; worker
+/// threads create one per execution.
+#[derive(Debug, Clone)]
+pub struct Interpreter {
+    loop_fuel: u64,
+    validate_inputs: bool,
+}
+
+impl Default for Interpreter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Interpreter {
+    /// Creates an interpreter with default fuel and input validation on.
+    pub fn new() -> Self {
+        Interpreter { loop_fuel: DEFAULT_LOOP_FUEL, validate_inputs: true }
+    }
+
+    /// Overrides the loop fuel (total iterations across all loops).
+    pub fn with_loop_fuel(mut self, fuel: u64) -> Self {
+        self.loop_fuel = fuel;
+        self
+    }
+
+    /// Disables input-bound validation (used on hot execution paths where
+    /// the generator guarantees in-bounds inputs).
+    pub fn without_input_validation(mut self) -> Self {
+        self.validate_inputs = false;
+        self
+    }
+
+    /// Runs `program` with `inputs` against `store`.
+    ///
+    /// # Errors
+    /// Returns an [`EvalError`] on type errors, out-of-range accesses,
+    /// division by zero, overflow, out-of-bounds inputs, or fuel exhaustion.
+    pub fn run(
+        &self,
+        program: &Program,
+        inputs: &[Value],
+        store: &mut impl TxStore,
+    ) -> Result<ExecOutcome, EvalError> {
+        if self.validate_inputs {
+            program.check_inputs(inputs).map_err(|(index, spec)| {
+                EvalError::InputOutOfBounds { index, name: spec.name.clone() }
+            })?;
+        }
+        let mut frame = Frame {
+            vars: vec![Value::Unit; program.var_count()],
+            inputs,
+            outcome: ExecOutcome::default(),
+            fuel: self.loop_fuel,
+        };
+        exec_block(program.body(), &mut frame, store)?;
+        Ok(frame.outcome)
+    }
+}
+
+struct Frame<'a> {
+    vars: Vec<Value>,
+    inputs: &'a [Value],
+    outcome: ExecOutcome,
+    fuel: u64,
+}
+
+fn exec_block(
+    block: &[Stmt],
+    frame: &mut Frame<'_>,
+    store: &mut impl TxStore,
+) -> Result<(), EvalError> {
+    for stmt in block {
+        exec_stmt(stmt, frame, store)?;
+    }
+    Ok(())
+}
+
+fn exec_stmt(
+    stmt: &Stmt,
+    frame: &mut Frame<'_>,
+    store: &mut impl TxStore,
+) -> Result<(), EvalError> {
+    match stmt {
+        Stmt::Assign(v, e) => {
+            frame.vars[v.0] = eval(e, frame)?;
+        }
+        Stmt::Get(v, key_expr) => {
+            let key = eval_key(key_expr, frame)?;
+            let val = store.get(&key).unwrap_or(Value::Unit);
+            frame.outcome.trace.reads.push(key);
+            frame.vars[v.0] = val;
+        }
+        Stmt::Put(key_expr, val_expr) => {
+            let key = eval_key(key_expr, frame)?;
+            let val = eval(val_expr, frame)?;
+            frame.outcome.trace.writes.push(key.clone());
+            store.put(&key, val);
+        }
+        Stmt::If(cond, then, els) => {
+            if eval_bool(cond, frame)? {
+                exec_block(then, frame, store)?;
+            } else {
+                exec_block(els, frame, store)?;
+            }
+        }
+        Stmt::For { var, from, to, body } => {
+            let from = eval_int(from, frame)?;
+            let to = eval_int(to, frame)?;
+            let mut i = from;
+            while i < to {
+                frame.fuel = frame.fuel.checked_sub(1).ok_or(EvalError::LoopFuelExhausted)?;
+                if frame.fuel == 0 {
+                    return Err(EvalError::LoopFuelExhausted);
+                }
+                frame.vars[var.0] = Value::Int(i);
+                exec_block(body, frame, store)?;
+                i += 1;
+            }
+        }
+        Stmt::SetField(v, field, e) => {
+            let val = eval(e, frame)?;
+            let rec = match &frame.vars[v.0] {
+                Value::Record(r) => r,
+                other => {
+                    return Err(EvalError::TypeMismatch { expected: "record", got: other.clone() })
+                }
+            };
+            if *field >= rec.len() {
+                return Err(EvalError::FieldOutOfRange { index: *field, len: rec.len() });
+            }
+            let mut fields = rec.as_ref().clone();
+            fields[*field] = val;
+            frame.vars[v.0] = Value::Record(Arc::new(fields));
+        }
+        Stmt::Emit(e) => {
+            let val = eval(e, frame)?;
+            frame.outcome.emitted.push(val);
+        }
+    }
+    Ok(())
+}
+
+/// Evaluates a key expression: only [`Expr::Key`] is accepted at key
+/// position (the IR keeps keys out of the value universe, which is what
+/// makes symbolic key extraction exact).
+fn eval_key(expr: &Expr, frame: &Frame<'_>) -> Result<Key, EvalError> {
+    match expr {
+        Expr::Key(table, parts) => {
+            let mut vals = Vec::with_capacity(parts.len());
+            for p in parts {
+                vals.push(eval(p, frame)?);
+            }
+            Ok(Key::new(*table, vals))
+        }
+        other => Err(EvalError::TypeMismatch {
+            expected: "key constructor",
+            got: Value::str(&format!("{other}")),
+        }),
+    }
+}
+
+fn eval_bool(expr: &Expr, frame: &Frame<'_>) -> Result<bool, EvalError> {
+    match eval(expr, frame)? {
+        Value::Bool(b) => Ok(b),
+        other => Err(EvalError::TypeMismatch { expected: "bool", got: other }),
+    }
+}
+
+fn eval_int(expr: &Expr, frame: &Frame<'_>) -> Result<i64, EvalError> {
+    match eval(expr, frame)? {
+        Value::Int(i) => Ok(i),
+        other => Err(EvalError::TypeMismatch { expected: "int", got: other }),
+    }
+}
+
+fn eval(expr: &Expr, frame: &Frame<'_>) -> Result<Value, EvalError> {
+    match expr {
+        Expr::Const(v) => Ok(v.clone()),
+        Expr::Input(i) => {
+            frame.inputs.get(*i).cloned().ok_or(EvalError::InputOutOfRange(*i))
+        }
+        Expr::Var(v) => Ok(frame.vars[v.0].clone()),
+        Expr::Field(e, idx) => {
+            let val = eval(e, frame)?;
+            match val {
+                Value::Record(r) => r
+                    .get(*idx)
+                    .cloned()
+                    .ok_or(EvalError::FieldOutOfRange { index: *idx, len: r.len() }),
+                // Field access on a missing record (a GET miss) yields
+                // Unit, so scans over possibly-absent rows can test
+                // `rec.field == Unit` / `rec == Unit` instead of erroring.
+                Value::Unit => Ok(Value::Unit),
+                other => Err(EvalError::TypeMismatch { expected: "record", got: other }),
+            }
+        }
+        Expr::Bin(op, a, b) => {
+            let a = eval(a, frame)?;
+            let b = eval(b, frame)?;
+            apply_bin(*op, a, b)
+        }
+        Expr::Un(op, e) => {
+            let v = eval(e, frame)?;
+            match (op, v) {
+                (UnOp::Not, Value::Bool(b)) => Ok(Value::Bool(!b)),
+                (UnOp::Neg, Value::Int(i)) => {
+                    i.checked_neg().map(Value::Int).ok_or(EvalError::Overflow)
+                }
+                (UnOp::Not, other) => {
+                    Err(EvalError::TypeMismatch { expected: "bool", got: other })
+                }
+                (UnOp::Neg, other) => Err(EvalError::TypeMismatch { expected: "int", got: other }),
+            }
+        }
+        Expr::Key(..) => Err(EvalError::TypeMismatch {
+            expected: "value (keys are not first-class)",
+            got: Value::str(&format!("{expr}")),
+        }),
+        Expr::MakeRecord(fields) => {
+            let mut vals = Vec::with_capacity(fields.len());
+            for f in fields {
+                vals.push(eval(f, frame)?);
+            }
+            Ok(Value::record(vals))
+        }
+        Expr::ListIndex(l, i) => {
+            let list = eval(l, frame)?;
+            let idx = eval_int_val(eval(i, frame)?)?;
+            match list {
+                Value::List(items) => {
+                    if idx < 0 || idx as usize >= items.len() {
+                        Err(EvalError::IndexOutOfRange { index: idx, len: items.len() })
+                    } else {
+                        Ok(items[idx as usize].clone())
+                    }
+                }
+                other => Err(EvalError::TypeMismatch { expected: "list", got: other }),
+            }
+        }
+        Expr::ListLen(l) => match eval(l, frame)? {
+            Value::List(items) => Ok(Value::Int(items.len() as i64)),
+            other => Err(EvalError::TypeMismatch { expected: "list", got: other }),
+        },
+    }
+}
+
+fn eval_int_val(v: Value) -> Result<i64, EvalError> {
+    match v {
+        Value::Int(i) => Ok(i),
+        other => Err(EvalError::TypeMismatch { expected: "int", got: other }),
+    }
+}
+
+/// Applies a binary operator to two concrete values. Shared with the
+/// symbolic engine's constant folding, hence `pub`.
+pub fn apply_bin(op: BinOp, a: Value, b: Value) -> Result<Value, EvalError> {
+    use BinOp::*;
+    match op {
+        Add => match (a, b) {
+            (Value::Int(x), Value::Int(y)) => {
+                x.checked_add(y).map(Value::Int).ok_or(EvalError::Overflow)
+            }
+            (Value::Str(x), Value::Str(y)) => {
+                let mut s = String::with_capacity(x.len() + y.len());
+                s.push_str(&x);
+                s.push_str(&y);
+                Ok(Value::from(s))
+            }
+            (Value::Int(_), other) | (other, _) => {
+                Err(EvalError::TypeMismatch { expected: "int or str", got: other })
+            }
+        },
+        Sub | Mul | Div | Mod => {
+            let (x, y) = match (a, b) {
+                (Value::Int(x), Value::Int(y)) => (x, y),
+                (Value::Int(_), other) | (other, _) => {
+                    return Err(EvalError::TypeMismatch { expected: "int", got: other })
+                }
+            };
+            let r = match op {
+                Sub => x.checked_sub(y),
+                Mul => x.checked_mul(y),
+                Div => {
+                    if y == 0 {
+                        return Err(EvalError::DivisionByZero);
+                    }
+                    x.checked_div_euclid(y)
+                }
+                Mod => {
+                    if y == 0 {
+                        return Err(EvalError::DivisionByZero);
+                    }
+                    x.checked_rem_euclid(y)
+                }
+                _ => unreachable!(),
+            };
+            r.map(Value::Int).ok_or(EvalError::Overflow)
+        }
+        Eq => Ok(Value::Bool(a == b)),
+        Ne => Ok(Value::Bool(a != b)),
+        Lt | Le | Gt | Ge => {
+            let (x, y) = match (a, b) {
+                (Value::Int(x), Value::Int(y)) => (x, y),
+                (Value::Int(_), other) | (other, _) => {
+                    return Err(EvalError::TypeMismatch { expected: "int", got: other })
+                }
+            };
+            Ok(Value::Bool(match op {
+                Lt => x < y,
+                Le => x <= y,
+                Gt => x > y,
+                Ge => x >= y,
+                _ => unreachable!(),
+            }))
+        }
+        And | Or => {
+            let (x, y) = match (a, b) {
+                (Value::Bool(x), Value::Bool(y)) => (x, y),
+                (Value::Bool(_), other) | (other, _) => {
+                    return Err(EvalError::TypeMismatch { expected: "bool", got: other })
+                }
+            };
+            Ok(Value::Bool(if op == And { x && y } else { x || y }))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::program::InputBound;
+    use crate::store::MapStore;
+    use crate::value::TableId;
+
+    fn run_program(p: &Program, inputs: &[Value], store: &mut MapStore) -> ExecOutcome {
+        Interpreter::new().run(p, inputs, store).expect("program runs")
+    }
+
+    #[test]
+    fn arithmetic_and_emit() {
+        let mut b = ProgramBuilder::new("arith");
+        let x = b.input("x", InputBound::int(-100, 100));
+        let v = b.var("v");
+        b.assign(v, Expr::input(x).mul(Expr::lit(3)).add(Expr::lit(1)));
+        b.emit(Expr::var(v));
+        b.emit(Expr::var(v).rem(Expr::lit(5)));
+        let p = b.build();
+        let out = run_program(&p, &[Value::Int(7)], &mut MapStore::new());
+        assert_eq!(out.emitted, vec![Value::Int(22), Value::Int(2)]);
+        assert!(out.trace.is_read_only());
+    }
+
+    #[test]
+    fn get_put_and_trace() {
+        let mut b = ProgramBuilder::new("gp");
+        let t = b.table("t");
+        let id = b.input("id", InputBound::int(0, 9));
+        let v = b.var("v");
+        let key = Expr::key(t, vec![Expr::input(id)]);
+        b.get(v, key.clone());
+        b.put(key, Expr::var(v).add(Expr::lit(1)));
+        let p = b.build();
+
+        let mut store = MapStore::new();
+        let k = Key::of_ints(TableId(0), &[4]);
+        store.put(&k, Value::Int(10));
+        let out = run_program(&p, &[Value::Int(4)], &mut store);
+        assert_eq!(store.peek(&k), Some(&Value::Int(11)));
+        assert_eq!(out.trace.reads, vec![k.clone()]);
+        assert_eq!(out.trace.writes, vec![k.clone()]);
+        assert_eq!(out.trace.key_set(), vec![k]);
+        assert!(!out.trace.is_read_only());
+    }
+
+    #[test]
+    fn missing_key_reads_unit() {
+        let mut b = ProgramBuilder::new("m");
+        let t = b.table("t");
+        let v = b.var("v");
+        b.get(v, Expr::key(t, vec![Expr::lit(1)]));
+        b.emit(Expr::var(v).eq(Expr::Const(Value::Unit)));
+        let p = b.build();
+        let out = run_program(&p, &[], &mut MapStore::new());
+        assert_eq!(out.emitted, vec![Value::Bool(true)]);
+    }
+
+    #[test]
+    fn branches_follow_condition() {
+        let mut b = ProgramBuilder::new("br");
+        let x = b.input("x", InputBound::int(0, 20));
+        b.if_(
+            Expr::input(x).gt(Expr::lit(10)),
+            |b| b.emit(Expr::lit_str("big")),
+            |b| b.emit(Expr::lit_str("small")),
+        );
+        let p = b.build();
+        let out = run_program(&p, &[Value::Int(11)], &mut MapStore::new());
+        assert_eq!(out.emitted, vec![Value::str("big")]);
+        let out = run_program(&p, &[Value::Int(10)], &mut MapStore::new());
+        assert_eq!(out.emitted, vec![Value::str("small")]);
+    }
+
+    #[test]
+    fn loops_iterate_range() {
+        let mut b = ProgramBuilder::new("loop");
+        let n = b.input("n", InputBound::int(0, 10));
+        let i = b.var("i");
+        let acc = b.var("acc");
+        b.assign(acc, Expr::lit(0));
+        b.for_(i, Expr::lit(0), Expr::input(n), |b| {
+            b.assign(acc, Expr::var(acc).add(Expr::var(i)));
+        });
+        b.emit(Expr::var(acc));
+        let p = b.build();
+        let out = run_program(&p, &[Value::Int(5)], &mut MapStore::new());
+        assert_eq!(out.emitted, vec![Value::Int(10)]); // 0+1+2+3+4
+        let out = run_program(&p, &[Value::Int(0)], &mut MapStore::new());
+        assert_eq!(out.emitted, vec![Value::Int(0)]);
+    }
+
+    #[test]
+    fn set_field_updates_record() {
+        let mut b = ProgramBuilder::new("sf");
+        let r = b.var("r");
+        b.assign(r, Expr::MakeRecord(vec![Expr::lit(1), Expr::lit(2)]));
+        b.set_field(r, 1, Expr::lit(9));
+        b.emit(Expr::var(r).field(1));
+        b.emit(Expr::var(r).field(0));
+        let p = b.build();
+        let out = run_program(&p, &[], &mut MapStore::new());
+        assert_eq!(out.emitted, vec![Value::Int(9), Value::Int(1)]);
+    }
+
+    #[test]
+    fn list_ops() {
+        let mut b = ProgramBuilder::new("l");
+        let xs = b.input("xs", InputBound::int_list(1, 5, 0, 100));
+        b.emit(Expr::input(xs).len());
+        b.emit(Expr::input(xs).index(Expr::lit(1)));
+        let p = b.build();
+        let out = run_program(
+            &p,
+            &[Value::list(vec![Value::Int(7), Value::Int(8)])],
+            &mut MapStore::new(),
+        );
+        assert_eq!(out.emitted, vec![Value::Int(2), Value::Int(8)]);
+    }
+
+    #[test]
+    fn input_bound_violation_detected() {
+        let mut b = ProgramBuilder::new("bound");
+        let _ = b.input("x", InputBound::int(0, 5));
+        let p = b.build();
+        let err = Interpreter::new().run(&p, &[Value::Int(6)], &mut MapStore::new()).unwrap_err();
+        assert!(matches!(err, EvalError::InputOutOfBounds { index: 0, .. }));
+        // Validation can be disabled.
+        assert!(Interpreter::new()
+            .without_input_validation()
+            .run(&p, &[Value::Int(6)], &mut MapStore::new())
+            .is_ok());
+    }
+
+    #[test]
+    fn division_by_zero_errors() {
+        let mut b = ProgramBuilder::new("div");
+        let x = b.input("x", InputBound::int(0, 5));
+        b.emit(Expr::lit(1).div(Expr::input(x)));
+        let p = b.build();
+        let err = Interpreter::new().run(&p, &[Value::Int(0)], &mut MapStore::new()).unwrap_err();
+        assert_eq!(err, EvalError::DivisionByZero);
+    }
+
+    #[test]
+    fn fuel_bounds_loops() {
+        let mut b = ProgramBuilder::new("fuel");
+        let i = b.var("i");
+        b.for_(i, Expr::lit(0), Expr::lit(1000), |_| {});
+        let p = b.build();
+        let err = Interpreter::new()
+            .with_loop_fuel(10)
+            .run(&p, &[], &mut MapStore::new())
+            .unwrap_err();
+        assert_eq!(err, EvalError::LoopFuelExhausted);
+    }
+
+    #[test]
+    fn type_errors_reported() {
+        let mut b = ProgramBuilder::new("ty");
+        b.emit(Expr::lit(1).and(Expr::lit_bool(true)));
+        let p = b.build();
+        assert!(matches!(
+            Interpreter::new().run(&p, &[], &mut MapStore::new()),
+            Err(EvalError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn string_concat() {
+        assert_eq!(
+            apply_bin(BinOp::Add, Value::str("a"), Value::str("b")).unwrap(),
+            Value::str("ab")
+        );
+    }
+
+    #[test]
+    fn overflow_detected() {
+        assert_eq!(
+            apply_bin(BinOp::Add, Value::Int(i64::MAX), Value::Int(1)),
+            Err(EvalError::Overflow)
+        );
+        assert_eq!(
+            apply_bin(BinOp::Mul, Value::Int(i64::MAX), Value::Int(2)),
+            Err(EvalError::Overflow)
+        );
+    }
+}

@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+//! Transaction IR: a small imperative stored-procedure language over a
+//! GET/PUT key-value interface.
+//!
+//! The paper analyses Java stored procedures with JPF/Symbolic PathFinder.
+//! This reproduction expresses transactions in an explicit IR instead, so the
+//! same program can be
+//!
+//! * executed **concretely** by [`interp::Interpreter`] against any store
+//!   implementing [`store::TxStore`] (what worker threads do at runtime, and
+//!   what the reconnaissance baselines do), and
+//! * executed **symbolically** by the `prognosticator-symexec` crate to build
+//!   the offline *transaction profile*.
+//!
+//! A [`Program`] declares typed, **bounded** inputs ([`InputSpec`]) — e.g.
+//! TPC-C's `olCnt ∈ [5, 15]` — which the symbolic engine uses both to bound
+//! loop unrolling and to decide satisfiability of path constraints.
+//!
+//! # Example
+//!
+//! ```
+//! use prognosticator_txir::{ProgramBuilder, InputBound, Expr};
+//!
+//! let mut b = ProgramBuilder::new("increment");
+//! let table = b.table("counters");
+//! let k = b.input("id", InputBound::int(0, 100));
+//! let v = b.var("v");
+//! let key = Expr::key(table, vec![Expr::input(k)]);
+//! b.get(v, key.clone());
+//! b.put(key, Expr::var(v).add(Expr::lit(1)));
+//! let program = b.build();
+//! assert_eq!(program.name(), "increment");
+//! ```
+
+pub mod builder;
+pub mod error;
+pub mod expr;
+pub mod interp;
+pub mod pretty;
+pub mod program;
+pub mod stmt;
+pub mod store;
+pub mod value;
+
+pub use builder::ProgramBuilder;
+pub use error::EvalError;
+pub use expr::{BinOp, Expr, UnOp};
+pub use interp::{AccessTrace, ExecOutcome, Interpreter};
+pub use pretty::render;
+pub use program::{InputBound, InputSpec, Program, VarId};
+pub use stmt::Stmt;
+pub use store::{MapStore, TxStore};
+pub use value::{Key, TableId, TableRegistry, Value};

@@ -1,0 +1,179 @@
+//! Pretty-printing of programs as readable pseudocode.
+//!
+//! Useful for debugging workloads and for documentation — the rendered
+//! form mirrors the paper's Algorithm 2 style:
+//!
+//! ```text
+//! transaction new_order(w, d, c, olCnt, itemIds, supplyWs, qtys)
+//!   oid = GET(district_next_o[in0, in1])
+//!   PUT(district_next_o[in0, in1], (oid + 1))
+//!   ...
+//! ```
+
+use crate::expr::Expr;
+use crate::program::Program;
+use crate::stmt::Stmt;
+use crate::value::TableRegistry;
+use std::fmt::Write as _;
+
+/// Renders `program` as indented pseudocode. Pass the workload's
+/// [`TableRegistry`] to print table names instead of ids (an empty
+/// registry falls back to `t<N>`).
+pub fn render(program: &Program, tables: &TableRegistry) -> String {
+    let mut out = String::new();
+    let inputs: Vec<&str> =
+        program.inputs().iter().map(|i| i.name.as_str()).collect();
+    let _ = writeln!(out, "transaction {}({})", program.name(), inputs.join(", "));
+    let cx = Cx { program, tables };
+    render_block(&cx, program.body(), 1, &mut out);
+    out
+}
+
+struct Cx<'a> {
+    program: &'a Program,
+    tables: &'a TableRegistry,
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn render_block(cx: &Cx<'_>, block: &[Stmt], level: usize, out: &mut String) {
+    for stmt in block {
+        render_stmt(cx, stmt, level, out);
+    }
+}
+
+fn render_stmt(cx: &Cx<'_>, stmt: &Stmt, level: usize, out: &mut String) {
+    indent(out, level);
+    match stmt {
+        Stmt::Assign(v, e) => {
+            let _ = writeln!(out, "{} = {}", cx.program.var_name(*v), render_expr(cx, e));
+        }
+        Stmt::Get(v, key) => {
+            let _ = writeln!(
+                out,
+                "{} = GET({})",
+                cx.program.var_name(*v),
+                render_expr(cx, key)
+            );
+        }
+        Stmt::Put(key, value) => {
+            let _ = writeln!(out, "PUT({}, {})", render_expr(cx, key), render_expr(cx, value));
+        }
+        Stmt::If(cond, then, els) => {
+            let _ = writeln!(out, "if {} then", render_expr(cx, cond));
+            render_block(cx, then, level + 1, out);
+            if !els.is_empty() {
+                indent(out, level);
+                out.push_str("else\n");
+                render_block(cx, els, level + 1, out);
+            }
+            indent(out, level);
+            out.push_str("end\n");
+        }
+        Stmt::For { var, from, to, body } => {
+            let _ = writeln!(
+                out,
+                "for {} in {}..{} do",
+                cx.program.var_name(*var),
+                render_expr(cx, from),
+                render_expr(cx, to)
+            );
+            render_block(cx, body, level + 1, out);
+            indent(out, level);
+            out.push_str("end\n");
+        }
+        Stmt::SetField(v, field, e) => {
+            let _ = writeln!(
+                out,
+                "{}.{} = {}",
+                cx.program.var_name(*v),
+                field,
+                render_expr(cx, e)
+            );
+        }
+        Stmt::Emit(e) => {
+            let _ = writeln!(out, "EMIT({})", render_expr(cx, e));
+        }
+    }
+}
+
+fn render_expr(cx: &Cx<'_>, e: &Expr) -> String {
+    match e {
+        Expr::Const(v) => format!("{v}"),
+        Expr::Input(i) => cx
+            .program
+            .inputs()
+            .get(*i)
+            .map_or_else(|| format!("in{i}"), |s| s.name.clone()),
+        Expr::Var(v) => cx.program.var_name(*v).to_owned(),
+        Expr::Field(inner, idx) => format!("{}.{idx}", render_expr(cx, inner)),
+        Expr::Bin(op, a, b) => {
+            format!("({} {op} {})", render_expr(cx, a), render_expr(cx, b))
+        }
+        Expr::Un(op, inner) => format!("{op}{}", render_expr(cx, inner)),
+        Expr::Key(table, parts) => {
+            let name = cx
+                .tables
+                .name(*table)
+                .map_or_else(|| format!("{table}"), str::to_owned);
+            let parts: Vec<String> = parts.iter().map(|p| render_expr(cx, p)).collect();
+            format!("{name}[{}]", parts.join(", "))
+        }
+        Expr::MakeRecord(fields) => {
+            let fields: Vec<String> = fields.iter().map(|f| render_expr(cx, f)).collect();
+            format!("{{{}}}", fields.join(", "))
+        }
+        Expr::ListIndex(l, i) => format!("{}[{}]", render_expr(cx, l), render_expr(cx, i)),
+        Expr::ListLen(l) => format!("len({})", render_expr(cx, l)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::program::InputBound;
+
+    #[test]
+    fn renders_nested_program() {
+        let mut b = ProgramBuilder::new("demo");
+        let t = b.table("acct");
+        let id = b.input("id", InputBound::int(0, 9));
+        let n = b.input("n", InputBound::int(0, 3));
+        let bal = b.var("bal");
+        let i = b.var("i");
+        b.get(bal, Expr::key(t, vec![Expr::input(id)]));
+        b.for_(i, Expr::lit(0), Expr::input(n), |b| {
+            b.if_(
+                Expr::var(bal).gt(Expr::lit(0)),
+                |b| b.put(Expr::key(t, vec![Expr::input(id)]), Expr::var(bal).sub(Expr::lit(1))),
+                |b| b.emit(Expr::lit_str("empty")),
+            );
+        });
+        let (p, tables) = b.build_with_tables();
+        let text = render(&p, &tables);
+        assert!(text.contains("transaction demo(id, n)"));
+        assert!(text.contains("bal = GET(acct[id])"));
+        assert!(text.contains("for i in 0..n do"));
+        assert!(text.contains("if (bal > 0) then"));
+        assert!(text.contains("PUT(acct[id], (bal - 1))"));
+        assert!(text.contains("else"));
+        assert!(text.contains("EMIT(\"empty\")"));
+        // Indentation is present (nested put is two levels deep).
+        assert!(text.lines().any(|l| l.starts_with("      PUT")));
+    }
+
+    #[test]
+    fn unknown_tables_fall_back_to_ids() {
+        let mut b = ProgramBuilder::new("x");
+        let t = b.table("t");
+        b.put(Expr::key(t, vec![Expr::lit(1)]), Expr::lit(2));
+        let p = b.build();
+        let text = render(&p, &TableRegistry::new());
+        assert!(text.contains("t0[1]"));
+    }
+}

@@ -1,0 +1,223 @@
+//! Programs (stored procedures) and their input specifications.
+
+use crate::stmt::{count_stmts, Stmt};
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a local variable within one program.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct VarId(pub usize);
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// The declared domain of a transaction input.
+///
+/// Bounds drive symbolic execution: they make path constraints decidable
+/// (interval + enumeration solving) and bound symbolic loop unrolling — the
+/// paper bounds TPC-C's `olCnt` to `[5, 15]` the same way (§III-B).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum InputBound {
+    /// An integer in `[lo, hi]` (inclusive).
+    Int {
+        /// Smallest admissible value.
+        lo: i64,
+        /// Largest admissible value.
+        hi: i64,
+    },
+    /// One of an explicit set of values (e.g. enum-like string inputs).
+    Choice(Vec<Value>),
+    /// A list of integers with bounded length and element range. The length
+    /// is usually tied to another input (e.g. `olIds` has length `olCnt`);
+    /// symbolically, elements are opaque and only the length matters.
+    IntList {
+        /// Smallest admissible length.
+        len_lo: usize,
+        /// Largest admissible length.
+        len_hi: usize,
+        /// Smallest admissible element.
+        elem_lo: i64,
+        /// Largest admissible element.
+        elem_hi: i64,
+    },
+    /// An opaque string (participates in keys/values, never in arithmetic).
+    Str,
+}
+
+impl InputBound {
+    /// An integer bound `[lo, hi]`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi`.
+    pub fn int(lo: i64, hi: i64) -> Self {
+        assert!(lo <= hi, "empty integer bound {lo}..={hi}");
+        InputBound::Int { lo, hi }
+    }
+
+    /// A list bound.
+    ///
+    /// # Panics
+    /// Panics if `len_lo > len_hi` or `elem_lo > elem_hi`.
+    pub fn int_list(len_lo: usize, len_hi: usize, elem_lo: i64, elem_hi: i64) -> Self {
+        assert!(len_lo <= len_hi, "empty length bound");
+        assert!(elem_lo <= elem_hi, "empty element bound");
+        InputBound::IntList { len_lo, len_hi, elem_lo, elem_hi }
+    }
+
+    /// Number of distinct values this bound admits, if finitely enumerable
+    /// at reasonable cost (used by the solver's enumeration fallback).
+    pub fn domain_size(&self) -> Option<u128> {
+        match self {
+            InputBound::Int { lo, hi } => Some((*hi as i128 - *lo as i128 + 1) as u128),
+            InputBound::Choice(vs) => Some(vs.len() as u128),
+            InputBound::IntList { .. } | InputBound::Str => None,
+        }
+    }
+
+    /// Whether `v` lies within this bound.
+    pub fn admits(&self, v: &Value) -> bool {
+        match (self, v) {
+            (InputBound::Int { lo, hi }, Value::Int(i)) => lo <= i && i <= hi,
+            (InputBound::Choice(vs), v) => vs.contains(v),
+            (InputBound::IntList { len_lo, len_hi, elem_lo, elem_hi }, Value::List(items)) => {
+                (*len_lo..=*len_hi).contains(&items.len())
+                    && items.iter().all(|it| match it {
+                        Value::Int(i) => elem_lo <= i && i <= elem_hi,
+                        _ => false,
+                    })
+            }
+            (InputBound::Str, Value::Str(_)) => true,
+            _ => false,
+        }
+    }
+}
+
+/// A named, bounded transaction input.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InputSpec {
+    /// Human-readable name (diagnostics only).
+    pub name: String,
+    /// Declared domain.
+    pub bound: InputBound,
+}
+
+/// A stored procedure: named, with declared inputs and a statement body.
+///
+/// Programs are immutable after construction (via
+/// [`crate::ProgramBuilder`]); the symbolic profiler and the concrete
+/// interpreter both borrow them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    name: String,
+    inputs: Vec<InputSpec>,
+    var_count: usize,
+    var_names: Vec<String>,
+    body: Vec<Stmt>,
+}
+
+impl Program {
+    pub(crate) fn new(
+        name: String,
+        inputs: Vec<InputSpec>,
+        var_names: Vec<String>,
+        body: Vec<Stmt>,
+    ) -> Self {
+        Program { name, inputs, var_count: var_names.len(), var_names, body }
+    }
+
+    /// The program's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Declared inputs, in positional order.
+    pub fn inputs(&self) -> &[InputSpec] {
+        &self.inputs
+    }
+
+    /// Number of local variables.
+    pub fn var_count(&self) -> usize {
+        self.var_count
+    }
+
+    /// Diagnostic name of a variable.
+    pub fn var_name(&self, v: VarId) -> &str {
+        &self.var_names[v.0]
+    }
+
+    /// The statement body.
+    pub fn body(&self) -> &[Stmt] {
+        &self.body
+    }
+
+    /// Total statement count (including nested statements).
+    pub fn stmt_count(&self) -> usize {
+        count_stmts(&self.body)
+    }
+
+    /// Validates a concrete input vector against the declared bounds.
+    ///
+    /// # Errors
+    /// Returns the index and spec of the first violated input.
+    pub fn check_inputs<'a>(&'a self, inputs: &[Value]) -> Result<(), (usize, &'a InputSpec)> {
+        if inputs.len() != self.inputs.len() {
+            // Arity mismatch: report as a violation of the missing/extra slot.
+            let idx = inputs.len().min(self.inputs.len().saturating_sub(1));
+            return Err((idx, &self.inputs[idx]));
+        }
+        for (i, (v, spec)) in inputs.iter().zip(&self.inputs).enumerate() {
+            if !spec.bound.admits(v) {
+                return Err((i, spec));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "program {}({} inputs, {} stmts)", self.name, self.inputs.len(), self.stmt_count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_admits() {
+        let b = InputBound::int(5, 15);
+        assert!(b.admits(&Value::Int(5)));
+        assert!(b.admits(&Value::Int(15)));
+        assert!(!b.admits(&Value::Int(16)));
+        assert!(!b.admits(&Value::str("x")));
+        assert_eq!(b.domain_size(), Some(11));
+
+        let c = InputBound::Choice(vec![Value::str("a"), Value::str("b")]);
+        assert!(c.admits(&Value::str("a")));
+        assert!(!c.admits(&Value::str("z")));
+        assert_eq!(c.domain_size(), Some(2));
+
+        let l = InputBound::int_list(1, 3, 0, 9);
+        assert!(l.admits(&Value::list(vec![Value::Int(3)])));
+        assert!(!l.admits(&Value::list(vec![])));
+        assert!(!l.admits(&Value::list(vec![Value::Int(10)])));
+        assert!(!l.admits(&Value::list(vec![Value::str("x")])));
+        assert_eq!(l.domain_size(), None);
+
+        assert!(InputBound::Str.admits(&Value::str("anything")));
+        assert!(!InputBound::Str.admits(&Value::Int(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty integer bound")]
+    fn bad_bound_panics() {
+        let _ = InputBound::int(3, 2);
+    }
+}

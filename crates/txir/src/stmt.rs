@@ -1,0 +1,94 @@
+//! Statements of the transaction IR.
+
+use crate::expr::Expr;
+use crate::program::VarId;
+use serde::{Deserialize, Serialize};
+
+/// A statement.
+///
+/// The IR is deliberately small: assignment, GET/PUT (the paper's key-value
+/// interface, §III-B), structured control flow (`if`, bounded `for`), record
+/// field update and result emission. There is no unbounded loop — symbolic
+/// execution requires loop bounds derivable from the input bounds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Stmt {
+    /// `var = expr`
+    Assign(VarId, Expr),
+    /// `var = GET(key)`; a missing key yields [`crate::Value::Unit`].
+    Get(VarId, Expr),
+    /// `PUT(key, value)`
+    Put(Expr, Expr),
+    /// `if cond { then } else { els }`
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `for var in from..to { body }` — `var` takes integer values
+    /// `from, from+1, …, to-1`. A non-positive range executes zero times.
+    For {
+        /// Loop variable (assigned each iteration).
+        var: VarId,
+        /// Inclusive start.
+        from: Expr,
+        /// Exclusive end.
+        to: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `var.field = expr` — functional record update of a local variable.
+    SetField(VarId, usize, Expr),
+    /// Appends a value to the transaction's result list (used by read-only
+    /// transactions to produce output).
+    Emit(Expr),
+}
+
+impl Stmt {
+    /// Visits this statement and all nested statements in pre-order.
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a Stmt)) {
+        f(self);
+        match self {
+            Stmt::If(_, t, e) => {
+                for s in t {
+                    s.visit(f);
+                }
+                for s in e {
+                    s.visit(f);
+                }
+            }
+            Stmt::For { body, .. } => {
+                for s in body {
+                    s.visit(f);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Counts statements in a block, including nested ones. Useful for program
+/// size reporting in the benchmark harness.
+pub fn count_stmts(block: &[Stmt]) -> usize {
+    let mut n = 0;
+    for s in block {
+        s.visit(&mut |_| n += 1);
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn visit_reaches_nested() {
+        let inner = Stmt::Emit(Expr::lit(1));
+        let s = Stmt::If(
+            Expr::lit_bool(true),
+            vec![Stmt::For {
+                var: VarId(0),
+                from: Expr::lit(0),
+                to: Expr::lit(3),
+                body: vec![inner.clone()],
+            }],
+            vec![inner.clone()],
+        );
+        assert_eq!(count_stmts(&[s]), 4);
+    }
+}

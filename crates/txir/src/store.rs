@@ -1,0 +1,128 @@
+//! The key-value interface programs run against.
+
+use crate::value::{Key, Value};
+use std::collections::HashMap;
+
+/// The GET/PUT interface a transaction executes against (paper §III-B:
+/// "a key/value data model with a classic GET/PUT interface").
+///
+/// Methods take `&mut self` so implementations can track accesses, buffer
+/// writes, inject latency, or read through snapshots. A `&mut T` also
+/// implements the trait, so adapters compose.
+pub trait TxStore {
+    /// Reads `key`; `None` means the key is absent (the interpreter maps
+    /// this to [`Value::Unit`]).
+    fn get(&mut self, key: &Key) -> Option<Value>;
+
+    /// Writes `value` under `key` (insert or overwrite).
+    fn put(&mut self, key: &Key, value: Value);
+}
+
+impl<T: TxStore + ?Sized> TxStore for &mut T {
+    fn get(&mut self, key: &Key) -> Option<Value> {
+        (**self).get(key)
+    }
+
+    fn put(&mut self, key: &Key, value: Value) {
+        (**self).put(key, value);
+    }
+}
+
+/// A trivial in-memory store backed by a `HashMap`. Used by unit tests, the
+/// symbolic engine's concrete baseline, and examples; the production-grade
+/// epoch-MVCC store lives in `prognosticator-storage`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MapStore {
+    map: HashMap<Key, Value>,
+}
+
+impl MapStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of keys present.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the store holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Reads without requiring `&mut`.
+    pub fn peek(&self, key: &Key) -> Option<&Value> {
+        self.map.get(key)
+    }
+
+    /// Iterates over all entries (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = (&Key, &Value)> {
+        self.map.iter()
+    }
+}
+
+impl TxStore for MapStore {
+    fn get(&mut self, key: &Key) -> Option<Value> {
+        self.map.get(key).cloned()
+    }
+
+    fn put(&mut self, key: &Key, value: Value) {
+        self.map.insert(key.clone(), value);
+    }
+}
+
+impl FromIterator<(Key, Value)> for MapStore {
+    fn from_iter<I: IntoIterator<Item = (Key, Value)>>(iter: I) -> Self {
+        MapStore { map: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<(Key, Value)> for MapStore {
+    fn extend<I: IntoIterator<Item = (Key, Value)>>(&mut self, iter: I) {
+        self.map.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::TableId;
+
+    #[test]
+    fn map_store_basics() {
+        let mut s = MapStore::new();
+        let k = Key::of_ints(TableId(0), &[1]);
+        assert!(s.is_empty());
+        assert_eq!(s.get(&k), None);
+        s.put(&k, Value::Int(9));
+        assert_eq!(s.get(&k), Some(Value::Int(9)));
+        assert_eq!(s.len(), 1);
+        s.put(&k, Value::Int(10));
+        assert_eq!(s.peek(&k), Some(&Value::Int(10)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn mut_ref_is_a_store() {
+        fn takes_store(st: &mut impl TxStore, k: &Key) -> Option<Value> {
+            st.get(k)
+        }
+        let mut s = MapStore::new();
+        let k = Key::of_ints(TableId(0), &[2]);
+        s.put(&k, Value::Int(1));
+        let mut r = &mut s;
+        assert_eq!(takes_store(&mut r, &k), Some(Value::Int(1)));
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let k1 = Key::of_ints(TableId(0), &[1]);
+        let k2 = Key::of_ints(TableId(0), &[2]);
+        let mut s: MapStore = vec![(k1.clone(), Value::Int(1))].into_iter().collect();
+        s.extend(vec![(k2.clone(), Value::Int(2))]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.iter().count(), 2);
+    }
+}

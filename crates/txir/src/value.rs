@@ -1,0 +1,332 @@
+//! Runtime values, database keys and the table registry.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifier of a logical table in the key space.
+///
+/// Keys are namespaced by table so that table-granularity schedulers (the
+/// NODO baseline) can coarsen a key to its table.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct TableId(pub u16);
+
+impl fmt::Display for TableId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Maps human-readable table names to [`TableId`]s.
+///
+/// Shared by the workload definitions, the stores and the schedulers so that
+/// diagnostics can print `stock` instead of `t7`.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TableRegistry {
+    names: Vec<String>,
+}
+
+impl TableRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `name` (or returns the existing id if already present).
+    pub fn register(&mut self, name: &str) -> TableId {
+        if let Some(pos) = self.names.iter().position(|n| n == name) {
+            return TableId(pos as u16);
+        }
+        assert!(self.names.len() < u16::MAX as usize, "too many tables");
+        self.names.push(name.to_owned());
+        TableId((self.names.len() - 1) as u16)
+    }
+
+    /// Looks up an id by name.
+    pub fn id(&self, name: &str) -> Option<TableId> {
+        self.names.iter().position(|n| n == name).map(|p| TableId(p as u16))
+    }
+
+    /// Looks up a name by id.
+    pub fn name(&self, id: TableId) -> Option<&str> {
+        self.names.get(id.0 as usize).map(String::as_str)
+    }
+
+    /// Number of registered tables.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no table has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(id, name)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (TableId, &str)> {
+        self.names.iter().enumerate().map(|(i, n)| (TableId(i as u16), n.as_str()))
+    }
+}
+
+/// A runtime value.
+///
+/// Records and lists use `Arc` so cloning a value (the interpreter clones
+/// freely) is O(1). There is deliberately no floating-point variant: keys
+/// must be `Eq + Hash`, and the benchmarks only need integers, strings and
+/// composites (TPC-C monetary amounts are represented in cents).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+pub enum Value {
+    /// Absent/neutral value; also what a `GET` of a missing key yields.
+    #[default]
+    Unit,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// Immutable string.
+    Str(Arc<str>),
+    /// Record with positional fields (field names live in the program's
+    /// schema metadata, not in the value).
+    Record(Arc<Vec<Value>>),
+    /// Homogeneous immutable list.
+    List(Arc<Vec<Value>>),
+}
+
+impl Value {
+    /// Convenience constructor for strings.
+    pub fn str(s: &str) -> Self {
+        Value::Str(Arc::from(s))
+    }
+
+    /// Convenience constructor for records.
+    pub fn record(fields: Vec<Value>) -> Self {
+        Value::Record(Arc::new(fields))
+    }
+
+    /// Convenience constructor for lists.
+    pub fn list(items: Vec<Value>) -> Self {
+        Value::List(Arc::new(items))
+    }
+
+    /// Returns the integer payload, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean payload, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the record fields, if this is a `Record`.
+    pub fn as_record(&self) -> Option<&[Value]> {
+        match self {
+            Value::Record(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Returns the list items, if this is a `List`.
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Whether the value is [`Value::Unit`] (e.g. a missed `GET`).
+    pub fn is_unit(&self) -> bool {
+        matches!(self, Value::Unit)
+    }
+
+    /// A coarse estimate of the heap footprint in bytes, used by the
+    /// symbolic-analysis memory accounting (Table I).
+    pub fn approx_size(&self) -> usize {
+        match self {
+            Value::Unit | Value::Bool(_) | Value::Int(_) => std::mem::size_of::<Value>(),
+            Value::Str(s) => std::mem::size_of::<Value>() + s.len(),
+            Value::Record(fs) | Value::List(fs) => {
+                std::mem::size_of::<Value>() + fs.iter().map(Value::approx_size).sum::<usize>()
+            }
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(Arc::from(v.as_str()))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Unit => write!(f, "()"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Record(fs) => {
+                write!(f, "{{")?;
+                for (i, v) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "}}")
+            }
+            Value::List(fs) => {
+                write!(f, "[")?;
+                for (i, v) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+/// A database key: a table plus a tuple of primary-key parts.
+///
+/// Conflict detection in Prognosticator is performed at **key granularity**
+/// (paper §III, footnote 3); the NODO baseline coarsens a key to its
+/// [`TableId`] via [`Key::table_lock`].
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Key {
+    /// Table this key belongs to.
+    pub table: TableId,
+    /// Primary-key parts, in schema order.
+    pub parts: Vec<Value>,
+}
+
+impl Key {
+    /// Builds a key from a table and its parts.
+    pub fn new(table: TableId, parts: Vec<Value>) -> Self {
+        Key { table, parts }
+    }
+
+    /// Builds a key whose parts are all integers.
+    pub fn of_ints(table: TableId, parts: &[i64]) -> Self {
+        Key { table, parts: parts.iter().map(|&i| Value::Int(i)).collect() }
+    }
+
+    /// The table-granularity coarsening of this key used by NODO: a key with
+    /// the same table and no parts, so all keys of a table collide.
+    pub fn table_lock(&self) -> Key {
+        Key { table: self.table, parts: Vec::new() }
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.table)?;
+        for (i, p) in self.parts.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_round_trip() {
+        let mut reg = TableRegistry::new();
+        let a = reg.register("alpha");
+        let b = reg.register("beta");
+        assert_ne!(a, b);
+        assert_eq!(reg.register("alpha"), a);
+        assert_eq!(reg.id("beta"), Some(b));
+        assert_eq!(reg.name(a), Some("alpha"));
+        assert_eq!(reg.len(), 2);
+        assert!(!reg.is_empty());
+        let pairs: Vec<_> = reg.iter().collect();
+        assert_eq!(pairs, vec![(a, "alpha"), (b, "beta")]);
+    }
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::str("x").as_int(), None);
+        assert!(Value::Unit.is_unit());
+        let r = Value::record(vec![Value::Int(1), Value::str("a")]);
+        assert_eq!(r.as_record().unwrap().len(), 2);
+        let l = Value::list(vec![Value::Int(1)]);
+        assert_eq!(l.as_list().unwrap()[0], Value::Int(1));
+    }
+
+    #[test]
+    fn value_conversions() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from("hi"), Value::str("hi"));
+        assert_eq!(Value::from(String::from("hi")), Value::str("hi"));
+    }
+
+    #[test]
+    fn value_display_nonempty() {
+        for v in [
+            Value::Unit,
+            Value::Bool(false),
+            Value::Int(-4),
+            Value::str("s"),
+            Value::record(vec![Value::Int(1), Value::Int(2)]),
+            Value::list(vec![]),
+        ] {
+            assert!(!format!("{v}").is_empty());
+            assert!(!format!("{v:?}").is_empty());
+        }
+    }
+
+    #[test]
+    fn key_table_lock_collides_within_table() {
+        let k1 = Key::of_ints(TableId(3), &[1, 2]);
+        let k2 = Key::of_ints(TableId(3), &[9]);
+        let k3 = Key::of_ints(TableId(4), &[1, 2]);
+        assert_ne!(k1, k2);
+        assert_eq!(k1.table_lock(), k2.table_lock());
+        assert_ne!(k1.table_lock(), k3.table_lock());
+    }
+
+    #[test]
+    fn approx_size_grows_with_content() {
+        let small = Value::Int(1);
+        let big = Value::list(vec![Value::Int(1); 100]);
+        assert!(big.approx_size() > small.approx_size());
+    }
+}

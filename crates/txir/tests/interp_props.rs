@@ -1,0 +1,112 @@
+//! Property tests of the concrete interpreter: determinism, trace
+//! faithfulness, and store-effect correspondence.
+
+use prognosticator_txir::{
+    Expr, InputBound, Interpreter, Key, MapStore, ProgramBuilder, TableId, Value,
+};
+use proptest::prelude::*;
+
+/// A tiny structured program: `n` counter increments over a bounded key
+/// space, optionally guarded.
+fn counter_program(guard: bool) -> prognosticator_txir::Program {
+    let mut b = ProgramBuilder::new("counters");
+    let t = b.table("t");
+    let id = b.input("id", InputBound::int(0, 7));
+    let n = b.input("n", InputBound::int(0, 5));
+    let i = b.var("i");
+    let v = b.var("v");
+    b.for_(i, Expr::lit(0), Expr::input(n), |b| {
+        let key = Expr::key(t, vec![Expr::input(id).add(Expr::var(i)).rem(Expr::lit(8))]);
+        b.get(v, key.clone());
+        if guard {
+            b.if_(
+                Expr::var(v).ge(Expr::lit(50)),
+                |b| b.put(key.clone(), Expr::var(v).sub(Expr::lit(50))),
+                |b| b.put(key.clone(), Expr::var(v).add(Expr::lit(1))),
+            );
+        } else {
+            b.put(key, Expr::var(v).add(Expr::lit(1)));
+        }
+    });
+    b.build()
+}
+
+fn populated() -> MapStore {
+    (0..8)
+        .map(|i| (Key::of_ints(TableId(0), &[i]), Value::Int(i * 10)))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 200, ..ProptestConfig::default() })]
+
+    /// Same program, inputs and store ⇒ identical outcome and final state.
+    #[test]
+    fn execution_is_deterministic(id in 0..8i64, n in 0..6i64, guard in any::<bool>()) {
+        let program = counter_program(guard);
+        let inputs = vec![Value::Int(id), Value::Int(n)];
+        let interp = Interpreter::new();
+        let mut s1 = populated();
+        let mut s2 = populated();
+        let o1 = interp.run(&program, &inputs, &mut s1).expect("runs");
+        let o2 = interp.run(&program, &inputs, &mut s2).expect("runs");
+        prop_assert_eq!(o1, o2);
+        prop_assert_eq!(s1, s2);
+    }
+
+    /// The trace's write keys are exactly the keys whose value changed or
+    /// was (re)inserted; reads never mutate.
+    #[test]
+    fn trace_matches_store_effects(id in 0..8i64, n in 0..6i64, guard in any::<bool>()) {
+        let program = counter_program(guard);
+        let inputs = vec![Value::Int(id), Value::Int(n)];
+        let before = populated();
+        let mut after = before.clone();
+        let out = Interpreter::new().run(&program, &inputs, &mut after).expect("runs");
+
+        // Keys not in the write trace are untouched.
+        for (key, value) in before.iter() {
+            if !out.trace.writes.contains(key) {
+                prop_assert_eq!(after.peek(key), Some(value), "unwritten key changed");
+            }
+        }
+        // Every traced write names an existing post-state key.
+        for key in &out.trace.writes {
+            prop_assert!(after.peek(key).is_some());
+        }
+        // A loop of n iterations does exactly n reads and n writes here.
+        prop_assert_eq!(out.trace.reads.len() as i64, n);
+        prop_assert_eq!(out.trace.writes.len() as i64, n);
+    }
+
+    /// Read-only programs leave any store byte-identical.
+    #[test]
+    fn read_only_programs_do_not_mutate(id in 0..8i64) {
+        let mut b = ProgramBuilder::new("rot");
+        let t = b.table("t");
+        let input = b.input("id", InputBound::int(0, 7));
+        let v = b.var("v");
+        b.get(v, Expr::key(t, vec![Expr::input(input)]));
+        b.emit(Expr::var(v));
+        let program = b.build();
+
+        let before = populated();
+        let mut after = before.clone();
+        let out = Interpreter::new()
+            .run(&program, &[Value::Int(id)], &mut after)
+            .expect("runs");
+        prop_assert!(out.trace.is_read_only());
+        prop_assert_eq!(before, after);
+        prop_assert_eq!(out.emitted, vec![Value::Int(id * 10)]);
+    }
+
+    /// Input validation accepts exactly the declared bounds.
+    #[test]
+    fn bounds_checked_iff_enabled(id in -4..12i64, n in -2..8i64) {
+        let program = counter_program(false);
+        let inputs = vec![Value::Int(id), Value::Int(n)];
+        let in_bounds = (0..=7).contains(&id) && (0..=5).contains(&n);
+        let strict = Interpreter::new().run(&program, &inputs, &mut populated());
+        prop_assert_eq!(strict.is_ok(), in_bounds);
+    }
+}

@@ -1,0 +1,124 @@
+//! Deterministic random-input generation shared by the workloads.
+
+/// A small, fast, seedable PCG-style generator. All workload generation
+/// uses it so that every client/replica/benchmark run derives identical
+/// batches from a seed — a requirement for replica-equivalence tests.
+#[derive(Debug, Clone)]
+pub struct DeterministicRng {
+    state: u64,
+    inc: u64,
+}
+
+impl DeterministicRng {
+    /// Seeds the generator.
+    pub fn new(seed: u64) -> Self {
+        let mut rng = DeterministicRng { state: 0, inc: (seed << 1) | 1 };
+        rng.next_u32();
+        rng.state = rng.state.wrapping_add(seed);
+        rng.next_u32();
+        rng
+    }
+
+    /// Next 32 random bits (PCG-XSH-RR).
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(6364136223846793005).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    /// Panics if `bound <= 0`.
+    pub fn below(&mut self, bound: i64) -> i64 {
+        assert!(bound > 0, "below() needs a positive bound");
+        (u64::from(self.next_u32()) % bound as u64) as i64
+    }
+
+    /// Uniform value in `[lo, hi]` (inclusive).
+    ///
+    /// # Panics
+    /// Panics if `lo > hi`.
+    pub fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo <= hi, "empty range");
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// Bernoulli trial with probability `percent`/100.
+    pub fn percent(&mut self, percent: i64) -> bool {
+        self.below(100) < percent
+    }
+}
+
+/// TPC-C's non-uniform random distribution (clause 2.1.6): hot items and
+/// customers are selected more often, concentrating contention the same
+/// way the spec does.
+pub fn nurand(rng: &mut DeterministicRng, a: i64, x: i64, y: i64) -> i64 {
+    // The spec's C constant is a per-run random; any fixed value is valid.
+    const C: i64 = 123;
+    (((rng.range(0, a) | rng.range(x, y)) + C) % (y - x + 1)) + x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = DeterministicRng::new(42);
+        let mut b = DeterministicRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u32(), b.next_u32());
+        }
+        let mut c = DeterministicRng::new(43);
+        let same: Vec<u32> = (0..10).map(|_| DeterministicRng::new(42).next_u32()).collect();
+        let diff: Vec<u32> = (0..10).map(|_| c.next_u32()).collect();
+        assert_ne!(same[0], diff[9]);
+    }
+
+    #[test]
+    fn below_stays_in_bounds() {
+        let mut rng = DeterministicRng::new(1);
+        for _ in 0..1000 {
+            let v = rng.below(7);
+            assert!((0..7).contains(&v));
+        }
+    }
+
+    #[test]
+    fn range_inclusive() {
+        let mut rng = DeterministicRng::new(2);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..2000 {
+            let v = rng.range(3, 5);
+            assert!((3..=5).contains(&v));
+            seen_lo |= v == 3;
+            seen_hi |= v == 5;
+        }
+        assert!(seen_lo && seen_hi);
+    }
+
+    #[test]
+    fn nurand_in_bounds_and_nonuniform() {
+        let mut rng = DeterministicRng::new(3);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..20_000 {
+            let v = nurand(&mut rng, 1023, 0, 99);
+            assert!((0..100).contains(&v));
+            counts[v as usize] += 1;
+        }
+        let max = *counts.iter().max().expect("nonempty");
+        let min = *counts.iter().min().expect("nonempty");
+        assert!(max > min * 2, "NURand should be visibly skewed (max={max}, min={min})");
+    }
+
+    #[test]
+    fn percent_roughly_calibrated() {
+        let mut rng = DeterministicRng::new(4);
+        let hits = (0..10_000).filter(|_| rng.percent(25)).count();
+        assert!((2000..3000).contains(&hits), "got {hits}");
+    }
+}

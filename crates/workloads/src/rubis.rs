@@ -1,0 +1,601 @@
+//! RUBiS (the bidding-site benchmark) expressed in the transaction IR.
+//!
+//! Per the paper (§IV, Table I, Fig. 4): the evaluation focuses on the
+//! five update transactions — storeBid, storeBuyNow, storeComment,
+//! registerUser and registerItem. Every one of them inserts a row whose
+//! identifier comes from a counter read from the database, so **all five
+//! are dependent transactions** with exactly one indirect key (the
+//! counter). The RUBiS-C mix is 50% storeBid with "the other transactions
+//! distributed equally" — RUBiS interactions are mostly *browse*
+//! (read-only) pages, so the remaining half spans the four other update
+//! transactions and six representative read-only ones. The lock-less
+//! read-only phase is exactly where Prognosticator scales (§III-C).
+
+use crate::gen::DeterministicRng;
+use prognosticator_core::{Catalog, ProgId, TxRequest};
+use prognosticator_storage::EpochStore;
+use prognosticator_symexec::ExploreError;
+use prognosticator_txir::{Expr, InputBound, Key, Program, ProgramBuilder, TableId, TableRegistry, Value};
+
+/// Scale parameters.
+#[derive(Debug, Clone)]
+pub struct RubisConfig {
+    /// Initially-populated users.
+    pub users: i64,
+    /// Initially-populated items.
+    pub items: i64,
+}
+
+impl Default for RubisConfig {
+    fn default() -> Self {
+        RubisConfig { users: 1000, items: 1000 }
+    }
+}
+
+/// Counter-row identifiers (key part of the `counters` table).
+pub mod counters {
+    /// Next user id.
+    pub const USER: i64 = 0;
+    /// Next item id.
+    pub const ITEM: i64 = 1;
+    /// Next bid id.
+    pub const BID: i64 = 2;
+    /// Next comment id.
+    pub const COMMENT: i64 = 3;
+    /// Next buy-now id.
+    pub const BUY_NOW: i64 = 4;
+}
+
+/// Record field indices.
+pub mod fields {
+    /// users: `{rating, balance}`
+    pub const U_RATING: usize = 0;
+    /// user balance.
+    pub const U_BALANCE: usize = 1;
+    /// items: `{seller, max_bid, nb_bids, quantity}`
+    pub const I_SELLER: usize = 0;
+    /// current best bid.
+    pub const I_MAX_BID: usize = 1;
+    /// number of bids.
+    pub const I_NB_BIDS: usize = 2;
+    /// remaining quantity.
+    pub const I_QUANTITY: usize = 3;
+    /// bids: `{item, user, amount}`
+    pub const B_ITEM: usize = 0;
+    /// bidding user.
+    pub const B_USER: usize = 1;
+    /// bid amount.
+    pub const B_AMOUNT: usize = 2;
+}
+
+/// Table ids of the RUBiS schema.
+#[derive(Debug, Clone, Copy)]
+pub struct RubisTables {
+    /// users(u)
+    pub users: TableId,
+    /// items(i)
+    pub items: TableId,
+    /// bids(b)
+    pub bids: TableId,
+    /// comments(c)
+    pub comments: TableId,
+    /// buy_nows(n)
+    pub buy_nows: TableId,
+    /// counters(kind)
+    pub counters: TableId,
+}
+
+fn tables(b: &mut ProgramBuilder) -> RubisTables {
+    RubisTables {
+        users: b.table("users"),
+        items: b.table("items"),
+        bids: b.table("bids"),
+        comments: b.table("comments"),
+        buy_nows: b.table("buy_nows"),
+        counters: b.table("counters"),
+    }
+}
+
+fn counter_key(t: RubisTables, kind: i64) -> Expr {
+    Expr::key(t.counters, vec![Expr::lit(kind)])
+}
+
+/// The RUBiS programs plus the shared table registry.
+#[derive(Debug, Clone)]
+pub struct RubisPrograms {
+    /// storeBid (dependent).
+    pub store_bid: Program,
+    /// storeBuyNow (dependent).
+    pub store_buy_now: Program,
+    /// storeComment (dependent).
+    pub store_comment: Program,
+    /// registerUser (dependent).
+    pub register_user: Program,
+    /// registerItem (dependent).
+    pub register_item: Program,
+    /// viewItem (read-only).
+    pub view_item: Program,
+    /// viewUser (read-only).
+    pub view_user: Program,
+    /// viewBidHistory (read-only; pivots on the bid counter).
+    pub view_bid_history: Program,
+    /// aboutMe (read-only; user profile + recent comments).
+    pub about_me: Program,
+    /// browseItems (read-only range scan).
+    pub browse_items: Program,
+    /// browseUsers (read-only range scan).
+    pub browse_users: Program,
+    /// Table name ↔ id mapping.
+    pub tables: TableRegistry,
+    /// Table ids.
+    pub ids: RubisTables,
+}
+
+/// Builds all programs for a scale configuration.
+pub fn programs(config: &RubisConfig) -> RubisPrograms {
+    let store_bid = build_store_bid(config);
+    let registry = store_bid.1;
+    let store_buy_now = build_store_buy_now(config, registry.clone());
+    let store_comment = build_store_comment(config, registry.clone());
+    let register_user = build_register_user(registry.clone());
+    let register_item = build_register_item(config, registry.clone());
+    let view_item = build_view_item(config, registry.clone());
+    let view_user = build_view_user(config, registry.clone());
+    let view_bid_history = build_view_bid_history(registry.clone());
+    let about_me = build_about_me(config, registry.clone());
+    let browse_items = build_browse_items(config, registry.clone());
+    let browse_users = build_browse_users(config, registry.clone());
+    let mut probe = ProgramBuilder::with_tables("probe", registry.clone());
+    let ids = tables(&mut probe);
+    RubisPrograms {
+        store_bid: store_bid.0,
+        store_buy_now,
+        store_comment,
+        register_user,
+        register_item,
+        view_item,
+        view_user,
+        view_bid_history,
+        about_me,
+        browse_items,
+        browse_users,
+        tables: registry,
+        ids,
+    }
+}
+
+/// viewBidHistory: the ten most recent bids site-wide (reads the bid
+/// counter, then scans backwards — a read-only transaction with pivots).
+fn build_view_bid_history(registry: TableRegistry) -> Program {
+    let mut b = ProgramBuilder::with_tables("view_bid_history", registry);
+    let t = tables(&mut b);
+    let c = b.var("c");
+    let j = b.var("j");
+    let id = b.var("id");
+    let bid = b.var("bid");
+    b.get(c, counter_key(t, counters::BID));
+    b.for_(j, Expr::lit(0), Expr::lit(10), |b| {
+        b.assign(id, Expr::var(c).sub(Expr::lit(10)).add(Expr::var(j)));
+        b.if_then(Expr::var(id).ge(Expr::lit(0)), |b| {
+            b.get(bid, Expr::key(t.bids, vec![Expr::var(id)]));
+            b.if_then(Expr::var(bid).ne(Expr::Const(Value::Unit)), |b| {
+                b.emit(Expr::var(bid).field(fields::B_AMOUNT));
+            });
+        });
+    });
+    b.build()
+}
+
+/// aboutMe: a user's profile plus the five most recent comments.
+fn build_about_me(config: &RubisConfig, registry: TableRegistry) -> Program {
+    let mut b = ProgramBuilder::with_tables("about_me", registry);
+    let t = tables(&mut b);
+    let user = b.input("user", InputBound::int(0, config.users - 1));
+    let u = b.var("u");
+    let c = b.var("c");
+    let j = b.var("j");
+    let id = b.var("id");
+    let com = b.var("com");
+    b.get(u, Expr::key(t.users, vec![Expr::input(user)]));
+    b.emit(Expr::var(u).field(fields::U_RATING));
+    b.get(c, counter_key(t, counters::COMMENT));
+    b.for_(j, Expr::lit(0), Expr::lit(5), |b| {
+        b.assign(id, Expr::var(c).sub(Expr::lit(5)).add(Expr::var(j)));
+        b.if_then(Expr::var(id).ge(Expr::lit(0)), |b| {
+            b.get(com, Expr::key(t.comments, vec![Expr::var(id)]));
+            b.emit(Expr::var(com).eq(Expr::Const(Value::Unit)).not());
+        });
+    });
+    b.build()
+}
+
+/// browseItems: an eight-item window of the catalogue.
+fn build_browse_items(config: &RubisConfig, registry: TableRegistry) -> Program {
+    let mut b = ProgramBuilder::with_tables("browse_items", registry);
+    let t = tables(&mut b);
+    let start = b.input("start", InputBound::int(0, (config.items - 8).max(0)));
+    let j = b.var("j");
+    let it = b.var("it");
+    b.for_(j, Expr::lit(0), Expr::lit(8), |b| {
+        b.get(it, Expr::key(t.items, vec![Expr::input(start).add(Expr::var(j))]));
+        b.emit(Expr::var(it).field(fields::I_MAX_BID));
+    });
+    b.build()
+}
+
+/// browseUsers: an eight-user window of the directory.
+fn build_browse_users(config: &RubisConfig, registry: TableRegistry) -> Program {
+    let mut b = ProgramBuilder::with_tables("browse_users", registry);
+    let t = tables(&mut b);
+    let start = b.input("start", InputBound::int(0, (config.users - 8).max(0)));
+    let j = b.var("j");
+    let u = b.var("u");
+    b.for_(j, Expr::lit(0), Expr::lit(8), |b| {
+        b.get(u, Expr::key(t.users, vec![Expr::input(start).add(Expr::var(j))]));
+        b.emit(Expr::var(u).field(fields::U_RATING));
+    });
+    b.build()
+}
+
+/// storeBid(item, user, amount): allocate a bid id from the counter
+/// (pivot), insert the bid, bump the item's bid statistics.
+fn build_store_bid(config: &RubisConfig) -> (Program, TableRegistry) {
+    let mut b = ProgramBuilder::new("store_bid");
+    let t = tables(&mut b);
+    let item = b.input("item", InputBound::int(0, config.items - 1));
+    let user = b.input("user", InputBound::int(0, config.users - 1));
+    let amount = b.input("amount", InputBound::int(1, 100_000));
+    let c = b.var("c");
+    let it = b.var("it");
+
+    b.get(c, counter_key(t, counters::BID));
+    b.put(counter_key(t, counters::BID), Expr::var(c).add(Expr::lit(1)));
+    b.put(
+        Expr::key(t.bids, vec![Expr::var(c)]),
+        Expr::MakeRecord(vec![Expr::input(item), Expr::input(user), Expr::input(amount)]),
+    );
+    let item_key = Expr::key(t.items, vec![Expr::input(item)]);
+    b.get(it, item_key.clone());
+    b.if_then(Expr::input(amount).gt(Expr::var(it).field(fields::I_MAX_BID)), |b| {
+        b.set_field(it, fields::I_MAX_BID, Expr::input(amount));
+    });
+    b.set_field(it, fields::I_NB_BIDS, Expr::var(it).field(fields::I_NB_BIDS).add(Expr::lit(1)));
+    b.put(item_key, Expr::var(it));
+    b.build_with_tables()
+}
+
+/// storeBuyNow(item, user, qty): allocate a buy-now id (pivot), insert,
+/// decrement the item quantity.
+fn build_store_buy_now(config: &RubisConfig, registry: TableRegistry) -> Program {
+    let mut b = ProgramBuilder::with_tables("store_buy_now", registry);
+    let t = tables(&mut b);
+    let item = b.input("item", InputBound::int(0, config.items - 1));
+    let user = b.input("user", InputBound::int(0, config.users - 1));
+    let qty = b.input("qty", InputBound::int(1, 5));
+    let c = b.var("c");
+    let it = b.var("it");
+
+    b.get(c, counter_key(t, counters::BUY_NOW));
+    b.put(counter_key(t, counters::BUY_NOW), Expr::var(c).add(Expr::lit(1)));
+    b.put(
+        Expr::key(t.buy_nows, vec![Expr::var(c)]),
+        Expr::MakeRecord(vec![Expr::input(item), Expr::input(user), Expr::input(qty)]),
+    );
+    let item_key = Expr::key(t.items, vec![Expr::input(item)]);
+    b.get(it, item_key.clone());
+    b.set_field(
+        it,
+        fields::I_QUANTITY,
+        Expr::var(it).field(fields::I_QUANTITY).sub(Expr::input(qty)),
+    );
+    b.put(item_key, Expr::var(it));
+    b.build()
+}
+
+/// storeComment(from, to, rating): allocate a comment id (pivot), insert,
+/// adjust the target user's rating.
+fn build_store_comment(config: &RubisConfig, registry: TableRegistry) -> Program {
+    let mut b = ProgramBuilder::with_tables("store_comment", registry);
+    let t = tables(&mut b);
+    let from = b.input("from", InputBound::int(0, config.users - 1));
+    let to = b.input("to", InputBound::int(0, config.users - 1));
+    let rating = b.input("rating", InputBound::int(-5, 5));
+    let c = b.var("c");
+    let u = b.var("u");
+
+    b.get(c, counter_key(t, counters::COMMENT));
+    b.put(counter_key(t, counters::COMMENT), Expr::var(c).add(Expr::lit(1)));
+    b.put(
+        Expr::key(t.comments, vec![Expr::var(c)]),
+        Expr::MakeRecord(vec![Expr::input(from), Expr::input(to), Expr::input(rating)]),
+    );
+    let user_key = Expr::key(t.users, vec![Expr::input(to)]);
+    b.get(u, user_key.clone());
+    b.set_field(u, fields::U_RATING, Expr::var(u).field(fields::U_RATING).add(Expr::input(rating)));
+    b.put(user_key, Expr::var(u));
+    b.build()
+}
+
+/// registerUser(rating): allocate a user id (pivot) and insert the row.
+fn build_register_user(registry: TableRegistry) -> Program {
+    let mut b = ProgramBuilder::with_tables("register_user", registry);
+    let t = tables(&mut b);
+    let rating = b.input("rating", InputBound::int(0, 5));
+    let c = b.var("c");
+    b.get(c, counter_key(t, counters::USER));
+    b.put(counter_key(t, counters::USER), Expr::var(c).add(Expr::lit(1)));
+    b.put(
+        Expr::key(t.users, vec![Expr::var(c)]),
+        Expr::MakeRecord(vec![Expr::input(rating), Expr::lit(0)]),
+    );
+    b.build()
+}
+
+/// registerItem(seller, qty): allocate an item id (pivot) and insert.
+fn build_register_item(config: &RubisConfig, registry: TableRegistry) -> Program {
+    let mut b = ProgramBuilder::with_tables("register_item", registry);
+    let t = tables(&mut b);
+    let seller = b.input("seller", InputBound::int(0, config.users - 1));
+    let qty = b.input("qty", InputBound::int(1, 100));
+    let c = b.var("c");
+    b.get(c, counter_key(t, counters::ITEM));
+    b.put(counter_key(t, counters::ITEM), Expr::var(c).add(Expr::lit(1)));
+    b.put(
+        Expr::key(t.items, vec![Expr::var(c)]),
+        Expr::MakeRecord(vec![Expr::input(seller), Expr::lit(0), Expr::lit(0), Expr::input(qty)]),
+    );
+    b.build()
+}
+
+/// viewItem(item): read-only browse.
+fn build_view_item(config: &RubisConfig, registry: TableRegistry) -> Program {
+    let mut b = ProgramBuilder::with_tables("view_item", registry);
+    let t = tables(&mut b);
+    let item = b.input("item", InputBound::int(0, config.items - 1));
+    let it = b.var("it");
+    b.get(it, Expr::key(t.items, vec![Expr::input(item)]));
+    b.emit(Expr::var(it).field(fields::I_MAX_BID));
+    b.emit(Expr::var(it).field(fields::I_NB_BIDS));
+    b.build()
+}
+
+/// viewUser(user): read-only browse.
+fn build_view_user(config: &RubisConfig, registry: TableRegistry) -> Program {
+    let mut b = ProgramBuilder::with_tables("view_user", registry);
+    let t = tables(&mut b);
+    let user = b.input("user", InputBound::int(0, config.users - 1));
+    let u = b.var("u");
+    b.get(u, Expr::key(t.users, vec![Expr::input(user)]));
+    b.emit(Expr::var(u).field(fields::U_RATING));
+    b.build()
+}
+
+/// A registered RUBiS workload.
+#[derive(Debug)]
+pub struct RubisWorkload {
+    /// Scale parameters.
+    pub config: RubisConfig,
+    /// storeBid program id.
+    pub store_bid: ProgId,
+    /// storeBuyNow program id.
+    pub store_buy_now: ProgId,
+    /// storeComment program id.
+    pub store_comment: ProgId,
+    /// registerUser program id.
+    pub register_user: ProgId,
+    /// registerItem program id.
+    pub register_item: ProgId,
+    /// viewItem program id.
+    pub view_item: ProgId,
+    /// viewUser program id.
+    pub view_user: ProgId,
+    /// viewBidHistory program id.
+    pub view_bid_history: ProgId,
+    /// aboutMe program id.
+    pub about_me: ProgId,
+    /// browseItems program id.
+    pub browse_items: ProgId,
+    /// browseUsers program id.
+    pub browse_users: ProgId,
+    /// Table ids.
+    pub tables: RubisTables,
+}
+
+impl RubisWorkload {
+    /// Builds, analyzes and registers all programs.
+    ///
+    /// # Errors
+    /// Propagates analysis errors (IR bugs).
+    pub fn register(catalog: &mut Catalog, config: RubisConfig) -> Result<Self, ExploreError> {
+        let progs = programs(&config);
+        Ok(RubisWorkload {
+            store_bid: catalog.register(progs.store_bid)?,
+            store_buy_now: catalog.register(progs.store_buy_now)?,
+            store_comment: catalog.register(progs.store_comment)?,
+            register_user: catalog.register(progs.register_user)?,
+            register_item: catalog.register(progs.register_item)?,
+            view_item: catalog.register(progs.view_item)?,
+            view_user: catalog.register(progs.view_user)?,
+            view_bid_history: catalog.register(progs.view_bid_history)?,
+            about_me: catalog.register(progs.about_me)?,
+            browse_items: catalog.register(progs.browse_items)?,
+            browse_users: catalog.register(progs.browse_users)?,
+            config,
+            tables: progs.ids,
+        })
+    }
+
+    /// Populates `store` with users, items and counters (epoch 0).
+    pub fn populate(&self, store: &EpochStore) {
+        let t = self.tables;
+        for u in 0..self.config.users {
+            store.insert_initial(
+                Key::of_ints(t.users, &[u]),
+                Value::record(vec![Value::Int(0), Value::Int(0)]),
+            );
+        }
+        for i in 0..self.config.items {
+            store.insert_initial(
+                Key::of_ints(t.items, &[i]),
+                Value::record(vec![
+                    Value::Int(i % self.config.users),
+                    Value::Int(0),
+                    Value::Int(0),
+                    Value::Int(100),
+                ]),
+            );
+        }
+        for kind in [counters::USER, counters::ITEM, counters::BID, counters::COMMENT, counters::BUY_NOW]
+        {
+            let start = match kind {
+                counters::USER => self.config.users,
+                counters::ITEM => self.config.items,
+                _ => 0,
+            };
+            store.insert_initial(Key::of_ints(t.counters, &[kind]), Value::Int(start));
+        }
+    }
+
+    /// Generates one request of the RUBiS-C mix (paper §IV-B): 50%
+    /// storeBid, "the other transactions distributed equally" — here the
+    /// four remaining update transactions plus six representative browse
+    /// (read-only) interactions, 5% each.
+    pub fn gen_tx(&self, rng: &mut DeterministicRng) -> TxRequest {
+        let item = rng.below(self.config.items);
+        let user = rng.below(self.config.users);
+        match rng.below(20) {
+            0..=9 => TxRequest::new(
+                self.store_bid,
+                vec![Value::Int(item), Value::Int(user), Value::Int(1 + rng.below(100_000))],
+            ),
+            10 => TxRequest::new(
+                self.store_buy_now,
+                vec![Value::Int(item), Value::Int(user), Value::Int(1 + rng.below(5))],
+            ),
+            11 => TxRequest::new(
+                self.store_comment,
+                vec![
+                    Value::Int(user),
+                    Value::Int(rng.below(self.config.users)),
+                    Value::Int(rng.range(-5, 5)),
+                ],
+            ),
+            12 => TxRequest::new(self.register_user, vec![Value::Int(rng.below(6))]),
+            13 => TxRequest::new(
+                self.register_item,
+                vec![Value::Int(user), Value::Int(1 + rng.below(100))],
+            ),
+            14 => TxRequest::new(self.view_item, vec![Value::Int(item)]),
+            15 => TxRequest::new(self.view_user, vec![Value::Int(user)]),
+            16 => TxRequest::new(self.view_bid_history, vec![]),
+            17 => TxRequest::new(self.about_me, vec![Value::Int(user)]),
+            18 => TxRequest::new(
+                self.browse_items,
+                vec![Value::Int(rng.below((self.config.items - 8).max(1)))],
+            ),
+            _ => TxRequest::new(
+                self.browse_users,
+                vec![Value::Int(rng.below((self.config.users - 8).max(1)))],
+            ),
+        }
+    }
+
+    /// Generates a whole RUBiS-C batch.
+    pub fn gen_batch(&self, rng: &mut DeterministicRng, size: usize) -> Vec<TxRequest> {
+        (0..size).map(|_| self.gen_tx(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prognosticator_core::TxClass;
+
+    fn small() -> RubisConfig {
+        RubisConfig { users: 50, items: 50 }
+    }
+
+    #[test]
+    fn all_update_transactions_are_dependent() {
+        let mut catalog = Catalog::new();
+        let wl = RubisWorkload::register(&mut catalog, small()).unwrap();
+        for (name, id) in [
+            ("store_bid", wl.store_bid),
+            ("store_buy_now", wl.store_buy_now),
+            ("store_comment", wl.store_comment),
+            ("register_user", wl.register_user),
+            ("register_item", wl.register_item),
+        ] {
+            let entry = catalog.entry(id);
+            assert_eq!(entry.class(), TxClass::Dependent, "{name}");
+            let profile = entry.profile().expect("profiled");
+            assert_eq!(profile.indirect_keys(), 1, "{name}: Table I says 1 indirect key");
+            assert_eq!(profile.unique_key_sets(), 1, "{name}");
+        }
+        assert_eq!(catalog.entry(wl.view_item).class(), TxClass::ReadOnly);
+        assert_eq!(catalog.entry(wl.view_user).class(), TxClass::ReadOnly);
+    }
+
+    #[test]
+    fn generator_mix_is_rubis_c() {
+        let mut catalog = Catalog::new();
+        let wl = RubisWorkload::register(&mut catalog, small()).unwrap();
+        let mut rng = DeterministicRng::new(5);
+        let mut bids = 0usize;
+        for _ in 0..4000 {
+            let req = wl.gen_tx(&mut rng);
+            catalog.entry(req.program).program().check_inputs(&req.inputs).expect("bounds");
+            if req.program == wl.store_bid {
+                bids += 1;
+            }
+        }
+        let share = bids as f64 / 4000.0;
+        assert!((share - 0.5).abs() < 0.04, "storeBid share {share}");
+    }
+
+    #[test]
+    fn execution_against_population_works() {
+        use prognosticator_txir::Interpreter;
+        let mut catalog = Catalog::new();
+        let wl = RubisWorkload::register(&mut catalog, small()).unwrap();
+        let store = EpochStore::new();
+        wl.populate(&store);
+        let mut rng = DeterministicRng::new(6);
+        let interp = Interpreter::new();
+        for _ in 0..300 {
+            let req = wl.gen_tx(&mut rng);
+            let entry = catalog.entry(req.program);
+            let mut view = store.live();
+            interp
+                .run(entry.program(), &req.inputs, &mut view)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", entry.program().name()));
+        }
+    }
+
+    #[test]
+    fn bid_ids_allocate_sequentially() {
+        use prognosticator_txir::Interpreter;
+        let mut catalog = Catalog::new();
+        let wl = RubisWorkload::register(&mut catalog, small()).unwrap();
+        let store = EpochStore::new();
+        wl.populate(&store);
+        let interp = Interpreter::new();
+        for i in 0..3 {
+            let req = TxRequest::new(
+                wl.store_bid,
+                vec![Value::Int(1), Value::Int(2), Value::Int(10 + i)],
+            );
+            let entry = catalog.entry(req.program);
+            let mut view = store.live();
+            interp.run(entry.program(), &req.inputs, &mut view).expect("bid");
+        }
+        for b in 0..3i64 {
+            let bid = store.get_latest(&Key::of_ints(wl.tables.bids, &[b])).expect("bid row");
+            assert_eq!(bid.as_record().unwrap()[fields::B_AMOUNT], Value::Int(10 + b));
+        }
+        assert_eq!(
+            store.get_latest(&Key::of_ints(wl.tables.counters, &[counters::BID])),
+            Some(Value::Int(3))
+        );
+    }
+}

@@ -1,0 +1,413 @@
+//! SmallBank: a compact banking micro-workload.
+//!
+//! Not part of the paper's evaluation, but a standard deterministic-
+//! database micro-benchmark (used by the OLLP/Calvin line of work and the
+//! robustness study the paper cites) and a convenient third workload for
+//! examples, tests and custom experiments. Six transactions over two
+//! tables:
+//!
+//! | transaction | class | why |
+//! |---|---|---|
+//! | `balance` | ROT | reads both accounts of a customer |
+//! | `deposit_checking` | IT | key = customer id |
+//! | `transact_savings` | IT | key = customer id |
+//! | `amalgamate` | IT | moves both balances of one customer to another |
+//! | `write_check` | IT | conditional fee, same key-set on both paths |
+//! | `send_payment` | DT | pays a customer's *linked* payee (a pivot) |
+//!
+//! `send_payment` is deliberately dependent: the payee account is read
+//! from a `links` table, exercising the prepare/validate machinery outside
+//! the TPC-C/RUBiS shapes.
+
+use crate::gen::DeterministicRng;
+use prognosticator_core::{Catalog, ProgId, TxRequest};
+use prognosticator_storage::EpochStore;
+use prognosticator_symexec::ExploreError;
+use prognosticator_txir::{
+    Expr, InputBound, Key, Program, ProgramBuilder, TableId, TableRegistry, Value,
+};
+
+/// Scale parameters.
+#[derive(Debug, Clone)]
+pub struct SmallBankConfig {
+    /// Number of customers.
+    pub customers: i64,
+    /// Fraction (percent) of operations hitting a small hot set, as in the
+    /// original SmallBank's 25/100 split.
+    pub hotspot_pct: i64,
+    /// Size of the hot set.
+    pub hotspot_size: i64,
+}
+
+impl Default for SmallBankConfig {
+    fn default() -> Self {
+        SmallBankConfig { customers: 1000, hotspot_pct: 25, hotspot_size: 100 }
+    }
+}
+
+/// Table ids of the SmallBank schema.
+#[derive(Debug, Clone, Copy)]
+pub struct SmallBankTables {
+    /// savings(c) → Int balance
+    pub savings: TableId,
+    /// checking(c) → Int balance
+    pub checking: TableId,
+    /// links(c) → Int payee customer id
+    pub links: TableId,
+}
+
+fn tables(b: &mut ProgramBuilder) -> SmallBankTables {
+    SmallBankTables {
+        savings: b.table("savings"),
+        checking: b.table("checking"),
+        links: b.table("links"),
+    }
+}
+
+/// The six SmallBank programs plus the shared registry.
+#[derive(Debug, Clone)]
+pub struct SmallBankPrograms {
+    /// balance(c) — ROT.
+    pub balance: Program,
+    /// deposit_checking(c, v) — IT.
+    pub deposit_checking: Program,
+    /// transact_savings(c, v) — IT.
+    pub transact_savings: Program,
+    /// amalgamate(from, to) — IT.
+    pub amalgamate: Program,
+    /// write_check(c, v) — IT with a value-only branch.
+    pub write_check: Program,
+    /// send_payment(c, v) — DT via the links pivot.
+    pub send_payment: Program,
+    /// Table registry.
+    pub tables: TableRegistry,
+    /// Table ids.
+    pub ids: SmallBankTables,
+}
+
+/// Builds all six programs.
+pub fn programs(config: &SmallBankConfig) -> SmallBankPrograms {
+    let n = config.customers;
+
+    let mut b = ProgramBuilder::new("balance");
+    let t = tables(&mut b);
+    let c = b.input("c", InputBound::int(0, n - 1));
+    let s = b.var("s");
+    let k = b.var("k");
+    b.get(s, Expr::key(t.savings, vec![Expr::input(c)]));
+    b.get(k, Expr::key(t.checking, vec![Expr::input(c)]));
+    b.emit(Expr::var(s).add(Expr::var(k)));
+    let (balance, registry) = b.build_with_tables();
+
+    let mut b = ProgramBuilder::with_tables("deposit_checking", registry.clone());
+    let t = tables(&mut b);
+    let c = b.input("c", InputBound::int(0, n - 1));
+    let v = b.input("v", InputBound::int(1, 100));
+    let k = b.var("k");
+    let key = Expr::key(t.checking, vec![Expr::input(c)]);
+    b.get(k, key.clone());
+    b.put(key, Expr::var(k).add(Expr::input(v)));
+    let deposit_checking = b.build();
+
+    let mut b = ProgramBuilder::with_tables("transact_savings", registry.clone());
+    let t = tables(&mut b);
+    let c = b.input("c", InputBound::int(0, n - 1));
+    let v = b.input("v", InputBound::int(1, 100));
+    let s = b.var("s");
+    let key = Expr::key(t.savings, vec![Expr::input(c)]);
+    b.get(s, key.clone());
+    b.put(key, Expr::var(s).add(Expr::input(v)));
+    let transact_savings = b.build();
+
+    let mut b = ProgramBuilder::with_tables("amalgamate", registry.clone());
+    let t = tables(&mut b);
+    let from = b.input("from", InputBound::int(0, n - 1));
+    let to = b.input("to", InputBound::int(0, n - 1));
+    let s = b.var("s");
+    let k = b.var("k");
+    let dst = b.var("dst");
+    b.get(s, Expr::key(t.savings, vec![Expr::input(from)]));
+    b.get(k, Expr::key(t.checking, vec![Expr::input(from)]));
+    b.get(dst, Expr::key(t.checking, vec![Expr::input(to)]));
+    b.put(Expr::key(t.savings, vec![Expr::input(from)]), Expr::lit(0));
+    b.put(Expr::key(t.checking, vec![Expr::input(from)]), Expr::lit(0));
+    b.put(
+        Expr::key(t.checking, vec![Expr::input(to)]),
+        Expr::var(dst).add(Expr::var(s)).add(Expr::var(k)),
+    );
+    let amalgamate = b.build();
+
+    let mut b = ProgramBuilder::with_tables("write_check", registry.clone());
+    let t = tables(&mut b);
+    let c = b.input("c", InputBound::int(0, n - 1));
+    let v = b.input("v", InputBound::int(1, 100));
+    let s = b.var("s");
+    let k = b.var("k");
+    b.get(s, Expr::key(t.savings, vec![Expr::input(c)]));
+    b.get(k, Expr::key(t.checking, vec![Expr::input(c)]));
+    let key = Expr::key(t.checking, vec![Expr::input(c)]);
+    // Overdraft fee: both arms write the same key, so the branch is
+    // irrelevant to the RWS (the newOrder pattern).
+    b.if_(
+        Expr::var(s).add(Expr::var(k)).lt(Expr::input(v)),
+        |b| b.put(key.clone(), Expr::var(k).sub(Expr::input(v)).sub(Expr::lit(1))),
+        |b| b.put(key.clone(), Expr::var(k).sub(Expr::input(v))),
+    );
+    let write_check = b.build();
+
+    let mut b = ProgramBuilder::with_tables("send_payment", registry.clone());
+    let t = tables(&mut b);
+    let c = b.input("c", InputBound::int(0, n - 1));
+    let v = b.input("v", InputBound::int(1, 100));
+    let payee = b.var("payee");
+    let src = b.var("src");
+    let dst = b.var("dst");
+    b.get(payee, Expr::key(t.links, vec![Expr::input(c)]));
+    b.get(src, Expr::key(t.checking, vec![Expr::input(c)]));
+    b.get(dst, Expr::key(t.checking, vec![Expr::var(payee)]));
+    b.put(Expr::key(t.checking, vec![Expr::input(c)]), Expr::var(src).sub(Expr::input(v)));
+    b.put(
+        Expr::key(t.checking, vec![Expr::var(payee)]),
+        Expr::var(dst).add(Expr::input(v)),
+    );
+    let send_payment = b.build();
+
+    let mut probe = ProgramBuilder::with_tables("probe", registry.clone());
+    let ids = tables(&mut probe);
+    SmallBankPrograms {
+        balance,
+        deposit_checking,
+        transact_savings,
+        amalgamate,
+        write_check,
+        send_payment,
+        tables: registry,
+        ids,
+    }
+}
+
+/// A registered SmallBank workload.
+#[derive(Debug)]
+pub struct SmallBankWorkload {
+    /// Scale parameters.
+    pub config: SmallBankConfig,
+    /// balance program id.
+    pub balance: ProgId,
+    /// deposit_checking program id.
+    pub deposit_checking: ProgId,
+    /// transact_savings program id.
+    pub transact_savings: ProgId,
+    /// amalgamate program id.
+    pub amalgamate: ProgId,
+    /// write_check program id.
+    pub write_check: ProgId,
+    /// send_payment program id.
+    pub send_payment: ProgId,
+    /// Table ids.
+    pub tables: SmallBankTables,
+}
+
+impl SmallBankWorkload {
+    /// Builds, analyzes and registers all six programs.
+    ///
+    /// # Errors
+    /// Propagates analysis errors (IR bugs).
+    pub fn register(
+        catalog: &mut Catalog,
+        config: SmallBankConfig,
+    ) -> Result<Self, ExploreError> {
+        let progs = programs(&config);
+        Ok(SmallBankWorkload {
+            balance: catalog.register(progs.balance)?,
+            deposit_checking: catalog.register(progs.deposit_checking)?,
+            transact_savings: catalog.register(progs.transact_savings)?,
+            amalgamate: catalog.register(progs.amalgamate)?,
+            write_check: catalog.register(progs.write_check)?,
+            send_payment: catalog.register(progs.send_payment)?,
+            config,
+            tables: progs.ids,
+        })
+    }
+
+    /// Populates accounts (savings 100, checking 50) and a ring of payment
+    /// links (`links[c] = c+1 mod customers`).
+    pub fn populate(&self, store: &EpochStore) {
+        let t = self.tables;
+        for c in 0..self.config.customers {
+            store.insert_initial(Key::of_ints(t.savings, &[c]), Value::Int(100));
+            store.insert_initial(Key::of_ints(t.checking, &[c]), Value::Int(50));
+            store.insert_initial(
+                Key::of_ints(t.links, &[c]),
+                Value::Int((c + 1) % self.config.customers),
+            );
+        }
+    }
+
+    fn pick_customer(&self, rng: &mut DeterministicRng) -> i64 {
+        if rng.percent(self.config.hotspot_pct) {
+            rng.below(self.config.hotspot_size.min(self.config.customers))
+        } else {
+            rng.below(self.config.customers)
+        }
+    }
+
+    /// Generates one request of the standard SmallBank mix (uniform over
+    /// the six transactions, hotspot-skewed customer choice).
+    pub fn gen_tx(&self, rng: &mut DeterministicRng) -> TxRequest {
+        let c = self.pick_customer(rng);
+        let v = Value::Int(1 + rng.below(100));
+        match rng.below(6) {
+            0 => TxRequest::new(self.balance, vec![Value::Int(c)]),
+            1 => TxRequest::new(self.deposit_checking, vec![Value::Int(c), v]),
+            2 => TxRequest::new(self.transact_savings, vec![Value::Int(c), v]),
+            3 => TxRequest::new(
+                self.amalgamate,
+                vec![Value::Int(c), Value::Int(self.pick_customer(rng))],
+            ),
+            4 => TxRequest::new(self.write_check, vec![Value::Int(c), v]),
+            _ => TxRequest::new(self.send_payment, vec![Value::Int(c), v]),
+        }
+    }
+
+    /// Generates a whole batch.
+    pub fn gen_batch(&self, rng: &mut DeterministicRng, size: usize) -> Vec<TxRequest> {
+        (0..size).map(|_| self.gen_tx(rng)).collect()
+    }
+
+    /// Sum of every balance — invariant under transfers (deposits add).
+    pub fn total_money(&self, store: &EpochStore) -> i64 {
+        let t = self.tables;
+        (0..self.config.customers)
+            .map(|c| {
+                let s = store
+                    .get_latest(&Key::of_ints(t.savings, &[c]))
+                    .and_then(|v| v.as_int())
+                    .unwrap_or(0);
+                let k = store
+                    .get_latest(&Key::of_ints(t.checking, &[c]))
+                    .and_then(|v| v.as_int())
+                    .unwrap_or(0);
+                s + k
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prognosticator_core::{baselines, Replica, TxClass};
+    use std::sync::Arc;
+
+    fn small() -> SmallBankConfig {
+        SmallBankConfig { customers: 32, hotspot_pct: 25, hotspot_size: 4 }
+    }
+
+    #[test]
+    fn classes_are_as_designed() {
+        let mut catalog = Catalog::new();
+        let wl = SmallBankWorkload::register(&mut catalog, small()).unwrap();
+        assert_eq!(catalog.entry(wl.balance).class(), TxClass::ReadOnly);
+        assert_eq!(catalog.entry(wl.deposit_checking).class(), TxClass::Independent);
+        assert_eq!(catalog.entry(wl.transact_savings).class(), TxClass::Independent);
+        assert_eq!(catalog.entry(wl.amalgamate).class(), TxClass::Independent);
+        assert_eq!(catalog.entry(wl.write_check).class(), TxClass::Independent);
+        assert_eq!(catalog.entry(wl.send_payment).class(), TxClass::Dependent);
+        // write_check's overdraft branch collapses (newOrder pattern).
+        let profile = catalog.entry(wl.write_check).profile().unwrap();
+        assert_eq!(profile.unique_key_sets(), 1);
+        // send_payment pivots on the link row only.
+        let profile = catalog.entry(wl.send_payment).profile().unwrap();
+        assert_eq!(profile.indirect_keys(), 1);
+    }
+
+    #[test]
+    fn transfers_conserve_money_minus_deposits() {
+        let mut catalog = Catalog::new();
+        let wl = SmallBankWorkload::register(&mut catalog, small()).unwrap();
+        let catalog = Arc::new(catalog);
+        let store = Arc::new(EpochStore::new());
+        wl.populate(&store);
+        let initial = wl.total_money(&store);
+        assert_eq!(initial, 32 * 150);
+
+        let mut replica =
+            Replica::with_store(baselines::mq_sf(2), Arc::clone(&catalog), Arc::clone(&store));
+        let mut rng = DeterministicRng::new(9);
+        // Only transfers (amalgamate + send_payment): money is conserved.
+        let batch: Vec<TxRequest> = (0..40)
+            .map(|_| {
+                if rng.percent(50) {
+                    TxRequest::new(
+                        wl.amalgamate,
+                        vec![
+                            Value::Int(rng.below(32)),
+                            Value::Int(rng.below(32)),
+                        ],
+                    )
+                } else {
+                    TxRequest::new(
+                        wl.send_payment,
+                        vec![Value::Int(rng.below(32)), Value::Int(1 + rng.below(50))],
+                    )
+                }
+            })
+            .collect();
+        let outcome = replica.execute_batch(batch);
+        assert_eq!(outcome.committed, 40);
+        assert_eq!(wl.total_money(&store), initial, "transfers must conserve money");
+        replica.shutdown();
+    }
+
+    #[test]
+    fn replicas_converge_on_smallbank() {
+        let mut catalog = Catalog::new();
+        let wl = SmallBankWorkload::register(&mut catalog, small()).unwrap();
+        let catalog = Arc::new(catalog);
+        let make = || {
+            let store = Arc::new(EpochStore::new());
+            wl.populate(&store);
+            Replica::with_store(baselines::mq_mf(2), Arc::clone(&catalog), store)
+        };
+        let mut a = make();
+        let mut b = make();
+        let mut rng = DeterministicRng::new(17);
+        for _ in 0..6 {
+            let batch = wl.gen_batch(&mut rng, 30);
+            a.execute_batch(batch.clone());
+            b.execute_batch(batch);
+            assert_eq!(a.state_digest(), b.state_digest());
+        }
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn send_payment_follows_rewritten_links() {
+        use prognosticator_txir::TxStore;
+        // Rewire a link mid-batch via a same-batch dependent conflict.
+        let mut catalog = Catalog::new();
+        let wl = SmallBankWorkload::register(&mut catalog, small()).unwrap();
+        let catalog = Arc::new(catalog);
+        let store = Arc::new(EpochStore::new());
+        wl.populate(&store);
+        // Manually point links[0] → 5 before the batch.
+        let mut live = store.live();
+        live.put(&Key::of_ints(wl.tables.links, &[0]), Value::Int(5));
+        store.advance_epoch();
+
+        let mut replica =
+            Replica::with_store(baselines::mq_mf(2), Arc::clone(&catalog), Arc::clone(&store));
+        let outcome = replica.execute_batch(vec![TxRequest::new(
+            wl.send_payment,
+            vec![Value::Int(0), Value::Int(10)],
+        )]);
+        assert_eq!(outcome.committed, 1);
+        assert_eq!(
+            store.get_latest(&Key::of_ints(wl.tables.checking, &[5])),
+            Some(Value::Int(60)),
+            "payment followed the rewired link"
+        );
+        replica.shutdown();
+    }
+}

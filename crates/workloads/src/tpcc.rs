@@ -1,0 +1,828 @@
+//! TPC-C expressed in the transaction IR, adapted to the key/value model
+//! exactly as the paper does (§III-B, Algorithm 2): records are KV values,
+//! primary keys are composite KV keys, and the district record carries the
+//! order counters that make `newOrder` and `delivery` *dependent*
+//! transactions.
+//!
+//! Per the paper's evaluation (§IV-B), the standard mix is 44% newOrder
+//! (DT), 43% payment (IT), 4% delivery (DT), 4% stockLevel (ROT) and 4%
+//! orderStatus (ROT); the warehouse count sets the contention level.
+
+use crate::gen::{nurand, DeterministicRng};
+use prognosticator_core::{Catalog, ProgId, TxRequest};
+use prognosticator_storage::EpochStore;
+use prognosticator_symexec::{ExploreError, ExplorerConfig};
+use prognosticator_txir::{
+    Expr, InputBound, Key, Program, ProgramBuilder, TableId, TableRegistry, Value,
+};
+use std::time::Duration;
+
+/// Scale parameters. `warehouses` is the paper's contention knob
+/// (100 = low, 10 = medium, 1 = high); the catalogue sizes default to a
+/// laptop-friendly scale-down of the spec (documented in DESIGN.md).
+#[derive(Debug, Clone)]
+pub struct TpccConfig {
+    /// Number of warehouses (contention knob).
+    pub warehouses: i64,
+    /// Districts per warehouse (spec: 10).
+    pub districts: i64,
+    /// Items in the catalogue (spec: 100 000; scaled down by default).
+    pub items: i64,
+    /// Customers per district (spec: 3 000; scaled down by default).
+    pub customers: i64,
+    /// Use TPC-C NURand distributions for item/customer selection.
+    pub nurand: bool,
+}
+
+impl Default for TpccConfig {
+    fn default() -> Self {
+        TpccConfig { warehouses: 10, districts: 10, items: 1000, customers: 100, nurand: true }
+    }
+}
+
+/// Record field indices (kept here so population, programs and tests
+/// agree).
+pub mod fields {
+    /// warehouse: `{ytd}`
+    pub const W_YTD: usize = 0;
+    /// district: `{ytd}` — the order counters live in their own keys
+    /// (`district_next_o`, `district_next_deliv`) so payment, newOrder and
+    /// delivery conflict only when they genuinely touch the same state,
+    /// mirroring the paper's NEW-ORDER-queue structure.
+    pub const D_YTD: usize = 0;
+    /// customer: `{balance, ytd_payment, payment_cnt, delivery_cnt, last_o_id}`
+    pub const C_BALANCE: usize = 0;
+    /// customer year-to-date payment.
+    pub const C_YTD: usize = 1;
+    /// customer payment count.
+    pub const C_PAYMENT_CNT: usize = 2;
+    /// customer delivery count.
+    pub const C_DELIVERY_CNT: usize = 3;
+    /// customer's most recent order id (−1 = none).
+    pub const C_LAST_O_ID: usize = 4;
+    /// order: `{c_id, ol_cnt, carrier, total}`
+    pub const O_C_ID: usize = 0;
+    /// order line count.
+    pub const O_OL_CNT: usize = 1;
+    /// order carrier (−1 until delivered).
+    pub const O_CARRIER: usize = 2;
+    /// order total amount (cents).
+    pub const O_TOTAL: usize = 3;
+    /// order line: `{i_id, qty, amount, delivered}`
+    pub const OL_I_ID: usize = 0;
+    /// order line quantity.
+    pub const OL_QTY: usize = 1;
+    /// order line amount (cents).
+    pub const OL_AMOUNT: usize = 2;
+    /// order line delivered flag.
+    pub const OL_DELIVERED: usize = 3;
+    /// stock: `{quantity, ytd, order_cnt}`
+    pub const S_QUANTITY: usize = 0;
+    /// stock year-to-date.
+    pub const S_YTD: usize = 1;
+    /// stock order count.
+    pub const S_ORDER_CNT: usize = 2;
+    /// item: `{price}` (cents)
+    pub const I_PRICE: usize = 0;
+}
+
+/// Table ids of the TPC-C schema.
+#[derive(Debug, Clone, Copy)]
+pub struct TpccTables {
+    /// warehouse(w)
+    pub warehouse: TableId,
+    /// district(w, d) — payment statistics.
+    pub district: TableId,
+    /// district_next_o(w, d) — the order-allocation counter (newOrder's
+    /// pivot).
+    pub district_next_o: TableId,
+    /// district_next_deliv(w, d) — the delivery cursor (delivery's pivot).
+    pub district_next_deliv: TableId,
+    /// customer(w, d, c)
+    pub customer: TableId,
+    /// order(w, d, o)
+    pub order: TableId,
+    /// order_line(w, d, o, l)
+    pub order_line: TableId,
+    /// stock(w, i)
+    pub stock: TableId,
+    /// item(i)
+    pub item: TableId,
+}
+
+fn tables(b: &mut ProgramBuilder) -> TpccTables {
+    TpccTables {
+        warehouse: b.table("warehouse"),
+        district: b.table("district"),
+        district_next_o: b.table("district_next_o"),
+        district_next_deliv: b.table("district_next_deliv"),
+        customer: b.table("customer"),
+        order: b.table("order"),
+        order_line: b.table("order_line"),
+        stock: b.table("stock"),
+        item: b.table("item"),
+    }
+}
+
+/// The five TPC-C programs plus the shared table registry.
+#[derive(Debug, Clone)]
+pub struct TpccPrograms {
+    /// The newOrder transaction (dependent).
+    pub new_order: Program,
+    /// The payment transaction (independent).
+    pub payment: Program,
+    /// The delivery transaction (dependent).
+    pub delivery: Program,
+    /// The orderStatus transaction (read-only).
+    pub order_status: Program,
+    /// The stockLevel transaction (read-only; SE-capped by design).
+    pub stock_level: Program,
+    /// Table name ↔ id mapping.
+    pub tables: TableRegistry,
+    /// Table ids.
+    pub ids: TpccTables,
+}
+
+/// Maximum order lines per order (spec: 5–15).
+pub const MAX_OL: i64 = 15;
+/// Minimum order lines per order.
+pub const MIN_OL: i64 = 5;
+/// Orders scanned by stockLevel (spec: 20 most recent).
+pub const STOCK_LEVEL_SCAN: i64 = 20;
+
+/// Builds the newOrder program with a custom order-line cap — used by the
+/// Table I harness to reproduce the paper's 5/10/15-iteration analysis
+/// rows.
+pub fn new_order_with_max_ol(config: &TpccConfig, max_ol: i64) -> Program {
+    build_new_order_inner(config, max_ol).0
+}
+
+/// Builds all five programs for a scale configuration.
+pub fn programs(config: &TpccConfig) -> TpccPrograms {
+    let new_order = build_new_order(config);
+    let registry = new_order.1;
+    let payment = build_payment(config, registry.clone());
+    let delivery = build_delivery(config, registry.clone());
+    let order_status = build_order_status(config, registry.clone());
+    let stock_level = build_stock_level(config, registry.clone());
+    let mut probe = ProgramBuilder::with_tables("probe", registry.clone());
+    let ids = tables(&mut probe);
+    TpccPrograms {
+        new_order: new_order.0,
+        payment,
+        delivery,
+        order_status,
+        stock_level,
+        tables: registry,
+        ids,
+    }
+}
+
+/// newOrder(w, d, c, olCnt, itemIds[], qtys[]) — the paper's Algorithm 2,
+/// completed with stock/order-line/customer bookkeeping. Dependent: the
+/// district record is the single pivot (its `next_o_id` names the order
+/// and order-line keys).
+fn build_new_order(config: &TpccConfig) -> (Program, TableRegistry) {
+    build_new_order_inner(config, MAX_OL)
+}
+
+fn build_new_order_inner(config: &TpccConfig, max_ol: i64) -> (Program, TableRegistry) {
+    let mut b = ProgramBuilder::new("new_order");
+    let t = tables(&mut b);
+    let w = b.input("w", InputBound::int(0, config.warehouses - 1));
+    let d = b.input("d", InputBound::int(0, config.districts - 1));
+    let c = b.input("c", InputBound::int(0, config.customers - 1));
+    let ol_cnt = b.input("olCnt", InputBound::int(MIN_OL, max_ol));
+    let item_ids = b.input("itemIds", InputBound::int_list(MIN_OL as usize, max_ol as usize, 0, config.items - 1));
+    // Per-line supplying warehouse (spec clause 2.4.1.5: ~1% of order
+    // lines are supplied by a remote warehouse).
+    let supply_ws = b.input(
+        "supplyWs",
+        InputBound::int_list(MIN_OL as usize, max_ol as usize, 0, config.warehouses - 1),
+    );
+    let qtys = b.input("qtys", InputBound::int_list(MIN_OL as usize, max_ol as usize, 1, 10));
+
+    let oid = b.var("oid");
+    let i = b.var("i");
+    let item_id = b.var("itemId");
+    let item = b.var("item");
+    let stock = b.var("stock");
+    let qty = b.var("qty");
+    let amount = b.var("amount");
+    let total = b.var("total");
+    let cust = b.var("cust");
+
+    let next_o_key = Expr::key(t.district_next_o, vec![Expr::input(w), Expr::input(d)]);
+    b.get(oid, next_o_key.clone());
+    b.put(next_o_key, Expr::var(oid).add(Expr::lit(1)));
+
+    b.assign(total, Expr::lit(0));
+    b.for_(i, Expr::lit(0), Expr::input(ol_cnt), |b| {
+        b.assign(item_id, Expr::input(item_ids).index(Expr::var(i)));
+        b.assign(qty, Expr::input(qtys).index(Expr::var(i)));
+        b.get(item, Expr::key(t.item, vec![Expr::var(item_id)]));
+        let stock_key = Expr::key(
+            t.stock,
+            vec![Expr::input(supply_ws).index(Expr::var(i)), Expr::var(item_id)],
+        );
+        b.get(stock, stock_key.clone());
+        // The spec's replenishment rule: refill by 91 when the stock
+        // would fall below 10 (both arms write the same key — exactly the
+        // branch the irrelevant-variable optimization collapses, §III-B).
+        b.if_(
+            Expr::var(stock).field(fields::S_QUANTITY).sub(Expr::var(qty)).ge(Expr::lit(10)),
+            |b| {
+                b.set_field(
+                    stock,
+                    fields::S_QUANTITY,
+                    Expr::var(stock).field(fields::S_QUANTITY).sub(Expr::var(qty)),
+                );
+            },
+            |b| {
+                b.set_field(
+                    stock,
+                    fields::S_QUANTITY,
+                    Expr::var(stock).field(fields::S_QUANTITY).sub(Expr::var(qty)).add(Expr::lit(91)),
+                );
+            },
+        );
+        b.set_field(stock, fields::S_YTD, Expr::var(stock).field(fields::S_YTD).add(Expr::var(qty)));
+        b.set_field(
+            stock,
+            fields::S_ORDER_CNT,
+            Expr::var(stock).field(fields::S_ORDER_CNT).add(Expr::lit(1)),
+        );
+        b.put(stock_key, Expr::var(stock));
+        b.assign(amount, Expr::var(item).field(fields::I_PRICE).mul(Expr::var(qty)));
+        b.assign(total, Expr::var(total).add(Expr::var(amount)));
+        b.put(
+            Expr::key(
+                t.order_line,
+                vec![Expr::input(w), Expr::input(d), Expr::var(oid), Expr::var(i)],
+            ),
+            Expr::MakeRecord(vec![
+                Expr::var(item_id),
+                Expr::var(qty),
+                Expr::var(amount),
+                Expr::lit(0),
+            ]),
+        );
+    });
+
+    b.put(
+        Expr::key(t.order, vec![Expr::input(w), Expr::input(d), Expr::var(oid)]),
+        Expr::MakeRecord(vec![
+            Expr::input(c),
+            Expr::input(ol_cnt),
+            Expr::lit(-1),
+            Expr::var(total),
+        ]),
+    );
+
+    let cust_key = Expr::key(t.customer, vec![Expr::input(w), Expr::input(d), Expr::input(c)]);
+    b.get(cust, cust_key.clone());
+    b.set_field(cust, fields::C_LAST_O_ID, Expr::var(oid));
+    b.put(cust_key, Expr::var(cust));
+    b.build_with_tables()
+}
+
+/// payment(w, d, c, amount) — independent: every key is a function of the
+/// inputs; the records read never influence key identities.
+fn build_payment(config: &TpccConfig, registry: TableRegistry) -> Program {
+    let mut b = ProgramBuilder::with_tables("payment", registry);
+    let t = tables(&mut b);
+    let w = b.input("w", InputBound::int(0, config.warehouses - 1));
+    let d = b.input("d", InputBound::int(0, config.districts - 1));
+    // The paying customer may belong to a *remote* warehouse/district
+    // (spec clause 2.5.1.2: 15% of payments), which creates genuine
+    // cross-warehouse conflicts.
+    let c_w = b.input("c_w", InputBound::int(0, config.warehouses - 1));
+    let c_d = b.input("c_d", InputBound::int(0, config.districts - 1));
+    let c = b.input("c", InputBound::int(0, config.customers - 1));
+    let amount = b.input("amount", InputBound::int(100, 500_000));
+
+    let wh = b.var("wh");
+    let dist = b.var("dist");
+    let cust = b.var("cust");
+
+    let w_key = Expr::key(t.warehouse, vec![Expr::input(w)]);
+    b.get(wh, w_key.clone());
+    b.set_field(wh, fields::W_YTD, Expr::var(wh).field(fields::W_YTD).add(Expr::input(amount)));
+    b.put(w_key, Expr::var(wh));
+
+    let d_key = Expr::key(t.district, vec![Expr::input(w), Expr::input(d)]);
+    b.get(dist, d_key.clone());
+    b.set_field(dist, fields::D_YTD, Expr::var(dist).field(fields::D_YTD).add(Expr::input(amount)));
+    b.put(d_key, Expr::var(dist));
+
+    let c_key =
+        Expr::key(t.customer, vec![Expr::input(c_w), Expr::input(c_d), Expr::input(c)]);
+    b.get(cust, c_key.clone());
+    b.set_field(
+        cust,
+        fields::C_BALANCE,
+        Expr::var(cust).field(fields::C_BALANCE).sub(Expr::input(amount)),
+    );
+    b.set_field(cust, fields::C_YTD, Expr::var(cust).field(fields::C_YTD).add(Expr::input(amount)));
+    b.set_field(
+        cust,
+        fields::C_PAYMENT_CNT,
+        Expr::var(cust).field(fields::C_PAYMENT_CNT).add(Expr::lit(1)),
+    );
+    b.put(c_key, Expr::var(cust));
+    b.build()
+}
+
+/// delivery(w, carrier) — dependent: delivers the oldest undelivered order
+/// of each district. Pivots: the 10 district records (whose
+/// `next_deliv_o_id` names the order) and the 10 order records (whose
+/// `ol_cnt`/`c_id` name the order lines and customer) — the paper's 20
+/// indirect keys.
+fn build_delivery(config: &TpccConfig, registry: TableRegistry) -> Program {
+    let mut b = ProgramBuilder::with_tables("delivery", registry);
+    let t = tables(&mut b);
+    let w = b.input("w", InputBound::int(0, config.warehouses - 1));
+    let carrier = b.input("carrier", InputBound::int(1, 10));
+    let districts = config.districts;
+
+    let d = b.var("d");
+    let oid = b.var("oid");
+    let ord = b.var("ord");
+    let l = b.var("l");
+    let ol = b.var("ol");
+    let cust = b.var("cust");
+
+    b.for_(d, Expr::lit(0), Expr::lit(districts), |b| {
+        let cursor_key = Expr::key(t.district_next_deliv, vec![Expr::input(w), Expr::var(d)]);
+        b.get(oid, cursor_key.clone());
+        let o_key = Expr::key(t.order, vec![Expr::input(w), Expr::var(d), Expr::var(oid)]);
+        b.get(ord, o_key.clone());
+        // An absent order means the district's queue is drained; this is
+        // how delivery avoids touching the order-allocation counter (and
+        // therefore does not conflict with concurrent newOrders unless
+        // the queue is empty) — the paper's NEW-ORDER-queue behaviour.
+        b.if_then(
+            Expr::var(ord).ne(Expr::Const(Value::Unit)),
+            |b| {
+                b.set_field(ord, fields::O_CARRIER, Expr::input(carrier));
+                b.put(o_key.clone(), Expr::var(ord));
+                b.for_(l, Expr::lit(0), Expr::var(ord).field(fields::O_OL_CNT), |b| {
+                    let ol_key = Expr::key(
+                        t.order_line,
+                        vec![Expr::input(w), Expr::var(d), Expr::var(oid), Expr::var(l)],
+                    );
+                    b.get(ol, ol_key.clone());
+                    b.set_field(ol, fields::OL_DELIVERED, Expr::lit(1));
+                    b.put(ol_key, Expr::var(ol));
+                });
+                let c_key = Expr::key(
+                    t.customer,
+                    vec![Expr::input(w), Expr::var(d), Expr::var(ord).field(fields::O_C_ID)],
+                );
+                b.get(cust, c_key.clone());
+                b.set_field(
+                    cust,
+                    fields::C_BALANCE,
+                    Expr::var(cust)
+                        .field(fields::C_BALANCE)
+                        .add(Expr::var(ord).field(fields::O_TOTAL)),
+                );
+                b.set_field(
+                    cust,
+                    fields::C_DELIVERY_CNT,
+                    Expr::var(cust).field(fields::C_DELIVERY_CNT).add(Expr::lit(1)),
+                );
+                b.put(c_key, Expr::var(cust));
+                b.put(cursor_key.clone(), Expr::var(oid).add(Expr::lit(1)));
+            },
+        );
+    });
+    b.build()
+}
+
+/// orderStatus(w, d, c) — read-only: the customer's balance and the lines
+/// of their most recent order.
+fn build_order_status(config: &TpccConfig, registry: TableRegistry) -> Program {
+    let mut b = ProgramBuilder::with_tables("order_status", registry);
+    let t = tables(&mut b);
+    let w = b.input("w", InputBound::int(0, config.warehouses - 1));
+    let d = b.input("d", InputBound::int(0, config.districts - 1));
+    let c = b.input("c", InputBound::int(0, config.customers - 1));
+
+    let cust = b.var("cust");
+    let oid = b.var("oid");
+    let ord = b.var("ord");
+    let l = b.var("l");
+    let ol = b.var("ol");
+
+    b.get(cust, Expr::key(t.customer, vec![Expr::input(w), Expr::input(d), Expr::input(c)]));
+    b.emit(Expr::var(cust).field(fields::C_BALANCE));
+    b.assign(oid, Expr::var(cust).field(fields::C_LAST_O_ID));
+    b.if_then(Expr::var(oid).ge(Expr::lit(0)), |b| {
+        b.get(ord, Expr::key(t.order, vec![Expr::input(w), Expr::input(d), Expr::var(oid)]));
+        b.if_then(Expr::var(ord).ne(Expr::Const(Value::Unit)), |b| {
+            b.emit(Expr::var(ord).field(fields::O_CARRIER));
+            b.for_(l, Expr::lit(0), Expr::var(ord).field(fields::O_OL_CNT), |b| {
+                b.get(
+                    ol,
+                    Expr::key(
+                        t.order_line,
+                        vec![Expr::input(w), Expr::input(d), Expr::var(oid), Expr::var(l)],
+                    ),
+                );
+                b.emit(Expr::var(ol).field(fields::OL_AMOUNT));
+            });
+        });
+    });
+    b.build()
+}
+
+/// stockLevel(w, d, threshold) — read-only: counts recently-sold items
+/// whose stock is below the threshold. Scans the last
+/// [`STOCK_LEVEL_SCAN`] orders, so its symbolic analysis genuinely
+/// explodes (2^20 order-existence branches) and exercises the paper's
+/// cap-and-fall-back path.
+fn build_stock_level(config: &TpccConfig, registry: TableRegistry) -> Program {
+    let mut b = ProgramBuilder::with_tables("stock_level", registry);
+    let t = tables(&mut b);
+    let w = b.input("w", InputBound::int(0, config.warehouses - 1));
+    let d = b.input("d", InputBound::int(0, config.districts - 1));
+    let threshold = b.input("threshold", InputBound::int(10, 20));
+
+    let dist = b.var("dist");
+    let j = b.var("j");
+    let oid = b.var("oid");
+    let ord = b.var("ord");
+    let l = b.var("l");
+    let ol = b.var("ol");
+    let stock = b.var("stock");
+    let low = b.var("low");
+
+    b.get(dist, Expr::key(t.district_next_o, vec![Expr::input(w), Expr::input(d)]));
+    b.assign(low, Expr::lit(0));
+    b.for_(j, Expr::lit(0), Expr::lit(STOCK_LEVEL_SCAN), |b| {
+        b.assign(
+            oid,
+            Expr::var(dist).sub(Expr::lit(STOCK_LEVEL_SCAN)).add(Expr::var(j)),
+        );
+        b.if_then(Expr::var(oid).ge(Expr::lit(0)), |b| {
+            b.get(ord, Expr::key(t.order, vec![Expr::input(w), Expr::input(d), Expr::var(oid)]));
+            b.if_then(Expr::var(ord).ne(Expr::Const(Value::Unit)), |b| {
+                b.for_(l, Expr::lit(0), Expr::var(ord).field(fields::O_OL_CNT), |b| {
+                    b.get(
+                        ol,
+                        Expr::key(
+                            t.order_line,
+                            vec![Expr::input(w), Expr::input(d), Expr::var(oid), Expr::var(l)],
+                        ),
+                    );
+                    b.get(
+                        stock,
+                        Expr::key(t.stock, vec![Expr::input(w), Expr::var(ol).field(fields::OL_I_ID)]),
+                    );
+                    b.if_then(
+                        Expr::var(stock)
+                            .ne(Expr::Const(Value::Unit))
+                            .and(Expr::var(stock).field(fields::S_QUANTITY).lt(Expr::input(threshold))),
+                        |b| b.assign(low, Expr::var(low).add(Expr::lit(1))),
+                    );
+                });
+            });
+        });
+    });
+    b.emit(Expr::var(low));
+    b.build()
+}
+
+/// A registered TPC-C workload: program ids + generator + population.
+#[derive(Debug)]
+pub struct TpccWorkload {
+    /// Scale parameters.
+    pub config: TpccConfig,
+    /// newOrder program id.
+    pub new_order: ProgId,
+    /// payment program id.
+    pub payment: ProgId,
+    /// delivery program id.
+    pub delivery: ProgId,
+    /// orderStatus program id.
+    pub order_status: ProgId,
+    /// stockLevel program id.
+    pub stock_level: ProgId,
+    /// Table ids.
+    pub tables: TpccTables,
+}
+
+impl TpccWorkload {
+    /// Builds the programs, runs symbolic analysis and registers
+    /// everything in `catalog`.
+    ///
+    /// The update transactions get the full analysis; `stockLevel` is
+    /// registered with a tight state cap — its 2^20-path exploration is
+    /// the paper's motivating cap case, and read-only programs never need
+    /// a profile for scheduling anyway.
+    ///
+    /// # Errors
+    /// Propagates non-cap analysis errors (IR bugs).
+    pub fn register(catalog: &mut Catalog, config: TpccConfig) -> Result<Self, ExploreError> {
+        let progs = programs(&config);
+        let update_cfg = ExplorerConfig::optimized();
+        let rot_cfg = ExplorerConfig {
+            max_states: 20_000,
+            time_budget: Duration::from_secs(1),
+            ..ExplorerConfig::optimized()
+        };
+        let new_order = catalog.register_with(progs.new_order, &update_cfg)?;
+        let payment = catalog.register_with(progs.payment, &update_cfg)?;
+        let delivery = catalog.register_with(progs.delivery, &update_cfg)?;
+        let order_status = catalog.register_with(progs.order_status, &rot_cfg)?;
+        let stock_level = catalog.register_with(progs.stock_level, &rot_cfg)?;
+        Ok(TpccWorkload {
+            config,
+            new_order,
+            payment,
+            delivery,
+            order_status,
+            stock_level,
+            tables: progs.ids,
+        })
+    }
+
+    /// Populates `store` with the initial database (epoch 0).
+    pub fn populate(&self, store: &EpochStore) {
+        let t = self.tables;
+        let c = &self.config;
+        for i in 0..c.items {
+            store.insert_initial(
+                Key::of_ints(t.item, &[i]),
+                Value::record(vec![Value::Int(100 + i % 9900)]),
+            );
+        }
+        for w in 0..c.warehouses {
+            store.insert_initial(Key::of_ints(t.warehouse, &[w]), Value::record(vec![Value::Int(0)]));
+            for i in 0..c.items {
+                store.insert_initial(
+                    Key::of_ints(t.stock, &[w, i]),
+                    Value::record(vec![Value::Int(50 + i % 50), Value::Int(0), Value::Int(0)]),
+                );
+            }
+            for d in 0..c.districts {
+                store.insert_initial(
+                    Key::of_ints(t.district, &[w, d]),
+                    Value::record(vec![Value::Int(0)]),
+                );
+                store.insert_initial(Key::of_ints(t.district_next_o, &[w, d]), Value::Int(0));
+                store.insert_initial(Key::of_ints(t.district_next_deliv, &[w, d]), Value::Int(0));
+                for cu in 0..c.customers {
+                    store.insert_initial(
+                        Key::of_ints(t.customer, &[w, d, cu]),
+                        Value::record(vec![
+                            Value::Int(0),
+                            Value::Int(0),
+                            Value::Int(0),
+                            Value::Int(0),
+                            Value::Int(-1),
+                        ]),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Generates one request of the standard mix.
+    pub fn gen_tx(&self, rng: &mut DeterministicRng) -> TxRequest {
+        let c = &self.config;
+        let w = rng.below(c.warehouses);
+        let d = rng.below(c.districts);
+        match rng.below(100) {
+            // 44% newOrder
+            0..=43 => {
+                let cust = self.pick_customer(rng);
+                let ol_cnt = MIN_OL + rng.below(MAX_OL - MIN_OL + 1);
+                let mut items = Vec::with_capacity(ol_cnt as usize);
+                let mut supply = Vec::with_capacity(ol_cnt as usize);
+                let mut qtys = Vec::with_capacity(ol_cnt as usize);
+                for _ in 0..ol_cnt {
+                    items.push(Value::Int(self.pick_item(rng)));
+                    // Spec 2.4.1.5: ~1% of lines come from a remote
+                    // warehouse (only meaningful with > 1 warehouse).
+                    let supply_w = if c.warehouses > 1 && rng.percent(1) {
+                        let other = rng.below(c.warehouses - 1);
+                        if other >= w { other + 1 } else { other }
+                    } else {
+                        w
+                    };
+                    supply.push(Value::Int(supply_w));
+                    qtys.push(Value::Int(1 + rng.below(10)));
+                }
+                TxRequest::new(
+                    self.new_order,
+                    vec![
+                        Value::Int(w),
+                        Value::Int(d),
+                        Value::Int(cust),
+                        Value::Int(ol_cnt),
+                        Value::list(items),
+                        Value::list(supply),
+                        Value::list(qtys),
+                    ],
+                )
+            }
+            // 43% payment
+            44..=86 => {
+                // Spec 2.5.1.2: 15% of payments are for a customer of a
+                // remote warehouse/district.
+                let (c_w, c_d) = if c.warehouses > 1 && rng.percent(15) {
+                    let other = rng.below(c.warehouses - 1);
+                    (if other >= w { other + 1 } else { other }, rng.below(c.districts))
+                } else {
+                    (w, d)
+                };
+                TxRequest::new(
+                    self.payment,
+                    vec![
+                        Value::Int(w),
+                        Value::Int(d),
+                        Value::Int(c_w),
+                        Value::Int(c_d),
+                        Value::Int(self.pick_customer(rng)),
+                        Value::Int(100 + rng.below(499_900)),
+                    ],
+                )
+            }
+            // 4% delivery
+            87..=90 => {
+                TxRequest::new(self.delivery, vec![Value::Int(w), Value::Int(1 + rng.below(10))])
+            }
+            // 4% stockLevel
+            91..=94 => TxRequest::new(
+                self.stock_level,
+                vec![Value::Int(w), Value::Int(d), Value::Int(10 + rng.below(11))],
+            ),
+            // 5% orderStatus (absorbs the rounding remainder)
+            _ => TxRequest::new(
+                self.order_status,
+                vec![Value::Int(w), Value::Int(d), Value::Int(self.pick_customer(rng))],
+            ),
+        }
+    }
+
+    /// Generates a whole batch.
+    pub fn gen_batch(&self, rng: &mut DeterministicRng, size: usize) -> Vec<TxRequest> {
+        (0..size).map(|_| self.gen_tx(rng)).collect()
+    }
+
+    fn pick_item(&self, rng: &mut DeterministicRng) -> i64 {
+        if self.config.nurand {
+            nurand(rng, 8191, 0, self.config.items - 1)
+        } else {
+            rng.below(self.config.items)
+        }
+    }
+
+    fn pick_customer(&self, rng: &mut DeterministicRng) -> i64 {
+        if self.config.nurand {
+            nurand(rng, 1023, 0, self.config.customers - 1)
+        } else {
+            rng.below(self.config.customers)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prognosticator_core::TxClass;
+
+    fn small() -> TpccConfig {
+        TpccConfig { warehouses: 2, districts: 4, items: 50, customers: 10, nurand: true }
+    }
+
+    #[test]
+    fn classes_match_the_paper() {
+        let mut catalog = Catalog::new();
+        let wl = TpccWorkload::register(&mut catalog, small()).unwrap();
+        assert_eq!(catalog.entry(wl.new_order).class(), TxClass::Dependent);
+        assert_eq!(catalog.entry(wl.payment).class(), TxClass::Independent);
+        assert_eq!(catalog.entry(wl.delivery).class(), TxClass::Dependent);
+        assert_eq!(catalog.entry(wl.order_status).class(), TxClass::ReadOnly);
+        assert_eq!(catalog.entry(wl.stock_level).class(), TxClass::ReadOnly);
+    }
+
+    #[test]
+    fn new_order_profile_collapses_to_one_key_set() {
+        let mut catalog = Catalog::new();
+        let wl = TpccWorkload::register(&mut catalog, small()).unwrap();
+        let profile = catalog.entry(wl.new_order).profile().expect("profiled");
+        assert_eq!(profile.unique_key_sets(), 1, "Table I: newOrder has 1 key-set");
+        assert_eq!(profile.indirect_keys(), 1, "Table I: newOrder has 1 indirect key");
+    }
+
+    #[test]
+    fn delivery_profile_matches_table_one_shape() {
+        let mut catalog = Catalog::new();
+        let wl = TpccWorkload::register(&mut catalog, small()).unwrap();
+        let profile = catalog.entry(wl.delivery).profile().expect("profiled");
+        // 4 districts in the small config → 2^4 = 16 key-sets, 2 pivots
+        // per district (district + order records).
+        assert_eq!(profile.unique_key_sets(), 16);
+        assert_eq!(profile.indirect_keys(), 8);
+        assert_eq!(profile.depth(), 4);
+    }
+
+    #[test]
+    fn stock_level_analysis_is_capped() {
+        let mut catalog = Catalog::new();
+        let wl = TpccWorkload::register(&mut catalog, small()).unwrap();
+        assert!(
+            catalog.entry(wl.stock_level).profile().is_none(),
+            "stockLevel must hit the cap and fall back (still ROT)"
+        );
+    }
+
+    #[test]
+    fn generator_respects_bounds_and_mix() {
+        let mut catalog = Catalog::new();
+        let config = small();
+        let wl = TpccWorkload::register(&mut catalog, config).unwrap();
+        let mut rng = DeterministicRng::new(7);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..2000 {
+            let req = wl.gen_tx(&mut rng);
+            *counts.entry(req.program).or_insert(0usize) += 1;
+            let entry = catalog.entry(req.program);
+            entry.program().check_inputs(&req.inputs).expect("inputs in bounds");
+        }
+        let share = |p: ProgId| *counts.get(&p).unwrap_or(&0) as f64 / 2000.0;
+        assert!((share(wl.new_order) - 0.44).abs() < 0.05);
+        assert!((share(wl.payment) - 0.43).abs() < 0.05);
+        assert!(share(wl.delivery) > 0.01 && share(wl.delivery) < 0.08);
+    }
+
+    #[test]
+    fn population_supports_execution() {
+        use prognosticator_txir::Interpreter;
+        let mut catalog = Catalog::new();
+        let wl = TpccWorkload::register(&mut catalog, small()).unwrap();
+        let store = EpochStore::new();
+        wl.populate(&store);
+        let mut rng = DeterministicRng::new(3);
+        let interp = Interpreter::new();
+        // Run a few hundred of each transaction concretely.
+        for _ in 0..300 {
+            let req = wl.gen_tx(&mut rng);
+            let entry = catalog.entry(req.program);
+            let mut view = store.live();
+            interp
+                .run(entry.program(), &req.inputs, &mut view)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", entry.program().name()));
+        }
+        store.advance_epoch();
+    }
+
+    #[test]
+    fn predictions_cover_concrete_traces() {
+        use prognosticator_txir::Interpreter;
+        let mut catalog = Catalog::new();
+        let wl = TpccWorkload::register(&mut catalog, small()).unwrap();
+        let store = EpochStore::new();
+        wl.populate(&store);
+        store.advance_epoch();
+        let mut rng = DeterministicRng::new(11);
+        let interp = Interpreter::new();
+        for round in 0..200 {
+            let req = wl.gen_tx(&mut rng);
+            let entry = catalog.entry(req.program);
+            let Some(profile) = entry.profile() else { continue };
+            if profile.class() == TxClass::ReadOnly {
+                continue;
+            }
+            let snapshot = store.snapshot_epoch();
+            let mut resolver =
+                |k: &Key| store.get_at(k, snapshot).unwrap_or(Value::Unit);
+            let prediction = profile
+                .predict(&req.inputs, Some(&mut resolver))
+                .expect("prediction succeeds");
+            // Execute immediately (nothing else runs): the prediction must
+            // cover the trace exactly.
+            let mut view = store.live();
+            let out = interp.run(entry.program(), &req.inputs, &mut view).expect("runs");
+            store.advance_epoch();
+            let predicted = prediction.key_set();
+            for k in out.trace.key_set() {
+                assert!(
+                    predicted.contains(&k),
+                    "round {round}: {} touched unpredicted key {k}",
+                    entry.program().name()
+                );
+            }
+            for k in &prediction.writes {
+                assert!(
+                    out.trace.writes.contains(k),
+                    "round {round}: {} predicted write {k} never happened",
+                    entry.program().name()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Quickstart: define a stored procedure, profile it with symbolic
+//! execution, inspect the profile, and run batches on a deterministic
+//! replica.
+//!
+//! Run: `cargo run --example quickstart`
+
+use prognosticator::core::{baselines, Catalog, Replica, TxRequest};
+use prognosticator::txir::{Expr, InputBound, Key, ProgramBuilder, Value};
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A bank "transfer" stored procedure in the transaction IR.
+    let mut b = ProgramBuilder::new("transfer");
+    let accounts = b.table("accounts");
+    let from = b.input("from", InputBound::int(0, 999));
+    let to = b.input("to", InputBound::int(0, 999));
+    let amount = b.input("amount", InputBound::int(1, 1000));
+    let src = b.var("src");
+    let dst = b.var("dst");
+    let from_key = Expr::key(accounts, vec![Expr::input(from)]);
+    let to_key = Expr::key(accounts, vec![Expr::input(to)]);
+    b.get(src, from_key.clone());
+    b.get(dst, to_key.clone());
+    b.put(from_key, Expr::var(src).sub(Expr::input(amount)));
+    b.put(to_key, Expr::var(dst).add(Expr::input(amount)));
+    let program = b.build();
+
+    // 2. Register it: symbolic execution runs once, offline, and builds
+    //    the transaction profile.
+    let mut catalog = Catalog::new();
+    let transfer = catalog.register(program)?;
+    let entry = catalog.entry(transfer);
+    let profile = entry.profile().expect("analysis succeeded");
+    println!("profile: {profile}");
+    println!("class:   {} (key-set is a pure function of the inputs)", profile.class());
+
+    // 3. Client-side prediction: the key-set of a concrete call, without
+    //    touching the database.
+    let prediction =
+        profile.predict_direct(&[Value::Int(7), Value::Int(42), Value::Int(100)])?;
+    println!("transfer(7, 42, 100) will lock: {:?}", prediction.key_set());
+
+    // 4. Execute batches on a replica with the deterministic scheduler.
+    let mut replica = Replica::new(baselines::mq_mf(4), Arc::new(catalog));
+    replica
+        .store()
+        .populate((0..1000).map(|i| (Key::of_ints(accounts, &[i]), Value::Int(1000))));
+
+    let batch: Vec<TxRequest> = (0..100)
+        .map(|i| {
+            TxRequest::new(
+                transfer,
+                vec![Value::Int(i % 50), Value::Int(500 + i % 50), Value::Int(10)],
+            )
+        })
+        .collect();
+    let outcome = replica.execute_batch(batch);
+    println!(
+        "batch: {} committed, {} aborts, {} scheduling round(s), {:.1} ktx/s",
+        outcome.committed,
+        outcome.aborts,
+        outcome.rounds,
+        outcome.throughput_tps() / 1000.0
+    );
+
+    // Money is conserved.
+    let total: i64 = (0..1000)
+        .map(|i| {
+            replica
+                .store()
+                .get_latest(&Key::of_ints(accounts, &[i]))
+                .and_then(|v| v.as_int())
+                .unwrap_or(0)
+        })
+        .sum();
+    println!("total balance after batch: {total} (expected 1000000)");
+    assert_eq!(total, 1_000_000);
+
+    replica.shutdown();
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! RUBiS-C contention demo: every update transaction pivots on a shared
+//! counter, so dependent transactions constantly invalidate each other —
+//! the workload where the paper found serial re-execution of failed
+//! transactions (SF) beats re-enqueueing (MF).
+//!
+//! Run: `cargo run --release --example rubis_contention`
+
+use prognosticator::core::{baselines, Catalog, Replica, SchedulerConfig};
+use prognosticator::storage::EpochStore;
+use prognosticator::workloads::{DeterministicRng, RubisConfig, RubisWorkload};
+use std::sync::Arc;
+use std::time::Instant;
+
+const BATCHES: usize = 20;
+const BATCH_SIZE: usize = 128;
+
+fn run(
+    label: &str,
+    config: SchedulerConfig,
+    catalog: &Arc<Catalog>,
+    workload: &RubisWorkload,
+    batches: &[Vec<prognosticator::core::TxRequest>],
+) -> u64 {
+    let store = Arc::new(EpochStore::new());
+    workload.populate(&store);
+    let mut replica = Replica::with_store(config, Arc::clone(catalog), store);
+    let t = Instant::now();
+    let mut aborts = 0usize;
+    let mut rounds = 0u32;
+    for batch in batches {
+        let o = replica.execute_batch(batch.clone());
+        aborts += o.aborts;
+        rounds = rounds.max(o.rounds);
+    }
+    let elapsed = t.elapsed();
+    let total = BATCHES * BATCH_SIZE;
+    println!(
+        "{label:<8} {:>8.0} tx/s   aborts/100tx = {:>6.1}   worst batch rounds = {rounds}",
+        total as f64 / elapsed.as_secs_f64(),
+        aborts as f64 * 100.0 / total as f64,
+    );
+    let digest = replica.state_digest();
+    replica.shutdown();
+    digest
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut catalog = Catalog::new();
+    let workload = RubisWorkload::register(&mut catalog, RubisConfig::default())?;
+    let catalog = Arc::new(catalog);
+
+    println!("RUBiS-C: 50% storeBid, 5% each of the other update (all dependent) and browse transactions\n");
+    let batches: Vec<_> = {
+        let mut rng = DeterministicRng::new(7);
+        (0..BATCHES).map(|_| workload.gen_batch(&mut rng, BATCH_SIZE)).collect()
+    };
+
+    // SF re-executes failed transactions serially — fewer wasted retries
+    // under heavy conflicts. MF re-enqueues them for parallel retry.
+    let sf1 = run("MQ-SF", baselines::mq_sf(8), &catalog, &workload, &batches);
+    let mf = run("MQ-MF", baselines::mq_mf(8), &catalog, &workload, &batches);
+    let _ = mf;
+
+    // Determinism: a second MQ-SF run over the same batches must land on
+    // the identical state.
+    let sf2 = run("MQ-SF#2", baselines::mq_sf(8), &catalog, &workload, &batches);
+    assert_eq!(sf1, sf2, "deterministic replicas must agree");
+    println!("\nMQ-SF replicas agree on digest {sf1:#x}");
+    println!("(Paper Fig. 4: SF sustains ~3× lower abort rate than MF on RUBiS-C.)");
+    Ok(())
+}

@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+//! Prognosticator: a deterministic database accelerated by symbolic
+//! execution — a reproduction of Issa et al., *"Exploiting Symbolic
+//! Execution to Accelerate Deterministic Databases"*, ICDCS 2020.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`txir`] — the transaction IR (stored-procedure DSL).
+//! * [`symexec`] — the offline symbolic-execution profiler.
+//! * [`storage`] — the epoch-MVCC key-value store.
+//! * [`consensus`] — the Raft-lite sequencing layer.
+//! * [`core`] — the deterministic concurrency-control runtime and baselines.
+//! * [`workloads`] — TPC-C and RUBiS expressed in the IR.
+//!
+//! The [`pipeline`] module assembles the full deterministic database —
+//! client batching, consensus ordering and a replica fleet — behind one
+//! [`Pipeline`] handle, including recovery of late-joining replicas by
+//! committed-log replay.
+//!
+//! See the repository `README.md` for a quickstart and `DESIGN.md` for the
+//! full system inventory; runnable examples live under `examples/`.
+
+pub mod pipeline;
+
+pub use pipeline::{Pipeline, PipelineConfig, PipelineError};
+
+pub use prognosticator_consensus as consensus;
+pub use prognosticator_core as core;
+pub use prognosticator_storage as storage;
+pub use prognosticator_symexec as symexec;
+pub use prognosticator_txir as txir;
+pub use prognosticator_workloads as workloads;

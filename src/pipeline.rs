@@ -1,0 +1,358 @@
+//! The assembled deterministic database (paper Fig. 1): client-side
+//! batching, Raft-lite ordering, and a fleet of deterministic replicas.
+//!
+//! [`Pipeline`] wires the workspace crates together behind one handle:
+//! transactions submitted through [`Pipeline::submit`] are batched, agreed
+//! upon by the consensus cluster, and executed by every replica in the
+//! same order — so [`Pipeline::digests`] always agree. New replicas can
+//! join at any time ([`Pipeline::add_replica`]) and recover by replaying
+//! the committed log from the initial population, the standard
+//! deterministic-database recovery story.
+
+use prognosticator_consensus::{Batcher, NetConfig, RaftCluster, RaftTiming};
+use prognosticator_core::{Catalog, Replica, SchedulerConfig, TxRequest};
+use prognosticator_storage::EpochStore;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Configuration of the assembled pipeline.
+#[derive(Clone)]
+pub struct PipelineConfig {
+    /// Raft cluster size.
+    pub consensus_nodes: usize,
+    /// Simulated-network fault model.
+    pub net: NetConfig,
+    /// Raft timing knobs.
+    pub timing: RaftTiming,
+    /// Client batch window.
+    pub batch_window: Duration,
+    /// Client batch size cap.
+    pub batch_cap: usize,
+    /// Scheduler configuration for every replica.
+    pub scheduler: SchedulerConfig,
+    /// Seed for the simulated network.
+    pub seed: u64,
+    /// How long to wait for consensus operations before giving up.
+    pub consensus_timeout: Duration,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            consensus_nodes: 3,
+            net: NetConfig::default(),
+            timing: RaftTiming::default(),
+            batch_window: Duration::from_millis(10),
+            batch_cap: 128,
+            scheduler: prognosticator_core::baselines::mq_mf(4),
+            seed: 0x5EED,
+            consensus_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Errors surfaced by the pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// Consensus did not elect a leader in time.
+    NoLeader,
+    /// A batch failed to commit within the timeout.
+    BatchTimedOut,
+    /// A replica fell behind and did not catch up within the timeout.
+    ReplicaLagged {
+        /// Which replica.
+        replica: usize,
+    },
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::NoLeader => write!(f, "consensus did not elect a leader in time"),
+            PipelineError::BatchTimedOut => write!(f, "batch did not commit within the timeout"),
+            PipelineError::ReplicaLagged { replica } => {
+                write!(f, "replica {replica} did not catch up in time")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+struct ReplicaSlot {
+    replica: Replica,
+    /// Committed-log entries already applied.
+    consumed: usize,
+    /// Consensus node whose log this replica follows.
+    node: usize,
+}
+
+/// The assembled deterministic database.
+pub struct Pipeline {
+    catalog: Arc<Catalog>,
+    config: PipelineConfig,
+    populate: Arc<dyn Fn(&EpochStore) + Send + Sync>,
+    cluster: RaftCluster<Vec<TxRequest>>,
+    replicas: Vec<ReplicaSlot>,
+    batcher: Batcher<TxRequest>,
+    proposed_batches: usize,
+}
+
+impl Pipeline {
+    /// Boots consensus and `replica_count` replicas, each populated by
+    /// `populate` (the epoch-0 state all replicas must share).
+    ///
+    /// # Errors
+    /// [`PipelineError::NoLeader`] if the cluster cannot elect in time.
+    pub fn new(
+        catalog: Arc<Catalog>,
+        config: PipelineConfig,
+        replica_count: usize,
+        populate: Arc<dyn Fn(&EpochStore) + Send + Sync>,
+    ) -> Result<Self, PipelineError> {
+        let cluster = RaftCluster::new(
+            config.consensus_nodes,
+            config.net.clone(),
+            config.timing.clone(),
+            config.seed,
+        );
+        cluster
+            .wait_for_leader(config.consensus_timeout)
+            .ok_or(PipelineError::NoLeader)?;
+        let batcher = Batcher::new(config.batch_window, config.batch_cap);
+        let mut pipeline = Pipeline {
+            catalog,
+            config,
+            populate,
+            cluster,
+            replicas: Vec::new(),
+            batcher,
+            proposed_batches: 0,
+        };
+        for _ in 0..replica_count {
+            pipeline.add_replica();
+        }
+        Ok(pipeline)
+    }
+
+    fn fresh_replica(&self) -> Replica {
+        let store = Arc::new(EpochStore::new());
+        (self.populate)(&store);
+        Replica::with_store(
+            self.config.scheduler.clone(),
+            Arc::clone(&self.catalog),
+            store,
+        )
+    }
+
+    /// Adds (and returns the index of) a new replica, which recovers by
+    /// replaying the whole committed log on the next [`Pipeline::sync`].
+    pub fn add_replica(&mut self) -> usize {
+        let node = self.replicas.len() % self.cluster.len();
+        self.replicas.push(ReplicaSlot { replica: self.fresh_replica(), consumed: 0, node });
+        self.replicas.len() - 1
+    }
+
+    /// Number of replicas.
+    pub fn replica_count(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Batches committed through consensus so far.
+    pub fn committed_batches(&self) -> usize {
+        self.proposed_batches
+    }
+
+    /// Submits one transaction; when the batch window/cap cuts a batch, it
+    /// is proposed to consensus (blocking until committed).
+    ///
+    /// # Errors
+    /// [`PipelineError::BatchTimedOut`] if consensus cannot commit.
+    pub fn submit(&mut self, req: TxRequest) -> Result<(), PipelineError> {
+        let mut cut = self.batcher.push(req);
+        if cut.is_none() {
+            cut = self.batcher.poll();
+        }
+        if let Some(batch) = cut {
+            self.propose(batch)?;
+        }
+        Ok(())
+    }
+
+    /// Flushes any buffered transactions as a final batch.
+    ///
+    /// # Errors
+    /// [`PipelineError::BatchTimedOut`] if consensus cannot commit.
+    pub fn flush(&mut self) -> Result<(), PipelineError> {
+        if let Some(batch) = self.batcher.flush() {
+            self.propose(batch)?;
+        }
+        Ok(())
+    }
+
+    fn propose(&mut self, batch: Vec<TxRequest>) -> Result<(), PipelineError> {
+        if !self.cluster.propose_until_committed(batch, self.config.consensus_timeout) {
+            return Err(PipelineError::BatchTimedOut);
+        }
+        self.proposed_batches += 1;
+        Ok(())
+    }
+
+    /// Applies every newly committed batch to every replica (waiting for
+    /// each replica's consensus node to have caught up), and verifies the
+    /// replicas agree.
+    ///
+    /// # Errors
+    /// [`PipelineError::ReplicaLagged`] when a node does not deliver in
+    /// time.
+    ///
+    /// # Panics
+    /// Panics if replicas diverge — that would be a determinism bug, which
+    /// must never be silently ignored.
+    pub fn sync(&mut self) -> Result<(), PipelineError> {
+        let target = self.proposed_batches;
+        for (idx, slot) in self.replicas.iter_mut().enumerate() {
+            if !self.cluster.wait_for_committed(slot.node, target, self.config.consensus_timeout)
+            {
+                return Err(PipelineError::ReplicaLagged { replica: idx });
+            }
+            let log = self.cluster.committed(slot.node);
+            for entry in log.iter().skip(slot.consumed) {
+                slot.replica.execute_batch(entry.payload.clone());
+            }
+            slot.consumed = log.len();
+        }
+        let digests = self.digests();
+        assert!(
+            digests.windows(2).all(|w| w[0] == w[1]),
+            "replica divergence detected: {digests:?}"
+        );
+        Ok(())
+    }
+
+    /// Per-replica state digests (identical after a successful
+    /// [`Pipeline::sync`]).
+    pub fn digests(&self) -> Vec<u64> {
+        self.replicas.iter().map(|s| s.replica.state_digest()).collect()
+    }
+
+    /// Access to a replica's store (e.g. for queries in examples/tests).
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of range.
+    pub fn store(&self, idx: usize) -> &Arc<EpochStore> {
+        self.replicas[idx].replica.store()
+    }
+
+    /// The consensus cluster (fault injection in tests).
+    pub fn cluster(&self) -> &RaftCluster<Vec<TxRequest>> {
+        &self.cluster
+    }
+
+    /// Stops every replica's worker pool.
+    pub fn shutdown(&mut self) {
+        for slot in &mut self.replicas {
+            slot.replica.shutdown();
+        }
+    }
+}
+
+impl Drop for Pipeline {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prognosticator_txir::{Expr, InputBound, Key, ProgramBuilder, TableId, Value};
+
+    fn counter_catalog() -> (Arc<Catalog>, prognosticator_core::ProgId) {
+        let mut b = ProgramBuilder::new("bump");
+        let t = b.table("counters");
+        let id = b.input("id", InputBound::int(0, 15));
+        let v = b.var("v");
+        b.get(v, Expr::key(t, vec![Expr::input(id)]));
+        b.put(Expr::key(t, vec![Expr::input(id)]), Expr::var(v).add(Expr::lit(1)));
+        let mut catalog = Catalog::new();
+        let bump = catalog.register(b.build()).expect("registers");
+        (Arc::new(catalog), bump)
+    }
+
+    fn populate() -> Arc<dyn Fn(&EpochStore) + Send + Sync> {
+        Arc::new(|store: &EpochStore| {
+            store.populate((0..16).map(|i| (Key::of_ints(TableId(0), &[i]), Value::Int(0))));
+        })
+    }
+
+    fn small_config() -> PipelineConfig {
+        PipelineConfig {
+            batch_cap: 8,
+            scheduler: prognosticator_core::baselines::mq_mf(2),
+            ..PipelineConfig::default()
+        }
+    }
+
+    #[test]
+    fn submits_flow_to_all_replicas() {
+        let (catalog, bump) = counter_catalog();
+        let mut p =
+            Pipeline::new(catalog, small_config(), 2, populate()).expect("boots");
+        for i in 0..24 {
+            p.submit(TxRequest::new(bump, vec![Value::Int(i % 16)])).expect("submits");
+        }
+        p.flush().expect("flushes");
+        p.sync().expect("syncs");
+        assert_eq!(p.committed_batches(), 3);
+        let d = p.digests();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0], d[1]);
+        // Counter 0 was bumped twice (i = 0 and 16).
+        assert_eq!(
+            p.store(0).get_latest(&Key::of_ints(TableId(0), &[0])),
+            Some(Value::Int(2))
+        );
+        p.shutdown();
+    }
+
+    #[test]
+    fn late_replica_recovers_by_replay() {
+        let (catalog, bump) = counter_catalog();
+        let mut p =
+            Pipeline::new(catalog, small_config(), 1, populate()).expect("boots");
+        for i in 0..16 {
+            p.submit(TxRequest::new(bump, vec![Value::Int(i)])).expect("submits");
+        }
+        p.flush().expect("flushes");
+        p.sync().expect("syncs");
+        let before = p.digests()[0];
+
+        // A brand-new replica joins and replays the committed history.
+        let idx = p.add_replica();
+        assert_eq!(idx, 1);
+        p.sync().expect("recovery sync");
+        let d = p.digests();
+        assert_eq!(d[0], before, "existing replica unchanged");
+        assert_eq!(d[0], d[1], "recovered replica converges");
+        p.shutdown();
+    }
+
+    #[test]
+    fn survives_message_loss() {
+        let (catalog, bump) = counter_catalog();
+        let config = PipelineConfig {
+            net: NetConfig { drop_prob: 0.1, ..NetConfig::default() },
+            ..small_config()
+        };
+        let mut p = Pipeline::new(catalog, config, 2, populate()).expect("boots");
+        for i in 0..16 {
+            p.submit(TxRequest::new(bump, vec![Value::Int(i)])).expect("submits");
+        }
+        p.flush().expect("flushes");
+        p.sync().expect("syncs despite loss");
+        let d = p.digests();
+        assert_eq!(d[0], d[1]);
+        p.shutdown();
+    }
+}

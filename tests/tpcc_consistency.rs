@@ -1,0 +1,208 @@
+//! TPC-C consistency conditions (the spec's clause-3.3 invariants, adapted
+//! to the KV schema), checked after running mixed batches through the
+//! deterministic scheduler. These catch scheduling bugs that digest
+//! comparisons between identically-buggy replicas cannot.
+
+use prognosticator::core::{baselines, Catalog, Replica};
+use prognosticator::storage::EpochStore;
+use prognosticator::txir::{Key, Value};
+use prognosticator::workloads::tpcc::fields;
+use prognosticator::workloads::{DeterministicRng, TpccConfig, TpccWorkload};
+use std::sync::Arc;
+
+struct Run {
+    workload: TpccWorkload,
+    store: Arc<EpochStore>,
+}
+
+fn run_mixed_batches(config: TpccConfig, batches: usize, size: usize) -> Run {
+    let mut catalog = Catalog::new();
+    let workload = TpccWorkload::register(&mut catalog, config).expect("registers");
+    let catalog = Arc::new(catalog);
+    let store = Arc::new(EpochStore::new());
+    workload.populate(&store);
+    let mut replica =
+        Replica::with_store(baselines::mq_mf(3), Arc::clone(&catalog), Arc::clone(&store));
+    let mut rng = DeterministicRng::new(0xDEC0DE);
+    for batch_no in 0..batches {
+        let outcome = replica.execute_batch(workload.gen_batch(&mut rng, size));
+        assert_eq!(outcome.committed, size, "batch {batch_no} lost transactions");
+    }
+    replica.shutdown();
+    Run { workload, store }
+}
+
+fn int_field(v: &Value, idx: usize) -> i64 {
+    v.as_record().expect("record")[idx].as_int().expect("int field")
+}
+
+#[test]
+fn tpcc_consistency_conditions_hold() {
+    let config =
+        TpccConfig { warehouses: 3, districts: 4, items: 60, customers: 12, nurand: true };
+    let Run { workload: wl, store } = run_mixed_batches(config.clone(), 12, 48);
+    let t = wl.tables;
+
+    for w in 0..config.warehouses {
+        // Consistency 1 (adapted): W_YTD equals the sum of its districts'
+        // D_YTD — every payment credits both.
+        let w_ytd = int_field(
+            &store.get_latest(&Key::of_ints(t.warehouse, &[w])).expect("warehouse row"),
+            fields::W_YTD,
+        );
+        let mut home_district_ytd = 0;
+        for d in 0..config.districts {
+            home_district_ytd += int_field(
+                &store.get_latest(&Key::of_ints(t.district, &[w, d])).expect("district row"),
+                fields::D_YTD,
+            );
+        }
+        // Remote payments credit the *home* warehouse and district but a
+        // foreign customer, so warehouse and district YTD still match.
+        assert_eq!(w_ytd, home_district_ytd, "warehouse {w} YTD imbalance");
+
+        for d in 0..config.districts {
+            let next_o = store
+                .get_latest(&Key::of_ints(t.district_next_o, &[w, d]))
+                .and_then(|v| v.as_int())
+                .expect("next_o counter");
+            let next_deliv = store
+                .get_latest(&Key::of_ints(t.district_next_deliv, &[w, d]))
+                .and_then(|v| v.as_int())
+                .expect("next_deliv counter");
+            // Consistency 2: the delivery cursor never overtakes the
+            // order-allocation counter.
+            assert!(
+                (0..=next_o).contains(&next_deliv),
+                "district ({w},{d}): cursor {next_deliv} vs counter {next_o}"
+            );
+
+            for o in 0..next_o {
+                let order = store
+                    .get_latest(&Key::of_ints(t.order, &[w, d, o]))
+                    .expect("every allocated order id has a row");
+                let ol_cnt = int_field(&order, fields::O_OL_CNT);
+                let carrier = int_field(&order, fields::O_CARRIER);
+                // Consistency 3: delivered ⇔ below the cursor.
+                assert_eq!(
+                    carrier != -1,
+                    o < next_deliv,
+                    "order ({w},{d},{o}) delivery status vs cursor {next_deliv}"
+                );
+                // Consistency 4 (adapted): O_OL_CNT order lines exist, the
+                // order's total equals the sum of line amounts, and lines
+                // are marked delivered exactly when the order is.
+                let mut total = 0;
+                for l in 0..ol_cnt {
+                    let line = store
+                        .get_latest(&Key::of_ints(t.order_line, &[w, d, o, l]))
+                        .expect("order line exists");
+                    total += int_field(&line, fields::OL_AMOUNT);
+                    assert_eq!(
+                        int_field(&line, fields::OL_DELIVERED) == 1,
+                        carrier != -1,
+                        "line ({w},{d},{o},{l}) delivery flag"
+                    );
+                }
+                assert!(
+                    store.get_latest(&Key::of_ints(t.order_line, &[w, d, o, ol_cnt])).is_none(),
+                    "no phantom order line beyond O_OL_CNT"
+                );
+                assert_eq!(total, int_field(&order, fields::O_TOTAL), "order total");
+            }
+            assert!(
+                store.get_latest(&Key::of_ints(t.order, &[w, d, next_o])).is_none(),
+                "no order beyond the allocation counter"
+            );
+        }
+    }
+}
+
+#[test]
+fn customer_last_order_points_at_their_own_order() {
+    let config =
+        TpccConfig { warehouses: 2, districts: 3, items: 40, customers: 8, nurand: false };
+    let Run { workload: wl, store } = run_mixed_batches(config.clone(), 10, 32);
+    let t = wl.tables;
+    for w in 0..config.warehouses {
+        for d in 0..config.districts {
+            for c in 0..config.customers {
+                let cust = store
+                    .get_latest(&Key::of_ints(t.customer, &[w, d, c]))
+                    .expect("customer row");
+                let last = int_field(&cust, fields::C_LAST_O_ID);
+                if last >= 0 {
+                    let order = store
+                        .get_latest(&Key::of_ints(t.order, &[w, d, last]))
+                        .expect("customer's last order exists");
+                    assert_eq!(
+                        int_field(&order, fields::O_C_ID),
+                        c,
+                        "order ({w},{d},{last}) belongs to customer {c}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn delivered_totals_land_on_customer_balances() {
+    // Run only newOrders and deliveries; the sum of delivered order totals
+    // must equal the sum of customer balances (payments excluded).
+    use prognosticator::core::TxRequest;
+    let config =
+        TpccConfig { warehouses: 2, districts: 2, items: 30, customers: 6, nurand: false };
+    let mut catalog = Catalog::new();
+    let wl = TpccWorkload::register(&mut catalog, config.clone()).expect("registers");
+    let catalog = Arc::new(catalog);
+    let store = Arc::new(EpochStore::new());
+    wl.populate(&store);
+    let mut replica =
+        Replica::with_store(baselines::mq_sf(2), Arc::clone(&catalog), Arc::clone(&store));
+    let mut rng = DeterministicRng::new(4);
+    for _ in 0..8 {
+        let mut batch: Vec<TxRequest> = Vec::new();
+        for _ in 0..10 {
+            let req = wl.gen_tx(&mut rng);
+            if req.program == wl.new_order || req.program == wl.delivery {
+                batch.push(req);
+            }
+        }
+        // Ensure progress on both sides.
+        batch.push(TxRequest::new(wl.delivery, vec![Value::Int(0), Value::Int(1)]));
+        batch.push(TxRequest::new(wl.delivery, vec![Value::Int(1), Value::Int(2)]));
+        replica.execute_batch(batch);
+    }
+    replica.shutdown();
+
+    let t = wl.tables;
+    let mut delivered_total = 0;
+    for w in 0..config.warehouses {
+        for d in 0..config.districts {
+            let next_deliv = store
+                .get_latest(&Key::of_ints(t.district_next_deliv, &[w, d]))
+                .and_then(|v| v.as_int())
+                .expect("cursor");
+            for o in 0..next_deliv {
+                let order = store
+                    .get_latest(&Key::of_ints(t.order, &[w, d, o]))
+                    .expect("delivered order");
+                delivered_total += int_field(&order, fields::O_TOTAL);
+            }
+        }
+    }
+    let mut balances = 0;
+    for w in 0..config.warehouses {
+        for d in 0..config.districts {
+            for c in 0..config.customers {
+                balances += int_field(
+                    &store.get_latest(&Key::of_ints(t.customer, &[w, d, c])).expect("cust"),
+                    fields::C_BALANCE,
+                );
+            }
+        }
+    }
+    assert!(delivered_total > 0, "some orders must have been delivered");
+    assert_eq!(balances, delivered_total, "delivery credits exactly the order totals");
+}
