@@ -6,10 +6,12 @@
 //! Run: `cargo run --release -p prognosticator-bench --bin fig3`
 //! (`PROGNOSTICATOR_FAST=1` for a quick pass.)
 
+use prognosticator_bench::json::{snapshot_json, write_snapshot};
 use prognosticator_bench::{measure_sustainable, render_table, tpcc_setup, SustainConfig, SystemKind};
 
 fn main() {
     let cfg = SustainConfig::default();
+    let mut groups = Vec::new();
     println!(
         "Figure 3 — TPC-C max sustainable throughput (p99 < {:?}) and abort rate",
         cfg.p99_limit
@@ -28,6 +30,7 @@ fn main() {
         println!("== {warehouses} warehouses ({contention} contention) ==");
         let setup = tpcc_setup(warehouses);
         let mut rows = Vec::new();
+        let mut group = Vec::new();
         for kind in SystemKind::comparison_set() {
             let r = measure_sustainable(kind, &setup, &cfg);
             rows.push(vec![
@@ -37,7 +40,9 @@ fn main() {
                 format!("{:.2}", r.abort_pct),
                 format!("{:.2}", r.p99_ms),
             ]);
+            group.push((kind.name(), r));
         }
+        groups.push((format!("tpcc-{warehouses}wh"), group));
         print!(
             "{}",
             render_table(
@@ -51,4 +56,8 @@ fn main() {
     println!("NODO and MF > SF; at 10 warehouses the gap narrows (~2.3×); at 1 warehouse");
     println!("NODO edges ahead and SF > MF; Calvin trails with much higher abort rates,");
     println!("Calvin-200 worse than Calvin-100; SEQ is flat across contention levels.");
+    match write_snapshot("fig3", &snapshot_json("fig3", &groups)) {
+        Ok(path) => println!("\nsnapshot: {}", path.display()),
+        Err(e) => eprintln!("\nsnapshot write failed: {e}"),
+    }
 }

@@ -3,6 +3,7 @@
 //!
 //! Run: `cargo run --release -p prognosticator-bench --bin fig4`
 
+use prognosticator_bench::json::{snapshot_json, write_snapshot};
 use prognosticator_bench::{measure_sustainable, render_table, rubis_setup, SustainConfig, SystemKind};
 
 fn main() {
@@ -18,6 +19,7 @@ fn main() {
 
     let setup = rubis_setup();
     let mut rows = Vec::new();
+    let mut group = Vec::new();
     for kind in SystemKind::comparison_set() {
         let r = measure_sustainable(kind, &setup, &cfg);
         rows.push(vec![
@@ -27,6 +29,7 @@ fn main() {
             format!("{:.2}", r.abort_pct),
             format!("{:.2}", r.p99_ms),
         ]);
+        group.push((kind.name(), r));
     }
     print!(
         "{}",
@@ -36,4 +39,9 @@ fn main() {
     println!("\nPaper reference shapes (Fig. 4): RUBiS-C is highly contended (every update");
     println!("transaction pivots on a shared counter); MQ-SF wins (~1.35× over NODO) and");
     println!("has ~3× lower abort rate than MQ-MF; Calvin aborts heavily.");
+    let groups = vec![("rubis".to_owned(), group)];
+    match write_snapshot("fig4", &snapshot_json("fig4", &groups)) {
+        Ok(path) => println!("\nsnapshot: {}", path.display()),
+        Err(e) => eprintln!("\nsnapshot write failed: {e}"),
+    }
 }

@@ -5,10 +5,12 @@
 //!
 //! Run: `cargo run --release -p prognosticator-bench --bin fig5`
 
+use prognosticator_bench::json::{snapshot_json, write_snapshot};
 use prognosticator_bench::{measure_sustainable, render_table, tpcc_setup, SustainConfig, SystemKind};
 
 fn main() {
     let cfg = SustainConfig::default();
+    let mut groups = Vec::new();
     println!("Figure 5 — Prognosticator variant ablation on TPC-C");
     println!(
         "workers = {}, warmup = {}, measured batches = {}\n",
@@ -19,6 +21,7 @@ fn main() {
         println!("== {warehouses} warehouses ==");
         let setup = tpcc_setup(warehouses);
         let mut rows = Vec::new();
+        let mut group = Vec::new();
         for kind in SystemKind::variant_set() {
             let r = measure_sustainable(kind, &setup, &cfg);
             rows.push(vec![
@@ -28,7 +31,9 @@ fn main() {
                 format!("{:.1}", r.prepare_us),
                 format!("{:.1}", r.reexec_us),
             ]);
+            group.push((kind.name(), r));
         }
+        groups.push((format!("tpcc-{warehouses}wh"), group));
         print!(
             "{}",
             render_table(
@@ -41,4 +46,8 @@ fn main() {
     println!("Paper reference shapes (Fig. 5): SE variants beat the reconnaissance (*-R)");
     println!("ones everywhere (reconnaissance executes the whole transaction to prepare);");
     println!("MQ beats 1Q on prepare time; MF wins at low contention, SF at high.");
+    match write_snapshot("fig5", &snapshot_json("fig5", &groups)) {
+        Ok(path) => println!("\nsnapshot: {}", path.display()),
+        Err(e) => eprintln!("\nsnapshot write failed: {e}"),
+    }
 }

@@ -13,6 +13,7 @@
 //!
 //! Binaries: `table1`, `fig3`, `fig4`, `fig5` (one per paper exhibit).
 
+pub mod json;
 pub mod sim;
 
 use prognosticator_core::{baselines, Catalog, Replica, SchedulerConfig, TxRequest};
@@ -159,6 +160,9 @@ impl Default for SustainConfig {
     }
 }
 
+/// A deterministic request generator: batch size in, requests out.
+pub type BatchGen = Box<dyn FnMut(usize) -> Vec<TxRequest>>;
+
 /// Everything needed to stand up one system instance on a fresh database.
 pub struct WorkloadSetup {
     /// The shared catalog (programs + profiles).
@@ -166,7 +170,7 @@ pub struct WorkloadSetup {
     /// Populates a fresh store at epoch 0.
     pub populate: Box<dyn Fn(&EpochStore) + Sync>,
     /// Builds a deterministic request generator from a seed.
-    pub make_gen: Box<dyn Fn(u64) -> Box<dyn FnMut(usize) -> Vec<TxRequest>> + Sync>,
+    pub make_gen: Box<dyn Fn(u64) -> BatchGen + Sync>,
 }
 
 /// Result of measuring one system at one operating point.
@@ -180,7 +184,15 @@ pub struct RunResult {
     pub batch_size: usize,
     /// Implied throughput (batch size / batch interval).
     pub throughput_tps: f64,
-    /// Abort events per 100 committed transactions at that point.
+    /// Committed transactions over the measured window.
+    pub committed: usize,
+    /// Deterministically aborted transactions (workload bugs / injected
+    /// faults) over the measured window — final, replicated verdicts.
+    pub aborted: usize,
+    /// Abort-and-retry events (validation failures that re-executed) over
+    /// the measured window.
+    pub abort_retries: usize,
+    /// Abort-retry events per 100 committed transactions at that point.
     pub abort_pct: f64,
     /// p99 latency at that point (ms).
     pub p99_ms: f64,
@@ -197,7 +209,9 @@ pub struct TrialStats {
     pub p99: Duration,
     /// Committed transactions.
     pub committed: usize,
-    /// Abort events.
+    /// Deterministically aborted transactions (final verdicts).
+    pub aborted: usize,
+    /// Abort-and-retry events.
     pub aborts: usize,
     /// Transactions handed back to the client (Calvin) during the
     /// measured window.
@@ -211,6 +225,7 @@ pub struct TrialStats {
 /// A batch-level digest of what the harness needs from any engine.
 struct BatchFigures {
     committed: usize,
+    aborted: usize,
     aborts: usize,
     carried: usize,
     latencies_ns: Vec<u64>,
@@ -234,6 +249,7 @@ impl AnyEngine {
                 let o = r.execute_batch(batch);
                 BatchFigures {
                     committed: o.committed,
+                    aborted: o.aborted,
                     aborts: o.aborts,
                     carried: o.carried_over.len(),
                     latencies_ns: o.latencies_ns,
@@ -247,6 +263,7 @@ impl AnyEngine {
                 let o = e.execute_batch(batch);
                 BatchFigures {
                     committed: o.committed,
+                    aborted: o.aborted,
                     aborts: o.aborts,
                     carried: 0,
                     latencies_ns: o.latencies_ns,
@@ -260,6 +277,7 @@ impl AnyEngine {
                 let o = r.execute_batch(batch);
                 BatchFigures {
                     committed: o.committed,
+                    aborted: o.aborted,
                     aborts: o.aborts,
                     carried: o.carried_over.len(),
                     latencies_ns: o.latencies_ns,
@@ -273,6 +291,7 @@ impl AnyEngine {
                 let o = e.execute_batch(batch);
                 BatchFigures {
                     committed: o.committed,
+                    aborted: o.aborted,
                     aborts: o.aborts,
                     carried: 0,
                     latencies_ns: o.latencies_ns,
@@ -353,6 +372,7 @@ pub fn run_trial(
             latencies.push(interval_ns + interval_ns / 2);
         }
         stats.committed += outcome.committed;
+        stats.aborted += outcome.aborted;
         stats.aborts += outcome.aborts;
         prepare_ns += outcome.prepare_ns_total;
         prepare_n += outcome.prepare_count;
@@ -438,6 +458,9 @@ pub fn measure_sustainable(
             } else {
                 0.0
             },
+            committed: stats.committed,
+            aborted: stats.aborted,
+            abort_retries: stats.aborts,
             abort_pct: if stats.committed == 0 {
                 0.0
             } else {

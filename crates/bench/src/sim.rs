@@ -18,8 +18,8 @@
 //! All simulated durations are in nanoseconds of virtual time.
 
 use prognosticator_core::{
-    AccessScope, Catalog, ExecView, FailedPolicy, Granularity, PrepareMode, ProgId,
-    SchedulerConfig, TxClass, TxRequest,
+    AbortReason, AccessScope, Catalog, ExecView, FailedPolicy, FaultPlan, Granularity,
+    PrepareMode, ProgId, SchedulerConfig, TxClass, TxOutcome, TxRequest,
 };
 use prognosticator_storage::EpochStore;
 use prognosticator_symexec::{PredictError, Prediction};
@@ -68,7 +68,10 @@ pub struct SimOutcome {
     pub batch_size: usize,
     /// Committed transactions.
     pub committed: usize,
-    /// Abort events.
+    /// Transactions deterministically aborted (workload bugs and injected
+    /// faults) — mirrors `BatchOutcome::aborted`.
+    pub aborted: usize,
+    /// Abort-and-retry events.
     pub aborts: usize,
     /// Scheduling rounds used.
     pub rounds: u32,
@@ -86,6 +89,10 @@ pub struct SimOutcome {
     pub reexec_ns_total: u64,
     /// Number of re-executed transactions.
     pub reexec_count: u64,
+    /// Per-transaction verdicts, indexed by batch position — must equal
+    /// the threaded engine's `BatchOutcome::outcomes` byte-for-byte for
+    /// the same batch and fault plan.
+    pub outcomes: Vec<TxOutcome>,
 }
 
 /// A store adapter that counts accesses (to charge virtual time) while
@@ -115,6 +122,17 @@ struct SimTx {
     /// Completion time (ns), None until committed.
     finished: Option<u64>,
     first_fail: Option<u64>,
+    /// Deterministic abort verdict (workload bug or injected fault).
+    aborted: Option<AbortReason>,
+}
+
+/// Result of one simulated update execution.
+enum ExecStatus {
+    Committed,
+    /// Validation failure: retry per the failed policy.
+    Failed,
+    /// Deterministic abort — final, no retry.
+    Aborted(AbortReason),
 }
 
 /// The simulated replica: real state, virtual time.
@@ -124,6 +142,8 @@ pub struct SimReplica {
     config: SchedulerConfig,
     cost: CostModel,
     carry_over: Vec<TxRequest>,
+    fault_plan: Option<FaultPlan>,
+    batches_executed: u64,
 }
 
 impl SimReplica {
@@ -134,7 +154,33 @@ impl SimReplica {
         catalog: Arc<Catalog>,
         store: Arc<EpochStore>,
     ) -> Self {
-        SimReplica { catalog, store, config, cost, carry_over: Vec::new() }
+        SimReplica {
+            catalog,
+            store,
+            config,
+            cost,
+            carry_over: Vec::new(),
+            fault_plan: None,
+            batches_executed: 0,
+        }
+    }
+
+    /// Installs (or clears) a deterministic fault-injection plan — the
+    /// same plan the threaded engine takes, producing the same verdicts.
+    /// The simulator records each injected worker panic's abort verdict
+    /// directly instead of unwinding.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault_plan = plan;
+    }
+
+    /// The injected abort verdict for transaction `i` of the upcoming
+    /// batch, if the plan fires. Virtual cost is zero: the engine's
+    /// injection panics at execution entry, before any store access.
+    fn injected(&self, batch: u64, i: usize) -> Option<AbortReason> {
+        self.fault_plan.as_ref().and_then(|plan| {
+            plan.injects_worker_panic(batch, i as u32)
+                .then(|| FaultPlan::injected_abort_reason(batch, i as u32))
+        })
     }
 
     /// The underlying store.
@@ -152,7 +198,9 @@ impl SimReplica {
     pub fn execute_batch(&mut self, batch: Vec<TxRequest>) -> SimOutcome {
         let mut full = std::mem::take(&mut self.carry_over);
         full.extend(batch);
-        let outcome = self.run_batch(full);
+        let batch_index = self.batches_executed;
+        self.batches_executed += 1;
+        let outcome = self.run_batch(full, batch_index);
         self.carry_over = outcome.carried_over.clone();
         self.store.advance_epoch();
         outcome
@@ -196,7 +244,15 @@ impl SimReplica {
                 }
             },
         };
-        SimTx { req, class, prediction, table_scope, finished: None, first_fail: None }
+        SimTx {
+            req,
+            class,
+            prediction,
+            table_scope,
+            finished: None,
+            first_fail: None,
+            aborted: None,
+        }
     }
 
     /// Prepares a DT: fills its prediction and returns the virtual cost.
@@ -249,41 +305,63 @@ impl SimReplica {
                 }
                 let mut view =
                     SnapView { store: &self.store, epoch, buffer: HashMap::new(), reads: 0 };
-                let out = interp.run(&program, &tx.req.inputs, &mut view).expect("recon runs");
-                let mut pred = Prediction::default();
-                for k in &out.trace.reads {
-                    if !pred.reads.contains(k) {
-                        pred.reads.push(k.clone());
+                match interp.run(&program, &tx.req.inputs, &mut view) {
+                    Ok(out) => {
+                        let mut pred = Prediction::default();
+                        for k in &out.trace.reads {
+                            if !pred.reads.contains(k) {
+                                pred.reads.push(k.clone());
+                            }
+                        }
+                        for k in &out.trace.writes {
+                            if !pred.writes.contains(k) {
+                                pred.writes.push(k.clone());
+                            }
+                        }
+                        tx.prediction = Some(pred);
+                    }
+                    // Workload bug during reconnaissance: deterministic
+                    // per-transaction abort (mirrors the engine).
+                    Err(e) => {
+                        tx.aborted = Some(AbortReason::workload(program.name(), e));
                     }
                 }
-                for k in &out.trace.writes {
-                    if !pred.writes.contains(k) {
-                        pred.writes.push(k.clone());
-                    }
-                }
-                tx.prediction = Some(pred);
                 view.reads * self.cost.read_ns
             }
         }
     }
 
     /// Executes one update transaction against the real store, returning
-    /// `(committed, virtual cost)`.
-    fn execute(&self, tx: &SimTx) -> (bool, u64) {
+    /// its status and virtual cost. Mirrors the engine's per-transaction
+    /// abort protocol: injected faults and workload bugs are final aborts
+    /// (buffered writes discarded), validation failures are retried.
+    fn execute(&self, tx: &SimTx, batch: u64, i: usize) -> (ExecStatus, u64) {
+        // Injection fires at execution entry — before any store access —
+        // so an injected abort carries zero virtual cost.
+        if let Some(reason) = self.injected(batch, i) {
+            return (ExecStatus::Aborted(reason), 0);
+        }
         let entry = self.catalog.entry(tx.req.program);
         let program = entry.program();
         let interp = Interpreter::new().without_input_validation();
         let mut cost = 0u64;
 
         if let Some(scope) = &tx.table_scope {
-            // NODO: scoped direct execution, never aborts.
+            // NODO: scoped direct execution, never fails validation.
             let mut view =
                 CountingView { view: ExecView::new(&self.store, scope), reads: 0, writes: 0 };
-            interp.run(program, &tx.req.inputs, &mut view).expect("NODO execution");
+            let run = interp.run(program, &tx.req.inputs, &mut view);
             cost += view.reads * self.cost.read_ns + view.writes * self.cost.write_ns;
-            assert!(!view.view.violated(), "static table scope cannot be violated");
-            view.view.commit();
-            return (true, cost);
+            return match run {
+                Ok(_) => {
+                    assert!(!view.view.violated(), "static table scope cannot be violated");
+                    view.view.commit();
+                    (ExecStatus::Committed, cost)
+                }
+                Err(e) => {
+                    (ExecStatus::Aborted(AbortReason::workload(program.name(), e)), cost)
+                }
+            };
         }
 
         let prediction = tx.prediction.as_ref().expect("prepared before execution");
@@ -293,7 +371,7 @@ impl SimReplica {
             cost += self.cost.read_ns;
             let current = self.store.get_latest(key).unwrap_or(Value::Unit);
             if &current != observed {
-                return (false, cost);
+                return (ExecStatus::Failed, cost);
             }
         }
         let scope = AccessScope::keys_of(prediction);
@@ -304,40 +382,57 @@ impl SimReplica {
         match run {
             Ok(_) if !view.view.violated() => {
                 view.view.commit();
-                (true, cost)
+                (ExecStatus::Committed, cost)
             }
-            Ok(_) => (false, cost),
-            Err(_) if view.view.violated() => (false, cost),
-            Err(e) => panic!("workload bug in {}: {e}", program.name()),
+            Ok(_) => (ExecStatus::Failed, cost),
+            Err(_) if view.view.violated() => (ExecStatus::Failed, cost),
+            Err(e) => (ExecStatus::Aborted(AbortReason::workload(program.name(), e)), cost),
         }
     }
 
-    /// Serial, lock-free execution against the live store (the SF path);
-    /// returns the virtual cost.
-    fn execute_serial(&self, tx: &SimTx) -> u64 {
+    /// Serial, lock-free execution against the live store (the SF path).
+    /// Writes are buffered per transaction — a workload bug aborts with no
+    /// torn writes, exactly like the engine's `execute_live_buffered`.
+    /// Returns the abort verdict (if any) and the virtual cost.
+    fn execute_serial(&self, tx: &SimTx) -> (Result<(), AbortReason>, u64) {
         let entry = self.catalog.entry(tx.req.program);
+        let program = entry.program();
         let interp = Interpreter::new().without_input_validation();
-        struct CountingLive<'a> {
+        struct CountingBuffered<'a> {
             store: &'a EpochStore,
+            buffer: HashMap<Key, Value>,
             reads: u64,
             writes: u64,
         }
-        impl TxStore for CountingLive<'_> {
+        impl TxStore for CountingBuffered<'_> {
             fn get(&mut self, key: &Key) -> Option<Value> {
                 self.reads += 1;
+                if let Some(v) = self.buffer.get(key) {
+                    return Some(v.clone());
+                }
                 self.store.get_latest(key)
             }
             fn put(&mut self, key: &Key, value: Value) {
                 self.writes += 1;
-                self.store.put(key, value);
+                self.buffer.insert(key.clone(), value);
             }
         }
-        let mut view = CountingLive { store: &self.store, reads: 0, writes: 0 };
-        interp.run(entry.program(), &tx.req.inputs, &mut view).expect("serial execution");
-        view.reads * self.cost.read_ns + view.writes * self.cost.write_ns
+        let mut view =
+            CountingBuffered { store: &self.store, buffer: HashMap::new(), reads: 0, writes: 0 };
+        let run = interp.run(program, &tx.req.inputs, &mut view);
+        let cost = view.reads * self.cost.read_ns + view.writes * self.cost.write_ns;
+        match run {
+            Ok(_) => {
+                for (k, v) in view.buffer {
+                    self.store.put(&k, v);
+                }
+                (Ok(()), cost)
+            }
+            Err(e) => (Err(AbortReason::workload(program.name(), e)), cost),
+        }
     }
 
-    fn run_batch(&mut self, batch: Vec<TxRequest>) -> SimOutcome {
+    fn run_batch(&mut self, batch: Vec<TxRequest>, batch_index: u64) -> SimOutcome {
         let cost = self.cost.clone();
         let snapshot = self.store.snapshot_epoch();
         let prepare_epoch = snapshot.saturating_sub(self.config.prepare_staleness);
@@ -362,14 +457,26 @@ impl SimReplica {
         let mut worker_free = vec![0u64; cost.workers];
         for (n, &i) in rot_idxs.iter().enumerate() {
             let w = n % cost.workers;
+            // An injected worker panic aborts the ROT at execution entry
+            // (zero virtual cost, no reads).
+            if let Some(reason) = self.injected(batch_index, i) {
+                txs[i].aborted = Some(reason);
+                continue;
+            }
             let entry = self.catalog.entry(txs[i].req.program);
             let program = entry.program().clone();
             let interp = Interpreter::new().without_input_validation();
             let mut view = self.store.snapshot(snapshot);
-            let out = interp.run(&program, &txs[i].req.inputs, &mut view).expect("ROT runs");
-            let rot_cost = out.trace.reads.len() as u64 * cost.read_ns;
-            worker_free[w] += rot_cost;
-            txs[i].finished = Some(worker_free[w]);
+            match interp.run(&program, &txs[i].req.inputs, &mut view) {
+                Ok(out) => {
+                    let rot_cost = out.trace.reads.len() as u64 * cost.read_ns;
+                    worker_free[w] += rot_cost;
+                    txs[i].finished = Some(worker_free[w]);
+                }
+                Err(e) => {
+                    txs[i].aborted = Some(AbortReason::workload(program.name(), e));
+                }
+            }
         }
         // Prepare tasks: greedy to the earliest-free preparer. The queuer
         // starts after classification; workers (MQ only) after their ROTs.
@@ -405,6 +512,10 @@ impl SimReplica {
         let mut members: Vec<usize> = dt_idxs.iter().chain(it_idxs.iter()).copied().collect();
         loop {
             outcome.rounds += 1;
+            // Slots aborted during preparation carry no prediction and
+            // their verdict is final — exclude them, deterministically,
+            // exactly as the engine does each round.
+            members.retain(|&i| txs[i].aborted.is_none());
 
             // Build phase (queuer, serial).
             let mut key_queues: HashMap<Key, Vec<usize>> = HashMap::new();
@@ -466,16 +577,24 @@ impl SimReplica {
                     .min_by_key(|&w| workers[w])
                     .expect("nonzero workers");
                 let start = workers[w].max(ready_at);
-                let (committed, exec_cost) = self.execute(&txs[i]);
+                let (status, exec_cost) = self.execute(&txs[i], batch_index, i);
                 let finish = start + exec_cost;
                 workers[w] = finish;
                 phase_end = phase_end.max(finish);
-                if committed {
-                    txs[i].finished = Some(finish);
-                } else {
-                    outcome.aborts += 1;
-                    txs[i].first_fail.get_or_insert(finish);
-                    failed.push(i);
+                match status {
+                    ExecStatus::Committed => {
+                        txs[i].finished = Some(finish);
+                    }
+                    ExecStatus::Failed => {
+                        outcome.aborts += 1;
+                        txs[i].first_fail.get_or_insert(finish);
+                        failed.push(i);
+                    }
+                    // Final verdict: locks still release below, so
+                    // successors unblock exactly as on commit.
+                    ExecStatus::Aborted(reason) => {
+                        txs[i].aborted = Some(reason);
+                    }
                 }
                 // Release locks: successors whose queues all reached them
                 // become ready at `finish`.
@@ -513,8 +632,12 @@ impl SimReplica {
                     // Serial on the queuer: plain re-execution, no locks,
                     // no preparation, no validation (nothing else runs).
                     for &i in &failed {
-                        clock += self.execute_serial(&txs[i]);
-                        txs[i].finished = Some(clock);
+                        let (result, c) = self.execute_serial(&txs[i]);
+                        clock += c;
+                        match result {
+                            Ok(()) => txs[i].finished = Some(clock),
+                            Err(reason) => txs[i].aborted = Some(reason),
+                        }
                     }
                     break;
                 }
@@ -541,8 +664,12 @@ impl SimReplica {
                 FailedPolicy::Reenqueue => {
                     // max_rounds exceeded: terminate serially.
                     for &i in &failed {
-                        clock += self.execute_serial(&txs[i]);
-                        txs[i].finished = Some(clock);
+                        let (result, c) = self.execute_serial(&txs[i]);
+                        clock += c;
+                        match result {
+                            Ok(()) => txs[i].finished = Some(clock),
+                            Err(reason) => txs[i].aborted = Some(reason),
+                        }
                     }
                     break;
                 }
@@ -550,14 +677,20 @@ impl SimReplica {
         }
 
         outcome.makespan_ns = clock;
-        for tx in &txs {
-            if let Some(f) = tx.finished {
+        for tx in &mut txs {
+            if let Some(reason) = tx.aborted.take() {
+                outcome.aborted += 1;
+                outcome.outcomes.push(TxOutcome::Aborted { reason });
+            } else if let Some(f) = tx.finished {
                 outcome.committed += 1;
                 outcome.latencies_ns.push(f);
                 if let Some(ff) = tx.first_fail {
                     outcome.reexec_ns_total += f.saturating_sub(ff);
                     outcome.reexec_count += 1;
                 }
+                outcome.outcomes.push(TxOutcome::Committed);
+            } else {
+                outcome.outcomes.push(TxOutcome::CarriedOver);
             }
         }
         outcome
@@ -584,26 +717,51 @@ impl SimSeq {
         let mut clock = 0u64;
         for req in batch {
             let entry = self.catalog.entry(req.program);
-            struct CountingLive<'a> {
+            // Writes buffered per transaction: a workload bug becomes a
+            // deterministic abort with no torn writes, like the engine.
+            struct CountingBuffered<'a> {
                 store: &'a EpochStore,
+                buffer: HashMap<Key, Value>,
                 reads: u64,
                 writes: u64,
             }
-            impl TxStore for CountingLive<'_> {
+            impl TxStore for CountingBuffered<'_> {
                 fn get(&mut self, key: &Key) -> Option<Value> {
                     self.reads += 1;
+                    if let Some(v) = self.buffer.get(key) {
+                        return Some(v.clone());
+                    }
                     self.store.get_latest(key)
                 }
                 fn put(&mut self, key: &Key, value: Value) {
                     self.writes += 1;
-                    self.store.put(key, value);
+                    self.buffer.insert(key.clone(), value);
                 }
             }
-            let mut view = CountingLive { store: &self.store, reads: 0, writes: 0 };
-            interp.run(entry.program(), &req.inputs, &mut view).expect("SEQ execution");
+            let mut view = CountingBuffered {
+                store: &self.store,
+                buffer: HashMap::new(),
+                reads: 0,
+                writes: 0,
+            };
+            let run = interp.run(entry.program(), &req.inputs, &mut view);
             clock += view.reads * self.cost.read_ns + view.writes * self.cost.write_ns;
-            outcome.committed += 1;
-            outcome.latencies_ns.push(clock);
+            match run {
+                Ok(_) => {
+                    for (k, v) in view.buffer {
+                        self.store.put(&k, v);
+                    }
+                    outcome.committed += 1;
+                    outcome.latencies_ns.push(clock);
+                    outcome.outcomes.push(TxOutcome::Committed);
+                }
+                Err(e) => {
+                    outcome.aborted += 1;
+                    outcome.outcomes.push(TxOutcome::Aborted {
+                        reason: AbortReason::workload(entry.program().name(), e),
+                    });
+                }
+            }
         }
         outcome.makespan_ns = clock;
         self.store.advance_epoch();

@@ -1,12 +1,119 @@
-//! Client-side batching: collect requests into fixed-interval batches.
+//! Client-side batching: collect requests into fixed-interval batches,
+//! plus the retry/quarantine policy applied when a cut batch cannot be
+//! ordered.
 //!
 //! The paper's Client Request Dispatcher "receives transactions from
 //! external clients and is responsible for generating batches … within a
 //! certain time window" (§III-A, §III-C). This batcher is generic over the
 //! request type so the consensus crate stays independent of the
-//! transaction layer.
+//! transaction layer. [`RetryPolicy`] bounds how long the dispatcher keeps
+//! re-proposing a batch through transient consensus failures (leader
+//! changes, partitions), and [`Quarantine`] holds poison batches that
+//! exhausted their retries so one stuck proposal cannot wedge the stream.
 
 use std::time::{Duration, Instant};
+
+/// Bounded retry-with-backoff for transient consensus failures.
+///
+/// Attempt `0` is the initial proposal; each subsequent attempt waits
+/// [`RetryPolicy::backoff`] first, doubling the delay up to the cap. After
+/// `max_attempts` total attempts the batch is considered poison and should
+/// be [`Quarantine`]d instead of retried forever.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total proposal attempts (≥ 1); the first is not a retry.
+    pub max_attempts: usize,
+    /// Backoff before the first retry; doubles per retry.
+    pub initial_backoff: Duration,
+    /// Upper bound on any single backoff.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            initial_backoff: Duration::from_millis(20),
+            max_backoff: Duration::from_millis(500),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (one attempt, straight to quarantine).
+    pub fn no_retries() -> Self {
+        RetryPolicy { max_attempts: 1, ..RetryPolicy::default() }
+    }
+
+    /// The delay to wait before retry attempt `attempt` (1-based: attempt
+    /// `1` is the first retry). Exponential, capped at `max_backoff`.
+    pub fn backoff(&self, attempt: usize) -> Duration {
+        let shift = attempt.saturating_sub(1).min(32) as u32;
+        let grown = self
+            .initial_backoff
+            .checked_mul(1u32 << shift.min(31))
+            .unwrap_or(self.max_backoff);
+        grown.min(self.max_backoff)
+    }
+}
+
+/// A batch that exhausted its retries, kept aside with its failure story.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Quarantined<T> {
+    /// The poison payload, preserved for inspection or resubmission.
+    pub payload: T,
+    /// How many proposal attempts were made before giving up.
+    pub attempts: usize,
+    /// Human-readable reason recorded at quarantine time.
+    pub reason: String,
+}
+
+/// Holding area for poison batches: proposals that kept failing after
+/// bounded retries. Quarantining instead of retrying forever keeps the
+/// dispatcher live; operators (or tests) can inspect and drain the
+/// quarantine to re-inject payloads once the fault is resolved.
+#[derive(Debug)]
+pub struct Quarantine<T> {
+    entries: Vec<Quarantined<T>>,
+}
+
+impl<T> Default for Quarantine<T> {
+    fn default() -> Self {
+        Quarantine { entries: Vec::new() }
+    }
+}
+
+impl<T> Quarantine<T> {
+    /// An empty quarantine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a poison payload.
+    pub fn admit(&mut self, payload: T, attempts: usize, reason: impl Into<String>) {
+        self.entries.push(Quarantined { payload, attempts, reason: reason.into() });
+    }
+
+    /// Number of quarantined payloads.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the quarantine is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The quarantined entries, oldest first.
+    pub fn entries(&self) -> &[Quarantined<T>] {
+        &self.entries
+    }
+
+    /// Removes and returns every quarantined entry (for resubmission).
+    pub fn drain(&mut self) -> Vec<Quarantined<T>> {
+        std::mem::take(&mut self.entries)
+    }
+}
 
 /// Accumulates items and cuts a batch when the window elapses or the batch
 /// reaches its size cap.
@@ -108,5 +215,39 @@ mod tests {
     fn time_to_cut_counts_down() {
         let b: Batcher<u8> = Batcher::new(Duration::from_secs(1), 10);
         assert!(b.time_to_cut() <= Duration::from_secs(1));
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            max_attempts: 10,
+            initial_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(45),
+        };
+        assert_eq!(p.backoff(1), Duration::from_millis(10));
+        assert_eq!(p.backoff(2), Duration::from_millis(20));
+        assert_eq!(p.backoff(3), Duration::from_millis(40));
+        assert_eq!(p.backoff(4), Duration::from_millis(45), "capped");
+        assert_eq!(p.backoff(100), Duration::from_millis(45), "huge attempts stay capped");
+    }
+
+    #[test]
+    fn no_retries_policy_is_single_attempt() {
+        assert_eq!(RetryPolicy::no_retries().max_attempts, 1);
+    }
+
+    #[test]
+    fn quarantine_admits_and_drains() {
+        let mut q: Quarantine<Vec<u8>> = Quarantine::new();
+        assert!(q.is_empty());
+        q.admit(vec![1, 2], 3, "batch timed out");
+        q.admit(vec![3], 2, "leader unreachable");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.entries()[0].payload, vec![1, 2]);
+        assert_eq!(q.entries()[0].attempts, 3);
+        assert_eq!(q.entries()[1].reason, "leader unreachable");
+        let drained = q.drain();
+        assert_eq!(drained.len(), 2);
+        assert!(q.is_empty());
     }
 }

@@ -4,6 +4,9 @@
 //! to every replica (paper §III-A).
 //!
 //! * [`Batcher`] — client-side time/size-windowed batching;
+//! * [`RetryPolicy`] / [`Quarantine`] — bounded retry-with-backoff for
+//!   transient ordering failures, and the poison-batch holding area that
+//!   keeps one stuck proposal from wedging the dispatcher;
 //! * [`RaftCluster`] — Raft-lite (election, replication, majority commit)
 //!   over a [`SimNet`] with injectable delay, loss and partitions.
 //!
@@ -15,6 +18,6 @@ pub mod batcher;
 pub mod raft;
 pub mod simnet;
 
-pub use batcher::Batcher;
+pub use batcher::{Batcher, Quarantine, Quarantined, RetryPolicy};
 pub use raft::{LogEntry, NodeView, RaftCluster, RaftMsg, RaftTiming};
 pub use simnet::{NetConfig, NodeId, SimNet};

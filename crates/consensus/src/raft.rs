@@ -28,6 +28,22 @@ pub struct LogEntry<T> {
     pub payload: T,
 }
 
+/// A raw slot in the replicated log: either a client entry or a leader
+/// no-op. Every new leader appends (and replicates) a no-op in its own
+/// term immediately on election — the standard Raft device that lets it
+/// commit the previous leader's tail without waiting for fresh client
+/// traffic (§5.4.2 only allows counting replicas for current-term
+/// entries). No-ops are invisible in [`NodeView::committed`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record<T> {
+    /// Term the record was appended in.
+    pub term: u64,
+    /// Client-assigned id, or 0 for leader no-ops (client ids start at 1).
+    pub id: u64,
+    /// The client payload; `None` for leader no-ops.
+    pub payload: Option<T>,
+}
+
 /// Messages exchanged by Raft nodes.
 #[derive(Debug, Clone)]
 pub enum RaftMsg<T> {
@@ -61,8 +77,8 @@ pub enum RaftMsg<T> {
         prev_index: u64,
         /// Term of that entry.
         prev_term: u64,
-        /// Entries to append.
-        entries: Vec<LogEntry<T>>,
+        /// Records to append (client entries and leader no-ops).
+        entries: Vec<Record<T>>,
         /// Leader's commit index.
         leader_commit: u64,
     },
@@ -144,7 +160,7 @@ struct Node<T> {
     n: usize,
     term: u64,
     voted_for: Option<NodeId>,
-    log: Vec<LogEntry<T>>, // index i ↔ log[i-1]; indices are 1-based
+    log: Vec<Record<T>>, // index i ↔ log[i-1]; indices are 1-based
     commit_index: u64,
     role: Role,
     votes: usize,
@@ -196,9 +212,17 @@ impl<T: Clone + Send + Sync + 'static> Node<T> {
         self.view.leader_terms.write().push(self.term);
         self.next_index = vec![self.last_log_index() + 1; self.n];
         self.match_index = vec![0; self.n];
+        // Commit-visibility no-op: a leader may only count replicas for
+        // entries of its own term, so without this a fresh leader would
+        // sit on the previous leader's committed-but-unannounced tail
+        // until the next client proposal arrived.
+        self.log.push(Record { term: self.term, id: 0, payload: None });
         self.match_index[self.id] = self.last_log_index();
         self.deadline = Instant::now(); // heartbeat immediately
         self.broadcast_append(net);
+        if self.n == 1 {
+            self.advance_commit();
+        }
     }
 
     fn start_election(&mut self, net: &SimNet<RaftMsg<T>>) {
@@ -237,7 +261,7 @@ impl<T: Clone + Send + Sync + 'static> Node<T> {
             let next = self.next_index[peer];
             let prev_index = next - 1;
             let prev_term = self.term_at(prev_index);
-            let entries: Vec<LogEntry<T>> =
+            let entries: Vec<Record<T>> =
                 self.log.iter().skip(prev_index as usize).cloned().collect();
             net.send(
                 self.id,
@@ -275,9 +299,14 @@ impl<T: Clone + Send + Sync + 'static> Node<T> {
         let index = index.min(self.last_log_index());
         while self.commit_index < index {
             self.commit_index += 1;
-            let entry = self.log[self.commit_index as usize - 1].clone();
-            self.view.committed.write().push(entry.clone());
-            self.subscribers.retain(|s| s.send(entry.clone()).is_ok());
+            let rec = self.log[self.commit_index as usize - 1].clone();
+            // Leader no-ops advance the commit index but are invisible to
+            // clients: only records carrying a payload are published.
+            if let Some(payload) = rec.payload {
+                let entry = LogEntry { term: rec.term, id: rec.id, payload };
+                self.view.committed.write().push(entry.clone());
+                self.subscribers.retain(|s| s.send(entry.clone()).is_ok());
+            }
         }
     }
 
@@ -325,8 +354,7 @@ impl<T: Clone + Send + Sync + 'static> Node<T> {
                         && self.term_at(prev_index) == prev_term;
                     if ok {
                         // Truncate conflicts and append.
-                        let mut idx = prev_index as usize;
-                        for entry in entries {
+                        for (idx, entry) in (prev_index as usize..).zip(entries) {
                             if idx < self.log.len() {
                                 if self.log[idx].term != entry.term {
                                     debug_assert!(
@@ -339,7 +367,6 @@ impl<T: Clone + Send + Sync + 'static> Node<T> {
                             } else {
                                 self.log.push(entry);
                             }
-                            idx += 1;
                         }
                         self.set_commit(leader_commit.min(self.last_log_index()));
                         net.send(
@@ -399,7 +426,7 @@ impl<T: Clone + Send + Sync + 'static> Node<T> {
                 if self.role == Role::Leader {
                     let duplicate = self.log.iter().any(|e| e.id == id);
                     if !duplicate {
-                        self.log.push(LogEntry { term: self.term, id, payload });
+                        self.log.push(Record { term: self.term, id, payload: Some(payload) });
                         self.match_index[self.id] = self.last_log_index();
                         self.broadcast_append(net);
                         if self.n == 1 {
@@ -505,6 +532,15 @@ impl<T: Clone + Send + Sync + 'static> RaftCluster<T> {
         self.views.iter().position(|v| v.is_leader.load(Ordering::Acquire))
     }
 
+    /// Every node currently believing it is leader. Stale claims are
+    /// included: an isolated old leader keeps claiming leadership until it
+    /// reconnects and observes the higher term.
+    pub fn current_leaders(&self) -> Vec<NodeId> {
+        (0..self.len())
+            .filter(|&n| self.views[n].is_leader.load(Ordering::Acquire))
+            .collect()
+    }
+
     /// Waits until some node is leader.
     pub fn wait_for_leader(&self, timeout: Duration) -> Option<NodeId> {
         let deadline = Instant::now() + timeout;
@@ -534,16 +570,25 @@ impl<T: Clone + Send + Sync + 'static> RaftCluster<T> {
         }
     }
 
-    /// Proposes and re-broadcasts until the entry commits on `observer`,
-    /// or the timeout expires. Returns whether it committed.
-    pub fn propose_until_committed(&self, payload: T, timeout: Duration) -> bool {
-        let id = self.next_id.fetch_add(1, std::sync::atomic::Ordering::AcqRel);
+    /// Allocates a fresh proposal id without broadcasting anything. Pair
+    /// with [`RaftCluster::propose_id_until_committed`] when the caller
+    /// wants to retry a proposal across timeouts: reusing the id keeps the
+    /// retries idempotent (leader-side dedup), so a batch can never be
+    /// committed twice by an impatient client.
+    pub fn begin_proposal(&self) -> u64 {
+        self.next_id.fetch_add(1, std::sync::atomic::Ordering::AcqRel)
+    }
+
+    /// Re-broadcasts the proposal `id` until it commits somewhere or the
+    /// timeout expires. Returns whether it committed. Safe to call
+    /// repeatedly with the same id (and required to, when retrying).
+    pub fn propose_id_until_committed(&self, id: u64, payload: &T, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
         loop {
             self.propose_with_id(id, payload.clone());
             let wait_until = (Instant::now() + Duration::from_millis(40)).min(deadline);
             while Instant::now() < wait_until {
-                if self.views.iter().any(|v| v.committed.read().iter().any(|e| e.id == id)) {
+                if self.proposal_committed(id) {
                     return true;
                 }
                 std::thread::sleep(Duration::from_millis(5));
@@ -552,6 +597,18 @@ impl<T: Clone + Send + Sync + 'static> RaftCluster<T> {
                 return false;
             }
         }
+    }
+
+    /// Whether some node has committed the proposal with this id.
+    pub fn proposal_committed(&self, id: u64) -> bool {
+        self.views.iter().any(|v| v.committed.read().iter().any(|e| e.id == id))
+    }
+
+    /// Proposes and re-broadcasts until the entry commits on `observer`,
+    /// or the timeout expires. Returns whether it committed.
+    pub fn propose_until_committed(&self, payload: T, timeout: Duration) -> bool {
+        let id = self.begin_proposal();
+        self.propose_id_until_committed(id, &payload, timeout)
     }
 
     /// Snapshot of `node`'s committed log payloads.

@@ -14,10 +14,11 @@
 
 use crate::catalog::{Catalog, TxRequest};
 use crate::engine::{
-    BatchOutcome, FailedPolicy, Granularity, PrepareMode, SchedulerConfig,
+    BatchOutcome, FailedPolicy, Granularity, PrepareMode, SchedulerConfig, TxOutcome,
 };
+use crate::exec::{execute_live_buffered, TxFailure};
+use crate::faults::AbortReason;
 use prognosticator_storage::EpochStore;
-use prognosticator_txir::Interpreter;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -115,26 +116,29 @@ impl SeqEngine {
     }
 
     /// Executes a batch in order on the current thread and commits its
-    /// epoch.
-    ///
-    /// # Panics
-    /// Panics on workload bugs (failing programs), like the parallel
-    /// engine.
+    /// epoch. Writes are buffered per transaction so a workload bug
+    /// becomes a deterministic [`TxOutcome::Aborted`] with no torn
+    /// writes, exactly like the parallel engine.
     pub fn execute_batch(&mut self, batch: Vec<TxRequest>) -> BatchOutcome {
         let start = Instant::now();
         let mut outcome = BatchOutcome { batch_size: batch.len(), rounds: 1, ..Default::default() };
-        let interp = Interpreter::new().without_input_validation();
         for req in batch {
             let entry = self.catalog.entry(req.program);
-            let mut view = self.store.live();
-            match interp.run(entry.program(), &req.inputs, &mut view) {
-                Ok(_) => {
+            match execute_live_buffered(&self.store, entry.program(), &req.inputs) {
+                Ok(()) => {
                     outcome.committed += 1;
                     outcome.latencies_ns.push(start.elapsed().as_nanos() as u64);
+                    outcome.outcomes.push(TxOutcome::Committed);
                 }
-                Err(e) =>
-
-                    panic!("workload bug in {}: {e}", entry.program().name()),
+                Err(TxFailure::Eval(e)) => {
+                    outcome.aborted += 1;
+                    outcome.outcomes.push(TxOutcome::Aborted {
+                        reason: AbortReason::workload(entry.program().name(), e),
+                    });
+                }
+                Err(other) => unreachable!(
+                    "serial execution holds no locks and has no scope: {other:?}"
+                ),
             }
         }
         self.store.advance_epoch();

@@ -18,17 +18,29 @@
 //!
 //! The same engine, differently configured, realizes every system in the
 //! paper's evaluation except `SEQ` (see [`crate::baselines`]).
+//!
+//! **Deterministic abort protocol.** A transaction whose own logic fails
+//! (a workload bug surfacing as [`TxFailure::Eval`]) or whose worker
+//! panics (e.g. an injected fault, see [`crate::faults`]) is aborted
+//! *per transaction*, not per batch: its buffered writes are discarded, its
+//! lock slots are released in key-set order, and the batch's other
+//! transactions commit normally. Because the failure depends only on the
+//! agreed batch contents and state (or on a seeded fault plan), every
+//! replica reaches the identical per-transaction verdict — reported in
+//! [`BatchOutcome::outcomes`]. Only unattributable panics (engine bugs,
+//! catalog/profile mismatches) remain batch-fatal.
 
 use crate::catalog::{Catalog, TxRequest};
 use crate::exec::{
-    execute_read_only, execute_reconnoitered, execute_scoped, execute_update, reconnoiter,
-    AccessScope, TxFailure,
+    execute_live_buffered, execute_read_only, execute_reconnoitered, execute_scoped,
+    execute_update, reconnoiter, AccessScope, TxFailure,
 };
+use crate::faults::{AbortReason, FaultPlan};
 use crate::locktable::{LockTable, LockTableBuilder, TxIdx};
 use crossbeam::queue::SegQueue;
 use crossbeam::utils::Backoff;
 use parking_lot::{Condvar, Mutex, RwLock};
-use prognosticator_storage::EpochStore;
+use prognosticator_storage::{EpochStore, LatencyConfig};
 use prognosticator_symexec::{PredictError, Prediction, Profile, TxClass};
 use prognosticator_txir::{Key, Program, Value};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
@@ -110,6 +122,26 @@ impl Default for SchedulerConfig {
     }
 }
 
+/// Final per-transaction verdict of a batch — the deterministic abort
+/// protocol's output. Every replica fed the same batch (under the same
+/// fault plan) must produce the identical `Vec<TxOutcome>`, regardless of
+/// worker count or scheduling interleavings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxOutcome {
+    /// The transaction executed and its writes are in the store.
+    Committed,
+    /// The transaction was deterministically aborted: its lock slots were
+    /// released in key-set order, its buffered writes were discarded (no
+    /// torn writes), and it will not be retried.
+    Aborted {
+        /// Why the transaction aborted.
+        reason: AbortReason,
+    },
+    /// The transaction was handed back to the client for a future batch
+    /// ([`FailedPolicy::NextBatch`]) — neither committed nor aborted yet.
+    CarriedOver,
+}
+
 /// Per-batch outcome and metrics.
 #[derive(Debug, Clone, Default)]
 pub struct BatchOutcome {
@@ -117,7 +149,11 @@ pub struct BatchOutcome {
     pub batch_size: usize,
     /// Committed transactions.
     pub committed: usize,
-    /// Abort events (one transaction may abort several times).
+    /// Transactions deterministically aborted (workload bugs and injected
+    /// faults). Final: aborted transactions are never retried.
+    pub aborted: usize,
+    /// Abort-and-retry events (one transaction may fail validation several
+    /// times before committing).
     pub aborts: usize,
     /// Scheduling rounds used (1 = no failures).
     pub rounds: u32,
@@ -140,6 +176,9 @@ pub struct BatchOutcome {
     /// Results emitted by read-only transactions, indexed by batch
     /// position (`None` for update transactions and carried-over ones).
     pub outputs: Vec<Option<Vec<Value>>>,
+    /// Per-transaction verdicts, indexed by batch position. Identical on
+    /// every replica fed the same batch under the same fault plan.
+    pub outcomes: Vec<TxOutcome>,
 }
 
 impl BatchOutcome {
@@ -164,9 +203,20 @@ struct TxSlot {
     table_scope: Option<AccessScope>,
     prediction: Mutex<Option<Prediction>>,
     output: Mutex<Option<Vec<Value>>>,
+    /// Set (once) when the transaction is deterministically aborted; the
+    /// slot then takes no further part in the batch.
+    aborted: Mutex<Option<AbortReason>>,
     finished_ns: AtomicU64,
     first_fail_ns: AtomicU64,
     aborts: AtomicU32,
+}
+
+/// Records a deterministic abort for `slot` (first reason wins).
+fn record_abort(slot: &TxSlot, reason: AbortReason) {
+    let mut aborted = slot.aborted.lock();
+    if aborted.is_none() {
+        *aborted = Some(reason);
+    }
 }
 
 struct BatchWork {
@@ -189,11 +239,29 @@ struct BatchWork {
     batch_start: Instant,
     prepare_ns: AtomicU64,
     prepare_count: AtomicU64,
-    /// Set when any thread hits a workload bug (panic); the batch is
-    /// wound down through the normal barrier sequence so no thread
-    /// deadlocks, and the queuer re-raises the panic afterwards.
+    /// Fault-injection plan for this batch, if any.
+    fault_plan: Option<Arc<FaultPlan>>,
+    /// This batch's index in the replica's lifetime (the fault plan's
+    /// batch coordinate).
+    batch_index: u64,
+    /// Set when a thread panics *outside* any per-transaction scope (an
+    /// engine bug or a catalog/profile mismatch — not attributable to one
+    /// transaction); the batch is wound down through the normal barrier
+    /// sequence so no thread deadlocks, and the queuer re-raises the
+    /// panic afterwards. Per-transaction failures never reach this: they
+    /// become deterministic [`TxOutcome::Aborted`] verdicts instead.
     fatal: AtomicBool,
     fatal_msg: Mutex<Option<String>>,
+}
+
+/// Best-effort extraction of a panic payload's message: `panic!("{}", x)`
+/// carries a `String`, `panic!("literal")` a `&'static str`.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+        .unwrap_or_else(|| "worker panicked".to_string())
 }
 
 /// Runs `f`, converting a panic into the batch-fatal flag so every thread
@@ -204,12 +272,7 @@ fn run_guarded(work: &BatchWork, f: impl FnOnce()) {
     }
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
     if let Err(payload) = result {
-        let msg = payload
-            .downcast_ref::<String>()
-            .cloned()
-            .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
-            .unwrap_or_else(|| "worker panicked".to_string());
-        *work.fatal_msg.lock() = Some(msg);
+        *work.fatal_msg.lock() = Some(panic_message(payload.as_ref()));
         work.fatal.store(true, Ordering::Release);
     }
 }
@@ -235,6 +298,8 @@ pub struct Engine {
     store: Arc<EpochStore>,
     shared: Arc<Shared>,
     handles: Vec<JoinHandle<()>>,
+    fault_plan: Option<Arc<FaultPlan>>,
+    batches_executed: u64,
 }
 
 impl std::fmt::Debug for Engine {
@@ -270,7 +335,29 @@ impl Engine {
                 .expect("spawn worker thread");
             handles.push(handle);
         }
-        Engine { config, catalog, store, shared, handles }
+        Engine {
+            config,
+            catalog,
+            store,
+            shared,
+            handles,
+            fault_plan: None,
+            batches_executed: 0,
+        }
+    }
+
+    /// Installs (or clears) a deterministic fault-injection plan applied
+    /// to subsequent batches. Injected worker panics become per-
+    /// transaction [`TxOutcome::Aborted`] verdicts; storage latency spikes
+    /// perturb timing only.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault_plan = plan.map(Arc::new);
+    }
+
+    /// Batches executed so far — the fault plan's batch coordinate for
+    /// the next batch.
+    pub fn batches_executed(&self) -> u64 {
+        self.batches_executed
     }
 
     /// The engine's configuration.
@@ -301,6 +388,17 @@ impl Engine {
         };
         let batch_start = Instant::now();
         let batch_size = batch.len();
+        let batch_index = self.batches_executed;
+        self.batches_executed += 1;
+        // Storage latency spike: raise the store's injected latency for
+        // this batch only. Timing-only — state and outcomes are unchanged.
+        let prior_latency = self.fault_plan.as_ref().and_then(|plan| {
+            plan.storage_spike(batch_index).map(|spike| {
+                let prior = self.store.latency();
+                self.store.set_latency(LatencyConfig::symmetric(spike));
+                prior
+            })
+        });
         let current = self.store.current_epoch();
         let snapshot_epoch = current - 1;
         let prepare_epoch = snapshot_epoch.saturating_sub(self.config.prepare_staleness);
@@ -337,6 +435,8 @@ impl Engine {
             batch_start,
             prepare_ns: AtomicU64::new(0),
             prepare_count: AtomicU64::new(0),
+            fault_plan: self.fault_plan.clone(),
+            batch_index,
             fatal: AtomicBool::new(false),
             fatal_msg: Mutex::new(None),
         });
@@ -376,11 +476,18 @@ impl Engine {
             self.shared.barrier.wait(); // (1) prepare done
 
             // Phase 2: build the lock table — DTs ahead of ITs (§III-C).
+            // Slots aborted during preparation carry no prediction and
+            // their verdict is already final, so they are excluded here;
+            // the exclusion is deterministic because abort decisions are.
             let members: Vec<TxIdx> = if first_round {
                 dt_idxs.iter().chain(it_idxs.iter()).copied().collect()
             } else {
                 round_members.clone()
             };
+            let members: Vec<TxIdx> = members
+                .into_iter()
+                .filter(|&i| work.slots[i as usize].aborted.lock().is_none())
+                .collect();
             let mut builder = LockTableBuilder::new();
             for &i in &members {
                 let keys = self.lock_keys(&work.slots[i as usize]);
@@ -453,9 +560,12 @@ impl Engine {
 
         // Retire the batch.
         *self.shared.work.write() = None;
+        if let Some(prior) = prior_latency {
+            self.store.set_latency(prior);
+        }
         if work.fatal.load(Ordering::Acquire) {
             let msg = work.fatal_msg.lock().take().unwrap_or_default();
-            panic!("batch aborted by workload bug: {msg}");
+            panic!("fatal batch error: {msg}");
         }
         self.store.advance_epoch();
         if let Some(keep) = self.config.gc_keep_epochs {
@@ -466,11 +576,16 @@ impl Engine {
             self.store.gc_before(self.store.current_epoch().saturating_sub(keep));
         }
 
-        // --- Metrics --- (carried-over slots never set `finished_ns`)
+        // --- Metrics --- (carried-over slots never set `finished_ns`,
+        // aborted slots never do either: the three states are disjoint)
         for slot in &work.slots {
             outcome.outputs.push(slot.output.lock().take());
             let finished = slot.finished_ns.load(Ordering::Acquire);
-            if finished > 0 {
+            if let Some(reason) = slot.aborted.lock().take() {
+                debug_assert_eq!(finished, 0, "aborted slots never finish");
+                outcome.aborted += 1;
+                outcome.outcomes.push(TxOutcome::Aborted { reason });
+            } else if finished > 0 {
                 outcome.committed += 1;
                 outcome.latencies_ns.push(finished);
                 let first_fail = slot.first_fail_ns.load(Ordering::Acquire);
@@ -478,6 +593,9 @@ impl Engine {
                     outcome.reexec_ns_total += finished.saturating_sub(first_fail);
                     outcome.reexec_count += 1;
                 }
+                outcome.outcomes.push(TxOutcome::Committed);
+            } else {
+                outcome.outcomes.push(TxOutcome::CarriedOver);
             }
         }
         outcome.prepare_ns_total = work.prepare_ns.load(Ordering::Acquire);
@@ -542,6 +660,7 @@ impl Engine {
             table_scope,
             prediction: Mutex::new(prediction),
             output: Mutex::new(None),
+            aborted: Mutex::new(None),
             finished_ns: AtomicU64::new(0),
             first_fail_ns: AtomicU64::new(0),
             aborts: AtomicU32::new(0),
@@ -571,15 +690,26 @@ impl Engine {
     /// or validation — it simply runs the transaction logic against the
     /// live state (paper §III-C: serial re-execution "would ensure that
     /// these transactions would not fail again"), and is trivially
-    /// deterministic because the workers are idle at the barrier.
+    /// deterministic because the workers are idle at the barrier. Writes
+    /// are buffered per transaction so a workload bug aborts with no torn
+    /// writes.
     fn reexecute_serially(&self, work: &BatchWork, failed: &[TxIdx]) {
-        let interp = prognosticator_txir::Interpreter::new().without_input_validation();
         for &i in failed {
             let slot = &work.slots[i as usize];
-            let mut view = self.store.live();
-            match interp.run(&slot.program, &slot.req.inputs, &mut view) {
-                Ok(_) => slot.finished_ns.store(work.now_ns().max(1), Ordering::Release),
-                Err(e) => panic!("workload bug in {}: {e}", slot.program.name()),
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                execute_live_buffered(&self.store, &slot.program, &slot.req.inputs)
+            }));
+            match result {
+                Ok(Ok(())) => {
+                    slot.finished_ns.store(work.now_ns().max(1), Ordering::Release);
+                }
+                Ok(Err(TxFailure::Eval(e))) => {
+                    record_abort(slot, AbortReason::workload(slot.program.name(), e));
+                }
+                Ok(Err(_)) => unreachable!("serial execution only fails with Eval"),
+                Err(payload) => {
+                    record_abort(slot, AbortReason::from_panic_message(panic_message(payload.as_ref())));
+                }
             }
         }
     }
@@ -645,9 +775,11 @@ fn prepare_slot_at(work: &BatchWork, i: TxIdx, store: &EpochStore, snap: Snapsho
                         };
                         v.unwrap_or(Value::Unit)
                     };
-                    profile
+                    // A prediction failure here is a catalog/profile
+                    // mismatch — fatal, not a per-transaction abort.
+                    Ok(profile
                         .predict(&slot.req.inputs, Some(&mut resolver))
-                        .expect("profile prediction with resolver cannot need more")
+                        .expect("profile prediction with resolver cannot need more"))
                 }
                 // SE-capped program: full reconnaissance.
                 None => reconnoiter_with(store, slot, snap),
@@ -655,12 +787,21 @@ fn prepare_slot_at(work: &BatchWork, i: TxIdx, store: &EpochStore, snap: Snapsho
         }
         PrepareMode::Reconnaissance => reconnoiter_with(store, slot, snap),
     };
-    *slot.prediction.lock() = Some(prediction);
+    match prediction {
+        Ok(p) => *slot.prediction.lock() = Some(p),
+        // A workload bug during reconnaissance is the transaction's own
+        // deterministic failure: abort it, leave the batch healthy.
+        Err(reason) => record_abort(slot, reason),
+    }
     work.prepare_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
     work.prepare_count.fetch_add(1, Ordering::Relaxed);
 }
 
-fn reconnoiter_with(store: &EpochStore, slot: &TxSlot, snap: SnapshotKind) -> Prediction {
+fn reconnoiter_with(
+    store: &EpochStore,
+    slot: &TxSlot,
+    snap: SnapshotKind,
+) -> Result<Prediction, AbortReason> {
     let epoch = match snap {
         SnapshotKind::Epoch(e) => e,
         // "Live" reconnaissance reads through the latest state; since the
@@ -670,8 +811,8 @@ fn reconnoiter_with(store: &EpochStore, slot: &TxSlot, snap: SnapshotKind) -> Pr
         SnapshotKind::Live => u64::MAX,
     };
     match reconnoiter(store, &slot.program, &slot.req.inputs, epoch) {
-        Ok(p) => p,
-        Err(TxFailure::Eval(e)) => panic!("workload bug in {}: {e}", slot.program.name()),
+        Ok(p) => Ok(p),
+        Err(TxFailure::Eval(e)) => Err(AbortReason::workload(slot.program.name(), e)),
         Err(_) => unreachable!("reconnoiter only fails with Eval"),
     }
 }
@@ -701,20 +842,32 @@ fn worker_loop(worker_id: usize, shared: &Shared, store: &EpochStore) {
             run_guarded(&work, || {
                 while let Some(i) = work.rot_queues[worker_id].pop() {
                     let slot = &work.slots[i as usize];
-                    match execute_read_only(
-                        store,
-                        &slot.program,
-                        &slot.req.inputs,
-                        work.snapshot_epoch,
-                    ) {
-                        Ok(emitted) => {
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        if let Some(plan) = &work.fault_plan {
+                            plan.maybe_inject_worker_panic(work.batch_index, i);
+                        }
+                        execute_read_only(
+                            store,
+                            &slot.program,
+                            &slot.req.inputs,
+                            work.snapshot_epoch,
+                        )
+                    }));
+                    match result {
+                        Ok(Ok(emitted)) => {
                             *slot.output.lock() = Some(emitted);
                             slot.finished_ns.store(work.now_ns().max(1), Ordering::Release);
                         }
-                        Err(TxFailure::Eval(e)) => {
-                            panic!("workload bug in {}: {e}", slot.program.name())
+                        Ok(Err(TxFailure::Eval(e))) => {
+                            record_abort(slot, AbortReason::workload(slot.program.name(), e));
                         }
-                        Err(_) => unreachable!("ROTs cannot fail validation"),
+                        Ok(Err(_)) => unreachable!("ROTs cannot fail validation"),
+                        Err(payload) => {
+                            record_abort(
+                                slot,
+                                AbortReason::from_panic_message(panic_message(payload.as_ref())),
+                            );
+                        }
                     }
                 }
                 if work.parallel_prepare {
@@ -766,38 +919,55 @@ fn worker_loop(worker_id: usize, shared: &Shared, store: &EpochStore) {
     }
 }
 
-/// Executes update slot `i`, recording success or pushing it to the failed
-/// list.
+/// Executes update slot `i`, recording success, a deterministic abort, or
+/// pushing it to the failed (retry) list.
+///
+/// Workload bugs and injected worker panics are caught here, per
+/// transaction: execution is write-buffered, so an unwind discards all of
+/// the transaction's writes (no torn state), and the calling worker then
+/// releases the transaction's lock slots in key-set order via
+/// `LockTable::release` exactly as on commit — successors unblock
+/// identically on every replica.
 fn execute_update_slot(work: &BatchWork, i: TxIdx, store: &EpochStore) {
     let slot = &work.slots[i as usize];
-    let result = match &slot.table_scope {
-        Some(scope) => {
-            // NODO: table locks, direct scoped execution, no validation.
-            execute_scoped(store, &slot.program, &slot.req.inputs, scope)
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if let Some(plan) = &work.fault_plan {
+            plan.maybe_inject_worker_panic(work.batch_index, i);
         }
-        None => {
-            let prediction = slot.prediction.lock().clone().expect("prepared");
-            match work.prepare_mode {
-                PrepareMode::Profile if slot.profile.is_some() => {
-                    execute_update(store, &slot.program, &slot.req.inputs, &prediction)
-                }
-                _ => {
-                    // Reconnaissance-prepared (also the SE-capped
-                    // fallback): the commit check is key-set containment,
-                    // not pivot validation.
-                    execute_reconnoitered(store, &slot.program, &slot.req.inputs, &prediction)
+        match &slot.table_scope {
+            Some(scope) => {
+                // NODO: table locks, direct scoped execution, no validation.
+                execute_scoped(store, &slot.program, &slot.req.inputs, scope)
+            }
+            None => {
+                let prediction = slot.prediction.lock().clone().expect("prepared");
+                match work.prepare_mode {
+                    PrepareMode::Profile if slot.profile.is_some() => {
+                        execute_update(store, &slot.program, &slot.req.inputs, &prediction)
+                    }
+                    _ => {
+                        // Reconnaissance-prepared (also the SE-capped
+                        // fallback): the commit check is key-set
+                        // containment, not pivot validation.
+                        execute_reconnoitered(store, &slot.program, &slot.req.inputs, &prediction)
+                    }
                 }
             }
         }
-    };
+    }));
     match result {
-        Ok(()) => {
+        Ok(Ok(())) => {
             slot.finished_ns.store(work.now_ns().max(1), Ordering::Release);
         }
-        Err(TxFailure::Eval(e)) => panic!("workload bug in {}: {e}", slot.program.name()),
-        Err(_) => {
+        Ok(Err(TxFailure::Eval(e))) => {
+            record_abort(slot, AbortReason::workload(slot.program.name(), e));
+        }
+        Ok(Err(_)) => {
             slot.aborts.fetch_add(1, Ordering::Relaxed);
             work.failed.lock().push(i);
+        }
+        Err(payload) => {
+            record_abort(slot, AbortReason::from_panic_message(panic_message(payload.as_ref())));
         }
     }
 }

@@ -222,6 +222,48 @@ pub fn execute_reconnoitered(
     execute_in_view(view, program, inputs)
 }
 
+/// Executes a transaction serially against the live state with buffered
+/// writes: reads see the latest store contents (including the current
+/// batch's commits), writes are buffered and flushed only on success.
+///
+/// This is the single-threaded re-execution path (`SF` and the `MF`
+/// termination fallback). Buffering matters for the abort protocol: if the
+/// program turns out to be a workload bug, the transaction must abort with
+/// *no* partial writes — a torn write here would diverge replicas whose
+/// later transactions read the half-written state.
+///
+/// # Errors
+/// [`TxFailure::Eval`] on workload bugs. Serial execution holds no locks
+/// and has no scope, so no other failure is possible.
+pub fn execute_live_buffered(
+    store: &EpochStore,
+    program: &Program,
+    inputs: &[Value],
+) -> Result<(), TxFailure> {
+    struct BufferedLive<'a> {
+        store: &'a EpochStore,
+        buffer: HashMap<Key, Value>,
+    }
+    impl TxStore for BufferedLive<'_> {
+        fn get(&mut self, key: &Key) -> Option<Value> {
+            if let Some(v) = self.buffer.get(key) {
+                return Some(v.clone());
+            }
+            self.store.get_latest(key)
+        }
+        fn put(&mut self, key: &Key, value: Value) {
+            self.buffer.insert(key.clone(), value);
+        }
+    }
+    let mut view = BufferedLive { store, buffer: HashMap::new() };
+    let interp = Interpreter::new().without_input_validation();
+    interp.run(program, inputs, &mut view).map_err(TxFailure::Eval)?;
+    for (k, v) in view.buffer {
+        store.put(&k, v);
+    }
+    Ok(())
+}
+
 /// Executes a transaction inside an arbitrary [`AccessScope`] (used by the
 /// NODO baseline with table scopes).
 ///
@@ -406,6 +448,35 @@ mod tests {
         // Execution with a matching state commits.
         execute_reconnoitered(&store, &program, &[Value::Int(1)], &pred).unwrap();
         assert_eq!(store.get_latest(&k1(5)), Some(Value::Int(1)));
+    }
+
+    #[test]
+    fn live_buffered_commits_on_success() {
+        let store = EpochStore::new();
+        store.populate(vec![(k(1), Value::Int(5))]);
+        let program = dep_program();
+        execute_live_buffered(&store, &program, &[Value::Int(1)]).unwrap();
+        assert_eq!(store.get_latest(&k1(5)), Some(Value::Int(1)));
+    }
+
+    #[test]
+    fn live_buffered_abort_leaves_no_torn_writes() {
+        let store = EpochStore::new();
+        store.populate(vec![(k(1), Value::Int(0))]);
+        // Writes t1(7) first, then divides by the (zero) value of t0(1):
+        // the early write must not survive the abort.
+        let mut b = ProgramBuilder::new("buggy");
+        let t = b.table("t0");
+        let u = b.table("t1");
+        let v = b.var("v");
+        b.put(Expr::key(u, vec![Expr::lit(7)]), Expr::lit(1));
+        b.get(v, Expr::key(t, vec![Expr::lit(1)]));
+        b.put(Expr::key(u, vec![Expr::lit(8)]), Expr::lit(100).div(Expr::var(v)));
+        let program = b.build();
+        let err = execute_live_buffered(&store, &program, &[]).unwrap_err();
+        assert!(matches!(err, TxFailure::Eval(_)));
+        assert_eq!(store.get_latest(&k1(7)), None, "no torn write");
+        assert_eq!(store.get_latest(&k1(8)), None);
     }
 
     #[test]

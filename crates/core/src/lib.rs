@@ -45,14 +45,16 @@ pub mod baselines;
 pub mod catalog;
 pub mod engine;
 pub mod exec;
+pub mod faults;
 pub mod locktable;
 pub mod replica;
 
 pub use catalog::{Catalog, CatalogEntry, ProgId, TxRequest};
 pub use engine::{
-    BatchOutcome, Engine, FailedPolicy, Granularity, PrepareMode, SchedulerConfig,
+    BatchOutcome, Engine, FailedPolicy, Granularity, PrepareMode, SchedulerConfig, TxOutcome,
 };
 pub use exec::{AccessScope, ExecView, TxFailure};
+pub use faults::{AbortReason, ConsensusFault, FaultPlan};
 pub use locktable::{LockTable, LockTableBuilder, TxIdx};
 pub use replica::Replica;
 pub use prognosticator_symexec::TxClass;

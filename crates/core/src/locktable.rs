@@ -113,6 +113,11 @@ impl LockTable {
     /// Releases `tx`'s locks after it committed **or aborted**: advances
     /// each of its queues and publishes any successor that became ready.
     ///
+    /// The queues are advanced in the transaction's key-set order — a
+    /// fixed, replica-independent order — so an aborting transaction
+    /// (workload bug or injected worker panic) unblocks its successors
+    /// exactly as a committing one would, on every replica.
+    ///
     /// # Panics
     /// Panics (debug) if `tx` is not at the head of one of its queues —
     /// that would be a scheduling bug.

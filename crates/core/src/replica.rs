@@ -2,6 +2,7 @@
 
 use crate::catalog::{Catalog, TxRequest};
 use crate::engine::{BatchOutcome, Engine, SchedulerConfig};
+use crate::faults::FaultPlan;
 use prognosticator_storage::EpochStore;
 use std::sync::Arc;
 
@@ -62,8 +63,22 @@ impl Replica {
         self.store.state_digest()
     }
 
-    /// Stops the engine's worker pool.
+    /// Installs (or clears) a deterministic fault-injection plan on the
+    /// engine. Replicas fed the same batches under the same plan still
+    /// reach identical outcomes and digests.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.engine.set_fault_plan(plan);
+    }
+
+    /// Stops the engine's worker pool. Idempotent: repeated calls (and the
+    /// implicit call from `Drop`) are no-ops once the pool is joined.
     pub fn shutdown(&mut self) {
         self.engine.shutdown();
+    }
+}
+
+impl Drop for Replica {
+    fn drop(&mut self) {
+        self.shutdown();
     }
 }

@@ -1,8 +1,11 @@
 //! Fault handling and lifecycle edge cases of the engine: workload bugs
-//! must fail fast (no deadlocks), shutdown must always succeed, and
-//! history garbage collection must not disturb ongoing batches.
+//! must become deterministic per-transaction aborts (no panics, no
+//! deadlocks, no torn writes), shutdown must always succeed, and history
+//! garbage collection must not disturb ongoing batches.
 
-use prognosticator_core::{baselines, Catalog, Replica, TxRequest};
+use prognosticator_core::{
+    baselines, AbortReason, Catalog, FaultPlan, Replica, TxOutcome, TxRequest,
+};
 use prognosticator_storage::EpochStore;
 use prognosticator_txir::{Expr, InputBound, Key, ProgramBuilder, TableId, Value};
 use std::sync::Arc;
@@ -39,27 +42,105 @@ fn populated(value: i64) -> Arc<EpochStore> {
 }
 
 #[test]
-fn workload_bug_fails_fast_and_shutdown_still_works() {
+fn workload_bug_aborts_one_tx_and_batch_commits_the_rest() {
     let (catalog, bump, buggy) = counter_fixture();
     // Populate with zeros: `buggy` divides by zero.
     let store = populated(0);
-    let mut replica = Replica::with_store(baselines::mq_mf(2), catalog, store);
+    let mut replica =
+        Replica::with_store(baselines::mq_mf(2), catalog, Arc::clone(&store));
 
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        replica.execute_batch(vec![
-            TxRequest::new(bump, vec![Value::Int(1)]),
-            TxRequest::new(buggy, vec![Value::Int(2)]),
-        ]);
-    }));
-    assert!(result.is_err(), "workload bug must surface as a panic");
-    let msg = result
-        .unwrap_err()
-        .downcast_ref::<String>()
-        .cloned()
-        .unwrap_or_default();
-    assert!(msg.contains("workload bug") || msg.contains("buggy"), "got: {msg}");
+    let outcome = replica.execute_batch(vec![
+        TxRequest::new(bump, vec![Value::Int(1)]),
+        TxRequest::new(buggy, vec![Value::Int(2)]),
+        TxRequest::new(bump, vec![Value::Int(3)]),
+    ]);
+
+    // Healthy transactions commit; the buggy one is aborted, not fatal.
+    assert_eq!(outcome.committed, 2);
+    assert_eq!(outcome.aborted, 1);
+    assert_eq!(outcome.outcomes.len(), 3);
+    assert_eq!(outcome.outcomes[0], TxOutcome::Committed);
+    assert!(
+        matches!(
+            &outcome.outcomes[1],
+            TxOutcome::Aborted { reason: AbortReason::WorkloadBug(msg) } if msg.contains("buggy")
+        ),
+        "got: {:?}",
+        outcome.outcomes[1]
+    );
+    assert_eq!(outcome.outcomes[2], TxOutcome::Committed);
+
+    // The aborted transaction left no writes; the healthy ones did.
+    assert_eq!(store.get_latest(&Key::of_ints(TableId(0), &[1])), Some(Value::Int(1)));
+    assert_eq!(store.get_latest(&Key::of_ints(TableId(0), &[2])), Some(Value::Int(0)));
+    assert_eq!(store.get_latest(&Key::of_ints(TableId(0), &[3])), Some(Value::Int(1)));
+
+    // The engine is still healthy: subsequent batches execute normally.
+    let next = replica.execute_batch(vec![TxRequest::new(bump, vec![Value::Int(2)])]);
+    assert_eq!(next.committed, 1);
+    assert_eq!(next.aborted, 0);
 
     // The pool must not be deadlocked: shutdown joins all workers.
+    replica.shutdown();
+}
+
+#[test]
+fn workload_bug_aborts_across_all_policies() {
+    // The same buggy batch must produce the same abort verdict under
+    // every failed-transaction policy and prepare mode.
+    for config in [
+        baselines::mq_mf(3),
+        baselines::mq_sf(2),
+        baselines::calvin(2, 0),
+        baselines::nodo(2),
+    ] {
+        let (catalog, bump, buggy) = counter_fixture();
+        let store = populated(0);
+        let mut replica = Replica::with_store(config.clone(), catalog, store);
+        let outcome = replica.execute_batch(vec![
+            TxRequest::new(buggy, vec![Value::Int(0)]),
+            TxRequest::new(bump, vec![Value::Int(1)]),
+        ]);
+        assert_eq!(outcome.aborted, 1, "config: {config:?}");
+        assert!(
+            matches!(outcome.outcomes[0], TxOutcome::Aborted { .. }),
+            "config: {config:?}, got {:?}",
+            outcome.outcomes[0]
+        );
+        assert_eq!(outcome.outcomes[1], TxOutcome::Committed, "config: {config:?}");
+        replica.shutdown();
+    }
+}
+
+#[test]
+fn injected_worker_panic_becomes_deterministic_abort() {
+    let (catalog, bump, _) = counter_fixture();
+    let store = populated(1);
+    let mut replica =
+        Replica::with_store(baselines::mq_mf(2), catalog, Arc::clone(&store));
+    // A plan that always injects: every tx in the batch panics mid-worker.
+    replica.set_fault_plan(Some(FaultPlan::quiet(42).with_worker_panics(1000)));
+
+    let outcome = replica.execute_batch(vec![
+        TxRequest::new(bump, vec![Value::Int(0)]),
+        TxRequest::new(bump, vec![Value::Int(1)]),
+    ]);
+    assert_eq!(outcome.committed, 0);
+    assert_eq!(outcome.aborted, 2);
+    for o in &outcome.outcomes {
+        assert!(
+            matches!(o, TxOutcome::Aborted { reason: AbortReason::InjectedFault(_) }),
+            "got {o:?}"
+        );
+    }
+    // Injected panics left no writes.
+    assert_eq!(store.get_latest(&Key::of_ints(TableId(0), &[0])), Some(Value::Int(1)));
+
+    // Clearing the plan restores normal execution on the same engine.
+    replica.set_fault_plan(None);
+    let next = replica.execute_batch(vec![TxRequest::new(bump, vec![Value::Int(0)])]);
+    assert_eq!(next.committed, 1);
+    assert_eq!(store.get_latest(&Key::of_ints(TableId(0), &[0])), Some(Value::Int(2)));
     replica.shutdown();
 }
 

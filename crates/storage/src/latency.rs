@@ -7,6 +7,7 @@
 //! recreate that regime. Delays are busy-wait spins: `thread::sleep` cannot
 //! express sub-microsecond latencies accurately.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Per-access latency to inject. Zero (the default) disables injection.
@@ -37,6 +38,53 @@ impl LatencyConfig {
     /// Spins for the write latency (no-op when zero).
     pub fn charge_write(&self) {
         spin_for(self.write);
+    }
+}
+
+/// Interior-mutable latency configuration.
+///
+/// The fault-injection harness raises and lowers store latency while
+/// worker threads are mid-batch ("storage latency spikes"), so the store
+/// holds its latency behind atomics instead of a plain [`LatencyConfig`].
+/// Spikes perturb timing only — reads and writes still return the same
+/// values — so determinism across replicas is unaffected.
+#[derive(Debug, Default)]
+pub struct AtomicLatency {
+    read_ns: AtomicU64,
+    write_ns: AtomicU64,
+}
+
+impl AtomicLatency {
+    /// Starts at `config`.
+    pub fn new(config: LatencyConfig) -> Self {
+        let l = AtomicLatency::default();
+        l.set(config);
+        l
+    }
+
+    /// The current configuration.
+    pub fn get(&self) -> LatencyConfig {
+        LatencyConfig {
+            read: Duration::from_nanos(self.read_ns.load(Ordering::Acquire)),
+            write: Duration::from_nanos(self.write_ns.load(Ordering::Acquire)),
+        }
+    }
+
+    /// Replaces the configuration; concurrent accessors observe it on
+    /// their next charge.
+    pub fn set(&self, config: LatencyConfig) {
+        self.read_ns.store(config.read.as_nanos() as u64, Ordering::Release);
+        self.write_ns.store(config.write.as_nanos() as u64, Ordering::Release);
+    }
+
+    /// Spins for the current read latency (no-op when zero).
+    pub fn charge_read(&self) {
+        spin_for(Duration::from_nanos(self.read_ns.load(Ordering::Acquire)));
+    }
+
+    /// Spins for the current write latency (no-op when zero).
+    pub fn charge_write(&self) {
+        spin_for(Duration::from_nanos(self.write_ns.load(Ordering::Acquire)));
     }
 }
 
@@ -78,5 +126,23 @@ mod tests {
     fn symmetric_sets_both() {
         let c = LatencyConfig::symmetric(Duration::from_micros(5));
         assert_eq!(c.read, c.write);
+    }
+
+    #[test]
+    fn atomic_latency_swaps_config() {
+        let l = AtomicLatency::new(LatencyConfig::none());
+        assert_eq!(l.get(), LatencyConfig::none());
+        let spike = LatencyConfig::symmetric(Duration::from_micros(200));
+        l.set(spike);
+        assert_eq!(l.get(), spike);
+        let t = Instant::now();
+        l.charge_read();
+        assert!(t.elapsed() >= Duration::from_micros(200));
+        l.set(LatencyConfig::none());
+        let t = Instant::now();
+        for _ in 0..10_000 {
+            l.charge_write();
+        }
+        assert!(t.elapsed() < Duration::from_millis(50));
     }
 }

@@ -28,5 +28,5 @@ pub mod store;
 
 pub use chain::VersionChain;
 pub use hash::StableHasher;
-pub use latency::LatencyConfig;
+pub use latency::{AtomicLatency, LatencyConfig};
 pub use store::{EpochStore, LiveView, SnapshotView, DEFAULT_SHARDS};

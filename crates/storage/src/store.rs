@@ -2,7 +2,7 @@
 
 use crate::chain::VersionChain;
 use crate::hash::StableHasher;
-use crate::latency::LatencyConfig;
+use crate::latency::{AtomicLatency, LatencyConfig};
 use parking_lot::RwLock;
 use prognosticator_txir::{Key, TxStore, Value};
 use std::collections::HashMap;
@@ -34,7 +34,7 @@ pub const DEFAULT_SHARDS: usize = 64;
 pub struct EpochStore {
     shards: Vec<RwLock<HashMap<Key, VersionChain>>>,
     epoch: AtomicU64,
-    latency: LatencyConfig,
+    latency: AtomicLatency,
 }
 
 impl Default for EpochStore {
@@ -59,14 +59,26 @@ impl EpochStore {
         EpochStore {
             shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
             epoch: AtomicU64::new(1),
-            latency: LatencyConfig::default(),
+            latency: AtomicLatency::default(),
         }
     }
 
     /// Sets the injected per-access latency (builder style).
-    pub fn with_latency(mut self, latency: LatencyConfig) -> Self {
-        self.latency = latency;
+    pub fn with_latency(self, latency: LatencyConfig) -> Self {
+        self.latency.set(latency);
         self
+    }
+
+    /// The currently injected per-access latency.
+    pub fn latency(&self) -> LatencyConfig {
+        self.latency.get()
+    }
+
+    /// Replaces the injected per-access latency at runtime (the
+    /// fault-injection harness uses this for storage latency spikes).
+    /// Affects timing only; values read and written are unchanged.
+    pub fn set_latency(&self, latency: LatencyConfig) {
+        self.latency.set(latency);
     }
 
     fn shard(&self, key: &Key) -> &RwLock<HashMap<Key, VersionChain>> {

@@ -249,11 +249,11 @@ impl<'p> Ctx<'p> {
     }
 
     fn input_is_relevant(&self, i: usize) -> bool {
-        self.relevance.as_ref().map_or(true, |r| r.input_is_relevant(i))
+        self.relevance.as_ref().is_none_or(|r| r.input_is_relevant(i))
     }
 
     fn var_is_relevant(&self, v: VarId) -> bool {
-        self.relevance.as_ref().map_or(true, |r| r.var_is_relevant(v))
+        self.relevance.as_ref().is_none_or(|r| r.var_is_relevant(v))
     }
 
     fn check_budget(&self) -> Result<(), ExploreError> {
@@ -340,8 +340,9 @@ enum Step<'p> {
     Continue,
     /// The machine finished one execution path.
     Done,
-    /// The machine forked on `cond`.
-    Fork { cond: SymExpr, then_m: Machine<'p>, else_m: Machine<'p> },
+    /// The machine forked on `cond`. The machines are boxed so the
+    /// no-data `Continue`/`Done` steps (the common case) stay small.
+    Fork { cond: SymExpr, then_m: Box<Machine<'p>>, else_m: Box<Machine<'p>> },
 }
 
 /// Runs a machine to completion, returning the profile subtree below it.
@@ -372,8 +373,8 @@ fn run_inner<'p>(
                 ctx.stats.states_explored += 2;
                 // Depth-first: finish the then-subtree before the else one,
                 // so redundant siblings can be discarded immediately.
-                let then_tree = run(then_m, ctx)?;
-                let else_tree = run(else_m, ctx)?;
+                let then_tree = run(*then_m, ctx)?;
+                let else_tree = run(*else_m, ctx)?;
                 if ctx.config.merge && then_tree == else_tree {
                     ctx.stats.merged += 1;
                     return Ok(then_tree);
@@ -487,7 +488,7 @@ fn fork_on<'p>(
             });
             else_m.path = else_path;
             else_k(&mut else_m);
-            Ok(Step::Fork { cond, then_m, else_m })
+            Ok(Step::Fork { cond, then_m: Box::new(then_m), else_m: Box::new(else_m) })
         }
         (true, false) => {
             ctx.stats.pruned_infeasible += 1;
@@ -706,6 +707,9 @@ fn try_summarize<'p>(
     Ok(Some(()))
 }
 
+/// A converged trial outcome: (final variable state, reads, writes).
+type TrialState = (Vec<SymExpr>, Vec<RwsEntry>, Vec<RwsEntry>);
+
 /// Runs a trial machine for summarization; returns the final variable
 /// state and collected RWS if the body collapsed to a single leaf, `None`
 /// otherwise. Forks inside the trial are explored like normal states but
@@ -713,7 +717,7 @@ fn try_summarize<'p>(
 fn run_trial<'p>(
     machine: Machine<'p>,
     ctx: &mut Ctx<'p>,
-) -> Result<Option<(Vec<SymExpr>, Vec<RwsEntry>, Vec<RwsEntry>)>, ExploreError> {
+) -> Result<Option<TrialState>, ExploreError> {
     // Reuse the main engine: if the body's exploration yields a Leaf, the
     // iteration is uniform. We additionally need the final vars, which the
     // tree does not carry — so run a dedicated linear execution that fails
@@ -729,8 +733,8 @@ fn run_trial<'p>(
                 // to identical leaves *and* identical final vars; that is
                 // exactly "both sides do the same thing", so explore the
                 // then-side and compare with the else-side.
-                let t = run_trial(then_m, ctx)?;
-                let e = run_trial(else_m, ctx)?;
+                let t = run_trial(*then_m, ctx)?;
+                let e = run_trial(*else_m, ctx)?;
                 let _ = cond;
                 return match (t, e) {
                     (Some(a), Some(b)) if a == b => Ok(Some(a)),

@@ -78,7 +78,7 @@ impl Solver {
             // smart constructor would have normalized it) is contradictory
             // regardless of pivots.
             let neg = SymExpr::un(UnOp::Not, c.clone());
-            if constraints.iter().any(|other| *other == neg) {
+            if constraints.contains(&neg) {
                 return Sat::Unsat;
             }
             if self.is_enumerable(c) && seen.insert(c) {
@@ -241,11 +241,7 @@ impl Solver {
                     entry.1 = entry.1.min(target);
                 }
                 // `Ne` only refutes with a point domain; handled below.
-                BinOp::Ne => {
-                    if entry.0 == entry.1 && entry.0 == target {
-                        return true;
-                    }
-                }
+                BinOp::Ne if entry.0 == entry.1 && entry.0 == target => return true,
                 _ => {}
             }
             if entry.0 > entry.1 {
@@ -316,7 +312,7 @@ fn split_components<'e>(conjuncts: &[&'e SymExpr]) -> Vec<Vec<&'e SymExpr>> {
     };
     let var_sets: Vec<Vec<EnumVar>> = conjuncts.iter().map(|e| vars_of(e)).collect();
     let mut parent: Vec<usize> = (0..conjuncts.len()).collect();
-    fn find(parent: &mut Vec<usize>, mut i: usize) -> usize {
+    fn find(parent: &mut [usize], mut i: usize) -> usize {
         while parent[i] != i {
             parent[i] = parent[parent[i]];
             i = parent[i];
@@ -473,10 +469,10 @@ mod tests {
         let s = Solver::new(vec![int_input(0, 100)]);
         let a = SymExpr::bin(BinOp::Gt, x(), SymExpr::int(50));
         let b = SymExpr::bin(BinOp::Lt, x(), SymExpr::int(50));
-        assert_eq!(s.check(&[a.clone()]), Sat::Sat);
+        assert_eq!(s.check(std::slice::from_ref(&a)), Sat::Sat);
         assert_eq!(s.check(&[a.clone(), b.clone()]), Sat::Unsat);
         let c = SymExpr::bin(BinOp::Eq, x(), SymExpr::int(50));
-        assert_eq!(s.check(&[c.clone()]), Sat::Sat);
+        assert_eq!(s.check(std::slice::from_ref(&c)), Sat::Sat);
         assert_eq!(s.check(&[c, a]), Sat::Unsat);
     }
 
@@ -489,7 +485,7 @@ mod tests {
             SymExpr::int(3),
         );
         let np = SymExpr::un(UnOp::Not, p.clone());
-        assert_eq!(s.check(&[p.clone()]), Sat::Sat);
+        assert_eq!(s.check(std::slice::from_ref(&p)), Sat::Sat);
         assert_eq!(s.check(&[p, np]), Sat::Unsat);
     }
 
@@ -509,7 +505,7 @@ mod tests {
         let y = SymExpr::Input(1);
         // x + y == 18 is satisfiable only by (9, 9)
         let c = SymExpr::bin(BinOp::Eq, SymExpr::bin(BinOp::Add, x(), y.clone()), SymExpr::int(18));
-        assert_eq!(s.check(&[c.clone()]), Sat::Sat);
+        assert_eq!(s.check(std::slice::from_ref(&c)), Sat::Sat);
         // adding x < 9 refutes
         let d = SymExpr::bin(BinOp::Lt, x(), SymExpr::int(9));
         assert_eq!(s.check(&[c, d]), Sat::Unsat);

@@ -128,6 +128,11 @@ pub enum Expr {
     ListLen(Box<Expr>),
 }
 
+// The builder methods deliberately shadow the `std::ops` trait names:
+// `a.add(b)` reads as the arithmetic it encodes, and the operands are
+// always `Expr` (no generic Rhs), so the operator traits would only add
+// ceremony to every call site.
+#[allow(clippy::should_implement_trait)]
 impl Expr {
     /// Literal integer.
     pub fn lit(v: i64) -> Expr {

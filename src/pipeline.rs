@@ -9,8 +9,10 @@
 //! the committed log from the initial population, the standard
 //! deterministic-database recovery story.
 
-use prognosticator_consensus::{Batcher, NetConfig, RaftCluster, RaftTiming};
-use prognosticator_core::{Catalog, Replica, SchedulerConfig, TxRequest};
+use prognosticator_consensus::{
+    Batcher, NetConfig, Quarantine, Quarantined, RaftCluster, RaftTiming, RetryPolicy,
+};
+use prognosticator_core::{Catalog, ConsensusFault, FaultPlan, Replica, SchedulerConfig, TxRequest};
 use prognosticator_storage::EpochStore;
 use std::sync::Arc;
 use std::time::Duration;
@@ -34,6 +36,8 @@ pub struct PipelineConfig {
     pub seed: u64,
     /// How long to wait for consensus operations before giving up.
     pub consensus_timeout: Duration,
+    /// Bounded retry-with-backoff applied when a proposal times out.
+    pub retry: RetryPolicy,
 }
 
 impl Default for PipelineConfig {
@@ -47,6 +51,7 @@ impl Default for PipelineConfig {
             scheduler: prognosticator_core::baselines::mq_mf(4),
             seed: 0x5EED,
             consensus_timeout: Duration::from_secs(10),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -58,6 +63,12 @@ pub enum PipelineError {
     NoLeader,
     /// A batch failed to commit within the timeout.
     BatchTimedOut,
+    /// A batch exhausted its retry budget and was moved to the poison
+    /// quarantine; the pipeline itself remains usable.
+    BatchQuarantined {
+        /// How many proposal attempts were made before giving up.
+        attempts: usize,
+    },
     /// A replica fell behind and did not catch up within the timeout.
     ReplicaLagged {
         /// Which replica.
@@ -70,6 +81,9 @@ impl std::fmt::Display for PipelineError {
         match self {
             PipelineError::NoLeader => write!(f, "consensus did not elect a leader in time"),
             PipelineError::BatchTimedOut => write!(f, "batch did not commit within the timeout"),
+            PipelineError::BatchQuarantined { attempts } => {
+                write!(f, "batch quarantined after {attempts} failed proposal attempts")
+            }
             PipelineError::ReplicaLagged { replica } => {
                 write!(f, "replica {replica} did not catch up in time")
             }
@@ -96,6 +110,19 @@ pub struct Pipeline {
     replicas: Vec<ReplicaSlot>,
     batcher: Batcher<TxRequest>,
     proposed_batches: usize,
+    /// Poison batches that exhausted their retry budget.
+    quarantine: Quarantine<Vec<TxRequest>>,
+    /// Total proposal retries (attempts beyond the first) so far.
+    consensus_retries: usize,
+    /// Deterministic fault plan: installed on every replica, and consulted
+    /// for consensus-level disruptions before each proposal.
+    fault_plan: Option<FaultPlan>,
+}
+
+/// A consensus disruption currently applied to the simulated network.
+enum ActiveDisruption {
+    Isolated(usize),
+    Partitioned(usize, usize),
 }
 
 impl Pipeline {
@@ -128,6 +155,9 @@ impl Pipeline {
             replicas: Vec::new(),
             batcher,
             proposed_batches: 0,
+            quarantine: Quarantine::new(),
+            consensus_retries: 0,
+            fault_plan: None,
         };
         for _ in 0..replica_count {
             pipeline.add_replica();
@@ -149,8 +179,21 @@ impl Pipeline {
     /// replaying the whole committed log on the next [`Pipeline::sync`].
     pub fn add_replica(&mut self) -> usize {
         let node = self.replicas.len() % self.cluster.len();
-        self.replicas.push(ReplicaSlot { replica: self.fresh_replica(), consumed: 0, node });
+        let mut replica = self.fresh_replica();
+        replica.set_fault_plan(self.fault_plan.clone());
+        self.replicas.push(ReplicaSlot { replica, consumed: 0, node });
         self.replicas.len() - 1
+    }
+
+    /// Installs (or clears) a deterministic fault plan across the whole
+    /// pipeline: every replica's engine (worker panics, storage spikes)
+    /// and the proposal path (consensus-level disruptions). Replicas keep
+    /// agreeing on digests because fault verdicts are deterministic.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        for slot in &mut self.replicas {
+            slot.replica.set_fault_plan(plan.clone());
+        }
+        self.fault_plan = plan;
     }
 
     /// Number of replicas.
@@ -190,12 +233,99 @@ impl Pipeline {
         Ok(())
     }
 
+    /// Applies this batch's consensus disruption (if the fault plan calls
+    /// for one) to the simulated network, returning a handle to heal it.
+    fn apply_consensus_fault(&self) -> Option<ActiveDisruption> {
+        let fault = self
+            .fault_plan
+            .as_ref()
+            .and_then(|plan| plan.consensus_fault(self.proposed_batches as u64))?;
+        let n = self.cluster.len();
+        match fault {
+            ConsensusFault::IsolateLeader { heal_ms: _ } => {
+                let leader = self.cluster.leader()?;
+                self.cluster.net().isolate(leader);
+                Some(ActiveDisruption::Isolated(leader))
+            }
+            ConsensusFault::PartitionLink { a, b } => {
+                let (a, b) = (a % n, b % n);
+                if a == b {
+                    return None;
+                }
+                self.cluster.net().partition(a, b);
+                Some(ActiveDisruption::Partitioned(a, b))
+            }
+        }
+    }
+
+    fn heal(&self, disruption: &mut Option<ActiveDisruption>) {
+        match disruption.take() {
+            Some(ActiveDisruption::Isolated(node)) => self.cluster.net().reconnect(node),
+            Some(ActiveDisruption::Partitioned(a, b)) => self.cluster.net().heal(a, b),
+            None => {}
+        }
+    }
+
     fn propose(&mut self, batch: Vec<TxRequest>) -> Result<(), PipelineError> {
-        if !self.cluster.propose_until_committed(batch, self.config.consensus_timeout) {
-            return Err(PipelineError::BatchTimedOut);
+        // Inject this batch's consensus disruption, if any. A majority is
+        // always left intact, so the cluster can still make progress; the
+        // disruption is healed before the first retry (transient fault).
+        let mut disruption = self.apply_consensus_fault();
+        // One id for every attempt: leader-side dedup makes the retries
+        // idempotent, so an impatient client can never double-commit.
+        let id = self.cluster.begin_proposal();
+        let mut attempts = 0;
+        let committed = loop {
+            attempts += 1;
+            if self.cluster.propose_id_until_committed(
+                id,
+                &batch,
+                self.config.consensus_timeout,
+            ) {
+                break true;
+            }
+            if attempts >= self.config.retry.max_attempts {
+                break false;
+            }
+            self.consensus_retries += 1;
+            self.heal(&mut disruption);
+            std::thread::sleep(self.config.retry.backoff(attempts));
+        };
+        self.heal(&mut disruption);
+        if !committed {
+            // Even a "poison" batch may have been committed by a slow
+            // quorum after the last timeout — check once more before
+            // declaring it lost, since a quarantined-but-committed batch
+            // would desynchronize `proposed_batches` from the log.
+            if self.cluster.proposal_committed(id) {
+                self.proposed_batches += 1;
+                return Ok(());
+            }
+            self.quarantine.admit(
+                batch,
+                attempts,
+                format!("proposal did not commit after {attempts} attempts"),
+            );
+            return Err(PipelineError::BatchQuarantined { attempts });
         }
         self.proposed_batches += 1;
         Ok(())
+    }
+
+    /// Poison batches that exhausted their retries, oldest first.
+    pub fn quarantined(&self) -> &[Quarantined<Vec<TxRequest>>] {
+        self.quarantine.entries()
+    }
+
+    /// Removes and returns every quarantined batch (e.g. to resubmit its
+    /// transactions once the fault is fixed).
+    pub fn drain_quarantine(&mut self) -> Vec<Quarantined<Vec<TxRequest>>> {
+        self.quarantine.drain()
+    }
+
+    /// Total proposal retries (attempts beyond each proposal's first).
+    pub fn consensus_retries(&self) -> usize {
+        self.consensus_retries
     }
 
     /// Applies every newly committed batch to every replica (waiting for
@@ -335,6 +465,63 @@ mod tests {
         let d = p.digests();
         assert_eq!(d[0], before, "existing replica unchanged");
         assert_eq!(d[0], d[1], "recovered replica converges");
+        p.shutdown();
+    }
+
+    #[test]
+    fn consensus_fault_plan_retries_and_stays_consistent() {
+        let (catalog, bump) = counter_catalog();
+        let mut p =
+            Pipeline::new(catalog, small_config(), 2, populate()).expect("boots");
+        // Every batch takes a consensus-level disruption (leader isolated
+        // or a link cut); bounded retry must ride through all of them.
+        p.set_fault_plan(Some(FaultPlan::quiet(5).with_consensus_faults(1000)));
+        for i in 0..24 {
+            p.submit(TxRequest::new(bump, vec![Value::Int(i % 16)]))
+                .expect("submits despite disruptions");
+        }
+        p.flush().expect("flushes");
+        p.sync().expect("syncs");
+        assert_eq!(p.committed_batches(), 3);
+        assert!(p.quarantined().is_empty(), "no batch was lost");
+        let d = p.digests();
+        assert_eq!(d[0], d[1], "replicas agree under consensus faults");
+        p.shutdown();
+    }
+
+    #[test]
+    fn unreachable_quorum_quarantines_poison_batch() {
+        let (catalog, bump) = counter_catalog();
+        let config = PipelineConfig {
+            consensus_timeout: Duration::from_millis(150),
+            retry: RetryPolicy {
+                max_attempts: 2,
+                initial_backoff: Duration::from_millis(5),
+                max_backoff: Duration::from_millis(10),
+            },
+            ..small_config()
+        };
+        let mut p = Pipeline::new(catalog, config, 1, populate()).expect("boots");
+        // Cut every link: no quorum can form, so nothing can commit.
+        let n = p.cluster().len();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                p.cluster().net().partition(a, b);
+            }
+        }
+        let err = (0..8)
+            .map(|i| p.submit(TxRequest::new(bump, vec![Value::Int(i)])))
+            .find_map(Result::err);
+        assert_eq!(err, Some(PipelineError::BatchQuarantined { attempts: 2 }));
+        assert_eq!(p.consensus_retries(), 1, "one retry before quarantining");
+        assert_eq!(p.committed_batches(), 0);
+        assert_eq!(p.quarantined().len(), 1);
+        assert_eq!(p.quarantined()[0].payload.len(), 8, "poison batch preserved");
+        // Draining hands the poison batch back for later resubmission.
+        let drained = p.drain_quarantine();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].attempts, 2);
+        assert!(p.quarantined().is_empty());
         p.shutdown();
     }
 

@@ -3,7 +3,7 @@
 //! scheduling policies are order-equivalent.
 
 use prognosticator::core::baselines::{self, SeqEngine};
-use prognosticator::core::{Catalog, Replica, SchedulerConfig};
+use prognosticator::core::{Catalog, FaultPlan, Replica, SchedulerConfig};
 use prognosticator::storage::EpochStore;
 use prognosticator::workloads::{
     DeterministicRng, RubisConfig, RubisWorkload, TpccConfig, TpccWorkload,
@@ -58,6 +58,7 @@ fn simulator_matches_threaded_engine_on_tpcc() {
             let eo = engine.execute_batch(batch.clone());
             let so = sim.execute_batch(batch);
             assert_eq!(eo.committed, so.committed, "commits, batch {batch_no}: {label}");
+            assert_eq!(eo.outcomes, so.outcomes, "outcomes, batch {batch_no}: {label}");
             assert_eq!(
                 engine.state_digest(),
                 sim.state_digest(),
@@ -94,12 +95,56 @@ fn simulator_matches_threaded_engine_on_rubis() {
                 so.carried_over.len(),
                 "carry-over, batch {batch_no}: {label}"
             );
+            assert_eq!(eo.outcomes, so.outcomes, "outcomes, batch {batch_no}: {label}");
             assert_eq!(
                 engine.state_digest(),
                 sim.state_digest(),
                 "digest divergence at batch {batch_no}: {label}"
             );
         }
+        engine.shutdown();
+    }
+}
+
+/// Under an active fault plan the simulator must still mirror the threaded
+/// engine transaction-for-transaction: identical per-transaction verdicts
+/// (including injected-fault aborts), abort counts, and state digests.
+#[test]
+fn simulator_matches_threaded_engine_under_faults() {
+    let (catalog, workload) = tpcc();
+    for config in [baselines::mq_mf(3), baselines::mq_sf(2)] {
+        let label = format!("{config:?}");
+        let engine_store = fresh_store(|s| workload.populate(s));
+        let sim_store = fresh_store(|s| workload.populate(s));
+        let mut engine =
+            Replica::with_store(config.clone(), Arc::clone(&catalog), engine_store);
+        let mut sim = SimReplica::new(
+            config,
+            CostModel::default(),
+            Arc::clone(&catalog),
+            sim_store,
+        );
+        // ~15% of transactions hit an injected worker panic.
+        let plan = FaultPlan::quiet(17).with_worker_panics(150);
+        engine.set_fault_plan(Some(plan.clone()));
+        sim.set_fault_plan(Some(plan));
+        let mut rng = DeterministicRng::new(9);
+        let mut total_aborted = 0usize;
+        for batch_no in 0..6 {
+            let batch = workload.gen_batch(&mut rng, 24);
+            let eo = engine.execute_batch(batch.clone());
+            let so = sim.execute_batch(batch);
+            assert_eq!(eo.committed, so.committed, "commits, batch {batch_no}: {label}");
+            assert_eq!(eo.aborted, so.aborted, "aborts, batch {batch_no}: {label}");
+            assert_eq!(eo.outcomes, so.outcomes, "outcomes, batch {batch_no}: {label}");
+            assert_eq!(
+                engine.state_digest(),
+                sim.state_digest(),
+                "digest divergence at batch {batch_no}: {label}"
+            );
+            total_aborted += eo.aborted;
+        }
+        assert!(total_aborted > 0, "the fault plan fired at least once: {label}");
         engine.shutdown();
     }
 }

@@ -1,0 +1,149 @@
+//! Offline shim for `crossbeam`: the concurrent queue and backoff helper
+//! this workspace uses. `SegQueue` is a mutex-protected `VecDeque` — the
+//! engine only needs its MPMC FIFO semantics, not its lock-free throughput.
+
+/// Concurrent queues.
+pub mod queue {
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+    use std::sync::PoisonError;
+
+    /// An unbounded MPMC FIFO queue (shim: mutexed `VecDeque`).
+    #[derive(Debug, Default)]
+    pub struct SegQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> SegQueue<T> {
+        /// Creates an empty queue.
+        pub fn new() -> Self {
+            SegQueue {
+                inner: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Appends `value` at the tail.
+        pub fn push(&self, value: T) {
+            self.lock().push_back(value);
+        }
+
+        /// Removes the head element, if any.
+        pub fn pop(&self) -> Option<T> {
+            self.lock().pop_front()
+        }
+
+        /// Number of queued elements.
+        pub fn len(&self) -> usize {
+            self.lock().len()
+        }
+
+        /// Whether the queue is empty.
+        pub fn is_empty(&self) -> bool {
+            self.lock().is_empty()
+        }
+
+        fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+            self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+}
+
+/// Synchronization utilities.
+pub mod utils {
+    use std::cell::Cell;
+
+    const SPIN_LIMIT: u32 = 6;
+    const YIELD_LIMIT: u32 = 10;
+
+    /// Exponential backoff for spin loops, mirroring `crossbeam::utils::Backoff`.
+    #[derive(Debug, Default)]
+    pub struct Backoff {
+        step: Cell<u32>,
+    }
+
+    impl Backoff {
+        /// Creates a fresh backoff.
+        pub fn new() -> Self {
+            Backoff { step: Cell::new(0) }
+        }
+
+        /// Resets to the initial (busiest) state.
+        pub fn reset(&self) {
+            self.step.set(0);
+        }
+
+        /// Backs off in a lock-free-retry loop: spins, escalating.
+        pub fn spin(&self) {
+            let step = self.step.get().min(SPIN_LIMIT);
+            for _ in 0..(1u32 << step) {
+                std::hint::spin_loop();
+            }
+            if self.step.get() <= SPIN_LIMIT {
+                self.step.set(self.step.get() + 1);
+            }
+        }
+
+        /// Backs off in a blocking-wait loop: spins, then yields the thread.
+        pub fn snooze(&self) {
+            let step = self.step.get();
+            if step <= SPIN_LIMIT {
+                for _ in 0..(1u32 << step) {
+                    std::hint::spin_loop();
+                }
+            } else {
+                std::thread::yield_now();
+            }
+            if step <= YIELD_LIMIT {
+                self.step.set(step + 1);
+            }
+        }
+
+        /// Whether backoff has escalated past spinning (caller should block).
+        pub fn is_completed(&self) -> bool {
+            self.step.get() > YIELD_LIMIT
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::queue::SegQueue;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order() {
+        let q = SegQueue::new();
+        for i in 0..10 {
+            q.push(i);
+        }
+        for i in 0..10 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn concurrent_drain_sees_every_element() {
+        let q = Arc::new(SegQueue::new());
+        for i in 0..1000u32 {
+            q.push(i);
+        }
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let q = Arc::clone(&q);
+            handles.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(v) = q.pop() {
+                    got.push(v);
+                }
+                got
+            }));
+        }
+        let mut all: Vec<u32> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..1000).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,71 @@
+//! `any::<T>()` support for the primitive types the tests use.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::fmt::Debug;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized + Debug {
+    /// The strategy `any::<Self>()` returns.
+    type Strategy: Strategy<Value = Self>;
+    /// Builds the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Canonical strategy for `A`: uniform over its whole domain.
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+/// Uniform strategy over all values of a primitive type.
+#[derive(Debug, Clone, Copy)]
+pub struct PrimitiveAny<T>(std::marker::PhantomData<T>);
+
+macro_rules! impl_primitive_any {
+    ($($t:ty),*) => {$(
+        impl Strategy for PrimitiveAny<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = PrimitiveAny<$t>;
+            fn arbitrary() -> Self::Strategy {
+                PrimitiveAny(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+impl_primitive_any!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for PrimitiveAny<bool> {
+    type Value = bool;
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = PrimitiveAny<bool>;
+    fn arbitrary() -> Self::Strategy {
+        PrimitiveAny(std::marker::PhantomData)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::any;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn bool_takes_both_values() {
+        let mut rng = TestRng::from_seed(11);
+        let s = any::<bool>();
+        let vals: Vec<bool> = (0..64).map(|_| s.sample(&mut rng)).collect();
+        assert!(vals.iter().any(|v| *v));
+        assert!(vals.iter().any(|v| !*v));
+    }
+}

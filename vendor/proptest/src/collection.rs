@@ -1,0 +1,122 @@
+//! Collection strategies (`prop::collection::{vec, btree_set}`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::BTreeSet;
+use std::ops::{Range, RangeInclusive};
+
+/// Size bound for generated collections (half-open).
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl SizeRange {
+    fn sample_len(&self, rng: &mut TestRng) -> usize {
+        if self.hi <= self.lo + 1 {
+            self.lo
+        } else {
+            self.lo + rng.below((self.hi - self.lo) as u64) as usize
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange { lo: r.start, hi: r.end }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange { lo: *r.start(), hi: *r.end() + 1 }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+/// See [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        let len = self.size.sample_len(rng);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Strategy for `BTreeSet<S::Value>` with a target size drawn from `size`.
+/// Duplicates collapse, so the result may be smaller than the target when
+/// the element domain is narrow.
+pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy { element, size: size.into() }
+}
+
+/// See [`btree_set`].
+#[derive(Debug, Clone)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        let target = self.size.sample_len(rng);
+        let mut set = BTreeSet::new();
+        let mut attempts = 0usize;
+        while set.len() < target && attempts < target * 8 + 16 {
+            set.insert(self.element.sample(rng));
+            attempts += 1;
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_length_in_range() {
+        let mut rng = TestRng::from_seed(7);
+        let s = vec(0..5i64, 2..6);
+        for _ in 0..100 {
+            let v = s.sample(&mut rng);
+            assert!((2..6).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn btree_set_bounded() {
+        let mut rng = TestRng::from_seed(8);
+        let s = btree_set(0..12i64, 0..5);
+        for _ in 0..100 {
+            assert!(s.sample(&mut rng).len() < 5);
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline shim for `serde`. The workspace uses serde only for
+//! `#[derive(Serialize, Deserialize)]` markers — every wire/storage codec in
+//! the repo is hand-rolled (see `crates/symexec/src/codec.rs`). The traits
+//! are therefore empty markers with blanket impls, and the derives (from the
+//! sibling `serde_derive` shim) expand to nothing.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented.
+pub trait Deserialize {}
+impl<T: ?Sized> Deserialize for T {}
