@@ -36,7 +36,7 @@ use crate::exec::{
     execute_update, reconnoiter, AccessScope, TxFailure,
 };
 use crate::faults::{AbortReason, FaultPlan};
-use crate::locktable::{LockTable, LockTableBuilder, TxIdx};
+use crate::locktable::{FifoPolicy, LockTable, LockTableBuilder, ReadyPolicy, TxIdx};
 use crossbeam::queue::SegQueue;
 use crossbeam::utils::Backoff;
 use parking_lot::{Condvar, Mutex, RwLock};
@@ -105,6 +105,11 @@ pub struct SchedulerConfig {
     /// this many epochs (must exceed `prepare_staleness`; snapshots older
     /// than the kept window become unreadable). `None` keeps everything.
     pub gc_keep_epochs: Option<u64>,
+    /// How workers pick among ready (mutually non-conflicting)
+    /// transactions. The default FIFO policy is the production setting;
+    /// the testkit's schedule-exploration fuzzer swaps in seeded shuffles
+    /// to assert outcomes are schedule-independent.
+    pub ready_policy: Arc<dyn ReadyPolicy>,
 }
 
 impl Default for SchedulerConfig {
@@ -118,6 +123,7 @@ impl Default for SchedulerConfig {
             prepare_staleness: 0,
             max_rounds: 64,
             gc_keep_epochs: None,
+            ready_policy: Arc::new(FifoPolicy),
         }
     }
 }
@@ -244,6 +250,8 @@ struct BatchWork {
     /// This batch's index in the replica's lifetime (the fault plan's
     /// batch coordinate).
     batch_index: u64,
+    /// Ready-transaction selection policy for the update phase.
+    ready_policy: Arc<dyn ReadyPolicy>,
     /// Set when a thread panics *outside* any per-transaction scope (an
     /// engine bug or a catalog/profile mismatch — not attributable to one
     /// transaction); the batch is wound down through the normal barrier
@@ -437,6 +445,7 @@ impl Engine {
             prepare_count: AtomicU64::new(0),
             fault_plan: self.fault_plan.clone(),
             batch_index,
+            ready_policy: Arc::clone(&self.config.ready_policy),
             fatal: AtomicBool::new(false),
             fatal_msg: Mutex::new(None),
         });
@@ -897,7 +906,7 @@ fn worker_loop(worker_id: usize, shared: &Shared, store: &EpochStore) {
                     {
                         break;
                     }
-                    match table.pop_ready() {
+                    match table.pop_ready_with(work.ready_policy.as_ref()) {
                         Some(i) => {
                             backoff.reset();
                             execute_update_slot(&work, i, store);

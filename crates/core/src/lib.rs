@@ -55,6 +55,8 @@ pub use engine::{
 };
 pub use exec::{AccessScope, ExecView, TxFailure};
 pub use faults::{AbortReason, ConsensusFault, FaultPlan};
-pub use locktable::{LockTable, LockTableBuilder, TxIdx};
+pub use locktable::{
+    FifoPolicy, LockTable, LockTableBuilder, ReadyPolicy, SeededShufflePolicy, TxIdx,
+};
 pub use replica::Replica;
 pub use prognosticator_symexec::TxClass;

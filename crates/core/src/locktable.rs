@@ -14,10 +14,82 @@
 use crossbeam::queue::SegQueue;
 use prognosticator_txir::Key;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 
 /// Index of a transaction within the current scheduling round.
 pub type TxIdx = u32;
+
+/// Pluggable selection among currently-ready transactions — the schedule-
+/// exploration seam used by the testkit's fuzzer.
+///
+/// All transactions in the ready queue are mutually non-conflicting, so
+/// *any* pick order is a legal schedule: the engine's determinism claim is
+/// precisely that every pick order yields the same outcome vector and
+/// store state. A policy only reorders consumption; it never invents or
+/// drops transactions. The production default is [`FifoPolicy`].
+pub trait ReadyPolicy: Send + Sync + std::fmt::Debug {
+    /// How many ready candidates to consider per pick. `1` degenerates to
+    /// plain FIFO with no extra queue traffic.
+    fn window(&self) -> usize {
+        1
+    }
+
+    /// Chooses one of `candidates` (guaranteed non-empty, at most
+    /// [`ReadyPolicy::window`] long), returning its index into the slice.
+    fn choose(&self, candidates: &[TxIdx]) -> usize;
+}
+
+/// Production policy: strict FIFO consumption of the ready queue.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FifoPolicy;
+
+impl ReadyPolicy for FifoPolicy {
+    fn choose(&self, _candidates: &[TxIdx]) -> usize {
+        0
+    }
+}
+
+/// Fuzzing policy: picks pseudo-randomly within a window of ready
+/// transactions, driven by a seed and a per-pick counter (SplitMix64).
+///
+/// Different seeds explore different legal schedules; the same seed does
+/// *not* replay the same global schedule (the window contents depend on
+/// worker timing) — the point is adversarial perturbation, with the
+/// determinism oracle asserting the outcome is schedule-independent.
+#[derive(Debug)]
+pub struct SeededShufflePolicy {
+    seed: u64,
+    counter: AtomicU64,
+    window: usize,
+}
+
+impl SeededShufflePolicy {
+    /// A shuffling policy drawing from windows of up to `window` ready
+    /// transactions.
+    pub fn new(seed: u64, window: usize) -> Self {
+        SeededShufflePolicy { seed, counter: AtomicU64::new(0), window: window.max(1) }
+    }
+
+    /// The policy's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+impl ReadyPolicy for SeededShufflePolicy {
+    fn window(&self) -> usize {
+        self.window
+    }
+
+    fn choose(&self, candidates: &[TxIdx]) -> usize {
+        let n = self.counter.fetch_add(1, Ordering::Relaxed);
+        let mut z = self.seed.wrapping_add(n.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z % candidates.len() as u64) as usize
+    }
+}
 
 /// Build-phase lock table: single-threaded, mutable.
 #[derive(Debug, Default)]
@@ -81,7 +153,11 @@ impl LockTableBuilder {
                 ready.push(tx as TxIdx);
             }
         }
-        LockTable { queues, remaining, keysets, ready }
+        let mut released = Vec::with_capacity(max_tx);
+        for _ in 0..max_tx {
+            released.push(AtomicBool::new(false));
+        }
+        LockTable { queues, remaining, keysets, ready, released }
     }
 }
 
@@ -101,6 +177,10 @@ pub struct LockTable {
     remaining: Vec<AtomicU32>,
     keysets: Vec<Vec<Key>>,
     ready: SegQueue<TxIdx>,
+    /// Per-transaction release flag guarding against double release (a
+    /// double release would advance queue cursors past unfinished
+    /// successors and corrupt their `remaining` counts).
+    released: Vec<AtomicBool>,
 }
 
 impl LockTable {
@@ -108,6 +188,34 @@ impl LockTable {
     /// non-conflicting and safe to execute concurrently.
     pub fn pop_ready(&self) -> Option<TxIdx> {
         self.ready.pop()
+    }
+
+    /// Pops a ready transaction chosen by `policy` — the schedule-
+    /// exploration seam. Up to `policy.window()` ready transactions are
+    /// drained, one is chosen, and the rest are re-queued; this is safe
+    /// because every ready transaction is non-conflicting with every
+    /// other, so consumption order is unconstrained.
+    pub fn pop_ready_with(&self, policy: &dyn ReadyPolicy) -> Option<TxIdx> {
+        let window = policy.window().max(1);
+        if window == 1 {
+            return self.ready.pop();
+        }
+        let mut candidates = Vec::with_capacity(window);
+        while candidates.len() < window {
+            match self.ready.pop() {
+                Some(tx) => candidates.push(tx),
+                None => break,
+            }
+        }
+        if candidates.is_empty() {
+            return None;
+        }
+        let pick = policy.choose(&candidates).min(candidates.len() - 1);
+        let chosen = candidates.swap_remove(pick);
+        for tx in candidates {
+            self.ready.push(tx);
+        }
+        Some(chosen)
     }
 
     /// Releases `tx`'s locks after it committed **or aborted**: advances
@@ -119,9 +227,16 @@ impl LockTable {
     /// exactly as a committing one would, on every replica.
     ///
     /// # Panics
-    /// Panics (debug) if `tx` is not at the head of one of its queues —
-    /// that would be a scheduling bug.
+    /// Panics (debug) if `tx` was already released — a double release
+    /// would silently corrupt successors' lock counts — or if `tx` is not
+    /// at the head of one of its queues. In release builds a double
+    /// release is ignored instead of corrupting the schedule.
     pub fn release(&self, tx: TxIdx) {
+        let was_released = self.released[tx as usize].swap(true, Ordering::AcqRel);
+        debug_assert!(!was_released, "double release of tx {tx}");
+        if was_released {
+            return;
+        }
         for key in &self.keysets[tx as usize] {
             let q = self.queues.get(key).expect("key was enqueued");
             let cur = q.cursor.load(Ordering::Acquire);
@@ -226,6 +341,102 @@ mod tests {
         // tx0 aborts — release still advances the queue.
         t.release(0);
         assert_eq!(drain_ready(&t), vec![1]);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "double release")]
+    fn double_release_panics_in_debug() {
+        let mut b = LockTableBuilder::new();
+        b.enqueue(0, vec![k(1)]);
+        b.enqueue(1, vec![k(1)]);
+        let t = b.freeze(2);
+        t.release(0);
+        t.release(0);
+    }
+
+    #[test]
+    fn double_release_does_not_corrupt_counts() {
+        // Regression: a second release of tx0 used to advance k(1)'s
+        // cursor again, decrementing tx2's count while tx1 still held the
+        // key — tx1 and tx2 would then run concurrently on one key.
+        let mut b = LockTableBuilder::new();
+        b.enqueue(0, vec![k(1)]);
+        b.enqueue(1, vec![k(1)]);
+        b.enqueue(2, vec![k(1)]);
+        let t = b.freeze(3);
+        assert_eq!(drain_ready(&t), vec![0]);
+        t.release(0);
+        let second = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| t.release(0)));
+        if cfg!(debug_assertions) {
+            second.expect_err("double release asserts in debug builds");
+        } else {
+            second.expect("double release is ignored in release builds");
+        }
+        // Only tx1 may be ready; tx2 still waits behind it.
+        assert_eq!(drain_ready(&t), vec![1]);
+        t.release(1);
+        assert_eq!(drain_ready(&t), vec![2]);
+    }
+
+    #[test]
+    fn fifo_policy_matches_pop_ready() {
+        let mut b = LockTableBuilder::new();
+        for i in 0..4 {
+            b.enqueue(i, vec![k(i64::from(i))]);
+        }
+        let t = b.freeze(4);
+        let mut seen = Vec::new();
+        while let Some(x) = t.pop_ready_with(&FifoPolicy) {
+            seen.push(x);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn shuffle_policy_loses_no_transactions() {
+        let policy = SeededShufflePolicy::new(42, 3);
+        let mut b = LockTableBuilder::new();
+        for i in 0..16 {
+            b.enqueue(i, vec![k(i64::from(i))]);
+        }
+        let t = b.freeze(16);
+        let mut seen = Vec::new();
+        while let Some(x) = t.pop_ready_with(&policy) {
+            seen.push(x);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffle_policy_respects_conflicts() {
+        // A chain on one key stays serialized no matter the policy: the
+        // ready queue never holds two conflicting transactions at once.
+        let policy = SeededShufflePolicy::new(7, 4);
+        let mut b = LockTableBuilder::new();
+        for i in 0..5 {
+            b.enqueue(i, vec![k(9)]);
+        }
+        let t = b.freeze(5);
+        for expect in 0..5 {
+            let got = t.pop_ready_with(&policy).expect("head is ready");
+            assert_eq!(got, expect);
+            assert_eq!(t.pop_ready_with(&policy), None);
+            t.release(expect);
+        }
+    }
+
+    #[test]
+    fn seeds_produce_distinct_choices() {
+        let a = SeededShufflePolicy::new(1, 8);
+        let b = SeededShufflePolicy::new(2, 8);
+        let candidates: Vec<TxIdx> = (0..8).collect();
+        let picks = |p: &SeededShufflePolicy| -> Vec<usize> {
+            (0..64).map(|_| p.choose(&candidates)).collect()
+        };
+        assert_ne!(picks(&a), picks(&b));
     }
 
     #[test]

@@ -422,4 +422,156 @@ mod tests {
         assert!(format!("{p}").contains("ROT"));
         assert!(p.approx_size() > 0);
     }
+
+    #[test]
+    fn empty_input_program_predicts_constant_keys() {
+        // A program with no inputs at all: every key template is constant,
+        // so prediction from an empty input slice must succeed and be
+        // exact on every call.
+        let p = Profile::new(
+            "noinput".into(),
+            leaf(
+                vec![single(0, SymExpr::int(3))],
+                vec![single(1, SymExpr::int(4))],
+            ),
+            vec![],
+        );
+        let pred = p.predict_direct(&[]).unwrap();
+        assert_eq!(pred.reads, vec![Key::of_ints(TableId(0), &[3])]);
+        assert_eq!(pred.writes, vec![Key::of_ints(TableId(1), &[4])]);
+        assert_eq!(pred.key_set().len(), 2);
+        assert!(!pred.is_dependent());
+    }
+
+    #[test]
+    fn empty_rws_program_predicts_nothing() {
+        // Degenerate but legal: a program that touches no data at all.
+        // The prediction must be empty — and classified read-only, since
+        // there is nothing to write.
+        let p = Profile::new("nop".into(), leaf(vec![], vec![]), vec![]);
+        assert_eq!(p.class(), TxClass::ReadOnly);
+        let pred = p.predict_direct(&[Value::Int(1), Value::Int(2)]).unwrap();
+        assert!(pred.reads.is_empty());
+        assert!(pred.writes.is_empty());
+        assert!(pred.key_set().is_empty());
+    }
+
+    #[test]
+    fn pivot_condition_at_max_depth_resolves_or_demands_store() {
+        // Build a comb of depth 6 whose five outer conditions are pure
+        // input predicates and whose *deepest* branch consults a pivot.
+        // The pivot must only force NeedsStore when the walk actually
+        // reaches it; shallower paths stay client-side predictable.
+        let piv = KeyTemplate::new(TableId(9), vec![SymExpr::int(0)]);
+        let mut node = ProfileNode::Branch {
+            cond: SymExpr::bin(
+                BinOp::Gt,
+                SymExpr::Field(Box::new(SymExpr::Pivot(PivotId(0))), 0),
+                SymExpr::int(0),
+            ),
+            then: Box::new(leaf(vec![], vec![single(7, SymExpr::Input(0))])),
+            els: Box::new(leaf(vec![], vec![single(8, SymExpr::Input(0))])),
+        };
+        for level in (1..6u16).rev() {
+            node = ProfileNode::Branch {
+                cond: SymExpr::bin(
+                    BinOp::Gt,
+                    SymExpr::Input(0),
+                    SymExpr::int(i64::from(level)),
+                ),
+                then: Box::new(leaf(vec![], vec![single(level, SymExpr::Input(0))])),
+                els: Box::new(node),
+            };
+        }
+        let p = Profile::new("deep".into(), node, vec![piv]);
+        assert_eq!(p.depth(), 6);
+        assert_eq!(p.class(), TxClass::Dependent);
+
+        // Input 9 exits at depth 1 without ever consulting the pivot.
+        let pred = p.predict_direct(&[Value::Int(9)]).unwrap();
+        assert_eq!(pred.writes, vec![Key::of_ints(TableId(1), &[9])]);
+        assert!(!pred.is_dependent());
+
+        // Input 0 falls through every level to the pivot condition.
+        assert_eq!(p.predict_direct(&[Value::Int(0)]).unwrap_err(), PredictError::NeedsStore);
+        let mut resolver = |_: &Key| Value::record(vec![Value::Int(1)]);
+        let pred = p.predict(&[Value::Int(0)], Some(&mut resolver)).unwrap();
+        assert_eq!(pred.writes, vec![Key::of_ints(TableId(7), &[0])]);
+        assert_eq!(pred.pivot_observations.len(), 1, "the consulted pivot is recorded");
+        assert!(pred.is_dependent());
+    }
+
+    #[test]
+    fn indirect_key_templates_expand_to_pivot_directed_keys() {
+        // An indirect template: the write key's partition column is a
+        // pivot field plus an input offset. The instantiated key must
+        // follow whatever the resolver reports, and each pivot is read
+        // exactly once (cached across template positions).
+        let piv = KeyTemplate::new(TableId(0), vec![SymExpr::Input(0)]);
+        let indirect = SymExpr::bin(
+            BinOp::Add,
+            SymExpr::Field(Box::new(SymExpr::Pivot(PivotId(0))), 0),
+            SymExpr::Input(1),
+        );
+        let root = leaf(
+            vec![single(2, indirect.clone())],
+            vec![single(3, indirect)],
+        );
+        let p = Profile::new("indirect".into(), root, vec![piv]);
+        assert_eq!(p.class(), TxClass::Dependent);
+        assert_eq!(p.indirect_keys(), 1);
+        assert_eq!(p.max_indirect_entries(), 2);
+
+        let mut reads = 0;
+        let mut resolver = |k: &Key| {
+            reads += 1;
+            assert_eq!(k, &Key::of_ints(TableId(0), &[5]));
+            Value::record(vec![Value::Int(40)])
+        };
+        let pred = p.predict(&[Value::Int(5), Value::Int(2)], Some(&mut resolver)).unwrap();
+        assert_eq!(pred.reads, vec![Key::of_ints(TableId(2), &[42])]);
+        assert_eq!(pred.writes, vec![Key::of_ints(TableId(3), &[42])]);
+        assert_eq!(reads, 1, "pivot resolved once, then cached");
+    }
+
+    #[test]
+    fn range_templates_expand_with_pivot_bounds() {
+        // A summarized loop whose exclusive upper bound comes from a pivot
+        // (TPC-C delivery shape): the expansion must cover exactly
+        // [0, pivot) and stay empty when the pivot reports zero.
+        let piv = KeyTemplate::new(TableId(0), vec![SymExpr::int(0)]);
+        let body = RwsEntry::Single(KeyTemplate::new(
+            TableId(4),
+            vec![
+                SymExpr::Input(0),
+                SymExpr::bin(
+                    BinOp::Add,
+                    SymExpr::LoopVar(crate::sym::LoopVarId(0)),
+                    SymExpr::int(10),
+                ),
+            ],
+        ));
+        let root = leaf(
+            vec![],
+            vec![RwsEntry::Range {
+                loop_var: crate::sym::LoopVarId(0),
+                from: SymExpr::int(0),
+                to: SymExpr::Field(Box::new(SymExpr::Pivot(PivotId(0))), 0),
+                entries: vec![body],
+            }],
+        );
+        let p = Profile::new("ranged".into(), root, vec![piv]);
+        assert_eq!(p.class(), TxClass::Dependent);
+
+        let mut resolver = |_: &Key| Value::record(vec![Value::Int(3)]);
+        let pred = p.predict(&[Value::Int(7)], Some(&mut resolver)).unwrap();
+        let expect: Vec<Key> =
+            (0..3).map(|i| Key::of_ints(TableId(4), &[7, 10 + i])).collect();
+        assert_eq!(pred.writes, expect);
+
+        let mut empty = |_: &Key| Value::record(vec![Value::Int(0)]);
+        let pred = p.predict(&[Value::Int(7)], Some(&mut empty)).unwrap();
+        assert!(pred.writes.is_empty(), "zero-length range expands to nothing");
+        assert_eq!(pred.pivot_observations.len(), 1, "the bound pivot is still observed");
+    }
 }

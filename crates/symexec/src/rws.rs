@@ -28,11 +28,18 @@ pub enum RwsEntry {
 }
 
 impl RwsEntry {
-    /// Whether this entry (or any nested entry) depends on a pivot.
+    /// Whether this entry (or any nested entry) depends on a pivot. A
+    /// `Range` is indirect when its body is, but also when either *bound*
+    /// consults a pivot — the expansion length itself then needs the
+    /// store, so the instance cannot be predicted client-side.
     pub fn is_indirect(&self) -> bool {
         match self {
             RwsEntry::Single(kt) => kt.is_indirect(),
-            RwsEntry::Range { entries, .. } => entries.iter().any(RwsEntry::is_indirect),
+            RwsEntry::Range { from, to, entries, .. } => {
+                from.mentions_pivot()
+                    || to.mentions_pivot()
+                    || entries.iter().any(RwsEntry::is_indirect)
+            }
         }
     }
 
@@ -62,7 +69,12 @@ impl RwsEntry {
                     }
                 }
             }
-            RwsEntry::Range { entries, .. } => {
+            RwsEntry::Range { from, to, entries, .. } => {
+                for p in from.pivots().into_iter().chain(to.pivots()) {
+                    if !out.contains(&p) {
+                        out.push(p);
+                    }
+                }
                 for e in entries {
                     e.collect_pivots(out);
                 }

@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+//! Deterministic testkit for the Prognosticator workspace.
+//!
+//! Production code promises one thing above all else: every replica fed
+//! the same batches reaches the same state, no matter how many worker
+//! threads it runs or how its scheduler interleaves them. This crate turns
+//! that promise into three executable oracles:
+//!
+//! * [`schedule`] — a schedule-exploration fuzzer. It drives the engine's
+//!   [`ReadyPolicy`](prognosticator_core::ReadyPolicy) seam with seeded
+//!   shuffle policies and worker-count sweeps, asserting byte-identical
+//!   per-transaction outcome vectors and store digests across every
+//!   explored schedule.
+//! * [`differential`] — a cross-system differential harness running one
+//!   generated batch stream through the threaded [`Engine`]
+//!   (several worker counts), the `SEQ` baseline, and the discrete-event
+//!   simulator, diffing outcomes and digests. On a mismatch it
+//!   delta-debugs the batch stream down to a minimal failing reproducer
+//!   and writes it to a `.reproducer.json` file.
+//! * [`soundness`] — an RWS-soundness oracle: a tracing shim over txir
+//!   interpretation records the concrete keys each transaction touches and
+//!   checks that [`Profile::predict`](prognosticator_symexec::Profile::predict)
+//!   returned a superset, reporting the over-approximation ratio per
+//!   workload.
+//!
+//! [`strategies`] supplies `proptest` strategies generating
+//! [`TxRequest`](prognosticator_core::TxRequest) batches and seeded
+//! [`FaultPlan`](prognosticator_core::FaultPlan)s over all three bundled
+//! workloads (SmallBank, TPC-C, RUBiS), and [`workload`] wraps the three
+//! workload generators behind one enum so every oracle is
+//! workload-parametric.
+//!
+//! [`Engine`]: prognosticator_core::Engine
+
+pub mod differential;
+pub mod schedule;
+pub mod soundness;
+pub mod strategies;
+pub mod workload;
+
+pub use differential::{run_differential, DifferentialConfig, DifferentialReport, Mismatch};
+pub use schedule::{explore_schedules, ScheduleReport, ScheduleSweep};
+pub use soundness::{check_soundness, SoundnessError, SoundnessReport};
+pub use strategies::{batch_strategy, fault_plan_strategy, tx_request_strategy, workload_strategy};
+pub use workload::{TestWorkload, WorkloadKind};

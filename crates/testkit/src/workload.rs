@@ -1,0 +1,158 @@
+//! One enum over the three bundled workloads, so oracles and strategies
+//! can be workload-parametric without generics.
+
+use prognosticator_core::{Catalog, TxRequest};
+use prognosticator_storage::EpochStore;
+use prognosticator_workloads::{
+    DeterministicRng, RubisConfig, RubisWorkload, SmallBankConfig, SmallBankWorkload, TpccConfig,
+    TpccWorkload,
+};
+use std::sync::Arc;
+
+/// Which workload a test exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadKind {
+    /// SmallBank: 6 short banking transactions over 3 tables.
+    SmallBank,
+    /// TPC-C (the paper's subset): NewOrder/Payment/OrderStatus.
+    Tpcc,
+    /// RUBiS: auction-site mix.
+    Rubis,
+}
+
+impl WorkloadKind {
+    /// All three workloads, for "run everything" loops.
+    pub const ALL: [WorkloadKind; 3] =
+        [WorkloadKind::SmallBank, WorkloadKind::Tpcc, WorkloadKind::Rubis];
+
+    /// Stable lowercase name (used in reports and reproducer file names).
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadKind::SmallBank => "smallbank",
+            WorkloadKind::Tpcc => "tpcc",
+            WorkloadKind::Rubis => "rubis",
+        }
+    }
+}
+
+enum Generator {
+    SmallBank(SmallBankWorkload),
+    Tpcc(TpccWorkload),
+    Rubis(RubisWorkload),
+}
+
+/// A registered workload at test scale: its catalog plus a batch
+/// generator and initial-state populator.
+///
+/// The configurations are deliberately small (tens of rows, a couple of
+/// warehouses) so contention is high and schedule bugs surface quickly.
+pub struct TestWorkload {
+    kind: WorkloadKind,
+    catalog: Arc<Catalog>,
+    generator: Generator,
+}
+
+impl std::fmt::Debug for TestWorkload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TestWorkload").field("kind", &self.kind).finish()
+    }
+}
+
+impl TestWorkload {
+    /// Registers `kind` at test scale into a fresh catalog.
+    ///
+    /// # Panics
+    /// Panics if workload registration fails — the bundled programs are
+    /// known-good, so a failure here is a bug in the analyzer.
+    pub fn new(kind: WorkloadKind) -> Self {
+        let mut catalog = Catalog::new();
+        let generator = match kind {
+            WorkloadKind::SmallBank => Generator::SmallBank(
+                SmallBankWorkload::register(
+                    &mut catalog,
+                    SmallBankConfig { customers: 32, hotspot_pct: 25, hotspot_size: 4 },
+                )
+                .expect("smallbank registers"),
+            ),
+            WorkloadKind::Tpcc => Generator::Tpcc(
+                TpccWorkload::register(
+                    &mut catalog,
+                    TpccConfig {
+                        warehouses: 2,
+                        districts: 4,
+                        items: 40,
+                        customers: 8,
+                        nurand: true,
+                    },
+                )
+                .expect("tpcc registers"),
+            ),
+            WorkloadKind::Rubis => Generator::Rubis(
+                RubisWorkload::register(&mut catalog, RubisConfig { users: 40, items: 40 })
+                    .expect("rubis registers"),
+            ),
+        };
+        TestWorkload { kind, catalog: Arc::new(catalog), generator }
+    }
+
+    /// Which workload this is.
+    pub fn kind(&self) -> WorkloadKind {
+        self.kind
+    }
+
+    /// The catalog holding this workload's registered programs.
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    /// A fresh store holding the workload's initial state.
+    pub fn fresh_store(&self) -> Arc<EpochStore> {
+        let store = Arc::new(EpochStore::new());
+        match &self.generator {
+            Generator::SmallBank(w) => w.populate(&store),
+            Generator::Tpcc(w) => w.populate(&store),
+            Generator::Rubis(w) => w.populate(&store),
+        }
+        store
+    }
+
+    /// Generates a batch of `size` requests from `rng`.
+    pub fn gen_batch(&self, rng: &mut DeterministicRng, size: usize) -> Vec<TxRequest> {
+        match &self.generator {
+            Generator::SmallBank(w) => w.gen_batch(rng, size),
+            Generator::Tpcc(w) => w.gen_batch(rng, size),
+            Generator::Rubis(w) => w.gen_batch(rng, size),
+        }
+    }
+
+    /// Generates `batches` batches of `batch_size` requests from one
+    /// seeded stream — the canonical input shape for the oracles.
+    pub fn gen_stream(&self, seed: u64, batches: usize, batch_size: usize) -> Vec<Vec<TxRequest>> {
+        let mut rng = DeterministicRng::new(seed);
+        (0..batches).map(|_| self.gen_batch(&mut rng, batch_size)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_workloads_register_and_generate() {
+        for kind in WorkloadKind::ALL {
+            let w = TestWorkload::new(kind);
+            let stream = w.gen_stream(7, 2, 5);
+            assert_eq!(stream.len(), 2);
+            assert!(stream.iter().all(|b| b.len() == 5), "{kind:?}");
+            let store = w.fresh_store();
+            assert!(store.key_count() > 0, "{kind:?} populates");
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic_in_the_seed() {
+        let w = TestWorkload::new(WorkloadKind::SmallBank);
+        assert_eq!(w.gen_stream(3, 2, 8), w.gen_stream(3, 2, 8));
+        assert_ne!(w.gen_stream(3, 2, 8), w.gen_stream(4, 2, 8));
+    }
+}

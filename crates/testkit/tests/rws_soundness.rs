@@ -1,0 +1,54 @@
+//! RWS-soundness oracle runs: for every workload, every profiled
+//! transaction's predicted read/write-set must be a superset of the keys
+//! it concretely touches, and the over-approximation ratio must be a
+//! finite number ≥ 1.
+
+use testkit::{check_soundness, WorkloadKind};
+
+fn assert_sound(kind: WorkloadKind, seed: u64) {
+    let report = check_soundness(kind, seed, 3, 24).unwrap_or_else(|e| panic!("{e}"));
+    assert!(report.checked > 0, "{}: no profiled transactions checked", report.workload);
+    let ratio = report.ratio();
+    assert!(ratio.is_finite(), "{}: ratio must be finite", report.workload);
+    assert!(
+        ratio >= 1.0,
+        "{}: predicted ({}) < touched ({}) — under-approximation slipped past the \
+         per-transaction superset check",
+        report.workload,
+        report.predicted_keys,
+        report.touched_keys
+    );
+    eprintln!(
+        "[rws-soundness] {}: checked={} recon={} read_only={} predicted={} touched={} ratio={:.3}",
+        report.workload,
+        report.checked,
+        report.recon,
+        report.read_only,
+        report.predicted_keys,
+        report.touched_keys,
+        ratio
+    );
+}
+
+#[test]
+fn smallbank_predictions_are_supersets() {
+    assert_sound(WorkloadKind::SmallBank, 0xABCD);
+}
+
+#[test]
+fn tpcc_predictions_are_supersets() {
+    assert_sound(WorkloadKind::Tpcc, 0x5EED);
+}
+
+#[test]
+fn rubis_predictions_are_supersets() {
+    assert_sound(WorkloadKind::Rubis, 0xF00D);
+}
+
+#[test]
+fn ratios_are_stable_across_seeds() {
+    // Soundness must hold for any stream, not just one lucky seed.
+    for seed in [1, 2, 3] {
+        assert_sound(WorkloadKind::SmallBank, seed);
+    }
+}

@@ -1,0 +1,73 @@
+//! Property tests over the testkit's own strategies: every sampled batch
+//! must be well-formed, schedule-independent, and deterministically
+//! replayable. The checked-in seeds in
+//! `proptest-regressions/strategies_props.txt` replay before the random
+//! cases on every run.
+
+use proptest::prelude::*;
+use prognosticator_core::{baselines, Replica, SchedulerConfig, SeededShufflePolicy};
+use std::sync::Arc;
+use testkit::strategies::fixture;
+use testkit::{batch_strategy, fault_plan_strategy, tx_request_strategy, WorkloadKind};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn sampled_requests_are_registered_and_in_bounds(
+        tx in tx_request_strategy(WorkloadKind::SmallBank),
+    ) {
+        let workload = fixture(WorkloadKind::SmallBank);
+        let entry = workload.catalog().entry(tx.program);
+        // In-bounds inputs: the validating interpreter path accepts them.
+        prop_assert!(
+            entry.program().check_inputs(&tx.inputs).is_ok(),
+            "out-of-bounds inputs for `{}`: {:?}",
+            entry.program().name(),
+            tx.inputs
+        );
+    }
+
+    #[test]
+    fn sampled_batches_execute_identically_across_schedules(
+        seeded in batch_strategy(WorkloadKind::Tpcc, 4, 12),
+        policy_seed in 0u64..u64::MAX,
+    ) {
+        let (_seed, batch) = seeded;
+        let workload = fixture(WorkloadKind::Tpcc);
+        let run = |config: SchedulerConfig| {
+            let mut replica = Replica::with_store(
+                config,
+                Arc::clone(workload.catalog()),
+                workload.fresh_store(),
+            );
+            let out = replica.execute_batch(batch.clone());
+            let digest = replica.state_digest();
+            replica.shutdown();
+            (out.outcomes, digest)
+        };
+        let fifo = run(baselines::mq_mf(1));
+        let shuffled = run(SchedulerConfig {
+            ready_policy: Arc::new(SeededShufflePolicy::new(policy_seed, 3)),
+            ..baselines::mq_mf(3)
+        });
+        prop_assert_eq!(fifo, shuffled, "policy_seed {}", policy_seed);
+    }
+
+    #[test]
+    fn fault_plans_are_pure_functions_of_their_seed(
+        plan in fault_plan_strategy(),
+        batch in 0u64..64,
+        tx in 0u32..64,
+    ) {
+        prop_assert_eq!(
+            plan.injects_worker_panic(batch, tx),
+            plan.injects_worker_panic(batch, tx)
+        );
+        let again = plan.clone();
+        prop_assert_eq!(
+            plan.injects_worker_panic(batch, tx),
+            again.injects_worker_panic(batch, tx)
+        );
+    }
+}

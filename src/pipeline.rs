@@ -526,6 +526,85 @@ mod tests {
     }
 
     #[test]
+    fn drain_quarantine_is_idempotent_and_poison_never_reaches_replicas() {
+        let (catalog, bump) = counter_catalog();
+        let config = PipelineConfig {
+            consensus_timeout: Duration::from_millis(600),
+            // Only the size cap cuts batches: retries make wall-clock time
+            // pass, and a window-based cut would split phase 2's batch.
+            batch_window: Duration::from_secs(60),
+            retry: RetryPolicy {
+                max_attempts: 2,
+                initial_backoff: Duration::from_millis(5),
+                max_backoff: Duration::from_millis(10),
+            },
+            ..small_config()
+        };
+        let mut p = Pipeline::new(catalog, config, 2, populate()).expect("boots");
+
+        // Phase 1: no quorum — the first full batch (counters 0..8) must
+        // exhaust its retries and land in quarantine.
+        let n = p.cluster().len();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                p.cluster().net().partition(a, b);
+            }
+        }
+        let err = (0..8)
+            .map(|i| p.submit(TxRequest::new(bump, vec![Value::Int(i)])))
+            .find_map(Result::err);
+        assert_eq!(err, Some(PipelineError::BatchQuarantined { attempts: 2 }));
+
+        // Draining is idempotent: the poison batch comes out exactly once,
+        // and every further drain is empty and side-effect free.
+        let drained = p.drain_quarantine();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].payload.len(), 8);
+        assert!(p.drain_quarantine().is_empty(), "second drain must be empty");
+        assert!(p.drain_quarantine().is_empty(), "drain stays empty");
+        assert!(p.quarantined().is_empty());
+
+        // Phase 2: heal the network and commit a fresh batch (counters
+        // 8..16). The quarantined batch must not ride along.
+        for a in 0..n {
+            for b in (a + 1)..n {
+                p.cluster().net().heal(a, b);
+            }
+        }
+        p.cluster()
+            .wait_for_leader(Duration::from_secs(10))
+            .expect("re-elects after heal");
+        for i in 8..16 {
+            p.submit(TxRequest::new(bump, vec![Value::Int(i)]))
+                .expect("submits after heal");
+        }
+        p.sync().expect("syncs");
+        assert_eq!(p.committed_batches(), 1, "only the fresh batch committed");
+
+        // The poison batch's effects are absent from every replica: its
+        // counters are untouched while the fresh batch's were bumped.
+        for replica in 0..p.replica_count() {
+            for i in 0..8 {
+                assert_eq!(
+                    p.store(replica).get_latest(&Key::of_ints(TableId(0), &[i])),
+                    Some(Value::Int(0)),
+                    "replica {replica}: quarantined tx {i} must never execute"
+                );
+            }
+            for i in 8..16 {
+                assert_eq!(
+                    p.store(replica).get_latest(&Key::of_ints(TableId(0), &[i])),
+                    Some(Value::Int(1)),
+                    "replica {replica}: committed tx {i} executes once"
+                );
+            }
+        }
+        let d = p.digests();
+        assert_eq!(d[0], d[1], "replicas agree after the poison batch is dropped");
+        p.shutdown();
+    }
+
+    #[test]
     fn survives_message_loss() {
         let (catalog, bump) = counter_catalog();
         let config = PipelineConfig {

@@ -112,13 +112,15 @@ macro_rules! __proptest_items {
             $(#[$meta])*
             fn $name() {
                 let __config: $crate::test_runner::Config = $config;
-                let mut __rng = $crate::test_runner::TestRng::for_test(concat!(
-                    module_path!(),
-                    "::",
-                    stringify!($name)
-                ));
-                for __case in 0..__config.cases {
-                    $( let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng); )+
+                // One case: sample every argument from `rng`, run the
+                // body, and report (rendered inputs, outcome).
+                let __run_one = |__rng: &mut $crate::test_runner::TestRng| -> (
+                    ::std::string::String,
+                    ::std::thread::Result<
+                        ::std::result::Result<(), $crate::test_runner::TestCaseError>,
+                    >,
+                ) {
+                    $( let $arg = $crate::strategy::Strategy::sample(&($strat), __rng); )+
                     let __inputs =
                         format!(concat!($(stringify!($arg), " = {:?}; "),+), $(&$arg),+);
                     let __outcome = ::std::panic::catch_unwind(
@@ -132,25 +134,72 @@ macro_rules! __proptest_items {
                             },
                         ),
                     );
+                    (__inputs, __outcome)
+                };
+                // Replay checked-in counterexamples first, so regressions
+                // caught in past runs are re-checked before new fuzzing.
+                for __seed in $crate::test_runner::regression_seeds(
+                    env!("CARGO_MANIFEST_DIR"),
+                    module_path!(),
+                    stringify!($name),
+                ) {
+                    let mut __rng = $crate::test_runner::TestRng::from_seed(__seed);
+                    let (__inputs, __outcome) = __run_one(&mut __rng);
                     match __outcome {
                         ::std::result::Result::Ok(::std::result::Result::Ok(())) => {}
                         ::std::result::Result::Ok(::std::result::Result::Err(__e)) => {
                             panic!(
-                                "[{}] case {}/{}: {}\n    inputs: {}",
-                                stringify!($name),
-                                __case + 1,
-                                __config.cases,
-                                __e,
-                                __inputs
+                                "[{}] regression seed {:#018x}: {}\n    inputs: {}",
+                                stringify!($name), __seed, __e, __inputs
                             );
                         }
                         ::std::result::Result::Err(__payload) => {
                             eprintln!(
-                                "[{}] case {}/{} panicked\n    inputs: {}",
+                                "[{}] regression seed {:#018x} panicked\n    inputs: {}",
+                                stringify!($name), __seed, __inputs
+                            );
+                            ::std::panic::resume_unwind(__payload);
+                        }
+                    }
+                }
+                let mut __rng = $crate::test_runner::TestRng::for_test(concat!(
+                    module_path!(),
+                    "::",
+                    stringify!($name)
+                ));
+                for __case in 0..__config.cases {
+                    // The pre-sample state is the case's replay seed; on
+                    // failure, print the regression-file line so the
+                    // counterexample can be checked in and replayed.
+                    let __state = __rng.state();
+                    let (__inputs, __outcome) = __run_one(&mut __rng);
+                    match __outcome {
+                        ::std::result::Result::Ok(::std::result::Result::Ok(())) => {}
+                        ::std::result::Result::Ok(::std::result::Result::Err(__e)) => {
+                            panic!(
+                                "[{}] case {}/{}: {}\n    inputs: {}\n    \
+                                 to replay, add to proptest-regressions/{}.txt: cc {} {:#018x}",
                                 stringify!($name),
                                 __case + 1,
                                 __config.cases,
-                                __inputs
+                                __e,
+                                __inputs,
+                                module_path!().replace("::", "__"),
+                                stringify!($name),
+                                __state
+                            );
+                        }
+                        ::std::result::Result::Err(__payload) => {
+                            eprintln!(
+                                "[{}] case {}/{} panicked\n    inputs: {}\n    \
+                                 to replay, add to proptest-regressions/{}.txt: cc {} {:#018x}",
+                                stringify!($name),
+                                __case + 1,
+                                __config.cases,
+                                __inputs,
+                                module_path!().replace("::", "__"),
+                                stringify!($name),
+                                __state
                             );
                             ::std::panic::resume_unwind(__payload);
                         }

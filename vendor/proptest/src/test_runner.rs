@@ -13,12 +13,64 @@ pub struct Config {
 }
 
 impl Default for Config {
+    /// 256 cases, overridable via the `PROPTEST_CASES` environment
+    /// variable (as in upstream proptest) so CI can deepen fuzzing runs
+    /// without code changes.
     fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.trim().parse::<u32>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(256);
         Config {
-            cases: 256,
+            cases,
             max_shrink_iters: 0,
         }
     }
+}
+
+/// Reads checked-in regression seeds for one test from
+/// `<manifest_dir>/proptest-regressions/<module path with `::`→`__`>.txt`.
+///
+/// Line format (one counterexample per line, `#` comments allowed):
+///
+/// ```text
+/// cc <test_name> 0x<16-hex-digit rng state>
+/// ```
+///
+/// The `proptest!` macro replays every matching seed *before* the random
+/// cases, so past counterexamples are re-checked on every run — the shim's
+/// equivalent of upstream proptest's regression-file persistence. On a
+/// random-case failure the macro prints the exact `cc` line to add.
+pub fn regression_seeds(manifest_dir: &str, module_path: &str, test_name: &str) -> Vec<u64> {
+    let file = format!("{}.txt", module_path.replace("::", "__"));
+    let path = std::path::Path::new(manifest_dir)
+        .join("proptest-regressions")
+        .join(file);
+    let Ok(content) = std::fs::read_to_string(&path) else {
+        return Vec::new();
+    };
+    let mut seeds = Vec::new();
+    for line in content.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        if parts.next() != Some("cc") {
+            continue;
+        }
+        if parts.next() != Some(test_name) {
+            continue;
+        }
+        if let Some(tok) = parts.next() {
+            let tok = tok.trim_start_matches("0x");
+            if let Ok(seed) = u64::from_str_radix(tok, 16) {
+                seeds.push(seed);
+            }
+        }
+    }
+    seeds
 }
 
 /// Failure of a single property case (carries the assertion message).
@@ -70,6 +122,13 @@ impl TestRng {
         TestRng { state: seed }
     }
 
+    /// The current internal state. Captured before a case is sampled, it
+    /// is the case's replay seed: `TestRng::from_seed(state)` regenerates
+    /// exactly the same inputs — the value recorded in regression files.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
     /// Next uniform 64-bit word.
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -88,7 +147,45 @@ impl TestRng {
 
 #[cfg(test)]
 mod tests {
-    use super::TestRng;
+    use super::{regression_seeds, TestRng};
+
+    #[test]
+    fn replay_from_state_regenerates_the_case() {
+        let mut rng = TestRng::for_test("a::b");
+        for _ in 0..5 {
+            rng.next_u64();
+        }
+        let state = rng.state();
+        let expect: Vec<u64> = {
+            let mut r = rng.clone();
+            (0..4).map(|_| r.next_u64()).collect()
+        };
+        let mut replay = TestRng::from_seed(state);
+        let got: Vec<u64> = (0..4).map(|_| replay.next_u64()).collect();
+        assert_eq!(expect, got);
+    }
+
+    #[test]
+    fn regression_file_parses_matching_lines() {
+        let dir = std::env::temp_dir().join(format!(
+            "proptest-shim-test-{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(dir.join("proptest-regressions")).unwrap();
+        std::fs::write(
+            dir.join("proptest-regressions/my__mod.txt"),
+            "# comment\n\
+             cc my_test 0x00000000000000ff\n\
+             cc other_test 0x0000000000000001\n\
+             cc my_test deadbeef\n\
+             bogus line\n",
+        )
+        .unwrap();
+        let seeds = regression_seeds(dir.to_str().unwrap(), "my::mod", "my_test");
+        assert_eq!(seeds, vec![0xff, 0xdead_beef]);
+        assert!(regression_seeds(dir.to_str().unwrap(), "no::such", "my_test").is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
 
     #[test]
     fn deterministic_per_name() {
