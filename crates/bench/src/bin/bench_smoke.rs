@@ -1,0 +1,100 @@
+//! CI bench-smoke: a fast, deterministic pass over the simulated
+//! workloads that exercises the whole measurement path and emits
+//! `results/BENCH_smoke.json` with the per-stage timing fields
+//! (predict/queue/execute/commit, prepare-ahead overlap) — a guardrail
+//! artifact for tracking stage-level regressions across commits, not a
+//! gate.
+//!
+//! Run: `cargo run --release -p prognosticator-bench --bin bench_smoke`
+
+use prognosticator_bench::json::{snapshot_json, write_snapshot};
+use prognosticator_bench::{
+    render_table, rubis_setup, run_trial, tpcc_setup, RunResult, SustainConfig, SystemKind,
+    WorkloadSetup,
+};
+
+/// Fixed-size trial (no sustainability search — smoke must be fast and
+/// deterministic), reported through the same [`RunResult`] schema the
+/// exhibit snapshots use.
+fn smoke_point(kind: SystemKind, setup: &WorkloadSetup, cfg: &SustainConfig, size: usize) -> RunResult {
+    let stats = run_trial(kind, setup, cfg, size);
+    let batches = cfg.measure_batches as f64;
+    let per_batch_us = |ns: u64| ns as f64 / batches / 1000.0;
+    RunResult {
+        sustainable: stats.committed > 0,
+        batch_size: size,
+        throughput_tps: stats.committed as f64
+            / cfg.measure_batches as f64
+            / cfg.batch_interval.as_secs_f64(),
+        committed: stats.committed,
+        aborted: stats.aborted,
+        abort_retries: stats.aborts,
+        abort_pct: if stats.committed == 0 {
+            0.0
+        } else {
+            stats.aborts as f64 * 100.0 / stats.committed as f64
+        },
+        p99_ms: stats.p99.as_secs_f64() * 1000.0,
+        prepare_us: stats.prepare_us,
+        reexec_us: stats.reexec_us,
+        predict_us: per_batch_us(stats.stage.predict_ns),
+        queue_us: per_batch_us(stats.stage.queue_ns),
+        execute_us: per_batch_us(stats.stage.execute_ns),
+        commit_us: per_batch_us(stats.stage.commit_ns),
+        overlap_us: per_batch_us(stats.stage.overlap_ns),
+        lock_fresh_allocs: stats.stage.lock_fresh_allocs,
+    }
+}
+
+fn main() {
+    // Small, fixed trial: the point is stage coverage, not peak numbers.
+    let cfg = SustainConfig {
+        warmup_batches: 3,
+        measure_batches: 5,
+        max_batch: 128,
+        ..SustainConfig::default()
+    };
+    let systems = [SystemKind::MqMf, SystemKind::MqSf, SystemKind::Calvin(10), SystemKind::Seq];
+    let batch_size = 64usize;
+    let mut groups = Vec::new();
+    println!("bench smoke — simulated workloads, batch size {batch_size}, {} measured batches", cfg.measure_batches);
+
+    for (label, setup) in [
+        ("tpcc-2wh".to_string(), tpcc_setup(2)),
+        ("rubis".to_string(), rubis_setup()),
+    ] {
+        println!("\n== {label} ==");
+        let mut rows = Vec::new();
+        let mut group = Vec::new();
+        for kind in systems {
+            let r = smoke_point(kind, &setup, &cfg, batch_size);
+            assert!(r.committed > 0, "{label}/{}: smoke trial committed nothing", kind.name());
+            rows.push(vec![
+                kind.name(),
+                r.committed.to_string(),
+                format!("{:.1}", r.predict_us),
+                format!("{:.1}", r.queue_us),
+                format!("{:.1}", r.execute_us),
+                format!("{:.1}", r.commit_us),
+                format!("{:.1}", r.overlap_us),
+            ]);
+            group.push((kind.name(), r));
+        }
+        print!(
+            "{}",
+            render_table(
+                &["System", "Committed", "predict µs", "queue µs", "execute µs", "commit µs", "overlap µs"],
+                &rows
+            )
+        );
+        groups.push((label, group));
+    }
+
+    match write_snapshot("smoke", &snapshot_json("smoke", &groups)) {
+        Ok(path) => println!("\nsnapshot: {}", path.display()),
+        Err(e) => {
+            eprintln!("\nsnapshot write failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

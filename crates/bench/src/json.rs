@@ -146,6 +146,17 @@ pub fn run_result_json(system: &str, r: &RunResult) -> Json {
         ("p99_ms", Json::Num(r.p99_ms)),
         ("prepare_us", Json::Num(r.prepare_us)),
         ("reexec_us", Json::Num(r.reexec_us)),
+        // Per-stage mean batch times (µs): the batch lifecycle split of
+        // DESIGN.md §3.4.1. `overlap_us` is how much of `predict_us` hid
+        // behind the previous batch's execution (prepare-ahead);
+        // `lock_fresh_allocs` counts fresh lock-queue allocations over the
+        // measured window (0 once the builder's pools are warm).
+        ("predict_us", Json::Num(r.predict_us)),
+        ("queue_us", Json::Num(r.queue_us)),
+        ("execute_us", Json::Num(r.execute_us)),
+        ("commit_us", Json::Num(r.commit_us)),
+        ("overlap_us", Json::Num(r.overlap_us)),
+        ("lock_fresh_allocs", Json::Int(r.lock_fresh_allocs as i64)),
     ])
 }
 
@@ -231,9 +242,39 @@ mod tests {
             p99_ms: 8.1,
             prepare_us: 1.2,
             reexec_us: 3.4,
+            predict_us: 0.5,
+            queue_us: 2.1,
+            execute_us: 42.0,
+            commit_us: 0.3,
+            overlap_us: 0.4,
+            lock_fresh_allocs: 7,
         };
         let s = run_result_json("MQ-MF", &r).render();
         for needle in ["\"aborted\": 3", "\"abort_retries\": 17", "\"committed\": 640"] {
+            assert!(s.contains(needle), "{needle} missing from {s}");
+        }
+    }
+
+    #[test]
+    fn run_result_includes_stage_timings() {
+        let r = RunResult {
+            predict_us: 0.5,
+            queue_us: 2.1,
+            execute_us: 42.0,
+            commit_us: 0.3,
+            overlap_us: 0.4,
+            lock_fresh_allocs: 7,
+            ..RunResult::default()
+        };
+        let s = run_result_json("MQ-MF", &r).render();
+        for needle in [
+            "\"predict_us\": 0.5",
+            "\"queue_us\": 2.1",
+            "\"execute_us\": 42.0",
+            "\"commit_us\": 0.3",
+            "\"overlap_us\": 0.4",
+            "\"lock_fresh_allocs\": 7",
+        ] {
             assert!(s.contains(needle), "{needle} missing from {s}");
         }
     }

@@ -16,7 +16,7 @@
 pub mod json;
 pub mod sim;
 
-use prognosticator_core::{baselines, Catalog, Replica, SchedulerConfig, TxRequest};
+use prognosticator_core::{baselines, Catalog, Replica, SchedulerConfig, StageTimings, TxRequest};
 use prognosticator_core::baselines::SeqEngine;
 use prognosticator_storage::{EpochStore, LatencyConfig};
 use sim::{CostModel, SimReplica, SimSeq};
@@ -200,6 +200,21 @@ pub struct RunResult {
     pub prepare_us: f64,
     /// Mean first-failure→commit time per re-executed transaction (µs).
     pub reexec_us: f64,
+    /// Mean classification (predict) stage time per batch (µs).
+    pub predict_us: f64,
+    /// Mean lock-queue population (prepare + build) time per batch (µs).
+    pub queue_us: f64,
+    /// Mean update + failed-handling stage time per batch (µs).
+    pub execute_us: f64,
+    /// Mean epoch-advance + GC stage time per batch (µs).
+    pub commit_us: f64,
+    /// Mean prepare-ahead overlap per batch (µs): classification time
+    /// hidden behind the previous batch's execution.
+    pub overlap_us: f64,
+    /// Fresh lock-queue allocations over the measured window (0 once the
+    /// builder's recycled pools cover the working set; always 0 in
+    /// simulated mode, which models no allocator).
+    pub lock_fresh_allocs: u64,
 }
 
 /// Statistics of one fixed-size trial.
@@ -220,6 +235,8 @@ pub struct TrialStats {
     pub prepare_us: f64,
     /// Mean re-execution µs per re-executed transaction.
     pub reexec_us: f64,
+    /// Per-stage timers summed over the measured batches.
+    pub stage: StageTimings,
 }
 
 /// A batch-level digest of what the harness needs from any engine.
@@ -233,6 +250,7 @@ struct BatchFigures {
     prepare_count: u64,
     reexec_ns_total: u64,
     reexec_count: u64,
+    stage: StageTimings,
 }
 
 enum AnyEngine {
@@ -257,6 +275,7 @@ impl AnyEngine {
                     prepare_count: o.prepare_count,
                     reexec_ns_total: o.reexec_ns_total,
                     reexec_count: o.reexec_count,
+                    stage: o.stage,
                 }
             }
             AnyEngine::Seq(e) => {
@@ -271,6 +290,7 @@ impl AnyEngine {
                     prepare_count: 0,
                     reexec_ns_total: 0,
                     reexec_count: 0,
+                    stage: StageTimings::default(),
                 }
             }
             AnyEngine::Sim(r) => {
@@ -285,6 +305,7 @@ impl AnyEngine {
                     prepare_count: o.prepare_count,
                     reexec_ns_total: o.reexec_ns_total,
                     reexec_count: o.reexec_count,
+                    stage: o.stage,
                 }
             }
             AnyEngine::SimSeq(e) => {
@@ -299,6 +320,7 @@ impl AnyEngine {
                     prepare_count: 0,
                     reexec_ns_total: 0,
                     reexec_count: 0,
+                    stage: o.stage,
                 }
             }
         }
@@ -374,6 +396,7 @@ pub fn run_trial(
         stats.committed += outcome.committed;
         stats.aborted += outcome.aborted;
         stats.aborts += outcome.aborts;
+        stats.stage.accumulate(&outcome.stage);
         prepare_ns += outcome.prepare_ns_total;
         prepare_n += outcome.prepare_count;
         reexec_ns += outcome.reexec_ns_total;
@@ -469,8 +492,23 @@ pub fn measure_sustainable(
             p99_ms: stats.p99.as_secs_f64() * 1000.0,
             prepare_us: stats.prepare_us,
             reexec_us: stats.reexec_us,
+            predict_us: per_batch_us(stats.stage.predict_ns, cfg.measure_batches),
+            queue_us: per_batch_us(stats.stage.queue_ns, cfg.measure_batches),
+            execute_us: per_batch_us(stats.stage.execute_ns, cfg.measure_batches),
+            commit_us: per_batch_us(stats.stage.commit_ns, cfg.measure_batches),
+            overlap_us: per_batch_us(stats.stage.overlap_ns, cfg.measure_batches),
+            lock_fresh_allocs: stats.stage.lock_fresh_allocs,
         },
         None => RunResult::default(),
+    }
+}
+
+/// Mean per-batch stage time in microseconds.
+fn per_batch_us(total_ns: u64, batches: usize) -> f64 {
+    if batches == 0 {
+        0.0
+    } else {
+        total_ns as f64 / batches as f64 / 1000.0
     }
 }
 

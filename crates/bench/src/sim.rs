@@ -19,7 +19,7 @@
 
 use prognosticator_core::{
     AbortReason, AccessScope, Catalog, ExecView, FailedPolicy, FaultPlan, Granularity,
-    PrepareMode, ProgId, SchedulerConfig, TxClass, TxOutcome, TxRequest,
+    PrepareMode, ProgId, SchedulerConfig, StageTimings, TxClass, TxOutcome, TxRequest,
 };
 use prognosticator_storage::EpochStore;
 use prognosticator_symexec::{PredictError, Prediction};
@@ -93,6 +93,13 @@ pub struct SimOutcome {
     /// the threaded engine's `BatchOutcome::outcomes` byte-for-byte for
     /// the same batch and fault plan.
     pub outcomes: Vec<TxOutcome>,
+    /// Per-stage virtual-time breakdown (same schema as the threaded
+    /// engine's `BatchOutcome::stage`). `overlap_ns` models the paper's
+    /// prepare-ahead queuer: how much of this batch's classification hides
+    /// behind the previous batch's update phase. Report-only — the
+    /// makespan is unchanged, keeping the engine/simulator differential
+    /// oracles exact.
+    pub stage: StageTimings,
 }
 
 /// A store adapter that counts accesses (to charge virtual time) while
@@ -144,6 +151,9 @@ pub struct SimReplica {
     carry_over: Vec<TxRequest>,
     fault_plan: Option<FaultPlan>,
     batches_executed: u64,
+    /// Previous batch's update-phase span, for the prepare-ahead overlap
+    /// report (classification of batch `N+1` hides behind it).
+    prev_execute_ns: u64,
 }
 
 impl SimReplica {
@@ -162,6 +172,7 @@ impl SimReplica {
             carry_over: Vec::new(),
             fault_plan: None,
             batches_executed: 0,
+            prev_execute_ns: 0,
         }
     }
 
@@ -200,9 +211,15 @@ impl SimReplica {
         full.extend(batch);
         let batch_index = self.batches_executed;
         self.batches_executed += 1;
-        let outcome = self.run_batch(full, batch_index);
+        let mut outcome = self.run_batch(full, batch_index);
         self.carry_over = outcome.carried_over.clone();
         self.store.advance_epoch();
+        outcome.stage.commit_ns = self.cost.sync_ns;
+        // Prepare-ahead overlap: the single queuer classifies batch N+1
+        // while batch N's update phase runs, so up to that span of this
+        // batch's classification is off the critical path.
+        outcome.stage.overlap_ns = outcome.stage.predict_ns.min(self.prev_execute_ns);
+        self.prev_execute_ns = outcome.stage.execute_ns;
         outcome
     }
 
@@ -441,6 +458,7 @@ impl SimReplica {
         // --- Classification (queuer, serial) ---
         let mut txs: Vec<SimTx> = batch.into_iter().map(|r| self.classify(r)).collect();
         let queuer_busy_ns = txs.len() as u64 * cost.classify_ns;
+        outcome.stage.predict_ns = queuer_busy_ns;
 
         let mut rot_idxs = Vec::new();
         let mut dt_idxs = Vec::new();
@@ -538,8 +556,10 @@ impl SimReplica {
                 lock_keys.push(keys);
             }
             clock += key_count * cost.lock_op_ns + cost.sync_ns;
+            outcome.stage.queue_ns += key_count * cost.lock_op_ns + cost.sync_ns;
 
             // Update phase: discrete-event loop.
+            let update_start = clock;
             let member_pos: HashMap<usize, usize> =
                 members.iter().enumerate().map(|(pos, &i)| (i, pos)).collect();
             let mut remaining: HashMap<usize, usize> =
@@ -614,6 +634,7 @@ impl SimReplica {
                 done += 1;
             }
             clock = phase_end + cost.sync_ns;
+            outcome.stage.execute_ns += clock - update_start;
 
             // Failed handling.
             failed.sort_unstable();
@@ -631,6 +652,7 @@ impl SimReplica {
                 FailedPolicy::SingleThread => {
                     // Serial on the queuer: plain re-execution, no locks,
                     // no preparation, no validation (nothing else runs).
+                    let serial_start = clock;
                     for &i in &failed {
                         let (result, c) = self.execute_serial(&txs[i]);
                         clock += c;
@@ -639,6 +661,7 @@ impl SimReplica {
                             Err(reason) => txs[i].aborted = Some(reason),
                         }
                     }
+                    outcome.stage.execute_ns += clock - serial_start;
                     break;
                 }
                 FailedPolicy::Reenqueue if !fall_back => {
@@ -663,6 +686,7 @@ impl SimReplica {
                 }
                 FailedPolicy::Reenqueue => {
                     // max_rounds exceeded: terminate serially.
+                    let serial_start = clock;
                     for &i in &failed {
                         let (result, c) = self.execute_serial(&txs[i]);
                         clock += c;
@@ -671,12 +695,16 @@ impl SimReplica {
                             Err(reason) => txs[i].aborted = Some(reason),
                         }
                     }
+                    outcome.stage.execute_ns += clock - serial_start;
                     break;
                 }
             }
         }
 
         outcome.makespan_ns = clock;
+        // All preparation work (initial DT prep + any re-prepare rounds)
+        // counts toward the queue stage.
+        outcome.stage.queue_ns += outcome.prepare_ns_total;
         for tx in &mut txs {
             if let Some(reason) = tx.aborted.take() {
                 outcome.aborted += 1;
@@ -764,6 +792,7 @@ impl SimSeq {
             }
         }
         outcome.makespan_ns = clock;
+        outcome.stage.execute_ns = clock;
         self.store.advance_epoch();
         outcome
     }

@@ -1,7 +1,7 @@
 //! The deterministic multi-threaded batch execution engine.
 //!
 //! One [`Engine`] is a replica's transaction-processing layer: a single
-//! *queuer* (the thread calling [`Engine::execute_batch`]) plus a pool of
+//! *queuer* (the thread calling [`Engine::execute`]) plus a pool of
 //! persistent *worker threads*, executing batches in phases (paper §III-C):
 //!
 //! 1. **ROT + prepare** — workers drain their private read-only-transaction
@@ -18,6 +18,21 @@
 //!
 //! The same engine, differently configured, realizes every system in the
 //! paper's evaluation except `SEQ` (see [`crate::baselines`]).
+//!
+//! **Staged lifecycle.** Batch processing is split into two explicit
+//! stages: [`Engine::prepare`] classifies the batch's transactions from
+//! their symbolic-execution profiles into a [`PreparedBatch`] — a pure
+//! function of the batch contents and the catalog, touching no store state
+//! — and [`Engine::execute`] runs the phases above against the store.
+//! Because classification is store-independent, `prepare` for batch `N+1`
+//! may run *while batch `N` executes* (the paper's single-queuer overlap):
+//! [`Engine::submit_prepare`]/[`Engine::recv_prepared`] hand batches to a
+//! dedicated queuer thread, and `execute` takes `&self` (the engine is
+//! interior-mutable and `Arc`-shareable), with an internal lock keeping
+//! execution itself serial. Dependent-transaction preparation reads the
+//! store and therefore stays inside `execute`, where it sees exactly the
+//! epochs the unpipelined path would — outcomes are byte-identical either
+//! way.
 //!
 //! **Deterministic abort protocol.** A transaction whose own logic fails
 //! (a workload bug surfacing as [`TxFailure::Eval`]) or whose worker
@@ -44,6 +59,7 @@ use prognosticator_storage::{EpochStore, LatencyConfig};
 use prognosticator_symexec::{PredictError, Prediction, Profile, TxClass};
 use prognosticator_txir::{Key, Program, Value};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -148,6 +164,47 @@ pub enum TxOutcome {
     CarriedOver,
 }
 
+/// Per-stage monotonic timers and counters for one batch. All stage
+/// durations are wall-clock nanoseconds on the engine (virtual nanoseconds
+/// in the bench simulator, which reuses this struct).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimings {
+    /// Classification + direct-prediction time (the `prepare` stage).
+    /// Measured wherever the stage ran — on the caller for the inline
+    /// path, on the queuer thread for prepare-ahead.
+    pub predict_ns: u64,
+    /// Lock-queue population: dependent-transaction preparation plus
+    /// lock-table build/publish, summed over scheduling rounds.
+    pub queue_ns: u64,
+    /// Update phase (workers draining the ready queue) plus failed
+    /// handling, summed over scheduling rounds.
+    pub execute_ns: u64,
+    /// Epoch advance + store garbage collection.
+    pub commit_ns: u64,
+    /// Outcome assembly (outputs, verdicts, latency harvest).
+    pub apply_ns: u64,
+    /// How much of `predict_ns` was hidden behind the previous batch's
+    /// execution (prepare-ahead overlap). Zero on the unpipelined path.
+    pub overlap_ns: u64,
+    /// Fresh lock-queue allocations this batch (zero once the builder's
+    /// recycled pools cover the working set).
+    pub lock_fresh_allocs: u64,
+}
+
+impl StageTimings {
+    /// Adds `other`'s timers and counters into `self` (for aggregating
+    /// across batches).
+    pub fn accumulate(&mut self, other: &StageTimings) {
+        self.predict_ns += other.predict_ns;
+        self.queue_ns += other.queue_ns;
+        self.execute_ns += other.execute_ns;
+        self.commit_ns += other.commit_ns;
+        self.apply_ns += other.apply_ns;
+        self.overlap_ns += other.overlap_ns;
+        self.lock_fresh_allocs += other.lock_fresh_allocs;
+    }
+}
+
 /// Per-batch outcome and metrics.
 #[derive(Debug, Clone, Default)]
 pub struct BatchOutcome {
@@ -165,7 +222,7 @@ pub struct BatchOutcome {
     pub rounds: u32,
     /// Transactions handed back to the client ([`FailedPolicy::NextBatch`]).
     pub carried_over: Vec<TxRequest>,
-    /// Per-committed-transaction latency from batch start, nanoseconds.
+    /// Per-committed-transaction latency from execution start, nanoseconds.
     pub latencies_ns: Vec<u64>,
     /// Total time spent preparing dependent transactions, and how many
     /// preparations ran (Fig. 5b's "prepare" component).
@@ -177,8 +234,10 @@ pub struct BatchOutcome {
     pub reexec_ns_total: u64,
     /// Number of transactions that needed re-execution.
     pub reexec_count: u64,
-    /// Wall-clock batch duration.
+    /// Wall-clock duration of the execute stage.
     pub duration: Duration,
+    /// Per-stage timers and counters (see [`StageTimings`]).
+    pub stage: StageTimings,
     /// Results emitted by read-only transactions, indexed by batch
     /// position (`None` for update transactions and carried-over ones).
     pub outputs: Vec<Option<Vec<Value>>>,
@@ -200,6 +259,23 @@ impl BatchOutcome {
 const ACTION_CONTINUE: u8 = 0;
 const ACTION_DONE: u8 = 1;
 
+/// How many batches may sit in the queuer thread's channels. The
+/// pipelined executor keeps at most `depth ≤ 1` in flight, so this never
+/// blocks a sender; the headroom only decouples teardown ordering.
+const QUEUER_CHANNEL_CAP: usize = 2;
+
+/// Mutable per-transaction state, merged behind one lock so a slot costs
+/// a single mutex acquisition wherever prediction/output/verdict are
+/// touched together.
+#[derive(Default)]
+struct SlotState {
+    prediction: Option<Prediction>,
+    output: Option<Vec<Value>>,
+    /// Set (once) when the transaction is deterministically aborted; the
+    /// slot then takes no further part in the batch.
+    aborted: Option<AbortReason>,
+}
+
 struct TxSlot {
     req: TxRequest,
     class: TxClass,
@@ -207,11 +283,7 @@ struct TxSlot {
     profile: Option<Arc<Profile>>,
     /// Table-granularity scope (NODO) computed at classification.
     table_scope: Option<AccessScope>,
-    prediction: Mutex<Option<Prediction>>,
-    output: Mutex<Option<Vec<Value>>>,
-    /// Set (once) when the transaction is deterministically aborted; the
-    /// slot then takes no further part in the batch.
-    aborted: Mutex<Option<AbortReason>>,
+    state: Mutex<SlotState>,
     finished_ns: AtomicU64,
     first_fail_ns: AtomicU64,
     aborts: AtomicU32,
@@ -219,9 +291,47 @@ struct TxSlot {
 
 /// Records a deterministic abort for `slot` (first reason wins).
 fn record_abort(slot: &TxSlot, reason: AbortReason) {
-    let mut aborted = slot.aborted.lock();
-    if aborted.is_none() {
-        *aborted = Some(reason);
+    let mut state = slot.state.lock();
+    if state.aborted.is_none() {
+        state.aborted = Some(reason);
+    }
+}
+
+/// A classified batch, ready to execute: the output of [`Engine::prepare`]
+/// and the input of [`Engine::execute`].
+///
+/// Holds only store-independent state (per-transaction class, program,
+/// profile, and — for independent transactions — the direct prediction),
+/// so it may be built arbitrarily far ahead of execution without changing
+/// outcomes.
+pub struct PreparedBatch {
+    slots: Vec<TxSlot>,
+    rot_idxs: Vec<TxIdx>,
+    dt_idxs: Vec<TxIdx>,
+    it_idxs: Vec<TxIdx>,
+    predict_ns: u64,
+}
+
+impl PreparedBatch {
+    /// Transactions in the batch.
+    pub fn batch_size(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Wall-clock nanoseconds the classification stage took.
+    pub fn predict_ns(&self) -> u64 {
+        self.predict_ns
+    }
+}
+
+impl std::fmt::Debug for PreparedBatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PreparedBatch")
+            .field("batch_size", &self.slots.len())
+            .field("read_only", &self.rot_idxs.len())
+            .field("dependent", &self.dt_idxs.len())
+            .field("independent", &self.it_idxs.len())
+            .finish()
     }
 }
 
@@ -299,22 +409,43 @@ struct Shared {
     shutdown: AtomicBool,
 }
 
+/// The prepare-ahead queuer thread's endpoints. The thread is spawned
+/// lazily on the first [`Engine::submit_prepare`]; an engine that never
+/// pipelines never pays for it.
+#[derive(Default)]
+struct QueuerState {
+    submit: Option<mpsc::SyncSender<Vec<TxRequest>>>,
+    prepared: Option<mpsc::Receiver<Result<PreparedBatch, String>>>,
+    handle: Option<JoinHandle<()>>,
+}
+
 /// A replica's transaction-processing engine. See the module docs.
+///
+/// The engine is interior-mutable: every operation takes `&self`, so an
+/// `Arc<Engine>` can be shared between a driver thread and the prepare-
+/// ahead machinery. Execution itself is serialized by an internal lock —
+/// batches always execute one at a time, in call order.
 pub struct Engine {
     config: SchedulerConfig,
     catalog: Arc<Catalog>,
     store: Arc<EpochStore>,
     shared: Arc<Shared>,
-    handles: Vec<JoinHandle<()>>,
-    fault_plan: Option<Arc<FaultPlan>>,
-    batches_executed: u64,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    fault_plan: RwLock<Option<Arc<FaultPlan>>>,
+    batches_executed: AtomicU64,
+    /// Serializes [`Engine::execute`] calls.
+    exec_lock: Mutex<()>,
+    /// Long-lived lock-table builder; its buffers are recycled across
+    /// rounds and batches.
+    builder: Mutex<LockTableBuilder>,
+    queuer: Mutex<QueuerState>,
 }
 
 impl std::fmt::Debug for Engine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Engine")
             .field("config", &self.config)
-            .field("workers", &self.handles.len())
+            .field("workers", &self.handles.lock().len())
             .finish_non_exhaustive()
     }
 }
@@ -348,9 +479,12 @@ impl Engine {
             catalog,
             store,
             shared,
-            handles,
-            fault_plan: None,
-            batches_executed: 0,
+            handles: Mutex::new(handles),
+            fault_plan: RwLock::new(None),
+            batches_executed: AtomicU64::new(0),
+            exec_lock: Mutex::new(()),
+            builder: Mutex::new(LockTableBuilder::new()),
+            queuer: Mutex::new(QueuerState::default()),
         }
     }
 
@@ -358,14 +492,14 @@ impl Engine {
     /// to subsequent batches. Injected worker panics become per-
     /// transaction [`TxOutcome::Aborted`] verdicts; storage latency spikes
     /// perturb timing only.
-    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
-        self.fault_plan = plan.map(Arc::new);
+    pub fn set_fault_plan(&self, plan: Option<FaultPlan>) {
+        *self.fault_plan.write() = plan.map(Arc::new);
     }
 
     /// Batches executed so far — the fault plan's batch coordinate for
     /// the next batch.
     pub fn batches_executed(&self) -> u64 {
-        self.batches_executed
+        self.batches_executed.load(Ordering::Acquire)
     }
 
     /// The engine's configuration.
@@ -383,9 +517,103 @@ impl Engine {
         &self.catalog
     }
 
-    /// Executes one ordered batch to completion and commits its epoch.
-    /// The calling thread acts as the queuer.
-    pub fn execute_batch(&mut self, batch: Vec<TxRequest>) -> BatchOutcome {
+    /// Classifies one ordered batch into a [`PreparedBatch`].
+    ///
+    /// This stage is a pure function of the batch and the catalog: it
+    /// derives each transaction's class and, for independent transactions,
+    /// the direct key-set prediction — but reads no store state, so it may
+    /// run while an earlier batch is still executing without changing any
+    /// outcome.
+    pub fn prepare(&self, batch: Vec<TxRequest>) -> PreparedBatch {
+        prepare_batch(self.config.granularity, self.config.prepare, &self.catalog, batch)
+    }
+
+    /// Hands `batch` to the dedicated queuer thread for classification.
+    /// Results arrive in submission order via [`Engine::recv_prepared`].
+    /// The thread is spawned on first use.
+    pub fn submit_prepare(&self, batch: Vec<TxRequest>) {
+        let sender = {
+            let mut queuer = self.queuer.lock();
+            if queuer.handle.is_none() {
+                let (submit_tx, submit_rx) =
+                    mpsc::sync_channel::<Vec<TxRequest>>(QUEUER_CHANNEL_CAP);
+                let (done_tx, done_rx) =
+                    mpsc::sync_channel::<Result<PreparedBatch, String>>(QUEUER_CHANNEL_CAP);
+                let catalog = Arc::clone(&self.catalog);
+                let granularity = self.config.granularity;
+                let mode = self.config.prepare;
+                // The thread owns only what classification needs — no
+                // engine reference, so engine teardown can never race it.
+                let handle = std::thread::Builder::new()
+                    .name("prognosticator-queuer".to_string())
+                    .spawn(move || {
+                        while let Ok(batch) = submit_rx.recv() {
+                            let result =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    prepare_batch(granularity, mode, &catalog, batch)
+                                }))
+                                .map_err(|payload| panic_message(payload.as_ref()));
+                            if done_tx.send(result).is_err() {
+                                return;
+                            }
+                        }
+                    })
+                    .expect("spawn queuer thread");
+                queuer.submit = Some(submit_tx);
+                queuer.prepared = Some(done_rx);
+                queuer.handle = Some(handle);
+            }
+            queuer.submit.as_ref().expect("queuer running").clone()
+        };
+        // Send outside the lock: a full channel must not hold the state
+        // mutex against `recv_prepared`.
+        sender.send(batch).expect("queuer thread alive");
+    }
+
+    /// Receives the next prepared batch from the queuer thread, blocking
+    /// until one is ready.
+    ///
+    /// # Panics
+    /// Panics if nothing was submitted, or re-raises a classification
+    /// panic that occurred on the queuer thread.
+    pub fn recv_prepared(&self) -> PreparedBatch {
+        let queuer = self.queuer.lock();
+        let rx = queuer.prepared.as_ref().expect("no batch was submitted for preparation");
+        match rx.recv() {
+            Ok(Ok(prepared)) => prepared,
+            Ok(Err(msg)) => panic!("prepare failed on queuer thread: {msg}"),
+            Err(_) => panic!("queuer thread exited unexpectedly"),
+        }
+    }
+
+    /// Like [`Engine::recv_prepared`], but returns `None` instead of
+    /// blocking when no prepared batch is ready yet. Lets a driver tell a
+    /// fully-overlapped prepare from one it had to wait for.
+    ///
+    /// # Panics
+    /// Re-raises a classification panic from the queuer thread.
+    pub fn try_recv_prepared(&self) -> Option<PreparedBatch> {
+        let queuer = self.queuer.lock();
+        let rx = queuer.prepared.as_ref()?;
+        match rx.try_recv() {
+            Ok(Ok(prepared)) => Some(prepared),
+            Ok(Err(msg)) => panic!("prepare failed on queuer thread: {msg}"),
+            Err(_) => None,
+        }
+    }
+
+    /// Executes one ordered batch to completion and commits its epoch:
+    /// `prepare` + `execute` back to back (the unpipelined path).
+    pub fn execute_batch(&self, batch: Vec<TxRequest>) -> BatchOutcome {
+        let prepared = self.prepare(batch);
+        self.execute(prepared)
+    }
+
+    /// Executes a prepared batch to completion and commits its epoch. The
+    /// calling thread acts as the queuer. Concurrent callers are
+    /// serialized; batches commit in call order.
+    pub fn execute(&self, prepared: PreparedBatch) -> BatchOutcome {
+        let _exec = self.exec_lock.lock();
         let trace = std::env::var_os("PROGNOSTICATOR_PHASE_TRACE").is_some();
         let mut t_mark = Instant::now();
         let mut mark = move |label: &str| {
@@ -395,12 +623,13 @@ impl Engine {
             t_mark = Instant::now();
         };
         let batch_start = Instant::now();
-        let batch_size = batch.len();
-        let batch_index = self.batches_executed;
-        self.batches_executed += 1;
+        let PreparedBatch { slots, rot_idxs, dt_idxs, it_idxs, predict_ns } = prepared;
+        let batch_size = slots.len();
+        let batch_index = self.batches_executed.fetch_add(1, Ordering::AcqRel);
+        let fault_plan = self.fault_plan.read().clone();
         // Storage latency spike: raise the store's injected latency for
         // this batch only. Timing-only — state and outcomes are unchanged.
-        let prior_latency = self.fault_plan.as_ref().and_then(|plan| {
+        let prior_latency = fault_plan.as_ref().and_then(|plan| {
             plan.storage_spike(batch_index).map(|spike| {
                 let prior = self.store.latency();
                 self.store.set_latency(LatencyConfig::symmetric(spike));
@@ -410,21 +639,6 @@ impl Engine {
         let current = self.store.current_epoch();
         let snapshot_epoch = current - 1;
         let prepare_epoch = snapshot_epoch.saturating_sub(self.config.prepare_staleness);
-
-        // --- Classification (queuer, single-threaded, deterministic) ---
-        let mut slots = Vec::with_capacity(batch.len());
-        let mut rot_idxs: Vec<TxIdx> = Vec::new();
-        let mut dt_idxs: Vec<TxIdx> = Vec::new();
-        let mut it_idxs: Vec<TxIdx> = Vec::new();
-        for (i, req) in batch.into_iter().enumerate() {
-            let slot = self.classify(req);
-            match slot.class {
-                TxClass::ReadOnly => rot_idxs.push(i as TxIdx),
-                TxClass::Dependent => dt_idxs.push(i as TxIdx),
-                TxClass::Independent => it_idxs.push(i as TxIdx),
-            }
-            slots.push(slot);
-        }
 
         let work = Arc::new(BatchWork {
             slots,
@@ -443,7 +657,7 @@ impl Engine {
             batch_start,
             prepare_ns: AtomicU64::new(0),
             prepare_count: AtomicU64::new(0),
-            fault_plan: self.fault_plan.clone(),
+            fault_plan,
             batch_index,
             ready_policy: Arc::clone(&self.config.ready_policy),
             fatal: AtomicBool::new(false),
@@ -470,10 +684,14 @@ impl Engine {
 
         // --- Rounds ---
         let mut outcome = BatchOutcome { batch_size, ..BatchOutcome::default() };
+        outcome.stage.predict_ns = predict_ns;
+        let mut builder = self.builder.lock();
+        let fresh_queues_before = builder.stats().fresh_queues;
         let mut round_members: Vec<TxIdx> = Vec::new(); // set in each round
         let mut first_round = true;
         loop {
             outcome.rounds += 1;
+            let round_start = Instant::now();
             // Phase 1: the queuer always helps preparing (in 1Q mode it is
             // the only preparer: workers skip the queue).
             run_guarded(&work, || {
@@ -495,11 +713,10 @@ impl Engine {
             };
             let members: Vec<TxIdx> = members
                 .into_iter()
-                .filter(|&i| work.slots[i as usize].aborted.lock().is_none())
+                .filter(|&i| work.slots[i as usize].state.lock().aborted.is_none())
                 .collect();
-            let mut builder = LockTableBuilder::new();
             for &i in &members {
-                let keys = self.lock_keys(&work.slots[i as usize]);
+                let keys = lock_keys(&work.slots[i as usize]);
                 builder.enqueue(i, keys);
             }
             let table = Arc::new(builder.freeze(work.slots.len()));
@@ -509,10 +726,22 @@ impl Engine {
             *work.lock_table.write() = Some(table);
             mark("build");
             self.shared.barrier.wait(); // (2) lock table published
+            outcome.stage.queue_ns += round_start.elapsed().as_nanos() as u64;
 
             // Phase 3: workers execute; the queuer waits.
+            let update_start = Instant::now();
             self.shared.barrier.wait(); // (3) update phase done
             mark("update");
+            // Workers dropped their table references before barrier (3);
+            // reclaim the round's buffers for the next build. (Under a
+            // batch-fatal wind-down a worker may have bailed out early and
+            // still hold a reference — then the unwrap fails and the table
+            // is simply dropped.)
+            if let Some(table) = work.lock_table.write().take() {
+                if let Ok(table) = Arc::try_unwrap(table) {
+                    builder.recycle(table);
+                }
+            }
 
             // Phase 4: failed handling.
             let mut failed = std::mem::take(&mut *work.failed.lock());
@@ -538,7 +767,7 @@ impl Engine {
                         // Deterministic re-prepare against the live state.
                         work.prepare_live.store(true, Ordering::Release);
                         for &i in &failed {
-                            *work.slots[i as usize].prediction.lock() = None;
+                            work.slots[i as usize].state.lock().prediction = None;
                             work.prepare_queue.push(i);
                         }
                         round_members = failed;
@@ -560,12 +789,16 @@ impl Engine {
                 work.action.store(ACTION_DONE, Ordering::Release);
             }
             self.shared.barrier.wait(); // (4) action published
+            outcome.stage.execute_ns += update_start.elapsed().as_nanos() as u64;
             mark("failed-handling");
             first_round = false;
             if work.action.load(Ordering::Acquire) == ACTION_DONE {
                 break;
             }
         }
+        outcome.stage.lock_fresh_allocs =
+            builder.stats().fresh_queues - fresh_queues_before;
+        drop(builder);
 
         // Retire the batch.
         *self.shared.work.write() = None;
@@ -576,6 +809,7 @@ impl Engine {
             let msg = work.fatal_msg.lock().take().unwrap_or_default();
             panic!("fatal batch error: {msg}");
         }
+        let commit_start = Instant::now();
         self.store.advance_epoch();
         if let Some(keep) = self.config.gc_keep_epochs {
             debug_assert!(
@@ -584,13 +818,16 @@ impl Engine {
             );
             self.store.gc_before(self.store.current_epoch().saturating_sub(keep));
         }
+        outcome.stage.commit_ns = commit_start.elapsed().as_nanos() as u64;
 
         // --- Metrics --- (carried-over slots never set `finished_ns`,
         // aborted slots never do either: the three states are disjoint)
+        let apply_start = Instant::now();
         for slot in &work.slots {
-            outcome.outputs.push(slot.output.lock().take());
+            let mut state = slot.state.lock();
+            outcome.outputs.push(state.output.take());
             let finished = slot.finished_ns.load(Ordering::Acquire);
-            if let Some(reason) = slot.aborted.lock().take() {
+            if let Some(reason) = state.aborted.take() {
                 debug_assert_eq!(finished, 0, "aborted slots never finish");
                 outcome.aborted += 1;
                 outcome.outcomes.push(TxOutcome::Aborted { reason });
@@ -609,89 +846,9 @@ impl Engine {
         }
         outcome.prepare_ns_total = work.prepare_ns.load(Ordering::Acquire);
         outcome.prepare_count = work.prepare_count.load(Ordering::Acquire);
+        outcome.stage.apply_ns = apply_start.elapsed().as_nanos() as u64;
         outcome.duration = batch_start.elapsed();
         outcome
-    }
-
-    /// Classifies one request into a slot (instance-level: a DT program
-    /// whose chosen path needs no pivots is treated as an IT instance).
-    fn classify(&self, req: TxRequest) -> TxSlot {
-        let entry = self.catalog.entry(req.program);
-        let program = Arc::clone(entry.program());
-        let profile = entry.profile().cloned();
-        let mut prediction = None;
-        let mut table_scope = None;
-
-        let class = match self.config.granularity {
-            Granularity::Table => {
-                // NODO: everything is an independent transaction over
-                // table-granularity conflict classes.
-                let tables: std::collections::HashSet<_> = entry
-                    .read_tables()
-                    .iter()
-                    .chain(entry.write_tables())
-                    .copied()
-                    .collect();
-                table_scope = Some(AccessScope::Tables(tables));
-                TxClass::Independent
-            }
-            Granularity::Key => match self.config.prepare {
-                PrepareMode::Profile => match &profile {
-                    Some(p) if p.class() == TxClass::ReadOnly => TxClass::ReadOnly,
-                    Some(p) => match p.predict_direct(&req.inputs) {
-                        Ok(pred) => {
-                            prediction = Some(pred);
-                            TxClass::Independent
-                        }
-                        Err(PredictError::NeedsStore) => TxClass::Dependent,
-                        Err(PredictError::Eval(e)) => {
-                            panic!("profile/input mismatch for {}: {e}", program.name())
-                        }
-                    },
-                    // SE was capped: reconnaissance fallback.
-                    None if !entry.writes() => TxClass::ReadOnly,
-                    None => TxClass::Dependent,
-                },
-                PrepareMode::Reconnaissance => {
-                    if entry.writes() {
-                        TxClass::Dependent
-                    } else {
-                        TxClass::ReadOnly
-                    }
-                }
-            },
-        };
-        TxSlot {
-            req,
-            class,
-            program,
-            profile,
-            table_scope,
-            prediction: Mutex::new(prediction),
-            output: Mutex::new(None),
-            aborted: Mutex::new(None),
-            finished_ns: AtomicU64::new(0),
-            first_fail_ns: AtomicU64::new(0),
-            aborts: AtomicU32::new(0),
-        }
-    }
-
-    /// The keys to enqueue in the lock table for a slot.
-    fn lock_keys(&self, slot: &TxSlot) -> Vec<Key> {
-        match &slot.table_scope {
-            Some(AccessScope::Tables(tables)) => {
-                let mut keys: Vec<Key> =
-                    tables.iter().map(|t| Key::new(*t, Vec::new())).collect();
-                keys.sort();
-                keys
-            }
-            _ => slot
-                .prediction
-                .lock()
-                .as_ref()
-                .expect("update transaction prepared before enqueue")
-                .key_set(),
-        }
     }
 
     /// `SF`: the queuer re-executes failed transactions sequentially in
@@ -723,9 +880,25 @@ impl Engine {
         }
     }
 
-    /// Stops the worker pool. Also invoked on drop.
-    pub fn shutdown(&mut self) {
-        if self.handles.is_empty() {
+    /// Stops the queuer thread and the worker pool. Idempotent, and safe
+    /// to call whether or not a batch was ever prepared or executed: the
+    /// queuer thread (if it was ever spawned) is woken by dropping its
+    /// channel endpoints and joined first, then the workers.
+    pub fn shutdown(&self) {
+        let (submit, prepared, queuer_handle) = {
+            let mut queuer = self.queuer.lock();
+            (queuer.submit.take(), queuer.prepared.take(), queuer.handle.take())
+        };
+        // Dropping both endpoints wakes the thread wherever it is blocked:
+        // waiting for work (recv fails) or waiting to hand off a result
+        // (send fails).
+        drop(submit);
+        drop(prepared);
+        if let Some(handle) = queuer_handle {
+            let _ = handle.join();
+        }
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.handles.lock());
+        if handles.is_empty() {
             return;
         }
         self.shared.shutdown.store(true, Ordering::Release);
@@ -733,7 +906,7 @@ impl Engine {
             let _g = self.shared.generation.lock();
             self.shared.wake.notify_all();
         }
-        for h in self.handles.drain(..) {
+        for h in handles {
             let _ = h.join();
         }
     }
@@ -742,6 +915,116 @@ impl Engine {
 impl Drop for Engine {
     fn drop(&mut self) {
         self.shutdown();
+    }
+}
+
+/// Classifies one ordered batch — the store-independent half of the batch
+/// lifecycle, shared by [`Engine::prepare`] and the queuer thread.
+fn prepare_batch(
+    granularity: Granularity,
+    prepare: PrepareMode,
+    catalog: &Catalog,
+    batch: Vec<TxRequest>,
+) -> PreparedBatch {
+    let t0 = Instant::now();
+    let mut slots = Vec::with_capacity(batch.len());
+    let mut rot_idxs: Vec<TxIdx> = Vec::new();
+    let mut dt_idxs: Vec<TxIdx> = Vec::new();
+    let mut it_idxs: Vec<TxIdx> = Vec::new();
+    for (i, req) in batch.into_iter().enumerate() {
+        let slot = classify_request(granularity, prepare, catalog, req);
+        match slot.class {
+            TxClass::ReadOnly => rot_idxs.push(i as TxIdx),
+            TxClass::Dependent => dt_idxs.push(i as TxIdx),
+            TxClass::Independent => it_idxs.push(i as TxIdx),
+        }
+        slots.push(slot);
+    }
+    let predict_ns = t0.elapsed().as_nanos() as u64;
+    PreparedBatch { slots, rot_idxs, dt_idxs, it_idxs, predict_ns }
+}
+
+/// Classifies one request into a slot (instance-level: a DT program whose
+/// chosen path needs no pivots is treated as an IT instance).
+fn classify_request(
+    granularity: Granularity,
+    prepare: PrepareMode,
+    catalog: &Catalog,
+    req: TxRequest,
+) -> TxSlot {
+    let entry = catalog.entry(req.program);
+    let program = Arc::clone(entry.program());
+    let profile = entry.profile().cloned();
+    let mut prediction = None;
+    let mut table_scope = None;
+
+    let class = match granularity {
+        Granularity::Table => {
+            // NODO: everything is an independent transaction over
+            // table-granularity conflict classes.
+            let tables: std::collections::HashSet<_> = entry
+                .read_tables()
+                .iter()
+                .chain(entry.write_tables())
+                .copied()
+                .collect();
+            table_scope = Some(AccessScope::Tables(tables));
+            TxClass::Independent
+        }
+        Granularity::Key => match prepare {
+            PrepareMode::Profile => match &profile {
+                Some(p) if p.class() == TxClass::ReadOnly => TxClass::ReadOnly,
+                Some(p) => match p.predict_direct(&req.inputs) {
+                    Ok(pred) => {
+                        prediction = Some(pred);
+                        TxClass::Independent
+                    }
+                    Err(PredictError::NeedsStore) => TxClass::Dependent,
+                    Err(PredictError::Eval(e)) => {
+                        panic!("profile/input mismatch for {}: {e}", program.name())
+                    }
+                },
+                // SE was capped: reconnaissance fallback.
+                None if !entry.writes() => TxClass::ReadOnly,
+                None => TxClass::Dependent,
+            },
+            PrepareMode::Reconnaissance => {
+                if entry.writes() {
+                    TxClass::Dependent
+                } else {
+                    TxClass::ReadOnly
+                }
+            }
+        },
+    };
+    TxSlot {
+        req,
+        class,
+        program,
+        profile,
+        table_scope,
+        state: Mutex::new(SlotState { prediction, output: None, aborted: None }),
+        finished_ns: AtomicU64::new(0),
+        first_fail_ns: AtomicU64::new(0),
+        aborts: AtomicU32::new(0),
+    }
+}
+
+/// The keys to enqueue in the lock table for a slot.
+fn lock_keys(slot: &TxSlot) -> Vec<Key> {
+    match &slot.table_scope {
+        Some(AccessScope::Tables(tables)) => {
+            let mut keys: Vec<Key> = tables.iter().map(|t| Key::new(*t, Vec::new())).collect();
+            keys.sort();
+            keys
+        }
+        _ => slot
+            .state
+            .lock()
+            .prediction
+            .as_ref()
+            .expect("update transaction prepared before enqueue")
+            .key_set(),
     }
 }
 
@@ -797,7 +1080,7 @@ fn prepare_slot_at(work: &BatchWork, i: TxIdx, store: &EpochStore, snap: Snapsho
         PrepareMode::Reconnaissance => reconnoiter_with(store, slot, snap),
     };
     match prediction {
-        Ok(p) => *slot.prediction.lock() = Some(p),
+        Ok(p) => slot.state.lock().prediction = Some(p),
         // A workload bug during reconnaissance is the transaction's own
         // deterministic failure: abort it, leave the batch healthy.
         Err(reason) => record_abort(slot, reason),
@@ -864,7 +1147,9 @@ fn worker_loop(worker_id: usize, shared: &Shared, store: &EpochStore) {
                     }));
                     match result {
                         Ok(Ok(emitted)) => {
-                            *slot.output.lock() = Some(emitted);
+                            let mut state = slot.state.lock();
+                            state.output = Some(emitted);
+                            drop(state);
                             slot.finished_ns.store(work.now_ns().max(1), Ordering::Release);
                         }
                         Ok(Err(TxFailure::Eval(e))) => {
@@ -887,38 +1172,44 @@ fn worker_loop(worker_id: usize, shared: &Shared, store: &EpochStore) {
             });
             shared.barrier.wait(); // (1)
             shared.barrier.wait(); // (2) lock table ready
-            let table = work
-                .lock_table
-                .read()
-                .clone()
-                .expect("lock table published before phase 3");
+            {
+                let table = work
+                    .lock_table
+                    .read()
+                    .clone()
+                    .expect("lock table published before phase 3");
 
-            // Phase 3: update transactions. Idle workers spin hot: the
-            // phase lasts at most a batch interval and parked threads pay
-            // wake-up latency on every lock-chain handoff, which would
-            // serialize contended batches (workers ≤ cores by config).
-            run_guarded(&work, || {
-                let backoff = Backoff::new();
-                loop {
-                    let total = work.round_total.load(Ordering::Acquire);
-                    if work.completed.load(Ordering::Acquire) >= total
-                        || work.fatal.load(Ordering::Acquire)
-                    {
-                        break;
-                    }
-                    match table.pop_ready_with(work.ready_policy.as_ref()) {
-                        Some(i) => {
-                            backoff.reset();
-                            execute_update_slot(&work, i, store);
-                            table.release(i);
-                            work.completed.fetch_add(1, Ordering::AcqRel);
+                // Phase 3: update transactions. Idle workers spin hot: the
+                // phase lasts at most a batch interval and parked threads
+                // pay wake-up latency on every lock-chain handoff, which
+                // would serialize contended batches (workers ≤ cores by
+                // config).
+                run_guarded(&work, || {
+                    let backoff = Backoff::new();
+                    loop {
+                        let total = work.round_total.load(Ordering::Acquire);
+                        if work.completed.load(Ordering::Acquire) >= total
+                            || work.fatal.load(Ordering::Acquire)
+                        {
+                            break;
                         }
-                        None => {
-                            backoff.spin();
+                        match table.pop_ready_with(work.ready_policy.as_ref()) {
+                            Some(i) => {
+                                backoff.reset();
+                                execute_update_slot(&work, i, store);
+                                table.release(i);
+                                work.completed.fetch_add(1, Ordering::AcqRel);
+                            }
+                            None => {
+                                backoff.spin();
+                            }
                         }
                     }
-                }
-            });
+                });
+                // The table reference is dropped here — before barrier
+                // (3) — so the queuer can reclaim its buffers for the
+                // next round's build.
+            }
             shared.barrier.wait(); // (3)
             shared.barrier.wait(); // (4) action published
             if work.action.load(Ordering::Acquire) == ACTION_DONE {
@@ -949,7 +1240,7 @@ fn execute_update_slot(work: &BatchWork, i: TxIdx, store: &EpochStore) {
                 execute_scoped(store, &slot.program, &slot.req.inputs, scope)
             }
             None => {
-                let prediction = slot.prediction.lock().clone().expect("prepared");
+                let prediction = slot.state.lock().prediction.clone().expect("prepared");
                 match work.prepare_mode {
                     PrepareMode::Profile if slot.profile.is_some() => {
                         execute_update(store, &slot.program, &slot.req.inputs, &prediction)

@@ -47,16 +47,19 @@ pub mod engine;
 pub mod exec;
 pub mod faults;
 pub mod locktable;
+pub mod pipelined;
 pub mod replica;
 
 pub use catalog::{Catalog, CatalogEntry, ProgId, TxRequest};
 pub use engine::{
-    BatchOutcome, Engine, FailedPolicy, Granularity, PrepareMode, SchedulerConfig, TxOutcome,
+    BatchOutcome, Engine, FailedPolicy, Granularity, PreparedBatch, PrepareMode, SchedulerConfig,
+    StageTimings, TxOutcome,
 };
 pub use exec::{AccessScope, ExecView, TxFailure};
 pub use faults::{AbortReason, ConsensusFault, FaultPlan};
 pub use locktable::{
-    FifoPolicy, LockTable, LockTableBuilder, ReadyPolicy, SeededShufflePolicy, TxIdx,
+    BuilderStats, FifoPolicy, LockTable, LockTableBuilder, ReadyPolicy, SeededShufflePolicy, TxIdx,
 };
+pub use pipelined::PipelinedExecutor;
 pub use replica::Replica;
 pub use prognosticator_symexec::TxClass;

@@ -10,6 +10,22 @@
 //! transactions — using only atomics (there is no logical contention
 //! between workers and the queuer: the queue vectors are frozen once the
 //! batch is built).
+//!
+//! # Arena layout and buffer recycling
+//!
+//! Keys are *interned* at enqueue time: the builder maps each distinct key
+//! to a dense `u32` id, and every downstream structure is a flat vector
+//! indexed by that id (queues) or by transaction index (spans into one
+//! shared key-id arena). Nothing in the frozen table is keyed by `Key`
+//! hashing on the hot path — `release` walks `keyset_ids[span]` and
+//! advances `queues[id]` with pure array indexing.
+//!
+//! Because batches arrive forever, the allocations behind a frozen table
+//! are worth keeping: [`LockTableBuilder::recycle`] takes a spent
+//! [`LockTable`] apart and reclaims every vector (per-key queues, the
+//! key-id arena, the per-transaction counters) for the next build.
+//! [`LockTableBuilder::stats`] counts fresh allocations so tests can
+//! assert the steady state allocates nothing new.
 
 use crossbeam::queue::SegQueue;
 use prognosticator_txir::Key;
@@ -91,11 +107,50 @@ impl ReadyPolicy for SeededShufflePolicy {
     }
 }
 
-/// Build-phase lock table: single-threaded, mutable.
+/// The builder's allocation-reuse ledger.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BuilderStats {
+    /// Per-key queue vectors created fresh (not taken from the recycled
+    /// pool) over the builder's lifetime. A recycling steady state stops
+    /// growing this.
+    pub fresh_queues: u64,
+    /// Spent tables whose buffers were reclaimed via
+    /// [`LockTableBuilder::recycle`].
+    pub recycles: u64,
+    /// Duplicate keys dropped by per-transaction dedup in
+    /// [`LockTableBuilder::enqueue`].
+    pub duplicates_dropped: u64,
+}
+
+/// Build-phase lock table: single-threaded, mutable, reusable.
+///
+/// One builder is intended to live as long as its engine: `enqueue` +
+/// [`freeze`](LockTableBuilder::freeze) produce a table per scheduling
+/// round, and [`recycle`](LockTableBuilder::recycle) reclaims the table's
+/// buffers once the round retires, so the steady state builds lock tables
+/// without allocating.
 #[derive(Debug, Default)]
 pub struct LockTableBuilder {
-    queues: HashMap<Key, Vec<TxIdx>>,
-    keysets: Vec<(TxIdx, Vec<Key>)>,
+    /// Key → dense id for the build in progress. Cleared (capacity kept)
+    /// at every freeze.
+    intern: HashMap<Key, u32>,
+    /// id → key for the build in progress.
+    keys: Vec<Key>,
+    /// Per-key-id queues, parallel to `keys`. Cursors are all zero until
+    /// freeze hands the queues to workers.
+    queues: Vec<FrozenQueue>,
+    /// Reclaimed queue vectors awaiting reuse.
+    spare_queues: Vec<FrozenQueue>,
+    /// Flat arena of interned key ids; each transaction's key-set is a
+    /// `(start, len)` span into it.
+    keyset_ids: Vec<u32>,
+    /// `(tx, start, len)` per enqueued transaction.
+    spans: Vec<(TxIdx, u32, u32)>,
+    /// Reclaimed per-transaction buffers.
+    spare_tx_spans: Vec<(u32, u32)>,
+    spare_remaining: Vec<AtomicU32>,
+    spare_released: Vec<AtomicBool>,
+    stats: BuilderStats,
 }
 
 impl LockTableBuilder {
@@ -105,59 +160,122 @@ impl LockTableBuilder {
     }
 
     /// Enqueues `tx` into the queue of every key in `keys`, in the agreed
-    /// order. `keys` must be duplicate-free (use
-    /// `Prediction::key_set`).
+    /// order. Duplicate keys within one transaction's key-set are dropped
+    /// (first occurrence wins): a duplicate would enqueue the transaction
+    /// twice on one key, leaving its lock count permanently above zero —
+    /// it would never become ready and the batch would hang.
     pub fn enqueue(&mut self, tx: TxIdx, keys: Vec<Key>) {
-        debug_assert!(
-            keys.iter().collect::<std::collections::HashSet<_>>().len() == keys.len(),
-            "key-set must be duplicate-free"
-        );
-        for k in &keys {
-            self.queues.entry(k.clone()).or_default().push(tx);
+        let start = self.keyset_ids.len() as u32;
+        for key in keys {
+            let id = match self.intern.get(&key) {
+                Some(&id) => id,
+                None => {
+                    let id = self.keys.len() as u32;
+                    let queue = self.spare_queues.pop().unwrap_or_else(|| {
+                        self.stats.fresh_queues += 1;
+                        FrozenQueue { txs: Vec::new(), cursor: AtomicUsize::new(0) }
+                    });
+                    self.queues.push(queue);
+                    self.intern.insert(key.clone(), id);
+                    self.keys.push(key);
+                    id
+                }
+            };
+            // Per-tx dedup: spans are short (a transaction's key-set), so a
+            // linear scan of the span built so far beats a side table.
+            if self.keyset_ids[start as usize..].contains(&id) {
+                self.stats.duplicates_dropped += 1;
+                continue;
+            }
+            self.keyset_ids.push(id);
+            self.queues[id as usize].txs.push(tx);
         }
-        self.keysets.push((tx, keys));
+        self.spans.push((tx, start, self.keyset_ids.len() as u32 - start));
     }
 
     /// Freezes the table for concurrent execution and computes the
-    /// initially-ready transactions.
-    pub fn freeze(self, max_tx: usize) -> LockTable {
-        let mut remaining: Vec<AtomicU32> = Vec::with_capacity(max_tx);
-        for _ in 0..max_tx {
+    /// initially-ready transactions. The builder is left empty (buffers
+    /// retained) and can immediately start the next build.
+    pub fn freeze(&mut self, max_tx: usize) -> LockTable {
+        let mut tx_spans = std::mem::take(&mut self.spare_tx_spans);
+        tx_spans.clear();
+        tx_spans.resize(max_tx, (0, 0));
+        let mut remaining = std::mem::take(&mut self.spare_remaining);
+        remaining.truncate(max_tx);
+        for r in &remaining {
+            r.store(0, Ordering::Relaxed);
+        }
+        while remaining.len() < max_tx {
             remaining.push(AtomicU32::new(0));
         }
-        let mut keysets: Vec<Vec<Key>> = (0..max_tx).map(|_| Vec::new()).collect();
-        let mut enqueued: Vec<bool> = vec![false; max_tx];
-        for (tx, keys) in self.keysets {
-            remaining[tx as usize].store(keys.len() as u32, Ordering::Relaxed);
-            keysets[tx as usize] = keys;
-            enqueued[tx as usize] = true;
+        let mut released = std::mem::take(&mut self.spare_released);
+        released.truncate(max_tx);
+        for r in &released {
+            r.store(false, Ordering::Relaxed);
         }
-        let queues: HashMap<Key, FrozenQueue> = self
-            .queues
-            .into_iter()
-            .map(|(k, txs)| (k, FrozenQueue { txs, cursor: AtomicUsize::new(0) }))
-            .collect();
+        while released.len() < max_tx {
+            released.push(AtomicBool::new(false));
+        }
+
         let ready = SegQueue::new();
-        // Transactions at the head of all their queues are ready. (A
-        // transaction with an empty key-set is trivially ready.)
-        for (k, q) in &queues {
-            let _ = k;
+        for &(tx, start, len) in &self.spans {
+            remaining[tx as usize].store(len, Ordering::Relaxed);
+            tx_spans[tx as usize] = (start, len);
+            // A transaction with an empty key-set is trivially ready.
+            if len == 0 {
+                ready.push(tx);
+            }
+        }
+        self.spans.clear();
+        self.intern.clear();
+        let keys = std::mem::take(&mut self.keys);
+        let queues = std::mem::take(&mut self.queues);
+        let keyset_ids = std::mem::take(&mut self.keyset_ids);
+        // Transactions at the head of all their queues are ready.
+        for q in &queues {
             if let Some(&head) = q.txs.first() {
                 if remaining[head as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
                     ready.push(head);
                 }
             }
         }
-        for (tx, was_enqueued) in enqueued.iter().enumerate() {
-            if *was_enqueued && keysets[tx].is_empty() {
-                ready.push(tx as TxIdx);
-            }
+        LockTable { keys, queues, keyset_ids, tx_spans, remaining, released, ready }
+    }
+
+    /// Reclaims a spent table's buffers for the next build. Call once the
+    /// round is fully retired (every enqueued transaction released); the
+    /// table's queues, key-id arena and per-transaction counters all go
+    /// back into the builder's pools.
+    pub fn recycle(&mut self, table: LockTable) {
+        let LockTable { mut keys, mut queues, mut keyset_ids, mut tx_spans, remaining, released, ready: _ } =
+            table;
+        for q in queues.drain(..) {
+            let mut q = q;
+            q.txs.clear();
+            q.cursor.store(0, Ordering::Relaxed);
+            self.spare_queues.push(q);
         }
-        let mut released = Vec::with_capacity(max_tx);
-        for _ in 0..max_tx {
-            released.push(AtomicBool::new(false));
+        keys.clear();
+        keyset_ids.clear();
+        tx_spans.clear();
+        // Only adopt buffers when the builder's own are fresh takes — a
+        // recycle right after `new()` must not leak previously adopted
+        // capacity.
+        self.keys = keys;
+        self.keyset_ids = keyset_ids;
+        self.spare_tx_spans = tx_spans;
+        self.spare_remaining = remaining;
+        self.spare_released = released;
+        if self.queues.is_empty() {
+            // Keep the outer vector's capacity for the next build.
+            self.queues = queues;
         }
-        LockTable { queues, remaining, keysets, ready, released }
+        self.stats.recycles += 1;
+    }
+
+    /// The allocation-reuse ledger.
+    pub fn stats(&self) -> BuilderStats {
+        self.stats
     }
 }
 
@@ -169,13 +287,22 @@ struct FrozenQueue {
 }
 
 /// Frozen lock table: shared read-only structure plus atomic cursors.
+///
+/// All hot-path state is indexed by dense ids — `queues` by interned key
+/// id, counters by transaction index — so `release` touches no hash table.
 #[derive(Debug)]
 pub struct LockTable {
-    queues: HashMap<Key, FrozenQueue>,
+    /// Interned id → key (diagnostics; the hot path never consults it).
+    keys: Vec<Key>,
+    /// Per-key-id FIFO queues.
+    queues: Vec<FrozenQueue>,
+    /// Flat arena of key ids; per-transaction spans index into it.
+    keyset_ids: Vec<u32>,
+    /// Per-transaction `(start, len)` span into `keyset_ids`.
+    tx_spans: Vec<(u32, u32)>,
     /// Per-transaction count of queues it is not yet at the head of (the
     /// paper's `total locks`).
     remaining: Vec<AtomicU32>,
-    keysets: Vec<Vec<Key>>,
     ready: SegQueue<TxIdx>,
     /// Per-transaction release flag guarding against double release (a
     /// double release would advance queue cursors past unfinished
@@ -184,6 +311,11 @@ pub struct LockTable {
 }
 
 impl LockTable {
+    fn span(&self, tx: TxIdx) -> &[u32] {
+        let (start, len) = self.tx_spans[tx as usize];
+        &self.keyset_ids[start as usize..(start + len) as usize]
+    }
+
     /// Pops a ready transaction, if any. Ready transactions are mutually
     /// non-conflicting and safe to execute concurrently.
     pub fn pop_ready(&self) -> Option<TxIdx> {
@@ -237,8 +369,8 @@ impl LockTable {
         if was_released {
             return;
         }
-        for key in &self.keysets[tx as usize] {
-            let q = self.queues.get(key).expect("key was enqueued");
+        for &key_id in self.span(tx) {
+            let q = &self.queues[key_id as usize];
             let cur = q.cursor.load(Ordering::Acquire);
             debug_assert_eq!(q.txs.get(cur), Some(&tx), "release out of order");
             let next = cur + 1;
@@ -251,14 +383,15 @@ impl LockTable {
         }
     }
 
-    /// The key-set `tx` was enqueued with.
-    pub fn key_set(&self, tx: TxIdx) -> &[Key] {
-        &self.keysets[tx as usize]
+    /// The key-set `tx` was enqueued with (first-occurrence order, after
+    /// per-transaction dedup).
+    pub fn key_set(&self, tx: TxIdx) -> impl Iterator<Item = &Key> + '_ {
+        self.span(tx).iter().map(move |&id| &self.keys[id as usize])
     }
 
     /// Number of distinct keys with queues.
     pub fn key_count(&self) -> usize {
-        self.queues.len()
+        self.keys.len()
     }
 }
 
@@ -341,6 +474,83 @@ mod tests {
         // tx0 aborts — release still advances the queue.
         t.release(0);
         assert_eq!(drain_ready(&t), vec![1]);
+    }
+
+    #[test]
+    fn duplicate_keys_in_one_keyset_do_not_double_enqueue() {
+        // Regression: a duplicate key used to enqueue the transaction
+        // twice on one queue; its lock count could then never reach zero
+        // (only one queue head covers both entries) and the batch hung.
+        let mut b = LockTableBuilder::new();
+        b.enqueue(0, vec![k(1), k(1), k(2)]);
+        b.enqueue(1, vec![k(1)]);
+        let t = b.freeze(2);
+        assert_eq!(b.stats().duplicates_dropped, 1);
+        let keys0: Vec<Key> = t.key_set(0).cloned().collect();
+        assert_eq!(keys0, vec![k(1), k(2)], "first occurrence wins");
+        assert_eq!(drain_ready(&t), vec![0], "tx0 is ready despite the dup");
+        t.release(0);
+        assert_eq!(drain_ready(&t), vec![1], "tx1 unblocks after one release");
+        t.release(1);
+    }
+
+    #[test]
+    fn recycle_reuses_buffers_without_fresh_allocations() {
+        let mut b = LockTableBuilder::new();
+        let build = |b: &mut LockTableBuilder| {
+            for i in 0..8 {
+                b.enqueue(i, vec![k(i64::from(i)), k(i64::from((i + 1) % 8))]);
+            }
+            b.freeze(8)
+        };
+        let t = build(&mut b);
+        let fresh_after_first = b.stats().fresh_queues;
+        assert_eq!(fresh_after_first, 8, "first build allocates its queues");
+        // Drain + release so the table is fully retired, then recycle.
+        let mut order = drain_ready(&t);
+        while let Some(tx) = order.pop() {
+            t.release(tx);
+            order = drain_ready(&t);
+        }
+        b.recycle(t);
+        assert_eq!(b.stats().recycles, 1);
+
+        // Steady state: an identically-shaped build allocates no new queue.
+        let t2 = build(&mut b);
+        assert_eq!(b.stats().fresh_queues, fresh_after_first, "no fresh queues after recycle");
+        assert_eq!(t2.key_count(), 8);
+        assert!(!drain_ready(&t2).is_empty());
+    }
+
+    #[test]
+    fn recycled_table_schedules_identically() {
+        // The recycled build must behave exactly like a fresh one.
+        let shape = |b: &mut LockTableBuilder| {
+            b.enqueue(0, vec![k(1), k(2)]);
+            b.enqueue(1, vec![k(3)]);
+            b.enqueue(2, vec![k(2), k(3)]);
+            b.freeze(3)
+        };
+        let mut fresh = LockTableBuilder::new();
+        let mut recycled = LockTableBuilder::new();
+        let warm = shape(&mut recycled);
+        drain_ready(&warm);
+        warm.release(0);
+        warm.release(1);
+        drain_ready(&warm);
+        warm.release(2);
+        recycled.recycle(warm);
+
+        let a = shape(&mut fresh);
+        let b2 = shape(&mut recycled);
+        for t in [&a, &b2] {
+            assert_eq!(drain_ready(t), vec![0, 1]);
+            t.release(0);
+            assert_eq!(drain_ready(t), vec![]);
+            t.release(1);
+            assert_eq!(drain_ready(t), vec![2]);
+            t.release(2);
+        }
     }
 
     #[test]

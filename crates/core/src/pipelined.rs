@@ -1,0 +1,128 @@
+//! Prepare-ahead batch driver: overlaps classification of batch `N+1`
+//! with execution of batch `N`.
+//!
+//! The paper's single-queuer design has the queuer populate lock queues
+//! for the next batch while workers are still executing the current one.
+//! [`PipelinedExecutor`] realizes the store-independent half of that
+//! overlap: it feeds batches to the engine's dedicated queuer thread
+//! ([`Engine::submit_prepare`]) `depth` batches ahead of execution, and
+//! executes the prepared batches strictly in submission order. The
+//! store-*dependent* half (dependent-transaction preparation) stays inside
+//! [`Engine::execute`], so outcomes are byte-identical to the unpipelined
+//! path — see the engine module docs.
+//!
+//! Depth 0 degenerates to the sequential `prepare → execute` loop (no
+//! queuer thread is ever spawned). Under [`FailedPolicy::NextBatch`] the
+//! depth is forced to 0: carried-over transactions must be prepended to
+//! the *next* batch before classification, which is impossible if that
+//! batch was classified ahead of time.
+
+use crate::catalog::TxRequest;
+use crate::engine::{BatchOutcome, Engine, FailedPolicy};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Upper bound on prepare-ahead depth, matching the queuer thread's
+/// channel capacity so a submission never blocks the driver.
+const MAX_DEPTH: usize = 2;
+
+/// Drives batches through an engine with prepare-ahead pipelining.
+#[derive(Debug)]
+pub struct PipelinedExecutor {
+    engine: Arc<Engine>,
+    depth: usize,
+}
+
+impl PipelinedExecutor {
+    /// Creates a driver preparing up to `depth` batches ahead (clamped to
+    /// the queuer channel capacity; forced to 0 under
+    /// [`FailedPolicy::NextBatch`], see the module docs).
+    pub fn new(engine: Arc<Engine>, depth: usize) -> Self {
+        let depth = if engine.config().failed == FailedPolicy::NextBatch {
+            0
+        } else {
+            depth.min(MAX_DEPTH)
+        };
+        PipelinedExecutor { engine, depth }
+    }
+
+    /// The effective prepare-ahead depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// The engine this driver feeds.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Executes `batches` in order, preparing ahead up to the configured
+    /// depth. `carry_over` is the replica's pending hand-backs: drained
+    /// into the first batch, and left holding the final batch's
+    /// carried-over transactions on return.
+    ///
+    /// Outcomes (per-transaction verdicts, outputs, store state) are
+    /// byte-identical to calling [`Engine::execute_batch`] in a loop; only
+    /// the stage timings differ — [`crate::engine::StageTimings::overlap_ns`]
+    /// records how much classification time was hidden behind execution.
+    pub fn execute_stream(
+        &self,
+        batches: Vec<Vec<TxRequest>>,
+        carry_over: &mut Vec<TxRequest>,
+    ) -> Vec<BatchOutcome> {
+        let mut outcomes = Vec::with_capacity(batches.len());
+        if self.depth == 0 {
+            for batch in batches {
+                let mut full = std::mem::take(carry_over);
+                full.extend(batch);
+                let outcome = self.engine.execute_batch(full);
+                *carry_over = outcome.carried_over.clone();
+                outcomes.push(outcome);
+            }
+            return outcomes;
+        }
+
+        // Pipelined path: the failed policy is not NextBatch, so no batch
+        // produces carry-over; any pre-existing carry-over (e.g. from a
+        // policy change) still goes in front of the first batch.
+        let mut batches = batches.into_iter();
+        let mut in_flight = 0usize;
+        for i in 0..self.depth {
+            match batches.next() {
+                Some(batch) if i == 0 && !carry_over.is_empty() => {
+                    let mut full = std::mem::take(carry_over);
+                    full.extend(batch);
+                    self.engine.submit_prepare(full);
+                }
+                Some(batch) => self.engine.submit_prepare(batch),
+                None => break,
+            }
+            in_flight += 1;
+        }
+        while in_flight > 0 {
+            // Non-blocking receive first: if the prepared batch is already
+            // waiting, its entire classification was hidden behind the
+            // previous batch's execution.
+            let (prepared, waited_ns) = match self.engine.try_recv_prepared() {
+                Some(p) => (p, 0),
+                None => {
+                    let wait_start = Instant::now();
+                    let p = self.engine.recv_prepared();
+                    (p, wait_start.elapsed().as_nanos() as u64)
+                }
+            };
+            in_flight -= 1;
+            // Refill the pipeline before executing, so the queuer works
+            // while the workers do.
+            if let Some(batch) = batches.next() {
+                self.engine.submit_prepare(batch);
+                in_flight += 1;
+            }
+            let mut outcome = self.engine.execute(prepared);
+            outcome.stage.overlap_ns = outcome.stage.predict_ns.saturating_sub(waited_ns);
+            *carry_over = outcome.carried_over.clone();
+            outcomes.push(outcome);
+        }
+        outcomes
+    }
+}

@@ -3,6 +3,7 @@
 use crate::catalog::{Catalog, TxRequest};
 use crate::engine::{BatchOutcome, Engine, SchedulerConfig};
 use crate::faults::FaultPlan;
+use crate::pipelined::PipelinedExecutor;
 use prognosticator_storage::EpochStore;
 use std::sync::Arc;
 
@@ -15,7 +16,7 @@ use std::sync::Arc;
 #[derive(Debug)]
 pub struct Replica {
     store: Arc<EpochStore>,
-    engine: Engine,
+    engine: Arc<Engine>,
     /// Transactions handed back by the engine (Calvin's failed DTs),
     /// queued for the next batch.
     carry_over: Vec<TxRequest>,
@@ -33,13 +34,18 @@ impl Replica {
         catalog: Arc<Catalog>,
         store: Arc<EpochStore>,
     ) -> Self {
-        let engine = Engine::new(config, catalog, Arc::clone(&store));
+        let engine = Arc::new(Engine::new(config, catalog, Arc::clone(&store)));
         Replica { store, engine, carry_over: Vec::new() }
     }
 
     /// The replica's store.
     pub fn store(&self) -> &Arc<EpochStore> {
         &self.store
+    }
+
+    /// The replica's engine (shareable: execution takes `&self`).
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
     }
 
     /// Executes the next ordered batch. Carried-over transactions from the
@@ -51,6 +57,20 @@ impl Replica {
         let outcome = self.engine.execute_batch(full);
         self.carry_over = outcome.carried_over.clone();
         outcome
+    }
+
+    /// Executes a run of ordered batches with prepare-ahead pipelining:
+    /// up to `depth` batches are classified on the engine's queuer thread
+    /// while earlier batches execute. Depth 0 is the plain sequential
+    /// loop. Outcomes and state are identical either way (see
+    /// [`PipelinedExecutor`]).
+    pub fn execute_stream(
+        &mut self,
+        batches: Vec<Vec<TxRequest>>,
+        depth: usize,
+    ) -> Vec<BatchOutcome> {
+        let driver = PipelinedExecutor::new(Arc::clone(&self.engine), depth);
+        driver.execute_stream(batches, &mut self.carry_over)
     }
 
     /// Transactions still waiting to be retried.
@@ -70,8 +90,9 @@ impl Replica {
         self.engine.set_fault_plan(plan);
     }
 
-    /// Stops the engine's worker pool. Idempotent: repeated calls (and the
-    /// implicit call from `Drop`) are no-ops once the pool is joined.
+    /// Stops the engine's queuer thread and worker pool. Idempotent:
+    /// repeated calls (and the implicit call from `Drop`) are no-ops once
+    /// the pool is joined.
     pub fn shutdown(&mut self) {
         self.engine.shutdown();
     }

@@ -99,7 +99,7 @@ proptest! {
             keysets.iter().flatten().copied().collect();
         prop_assert_eq!(table.key_count(), distinct.len());
         for (i, ks) in keysets.iter().enumerate() {
-            prop_assert_eq!(table.key_set(i as TxIdx).len(), ks.len());
+            prop_assert_eq!(table.key_set(i as TxIdx).count(), ks.len());
         }
     }
 }

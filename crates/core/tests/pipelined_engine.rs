@@ -1,0 +1,143 @@
+//! Engine-level tests for the prepare-ahead lifecycle: queuer thread
+//! wind-down, shutdown idempotence, and lock-table buffer reuse across
+//! batches.
+
+use prognosticator_core::{
+    baselines, Catalog, Engine, PipelinedExecutor, ProgId, Replica, TxRequest,
+};
+use prognosticator_storage::EpochStore;
+use prognosticator_txir::{Expr, InputBound, Key, ProgramBuilder, Value};
+use std::sync::Arc;
+
+fn bump_catalog() -> (Arc<Catalog>, prognosticator_txir::TableId, ProgId) {
+    let mut b = ProgramBuilder::new("bump");
+    let t = b.table("counters");
+    let id = b.input("id", InputBound::int(0, 15));
+    let v = b.var("v");
+    b.get(v, Expr::key(t, vec![Expr::input(id)]));
+    b.put(Expr::key(t, vec![Expr::input(id)]), Expr::var(v).add(Expr::lit(1)));
+    let mut catalog = Catalog::new();
+    let bump = catalog.register(b.build()).unwrap();
+    (Arc::new(catalog), t, bump)
+}
+
+fn engine_with_counters(workers: usize) -> (Arc<Engine>, ProgId) {
+    let (catalog, t, bump) = bump_catalog();
+    let engine = Engine::new(baselines::mq_mf(workers), catalog, Arc::new(EpochStore::new()));
+    engine
+        .store()
+        .populate((0..16).map(|i| (Key::of_ints(t, &[i]), Value::Int(0))));
+    (Arc::new(engine), bump)
+}
+
+fn batch(bump: ProgId, n: i64) -> Vec<TxRequest> {
+    (0..n).map(|i| TxRequest::new(bump, vec![Value::Int(i % 16)])).collect()
+}
+
+#[test]
+fn shutdown_is_idempotent_without_any_prepare() {
+    // The queuer thread is lazily spawned; shutdown before any submit
+    // must not hang waiting for a thread that never existed.
+    let (engine, _bump) = engine_with_counters(2);
+    engine.shutdown();
+    engine.shutdown();
+}
+
+#[test]
+fn shutdown_drains_unconsumed_prepared_batch() {
+    // A batch submitted to the queuer but never received must not wedge
+    // shutdown: dropping the channel endpoints wakes the thread.
+    let (engine, bump) = engine_with_counters(2);
+    engine.submit_prepare(batch(bump, 8));
+    engine.submit_prepare(batch(bump, 8));
+    engine.shutdown();
+    engine.shutdown();
+}
+
+#[test]
+fn drop_joins_queuer_and_workers() {
+    let (engine, bump) = engine_with_counters(2);
+    engine.submit_prepare(batch(bump, 8));
+    drop(engine);
+}
+
+#[test]
+fn split_prepare_execute_matches_execute_batch() {
+    let (engine_a, bump) = engine_with_counters(2);
+    let (engine_b, _) = engine_with_counters(2);
+
+    let out_a = engine_a.execute_batch(batch(bump, 12));
+    let prepared = engine_b.prepare(batch(bump, 12));
+    assert_eq!(prepared.batch_size(), 12);
+    let out_b = engine_b.execute(prepared);
+
+    assert_eq!(out_a.outcomes, out_b.outcomes);
+    assert_eq!(out_a.committed, 12);
+    assert_eq!(engine_a.store().state_digest(), engine_b.store().state_digest());
+    engine_a.shutdown();
+    engine_b.shutdown();
+}
+
+#[test]
+fn lock_table_buffers_are_reused_across_batches() {
+    // First batch pays fresh lock-queue allocations; once the builder's
+    // arena and queue pool are warm, identical batch shapes must recycle
+    // everything (the per-batch allocation-reduction guarantee).
+    let (engine, bump) = engine_with_counters(2);
+    let first = engine.execute_batch(batch(bump, 16));
+    assert!(
+        first.stage.lock_fresh_allocs > 0,
+        "first batch should allocate fresh lock queues"
+    );
+    for round in 0..4 {
+        let out = engine.execute_batch(batch(bump, 16));
+        assert_eq!(
+            out.stage.lock_fresh_allocs, 0,
+            "warm batch {round} should recycle every lock queue"
+        );
+        assert_eq!(out.committed, 16);
+    }
+    engine.shutdown();
+}
+
+#[test]
+fn prepare_ahead_overlap_is_recorded() {
+    // With depth 1, batch N+1 classifies while batch N executes; the
+    // executor reports how much predict time was hidden. The overlap value
+    // is wall-clock dependent, so only its invariants are asserted:
+    // bounded by predict_ns, and identical outcomes to sequential.
+    let (engine, bump) = engine_with_counters(2);
+    let stream: Vec<_> = (0..6).map(|_| batch(bump, 16)).collect();
+    let exec = PipelinedExecutor::new(Arc::clone(&engine), 1);
+    assert_eq!(exec.depth(), 1);
+    let mut carry = Vec::new();
+    let outs = exec.execute_stream(stream, &mut carry);
+    assert!(carry.is_empty());
+    assert_eq!(outs.len(), 6);
+    for out in &outs {
+        assert_eq!(out.committed, 16);
+        assert!(
+            out.stage.overlap_ns <= out.stage.predict_ns,
+            "overlap can never exceed time spent predicting"
+        );
+    }
+    engine.shutdown();
+}
+
+#[test]
+fn replica_stream_depths_agree_on_counters() {
+    let (catalog, t, bump) = bump_catalog();
+    let mut digests = Vec::new();
+    for depth in [0usize, 1, 2] {
+        let mut replica = Replica::new(baselines::mq_mf(2), Arc::clone(&catalog));
+        replica
+            .store()
+            .populate((0..16).map(|i| (Key::of_ints(t, &[i]), Value::Int(0))));
+        let stream: Vec<_> = (0..5).map(|_| batch(bump, 16)).collect();
+        let outs = replica.execute_stream(stream, depth);
+        assert_eq!(outs.iter().map(|o| o.committed).sum::<usize>(), 80);
+        digests.push(replica.state_digest());
+        replica.shutdown();
+    }
+    assert!(digests.windows(2).all(|w| w[0] == w[1]), "digests diverged across depths");
+}

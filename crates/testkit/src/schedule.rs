@@ -6,8 +6,10 @@
 //! the same per-transaction outcome vector and the same final store
 //! digest. The fuzzer drives the engine's
 //! [`ReadyPolicy`](prognosticator_core::ReadyPolicy) seam with seeded
-//! shuffle policies and sweeps the worker count, comparing every explored
-//! schedule against a FIFO reference run.
+//! shuffle policies and sweeps the worker count *and* the prepare-ahead
+//! depth (classification of batch `N+1` on the engine's queuer thread
+//! while batch `N` executes), comparing every explored schedule against a
+//! FIFO reference run.
 
 use crate::workload::{TestWorkload, WorkloadKind};
 use prognosticator_core::{
@@ -35,6 +37,10 @@ pub struct ScheduleSweep {
     /// Candidate window handed to the shuffle policy (how far from FIFO a
     /// schedule may stray).
     pub window: usize,
+    /// Prepare-ahead depths to sweep (0 = sequential prepare→execute,
+    /// 1 = classification pipelined one batch ahead). Every depth must
+    /// reproduce the reference outcomes and digest.
+    pub depths: Vec<usize>,
     /// Optional fault plan applied identically to every run.
     pub fault_plan: Option<FaultPlan>,
 }
@@ -50,6 +56,7 @@ impl ScheduleSweep {
             policy_seeds: vec![11, 42, 1973],
             worker_counts: vec![1, 2, 4],
             window: 3,
+            depths: vec![0, 1],
             fault_plan: None,
         }
     }
@@ -88,14 +95,15 @@ fn run_schedule(
     stream: &[Vec<prognosticator_core::TxRequest>],
     config: SchedulerConfig,
     fault_plan: Option<FaultPlan>,
+    depth: usize,
 ) -> RunResult {
     let mut replica =
         Replica::with_store(config, Arc::clone(workload.catalog()), workload.fresh_store());
     replica.set_fault_plan(fault_plan);
+    let stream_outcomes = replica.execute_stream(stream.to_vec(), depth);
     let mut outcomes = Vec::with_capacity(stream.len());
     let (mut committed, mut aborted) = (0, 0);
-    for batch in stream {
-        let out = replica.execute_batch(batch.clone());
+    for out in stream_outcomes {
         committed += out.committed;
         aborted += out.aborted;
         outcomes.push(out.outcomes);
@@ -114,44 +122,53 @@ fn run_schedule(
 pub fn explore_schedules(sweep: &ScheduleSweep) -> ScheduleReport {
     assert!(!sweep.policy_seeds.is_empty(), "need at least one policy seed");
     assert!(!sweep.worker_counts.is_empty(), "need at least one worker count");
+    assert!(!sweep.depths.is_empty(), "need at least one prepare-ahead depth");
     let workload = TestWorkload::new(sweep.workload);
     let stream = workload.gen_stream(sweep.stream_seed, sweep.batches, sweep.batch_size);
 
-    // FIFO at the first worker count is the reference schedule.
+    // FIFO, unpipelined, at the first worker count is the reference
+    // schedule.
     let reference = run_schedule(
         &workload,
         &stream,
         baselines::mq_mf(sweep.worker_counts[0]),
         sweep.fault_plan.clone(),
+        0,
     );
 
     let mut explored = 1;
-    for &workers in &sweep.worker_counts {
-        for &seed in &sweep.policy_seeds {
-            let config = SchedulerConfig {
-                ready_policy: Arc::new(SeededShufflePolicy::new(seed, sweep.window)),
-                ..baselines::mq_mf(workers)
-            };
-            let run = run_schedule(&workload, &stream, config, sweep.fault_plan.clone());
-            explored += 1;
-            for (i, (got, want)) in run.outcomes.iter().zip(&reference.outcomes).enumerate() {
+    for &depth in &sweep.depths {
+        for &workers in &sweep.worker_counts {
+            for &seed in &sweep.policy_seeds {
+                let config = SchedulerConfig {
+                    ready_policy: Arc::new(SeededShufflePolicy::new(seed, sweep.window)),
+                    ..baselines::mq_mf(workers)
+                };
+                let run =
+                    run_schedule(&workload, &stream, config, sweep.fault_plan.clone(), depth);
+                explored += 1;
+                for (i, (got, want)) in run.outcomes.iter().zip(&reference.outcomes).enumerate() {
+                    assert_eq!(
+                        got, want,
+                        "outcome vector diverged: workload={} batch={} policy_seed={} \
+                         workers={} depth={}",
+                        sweep.workload.name(),
+                        i,
+                        seed,
+                        workers,
+                        depth
+                    );
+                }
                 assert_eq!(
-                    got, want,
-                    "outcome vector diverged: workload={} batch={} policy_seed={} workers={}",
+                    run.digest,
+                    reference.digest,
+                    "store digest diverged: workload={} policy_seed={} workers={} depth={}",
                     sweep.workload.name(),
-                    i,
                     seed,
-                    workers
+                    workers,
+                    depth
                 );
             }
-            assert_eq!(
-                run.digest,
-                reference.digest,
-                "store digest diverged: workload={} policy_seed={} workers={}",
-                sweep.workload.name(),
-                seed,
-                workers
-            );
         }
     }
 

@@ -12,7 +12,9 @@
 use prognosticator_consensus::{
     Batcher, NetConfig, Quarantine, Quarantined, RaftCluster, RaftTiming, RetryPolicy,
 };
-use prognosticator_core::{Catalog, ConsensusFault, FaultPlan, Replica, SchedulerConfig, TxRequest};
+use prognosticator_core::{
+    Catalog, ConsensusFault, FaultPlan, Replica, SchedulerConfig, StageTimings, TxRequest,
+};
 use prognosticator_storage::EpochStore;
 use std::sync::Arc;
 use std::time::Duration;
@@ -38,6 +40,17 @@ pub struct PipelineConfig {
     pub consensus_timeout: Duration,
     /// Bounded retry-with-backoff applied when a proposal times out.
     pub retry: RetryPolicy,
+    /// Prepare-ahead depth used when replicas apply committed batches:
+    /// classification of batch `N+1` runs on the engine's queuer thread
+    /// while batch `N` executes. `0` disables the overlap. Outcomes are
+    /// identical either way.
+    pub prepare_ahead: usize,
+    /// Epochs of store history each replica retains after commit; older
+    /// versions are garbage-collected (each key keeps its latest version,
+    /// so digests never change). Applied only when the scheduler config
+    /// itself doesn't set a window, and clamped to exceed
+    /// `prepare_staleness`. `None` keeps history forever.
+    pub gc_keep_epochs: Option<u64>,
 }
 
 impl Default for PipelineConfig {
@@ -52,6 +65,8 @@ impl Default for PipelineConfig {
             seed: 0x5EED,
             consensus_timeout: Duration::from_secs(10),
             retry: RetryPolicy::default(),
+            prepare_ahead: 1,
+            gc_keep_epochs: Some(8),
         }
     }
 }
@@ -117,6 +132,9 @@ pub struct Pipeline {
     /// Deterministic fault plan: installed on every replica, and consulted
     /// for consensus-level disruptions before each proposal.
     fault_plan: Option<FaultPlan>,
+    /// Per-stage timers accumulated across every batch applied by every
+    /// replica during [`Pipeline::sync`].
+    stage_totals: StageTimings,
 }
 
 /// A consensus disruption currently applied to the simulated network.
@@ -158,6 +176,7 @@ impl Pipeline {
             quarantine: Quarantine::new(),
             consensus_retries: 0,
             fault_plan: None,
+            stage_totals: StageTimings::default(),
         };
         for _ in 0..replica_count {
             pipeline.add_replica();
@@ -168,11 +187,14 @@ impl Pipeline {
     fn fresh_replica(&self) -> Replica {
         let store = Arc::new(EpochStore::new());
         (self.populate)(&store);
-        Replica::with_store(
-            self.config.scheduler.clone(),
-            Arc::clone(&self.catalog),
-            store,
-        )
+        let mut scheduler = self.config.scheduler.clone();
+        if scheduler.gc_keep_epochs.is_none() {
+            if let Some(keep) = self.config.gc_keep_epochs {
+                // The GC window must retain the preparation snapshots.
+                scheduler.gc_keep_epochs = Some(keep.max(scheduler.prepare_staleness + 1));
+            }
+        }
+        Replica::with_store(scheduler, Arc::clone(&self.catalog), store)
     }
 
     /// Adds (and returns the index of) a new replica, which recovers by
@@ -328,6 +350,13 @@ impl Pipeline {
         self.consensus_retries
     }
 
+    /// Per-stage timers summed across every batch applied by every
+    /// replica so far (predict/queue/execute/commit/apply, prepare-ahead
+    /// overlap, and fresh lock-queue allocations).
+    pub fn stage_totals(&self) -> &StageTimings {
+        &self.stage_totals
+    }
+
     /// Applies every newly committed batch to every replica (waiting for
     /// each replica's consensus node to have caught up), and verifies the
     /// replicas agree.
@@ -347,10 +376,18 @@ impl Pipeline {
                 return Err(PipelineError::ReplicaLagged { replica: idx });
             }
             let log = self.cluster.committed(slot.node);
-            for entry in log.iter().skip(slot.consumed) {
-                slot.replica.execute_batch(entry.payload.clone());
-            }
+            let new_batches: Vec<Vec<TxRequest>> =
+                log.iter().skip(slot.consumed).map(|entry| entry.payload.clone()).collect();
             slot.consumed = log.len();
+            if new_batches.is_empty() {
+                continue;
+            }
+            // Apply the run with prepare-ahead: batch N+1 classifies on
+            // the engine's queuer thread while batch N executes.
+            let outcomes = slot.replica.execute_stream(new_batches, self.config.prepare_ahead);
+            for outcome in &outcomes {
+                self.stage_totals.accumulate(&outcome.stage);
+            }
         }
         let digests = self.digests();
         assert!(
@@ -602,6 +639,62 @@ mod tests {
         let d = p.digests();
         assert_eq!(d[0], d[1], "replicas agree after the poison batch is dropped");
         p.shutdown();
+    }
+
+    #[test]
+    fn gc_keeps_version_count_bounded_over_many_batches() {
+        let (catalog, bump) = counter_catalog();
+        let config = PipelineConfig { gc_keep_epochs: Some(4), ..small_config() };
+        let mut p = Pipeline::new(catalog, config, 1, populate()).expect("boots");
+        let mut peak = 0usize;
+        // 40 batches of 8 bumps over 16 keys: without GC each batch adds
+        // new versions forever (~16 + 8·batches). With a 4-epoch window
+        // the chain length per key is bounded by the window.
+        for round in 0..40 {
+            for i in 0..8 {
+                p.submit(TxRequest::new(bump, vec![Value::Int((round * 8 + i) % 16)]))
+                    .expect("submits");
+            }
+            p.flush().expect("flushes");
+            p.sync().expect("syncs");
+            peak = peak.max(p.store(0).version_count());
+        }
+        // The 10ms batch window may cut extra partial batches between
+        // rounds; only a lower bound is deterministic.
+        assert!(p.committed_batches() >= 40);
+        // 16 keys × (1 latest + ≤4 kept epochs of history) is a generous
+        // bound; the unbounded path would exceed 300 versions by round 40.
+        assert!(peak <= 16 * 5, "version count unbounded: peak {peak}");
+        // The latest state is intact: every counter was bumped 20 times.
+        for i in 0..16 {
+            assert_eq!(
+                p.store(0).get_latest(&Key::of_ints(TableId(0), &[i])),
+                Some(Value::Int(20))
+            );
+        }
+        p.shutdown();
+    }
+
+    #[test]
+    fn prepare_ahead_matches_sequential_sync() {
+        let run = |prepare_ahead: usize| {
+            let (catalog, bump) = counter_catalog();
+            let config = PipelineConfig { prepare_ahead, ..small_config() };
+            let mut p = Pipeline::new(catalog, config, 2, populate()).expect("boots");
+            for i in 0..48 {
+                p.submit(TxRequest::new(bump, vec![Value::Int(i % 16)])).expect("submits");
+            }
+            p.flush().expect("flushes");
+            p.sync().expect("syncs");
+            let digest = p.digests()[0];
+            let batches = p.committed_batches();
+            p.shutdown();
+            (digest, batches)
+        };
+        let (sequential, b0) = run(0);
+        let (pipelined, b1) = run(1);
+        assert_eq!(b0, b1);
+        assert_eq!(sequential, pipelined, "prepare-ahead changed the state");
     }
 
     #[test]
