@@ -12,6 +12,10 @@ use prognosticator_bench::{
     render_table, rubis_setup, run_trial, tpcc_setup, RunResult, SustainConfig, SystemKind,
     WorkloadSetup,
 };
+use prognosticator_consensus::{LogStore, NetConfig, RaftCluster, RaftTiming, U64Codec, WalStore};
+use prognosticator_core::{baselines, Replica};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Fixed-size trial (no sustainability search — smoke must be fast and
 /// deterministic), reported through the same [`RunResult`] schema the
@@ -43,6 +47,94 @@ fn smoke_point(kind: SystemKind, setup: &WorkloadSetup, cfg: &SustainConfig, siz
         commit_us: per_batch_us(stats.stage.commit_ns),
         overlap_us: per_batch_us(stats.stage.overlap_ns),
         lock_fresh_allocs: stats.stage.lock_fresh_allocs,
+        ..RunResult::default()
+    }
+}
+
+/// Durability smoke: drives a WAL-backed consensus cluster through
+/// commits, compaction, and a snapshot-served rejoin, then times a
+/// deterministic replica recovery over a TPC-C batch log — populating the
+/// `wal_fsyncs` / `snapshot_installs` / `recovery_replay_us` counters so
+/// BENCH snapshots track durability-path regressions too.
+fn durability_point(setup: &WorkloadSetup) -> RunResult {
+    // WAL-backed 3-node cluster on real files under target/tmp.
+    let base = std::path::PathBuf::from("target/tmp/bench-durability")
+        .join(std::process::id().to_string());
+    let _ = std::fs::remove_dir_all(&base);
+    let stores: Vec<Box<dyn LogStore<u64>>> = (0..3)
+        .map(|i| {
+            Box::new(WalStore::open(base.join(format!("node{i}")), U64Codec).expect("open wal"))
+                as Box<dyn LogStore<u64>>
+        })
+        .collect();
+    let c = RaftCluster::with_log_stores(
+        3,
+        NetConfig::default(),
+        RaftTiming::default(),
+        0xBE7C4,
+        Vec::new(),
+        stores,
+    );
+    let leader = c.wait_for_leader(Duration::from_secs(10)).expect("leader");
+    for i in 0..4u64 {
+        assert!(c.propose_until_committed(i, Duration::from_secs(10)), "entry {i}");
+    }
+    // Push a follower behind the compaction horizon so the heal is served
+    // by InstallSnapshot rather than log replay.
+    let follower = (leader + 1) % 3;
+    c.net().isolate(follower);
+    for i in 4..12u64 {
+        assert!(c.propose_until_committed(i, Duration::from_secs(10)), "entry {i}");
+    }
+    c.compact_before(c.max_commit_index());
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while c.durability_stats().store.snapshots_written == 0 {
+        assert!(Instant::now() < deadline, "leader never compacted");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    c.net().reconnect(follower);
+    assert!(
+        c.wait_for_committed(follower, 12, Duration::from_secs(10)),
+        "follower rejoins via snapshot"
+    );
+    let durability = c.durability_stats();
+    let committed = c.committed(leader).len();
+    let mut cluster = c;
+    cluster.shutdown();
+    let _ = std::fs::remove_dir_all(&base);
+
+    // Deterministic recovery: replay a committed TPC-C batch log and
+    // check the recovered digest against the live run's.
+    let mut gen = (setup.make_gen)(0xD1_6E57);
+    let batches: Vec<_> = (0..5).map(|_| gen(32)).collect();
+    let fresh = || {
+        let store = Arc::new(prognosticator_storage::EpochStore::new());
+        (setup.populate)(&store);
+        store
+    };
+    let mut live = Replica::with_store(baselines::mq_mf(2), Arc::clone(&setup.catalog), fresh());
+    for batch in &batches {
+        live.execute_batch(batch.clone());
+    }
+    let digest = live.state_digest();
+    live.shutdown();
+    let (mut recovered, report) = Replica::recover(
+        baselines::mq_mf(2),
+        Arc::clone(&setup.catalog),
+        fresh(),
+        batches,
+        None,
+        Some(digest),
+    );
+    recovered.shutdown();
+
+    RunResult {
+        sustainable: true,
+        committed,
+        wal_fsyncs: durability.store.wal_fsyncs,
+        snapshot_installs: durability.snapshot_installs,
+        recovery_replay_us: report.replay_us,
+        ..RunResult::default()
     }
 }
 
@@ -89,6 +181,25 @@ fn main() {
         );
         groups.push((label, group));
     }
+
+    // Durability pass: WAL-backed cluster + deterministic recovery.
+    println!("\n== durability ==");
+    let d = durability_point(&tpcc_setup(2));
+    assert!(d.wal_fsyncs > 0, "durability smoke issued no fsyncs");
+    assert!(d.snapshot_installs > 0, "durability smoke installed no snapshot");
+    print!(
+        "{}",
+        render_table(
+            &["Committed", "wal fsyncs", "snapshot installs", "recovery replay µs"],
+            &[vec![
+                d.committed.to_string(),
+                d.wal_fsyncs.to_string(),
+                d.snapshot_installs.to_string(),
+                d.recovery_replay_us.to_string(),
+            ]]
+        )
+    );
+    groups.push(("durability".to_string(), vec![("WAL".to_string(), d)]));
 
     match write_snapshot("smoke", &snapshot_json("smoke", &groups)) {
         Ok(path) => println!("\nsnapshot: {}", path.display()),

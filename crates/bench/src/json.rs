@@ -157,6 +157,13 @@ pub fn run_result_json(system: &str, r: &RunResult) -> Json {
         ("commit_us", Json::Num(r.commit_us)),
         ("overlap_us", Json::Num(r.overlap_us)),
         ("lock_fresh_allocs", Json::Int(r.lock_fresh_allocs as i64)),
+        // Durability counters (the crash-recovery story of DESIGN.md §9):
+        // zero for the simulated exhibits, populated by `bench_smoke`'s
+        // durability group which drives a WAL-backed cluster and a
+        // replica recovery.
+        ("wal_fsyncs", Json::Int(r.wal_fsyncs as i64)),
+        ("snapshot_installs", Json::Int(r.snapshot_installs as i64)),
+        ("recovery_replay_us", Json::Int(r.recovery_replay_us as i64)),
     ])
 }
 
@@ -248,9 +255,28 @@ mod tests {
             commit_us: 0.3,
             overlap_us: 0.4,
             lock_fresh_allocs: 7,
+            ..RunResult::default()
         };
         let s = run_result_json("MQ-MF", &r).render();
         for needle in ["\"aborted\": 3", "\"abort_retries\": 17", "\"committed\": 640"] {
+            assert!(s.contains(needle), "{needle} missing from {s}");
+        }
+    }
+
+    #[test]
+    fn run_result_includes_durability_counters() {
+        let r = RunResult {
+            wal_fsyncs: 12,
+            snapshot_installs: 2,
+            recovery_replay_us: 314,
+            ..RunResult::default()
+        };
+        let s = run_result_json("MQ-MF", &r).render();
+        for needle in [
+            "\"wal_fsyncs\": 12",
+            "\"snapshot_installs\": 2",
+            "\"recovery_replay_us\": 314",
+        ] {
             assert!(s.contains(needle), "{needle} missing from {s}");
         }
     }

@@ -215,6 +215,15 @@ pub struct RunResult {
     /// builder's recycled pools cover the working set; always 0 in
     /// simulated mode, which models no allocator).
     pub lock_fresh_allocs: u64,
+    /// WAL fsyncs issued over the run (0 for purely simulated exhibits,
+    /// which model no disk; populated by the durability exhibit).
+    pub wal_fsyncs: u64,
+    /// Snapshots installed on followers from a leader's compacted log
+    /// (durability exhibit only).
+    pub snapshot_installs: u64,
+    /// Microseconds spent replaying the committed batch log during
+    /// deterministic crash recovery (durability exhibit only).
+    pub recovery_replay_us: u64,
 }
 
 /// Statistics of one fixed-size trial.
@@ -498,6 +507,7 @@ pub fn measure_sustainable(
             commit_us: per_batch_us(stats.stage.commit_ns, cfg.measure_batches),
             overlap_us: per_batch_us(stats.stage.overlap_ns, cfg.measure_batches),
             lock_fresh_allocs: stats.stage.lock_fresh_allocs,
+            ..RunResult::default()
         },
         None => RunResult::default(),
     }

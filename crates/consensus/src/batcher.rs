@@ -11,7 +11,26 @@
 //! changes, partitions), and [`Quarantine`] holds poison batches that
 //! exhausted their retries so one stuck proposal cannot wedge the stream.
 
+use std::collections::VecDeque;
 use std::time::{Duration, Instant};
+
+/// Result of a bounded admission attempt ([`Batcher::try_push`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Admission<T> {
+    /// The item was admitted; a batch may have been cut by the size cap
+    /// (retrievable via [`Batcher::take_ready`]).
+    Accepted,
+    /// The item was refused: admitting it would exceed the queue cap.
+    /// The item is handed back so the client can retry later; `reason` is
+    /// deterministic (a pure function of the cap and queue length) so
+    /// replicas replaying the same schedule reject identically.
+    Rejected {
+        /// The refused item, returned to the caller.
+        item: T,
+        /// Deterministic, human-readable rejection reason.
+        reason: String,
+    },
+}
 
 /// Bounded retry-with-backoff for transient consensus failures.
 ///
@@ -117,11 +136,21 @@ impl<T> Quarantine<T> {
 
 /// Accumulates items and cuts a batch when the window elapses or the batch
 /// reaches its size cap.
+///
+/// With a queue cap ([`Batcher::with_queue_cap`]) the batcher also bounds
+/// the total transactions it holds — buffered plus cut-but-untaken — and
+/// [`Batcher::try_push`] deterministically rejects admissions beyond the
+/// cap instead of growing without bound while the dispatcher cannot
+/// propose (e.g. during leader churn).
 #[derive(Debug)]
 pub struct Batcher<T> {
     window: Duration,
     max_size: usize,
+    queue_cap: Option<usize>,
     buffer: Vec<T>,
+    /// Batches cut by the size cap under [`Batcher::try_push`], awaiting
+    /// [`Batcher::take_ready`]. They still count against the queue cap.
+    ready: VecDeque<Vec<T>>,
     window_start: Instant,
 }
 
@@ -133,16 +162,80 @@ impl<T> Batcher<T> {
     /// Panics if `max_size` is zero.
     pub fn new(window: Duration, max_size: usize) -> Self {
         assert!(max_size > 0, "batch size cap must be positive");
-        Batcher { window, max_size, buffer: Vec::new(), window_start: Instant::now() }
+        Batcher {
+            window,
+            max_size,
+            queue_cap: None,
+            buffer: Vec::new(),
+            ready: VecDeque::new(),
+            window_start: Instant::now(),
+        }
+    }
+
+    /// Like [`Batcher::new`], additionally bounding the total queued
+    /// transactions (buffered + cut-but-untaken) at `queue_cap`;
+    /// [`Batcher::try_push`] rejects admissions beyond it.
+    ///
+    /// A cap below `max_size` is allowed: the size cutter then never
+    /// fires (the buffer cannot reach `max_size`) and batches are cut
+    /// only by the window ([`Batcher::poll`]) or [`Batcher::flush`] — the
+    /// cap becomes the effective maximum batch size.
+    ///
+    /// # Panics
+    /// Panics if `max_size` or `queue_cap` is zero (a zero cap would
+    /// reject every stream).
+    pub fn with_queue_cap(window: Duration, max_size: usize, queue_cap: usize) -> Self {
+        assert!(queue_cap > 0, "queue cap must be positive");
+        let mut b = Self::new(window, max_size);
+        b.queue_cap = Some(queue_cap);
+        b
     }
 
     /// Adds an item; returns a finished batch if the size cap was hit.
+    /// Does not consult the queue cap — use [`Batcher::try_push`] for
+    /// bounded admission.
     pub fn push(&mut self, item: T) -> Option<Vec<T>> {
         self.buffer.push(item);
         if self.buffer.len() >= self.max_size {
             return Some(self.cut());
         }
         None
+    }
+
+    /// Bounded admission: refuses the item (handing it back) when the
+    /// queue is at its cap, otherwise admits it, moving any size-capped
+    /// batch to the ready queue ([`Batcher::take_ready`]).
+    pub fn try_push(&mut self, item: T) -> Admission<T> {
+        if let Some(cap) = self.queue_cap {
+            let queued = self.queued();
+            if queued >= cap {
+                return Admission::Rejected {
+                    item,
+                    reason: format!("admission queue full: {queued} of {cap} transactions pending"),
+                };
+            }
+        }
+        self.buffer.push(item);
+        if self.buffer.len() >= self.max_size {
+            let batch = self.cut();
+            self.ready.push_back(batch);
+        }
+        Admission::Accepted
+    }
+
+    /// Pops the oldest batch cut by [`Batcher::try_push`], if any.
+    pub fn take_ready(&mut self) -> Option<Vec<T>> {
+        self.ready.pop_front()
+    }
+
+    /// Total transactions held: buffered plus cut-but-untaken.
+    pub fn queued(&self) -> usize {
+        self.buffer.len() + self.ready.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// The configured admission cap, if bounded.
+    pub fn queue_cap(&self) -> Option<usize> {
+        self.queue_cap
     }
 
     /// Returns a finished batch if the window has elapsed (empty windows
@@ -215,6 +308,64 @@ mod tests {
     fn time_to_cut_counts_down() {
         let b: Batcher<u8> = Batcher::new(Duration::from_secs(1), 10);
         assert!(b.time_to_cut() <= Duration::from_secs(1));
+    }
+
+    #[test]
+    fn try_push_rejects_at_cap_and_recovers_after_drain() {
+        // Window never fires, batches of 2, at most 4 queued transactions.
+        let mut b = Batcher::with_queue_cap(Duration::from_secs(60), 2, 4);
+        for i in 0..4 {
+            assert_eq!(b.try_push(i), Admission::Accepted, "item {i} fits under the cap");
+        }
+        assert_eq!(b.queued(), 4, "two cut batches queued");
+        match b.try_push(99) {
+            Admission::Rejected { item, reason } => {
+                assert_eq!(item, 99, "rejected item handed back");
+                assert_eq!(reason, "admission queue full: 4 of 4 transactions pending");
+            }
+            Admission::Accepted => panic!("cap must reject"),
+        }
+        // Deterministic: the same state rejects with the same reason.
+        let again = b.try_push(99);
+        assert!(matches!(&again, Admission::Rejected { reason, .. }
+            if reason == "admission queue full: 4 of 4 transactions pending"));
+        // Draining the ready queue frees capacity.
+        assert_eq!(b.take_ready(), Some(vec![0, 1]));
+        assert_eq!(b.try_push(99), Admission::Accepted);
+        assert_eq!(b.take_ready(), Some(vec![2, 3]));
+        assert_eq!(b.take_ready(), None);
+        assert_eq!(b.queued(), 1, "the late item is buffered");
+    }
+
+    #[test]
+    fn try_push_without_cap_never_rejects() {
+        let mut b = Batcher::new(Duration::from_secs(60), 2);
+        assert_eq!(b.queue_cap(), None);
+        for i in 0..100 {
+            assert_eq!(b.try_push(i), Admission::Accepted);
+        }
+        assert_eq!(b.queued(), 100);
+        let first = b.take_ready().expect("size cap cut batches");
+        assert_eq!(first, vec![0, 1]);
+    }
+
+    #[test]
+    fn queue_cap_below_batch_size_bounds_via_window_cuts() {
+        // Cap 3 under a size cap of 10: the size cutter can never fire,
+        // so admission rejects at 3 buffered and flush cuts the batch.
+        let mut b = Batcher::with_queue_cap(Duration::from_secs(60), 10, 3);
+        for i in 0..3u8 {
+            assert_eq!(b.try_push(i), Admission::Accepted);
+        }
+        assert!(matches!(b.try_push(9), Admission::Rejected { item: 9, .. }));
+        assert_eq!(b.flush(), Some(vec![0, 1, 2]));
+        assert_eq!(b.try_push(9), Admission::Accepted, "drained queue re-admits");
+    }
+
+    #[test]
+    #[should_panic(expected = "queue cap must be positive")]
+    fn zero_queue_cap_is_rejected() {
+        let _ = Batcher::<u8>::with_queue_cap(Duration::from_secs(1), 10, 0);
     }
 
     #[test]

@@ -3,12 +3,19 @@
 //! and a consensus protocol delivers identical batches, in the same order,
 //! to every replica (paper §III-A).
 //!
-//! * [`Batcher`] — client-side time/size-windowed batching;
+//! * [`Batcher`] — client-side time/size-windowed batching with bounded
+//!   admission ([`Admission`]) so the pending queue cannot grow without
+//!   bound during leader churn;
 //! * [`RetryPolicy`] / [`Quarantine`] — bounded retry-with-backoff for
 //!   transient ordering failures, and the poison-batch holding area that
 //!   keeps one stuck proposal from wedging the dispatcher;
 //! * [`RaftCluster`] — Raft-lite (election, replication, majority commit)
-//!   over a [`SimNet`] with injectable delay, loss and partitions.
+//!   over a [`SimNet`] with injectable delay, loss and partitions;
+//! * [`wal`] — durable persistence behind the [`LogStore`] seam: a
+//!   torn-write-tolerant on-disk WAL ([`WalStore`]) plus a hermetic
+//!   in-memory implementation ([`MemLogStore`]), snapshots of the
+//!   committed batch prefix, and seeded disk faults ([`DiskFault`]) for
+//!   crash-recovery testing.
 //!
 //! The payload type is generic; the full pipeline replicates
 //! `Vec<TxRequest>` batches through it (see the `replicated_pipeline`
@@ -17,7 +24,14 @@
 pub mod batcher;
 pub mod raft;
 pub mod simnet;
+pub mod wal;
 
-pub use batcher::{Batcher, Quarantine, Quarantined, RetryPolicy};
-pub use raft::{LogEntry, NodeView, RaftCluster, RaftMsg, RaftTiming};
+pub use batcher::{Admission, Batcher, Quarantine, Quarantined, RetryPolicy};
+pub use raft::{
+    election_jitter, DurabilityReport, LogEntry, NodeView, RaftCluster, RaftMsg, RaftTiming,
+};
 pub use simnet::{NetConfig, NodeId, SimNet};
+pub use wal::{
+    Codec, DiskFault, DurabilityStats, HardState, LogStore, MemLogStore, SnapshotData, U64Codec,
+    WalError, WalStore,
+};

@@ -3,16 +3,24 @@
 //!
 //! The paper assumes a consensus layer (Paxos/Raft, §III-A) that delivers
 //! identical batches in the same order to all replicas. This module
-//! implements that contract over the [`crate::simnet::SimNet`]: randomized
+//! implements that contract over the [`crate::simnet::SimNet`]: seeded
 //! election timeouts, per-term single votes, log-matching append, and
-//! majority commit. Omitted relative to full Raft: persistence, snapshots,
-//! and membership changes — none of which the paper's pipeline exercises.
+//! majority commit. Persistence and snapshots are provided through the
+//! [`LogStore`] seam ([`crate::wal`]): every term/vote/log mutation is
+//! saved before it takes effect, nodes can crash and restart from their
+//! store, and a follower that has fallen behind the compaction horizon
+//! catches up via an `InstallSnapshot` RPC instead of full log replay.
+//! Still omitted relative to full Raft: membership changes.
+//!
+//! Election timeouts are *deterministic*: each node's jitter is a pure
+//! function of `(seed, node, attempt)` and nodes occupy disjoint slots of
+//! the jitter window (see [`election_jitter`]), so two candidates can
+//! never pick the same timeout and tie forever.
 
 use crate::simnet::{NetConfig, NodeId, SimNet};
-use parking_lot::RwLock;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use std::sync::atomic::{AtomicBool, Ordering};
+use crate::wal::{DurabilityStats, HardState, LogStore, MemLogStore, SnapshotData};
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -93,6 +101,17 @@ pub enum RaftMsg<T> {
         /// Highest index known replicated on the follower.
         match_index: u64,
     },
+    /// Leader ships its snapshot to a follower whose next index has been
+    /// compacted away. Carries the full committed-prefix payload entries
+    /// (cheap here: the batch log *is* the replica state).
+    InstallSnapshot {
+        /// Leader's term.
+        term: u64,
+        /// Leader id.
+        leader: NodeId,
+        /// The snapshot to install.
+        snapshot: SnapshotData<T>,
+    },
     /// Client proposal (only the leader acts on it).
     Propose {
         /// Client-assigned unique id.
@@ -123,6 +142,36 @@ impl Default for RaftTiming {
     }
 }
 
+/// SplitMix64 finalizer — the deterministic hash behind election jitter.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Deterministic election-timeout jitter: a pure function of the run
+/// seed, the node id, and the per-node election attempt counter.
+///
+/// The jitter window (`election_max - election_min`) is divided into
+/// `nodes` disjoint slots and node `i` always lands inside slot `i`, so
+/// **two distinct nodes can never pick the same timeout** — candidate
+/// ties cannot repeat forever regardless of seed (the liveness regression
+/// the old thread-RNG jitter could only make improbable).
+pub fn election_jitter(
+    seed: u64,
+    node: NodeId,
+    nodes: usize,
+    attempt: u64,
+    span: Duration,
+) -> Duration {
+    let span_ns = span.as_nanos().max(1) as u64;
+    let slot = (span_ns / nodes.max(1) as u64).max(1);
+    let base = slot.saturating_mul(node as u64).min(span_ns - 1);
+    let h = mix64(seed ^ mix64((node as u64) << 32 | attempt));
+    Duration::from_nanos(base + h % slot)
+}
+
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Role {
     Follower,
@@ -141,7 +190,12 @@ pub struct NodeView<T> {
     pub is_leader: AtomicBool,
     /// Every term in which this node won an election — lets tests check
     /// the Election Safety property (at most one leader per term).
+    /// Preserved across crash/restart so safety checks span incarnations.
     pub leader_terms: RwLock<Vec<u64>>,
+    /// The node's raft commit index (includes leader no-ops).
+    pub commit_index: AtomicU64,
+    /// How many snapshots this node has installed from a leader.
+    pub snapshot_installs: AtomicU64,
 }
 
 impl<T> Default for NodeView<T> {
@@ -151,16 +205,26 @@ impl<T> Default for NodeView<T> {
             term: RwLock::new(0),
             is_leader: AtomicBool::new(false),
             leader_terms: RwLock::new(Vec::new()),
+            commit_index: AtomicU64::new(0),
+            snapshot_installs: AtomicU64::new(0),
         }
     }
 }
+
+/// Shared handle to a node's durable store.
+pub type SharedLogStore<T> = Arc<Mutex<Box<dyn LogStore<T>>>>;
 
 struct Node<T> {
     id: NodeId,
     n: usize,
     term: u64,
     voted_for: Option<NodeId>,
-    log: Vec<Record<T>>, // index i ↔ log[i-1]; indices are 1-based
+    /// In-memory log suffix; absolute index of `log[i]` is
+    /// `log_base + i + 1` (indices are 1-based, `log_base` = last index
+    /// covered by the snapshot).
+    log: Vec<Record<T>>,
+    log_base: u64,
+    snapshot: Option<SnapshotData<T>>,
     commit_index: u64,
     role: Role,
     votes: usize,
@@ -169,41 +233,76 @@ struct Node<T> {
     leader_hint: Option<NodeId>,
     view: Arc<NodeView<T>>,
     subscribers: Vec<Sender<LogEntry<T>>>,
-    rng: StdRng,
+    store: SharedLogStore<T>,
+    compact_to: Arc<AtomicU64>,
+    seed: u64,
+    election_attempt: u64,
     timing: RaftTiming,
     deadline: Instant,
 }
 
 impl<T: Clone + Send + Sync + 'static> Node<T> {
     fn last_log_index(&self) -> u64 {
-        self.log.len() as u64
+        self.log_base + self.log.len() as u64
     }
 
     fn last_log_term(&self) -> u64 {
-        self.log.last().map_or(0, |e| e.term)
+        self.log
+            .last()
+            .map(|e| e.term)
+            .or_else(|| self.snapshot.as_ref().map(|s| s.last_term))
+            .unwrap_or(0)
     }
 
     fn term_at(&self, index: u64) -> u64 {
         if index == 0 {
             0
+        } else if index == self.log_base {
+            self.snapshot.as_ref().map_or(0, |s| s.last_term)
+        } else if index < self.log_base {
+            0 // compacted away; callers never compare below the snapshot
         } else {
-            self.log.get(index as usize - 1).map_or(0, |e| e.term)
+            self.log.get((index - self.log_base - 1) as usize).map_or(0, |e| e.term)
         }
     }
 
+    fn persist_hard_state(&self) {
+        self.store
+            .lock()
+            .save_hard_state(HardState { term: self.term, voted_for: self.voted_for });
+    }
+
     fn reset_election_deadline(&mut self) {
+        self.election_attempt += 1;
         let span = self.timing.election_max - self.timing.election_min;
-        let jitter = Duration::from_nanos(self.rng.gen_range(0..span.as_nanos().max(1) as u64));
+        let jitter = election_jitter(self.seed, self.id, self.n, self.election_attempt, span);
         self.deadline = Instant::now() + self.timing.election_min + jitter;
     }
 
+    /// Adopts a higher term and reverts to follower. For followers and
+    /// candidates this deliberately does NOT reset the election deadline:
+    /// the timer only resets on granting a vote or on valid leader
+    /// contact. Resetting on mere term observation would let a
+    /// stale-logged candidate (which can never win) perpetually suppress
+    /// healthy nodes' timeouts — a livelock the deterministic slotted
+    /// jitter would otherwise never escape.
+    ///
+    /// A *deposed leader* is the exception: its deadline is stale from
+    /// its leadership tenure (leaders use it as a heartbeat timer), so
+    /// without a reset it would time out instantly and — often holding
+    /// the longest log — steal the election back, resurrecting entries
+    /// the deposing majority had already abandoned. It instead waits out
+    /// a full fresh slot, giving the in-flight election time to finish.
     fn become_follower(&mut self, term: u64) {
+        if self.role == Role::Leader {
+            self.reset_election_deadline();
+        }
         self.term = term;
         self.role = Role::Follower;
         self.voted_for = None;
+        self.persist_hard_state();
         self.view.is_leader.store(false, Ordering::Release);
         *self.view.term.write() = term;
-        self.reset_election_deadline();
     }
 
     fn become_leader(&mut self, net: &SimNet<RaftMsg<T>>) {
@@ -216,7 +315,9 @@ impl<T: Clone + Send + Sync + 'static> Node<T> {
         // entries of its own term, so without this a fresh leader would
         // sit on the previous leader's committed-but-unannounced tail
         // until the next client proposal arrived.
-        self.log.push(Record { term: self.term, id: 0, payload: None });
+        let noop = Record { term: self.term, id: 0, payload: None };
+        self.store.lock().append(&noop);
+        self.log.push(noop);
         self.match_index[self.id] = self.last_log_index();
         self.deadline = Instant::now(); // heartbeat immediately
         self.broadcast_append(net);
@@ -227,9 +328,10 @@ impl<T: Clone + Send + Sync + 'static> Node<T> {
 
     fn start_election(&mut self, net: &SimNet<RaftMsg<T>>) {
         self.term += 1;
-        *self.view.term.write() = self.term;
         self.role = Role::Candidate;
         self.voted_for = Some(self.id);
+        self.persist_hard_state();
+        *self.view.term.write() = self.term;
         self.votes = 1;
         self.view.is_leader.store(false, Ordering::Release);
         self.reset_election_deadline();
@@ -259,10 +361,26 @@ impl<T: Clone + Send + Sync + 'static> Node<T> {
                 continue;
             }
             let next = self.next_index[peer];
+            if next <= self.log_base {
+                // The entries this follower needs are compacted away:
+                // ship the snapshot instead of replaying the log.
+                if let Some(snap) = &self.snapshot {
+                    net.send(
+                        self.id,
+                        peer,
+                        RaftMsg::InstallSnapshot {
+                            term: self.term,
+                            leader: self.id,
+                            snapshot: snap.clone(),
+                        },
+                    );
+                    continue;
+                }
+            }
             let prev_index = next - 1;
             let prev_term = self.term_at(prev_index);
-            let entries: Vec<Record<T>> =
-                self.log.iter().skip(prev_index as usize).cloned().collect();
+            let skip = (prev_index - self.log_base) as usize;
+            let entries: Vec<Record<T>> = self.log.iter().skip(skip).cloned().collect();
             net.send(
                 self.id,
                 peer,
@@ -299,7 +417,8 @@ impl<T: Clone + Send + Sync + 'static> Node<T> {
         let index = index.min(self.last_log_index());
         while self.commit_index < index {
             self.commit_index += 1;
-            let rec = self.log[self.commit_index as usize - 1].clone();
+            debug_assert!(self.commit_index > self.log_base, "commit below snapshot base");
+            let rec = self.log[(self.commit_index - self.log_base - 1) as usize].clone();
             // Leader no-ops advance the commit index but are invisible to
             // clients: only records carrying a payload are published.
             if let Some(payload) = rec.payload {
@@ -308,6 +427,68 @@ impl<T: Clone + Send + Sync + 'static> Node<T> {
                 self.subscribers.retain(|s| s.send(entry.clone()).is_ok());
             }
         }
+        self.view.commit_index.store(self.commit_index, Ordering::Release);
+    }
+
+    /// Compacts the log up to `min(watermark, commit_index)`: persists a
+    /// snapshot of the full committed payload prefix and drops the
+    /// covered records. A failed durable install (injected disk fault)
+    /// skips compaction — the log stays authoritative and we retry later.
+    fn maybe_compact(&mut self) {
+        let want = self.compact_to.load(Ordering::Acquire).min(self.commit_index);
+        if want <= self.log_base {
+            return;
+        }
+        let mut entries = self.snapshot.as_ref().map_or_else(Vec::new, |s| s.entries.clone());
+        for rec in &self.log[..(want - self.log_base) as usize] {
+            if let Some(p) = &rec.payload {
+                entries.push(LogEntry { term: rec.term, id: rec.id, payload: p.clone() });
+            }
+        }
+        let snap = SnapshotData { last_index: want, last_term: self.term_at(want), entries };
+        if self.store.lock().install_snapshot(&snap).is_err() {
+            return;
+        }
+        self.log.drain(..(want - self.log_base) as usize);
+        self.log_base = want;
+        self.snapshot = Some(snap);
+    }
+
+    /// Installs a leader-shipped snapshot: persists it, replaces the
+    /// covered log prefix, publishes any newly-visible committed entries.
+    fn apply_snapshot(&mut self, snap: SnapshotData<T>) {
+        let keep_suffix = self.last_log_index() > snap.last_index
+            && self.term_at(snap.last_index) == snap.last_term;
+        {
+            let mut store = self.store.lock();
+            if store.install_snapshot(&snap).is_err() {
+                return; // durable install failed; leader will retry
+            }
+            if !keep_suffix {
+                store.truncate_from(snap.last_index + 1);
+            }
+        }
+        if keep_suffix {
+            let covered = (snap.last_index - self.log_base) as usize;
+            self.log.drain(..covered);
+        } else {
+            self.log.clear();
+        }
+        self.log_base = snap.last_index;
+        {
+            let mut committed = self.view.committed.write();
+            let old_len = committed.len();
+            for e in snap.entries.iter().skip(old_len) {
+                committed.push(e.clone());
+                self.subscribers.retain(|s| s.send(e.clone()).is_ok());
+            }
+        }
+        if snap.last_index > self.commit_index {
+            self.commit_index = snap.last_index;
+            self.view.commit_index.store(self.commit_index, Ordering::Release);
+        }
+        self.view.snapshot_installs.fetch_add(1, Ordering::AcqRel);
+        self.snapshot = Some(snap);
     }
 
     fn handle(&mut self, msg: RaftMsg<T>, net: &SimNet<RaftMsg<T>>) {
@@ -323,6 +504,7 @@ impl<T: Clone + Send + Sync + 'static> Node<T> {
                     && (self.voted_for.is_none() || self.voted_for == Some(candidate));
                 if granted {
                     self.voted_for = Some(candidate);
+                    self.persist_hard_state();
                     self.reset_election_deadline();
                 }
                 net.send(self.id, candidate, RaftMsg::Vote { term: self.term, from: self.id, granted });
@@ -340,69 +522,38 @@ impl<T: Clone + Send + Sync + 'static> Node<T> {
                 }
             }
             RaftMsg::AppendEntries { term, leader, prev_index, prev_term, entries, leader_commit } => {
-                if term > self.term || (term == self.term && self.role != Role::Leader) {
-                    if term > self.term {
-                        self.become_follower(term);
-                    } else {
-                        self.reset_election_deadline();
-                        self.role = Role::Follower;
-                        self.view.is_leader.store(false, Ordering::Release);
-                    }
-                    self.leader_hint = Some(leader);
-                    // Log matching check.
-                    let ok = prev_index <= self.last_log_index()
-                        && self.term_at(prev_index) == prev_term;
-                    if ok {
-                        // Truncate conflicts and append.
-                        for (idx, entry) in (prev_index as usize..).zip(entries) {
-                            if idx < self.log.len() {
-                                if self.log[idx].term != entry.term {
-                                    debug_assert!(
-                                        idx as u64 >= self.commit_index,
-                                        "conflicting entry below commit index"
-                                    );
-                                    self.log.truncate(idx);
-                                    self.log.push(entry);
-                                }
-                            } else {
-                                self.log.push(entry);
-                            }
-                        }
-                        self.set_commit(leader_commit.min(self.last_log_index()));
-                        net.send(
-                            self.id,
-                            leader,
-                            RaftMsg::AppendResp {
-                                term: self.term,
-                                from: self.id,
-                                success: true,
-                                match_index: self.last_log_index(),
-                            },
-                        );
-                    } else {
-                        net.send(
-                            self.id,
-                            leader,
-                            RaftMsg::AppendResp {
-                                term: self.term,
-                                from: self.id,
-                                success: false,
-                                match_index: prev_index.saturating_sub(1),
-                            },
-                        );
-                    }
-                } else if term < self.term {
+                self.handle_append_entries(term, leader, prev_index, prev_term, entries, leader_commit, net);
+            }
+            RaftMsg::InstallSnapshot { term, leader, snapshot } => {
+                if term < self.term {
                     net.send(
                         self.id,
                         leader,
-                        RaftMsg::AppendResp {
-                            term: self.term,
-                            from: self.id,
-                            success: false,
-                            match_index: 0,
-                        },
+                        RaftMsg::AppendResp { term: self.term, from: self.id, success: false, match_index: 0 },
                     );
+                    return;
                 }
+                if term > self.term {
+                    self.become_follower(term);
+                } else {
+                    self.role = Role::Follower;
+                    self.view.is_leader.store(false, Ordering::Release);
+                }
+                self.reset_election_deadline(); // valid leader contact
+                self.leader_hint = Some(leader);
+                if snapshot.last_index > self.commit_index {
+                    self.apply_snapshot(snapshot);
+                }
+                net.send(
+                    self.id,
+                    leader,
+                    RaftMsg::AppendResp {
+                        term: self.term,
+                        from: self.id,
+                        success: true,
+                        match_index: self.last_log_index(),
+                    },
+                );
             }
             RaftMsg::AppendResp { term, from, success, match_index } => {
                 if term > self.term {
@@ -424,9 +575,15 @@ impl<T: Clone + Send + Sync + 'static> Node<T> {
             }
             RaftMsg::Propose { id, payload } => {
                 if self.role == Role::Leader {
-                    let duplicate = self.log.iter().any(|e| e.id == id);
+                    let duplicate = self.log.iter().any(|e| e.id == id)
+                        || self
+                            .snapshot
+                            .as_ref()
+                            .is_some_and(|s| s.entries.iter().any(|e| e.id == id));
                     if !duplicate {
-                        self.log.push(Record { term: self.term, id, payload: Some(payload) });
+                        let rec = Record { term: self.term, id, payload: Some(payload) };
+                        self.store.lock().append(&rec);
+                        self.log.push(rec);
                         self.match_index[self.id] = self.last_log_index();
                         self.broadcast_append(net);
                         if self.n == 1 {
@@ -437,33 +594,174 @@ impl<T: Clone + Send + Sync + 'static> Node<T> {
             }
         }
     }
+
+    #[allow(clippy::too_many_arguments)]
+    fn handle_append_entries(
+        &mut self,
+        term: u64,
+        leader: NodeId,
+        mut prev_index: u64,
+        mut prev_term: u64,
+        mut entries: Vec<Record<T>>,
+        leader_commit: u64,
+        net: &SimNet<RaftMsg<T>>,
+    ) {
+        if term < self.term {
+            net.send(
+                self.id,
+                leader,
+                RaftMsg::AppendResp { term: self.term, from: self.id, success: false, match_index: 0 },
+            );
+            return;
+        }
+        if term > self.term {
+            self.become_follower(term);
+        } else if self.role != Role::Leader {
+            self.role = Role::Follower;
+            self.view.is_leader.store(false, Ordering::Release);
+        } else {
+            return; // two leaders in one term cannot happen
+        }
+        self.reset_election_deadline(); // valid leader contact
+        self.leader_hint = Some(leader);
+        if prev_index < self.log_base {
+            // The leader's window starts below our snapshot: everything
+            // up to log_base is committed state, so skip the overlap.
+            let skip = (self.log_base - prev_index) as usize;
+            if entries.len() <= skip {
+                net.send(
+                    self.id,
+                    leader,
+                    RaftMsg::AppendResp {
+                        term: self.term,
+                        from: self.id,
+                        success: true,
+                        match_index: self.last_log_index(),
+                    },
+                );
+                return;
+            }
+            entries.drain(..skip);
+            prev_index = self.log_base;
+            prev_term = self.term_at(self.log_base);
+        }
+        // Log matching check.
+        let ok = prev_index <= self.last_log_index() && self.term_at(prev_index) == prev_term;
+        if ok {
+            // Truncate conflicts and append (persisting each mutation).
+            let mut index = prev_index;
+            for entry in entries {
+                index += 1;
+                let pos = (index - self.log_base - 1) as usize;
+                if pos < self.log.len() {
+                    if self.log[pos].term != entry.term {
+                        debug_assert!(index > self.commit_index, "conflicting entry below commit index");
+                        self.log.truncate(pos);
+                        let mut store = self.store.lock();
+                        store.truncate_from(index);
+                        store.append(&entry);
+                        drop(store);
+                        self.log.push(entry);
+                    }
+                } else {
+                    self.store.lock().append(&entry);
+                    self.log.push(entry);
+                }
+            }
+            self.set_commit(leader_commit.min(self.last_log_index()));
+            net.send(
+                self.id,
+                leader,
+                RaftMsg::AppendResp {
+                    term: self.term,
+                    from: self.id,
+                    success: true,
+                    match_index: self.last_log_index(),
+                },
+            );
+        } else {
+            net.send(
+                self.id,
+                leader,
+                RaftMsg::AppendResp {
+                    term: self.term,
+                    from: self.id,
+                    success: false,
+                    match_index: prev_index.saturating_sub(1),
+                },
+            );
+        }
+    }
+}
+
+/// Aggregated durability counters for a whole cluster.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DurabilityReport {
+    /// Merged per-store counters (fsyncs, appends, snapshot writes, ...).
+    pub store: DurabilityStats,
+    /// Total snapshots installed from a leader across all nodes.
+    pub snapshot_installs: u64,
+}
+
+/// One node's seat in the cluster: everything that outlives the node
+/// thread across crash/restart cycles.
+struct Seat<T> {
+    view: Arc<NodeView<T>>,
+    store: SharedLogStore<T>,
+    compact_to: Arc<AtomicU64>,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+    subscribers: Vec<Sender<LogEntry<T>>>,
 }
 
 /// A running Raft cluster over a simulated network.
 pub struct RaftCluster<T: Clone + Send + Sync + 'static> {
     net: Arc<SimNet<RaftMsg<T>>>,
-    views: Vec<Arc<NodeView<T>>>,
-    shutdown: Arc<AtomicBool>,
-    handles: Vec<std::thread::JoinHandle<()>>,
-    next_id: std::sync::atomic::AtomicU64,
+    seats: Vec<Seat<T>>,
+    timing: RaftTiming,
+    seed: u64,
+    next_id: AtomicU64,
 }
 
 impl<T: Clone + Send + Sync + 'static> RaftCluster<T> {
-    /// Spawns `n` nodes with the given network fault model and timing.
+    /// Spawns `n` nodes with the given network fault model and timing,
+    /// each persisting into a hermetic in-memory [`MemLogStore`].
     pub fn new(n: usize, net_config: NetConfig, timing: RaftTiming, seed: u64) -> Self {
         Self::with_subscribers(n, net_config, timing, seed, Vec::new())
     }
 
     /// Like [`RaftCluster::new`], additionally attaching a committed-entry
     /// subscriber channel to each node (index-aligned; missing = none).
+    ///
+    /// Restarted nodes re-deliver entries committed after their snapshot,
+    /// so subscribers see at-least-once delivery across crashes.
     pub fn with_subscribers(
         n: usize,
         net_config: NetConfig,
         timing: RaftTiming,
         seed: u64,
+        subscribers: Vec<Vec<Sender<LogEntry<T>>>>,
+    ) -> Self {
+        let stores = (0..n)
+            .map(|_| Box::new(MemLogStore::new()) as Box<dyn LogStore<T>>)
+            .collect();
+        Self::with_log_stores(n, net_config, timing, seed, subscribers, stores)
+    }
+
+    /// Spawns `n` nodes over caller-provided durable stores (one per
+    /// node). Each node recovers its term, vote, snapshot, and log from
+    /// its store before joining the cluster, so a store carried over from
+    /// a previous incarnation resumes where it crashed.
+    pub fn with_log_stores(
+        n: usize,
+        net_config: NetConfig,
+        timing: RaftTiming,
+        seed: u64,
         mut subscribers: Vec<Vec<Sender<LogEntry<T>>>>,
+        stores: Vec<Box<dyn LogStore<T>>>,
     ) -> Self {
         assert!(n > 0, "cluster needs at least one node");
+        assert_eq!(stores.len(), n, "one store per node");
         subscribers.resize_with(n, Vec::new);
         let mut inboxes = Vec::new();
         let mut rxs: Vec<Receiver<RaftMsg<T>>> = Vec::new();
@@ -473,43 +771,45 @@ impl<T: Clone + Send + Sync + 'static> RaftCluster<T> {
             rxs.push(rx);
         }
         let net = Arc::new(SimNet::new(inboxes, net_config, seed));
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let mut views = Vec::new();
-        let mut handles = Vec::new();
-        for (id, (rx, subs)) in rxs.into_iter().zip(subscribers).enumerate() {
+        // Resume client-id allocation past anything already durable, so
+        // fresh proposals are never swallowed by leader-side dedup
+        // against entries recovered from a previous incarnation.
+        let max_recovered_id = stores
+            .iter()
+            .flat_map(|s| {
+                let from_log = s.records().into_iter().map(|r| r.id);
+                let from_snap = s
+                    .snapshot()
+                    .into_iter()
+                    .flat_map(|snap| snap.entries.into_iter().map(|e| e.id));
+                from_log.chain(from_snap).collect::<Vec<_>>()
+            })
+            .max()
+            .unwrap_or(0);
+        let mut seats = Vec::new();
+        for ((id, rx), (subs, store)) in
+            (0..n).zip(rxs).zip(subscribers.into_iter().zip(stores))
+        {
+            let store: SharedLogStore<T> = Arc::new(Mutex::new(store));
             let view = Arc::new(NodeView::default());
-            views.push(Arc::clone(&view));
-            let net = Arc::clone(&net);
-            let shutdown = Arc::clone(&shutdown);
-            let timing = timing.clone();
-            let handle = std::thread::Builder::new()
-                .name(format!("raft-node-{id}"))
-                .spawn(move || {
-                    let mut node = Node {
-                        id,
-                        n,
-                        term: 0,
-                        voted_for: None,
-                        log: Vec::new(),
-                        commit_index: 0,
-                        role: Role::Follower,
-                        votes: 0,
-                        next_index: vec![1; n],
-                        match_index: vec![0; n],
-                        leader_hint: None,
-                        view,
-                        subscribers: subs,
-                        rng: StdRng::seed_from_u64(seed ^ (id as u64).wrapping_mul(0x9e37)),
-                        timing,
-                        deadline: Instant::now(),
-                    };
-                    node.reset_election_deadline();
-                    node_loop(&mut node, &net, &shutdown, rx);
-                })
-                .expect("spawn raft node");
-            handles.push(handle);
+            let compact_to = Arc::new(AtomicU64::new(0));
+            let shutdown = Arc::new(AtomicBool::new(false));
+            let handle = spawn_node_thread(
+                id,
+                n,
+                Arc::clone(&net),
+                timing.clone(),
+                seed,
+                Arc::clone(&view),
+                Arc::clone(&store),
+                Arc::clone(&compact_to),
+                Arc::clone(&shutdown),
+                subs.clone(),
+                rx,
+            );
+            seats.push(Seat { view, store, compact_to, shutdown, handle: Some(handle), subscribers: subs });
         }
-        RaftCluster { net, views, shutdown, handles, next_id: std::sync::atomic::AtomicU64::new(1) }
+        RaftCluster { net, seats, timing, seed, next_id: AtomicU64::new(max_recovered_id + 1) }
     }
 
     /// The simulated network (for partitions / fault injection).
@@ -519,17 +819,22 @@ impl<T: Clone + Send + Sync + 'static> RaftCluster<T> {
 
     /// Number of nodes.
     pub fn len(&self) -> usize {
-        self.views.len()
+        self.seats.len()
     }
 
     /// Whether the cluster has no nodes.
     pub fn is_empty(&self) -> bool {
-        self.views.is_empty()
+        self.seats.is_empty()
+    }
+
+    /// The observable state of `node` (shared with its thread).
+    pub fn node_view(&self, node: NodeId) -> Arc<NodeView<T>> {
+        Arc::clone(&self.seats[node].view)
     }
 
     /// The current leader, if any node believes it is one.
     pub fn leader(&self) -> Option<NodeId> {
-        self.views.iter().position(|v| v.is_leader.load(Ordering::Acquire))
+        self.seats.iter().position(|s| s.view.is_leader.load(Ordering::Acquire))
     }
 
     /// Every node currently believing it is leader. Stale claims are
@@ -537,7 +842,7 @@ impl<T: Clone + Send + Sync + 'static> RaftCluster<T> {
     /// reconnects and observes the higher term.
     pub fn current_leaders(&self) -> Vec<NodeId> {
         (0..self.len())
-            .filter(|&n| self.views[n].is_leader.load(Ordering::Acquire))
+            .filter(|&n| self.seats[n].view.is_leader.load(Ordering::Acquire))
             .collect()
     }
 
@@ -556,7 +861,7 @@ impl<T: Clone + Send + Sync + 'static> RaftCluster<T> {
     /// Broadcasts a proposal (assigning it a fresh id) to every node; the
     /// leader appends it. Returns the id.
     pub fn propose(&self, payload: T) -> u64 {
-        let id = self.next_id.fetch_add(1, std::sync::atomic::Ordering::AcqRel);
+        let id = self.next_id.fetch_add(1, Ordering::AcqRel);
         self.propose_with_id(id, payload);
         id
     }
@@ -576,7 +881,7 @@ impl<T: Clone + Send + Sync + 'static> RaftCluster<T> {
     /// retries idempotent (leader-side dedup), so a batch can never be
     /// committed twice by an impatient client.
     pub fn begin_proposal(&self) -> u64 {
-        self.next_id.fetch_add(1, std::sync::atomic::Ordering::AcqRel)
+        self.next_id.fetch_add(1, Ordering::AcqRel)
     }
 
     /// Re-broadcasts the proposal `id` until it commits somewhere or the
@@ -601,7 +906,7 @@ impl<T: Clone + Send + Sync + 'static> RaftCluster<T> {
 
     /// Whether some node has committed the proposal with this id.
     pub fn proposal_committed(&self, id: u64) -> bool {
-        self.views.iter().any(|v| v.committed.read().iter().any(|e| e.id == id))
+        self.seats.iter().any(|s| s.view.committed.read().iter().any(|e| e.id == id))
     }
 
     /// Proposes and re-broadcasts until the entry commits on `observer`,
@@ -613,15 +918,15 @@ impl<T: Clone + Send + Sync + 'static> RaftCluster<T> {
 
     /// Snapshot of `node`'s committed log payloads.
     pub fn committed(&self, node: NodeId) -> Vec<LogEntry<T>> {
-        self.views[node].committed.read().clone()
+        self.seats[node].view.committed.read().clone()
     }
 
     /// Every `(node, term)` leadership claim observed so far — for
-    /// checking the Election Safety property in tests.
+    /// checking the Election Safety property in tests. Spans restarts.
     pub fn leadership_claims(&self) -> Vec<(NodeId, u64)> {
         let mut out = Vec::new();
-        for (node, view) in self.views.iter().enumerate() {
-            for term in view.leader_terms.read().iter() {
+        for (node, seat) in self.seats.iter().enumerate() {
+            for term in seat.view.leader_terms.read().iter() {
                 out.push((node, *term));
             }
         }
@@ -632,7 +937,7 @@ impl<T: Clone + Send + Sync + 'static> RaftCluster<T> {
     pub fn wait_for_committed(&self, node: NodeId, count: usize, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
         while Instant::now() < deadline {
-            if self.views[node].committed.read().len() >= count {
+            if self.seats[node].view.committed.read().len() >= count {
                 return true;
             }
             std::thread::sleep(Duration::from_millis(5));
@@ -640,11 +945,84 @@ impl<T: Clone + Send + Sync + 'static> RaftCluster<T> {
         false
     }
 
+    /// Requests every node compact its log up to `index` (clamped to each
+    /// node's own commit index). Wire this to the pipeline's commit
+    /// watermark; nodes compact asynchronously in their main loop.
+    pub fn compact_before(&self, index: u64) {
+        for seat in &self.seats {
+            seat.compact_to.fetch_max(index, Ordering::AcqRel);
+        }
+    }
+
+    /// The highest raft commit index any node has reached.
+    pub fn max_commit_index(&self) -> u64 {
+        self.seats.iter().map(|s| s.view.commit_index.load(Ordering::Acquire)).max().unwrap_or(0)
+    }
+
+    /// Merged durability counters across all nodes' stores.
+    pub fn durability_stats(&self) -> DurabilityReport {
+        let mut report = DurabilityReport::default();
+        for seat in &self.seats {
+            report.store = report.store.merge(&seat.store.lock().stats());
+            report.snapshot_installs += seat.view.snapshot_installs.load(Ordering::Acquire);
+        }
+        report
+    }
+
+    /// Whether `node` is currently running (not crashed).
+    pub fn is_running(&self, node: NodeId) -> bool {
+        self.seats[node].handle.is_some()
+    }
+
+    /// Kills `node`: its thread exits and its volatile state is lost.
+    /// The durable store survives in the seat for [`RaftCluster::restart`].
+    pub fn crash(&mut self, node: NodeId) {
+        let seat = &mut self.seats[node];
+        seat.shutdown.store(true, Ordering::Release);
+        if let Some(h) = seat.handle.take() {
+            let _ = h.join();
+        }
+        seat.view.is_leader.store(false, Ordering::Release);
+    }
+
+    /// Restarts a crashed node from its durable store: term, vote,
+    /// snapshot, and retained log are recovered; committed entries beyond
+    /// the snapshot are re-published as the node rejoins and catches up.
+    pub fn restart(&mut self, node: NodeId) {
+        let n = self.len();
+        let seat = &mut self.seats[node];
+        assert!(seat.handle.is_none(), "restart of a running node {node}");
+        let (tx, rx) = channel();
+        self.net.set_inbox(node, tx);
+        let old_terms = seat.view.leader_terms.read().clone();
+        let view = Arc::new(NodeView::default());
+        *view.leader_terms.write() = old_terms;
+        seat.view = Arc::clone(&view);
+        seat.shutdown = Arc::new(AtomicBool::new(false));
+        seat.handle = Some(spawn_node_thread(
+            node,
+            n,
+            Arc::clone(&self.net),
+            self.timing.clone(),
+            self.seed,
+            view,
+            Arc::clone(&seat.store),
+            Arc::clone(&seat.compact_to),
+            Arc::clone(&seat.shutdown),
+            seat.subscribers.clone(),
+            rx,
+        ));
+    }
+
     /// Stops all nodes and the network.
     pub fn shutdown(&mut self) {
-        self.shutdown.store(true, Ordering::Release);
-        for h in self.handles.drain(..) {
-            let _ = h.join();
+        for seat in &mut self.seats {
+            seat.shutdown.store(true, Ordering::Release);
+        }
+        for seat in &mut self.seats {
+            if let Some(h) = seat.handle.take() {
+                let _ = h.join();
+            }
         }
     }
 }
@@ -653,6 +1031,65 @@ impl<T: Clone + Send + Sync + 'static> Drop for RaftCluster<T> {
     fn drop(&mut self) {
         self.shutdown();
     }
+}
+
+/// Spawns one node thread, recovering its state from `store` first.
+#[allow(clippy::too_many_arguments)]
+fn spawn_node_thread<T: Clone + Send + Sync + 'static>(
+    id: NodeId,
+    n: usize,
+    net: Arc<SimNet<RaftMsg<T>>>,
+    timing: RaftTiming,
+    seed: u64,
+    view: Arc<NodeView<T>>,
+    store: SharedLogStore<T>,
+    compact_to: Arc<AtomicU64>,
+    shutdown: Arc<AtomicBool>,
+    subscribers: Vec<Sender<LogEntry<T>>>,
+    rx: Receiver<RaftMsg<T>>,
+) -> std::thread::JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("raft-node-{id}"))
+        .spawn(move || {
+            // Recovery: rebuild volatile state from the durable store.
+            let (hard, snapshot, log) = {
+                let s = store.lock();
+                (s.hard_state(), s.snapshot(), s.records())
+            };
+            let log_base = snapshot.as_ref().map_or(0, |s| s.last_index);
+            let commit_index = log_base;
+            if let Some(snap) = &snapshot {
+                *view.committed.write() = snap.entries.clone();
+                view.commit_index.store(log_base, Ordering::Release);
+            }
+            *view.term.write() = hard.term;
+            let mut node = Node {
+                id,
+                n,
+                term: hard.term,
+                voted_for: hard.voted_for,
+                log,
+                log_base,
+                snapshot,
+                commit_index,
+                role: Role::Follower,
+                votes: 0,
+                next_index: vec![1; n],
+                match_index: vec![0; n],
+                leader_hint: None,
+                view,
+                subscribers,
+                store,
+                compact_to,
+                seed,
+                election_attempt: 0,
+                timing,
+                deadline: Instant::now(),
+            };
+            node.reset_election_deadline();
+            node_loop(&mut node, &net, &shutdown, rx);
+        })
+        .expect("spawn raft node")
 }
 
 fn node_loop<T: Clone + Send + Sync + 'static>(
@@ -669,6 +1106,7 @@ fn node_loop<T: Clone + Send + Sync + 'static>(
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => return,
         }
+        node.maybe_compact();
         if Instant::now() >= node.deadline {
             match node.role {
                 Role::Leader => node.broadcast_append(net),
@@ -742,7 +1180,7 @@ mod tests {
         let mut second = None;
         while Instant::now() < deadline {
             if let Some(l) = (0..3).find(|&n| {
-                n != first && c.views[n].is_leader.load(Ordering::Acquire)
+                n != first && c.seats[n].view.is_leader.load(Ordering::Acquire)
             }) {
                 second = Some(l);
                 break;
@@ -818,5 +1256,51 @@ mod tests {
         assert!(c.propose_until_committed(99, Duration::from_secs(5)));
         let entry = rx.recv_timeout(Duration::from_secs(5)).expect("stream entry");
         assert_eq!(entry.payload, 99);
+    }
+
+    #[test]
+    fn election_jitter_slots_are_disjoint() {
+        // Two distinct nodes may never draw the same timeout: their
+        // jitter slots are disjoint sub-ranges of the window, for every
+        // seed and attempt. This is the "two nodes never tie forever"
+        // regression guard.
+        let span = Duration::from_millis(80);
+        for seed in [0u64, 1, 7, 0xdead_beef] {
+            for attempt in 0..50u64 {
+                let a = election_jitter(seed, 0, 2, attempt, span);
+                let b = election_jitter(seed, 1, 2, attempt, span);
+                assert!(a < span && b < span, "jitter inside the window");
+                assert!(
+                    a < span / 2 && b >= span / 2,
+                    "slots must be disjoint (seed {seed} attempt {attempt}: {a:?} vs {b:?})"
+                );
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn election_jitter_is_deterministic_but_varies_by_attempt() {
+        let span = Duration::from_millis(80);
+        let a1 = election_jitter(42, 1, 3, 1, span);
+        let a1_again = election_jitter(42, 1, 3, 1, span);
+        assert_eq!(a1, a1_again, "pure function of (seed, node, attempt)");
+        let distinct: std::collections::HashSet<_> =
+            (0..20u64).map(|att| election_jitter(42, 1, 3, att, span)).collect();
+        assert!(distinct.len() > 10, "attempts must actually vary the jitter");
+    }
+
+    #[test]
+    fn two_node_cluster_elects_quickly() {
+        // The classic pathological case for randomized timeouts: n = 2,
+        // where repeated split votes are possible. Slotted deterministic
+        // jitter guarantees the node-0 candidate always times out first.
+        for seed in 0..6u64 {
+            let c = cluster(2, seed);
+            assert!(
+                c.wait_for_leader(Duration::from_secs(5)).is_some(),
+                "two-node cluster must elect (seed {seed})"
+            );
+        }
     }
 }

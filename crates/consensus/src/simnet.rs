@@ -63,7 +63,7 @@ impl<M> Ord for Pending<M> {
 }
 
 struct Inner<M> {
-    inboxes: Vec<Sender<M>>,
+    inboxes: RwLock<Vec<Sender<M>>>,
     config: RwLock<NetConfig>,
     /// Pairs `(a, b)` that cannot communicate (both directions).
     partitions: RwLock<HashSet<(NodeId, NodeId)>>,
@@ -83,7 +83,7 @@ impl<M: Send + 'static> SimNet<M> {
     /// Builds a network delivering into the given per-node inboxes.
     pub fn new(inboxes: Vec<Sender<M>>, config: NetConfig, seed: u64) -> Self {
         let inner = Arc::new(Inner {
-            inboxes,
+            inboxes: RwLock::new(inboxes),
             config: RwLock::new(config),
             partitions: RwLock::new(HashSet::new()),
             queue: Mutex::new(BinaryHeap::new()),
@@ -101,12 +101,20 @@ impl<M: Send + 'static> SimNet<M> {
 
     /// Number of nodes.
     pub fn len(&self) -> usize {
-        self.inner.inboxes.len()
+        self.inner.inboxes.read().len()
     }
 
     /// Whether the network has no nodes.
     pub fn is_empty(&self) -> bool {
-        self.inner.inboxes.is_empty()
+        self.inner.inboxes.read().is_empty()
+    }
+
+    /// Replaces `node`'s inbox with a fresh channel — used when a node
+    /// restarts after a crash. Messages already queued for the old inbox
+    /// are silently dropped (the old receiver is gone), which is exactly
+    /// the network's view of a rebooted machine.
+    pub fn set_inbox(&self, node: NodeId, tx: Sender<M>) {
+        self.inner.inboxes.write()[node] = tx;
     }
 
     /// Sends `msg` from `from` to `to`, subject to the fault model.
@@ -214,7 +222,8 @@ fn pump_loop<M: Send>(inner: &Inner<M>) {
             }
         }
         for p in due {
-            if let Some(tx) = inner.inboxes.get(p.to) {
+            let tx = inner.inboxes.read().get(p.to).cloned();
+            if let Some(tx) = tx {
                 let _ = tx.send(p.msg); // receiver may be gone: fine
             }
         }

@@ -1,0 +1,894 @@
+//! Durable write-ahead log for the consensus layer.
+//!
+//! Raft requires three things to survive a crash: the current term, the
+//! vote cast in that term, and the log suffix that has not been compacted
+//! into a snapshot. This module provides that persistence behind the
+//! [`LogStore`] trait with two implementations:
+//!
+//! * [`MemLogStore`] — an in-memory "disk" so simnet tests stay hermetic
+//!   and fast while still exercising the exact save/recover code paths;
+//! * [`WalStore`] — a real on-disk store with a torn-write-tolerant frame
+//!   format plus atomically-renamed snapshot files.
+//!
+//! # WAL frame format
+//!
+//! The log file is a sequence of frames, each
+//!
+//! ```text
+//! [len: u32 LE] [crc32(payload): u32 LE] [payload: len bytes]
+//! ```
+//!
+//! Recovery scans frames from the start and truncates at the first torn
+//! (short) or corrupt (CRC-mismatched) frame — everything before it was
+//! fsynced and framed, so the prefix is exactly the durable state. Frame
+//! payloads are operations: a hard-state save, a record append, or a
+//! suffix truncation; replaying them rebuilds the in-memory mirror.
+//!
+//! # Snapshots
+//!
+//! [`LogStore::install_snapshot`] persists the full committed-prefix
+//! payload entries (cheap in a deterministic database: the batch log *is*
+//! the state) and drops the covered log prefix. The snapshot is written to
+//! a temp file, fsynced, then renamed over `snapshot.bin`, so a crash
+//! mid-snapshot leaves the previous snapshot and the full log intact; the
+//! log file is rewritten (same temp+rename dance) to contain only the
+//! retained suffix. A snapshot whose CRC does not verify at open time is
+//! ignored, never trusted.
+//!
+//! # Seeded disk faults
+//!
+//! [`WalStore::arm_fault`] arms exactly one [`DiskFault`] that fires on
+//! the next append or snapshot install, emulating the three classic
+//! durability failures (torn final frame, failed fsync, partial snapshot
+//! temp file). [`WalStore::simulate_crash`] then truncates the file to the
+//! last fsynced length — what the kernel would have persisted — so tests
+//! can reopen the directory and assert recovery semantics.
+
+use crate::raft::{LogEntry, Record};
+use crate::simnet::NodeId;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Raft state that must survive restarts for election safety: a node that
+/// forgets its vote could vote twice in one term and elect two leaders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HardState {
+    /// Latest term this node has seen.
+    pub term: u64,
+    /// Candidate voted for in `term`, if any.
+    pub voted_for: Option<NodeId>,
+}
+
+/// A snapshot of the committed prefix: the last covered log position plus
+/// every committed payload entry up to it (leader no-ops are not
+/// retained). Deterministic replicas rebuild state by replaying
+/// `entries`, so this is both the raft snapshot and the replica snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotData<T> {
+    /// Highest raft log index covered by this snapshot.
+    pub last_index: u64,
+    /// Term of the record at `last_index`.
+    pub last_term: u64,
+    /// All committed payload entries in log order, from index 1 through
+    /// `last_index`.
+    pub entries: Vec<LogEntry<T>>,
+}
+
+/// Durability counters exposed by every [`LogStore`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DurabilityStats {
+    /// Number of fsync calls issued (0 for [`MemLogStore`]).
+    pub wal_fsyncs: u64,
+    /// Number of record appends persisted.
+    pub wal_appends: u64,
+    /// Bytes written to the log file.
+    pub wal_bytes: u64,
+    /// Snapshots successfully persisted.
+    pub snapshots_written: u64,
+    /// Bytes dropped from the log tail during recovery (torn/corrupt).
+    pub torn_bytes_dropped: u64,
+}
+
+impl DurabilityStats {
+    /// Element-wise sum, for aggregating across a cluster.
+    pub fn merge(&self, other: &DurabilityStats) -> DurabilityStats {
+        DurabilityStats {
+            wal_fsyncs: self.wal_fsyncs + other.wal_fsyncs,
+            wal_appends: self.wal_appends + other.wal_appends,
+            wal_bytes: self.wal_bytes + other.wal_bytes,
+            snapshots_written: self.snapshots_written + other.snapshots_written,
+            torn_bytes_dropped: self.torn_bytes_dropped + other.torn_bytes_dropped,
+        }
+    }
+}
+
+/// A seeded durability fault, armed via [`WalStore::arm_fault`]; fires on
+/// the next matching operation and then disarms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskFault {
+    /// The next appended frame is written only partially (then fsynced):
+    /// the classic torn write. Recovery must drop exactly that frame.
+    TornFinalFrame,
+    /// The next append is written but the fsync is skipped, so
+    /// [`WalStore::simulate_crash`] discards it entirely.
+    FailedFsync,
+    /// The next snapshot install writes a truncated temp file and fails
+    /// before the rename, leaving the previous snapshot + full log intact.
+    PartialSnapshot,
+}
+
+/// Errors surfaced by durable stores.
+#[derive(Debug)]
+pub enum WalError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A persisted structure failed validation.
+    Corrupt(String),
+    /// An armed [`DiskFault`] fired.
+    Faulted(DiskFault),
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "wal io error: {e}"),
+            WalError::Corrupt(why) => write!(f, "wal corrupt: {why}"),
+            WalError::Faulted(fault) => write!(f, "injected disk fault: {fault:?}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<std::io::Error> for WalError {
+    fn from(e: std::io::Error) -> Self {
+        WalError::Io(e)
+    }
+}
+
+/// Serializes log payloads to bytes and back. Hand-rolled (no serde_json
+/// at runtime) so the on-disk format is explicit and versionable.
+pub trait Codec<T>: Send {
+    /// Appends the encoding of `value` to `out`.
+    fn encode(&self, value: &T, out: &mut Vec<u8>);
+    /// Decodes one value from `bytes` (which holds exactly one encoding).
+    fn decode(&self, bytes: &[u8]) -> Result<T, WalError>;
+}
+
+/// Codec for `u64` payloads — used by consensus-level tests and benches
+/// that replicate plain integers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct U64Codec;
+
+impl Codec<u64> for U64Codec {
+    fn encode(&self, value: &u64, out: &mut Vec<u8>) {
+        out.extend_from_slice(&value.to_le_bytes());
+    }
+
+    fn decode(&self, bytes: &[u8]) -> Result<u64, WalError> {
+        let arr: [u8; 8] = bytes
+            .try_into()
+            .map_err(|_| WalError::Corrupt(format!("u64 payload of {} bytes", bytes.len())))?;
+        Ok(u64::from_le_bytes(arr))
+    }
+}
+
+/// Persistence seam for a raft node. Implementations must make every
+/// mutation durable before returning (that is the contract the election
+/// safety argument rests on); [`MemLogStore`] "persists" to memory so the
+/// same code paths run hermetically.
+pub trait LogStore<T>: Send {
+    /// The persisted hard state (zeroed if never saved).
+    fn hard_state(&self) -> HardState;
+    /// Durably saves term + vote.
+    fn save_hard_state(&mut self, hs: HardState);
+    /// Index of the first record still in the log (`snapshot.last_index
+    /// + 1` after compaction, else 1).
+    fn first_index(&self) -> u64;
+    /// The retained records, starting at [`LogStore::first_index`].
+    fn records(&self) -> Vec<Record<T>>;
+    /// Durably appends one record at the next index.
+    fn append(&mut self, rec: &Record<T>);
+    /// Durably drops all records at absolute index `from` and above.
+    fn truncate_from(&mut self, from: u64);
+    /// The latest persisted snapshot, if any.
+    fn snapshot(&self) -> Option<SnapshotData<T>>;
+    /// Persists `snap` and drops the log prefix it covers. On error the
+    /// previous snapshot and the full log are still intact — callers skip
+    /// compaction and may retry later.
+    fn install_snapshot(&mut self, snap: &SnapshotData<T>) -> Result<(), WalError>;
+    /// Durability counters accumulated so far.
+    fn stats(&self) -> DurabilityStats;
+}
+
+/// In-memory [`LogStore`]: the "disk" is the struct itself, so a raft
+/// node crash/restart test can hand the same store back to the restarted
+/// node and exercise recovery without touching the filesystem.
+#[derive(Debug)]
+pub struct MemLogStore<T> {
+    hard: HardState,
+    base: u64,
+    recs: Vec<Record<T>>,
+    snap: Option<SnapshotData<T>>,
+    stats: DurabilityStats,
+}
+
+impl<T> Default for MemLogStore<T> {
+    fn default() -> Self {
+        MemLogStore { hard: HardState::default(), base: 0, recs: Vec::new(), snap: None, stats: DurabilityStats::default() }
+    }
+}
+
+impl<T> MemLogStore<T> {
+    /// A fresh, empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl<T: Clone + Send> LogStore<T> for MemLogStore<T> {
+    fn hard_state(&self) -> HardState {
+        self.hard
+    }
+
+    fn save_hard_state(&mut self, hs: HardState) {
+        self.hard = hs;
+    }
+
+    fn first_index(&self) -> u64 {
+        self.base + 1
+    }
+
+    fn records(&self) -> Vec<Record<T>> {
+        self.recs.clone()
+    }
+
+    fn append(&mut self, rec: &Record<T>) {
+        self.recs.push(rec.clone());
+        self.stats.wal_appends += 1;
+    }
+
+    fn truncate_from(&mut self, from: u64) {
+        let keep = from.saturating_sub(self.base + 1) as usize;
+        self.recs.truncate(keep);
+    }
+
+    fn snapshot(&self) -> Option<SnapshotData<T>> {
+        self.snap.clone()
+    }
+
+    fn install_snapshot(&mut self, snap: &SnapshotData<T>) -> Result<(), WalError> {
+        let drop_n = snap.last_index.saturating_sub(self.base) as usize;
+        self.recs.drain(..drop_n.min(self.recs.len()));
+        self.base = snap.last_index;
+        self.snap = Some(snap.clone());
+        self.stats.snapshots_written += 1;
+        Ok(())
+    }
+
+    fn stats(&self) -> DurabilityStats {
+        self.stats
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Byte-level helpers (little-endian, bounds-checked reads).
+// ---------------------------------------------------------------------------
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected), bitwise — no lookup table,
+/// plenty fast for frame-sized payloads.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = 0xffff_ffff;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xedb8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Cursor over a byte slice with checked reads.
+pub(crate) struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.pos >= self.buf.len()
+    }
+
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], WalError> {
+        if self.pos + n > self.buf.len() {
+            return Err(WalError::Corrupt(format!(
+                "short read: wanted {n} bytes at {}, have {}",
+                self.pos,
+                self.buf.len()
+            )));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, WalError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, WalError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, WalError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+}
+
+/// Wraps `payload` in a `[len][crc][payload]` frame.
+fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 8);
+    put_u32(&mut out, payload.len() as u32);
+    put_u32(&mut out, crc32(payload));
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Splits `buf` into frame payloads, stopping at the first torn or
+/// corrupt frame. Returns `(payloads, valid_prefix_len)`.
+fn scan_frames(buf: &[u8]) -> (Vec<&[u8]>, usize) {
+    const MAX_FRAME: u32 = 1 << 30;
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while buf.len() - pos >= 8 {
+        let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().expect("4 bytes"));
+        let crc = u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        if len > MAX_FRAME {
+            break; // garbage length: corrupt header
+        }
+        let end = pos + 8 + len as usize;
+        if end > buf.len() {
+            break; // torn frame: payload shorter than promised
+        }
+        let payload = &buf[pos + 8..end];
+        if crc32(payload) != crc {
+            break; // corrupt payload
+        }
+        out.push(payload);
+        pos = end;
+    }
+    (out, pos)
+}
+
+// Log-file operation tags.
+const OP_HARD_STATE: u8 = 1;
+const OP_APPEND: u8 = 2;
+const OP_TRUNCATE: u8 = 3;
+
+/// File-backed [`LogStore`]. Keeps an in-memory mirror (rebuilt at
+/// [`WalStore::open`]) so reads never touch the disk.
+pub struct WalStore<T, C: Codec<T>> {
+    dir: PathBuf,
+    file: File,
+    codec: C,
+    /// File length at the last successful fsync — exactly what survives
+    /// [`WalStore::simulate_crash`].
+    durable_len: u64,
+    /// Current file length including unsynced writes.
+    write_len: u64,
+    armed: Option<DiskFault>,
+    hard: HardState,
+    base: u64,
+    recs: Vec<Record<T>>,
+    snap: Option<SnapshotData<T>>,
+    stats: DurabilityStats,
+}
+
+impl<T: Clone + Send, C: Codec<T>> WalStore<T, C> {
+    const LOG_FILE: &'static str = "wal.log";
+    const SNAP_FILE: &'static str = "snapshot.bin";
+
+    /// Opens (or creates) the store rooted at `dir`, running torn-tail
+    /// recovery on the log file and CRC validation on the snapshot.
+    pub fn open(dir: impl AsRef<Path>, codec: C) -> Result<Self, WalError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+
+        let mut stats = DurabilityStats::default();
+        // A corrupt snapshot is never trusted: fall back to the log.
+        let snap =
+            Self::read_snapshot(&dir.join(Self::SNAP_FILE), &codec).ok().flatten();
+        let base = snap.as_ref().map_or(0, |s| s.last_index);
+
+        let log_path = dir.join(Self::LOG_FILE);
+        let mut file = OpenOptions::new().read(true).write(true).create(true).truncate(false).open(&log_path)?;
+        let mut buf = Vec::new();
+        file.read_to_end(&mut buf)?;
+        let (payloads, valid) = scan_frames(&buf);
+        if valid < buf.len() {
+            // Torn or corrupt tail: truncate to the durable prefix.
+            stats.torn_bytes_dropped += (buf.len() - valid) as u64;
+            file.set_len(valid as u64)?;
+            file.sync_data()?;
+            stats.wal_fsyncs += 1;
+        }
+
+        let mut hard = HardState::default();
+        let mut recs: Vec<Record<T>> = Vec::new();
+        for payload in payloads {
+            let mut r = ByteReader::new(payload);
+            match r.u8()? {
+                OP_HARD_STATE => {
+                    let term = r.u64()?;
+                    let voted = if r.u8()? == 1 { Some(r.u64()? as NodeId) } else { None };
+                    hard = HardState { term, voted_for: voted };
+                }
+                OP_APPEND => {
+                    let term = r.u64()?;
+                    let id = r.u64()?;
+                    let payload = if r.u8()? == 1 {
+                        let len = r.u32()? as usize;
+                        Some(codec.decode(r.take(len)?)?)
+                    } else {
+                        None
+                    };
+                    recs.push(Record { term, id, payload });
+                }
+                OP_TRUNCATE => {
+                    let from = r.u64()?;
+                    let keep = from.saturating_sub(base + 1) as usize;
+                    recs.truncate(keep);
+                }
+                tag => return Err(WalError::Corrupt(format!("unknown op tag {tag}"))),
+            }
+        }
+
+        file.seek(SeekFrom::End(0))?;
+        let len = valid as u64;
+        Ok(WalStore {
+            dir,
+            file,
+            codec,
+            durable_len: len,
+            write_len: len,
+            armed: None,
+            hard,
+            base,
+            recs,
+            snap,
+            stats,
+        })
+    }
+
+    fn read_snapshot(path: &Path, codec: &C) -> Result<Option<SnapshotData<T>>, WalError> {
+        let buf = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(_) => return Ok(None),
+        };
+        let (payloads, valid) = scan_frames(&buf);
+        if payloads.len() != 1 || valid != buf.len() {
+            return Err(WalError::Corrupt("snapshot frame invalid".into()));
+        }
+        let mut r = ByteReader::new(payloads[0]);
+        let last_index = r.u64()?;
+        let last_term = r.u64()?;
+        let count = r.u32()? as usize;
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            let term = r.u64()?;
+            let id = r.u64()?;
+            let len = r.u32()? as usize;
+            entries.push(LogEntry { term, id, payload: codec.decode(r.take(len)?)? });
+        }
+        if !r.is_empty() {
+            return Err(WalError::Corrupt("trailing bytes in snapshot".into()));
+        }
+        Ok(Some(SnapshotData { last_index, last_term, entries }))
+    }
+
+    /// Arms a one-shot disk fault; it fires on the next matching
+    /// operation (append for torn/fsync faults, snapshot install for
+    /// [`DiskFault::PartialSnapshot`]) and then disarms.
+    pub fn arm_fault(&mut self, fault: DiskFault) {
+        self.armed = Some(fault);
+    }
+
+    /// Emulates a machine crash: truncates the log to the last fsynced
+    /// length (unsynced writes vanish, torn-but-synced bytes stay) and
+    /// drops the in-memory mirror. Reopen with [`WalStore::open`].
+    pub fn simulate_crash(self) -> Result<PathBuf, WalError> {
+        self.file.set_len(self.durable_len)?;
+        self.file.sync_data()?;
+        Ok(self.dir.clone())
+    }
+
+    /// The directory this store persists into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn encode_record(&self, rec: &Record<T>) -> Vec<u8> {
+        let mut p = Vec::new();
+        p.push(OP_APPEND);
+        put_u64(&mut p, rec.term);
+        put_u64(&mut p, rec.id);
+        match &rec.payload {
+            Some(v) => {
+                p.push(1);
+                let mut body = Vec::new();
+                self.codec.encode(v, &mut body);
+                put_u32(&mut p, body.len() as u32);
+                p.extend_from_slice(&body);
+            }
+            None => p.push(0),
+        }
+        p
+    }
+
+    /// Writes one frame, honoring an armed torn-write/failed-fsync fault.
+    fn write_frame(&mut self, payload: &[u8]) {
+        let framed = frame(payload);
+        match self.armed {
+            Some(DiskFault::TornFinalFrame) => {
+                self.armed = None;
+                // Half the frame reaches the platter and *is* synced:
+                // recovery must drop it by CRC/length check alone.
+                let torn = &framed[..framed.len() / 2];
+                let _ = self.file.write_all(torn);
+                let _ = self.file.sync_data();
+                self.stats.wal_fsyncs += 1;
+                self.write_len += torn.len() as u64;
+                self.durable_len = self.write_len;
+                self.stats.wal_bytes += torn.len() as u64;
+            }
+            Some(DiskFault::FailedFsync) => {
+                self.armed = None;
+                // The write lands in the page cache but never syncs:
+                // simulate_crash() discards it wholesale.
+                let _ = self.file.write_all(&framed);
+                self.write_len += framed.len() as u64;
+                self.stats.wal_bytes += framed.len() as u64;
+            }
+            _ => {
+                self.file.write_all(&framed).expect("wal write");
+                self.file.sync_data().expect("wal fsync");
+                self.stats.wal_fsyncs += 1;
+                self.write_len += framed.len() as u64;
+                self.durable_len = self.write_len;
+                self.stats.wal_bytes += framed.len() as u64;
+            }
+        }
+    }
+
+    /// Rewrites the log file from the in-memory mirror (used after
+    /// snapshot installs so the covered prefix is reclaimed).
+    fn rewrite_log(&mut self) -> Result<(), WalError> {
+        let tmp = self.dir.join("wal.log.tmp");
+        let mut out = Vec::new();
+        let mut hs = Vec::new();
+        hs.push(OP_HARD_STATE);
+        put_u64(&mut hs, self.hard.term);
+        match self.hard.voted_for {
+            Some(v) => {
+                hs.push(1);
+                put_u64(&mut hs, v as u64);
+            }
+            None => hs.push(0),
+        }
+        out.extend_from_slice(&frame(&hs));
+        for rec in &self.recs {
+            let p = self.encode_record(rec);
+            out.extend_from_slice(&frame(&p));
+        }
+        let mut f = File::create(&tmp)?;
+        f.write_all(&out)?;
+        f.sync_data()?;
+        std::fs::rename(&tmp, self.dir.join(Self::LOG_FILE))?;
+        self.stats.wal_fsyncs += 1;
+        self.stats.wal_bytes += out.len() as u64;
+        self.file = OpenOptions::new().read(true).append(true).open(self.dir.join(Self::LOG_FILE))?;
+        self.write_len = out.len() as u64;
+        self.durable_len = self.write_len;
+        Ok(())
+    }
+}
+
+impl<T: Clone + Send, C: Codec<T>> LogStore<T> for WalStore<T, C> {
+    fn hard_state(&self) -> HardState {
+        self.hard
+    }
+
+    fn save_hard_state(&mut self, hs: HardState) {
+        self.hard = hs;
+        let mut p = Vec::new();
+        p.push(OP_HARD_STATE);
+        put_u64(&mut p, hs.term);
+        match hs.voted_for {
+            Some(v) => {
+                p.push(1);
+                put_u64(&mut p, v as u64);
+            }
+            None => p.push(0),
+        }
+        self.write_frame(&p);
+    }
+
+    fn first_index(&self) -> u64 {
+        self.base + 1
+    }
+
+    fn records(&self) -> Vec<Record<T>> {
+        self.recs.clone()
+    }
+
+    fn append(&mut self, rec: &Record<T>) {
+        let p = self.encode_record(rec);
+        self.write_frame(&p);
+        self.recs.push(rec.clone());
+        self.stats.wal_appends += 1;
+    }
+
+    fn truncate_from(&mut self, from: u64) {
+        let keep = from.saturating_sub(self.base + 1) as usize;
+        self.recs.truncate(keep);
+        let mut p = Vec::new();
+        p.push(OP_TRUNCATE);
+        put_u64(&mut p, from);
+        self.write_frame(&p);
+    }
+
+    fn snapshot(&self) -> Option<SnapshotData<T>> {
+        self.snap.clone()
+    }
+
+    fn install_snapshot(&mut self, snap: &SnapshotData<T>) -> Result<(), WalError> {
+        let mut p = Vec::new();
+        put_u64(&mut p, snap.last_index);
+        put_u64(&mut p, snap.last_term);
+        put_u32(&mut p, snap.entries.len() as u32);
+        for e in &snap.entries {
+            put_u64(&mut p, e.term);
+            put_u64(&mut p, e.id);
+            let mut body = Vec::new();
+            self.codec.encode(&e.payload, &mut body);
+            put_u32(&mut p, body.len() as u32);
+            p.extend_from_slice(&body);
+        }
+        let framed = frame(&p);
+        let tmp = self.dir.join("snapshot.bin.tmp");
+        if self.armed == Some(DiskFault::PartialSnapshot) {
+            self.armed = None;
+            // Crash mid-snapshot: a truncated temp file is left behind
+            // and the rename never happens. The previous snapshot and the
+            // full log remain authoritative.
+            let mut f = File::create(&tmp)?;
+            f.write_all(&framed[..framed.len() / 2])?;
+            f.sync_data()?;
+            self.stats.wal_fsyncs += 1;
+            return Err(WalError::Faulted(DiskFault::PartialSnapshot));
+        }
+        let mut f = File::create(&tmp)?;
+        f.write_all(&framed)?;
+        f.sync_data()?;
+        std::fs::rename(&tmp, self.dir.join(Self::SNAP_FILE))?;
+        self.stats.wal_fsyncs += 1;
+
+        let drop_n = snap.last_index.saturating_sub(self.base) as usize;
+        self.recs.drain(..drop_n.min(self.recs.len()));
+        self.base = snap.last_index;
+        self.snap = Some(snap.clone());
+        self.stats.snapshots_written += 1;
+        self.rewrite_log()?;
+        Ok(())
+    }
+
+    fn stats(&self) -> DurabilityStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target/tmp/wal")
+            .join(format!("{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn rec(term: u64, id: u64, v: u64) -> Record<u64> {
+        Record { term, id, payload: Some(v) }
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // "123456789" → 0xcbf43926 is the canonical CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+    }
+
+    #[test]
+    fn roundtrips_hard_state_and_records() {
+        let dir = tmpdir("roundtrip");
+        {
+            let mut s = WalStore::open(&dir, U64Codec).unwrap();
+            s.save_hard_state(HardState { term: 3, voted_for: Some(1) });
+            s.append(&rec(3, 1, 10));
+            s.append(&rec(3, 2, 20));
+            s.append(&Record { term: 3, id: 0, payload: None });
+        }
+        let s = WalStore::open(&dir, U64Codec).unwrap();
+        assert_eq!(s.hard_state(), HardState { term: 3, voted_for: Some(1) });
+        assert_eq!(s.first_index(), 1);
+        let recs = s.records();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[0].payload, Some(10));
+        assert_eq!(recs[2].payload, None);
+    }
+
+    #[test]
+    fn truncate_survives_reopen() {
+        let dir = tmpdir("truncate");
+        {
+            let mut s = WalStore::open(&dir, U64Codec).unwrap();
+            s.append(&rec(1, 1, 10));
+            s.append(&rec(1, 2, 20));
+            s.append(&rec(1, 3, 30));
+            s.truncate_from(2);
+            s.append(&rec(2, 4, 40));
+        }
+        let s = WalStore::open(&dir, U64Codec).unwrap();
+        let recs = s.records();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].payload, Some(10));
+        assert_eq!(recs[1].payload, Some(40));
+    }
+
+    #[test]
+    fn torn_final_frame_is_dropped_on_recovery() {
+        let dir = tmpdir("torn");
+        {
+            let mut s = WalStore::open(&dir, U64Codec).unwrap();
+            s.append(&rec(1, 1, 10));
+            s.arm_fault(DiskFault::TornFinalFrame);
+            s.append(&rec(1, 2, 20)); // torn: half the frame hits disk
+            s.simulate_crash().unwrap();
+        }
+        let s = WalStore::open(&dir, U64Codec).unwrap();
+        assert_eq!(s.records().len(), 1, "torn frame must be dropped");
+        assert_eq!(s.records()[0].payload, Some(10));
+        assert!(s.stats().torn_bytes_dropped > 0);
+    }
+
+    #[test]
+    fn failed_fsync_discards_unsynced_append() {
+        let dir = tmpdir("fsync");
+        {
+            let mut s = WalStore::open(&dir, U64Codec).unwrap();
+            s.append(&rec(1, 1, 10));
+            s.arm_fault(DiskFault::FailedFsync);
+            s.append(&rec(1, 2, 20)); // written but never synced
+            s.simulate_crash().unwrap();
+        }
+        let s = WalStore::open(&dir, U64Codec).unwrap();
+        assert_eq!(s.records().len(), 1, "unsynced append must vanish");
+        // The tail was cut at the durable length, so nothing is torn.
+        assert_eq!(s.stats().torn_bytes_dropped, 0);
+    }
+
+    #[test]
+    fn partial_snapshot_preserves_previous_state() {
+        let dir = tmpdir("partial-snap");
+        {
+            let mut s = WalStore::open(&dir, U64Codec).unwrap();
+            for i in 1..=4 {
+                s.append(&rec(1, i, i * 10));
+            }
+            let good = SnapshotData {
+                last_index: 2,
+                last_term: 1,
+                entries: vec![
+                    LogEntry { term: 1, id: 1, payload: 10 },
+                    LogEntry { term: 1, id: 2, payload: 20 },
+                ],
+            };
+            s.install_snapshot(&good).unwrap();
+            assert_eq!(s.first_index(), 3);
+
+            let bigger = SnapshotData {
+                last_index: 4,
+                last_term: 1,
+                entries: vec![
+                    LogEntry { term: 1, id: 1, payload: 10 },
+                    LogEntry { term: 1, id: 2, payload: 20 },
+                    LogEntry { term: 1, id: 3, payload: 30 },
+                    LogEntry { term: 1, id: 4, payload: 40 },
+                ],
+            };
+            s.arm_fault(DiskFault::PartialSnapshot);
+            assert!(s.install_snapshot(&bigger).is_err(), "armed fault must fail install");
+            // Compaction must NOT have happened.
+            assert_eq!(s.first_index(), 3);
+            s.simulate_crash().unwrap();
+        }
+        let s = WalStore::open(&dir, U64Codec).unwrap();
+        let snap = s.snapshot().expect("previous snapshot intact");
+        assert_eq!(snap.last_index, 2);
+        assert_eq!(s.records().len(), 2, "uncompacted suffix intact");
+    }
+
+    #[test]
+    fn snapshot_compacts_log_file() {
+        let dir = tmpdir("compact");
+        let mut s = WalStore::open(&dir, U64Codec).unwrap();
+        for i in 1..=8 {
+            s.append(&rec(1, i, i));
+        }
+        let before = std::fs::metadata(dir.join("wal.log")).unwrap().len();
+        let snap = SnapshotData {
+            last_index: 8,
+            last_term: 1,
+            entries: (1..=8).map(|i| LogEntry { term: 1, id: i, payload: i }).collect(),
+        };
+        s.install_snapshot(&snap).unwrap();
+        let after = std::fs::metadata(dir.join("wal.log")).unwrap().len();
+        assert!(after < before, "log file must shrink after compaction ({before} -> {after})");
+        assert_eq!(s.first_index(), 9);
+        assert!(s.records().is_empty());
+
+        // Reopen: snapshot is authoritative, log empty.
+        drop(s);
+        let s = WalStore::open(&dir, U64Codec).unwrap();
+        assert_eq!(s.snapshot().unwrap().entries.len(), 8);
+        assert!(s.records().is_empty());
+    }
+
+    #[test]
+    fn mem_store_roundtrip_matches_wal_semantics() {
+        let mut s: MemLogStore<u64> = MemLogStore::new();
+        s.save_hard_state(HardState { term: 2, voted_for: None });
+        s.append(&rec(2, 1, 1));
+        s.append(&rec(2, 2, 2));
+        s.truncate_from(2);
+        assert_eq!(s.records().len(), 1);
+        s.append(&rec(2, 3, 3));
+        let snap = SnapshotData {
+            last_index: 2,
+            last_term: 2,
+            entries: vec![LogEntry { term: 2, id: 1, payload: 1 }, LogEntry { term: 2, id: 3, payload: 3 }],
+        };
+        s.install_snapshot(&snap).unwrap();
+        assert_eq!(s.first_index(), 3);
+        assert!(s.records().is_empty());
+        assert_eq!(s.hard_state().term, 2);
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_ignored() {
+        let dir = tmpdir("corrupt-snap");
+        {
+            let mut s = WalStore::open(&dir, U64Codec).unwrap();
+            s.append(&rec(1, 1, 10));
+        }
+        std::fs::write(dir.join("snapshot.bin"), b"garbage-not-a-frame").unwrap();
+        let s = WalStore::open(&dir, U64Codec).unwrap();
+        assert!(s.snapshot().is_none(), "corrupt snapshot must be ignored");
+        assert_eq!(s.records().len(), 1, "log still authoritative");
+    }
+}

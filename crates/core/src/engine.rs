@@ -1134,6 +1134,16 @@ fn worker_loop(worker_id: usize, shared: &Shared, store: &EpochStore) {
             run_guarded(&work, || {
                 while let Some(i) = work.rot_queues[worker_id].pop() {
                     let slot = &work.slots[i as usize];
+                    // Recovery replay: reproduce the original injected
+                    // abort without unwinding the worker again.
+                    if let Some(reason) = work
+                        .fault_plan
+                        .as_ref()
+                        .and_then(|plan| plan.replay_abort(work.batch_index, i))
+                    {
+                        record_abort(slot, reason);
+                        continue;
+                    }
                     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                         if let Some(plan) = &work.fault_plan {
                             plan.maybe_inject_worker_panic(work.batch_index, i);
@@ -1230,6 +1240,17 @@ fn worker_loop(worker_id: usize, shared: &Shared, store: &EpochStore) {
 /// identically on every replica.
 fn execute_update_slot(work: &BatchWork, i: TxIdx, store: &EpochStore) {
     let slot = &work.slots[i as usize];
+    // Recovery replay: the original run unwound here; reproduce the same
+    // abort (same reason, same discarded writes) without panicking. The
+    // caller still releases the slot's locks exactly as on the live path.
+    if let Some(reason) = work
+        .fault_plan
+        .as_ref()
+        .and_then(|plan| plan.replay_abort(work.batch_index, i))
+    {
+        record_abort(slot, reason);
+        return;
+    }
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         if let Some(plan) = &work.fault_plan {
             plan.maybe_inject_worker_panic(work.batch_index, i);

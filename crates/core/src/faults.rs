@@ -81,6 +81,23 @@ impl std::fmt::Display for AbortReason {
     }
 }
 
+/// A disk-level fault decided for a batch (applied by the harness, which
+/// owns the WAL handles — the consensus crate sits *above* this one in
+/// the dependency graph, so core only *decides*; the testkit maps this
+/// onto the WAL's own fault enum before arming it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DiskFaultKind {
+    /// The final WAL frame is written only partially before the crash
+    /// (torn write). Recovery must drop the torn tail.
+    TornFinalFrame,
+    /// The write lands in the page cache but the fsync fails; the crash
+    /// loses everything past the last durable offset.
+    FailedFsync,
+    /// A snapshot file is truncated mid-write and never renamed into
+    /// place; recovery must fall back to the previous snapshot + log.
+    PartialSnapshot,
+}
+
 /// A consensus-level disruption decided for a batch (applied by the test
 /// harness, which owns the network handles).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -113,6 +130,19 @@ pub struct FaultPlan {
     pub storage_spike_latency: Duration,
     /// Probability (‰) that a given batch gets a consensus disruption.
     pub consensus_fault_per_mille: u16,
+    /// Probability (‰) that the crash at a scheduled crash point is
+    /// accompanied by a disk fault (torn frame / failed fsync / partial
+    /// snapshot) rather than a clean kill.
+    pub disk_fault_per_mille: u16,
+    /// Scheduled crash point: the harness kills the replica after this
+    /// batch's WAL append. `None` means the run never crashes.
+    pub crash_at_batch: Option<u64>,
+    /// Replay mode: this plan is driving recovery replay of batches that
+    /// already executed once. Injection goes quiet (no panics, spikes, or
+    /// disruptions fire) but [`FaultPlan::replay_abort`] still reproduces
+    /// the aborts the original run recorded, so the replayed outcome
+    /// vector is byte-identical to the pre-crash one.
+    pub replay: bool,
 }
 
 impl FaultPlan {
@@ -124,6 +154,9 @@ impl FaultPlan {
             storage_spike_per_mille: 0,
             storage_spike_latency: Duration::from_micros(50),
             consensus_fault_per_mille: 0,
+            disk_fault_per_mille: 0,
+            crash_at_batch: None,
+            replay: false,
         }
     }
 
@@ -147,6 +180,35 @@ impl FaultPlan {
     pub fn with_consensus_faults(mut self, per_mille: u16) -> Self {
         self.consensus_fault_per_mille = per_mille;
         self
+    }
+
+    /// Enables disk faults at crash points at the given per-mille rate.
+    #[must_use]
+    pub fn with_disk_faults(mut self, per_mille: u16) -> Self {
+        self.disk_fault_per_mille = per_mille;
+        self
+    }
+
+    /// Schedules a crash after `batch`'s WAL append.
+    #[must_use]
+    pub fn with_crash_at(mut self, batch: u64) -> Self {
+        self.crash_at_batch = Some(batch);
+        self
+    }
+
+    /// Derives the replay-mode variant of this plan: identical decision
+    /// coordinates, but live injection is suppressed and
+    /// [`FaultPlan::replay_abort`] reproduces the original aborts.
+    #[must_use]
+    pub fn replay(mut self) -> Self {
+        self.replay = true;
+        self.crash_at_batch = None;
+        self
+    }
+
+    /// Whether this plan is the replay-mode variant.
+    pub fn is_replay(&self) -> bool {
+        self.replay
     }
 
     /// The plan's seed.
@@ -186,9 +248,24 @@ impl FaultPlan {
     /// Panics with [`FaultPlan::injected_panic_message`] when the plan
     /// injects a fault for `(batch, tx)`; otherwise returns normally.
     /// Call from inside a per-transaction `catch_unwind` scope.
+    /// No-ops in replay mode — recovery must not unwind workers again;
+    /// [`FaultPlan::replay_abort`] reproduces the abort instead.
     pub fn maybe_inject_worker_panic(&self, batch: u64, tx: u32) {
-        if self.injects_worker_panic(batch, tx) {
+        if !self.replay && self.injects_worker_panic(batch, tx) {
             panic!("{}", Self::injected_panic_message(batch, tx));
+        }
+    }
+
+    /// During recovery replay, the abort the *original* run recorded for
+    /// `(batch, tx)` — `Some` exactly where the live run panicked, with
+    /// the byte-identical [`AbortReason`], but without any unwinding.
+    /// Always `None` outside replay mode (the live path injects the real
+    /// panic instead).
+    pub fn replay_abort(&self, batch: u64, tx: u32) -> Option<AbortReason> {
+        if self.replay && self.injects_worker_panic(batch, tx) {
+            Some(Self::injected_abort_reason(batch, tx))
+        } else {
+            None
         }
     }
 
@@ -198,18 +275,22 @@ impl FaultPlan {
         AbortReason::InjectedFault(Self::injected_panic_message(batch, tx))
     }
 
-    /// The latency spike for `batch`, if any.
+    /// The latency spike for `batch`, if any. Quiet in replay mode:
+    /// spikes perturb timing only, and recovery replays state, not
+    /// timing.
     pub fn storage_spike(&self, batch: u64) -> Option<Duration> {
-        if self.roll(2, batch, 0, self.storage_spike_per_mille) {
+        if !self.replay && self.roll(2, batch, 0, self.storage_spike_per_mille) {
             Some(self.storage_spike_latency)
         } else {
             None
         }
     }
 
-    /// The consensus disruption for `batch`, if any.
+    /// The consensus disruption for `batch`, if any. Quiet in replay
+    /// mode: a recovering replica replays a local durable prefix and
+    /// never touches the network.
     pub fn consensus_fault(&self, batch: u64) -> Option<ConsensusFault> {
-        if !self.roll(3, batch, 0, self.consensus_fault_per_mille) {
+        if self.replay || !self.roll(3, batch, 0, self.consensus_fault_per_mille) {
             return None;
         }
         let pick = self.mix(4, batch, 0);
@@ -220,6 +301,24 @@ impl FaultPlan {
                 a: (pick >> 8) as usize,
                 b: (pick >> 16) as usize,
             })
+        }
+    }
+
+    /// Whether the harness kills the replica after `batch`'s WAL append.
+    pub fn crashes_at(&self, batch: u64) -> bool {
+        !self.replay && self.crash_at_batch == Some(batch)
+    }
+
+    /// The disk fault accompanying the crash at `batch`, if any. Only
+    /// meaningful at a scheduled crash point; quiet in replay mode.
+    pub fn disk_fault(&self, batch: u64) -> Option<DiskFaultKind> {
+        if self.replay || !self.roll(5, batch, 0, self.disk_fault_per_mille) {
+            return None;
+        }
+        match self.mix(6, batch, 0) % 3 {
+            0 => Some(DiskFaultKind::TornFinalFrame),
+            1 => Some(DiskFaultKind::FailedFsync),
+            _ => Some(DiskFaultKind::PartialSnapshot),
         }
     }
 }
@@ -282,6 +381,52 @@ mod tests {
             AbortReason::from_panic_message("division by zero".into()),
             AbortReason::WorkloadBug(_)
         ));
+    }
+
+    #[test]
+    fn replay_mode_is_quiet_but_reproduces_aborts() {
+        let live = FaultPlan::quiet(21)
+            .with_worker_panics(400)
+            .with_storage_spikes(400, Duration::from_micros(80))
+            .with_consensus_faults(400);
+        let replay = live.clone().replay();
+        assert!(replay.is_replay());
+        for batch in 0..30u64 {
+            // Timing/network faults never fire during replay.
+            assert!(replay.storage_spike(batch).is_none());
+            assert!(replay.consensus_fault(batch).is_none());
+            for tx in 0..20u32 {
+                // No unwinding in replay mode, even where the live plan
+                // panics...
+                replay.maybe_inject_worker_panic(batch, tx);
+                // ...but the abort vector is reproduced byte-identically.
+                let expect = if live.injects_worker_panic(batch, tx) {
+                    Some(FaultPlan::injected_abort_reason(batch, tx))
+                } else {
+                    None
+                };
+                assert_eq!(replay.replay_abort(batch, tx), expect);
+                // And the live plan never consults the replay path.
+                assert_eq!(live.replay_abort(batch, tx), None);
+            }
+        }
+    }
+
+    #[test]
+    fn crash_points_and_disk_faults_are_deterministic() {
+        let p = FaultPlan::quiet(33).with_crash_at(7).with_disk_faults(1000);
+        assert!(p.crashes_at(7));
+        assert!(!p.crashes_at(6));
+        assert_eq!(p.disk_fault(7), p.disk_fault(7), "pure function");
+        assert!(p.disk_fault(7).is_some(), "1000 per mille always faults");
+        // Different batches can draw different fault kinds.
+        let kinds: std::collections::HashSet<_> =
+            (0..64u64).filter_map(|b| p.disk_fault(b)).collect();
+        assert!(kinds.len() > 1, "expected variety, got {kinds:?}");
+        // The replay variant neither crashes nor faults the disk.
+        let r = p.replay();
+        assert!(!r.crashes_at(7));
+        assert!(r.disk_fault(7).is_none());
     }
 
     #[test]

@@ -56,10 +56,10 @@ pub use engine::{
     StageTimings, TxOutcome,
 };
 pub use exec::{AccessScope, ExecView, TxFailure};
-pub use faults::{AbortReason, ConsensusFault, FaultPlan};
+pub use faults::{AbortReason, ConsensusFault, DiskFaultKind, FaultPlan};
 pub use locktable::{
     BuilderStats, FifoPolicy, LockTable, LockTableBuilder, ReadyPolicy, SeededShufflePolicy, TxIdx,
 };
 pub use pipelined::PipelinedExecutor;
-pub use replica::Replica;
+pub use replica::{RecoveryReport, Replica};
 pub use prognosticator_symexec::TxClass;

@@ -22,10 +22,81 @@ pub struct Replica {
     carry_over: Vec<TxRequest>,
 }
 
+/// What [`Replica::recover`] did: how much of the durable batch log it
+/// replayed and what state it reached.
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// Number of committed batches replayed from the durable log.
+    pub batches_replayed: usize,
+    /// Total transactions across the replayed batches.
+    pub transactions: usize,
+    /// Per-batch outcomes of the replay — byte-identical to the outcomes
+    /// the pre-crash run recorded for the same prefix (including aborts
+    /// reproduced from the fault plan's replay path).
+    pub outcomes: Vec<crate::engine::BatchOutcome>,
+    /// Wall-clock microseconds spent replaying.
+    pub replay_us: u64,
+    /// State digest after replay.
+    pub digest: u64,
+}
+
 impl Replica {
     /// Creates a replica with a fresh store.
     pub fn new(config: SchedulerConfig, catalog: Arc<Catalog>) -> Self {
         Self::with_store(config, catalog, Arc::new(EpochStore::new()))
+    }
+
+    /// Rebuilds a replica from the durable committed-batch log.
+    ///
+    /// In a deterministic database the ordered batch log *is* the state:
+    /// recovery is nothing but replaying the committed prefix against a
+    /// fresh store. `plan` is the fault plan the pre-crash run executed
+    /// under, if any — replay runs its [`FaultPlan::replay`] variant, so
+    /// no faults are re-injected (no worker unwinds, spikes, or network
+    /// disruptions) yet every originally injected abort is reproduced
+    /// with the byte-identical reason, keeping the replayed outcome
+    /// vector equal to the pre-crash one.
+    ///
+    /// Panics if `expected_digest` is provided and the recovered digest
+    /// differs — a recovery-soundness violation, never a transient error.
+    /// `store` is the replica's *bootstrap* state — the same initial rows
+    /// every replica starts from (recovery replays the batch log on top
+    /// of it, not on an empty store).
+    pub fn recover(
+        config: SchedulerConfig,
+        catalog: Arc<Catalog>,
+        store: Arc<EpochStore>,
+        committed_batches: Vec<Vec<TxRequest>>,
+        plan: Option<&FaultPlan>,
+        expected_digest: Option<u64>,
+    ) -> (Self, RecoveryReport) {
+        let started = std::time::Instant::now();
+        let mut replica = Self::with_store(config, catalog, store);
+        replica.set_fault_plan(plan.map(|p| p.clone().replay()));
+        let batches_replayed = committed_batches.len();
+        let transactions = committed_batches.iter().map(Vec::len).sum();
+        let mut outcomes = Vec::with_capacity(batches_replayed);
+        for batch in committed_batches {
+            outcomes.push(replica.execute_batch(batch));
+        }
+        // Recovery ends where the crash happened; new live batches run
+        // under the original plan again, which the caller reinstalls.
+        replica.set_fault_plan(plan.cloned());
+        let digest = replica.state_digest();
+        if let Some(expected) = expected_digest {
+            assert_eq!(
+                digest, expected,
+                "recovered digest diverged from pre-crash digest"
+            );
+        }
+        let report = RecoveryReport {
+            batches_replayed,
+            transactions,
+            outcomes,
+            replay_us: started.elapsed().as_micros() as u64,
+            digest,
+        };
+        (replica, report)
     }
 
     /// Creates a replica over an existing (pre-populated) store.

@@ -22,6 +22,12 @@
 //!   checks that [`Profile::predict`](prognosticator_symexec::Profile::predict)
 //!   returned a superset, reporting the over-approximation ratio per
 //!   workload.
+//! * [`recovery`] — a crash-recovery fuzzer: for each seeded crash point
+//!   it kills a WAL-backed replica mid-batch (optionally under a torn
+//!   write, failed fsync, or partial snapshot), restarts it from the
+//!   durable prefix via faults-quiet replay, re-executes the lost tail,
+//!   and requires byte-identical outcome traces and digests versus a
+//!   never-crashed reference across worker counts.
 //!
 //! [`strategies`] supplies `proptest` strategies generating
 //! [`TxRequest`](prognosticator_core::TxRequest) batches and seeded
@@ -33,12 +39,16 @@
 //! [`Engine`]: prognosticator_core::Engine
 
 pub mod differential;
+pub mod recovery;
 pub mod schedule;
 pub mod soundness;
 pub mod strategies;
 pub mod workload;
 
 pub use differential::{run_differential, DifferentialConfig, DifferentialReport, Mismatch};
+pub use recovery::{
+    crash_batch_for, run_crash_recovery, CrashRecoveryReport, RecoveryFuzzConfig, RecoveryMismatch,
+};
 pub use schedule::{explore_schedules, ScheduleReport, ScheduleSweep};
 pub use soundness::{check_soundness, SoundnessError, SoundnessReport};
 pub use strategies::{batch_strategy, fault_plan_strategy, tx_request_strategy, workload_strategy};

@@ -15,14 +15,18 @@
 //! The [`pipeline`] module assembles the full deterministic database —
 //! client batching, consensus ordering and a replica fleet — behind one
 //! [`Pipeline`] handle, including recovery of late-joining replicas by
-//! committed-log replay.
+//! committed-log replay. The [`wal_codec`] module supplies the binary
+//! batch codec that lets the consensus WAL persist `Vec<TxRequest>`
+//! payloads durably.
 //!
 //! See the repository `README.md` for a quickstart and `DESIGN.md` for the
 //! full system inventory; runnable examples live under `examples/`.
 
 pub mod pipeline;
+pub mod wal_codec;
 
 pub use pipeline::{Pipeline, PipelineConfig, PipelineError};
+pub use wal_codec::TxBatchCodec;
 
 pub use prognosticator_consensus as consensus;
 pub use prognosticator_core as core;
