@@ -47,8 +47,50 @@ fn smoke_point(kind: SystemKind, setup: &WorkloadSetup, cfg: &SustainConfig, siz
         commit_us: per_batch_us(stats.stage.commit_ns),
         overlap_us: per_batch_us(stats.stage.overlap_ns),
         lock_fresh_allocs: stats.stage.lock_fresh_allocs,
+        lock_waits: stats.stage.lock_waits,
+        lock_contended_keys: stats.stage.lock_contended_keys,
+        stage_hists: stats.stage_hists,
         ..RunResult::default()
     }
+}
+
+/// Observability-overhead guardrail: the same simulated trial, with the
+/// metrics registry and flight recorders hot versus cold, must cost
+/// about the same wall-clock time. The tolerance (default 5%) can be
+/// widened on noisy runners via `PROGNOSTICATOR_OBS_OVERHEAD_PCT`;
+/// best-of-N timing on each side filters scheduler noise.
+fn obs_overhead_guard(setup: &WorkloadSetup, cfg: &SustainConfig, size: usize) {
+    const ROUNDS: usize = 3;
+    let time_side = |enabled: bool| -> Duration {
+        prognosticator_obs::set_default_enabled(enabled);
+        let mut best = Duration::MAX;
+        for _ in 0..ROUNDS {
+            let started = Instant::now();
+            let stats = run_trial(SystemKind::MqMf, setup, cfg, size);
+            assert!(stats.committed > 0, "overhead trial committed nothing");
+            best = best.min(started.elapsed());
+        }
+        best
+    };
+    // Warm both paths once (allocators, lazily-built registry entries).
+    let disabled = time_side(false);
+    let enabled = time_side(true);
+    prognosticator_obs::set_default_enabled(false);
+    let limit_pct: f64 = std::env::var("PROGNOSTICATOR_OBS_OVERHEAD_PCT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5.0);
+    let overhead_pct =
+        (enabled.as_secs_f64() / disabled.as_secs_f64() - 1.0).max(0.0) * 100.0;
+    println!(
+        "obs overhead: disabled {:?}, enabled {:?} ({overhead_pct:.2}% overhead, limit {limit_pct}%)",
+        disabled, enabled
+    );
+    assert!(
+        overhead_pct <= limit_pct,
+        "observability overhead {overhead_pct:.2}% exceeds {limit_pct}% \
+         (disabled {disabled:?} vs enabled {enabled:?})"
+    );
 }
 
 /// Durability smoke: drives a WAL-backed consensus cluster through
@@ -161,26 +203,54 @@ fn main() {
         for kind in systems {
             let r = smoke_point(kind, &setup, &cfg, batch_size);
             assert!(r.committed > 0, "{label}/{}: smoke trial committed nothing", kind.name());
+            assert!(
+                !r.stage_hists.is_empty(),
+                "{label}/{}: smoke trial produced no stage histograms",
+                kind.name()
+            );
+            let exec = r
+                .stage_hists
+                .iter()
+                .find(|h| h.stage == "execute")
+                .expect("execute histogram present");
             rows.push(vec![
                 kind.name(),
                 r.committed.to_string(),
                 format!("{:.1}", r.predict_us),
                 format!("{:.1}", r.queue_us),
                 format!("{:.1}", r.execute_us),
+                format!("{}/{}/{}", exec.p50_us, exec.p95_us, exec.p99_us),
                 format!("{:.1}", r.commit_us),
                 format!("{:.1}", r.overlap_us),
+                r.lock_waits.to_string(),
+                r.lock_contended_keys.to_string(),
             ]);
             group.push((kind.name(), r));
         }
         print!(
             "{}",
             render_table(
-                &["System", "Committed", "predict µs", "queue µs", "execute µs", "commit µs", "overlap µs"],
+                &[
+                    "System",
+                    "Committed",
+                    "predict µs",
+                    "queue µs",
+                    "execute µs",
+                    "exec p50/95/99",
+                    "commit µs",
+                    "overlap µs",
+                    "waits",
+                    "contended",
+                ],
                 &rows
             )
         );
         groups.push((label, group));
     }
+
+    // Observability must be close to free: same trial, obs hot vs cold.
+    println!("\n== obs overhead ==");
+    obs_overhead_guard(&tpcc_setup(2), &cfg, batch_size);
 
     // Durability pass: WAL-backed cluster + deterministic recovery.
     println!("\n== durability ==");

@@ -11,6 +11,14 @@ use crate::RunResult;
 use std::io::Write;
 use std::path::Path;
 
+/// Version of the `BENCH_*.json` snapshot schema. Bumped to 2 when the
+/// per-stage histogram summaries (`stage_hists`) and lock-contention
+/// counters (`lock_waits`, `lock_contended_keys`) were added; version-1
+/// files (and pre-versioned files, which carry no `schema_version` at
+/// all) are rejected by [`load_snapshot`] so regression tooling never
+/// silently compares across incompatible layouts.
+pub const SCHEMA_VERSION: i64 = 2;
+
 /// A JSON value tree, rendered with [`Json::render`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum Json {
@@ -34,6 +42,27 @@ impl Json {
     /// Convenience constructor for object members.
     pub fn obj(members: Vec<(&str, Json)>) -> Json {
         Json::Obj(members.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    }
+
+    /// Looks up an object member by key (None for non-objects).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Parses a JSON document (the subset [`Json::render`] emits plus
+    /// arbitrary whitespace — enough to read back committed snapshots).
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing bytes at offset {pos}"));
+        }
+        Ok(value)
     }
 
     /// Renders the tree as pretty-printed JSON (2-space indent, trailing
@@ -102,6 +131,146 @@ impl Json {
     }
 }
 
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at offset {}", c as char, *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'n') => parse_lit(b, pos, "null", Json::Null),
+        Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at offset {}", *pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut members = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, b':')?;
+                members.push((key, parse_value(b, pos)?));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(members));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at offset {}", *pos)),
+                }
+            }
+        }
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at offset {}", *pos))
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    let mut chars = std::str::from_utf8(&b[*pos..])
+        .map_err(|e| format!("invalid utf-8 in string: {e}"))?
+        .char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => {
+                *pos += i + 1;
+                return Ok(out);
+            }
+            '\\' => match chars.next() {
+                Some((_, '"')) => out.push('"'),
+                Some((_, '\\')) => out.push('\\'),
+                Some((_, '/')) => out.push('/'),
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 'r')) => out.push('\r'),
+                Some((_, 't')) => out.push('\t'),
+                Some((_, 'u')) => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        let (_, h) = chars
+                            .next()
+                            .ok_or_else(|| "truncated \\u escape".to_string())?;
+                        code = code * 16
+                            + h.to_digit(16).ok_or_else(|| "bad \\u escape".to_string())?;
+                    }
+                    out.push(
+                        char::from_u32(code)
+                            .ok_or_else(|| "non-scalar \\u escape".to_string())?,
+                    );
+                }
+                other => {
+                    return Err(format!("unsupported escape {other:?}"));
+                }
+            },
+            c => out.push(c),
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < b.len()
+        && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).expect("ascii number");
+    if text.contains(['.', 'e', 'E']) {
+        text.parse::<f64>().map(Json::Num).map_err(|e| format!("bad number {text:?}: {e}"))
+    } else {
+        text.parse::<i64>().map(Json::Int).map_err(|e| format!("bad number {text:?}: {e}"))
+    }
+}
+
 fn newline_indent(out: &mut String, indent: usize) {
     out.push('\n');
     for _ in 0..indent {
@@ -164,6 +333,29 @@ pub fn run_result_json(system: &str, r: &RunResult) -> Json {
         ("wal_fsyncs", Json::Int(r.wal_fsyncs as i64)),
         ("snapshot_installs", Json::Int(r.snapshot_installs as i64)),
         ("recovery_replay_us", Json::Int(r.recovery_replay_us as i64)),
+        // Lock-contention counters over the measured window (schema v2):
+        // wait episodes and frozen queues holding >1 transaction.
+        ("lock_waits", Json::Int(r.lock_waits as i64)),
+        ("lock_contended_keys", Json::Int(r.lock_contended_keys as i64)),
+        // Per-stage per-batch latency distributions (µs), summarized
+        // from log-linear histograms (schema v2).
+        (
+            "stage_hists",
+            Json::Arr(
+                r.stage_hists
+                    .iter()
+                    .map(|h| {
+                        Json::obj(vec![
+                            ("stage", Json::Str(h.stage.clone())),
+                            ("p50_us", Json::Int(h.p50_us as i64)),
+                            ("p95_us", Json::Int(h.p95_us as i64)),
+                            ("p99_us", Json::Int(h.p99_us as i64)),
+                            ("max_us", Json::Int(h.max_us as i64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
     ])
 }
 
@@ -171,6 +363,7 @@ pub fn run_result_json(system: &str, r: &RunResult) -> Json {
 /// (e.g. a warehouse count), each holding the per-system results.
 pub fn snapshot_json(exhibit: &str, groups: &[(String, Vec<(String, RunResult)>)]) -> Json {
     Json::obj(vec![
+        ("schema_version", Json::Int(SCHEMA_VERSION)),
         ("exhibit", Json::Str(exhibit.to_owned())),
         (
             "groups",
@@ -205,6 +398,33 @@ pub fn write_snapshot(exhibit: &str, json: &Json) -> std::io::Result<std::path::
     let mut f = std::fs::File::create(&path)?;
     f.write_all(json.render().as_bytes())?;
     Ok(path)
+}
+
+/// Validates a parsed snapshot's `schema_version` against
+/// [`SCHEMA_VERSION`]. Missing or mismatched versions are errors —
+/// regression tooling must never compare across incompatible layouts.
+pub fn validate_snapshot(json: &Json) -> Result<(), String> {
+    match json.get("schema_version") {
+        Some(Json::Int(v)) if *v == SCHEMA_VERSION => Ok(()),
+        Some(Json::Int(v)) => Err(format!(
+            "unsupported snapshot schema_version {v} (this harness reads version {SCHEMA_VERSION}); regenerate the snapshot"
+        )),
+        Some(other) => Err(format!("schema_version must be an integer, got {other:?}")),
+        None => Err(format!(
+            "snapshot has no schema_version (pre-versioned file); regenerate with the current harness (version {SCHEMA_VERSION})"
+        )),
+    }
+}
+
+/// Reads and parses `path`, rejecting files whose `schema_version` is
+/// missing or differs from [`SCHEMA_VERSION`].
+pub fn load_snapshot(path: impl AsRef<Path>) -> Result<Json, String> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("read {}: {e}", path.display()))?;
+    let json = Json::parse(&text).map_err(|e| format!("parse {}: {e}", path.display()))?;
+    validate_snapshot(&json)?;
+    Ok(json)
 }
 
 #[cfg(test)]
@@ -276,6 +496,97 @@ mod tests {
             "\"wal_fsyncs\": 12",
             "\"snapshot_installs\": 2",
             "\"recovery_replay_us\": 314",
+        ] {
+            assert!(s.contains(needle), "{needle} missing from {s}");
+        }
+    }
+
+    #[test]
+    fn parse_round_trips_rendered_snapshots() {
+        let j = snapshot_json(
+            "rt",
+            &[(
+                "g1".to_string(),
+                vec![(
+                    "MQ-MF".to_string(),
+                    RunResult {
+                        throughput_tps: 1234.5,
+                        committed: 77,
+                        stage_hists: vec![crate::StageHist {
+                            stage: "execute".into(),
+                            p50_us: 10,
+                            p95_us: 20,
+                            p99_us: 30,
+                            max_us: 31,
+                        }],
+                        ..RunResult::default()
+                    },
+                )],
+            )],
+        );
+        let parsed = Json::parse(&j.render()).expect("round trip");
+        assert_eq!(parsed, j);
+        assert_eq!(parsed.get("schema_version"), Some(&Json::Int(SCHEMA_VERSION)));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in ["", "{", "[1,]", "{\"a\" 1}", "truely", "1 2"] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_unknown_and_missing_versions() {
+        let current = snapshot_json("v", &[]);
+        assert!(validate_snapshot(&current).is_ok());
+
+        let old = Json::obj(vec![("schema_version", Json::Int(1))]);
+        let err = validate_snapshot(&old).unwrap_err();
+        assert!(err.contains("unsupported"), "{err}");
+
+        let unversioned = Json::obj(vec![("exhibit", Json::Str("x".into()))]);
+        let err = validate_snapshot(&unversioned).unwrap_err();
+        assert!(err.contains("no schema_version"), "{err}");
+
+        let wrong_type = Json::obj(vec![("schema_version", Json::Str("2".into()))]);
+        assert!(validate_snapshot(&wrong_type).is_err());
+    }
+
+    #[test]
+    fn load_snapshot_round_trips_through_disk() {
+        let dir = std::env::temp_dir().join(format!("prog-json-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.json");
+        let j = snapshot_json("disk", &[]);
+        std::fs::write(&path, j.render()).unwrap();
+        assert_eq!(load_snapshot(&path).expect("current version loads"), j);
+
+        std::fs::write(&path, "{\n  \"schema_version\": 99\n}\n").unwrap();
+        assert!(load_snapshot(&path).is_err(), "future version must be rejected");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn run_result_includes_lock_contention_and_histograms() {
+        let r = RunResult {
+            lock_waits: 5,
+            lock_contended_keys: 9,
+            stage_hists: vec![crate::StageHist {
+                stage: "queue".into(),
+                p50_us: 3,
+                p95_us: 8,
+                p99_us: 9,
+                max_us: 11,
+            }],
+            ..RunResult::default()
+        };
+        let s = run_result_json("MQ-MF", &r).render();
+        for needle in [
+            "\"lock_waits\": 5",
+            "\"lock_contended_keys\": 9",
+            "\"stage\": \"queue\"",
+            "\"p95_us\": 8",
         ] {
             assert!(s.contains(needle), "{needle} missing from {s}");
         }

@@ -18,6 +18,7 @@ pub mod sim;
 
 use prognosticator_core::{baselines, Catalog, Replica, SchedulerConfig, StageTimings, TxRequest};
 use prognosticator_core::baselines::SeqEngine;
+use prognosticator_obs::Histogram;
 use prognosticator_storage::{EpochStore, LatencyConfig};
 use sim::{CostModel, SimReplica, SimSeq};
 use std::sync::Arc;
@@ -224,6 +225,35 @@ pub struct RunResult {
     /// Microseconds spent replaying the committed batch log during
     /// deterministic crash recovery (durability exhibit only).
     pub recovery_replay_us: u64,
+    /// Worker wait episodes over the measured window: transitions from
+    /// executing to spinning on the lock queues (deterministic
+    /// idle-waits in simulated mode, wall-clock spin entries on the
+    /// threaded engine).
+    pub lock_waits: u64,
+    /// Keys whose frozen lock queue held more than one transaction,
+    /// summed over the measured batches — a pure function of batch
+    /// content, identical in simulated and threaded modes.
+    pub lock_contended_keys: u64,
+    /// Per-stage per-batch latency distributions over the measured
+    /// window (empty when a trial measured no batches).
+    pub stage_hists: Vec<StageHist>,
+}
+
+/// Per-stage distribution of per-batch times (µs) over the measured
+/// batches of a trial, summarized from a log-linear histogram
+/// (`prognosticator-obs`): ≤ 12.5% relative quantile error.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StageHist {
+    /// Stage name: `predict`, `queue`, `execute`, or `commit`.
+    pub stage: String,
+    /// Median per-batch stage time (µs).
+    pub p50_us: u64,
+    /// 95th-percentile per-batch stage time (µs).
+    pub p95_us: u64,
+    /// 99th-percentile per-batch stage time (µs).
+    pub p99_us: u64,
+    /// Largest per-batch stage time observed (µs).
+    pub max_us: u64,
 }
 
 /// Statistics of one fixed-size trial.
@@ -246,6 +276,9 @@ pub struct TrialStats {
     pub reexec_us: f64,
     /// Per-stage timers summed over the measured batches.
     pub stage: StageTimings,
+    /// Per-stage per-batch latency distributions (µs) over the measured
+    /// batches.
+    pub stage_hists: Vec<StageHist>,
 }
 
 /// A batch-level digest of what the harness needs from any engine.
@@ -386,10 +419,25 @@ pub fn run_trial(
     let mut reexec_ns: u64 = 0;
     let mut reexec_n: u64 = 0;
     let interval_ns = cfg.batch_interval.as_nanos() as u64;
+    // Per-batch stage-time distributions (µs). The trial runs on one
+    // thread, so a single shard suffices.
+    let stage_hists: Vec<(&str, Histogram)> = ["predict", "queue", "execute", "commit"]
+        .into_iter()
+        .map(|name| (name, Histogram::new(1)))
+        .collect();
     for batch_no in 0..cfg.warmup_batches + cfg.measure_batches {
         let outcome = engine.execute(gen(size));
         if batch_no < cfg.warmup_batches {
             continue;
+        }
+        for (name, hist) in &stage_hists {
+            let ns = match *name {
+                "predict" => outcome.stage.predict_ns,
+                "queue" => outcome.stage.queue_ns,
+                "execute" => outcome.stage.execute_ns,
+                _ => outcome.stage.commit_ns,
+            };
+            hist.record(ns / 1000);
         }
         latencies.extend(&outcome.latencies_ns);
         stats.carried += outcome.carried;
@@ -421,6 +469,19 @@ pub fn run_trial(
     };
     stats.prepare_us = if prepare_n == 0 { 0.0 } else { prepare_ns as f64 / prepare_n as f64 / 1000.0 };
     stats.reexec_us = if reexec_n == 0 { 0.0 } else { reexec_ns as f64 / reexec_n as f64 / 1000.0 };
+    stats.stage_hists = stage_hists
+        .iter()
+        .map(|(name, hist)| {
+            let s = hist.snapshot();
+            StageHist {
+                stage: (*name).to_owned(),
+                p50_us: s.p50(),
+                p95_us: s.p95(),
+                p99_us: s.p99(),
+                max_us: s.max,
+            }
+        })
+        .collect();
     stats
 }
 
@@ -507,6 +568,9 @@ pub fn measure_sustainable(
             commit_us: per_batch_us(stats.stage.commit_ns, cfg.measure_batches),
             overlap_us: per_batch_us(stats.stage.overlap_ns, cfg.measure_batches),
             lock_fresh_allocs: stats.stage.lock_fresh_allocs,
+            lock_waits: stats.stage.lock_waits,
+            lock_contended_keys: stats.stage.lock_contended_keys,
+            stage_hists: stats.stage_hists,
             ..RunResult::default()
         },
         None => RunResult::default(),

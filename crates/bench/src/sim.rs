@@ -557,6 +557,11 @@ impl SimReplica {
             }
             clock += key_count * cost.lock_op_ns + cost.sync_ns;
             outcome.stage.queue_ns += key_count * cost.lock_op_ns + cost.sync_ns;
+            // Contended keys this round: queues holding more than one
+            // transaction — the same pure-structural count the engine's
+            // frozen lock table reports.
+            outcome.stage.lock_contended_keys +=
+                key_queues.values().filter(|q| q.len() > 1).count() as u64;
 
             // Update phase: discrete-event loop.
             let update_start = clock;
@@ -597,6 +602,12 @@ impl SimReplica {
                     .min_by_key(|&w| workers[w])
                     .expect("nonzero workers");
                 let start = workers[w].max(ready_at);
+                // Virtual wait episode: the earliest-free worker sat idle
+                // until this transaction became ready — the simulator's
+                // deterministic analogue of the engine's spin episodes.
+                if ready_at > workers[w] {
+                    outcome.stage.lock_waits += 1;
+                }
                 let (status, exec_cost) = self.execute(&txs[i], batch_index, i);
                 let finish = start + exec_cost;
                 workers[w] = finish;

@@ -1,0 +1,88 @@
+//! Stage-accounting regression tests (the `overlap_ns` fix).
+//!
+//! `StageTimings` keeps two different totals and they must not be
+//! conflated: `stage_sum_ns` is the plain sum of the per-stage timers —
+//! under prepare-ahead pipelining it double-counts classification time
+//! that was hidden behind the previous batch's execution — while
+//! `busy_ns` subtracts `overlap_ns` and therefore tracks the wall-clock
+//! critical path. The regression these tests pin down: stage totals
+//! reported per batch must reconcile with the wall clock of the run that
+//! produced them.
+
+use prognosticator_bench::tpcc_setup;
+use prognosticator_core::{baselines, Replica, StageTimings};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn run_stream(depth: usize, batches: usize, size: usize) -> (StageTimings, u64) {
+    let setup = tpcc_setup(2);
+    let store = Arc::new(prognosticator_storage::EpochStore::new());
+    (setup.populate)(&store);
+    let mut replica = Replica::with_store(baselines::mq_mf(2), Arc::clone(&setup.catalog), store);
+    let mut gen = (setup.make_gen)(0x57A6E);
+    // Generate the stream up front: request generation is not a stage
+    // and must not pollute the wall-clock measurement.
+    let stream: Vec<_> = (0..batches).map(|_| gen(size)).collect();
+    let mut stage = StageTimings::default();
+    let started = Instant::now();
+    let outcomes = replica.execute_stream(stream, depth);
+    let wall_ns = started.elapsed().as_nanos() as u64;
+    for outcome in &outcomes {
+        stage.accumulate(&outcome.stage);
+    }
+    replica.shutdown();
+    (stage, wall_ns)
+}
+
+/// `busy_ns` is exactly `stage_sum_ns` minus the overlap credit, and the
+/// credit can never exceed the classification stage it hides.
+#[test]
+fn busy_is_stage_sum_minus_overlap() {
+    let (stage, _) = run_stream(1, 6, 64);
+    assert_eq!(
+        stage.busy_ns(),
+        stage.stage_sum_ns().saturating_sub(stage.overlap_ns),
+        "busy_ns must subtract exactly the overlap credit"
+    );
+    assert!(
+        stage.overlap_ns <= stage.predict_ns,
+        "overlap ({}) cannot exceed classification time ({}) — it is the \
+         hidden portion of it",
+        stage.overlap_ns,
+        stage.predict_ns
+    );
+    assert!(stage.busy_ns() <= stage.stage_sum_ns());
+}
+
+/// Unpipelined (depth 0): no overlap is possible, so the plain stage sum
+/// *is* the critical path and must stay within the measured wall clock
+/// (the stage timers nest inside `execute_batch`), modulo timer noise.
+#[test]
+fn sequential_stage_sum_reconciles_with_wall_clock() {
+    let (stage, wall_ns) = run_stream(0, 8, 96);
+    assert_eq!(stage.overlap_ns, 0, "depth 0 cannot hide classification");
+    let busy = stage.busy_ns();
+    assert!(busy > 0, "stages must record time");
+    // 5% tolerance: the timers nest inside the measured window, so only
+    // clock-read jitter can push the sum past the wall clock.
+    assert!(
+        busy as f64 <= wall_ns as f64 * 1.05,
+        "stage sum {busy}ns exceeds wall clock {wall_ns}ns — a stage is \
+         being double-counted"
+    );
+}
+
+/// Pipelined (depth 1): `busy_ns` still reconciles with the wall clock
+/// because the overlap credit removes the double-counted classification;
+/// the uncorrected `stage_sum_ns` is the quantity that may exceed it.
+#[test]
+fn pipelined_busy_reconciles_with_wall_clock() {
+    let (stage, wall_ns) = run_stream(1, 8, 96);
+    let busy = stage.busy_ns();
+    assert!(busy > 0, "stages must record time");
+    assert!(
+        busy as f64 <= wall_ns as f64 * 1.05,
+        "overlap-corrected stage total {busy}ns exceeds wall clock \
+         {wall_ns}ns — the overlap credit is not being applied"
+    );
+}

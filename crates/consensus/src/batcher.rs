@@ -11,7 +11,9 @@
 //! changes, partitions), and [`Quarantine`] holds poison batches that
 //! exhausted their retries so one stuck proposal cannot wedge the stream.
 
+use prognosticator_obs::{Counter, Registry};
 use std::collections::VecDeque;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Result of a bounded admission attempt ([`Batcher::try_push`]).
@@ -152,6 +154,11 @@ pub struct Batcher<T> {
     /// [`Batcher::take_ready`]. They still count against the queue cap.
     ready: VecDeque<Vec<T>>,
     window_start: Instant,
+    /// Global-registry admission/cut counters, shared by every batcher in
+    /// the process (the registry is process-wide by design).
+    m_accepted: Arc<Counter>,
+    m_rejected: Arc<Counter>,
+    m_cuts: Arc<Counter>,
 }
 
 impl<T> Batcher<T> {
@@ -162,6 +169,7 @@ impl<T> Batcher<T> {
     /// Panics if `max_size` is zero.
     pub fn new(window: Duration, max_size: usize) -> Self {
         assert!(max_size > 0, "batch size cap must be positive");
+        let reg = Registry::global();
         Batcher {
             window,
             max_size,
@@ -169,6 +177,9 @@ impl<T> Batcher<T> {
             buffer: Vec::new(),
             ready: VecDeque::new(),
             window_start: Instant::now(),
+            m_accepted: reg.counter("batcher.admitted"),
+            m_rejected: reg.counter("batcher.rejected"),
+            m_cuts: reg.counter("batcher.batches_cut"),
         }
     }
 
@@ -209,12 +220,14 @@ impl<T> Batcher<T> {
         if let Some(cap) = self.queue_cap {
             let queued = self.queued();
             if queued >= cap {
+                self.m_rejected.inc();
                 return Admission::Rejected {
                     item,
                     reason: format!("admission queue full: {queued} of {cap} transactions pending"),
                 };
             }
         }
+        self.m_accepted.inc();
         self.buffer.push(item);
         if self.buffer.len() >= self.max_size {
             let batch = self.cut();
@@ -268,6 +281,7 @@ impl<T> Batcher<T> {
 
     fn cut(&mut self) -> Vec<T> {
         self.window_start = Instant::now();
+        self.m_cuts.inc();
         std::mem::take(&mut self.buffer)
     }
 }

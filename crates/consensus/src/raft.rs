@@ -309,6 +309,7 @@ impl<T: Clone + Send + Sync + 'static> Node<T> {
         self.role = Role::Leader;
         self.view.is_leader.store(true, Ordering::Release);
         self.view.leader_terms.write().push(self.term);
+        prognosticator_obs::Registry::global().counter("raft.leader_wins").inc();
         self.next_index = vec![self.last_log_index() + 1; self.n];
         self.match_index = vec![0; self.n];
         // Commit-visibility no-op: a leader may only count replicas for
@@ -327,6 +328,7 @@ impl<T: Clone + Send + Sync + 'static> Node<T> {
     }
 
     fn start_election(&mut self, net: &SimNet<RaftMsg<T>>) {
+        prognosticator_obs::Registry::global().counter("raft.elections").inc();
         self.term += 1;
         self.role = Role::Candidate;
         self.voted_for = Some(self.id);

@@ -46,9 +46,11 @@
 
 use crate::raft::{LogEntry, Record};
 use crate::simnet::NodeId;
+use prognosticator_obs::{Counter, Event, FlightRecorder, Registry};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Raft state that must survive restarts for election safety: a node that
 /// forgets its vote could vote twice in one term and elect two leaders.
@@ -379,6 +381,50 @@ const OP_HARD_STATE: u8 = 1;
 const OP_APPEND: u8 = 2;
 const OP_TRUNCATE: u8 = 3;
 
+/// Flight-recorder id namespace for WAL stores. Replica recorders number
+/// from zero; offsetting WAL recorders keeps the two apart in merged
+/// `flightrec-*.jsonl` dumps without any coordination between layers.
+const WAL_RECORDER_BASE: u64 = 1 << 32;
+
+/// Observability handles owned by a [`WalStore`]: global-registry
+/// counters mirroring the hot [`DurabilityStats`] fields, plus an
+/// optional flight recorder for fsync events. The recorder is allocated
+/// only when recording is enabled process-wide, so a disabled process
+/// pays one relaxed load per fsync and nothing else.
+struct WalObs {
+    fsyncs: Arc<Counter>,
+    appends: Arc<Counter>,
+    recorder: Option<Arc<FlightRecorder>>,
+}
+
+impl WalObs {
+    fn new() -> Self {
+        let reg = Registry::global();
+        let recorder = if prognosticator_obs::default_enabled() {
+            use std::sync::atomic::{AtomicU64, Ordering};
+            static NEXT_WAL: AtomicU64 = AtomicU64::new(WAL_RECORDER_BASE);
+            Some(FlightRecorder::new(NEXT_WAL.fetch_add(1, Ordering::Relaxed)))
+        } else {
+            None
+        };
+        WalObs {
+            fsyncs: reg.counter("wal.fsyncs"),
+            appends: reg.counter("wal.appends"),
+            recorder,
+        }
+    }
+
+    /// Records one durable fsync. `index` is the highest absolute log
+    /// index durable as of this sync (snapshot installs pass the
+    /// snapshot's `last_index`).
+    fn fsync(&self, index: u64) {
+        self.fsyncs.inc();
+        if let Some(rec) = &self.recorder {
+            rec.record(|| Event::WalFsync { index });
+        }
+    }
+}
+
 /// File-backed [`LogStore`]. Keeps an in-memory mirror (rebuilt at
 /// [`WalStore::open`]) so reads never touch the disk.
 pub struct WalStore<T, C: Codec<T>> {
@@ -396,6 +442,7 @@ pub struct WalStore<T, C: Codec<T>> {
     recs: Vec<Record<T>>,
     snap: Option<SnapshotData<T>>,
     stats: DurabilityStats,
+    obs: WalObs,
 }
 
 impl<T: Clone + Send, C: Codec<T>> WalStore<T, C> {
@@ -408,6 +455,7 @@ impl<T: Clone + Send, C: Codec<T>> WalStore<T, C> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
 
+        let obs = WalObs::new();
         let mut stats = DurabilityStats::default();
         // A corrupt snapshot is never trusted: fall back to the log.
         let snap =
@@ -425,6 +473,7 @@ impl<T: Clone + Send, C: Codec<T>> WalStore<T, C> {
             file.set_len(valid as u64)?;
             file.sync_data()?;
             stats.wal_fsyncs += 1;
+            obs.fsyncs.inc();
         }
 
         let mut hard = HardState::default();
@@ -471,6 +520,7 @@ impl<T: Clone + Send, C: Codec<T>> WalStore<T, C> {
             recs,
             snap,
             stats,
+            obs,
         })
     }
 
@@ -542,6 +592,8 @@ impl<T: Clone + Send, C: Codec<T>> WalStore<T, C> {
     /// Writes one frame, honoring an armed torn-write/failed-fsync fault.
     fn write_frame(&mut self, payload: &[u8]) {
         let framed = frame(payload);
+        // Highest absolute log index durable as of a sync in this frame.
+        let index = self.base + self.recs.len() as u64;
         match self.armed {
             Some(DiskFault::TornFinalFrame) => {
                 self.armed = None;
@@ -551,6 +603,7 @@ impl<T: Clone + Send, C: Codec<T>> WalStore<T, C> {
                 let _ = self.file.write_all(torn);
                 let _ = self.file.sync_data();
                 self.stats.wal_fsyncs += 1;
+                self.obs.fsync(index);
                 self.write_len += torn.len() as u64;
                 self.durable_len = self.write_len;
                 self.stats.wal_bytes += torn.len() as u64;
@@ -567,6 +620,7 @@ impl<T: Clone + Send, C: Codec<T>> WalStore<T, C> {
                 self.file.write_all(&framed).expect("wal write");
                 self.file.sync_data().expect("wal fsync");
                 self.stats.wal_fsyncs += 1;
+                self.obs.fsync(index);
                 self.write_len += framed.len() as u64;
                 self.durable_len = self.write_len;
                 self.stats.wal_bytes += framed.len() as u64;
@@ -599,6 +653,7 @@ impl<T: Clone + Send, C: Codec<T>> WalStore<T, C> {
         f.sync_data()?;
         std::fs::rename(&tmp, self.dir.join(Self::LOG_FILE))?;
         self.stats.wal_fsyncs += 1;
+        self.obs.fsync(self.base + self.recs.len() as u64);
         self.stats.wal_bytes += out.len() as u64;
         self.file = OpenOptions::new().read(true).append(true).open(self.dir.join(Self::LOG_FILE))?;
         self.write_len = out.len() as u64;
@@ -640,6 +695,7 @@ impl<T: Clone + Send, C: Codec<T>> LogStore<T> for WalStore<T, C> {
         self.write_frame(&p);
         self.recs.push(rec.clone());
         self.stats.wal_appends += 1;
+        self.obs.appends.inc();
     }
 
     fn truncate_from(&mut self, from: u64) {
@@ -679,6 +735,7 @@ impl<T: Clone + Send, C: Codec<T>> LogStore<T> for WalStore<T, C> {
             f.write_all(&framed[..framed.len() / 2])?;
             f.sync_data()?;
             self.stats.wal_fsyncs += 1;
+            self.obs.fsync(snap.last_index);
             return Err(WalError::Faulted(DiskFault::PartialSnapshot));
         }
         let mut f = File::create(&tmp)?;
@@ -686,6 +743,7 @@ impl<T: Clone + Send, C: Codec<T>> LogStore<T> for WalStore<T, C> {
         f.sync_data()?;
         std::fs::rename(&tmp, self.dir.join(Self::SNAP_FILE))?;
         self.stats.wal_fsyncs += 1;
+        self.obs.fsync(snap.last_index);
 
         let drop_n = snap.last_index.saturating_sub(self.base) as usize;
         self.recs.drain(..drop_n.min(self.recs.len()));

@@ -55,6 +55,7 @@ use crate::locktable::{FifoPolicy, LockTable, LockTableBuilder, ReadyPolicy, TxI
 use crossbeam::queue::SegQueue;
 use crossbeam::utils::Backoff;
 use parking_lot::{Condvar, Mutex, RwLock};
+use prognosticator_obs::{Counter, Event, FlightRecorder, Histogram, Registry};
 use prognosticator_storage::{EpochStore, LatencyConfig};
 use prognosticator_symexec::{PredictError, Prediction, Profile, TxClass};
 use prognosticator_txir::{Key, Program, Value};
@@ -189,6 +190,14 @@ pub struct StageTimings {
     /// Fresh lock-queue allocations this batch (zero once the builder's
     /// recycled pools cover the working set).
     pub lock_fresh_allocs: u64,
+    /// Worker wait episodes during the update phase: transitions from
+    /// executing to spinning on an empty ready queue. Wall-clock-dependent
+    /// on the engine (the simulator computes a deterministic equivalent).
+    pub lock_waits: u64,
+    /// Contended keys summed over scheduling rounds: keys whose lock
+    /// queues held more than one transaction. A pure function of the
+    /// batch contents — identical on every replica.
+    pub lock_contended_keys: u64,
 }
 
 impl StageTimings {
@@ -202,6 +211,26 @@ impl StageTimings {
         self.apply_ns += other.apply_ns;
         self.overlap_ns += other.overlap_ns;
         self.lock_fresh_allocs += other.lock_fresh_allocs;
+        self.lock_waits += other.lock_waits;
+        self.lock_contended_keys += other.lock_contended_keys;
+    }
+
+    /// Plain sum of the five stage timers. `overlap_ns` nanoseconds of
+    /// `predict_ns` ran concurrently with the previous batch's execute
+    /// stage on the pipelined path, so this sum double-counts them
+    /// relative to wall-clock; use [`StageTimings::busy_ns`] for the
+    /// wall-clock-comparable total.
+    pub fn stage_sum_ns(&self) -> u64 {
+        self.predict_ns + self.queue_ns + self.execute_ns + self.commit_ns + self.apply_ns
+    }
+
+    /// The wall-clock critical path implied by the stage timers: the
+    /// stage sum with the prepare-ahead overlap removed exactly once.
+    /// For an unpipelined run this equals [`StageTimings::stage_sum_ns`]
+    /// (overlap is zero); for a pipelined run it is what the batches
+    /// actually cost end to end.
+    pub fn busy_ns(&self) -> u64 {
+        self.stage_sum_ns().saturating_sub(self.overlap_ns)
     }
 }
 
@@ -362,6 +391,13 @@ struct BatchWork {
     batch_index: u64,
     /// Ready-transaction selection policy for the update phase.
     ready_policy: Arc<dyn ReadyPolicy>,
+    /// Flight recorder, if one is attached to the engine. Events carry
+    /// only logical coordinates; when detached/disabled the record sites
+    /// cost one branch (plus one relaxed load inside the recorder).
+    recorder: Option<Arc<FlightRecorder>>,
+    /// Worker wait episodes (executing → spinning transitions) during the
+    /// update phase. Wall-clock-dependent; metrics only.
+    lock_waits: AtomicU64,
     /// Set when a thread panics *outside* any per-transaction scope (an
     /// engine bug or a catalog/profile mismatch — not attributable to one
     /// transaction); the batch is wound down through the normal barrier
@@ -409,6 +445,44 @@ struct Shared {
     shutdown: AtomicBool,
 }
 
+/// The engine's handles into the global metrics [`Registry`], fetched
+/// once at construction so the hot path never takes the registry lock.
+struct EngineMetrics {
+    batches: Arc<Counter>,
+    tx_committed: Arc<Counter>,
+    tx_aborted: Arc<Counter>,
+    lock_waits: Arc<Counter>,
+    lock_contended_keys: Arc<Counter>,
+    batch_queue_us: Arc<Histogram>,
+    batch_execute_us: Arc<Histogram>,
+}
+
+impl EngineMetrics {
+    fn new() -> Self {
+        let r = Registry::global();
+        EngineMetrics {
+            batches: r.counter("engine.batches"),
+            tx_committed: r.counter("engine.tx_committed"),
+            tx_aborted: r.counter("engine.tx_aborted"),
+            lock_waits: r.counter("engine.lock_waits"),
+            lock_contended_keys: r.counter("engine.lock_contended_keys"),
+            batch_queue_us: r.histogram("engine.batch_queue_us"),
+            batch_execute_us: r.histogram("engine.batch_execute_us"),
+        }
+    }
+}
+
+/// A stable 64-bit fingerprint of a key for flight-recorder events
+/// (FNV-1a over the key's display form — deterministic across processes).
+fn key_fingerprint(key: &Key) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in format!("{key:?}").bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// The prepare-ahead queuer thread's endpoints. The thread is spawned
 /// lazily on the first [`Engine::submit_prepare`]; an engine that never
 /// pipelines never pays for it.
@@ -439,6 +513,10 @@ pub struct Engine {
     /// rounds and batches.
     builder: Mutex<LockTableBuilder>,
     queuer: Mutex<QueuerState>,
+    /// Registry handles (see [`EngineMetrics`]).
+    metrics: EngineMetrics,
+    /// Flight recorder attached via [`Engine::set_recorder`].
+    recorder: RwLock<Option<Arc<FlightRecorder>>>,
 }
 
 impl std::fmt::Debug for Engine {
@@ -485,7 +563,20 @@ impl Engine {
             exec_lock: Mutex::new(()),
             builder: Mutex::new(LockTableBuilder::new()),
             queuer: Mutex::new(QueuerState::default()),
+            metrics: EngineMetrics::new(),
+            recorder: RwLock::new(None),
         }
+    }
+
+    /// Attaches (or detaches) a flight recorder. Subsequent batches emit
+    /// structured events into it; recording never changes outcomes.
+    pub fn set_recorder(&self, recorder: Option<Arc<FlightRecorder>>) {
+        *self.recorder.write() = recorder;
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn recorder(&self) -> Option<Arc<FlightRecorder>> {
+        self.recorder.read().clone()
     }
 
     /// Installs (or clears) a deterministic fault-injection plan applied
@@ -660,9 +751,17 @@ impl Engine {
             fault_plan,
             batch_index,
             ready_policy: Arc::clone(&self.config.ready_policy),
+            recorder: self.recorder.read().clone(),
+            lock_waits: AtomicU64::new(0),
             fatal: AtomicBool::new(false),
             fatal_msg: Mutex::new(None),
         });
+        if let Some(rec) = &work.recorder {
+            rec.record(|| Event::BatchStart {
+                batch: batch_index,
+                txs: batch_size as u64,
+            });
+        }
 
         mark("classify");
         // Distribute ROTs round-robin over the per-worker queues.
@@ -720,6 +819,20 @@ impl Engine {
                 builder.enqueue(i, keys);
             }
             let table = Arc::new(builder.freeze(work.slots.len()));
+            outcome.stage.lock_contended_keys += table.contended_keys();
+            if let Some(rec) = &work.recorder {
+                if rec.is_enabled() {
+                    for (key, tx, depth) in table.waiters() {
+                        let key = key_fingerprint(key);
+                        rec.record(|| Event::LockWait {
+                            batch: batch_index,
+                            tx: u64::from(tx),
+                            key,
+                            depth,
+                        });
+                    }
+                }
+            }
             work.round_total.store(members.len(), Ordering::Release);
             work.completed.store(0, Ordering::Release);
             work.failed.lock().clear();
@@ -798,6 +911,7 @@ impl Engine {
         }
         outcome.stage.lock_fresh_allocs =
             builder.stats().fresh_queues - fresh_queues_before;
+        outcome.stage.lock_waits = work.lock_waits.load(Ordering::Acquire);
         drop(builder);
 
         // Retire the batch.
@@ -848,6 +962,41 @@ impl Engine {
         outcome.prepare_count = work.prepare_count.load(Ordering::Acquire);
         outcome.stage.apply_ns = apply_start.elapsed().as_nanos() as u64;
         outcome.duration = batch_start.elapsed();
+        if let Some(rec) = &work.recorder {
+            if rec.is_enabled() {
+                for (i, verdict) in outcome.outcomes.iter().enumerate() {
+                    let committed = matches!(verdict, TxOutcome::Committed);
+                    rec.record(|| Event::TxOutcome {
+                        batch: batch_index,
+                        tx: i as u64,
+                        committed,
+                    });
+                    if let TxOutcome::Aborted { reason: AbortReason::InjectedFault(_) } = verdict {
+                        rec.record(|| Event::FaultInjected {
+                            batch: batch_index,
+                            tx: i as u64,
+                            kind: "worker_panic".to_string(),
+                        });
+                    }
+                }
+                rec.record(|| Event::BatchEnd {
+                    batch: batch_index,
+                    committed: outcome.committed as u64,
+                    failed: outcome.aborted as u64,
+                });
+            }
+        }
+        self.metrics.batches.inc();
+        self.metrics.tx_committed.add(outcome.committed as u64);
+        self.metrics.tx_aborted.add(outcome.aborted as u64);
+        self.metrics.lock_waits.add(outcome.stage.lock_waits);
+        self.metrics
+            .lock_contended_keys
+            .add(outcome.stage.lock_contended_keys);
+        self.metrics.batch_queue_us.record(outcome.stage.queue_ns / 1_000);
+        self.metrics
+            .batch_execute_us
+            .record(outcome.stage.execute_ns / 1_000);
         outcome
     }
 
@@ -1196,6 +1345,11 @@ fn worker_loop(worker_id: usize, shared: &Shared, store: &EpochStore) {
                 // config).
                 run_guarded(&work, || {
                     let backoff = Backoff::new();
+                    // Wait-episode metric: count executing→spinning
+                    // transitions, not spin iterations, so the number is
+                    // a coarse contention signal rather than a spin-rate
+                    // artifact. Wall-clock-dependent; metrics only.
+                    let mut waiting = false;
                     loop {
                         let total = work.round_total.load(Ordering::Acquire);
                         if work.completed.load(Ordering::Acquire) >= total
@@ -1205,12 +1359,29 @@ fn worker_loop(worker_id: usize, shared: &Shared, store: &EpochStore) {
                         }
                         match table.pop_ready_with(work.ready_policy.as_ref()) {
                             Some(i) => {
+                                waiting = false;
                                 backoff.reset();
+                                if let Some(rec) = &work.recorder {
+                                    rec.record(|| Event::LockGrant {
+                                        batch: work.batch_index,
+                                        tx: u64::from(i),
+                                    });
+                                }
                                 execute_update_slot(&work, i, store);
                                 table.release(i);
+                                if let Some(rec) = &work.recorder {
+                                    rec.record(|| Event::LockRelease {
+                                        batch: work.batch_index,
+                                        tx: u64::from(i),
+                                    });
+                                }
                                 work.completed.fetch_add(1, Ordering::AcqRel);
                             }
                             None => {
+                                if !waiting {
+                                    waiting = true;
+                                    work.lock_waits.fetch_add(1, Ordering::Relaxed);
+                                }
                                 backoff.spin();
                             }
                         }

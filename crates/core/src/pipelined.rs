@@ -112,6 +112,11 @@ impl PipelinedExecutor {
                 }
             };
             in_flight -= 1;
+            if let Some(rec) = self.engine.recorder() {
+                let batch = self.engine.batches_executed();
+                let txs = prepared.batch_size() as u64;
+                rec.record(|| prognosticator_obs::Event::QueuerHandoff { batch, txs });
+            }
             // Refill the pipeline before executing, so the queuer works
             // while the workers do.
             if let Some(batch) = batches.next() {

@@ -4,6 +4,7 @@ use crate::catalog::{Catalog, TxRequest};
 use crate::engine::{BatchOutcome, Engine, SchedulerConfig};
 use crate::faults::FaultPlan;
 use crate::pipelined::PipelinedExecutor;
+use prognosticator_obs::{Event, FlightRecorder};
 use prognosticator_storage::EpochStore;
 use std::sync::Arc;
 
@@ -77,6 +78,11 @@ impl Replica {
         let transactions = committed_batches.iter().map(Vec::len).sum();
         let mut outcomes = Vec::with_capacity(batches_replayed);
         for batch in committed_batches {
+            let txs = batch.len() as u64;
+            let index = replica.engine.batches_executed();
+            if let Some(rec) = replica.engine.recorder() {
+                rec.record(|| Event::RecoveryReplay { batch: index, txs });
+            }
             outcomes.push(replica.execute_batch(batch));
         }
         // Recovery ends where the crash happened; new live batches run
@@ -84,10 +90,23 @@ impl Replica {
         replica.set_fault_plan(plan.cloned());
         let digest = replica.state_digest();
         if let Some(expected) = expected_digest {
-            assert_eq!(
-                digest, expected,
-                "recovered digest diverged from pre-crash digest"
-            );
+            if digest != expected {
+                // Recovery-soundness violation: capture everything the
+                // flight recorders saw before aborting the process' test.
+                if let Some(rec) = replica.engine.recorder() {
+                    let batch = replica.engine.batches_executed();
+                    rec.record(|| Event::DigestMismatch {
+                        batch,
+                        expected,
+                        actual: digest,
+                    });
+                }
+                prognosticator_obs::dump_all("recovery-digest-mismatch");
+                panic!(
+                    "recovered digest diverged from pre-crash digest: \
+                     {digest:#x} != {expected:#x}"
+                );
+            }
         }
         let report = RecoveryReport {
             batches_replayed,
@@ -106,7 +125,27 @@ impl Replica {
         store: Arc<EpochStore>,
     ) -> Self {
         let engine = Arc::new(Engine::new(config, catalog, Arc::clone(&store)));
+        // When flight recording is on process-wide, every replica gets its
+        // own ring; a disabled process never allocates one.
+        if prognosticator_obs::default_enabled() {
+            use std::sync::atomic::{AtomicU64, Ordering};
+            static NEXT_REPLICA: AtomicU64 = AtomicU64::new(0);
+            engine.set_recorder(Some(FlightRecorder::new(
+                NEXT_REPLICA.fetch_add(1, Ordering::Relaxed),
+            )));
+        }
         Replica { store, engine, carry_over: Vec::new() }
+    }
+
+    /// Attaches a flight recorder to the replica's engine (normally done
+    /// automatically when recording is enabled process-wide).
+    pub fn attach_recorder(&self, recorder: Arc<FlightRecorder>) {
+        self.engine.set_recorder(Some(recorder));
+    }
+
+    /// The replica's flight recorder, if one is attached.
+    pub fn recorder(&self) -> Option<Arc<FlightRecorder>> {
+        self.engine.recorder()
     }
 
     /// The replica's store.

@@ -1,0 +1,376 @@
+//! Log-linear histograms with per-thread shards.
+//!
+//! The bucket layout follows the HdrHistogram family: values below
+//! [`SUB_BUCKETS`] get one exact bucket each; above that, every power of
+//! two is subdivided into [`SUB_BUCKETS`] linear sub-buckets, so the
+//! relative quantile error is bounded by `1 / SUB_BUCKETS` (12.5%) at any
+//! magnitude up to `u64::MAX`, which saturates into the last bucket.
+//!
+//! Recording is lock-free: each thread writes into one of a fixed set of
+//! shards (assigned round-robin at first use), touching only relaxed
+//! atomics. Reads merge every shard into an immutable
+//! [`HistogramSnapshot`]; a racing `record` is simply counted by the next
+//! snapshot, which is the usual monitoring contract.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Linear sub-buckets per power of two (and the count of exact low
+/// buckets). Must be a power of two.
+pub const SUB_BUCKETS: u64 = 8;
+const SUB_BITS: u32 = SUB_BUCKETS.trailing_zeros();
+/// Total bucket count covering `0..=u64::MAX`.
+pub const NUM_BUCKETS: usize = ((64 - SUB_BITS as usize) + 1) * SUB_BUCKETS as usize;
+
+/// The bucket index a value lands in.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros(); // >= SUB_BITS
+    let shift = msb - SUB_BITS;
+    let mantissa = (v >> shift) - SUB_BUCKETS; // 0..SUB_BUCKETS
+    ((u64::from(shift) + 1) * SUB_BUCKETS + mantissa) as usize
+}
+
+/// Inclusive lower edge of bucket `idx`.
+pub fn bucket_lower(idx: usize) -> u64 {
+    let idx = idx as u64;
+    if idx < SUB_BUCKETS {
+        return idx;
+    }
+    let shift = (idx / SUB_BUCKETS) - 1;
+    let mantissa = idx % SUB_BUCKETS;
+    (SUB_BUCKETS + mantissa) << shift
+}
+
+/// Inclusive upper edge of bucket `idx` (the largest value mapping to it).
+pub fn bucket_upper(idx: usize) -> u64 {
+    if idx + 1 >= NUM_BUCKETS {
+        return u64::MAX;
+    }
+    bucket_lower(idx + 1) - 1
+}
+
+struct Shard {
+    counts: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Shard {
+    fn new() -> Self {
+        let counts: Vec<AtomicU64> = (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        Shard {
+            counts: counts.into_boxed_slice(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+thread_local! {
+    /// This thread's shard-selection ticket, assigned once per thread.
+    static SHARD_TICKET: usize = NEXT_TICKET.fetch_add(1, Ordering::Relaxed);
+}
+static NEXT_TICKET: AtomicUsize = AtomicUsize::new(0);
+
+/// A concurrent log-linear histogram (see the module docs).
+pub struct Histogram {
+    shards: Box<[Shard]>,
+    /// Exact extrema across all shards (monotonic atomic min/max).
+    max: AtomicU64,
+    min: AtomicU64,
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let snap = self.snapshot();
+        f.debug_struct("Histogram")
+            .field("count", &snap.count)
+            .field("sum", &snap.sum)
+            .field("max", &snap.max)
+            .finish()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new(8)
+    }
+}
+
+impl Histogram {
+    /// A histogram with `shards` independent write shards (clamped to at
+    /// least 1). More shards mean less cross-core cacheline traffic under
+    /// concurrent recording; reads merge them all.
+    pub fn new(shards: usize) -> Self {
+        let shards: Vec<Shard> = (0..shards.max(1)).map(|_| Shard::new()).collect();
+        Histogram {
+            shards: shards.into_boxed_slice(),
+            max: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+        }
+    }
+
+    /// Number of write shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Records one value. Lock-free: a few relaxed atomic RMWs on the
+    /// calling thread's shard.
+    pub fn record(&self, v: u64) {
+        let shard = SHARD_TICKET.with(|t| *t) % self.shards.len();
+        let shard = &self.shards[shard];
+        shard.counts[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        shard.count.fetch_add(1, Ordering::Relaxed);
+        shard.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+    }
+
+    /// Merges every shard into an immutable snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut counts = vec![0u64; NUM_BUCKETS];
+        let mut count = 0u64;
+        let mut sum = 0u64;
+        for shard in self.shards.iter() {
+            for (acc, c) in counts.iter_mut().zip(shard.counts.iter()) {
+                *acc += c.load(Ordering::Relaxed);
+            }
+            count += shard.count.load(Ordering::Relaxed);
+            sum = sum.wrapping_add(shard.sum.load(Ordering::Relaxed));
+        }
+        let max = self.max.load(Ordering::Relaxed);
+        let min = self.min.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            counts,
+            count,
+            sum,
+            max: if count == 0 { 0 } else { max },
+            min: if count == 0 { 0 } else { min },
+        }
+    }
+
+    /// Zeroes every shard and the extrema (for between-trial resets; not
+    /// linearizable against concurrent recorders).
+    pub fn reset(&self) {
+        for shard in self.shards.iter() {
+            for c in shard.counts.iter() {
+                c.store(0, Ordering::Relaxed);
+            }
+            shard.count.store(0, Ordering::Relaxed);
+            shard.sum.store(0, Ordering::Relaxed);
+        }
+        self.max.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+    }
+}
+
+/// An immutable merged view of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    counts: Vec<u64>,
+    /// Total recorded values.
+    pub count: u64,
+    /// Sum of recorded values (wrapping).
+    pub sum: u64,
+    /// Exact maximum recorded value (0 when empty).
+    pub max: u64,
+    /// Exact minimum recorded value (0 when empty).
+    pub min: u64,
+}
+
+impl HistogramSnapshot {
+    /// The value at quantile `q` in `[0, 1]`: the upper edge of the bucket
+    /// holding the `ceil(q·count)`-th value, clamped to the exact
+    /// extrema. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (`quantile(0.50)`).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Mean of recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Non-empty buckets as `(lower_edge, upper_edge, count)` triples.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_lower(i), bucket_upper(i), c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low_values_get_exact_buckets() {
+        for v in 0..SUB_BUCKETS {
+            let idx = bucket_index(v);
+            assert_eq!(idx as u64, v);
+            assert_eq!(bucket_lower(idx), v);
+            assert_eq!(bucket_upper(idx), v);
+        }
+    }
+
+    #[test]
+    fn edges_partition_the_u64_range() {
+        // Every bucket's lower edge maps back to that bucket, and upper
+        // edges are exactly one below the next lower edge.
+        for idx in 0..NUM_BUCKETS {
+            let lo = bucket_lower(idx);
+            assert_eq!(bucket_index(lo), idx, "lower edge of bucket {idx}");
+            let hi = bucket_upper(idx);
+            assert_eq!(bucket_index(hi), idx, "upper edge of bucket {idx}");
+            if idx + 1 < NUM_BUCKETS {
+                assert_eq!(hi + 1, bucket_lower(idx + 1), "buckets {idx} and {} abut", idx + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn power_of_two_boundaries_are_bucket_edges() {
+        for shift in SUB_BITS..64 {
+            let v = 1u64 << shift;
+            assert_eq!(bucket_lower(bucket_index(v)), v, "2^{shift} starts a bucket");
+        }
+    }
+
+    #[test]
+    fn u64_max_saturates_into_last_bucket() {
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+        assert_eq!(bucket_upper(NUM_BUCKETS - 1), u64::MAX);
+        let h = Histogram::new(1);
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.max, u64::MAX);
+        assert_eq!(s.quantile(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn zero_is_its_own_bucket() {
+        let h = Histogram::new(1);
+        h.record(0);
+        h.record(0);
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.nonzero_buckets(), vec![(0, 0, 2)]);
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        // The bucket upper edge overshoots the true value by at most
+        // 1/SUB_BUCKETS at any magnitude.
+        for &v in &[9u64, 100, 1_000, 123_456, 10_000_000, u64::MAX / 3] {
+            let idx = bucket_index(v);
+            let hi = bucket_upper(idx);
+            assert!(hi >= v);
+            assert!(
+                (hi - v) as f64 <= v as f64 / SUB_BUCKETS as f64 + 1.0,
+                "bucket error too large for {v}: upper {hi}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_of_a_known_distribution() {
+        let h = Histogram::new(4);
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.sum, 500_500);
+        assert_eq!(s.max, 1000);
+        assert_eq!(s.min, 1);
+        let p50 = s.p50();
+        assert!((440..=570).contains(&p50), "p50 {p50} off for uniform 1..=1000");
+        let p99 = s.p99();
+        assert!((980..=1000).contains(&p99), "p99 {p99} off for uniform 1..=1000");
+        assert!((s.mean() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concurrent_shard_merge_is_complete() {
+        // {1,2,4} worker threads hammering one histogram: the merged
+        // snapshot must account for every record exactly once.
+        for threads in [1usize, 2, 4] {
+            let h = std::sync::Arc::new(Histogram::new(threads));
+            let per_thread = 10_000u64;
+            let mut handles = Vec::new();
+            for t in 0..threads {
+                let h = std::sync::Arc::clone(&h);
+                handles.push(std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        h.record(t as u64 * 1_000_000 + i);
+                    }
+                }));
+            }
+            for handle in handles {
+                handle.join().expect("recorder thread");
+            }
+            let s = h.snapshot();
+            assert_eq!(s.count, per_thread * threads as u64, "{threads} threads");
+            let bucket_total: u64 = s.nonzero_buckets().iter().map(|&(_, _, c)| c).sum();
+            assert_eq!(bucket_total, s.count, "bucket counts sum to total");
+            assert_eq!(s.min, 0);
+            assert_eq!(s.max, (threads as u64 - 1) * 1_000_000 + per_thread - 1);
+        }
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let h = Histogram::new(2);
+        h.record(7);
+        h.record(9000);
+        h.reset();
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.sum, 0);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.quantile(0.99), 0);
+        assert!(s.nonzero_buckets().is_empty());
+    }
+}

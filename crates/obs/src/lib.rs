@@ -1,0 +1,29 @@
+//! Observability for the Prognosticator reproduction.
+//!
+//! Two halves, both designed to never perturb determinism:
+//!
+//! - [`registry`]: a lock-free metrics registry of named counters, gauges,
+//!   and log-linear [`hist::Histogram`]s (per-thread shards merged on
+//!   read), with Prometheus-style text exposition. Metrics observe wall
+//!   clock but never feed back into scheduling.
+//! - [`flightrec`]: a bounded per-replica ring of structured [`Event`]s
+//!   keyed purely by logical coordinates (batch, slot, key), dumped as
+//!   canonically-sorted JSONL on digest mismatch, oracle failure, or
+//!   panic. Seed-stable: identical dump bodies regardless of worker
+//!   interleaving.
+//!
+//! The determinism contract is spelled out in `DESIGN.md` §10 and
+//! enforced by `crates/testkit/tests/obs_determinism.rs`.
+
+#![warn(missing_docs)]
+
+pub mod flightrec;
+pub mod hist;
+pub mod registry;
+
+pub use flightrec::{
+    default_enabled, dump_all, install_panic_hook, set_default_enabled, set_dump_dir, Event,
+    FlightRecorder,
+};
+pub use hist::{Histogram, HistogramSnapshot};
+pub use registry::{Counter, Gauge, MetricSnapshot, Registry};

@@ -1,0 +1,278 @@
+//! Named metrics registry: counters, gauges, and histograms.
+//!
+//! Handles are cheap `Arc`s; registering the same name twice returns the
+//! same underlying metric, so call sites can look up by name without
+//! coordinating initialisation order. Reads merge histogram shards and
+//! render either Prometheus-style text or the JSON value tree used by the
+//! bench snapshots.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::RwLock;
+
+use crate::hist::{Histogram, HistogramSnapshot};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero (between bench trials).
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A signed gauge that can move both ways.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Sets the gauge to `v`.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `d` (may be negative).
+    pub fn add(&self, d: i64) {
+        self.value.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A point-in-time view of one named metric.
+#[derive(Debug, Clone)]
+pub enum MetricSnapshot {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(i64),
+    /// Merged histogram view.
+    Histogram(HistogramSnapshot),
+}
+
+/// The process-wide default histogram shard count.
+const DEFAULT_HIST_SHARDS: usize = 8;
+
+/// A registry of named metrics.
+#[derive(Default)]
+pub struct Registry {
+    metrics: RwLock<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The process-wide registry used by the built-in instrumentation.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    /// The counter named `name`, creating it on first use. Panics if the
+    /// name is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        if let Some(Metric::Counter(c)) = self.metrics.read().get(name) {
+            return Arc::clone(c);
+        }
+        let mut metrics = self.metrics.write();
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// The gauge named `name`, creating it on first use. Panics on a kind
+    /// clash.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        if let Some(Metric::Gauge(g)) = self.metrics.read().get(name) {
+            return Arc::clone(g);
+        }
+        let mut metrics = self.metrics.write();
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// The histogram named `name`, creating it on first use with the
+    /// default shard count. Panics on a kind clash.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        if let Some(Metric::Histogram(h)) = self.metrics.read().get(name) {
+            return Arc::clone(h);
+        }
+        let mut metrics = self.metrics.write();
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new(DEFAULT_HIST_SHARDS))))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Snapshots every metric, sorted by name.
+    pub fn snapshot(&self) -> Vec<(String, MetricSnapshot)> {
+        self.metrics
+            .read()
+            .iter()
+            .map(|(name, m)| {
+                let snap = match m {
+                    Metric::Counter(c) => MetricSnapshot::Counter(c.get()),
+                    Metric::Gauge(g) => MetricSnapshot::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricSnapshot::Histogram(h.snapshot()),
+                };
+                (name.clone(), snap)
+            })
+            .collect()
+    }
+
+    /// Resets every counter and histogram to zero (gauges keep their last
+    /// set value). Used between bench trials.
+    pub fn reset(&self) {
+        for m in self.metrics.read().values() {
+            match m {
+                Metric::Counter(c) => c.reset(),
+                Metric::Gauge(_) => {}
+                Metric::Histogram(h) => h.reset(),
+            }
+        }
+    }
+
+    /// Prometheus-style text exposition: `# TYPE` lines plus one sample
+    /// per counter/gauge and quantile/count/sum samples per histogram.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, snap) in self.snapshot() {
+            let sanitized = name.replace(['.', '-', '/'], "_");
+            match snap {
+                MetricSnapshot::Counter(v) => {
+                    out.push_str(&format!("# TYPE {sanitized} counter\n{sanitized} {v}\n"));
+                }
+                MetricSnapshot::Gauge(v) => {
+                    out.push_str(&format!("# TYPE {sanitized} gauge\n{sanitized} {v}\n"));
+                }
+                MetricSnapshot::Histogram(h) => {
+                    out.push_str(&format!("# TYPE {sanitized} summary\n"));
+                    for (q, v) in [(0.5, h.p50()), (0.95, h.p95()), (0.99, h.p99())] {
+                        out.push_str(&format!("{sanitized}{{quantile=\"{q}\"}} {v}\n"));
+                    }
+                    out.push_str(&format!("{sanitized}_count {}\n", h.count));
+                    out.push_str(&format!("{sanitized}_sum {}\n", h.sum));
+                    out.push_str(&format!("{sanitized}_max {}\n", h.max));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("metrics", &self.metrics.read().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_returns_same_metric() {
+        let r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.add(3);
+        assert_eq!(b.get(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_clash_panics() {
+        let r = Registry::new();
+        r.counter("x");
+        r.gauge("x");
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let r = Registry::new();
+        r.counter("b.count").add(2);
+        r.gauge("a.gauge").set(-7);
+        r.histogram("c.hist").record(42);
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["a.gauge", "b.count", "c.hist"]);
+        match &snap[1].1 {
+            MetricSnapshot::Counter(v) => assert_eq!(*v, 2),
+            other => panic!("expected counter, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn prometheus_rendering_includes_quantiles() {
+        let r = Registry::new();
+        let h = r.histogram("stage.execute_us");
+        for v in 1..=100 {
+            h.record(v);
+        }
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE stage_execute_us summary"));
+        assert!(text.contains("stage_execute_us_count 100"));
+        assert!(text.contains("quantile=\"0.99\""));
+    }
+
+    #[test]
+    fn reset_clears_counters_and_histograms() {
+        let r = Registry::new();
+        r.counter("c").add(5);
+        r.gauge("g").set(9);
+        r.histogram("h").record(100);
+        r.reset();
+        assert_eq!(r.counter("c").get(), 0);
+        assert_eq!(r.gauge("g").get(), 9, "gauges survive reset");
+        assert_eq!(r.histogram("h").snapshot().count, 0);
+    }
+}

@@ -76,15 +76,17 @@ impl VersionChain {
 
     /// Drops all versions that are superseded at or before `epoch`,
     /// keeping the newest version ≤ `epoch` (still needed for snapshot
-    /// reads at `epoch`) and everything newer.
-    pub fn gc_before(&mut self, epoch: u64) {
+    /// reads at `epoch`) and everything newer. Returns the number of
+    /// versions dropped (GC accounting).
+    pub fn gc_before(&mut self, epoch: u64) -> usize {
         let keep_from = match self.versions.iter().rposition(|(e, _)| *e <= epoch) {
             Some(i) => i,
-            None => return,
+            None => return 0,
         };
         if keep_from > 0 {
             self.versions.drain(..keep_from);
         }
+        keep_from
     }
 }
 

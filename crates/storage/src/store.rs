@@ -147,14 +147,24 @@ impl EpochStore {
     }
 
     /// Garbage-collects history older than `epoch` (each key keeps its
-    /// newest version ≤ `epoch` plus everything newer).
-    pub fn gc_before(&self, epoch: u64) {
+    /// newest version ≤ `epoch` plus everything newer). Returns the
+    /// number of versions reclaimed and mirrors GC accounting into the
+    /// global metrics registry (`storage.gc_*`, `storage.live_versions`).
+    pub fn gc_before(&self, epoch: u64) -> usize {
+        let mut removed = 0usize;
+        let mut live = 0usize;
         for shard in &self.shards {
             let mut shard = shard.write();
             for chain in shard.values_mut() {
-                chain.gc_before(epoch);
+                removed += chain.gc_before(epoch);
+                live += chain.len();
             }
         }
+        let reg = prognosticator_obs::Registry::global();
+        reg.counter("storage.gc_runs").inc();
+        reg.counter("storage.gc_versions_removed").add(removed as u64);
+        reg.gauge("storage.live_versions").set(live as i64);
+        removed
     }
 
     /// A deterministic digest of the latest state. Two replicas that

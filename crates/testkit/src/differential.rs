@@ -413,6 +413,11 @@ pub fn run_differential(config: &DifferentialConfig) -> Result<DifferentialRepor
             let final_desc = check_stream(config, &workload, &shrunk)
                 .err()
                 .unwrap_or(description);
+            crate::report_oracle_failure(
+                "differential",
+                &final_desc,
+                "differential-oracle-failure",
+            );
             let json = reproducer_json(config, workload.catalog(), &final_desc, &shrunk);
             let path = config
                 .artifact_dir

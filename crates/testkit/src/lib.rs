@@ -45,6 +45,29 @@ pub mod soundness;
 pub mod strategies;
 pub mod workload;
 
+/// Records an [`OracleFailure`](prognosticator_obs::Event::OracleFailure)
+/// flight event and dumps every live flight recorder to
+/// `flightrec-<reason>-*.jsonl` (see `prognosticator_obs::set_dump_dir`).
+///
+/// Called by the oracles just before they panic or return a mismatch, so
+/// a CI failure ships the recorded event history next to the shrunk
+/// reproducer. A no-op dump (recording disabled process-wide) costs one
+/// atomic load.
+pub fn report_oracle_failure(oracle: &str, detail: &str, reason: &str) {
+    if prognosticator_obs::default_enabled() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        // Harness recorders live in their own id namespace, far above
+        // replica (0..) and WAL (1<<32..) recorders.
+        static NEXT_HARNESS: AtomicU64 = AtomicU64::new(1 << 48);
+        let rec = prognosticator_obs::FlightRecorder::new(
+            NEXT_HARNESS.fetch_add(1, Ordering::Relaxed),
+        );
+        let (oracle, detail) = (oracle.to_owned(), detail.to_owned());
+        rec.record(move || prognosticator_obs::Event::OracleFailure { oracle, detail });
+        prognosticator_obs::dump_all(reason);
+    }
+}
+
 pub use differential::{run_differential, DifferentialConfig, DifferentialReport, Mismatch};
 pub use recovery::{
     crash_batch_for, run_crash_recovery, CrashRecoveryReport, RecoveryFuzzConfig, RecoveryMismatch,

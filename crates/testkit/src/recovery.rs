@@ -293,6 +293,7 @@ pub fn run_crash_recovery(
     let disk_fault = plan.disk_fault(crash);
 
     let fail = |description: String| -> Box<RecoveryMismatch> {
+        crate::report_oracle_failure("crash-recovery", &description, "recovery-oracle-failure");
         let json = reproducer_json(config, crash, &description);
         let path = config.artifact_dir.join(format!(
             "{}-crash{}.reproducer.json",

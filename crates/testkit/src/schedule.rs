@@ -148,26 +148,40 @@ pub fn explore_schedules(sweep: &ScheduleSweep) -> ScheduleReport {
                     run_schedule(&workload, &stream, config, sweep.fault_plan.clone(), depth);
                 explored += 1;
                 for (i, (got, want)) in run.outcomes.iter().zip(&reference.outcomes).enumerate() {
-                    assert_eq!(
-                        got, want,
-                        "outcome vector diverged: workload={} batch={} policy_seed={} \
-                         workers={} depth={}",
+                    if got != want {
+                        let msg = format!(
+                            "outcome vector diverged: workload={} batch={} policy_seed={} \
+                             workers={} depth={}",
+                            sweep.workload.name(),
+                            i,
+                            seed,
+                            workers,
+                            depth
+                        );
+                        crate::report_oracle_failure(
+                            "schedule",
+                            &msg,
+                            "schedule-oracle-failure",
+                        );
+                        panic!(
+                            "assertion `left == right` failed: {msg}\n  left: {got:?}\n right: {want:?}"
+                        );
+                    }
+                }
+                if run.digest != reference.digest {
+                    let msg = format!(
+                        "store digest diverged: workload={} policy_seed={} workers={} depth={}",
                         sweep.workload.name(),
-                        i,
                         seed,
                         workers,
                         depth
                     );
+                    crate::report_oracle_failure("schedule", &msg, "schedule-oracle-failure");
+                    panic!(
+                        "assertion `left == right` failed: {msg}\n  left: {:?}\n right: {:?}",
+                        run.digest, reference.digest
+                    );
                 }
-                assert_eq!(
-                    run.digest,
-                    reference.digest,
-                    "store digest diverged: workload={} policy_seed={} workers={} depth={}",
-                    sweep.workload.name(),
-                    seed,
-                    workers,
-                    depth
-                );
             }
         }
     }

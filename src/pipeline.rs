@@ -594,10 +594,23 @@ impl Pipeline {
             }
         }
         let digests = self.digests();
-        assert!(
-            digests.windows(2).all(|w| w[0] == w[1]),
-            "replica divergence detected: {digests:?}"
-        );
+        if !digests.windows(2).all(|w| w[0] == w[1]) {
+            // Determinism bug: record the divergence on every replica's
+            // flight recorder and dump all rings before aborting.
+            let batch = self.proposed_batches as u64;
+            for (idx, slot) in self.replicas.iter().enumerate() {
+                if let Some(rec) = slot.replica.recorder() {
+                    let (expected, actual) = (digests[0], digests[idx]);
+                    rec.record(|| prognosticator_obs::Event::DigestMismatch {
+                        batch,
+                        expected,
+                        actual,
+                    });
+                }
+            }
+            prognosticator_obs::dump_all("replica-divergence");
+            panic!("replica divergence detected: {digests:?}");
+        }
         Ok(())
     }
 
