@@ -12,7 +12,10 @@ use prognosticator_bench::{
     render_table, rubis_setup, run_trial, tpcc_setup, RunResult, SustainConfig, SystemKind,
     WorkloadSetup,
 };
-use prognosticator_consensus::{LogStore, NetConfig, RaftCluster, RaftTiming, U64Codec, WalStore};
+use prognosticator_consensus::{
+    Admission, Batcher, LogStore, NetConfig, RaftCluster, RaftTiming, RetryPolicy, U64Codec,
+    WalStore,
+};
 use prognosticator_core::{baselines, Replica};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -180,6 +183,81 @@ fn durability_point(setup: &WorkloadSetup) -> RunResult {
     }
 }
 
+/// Service-loop smoke: a bounded batcher feeding a live consensus
+/// cluster through a retrying client loop, with a simulated mid-run
+/// degraded window that shrinks the effective admission capacity —
+/// populating the `client_retries` / `shed_requests` /
+/// `degraded_batches` counters (schema v3) so BENCH snapshots track
+/// service-loop robustness regressions too.
+fn service_loop_point() -> RunResult {
+    let cluster: RaftCluster<Vec<u64>> =
+        RaftCluster::new(3, NetConfig::default(), RaftTiming::default(), 0x5E11);
+    cluster.wait_for_leader(Duration::from_secs(10)).expect("leader");
+    let retry = RetryPolicy::default();
+    const QUEUE_CAP: usize = 12;
+    const DEGRADED_CAP: usize = QUEUE_CAP * 3 / 4;
+    let mut batcher: Batcher<u64> = Batcher::with_queue_cap(Duration::from_secs(60), 8, QUEUE_CAP);
+
+    let (mut client_retries, mut shed_requests, mut degraded_batches) = (0u64, 0u64, 0u64);
+    let mut committed = 0usize;
+    let mut propose = |batch: Vec<u64>, degraded_now: bool| {
+        let n = batch.len();
+        assert!(
+            cluster.propose_until_committed(batch, Duration::from_secs(10)),
+            "service-loop batch failed to commit"
+        );
+        committed += n;
+        if degraded_now {
+            degraded_batches += 1;
+        }
+    };
+
+    for i in 0..64u64 {
+        // A degraded window in the middle of the run: the client loop
+        // sheds at 3/4 of the admission cap, exactly like the pipeline's
+        // health-based degradation.
+        let degraded_now = (24..40).contains(&i);
+        let effective = if degraded_now { DEGRADED_CAP } else { QUEUE_CAP };
+        let mut attempts = 0usize;
+        loop {
+            let refused = if batcher.queued() >= effective && effective < QUEUE_CAP {
+                true // health shed: capacity shrunk below the hard cap
+            } else {
+                matches!(batcher.try_push(i), Admission::Rejected { .. })
+            };
+            if !refused {
+                break;
+            }
+            shed_requests += 1;
+            // Backpressure: drain a ready batch through consensus, back
+            // off, and retry the submission.
+            if let Some(batch) = batcher.take_ready().or_else(|| batcher.flush()) {
+                propose(batch, degraded_now);
+            }
+            std::thread::sleep(retry.backoff(attempts.min(3)));
+            attempts += 1;
+            client_retries += 1;
+        }
+    }
+    while let Some(batch) = batcher.take_ready() {
+        propose(batch, false);
+    }
+    if let Some(batch) = batcher.flush() {
+        propose(batch, false);
+    }
+    let mut cluster = cluster;
+    cluster.shutdown();
+
+    RunResult {
+        sustainable: true,
+        committed,
+        client_retries,
+        shed_requests,
+        degraded_batches,
+        ..RunResult::default()
+    }
+}
+
 fn main() {
     // Small, fixed trial: the point is stage coverage, not peak numbers.
     let cfg = SustainConfig {
@@ -270,6 +348,28 @@ fn main() {
         )
     );
     groups.push(("durability".to_string(), vec![("WAL".to_string(), d)]));
+
+    // Service-loop pass: bounded admission + retrying client + degraded
+    // window over a live consensus cluster.
+    println!("\n== service loop ==");
+    let s = service_loop_point();
+    assert_eq!(s.committed, 64, "service loop must commit every request exactly once");
+    assert!(s.shed_requests > 0, "degraded window shed no requests");
+    assert!(s.client_retries > 0, "backpressure caused no client retries");
+    assert!(s.degraded_batches > 0, "no batch was proposed under degradation");
+    print!(
+        "{}",
+        render_table(
+            &["Committed", "client retries", "shed requests", "degraded batches"],
+            &[vec![
+                s.committed.to_string(),
+                s.client_retries.to_string(),
+                s.shed_requests.to_string(),
+                s.degraded_batches.to_string(),
+            ]]
+        )
+    );
+    groups.push(("service-loop".to_string(), vec![("client".to_string(), s)]));
 
     match write_snapshot("smoke", &snapshot_json("smoke", &groups)) {
         Ok(path) => println!("\nsnapshot: {}", path.display()),

@@ -13,11 +13,13 @@ use std::path::Path;
 
 /// Version of the `BENCH_*.json` snapshot schema. Bumped to 2 when the
 /// per-stage histogram summaries (`stage_hists`) and lock-contention
-/// counters (`lock_waits`, `lock_contended_keys`) were added; version-1
-/// files (and pre-versioned files, which carry no `schema_version` at
-/// all) are rejected by [`load_snapshot`] so regression tooling never
-/// silently compares across incompatible layouts.
-pub const SCHEMA_VERSION: i64 = 2;
+/// counters (`lock_waits`, `lock_contended_keys`) were added; bumped to 3
+/// when the service-loop robustness counters (`client_retries`,
+/// `shed_requests`, `degraded_batches`) were added. Older files (and
+/// pre-versioned files, which carry no `schema_version` at all) are
+/// rejected by [`load_snapshot`] so regression tooling never silently
+/// compares across incompatible layouts.
+pub const SCHEMA_VERSION: i64 = 3;
 
 /// A JSON value tree, rendered with [`Json::render`].
 #[derive(Debug, Clone, PartialEq)]
@@ -337,6 +339,13 @@ pub fn run_result_json(system: &str, r: &RunResult) -> Json {
         // wait episodes and frozen queues holding >1 transaction.
         ("lock_waits", Json::Int(r.lock_waits as i64)),
         ("lock_contended_keys", Json::Int(r.lock_contended_keys as i64)),
+        // Service-loop robustness counters (schema v3): client retry
+        // submissions, load-shed/bounded-admission refusals, and batches
+        // proposed under a degraded fleet. Zero for exhibits that drive
+        // the engine directly without the client/health loop.
+        ("client_retries", Json::Int(r.client_retries as i64)),
+        ("shed_requests", Json::Int(r.shed_requests as i64)),
+        ("degraded_batches", Json::Int(r.degraded_batches as i64)),
         // Per-stage per-batch latency distributions (µs), summarized
         // from log-linear histograms (schema v2).
         (
@@ -587,6 +596,24 @@ mod tests {
             "\"lock_contended_keys\": 9",
             "\"stage\": \"queue\"",
             "\"p95_us\": 8",
+        ] {
+            assert!(s.contains(needle), "{needle} missing from {s}");
+        }
+    }
+
+    #[test]
+    fn run_result_includes_service_loop_counters() {
+        let r = RunResult {
+            client_retries: 4,
+            shed_requests: 11,
+            degraded_batches: 2,
+            ..RunResult::default()
+        };
+        let s = run_result_json("MQ-MF", &r).render();
+        for needle in [
+            "\"client_retries\": 4",
+            "\"shed_requests\": 11",
+            "\"degraded_batches\": 2",
         ] {
             assert!(s.contains(needle), "{needle} missing from {s}");
         }

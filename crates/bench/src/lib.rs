@@ -237,6 +237,17 @@ pub struct RunResult {
     /// Per-stage per-batch latency distributions over the measured
     /// window (empty when a trial measured no batches).
     pub stage_hists: Vec<StageHist>,
+    /// Client-level retry submissions (admission backoffs plus
+    /// quarantine resubmissions) over the run; 0 for exhibits without a
+    /// retrying client in the loop.
+    pub client_retries: u64,
+    /// Requests refused by bounded admission or health-based load
+    /// shedding over the run; 0 for exhibits with unbounded admission.
+    pub shed_requests: u64,
+    /// Batches proposed while the replica fleet was degraded or on
+    /// recovery probation; 0 for exhibits without the health monitor in
+    /// the loop.
+    pub degraded_batches: u64,
 }
 
 /// Per-stage distribution of per-batch times (µs) over the measured

@@ -20,6 +20,7 @@
 use crate::simnet::{NetConfig, NodeId, SimNet};
 use crate::wal::{DurabilityStats, HardState, LogStore, MemLogStore, SnapshotData};
 use parking_lot::{Mutex, RwLock};
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
@@ -225,6 +226,12 @@ struct Node<T> {
     log: Vec<Record<T>>,
     log_base: u64,
     snapshot: Option<SnapshotData<T>>,
+    /// Every client proposal id present in `log` or `snapshot`, kept in
+    /// sync incrementally so proposal dedup is O(1) instead of an
+    /// O(log-length) scan per `Propose`. Survives compaction because ids
+    /// only *move* from the log into the snapshot's committed prefix;
+    /// conflict truncation and snapshot installs resync it explicitly.
+    known_ids: HashSet<u64>,
     commit_index: u64,
     role: Role,
     votes: usize,
@@ -264,6 +271,39 @@ impl<T: Clone + Send + Sync + 'static> Node<T> {
         } else {
             self.log.get((index - self.log_base - 1) as usize).map_or(0, |e| e.term)
         }
+    }
+
+    /// Records a client proposal id as present. No-ops (id 0) are not
+    /// tracked — only client proposals are deduplicated.
+    fn note_id(&mut self, id: u64) {
+        if id != 0 {
+            self.known_ids.insert(id);
+        }
+    }
+
+    /// Drops the ids of truncated records from the dedup set — unless the
+    /// same id still exists in the remaining log or the snapshot (a
+    /// conflicting leader can re-ship the same proposal under a new term).
+    fn forget_ids(&mut self, removed: &[Record<T>]) {
+        for rec in removed {
+            if rec.id == 0 {
+                continue;
+            }
+            let still_present = self.log.iter().any(|e| e.id == rec.id)
+                || self
+                    .snapshot
+                    .as_ref()
+                    .is_some_and(|s| s.entries.iter().any(|e| e.id == rec.id));
+            if !still_present {
+                self.known_ids.remove(&rec.id);
+            }
+        }
+    }
+
+    /// Rebuilds the dedup set from scratch — used after a leader-shipped
+    /// snapshot replaces local state wholesale.
+    fn rebuild_known_ids(&mut self) {
+        self.known_ids = known_ids_of(&self.log, self.snapshot.as_ref());
     }
 
     fn persist_hard_state(&self) {
@@ -491,6 +531,7 @@ impl<T: Clone + Send + Sync + 'static> Node<T> {
         }
         self.view.snapshot_installs.fetch_add(1, Ordering::AcqRel);
         self.snapshot = Some(snap);
+        self.rebuild_known_ids();
     }
 
     fn handle(&mut self, msg: RaftMsg<T>, net: &SimNet<RaftMsg<T>>) {
@@ -577,13 +618,12 @@ impl<T: Clone + Send + Sync + 'static> Node<T> {
             }
             RaftMsg::Propose { id, payload } => {
                 if self.role == Role::Leader {
-                    let duplicate = self.log.iter().any(|e| e.id == id)
-                        || self
-                            .snapshot
-                            .as_ref()
-                            .is_some_and(|s| s.entries.iter().any(|e| e.id == id));
+                    // O(1) dedup against every id in the log or snapshot;
+                    // retried proposals (client timeouts) are absorbed here.
+                    let duplicate = self.known_ids.contains(&id);
                     if !duplicate {
                         let rec = Record { term: self.term, id, payload: Some(payload) };
+                        self.note_id(id);
                         self.store.lock().append(&rec);
                         self.log.push(rec);
                         self.match_index[self.id] = self.last_log_index();
@@ -658,14 +698,19 @@ impl<T: Clone + Send + Sync + 'static> Node<T> {
                 if pos < self.log.len() {
                     if self.log[pos].term != entry.term {
                         debug_assert!(index > self.commit_index, "conflicting entry below commit index");
-                        self.log.truncate(pos);
+                        let removed = self.log.split_off(pos);
                         let mut store = self.store.lock();
                         store.truncate_from(index);
                         store.append(&entry);
                         drop(store);
+                        self.note_id(entry.id);
                         self.log.push(entry);
+                        // Forget truncated ids *after* the replacement is
+                        // in place, so a re-shipped id is not dropped.
+                        self.forget_ids(&removed);
                     }
                 } else {
+                    self.note_id(entry.id);
                     self.store.lock().append(&entry);
                     self.log.push(entry);
                 }
@@ -971,6 +1016,14 @@ impl<T: Clone + Send + Sync + 'static> RaftCluster<T> {
         report
     }
 
+    /// Arms a one-shot injected disk fault on `node`'s durable store,
+    /// firing on its next matching WAL operation. A no-op for memory
+    /// stores (see [`LogStore::arm_disk_fault`]) — chaos plans call this
+    /// unconditionally and only WAL-backed clusters actually feel it.
+    pub fn arm_disk_fault(&self, node: NodeId, fault: crate::wal::DiskFault) {
+        self.seats[node].store.lock().arm_disk_fault(fault);
+    }
+
     /// Whether `node` is currently running (not crashed).
     pub fn is_running(&self, node: NodeId) -> bool {
         self.seats[node].handle.is_some()
@@ -1065,6 +1118,7 @@ fn spawn_node_thread<T: Clone + Send + Sync + 'static>(
                 view.commit_index.store(log_base, Ordering::Release);
             }
             *view.term.write() = hard.term;
+            let known_ids = known_ids_of(&log, snapshot.as_ref());
             let mut node = Node {
                 id,
                 n,
@@ -1073,6 +1127,7 @@ fn spawn_node_thread<T: Clone + Send + Sync + 'static>(
                 log,
                 log_base,
                 snapshot,
+                known_ids,
                 commit_index,
                 role: Role::Follower,
                 votes: 0,
@@ -1092,6 +1147,16 @@ fn spawn_node_thread<T: Clone + Send + Sync + 'static>(
             node_loop(&mut node, &net, &shutdown, rx);
         })
         .expect("spawn raft node")
+}
+
+/// Collects every client proposal id present in a log suffix plus the
+/// snapshot's committed prefix (leader no-ops, id 0, are excluded).
+fn known_ids_of<T>(log: &[Record<T>], snapshot: Option<&SnapshotData<T>>) -> HashSet<u64> {
+    let mut ids: HashSet<u64> = log.iter().filter(|r| r.id != 0).map(|r| r.id).collect();
+    if let Some(s) = snapshot {
+        ids.extend(s.entries.iter().filter(|e| e.id != 0).map(|e| e.id));
+    }
+    ids
 }
 
 fn node_loop<T: Clone + Send + Sync + 'static>(
@@ -1290,6 +1355,82 @@ mod tests {
         let distinct: std::collections::HashSet<_> =
             (0..20u64).map(|att| election_jitter(42, 1, 3, att, span)).collect();
         assert!(distinct.len() > 10, "attempts must actually vary the jitter");
+    }
+
+    #[test]
+    fn proposal_dedup_survives_snapshot_compaction() {
+        let c = cluster(3, 17);
+        c.wait_for_leader(Duration::from_secs(5)).expect("leader");
+        let id = c.begin_proposal();
+        assert!(c.propose_id_until_committed(id, &41, Duration::from_secs(5)));
+        // Compact the committed prefix everywhere, so the original record
+        // leaves every node's in-memory log and only the snapshot's
+        // committed prefix still knows the id.
+        c.compact_before(c.max_commit_index());
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while c.durability_stats().store.snapshots_written < 3 {
+            assert!(Instant::now() < deadline, "compaction never ran");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // A retried proposal with the same id must be absorbed, not
+        // re-appended: the dedup set outlives the compacted log.
+        c.propose_with_id(id, 41);
+        assert!(c.propose_until_committed(99, Duration::from_secs(5)), "fresh entry");
+        for node in 0..3 {
+            assert!(c.wait_for_committed(node, 2, Duration::from_secs(10)), "node {node}");
+            let ids: Vec<u64> = c.committed(node).iter().map(|e| e.id).collect();
+            assert_eq!(
+                ids.iter().filter(|&&i| i == id).count(),
+                1,
+                "node {node}: id {id} must appear exactly once in {ids:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn leader_reemerges_and_commits_after_each_isolation() {
+        // Liveness soak: every time the leader is cut off, a replacement
+        // must take over and commit fresh traffic within a bounded
+        // window, and the healed ex-leader must converge before the next
+        // round of churn.
+        let c = cluster(5, 13);
+        let mut committed = 0usize;
+        for round in 0..6u64 {
+            let leader = c.wait_for_leader(Duration::from_secs(10)).expect("leader");
+            c.net().isolate(leader);
+            let started = Instant::now();
+            let new_leader = loop {
+                if let Some(l) = (0..5).find(|&n| {
+                    n != leader && c.seats[n].view.is_leader.load(Ordering::Acquire)
+                }) {
+                    break l;
+                }
+                assert!(
+                    started.elapsed() < Duration::from_secs(10),
+                    "no replacement leader within bound (round {round})"
+                );
+                std::thread::sleep(Duration::from_millis(10));
+            };
+            assert_ne!(new_leader, leader);
+            assert!(
+                c.propose_until_committed(round, Duration::from_secs(10)),
+                "no commit under isolation (round {round})"
+            );
+            committed += 1;
+            c.net().reconnect(leader);
+            assert!(
+                c.wait_for_committed(leader, committed, Duration::from_secs(10)),
+                "healed ex-leader never caught up (round {round})"
+            );
+        }
+        // All that churn must never have produced two leaders in a term.
+        let mut claims = c.leadership_claims();
+        claims.sort_by_key(|&(_, term)| term);
+        for pair in claims.windows(2) {
+            if pair[0].1 == pair[1].1 {
+                assert_eq!(pair[0].0, pair[1].0, "split brain in term {}", pair[0].1);
+            }
+        }
     }
 
     #[test]

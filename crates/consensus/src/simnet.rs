@@ -1,15 +1,26 @@
-//! A simulated in-process network with configurable delay, loss and
-//! partitions.
+//! A simulated in-process network with configurable delay, loss,
+//! duplication, reordering and (possibly asymmetric) partitions.
 //!
 //! Messages are timestamped with a delivery deadline and dispatched by a
 //! single pumping thread, so tests can inject latency and drops
 //! deterministically (seeded RNG) without spawning per-message threads.
+//! The pump parks on a condvar until the next delivery deadline (or a
+//! `send`/`shutdown` signal), so an idle network burns no CPU.
+//!
+//! The fault model is layered:
+//!
+//! * a global [`NetConfig`] applies to every link;
+//! * per-link overrides ([`SimNet::set_link_config`]) replace it for one
+//!   directed `(from, to)` pair — e.g. to make just the leader's outbound
+//!   links lossy;
+//! * partitions are directed: [`SimNet::partition_one_way`] cuts a single
+//!   direction (asymmetric split), while [`SimNet::partition`] cuts both.
 
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{Condvar, Mutex, RwLock};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::sync::mpsc::{Receiver, Sender, TryRecvError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -17,7 +28,8 @@ use std::time::{Duration, Instant};
 /// Node address within a [`SimNet`].
 pub type NodeId = usize;
 
-/// Tunable fault model.
+/// Tunable fault model (global, or per directed link via
+/// [`SimNet::set_link_config`]).
 #[derive(Debug, Clone)]
 pub struct NetConfig {
     /// Probability each message is dropped.
@@ -26,6 +38,14 @@ pub struct NetConfig {
     pub min_delay: Duration,
     /// Maximum one-way delay.
     pub max_delay: Duration,
+    /// Probability each message is delivered twice (the duplicate draws
+    /// its own independent delay, so copies may arrive far apart).
+    pub dup_prob: f64,
+    /// Probability a message is deferred by an extra seeded delay drawn
+    /// from `[0, reorder_window)`, letting later sends overtake it.
+    pub reorder_prob: f64,
+    /// Span of the extra reordering delay.
+    pub reorder_window: Duration,
 }
 
 impl Default for NetConfig {
@@ -34,6 +54,9 @@ impl Default for NetConfig {
             drop_prob: 0.0,
             min_delay: Duration::from_micros(50),
             max_delay: Duration::from_micros(500),
+            dup_prob: 0.0,
+            reorder_prob: 0.0,
+            reorder_window: Duration::ZERO,
         }
     }
 }
@@ -65,13 +88,27 @@ impl<M> Ord for Pending<M> {
 struct Inner<M> {
     inboxes: RwLock<Vec<Sender<M>>>,
     config: RwLock<NetConfig>,
-    /// Pairs `(a, b)` that cannot communicate (both directions).
+    /// Directed pairs `(from, to)` that cannot communicate. A symmetric
+    /// partition inserts both directions.
     partitions: RwLock<HashSet<(NodeId, NodeId)>>,
+    /// Per-directed-link fault models overriding the global config.
+    link_overrides: RwLock<HashMap<(NodeId, NodeId), NetConfig>>,
     queue: Mutex<BinaryHeap<Reverse<Pending<M>>>>,
+    /// Signaled by `send` (new message, possibly with an earlier deadline
+    /// than the pump is sleeping toward) and by `shutdown`.
+    wakeup: Condvar,
     rng: Mutex<StdRng>,
     seq: Mutex<u64>,
+    /// Times the pump went to sleep — a busy-poll regression guard: an
+    /// idle network must park, not spin.
+    pump_parks: std::sync::atomic::AtomicU64,
     shutdown: std::sync::atomic::AtomicBool,
 }
+
+/// Upper bound on one pump park. The condvar is signaled on every send
+/// and on shutdown, so this only bounds how long a missed wakeup could
+/// go unnoticed; it is not a polling interval.
+const IDLE_PARK: Duration = Duration::from_millis(500);
 
 /// The simulated network. Clone handles freely; one pump thread delivers.
 pub struct SimNet<M: Send + 'static> {
@@ -86,9 +123,12 @@ impl<M: Send + 'static> SimNet<M> {
             inboxes: RwLock::new(inboxes),
             config: RwLock::new(config),
             partitions: RwLock::new(HashSet::new()),
+            link_overrides: RwLock::new(HashMap::new()),
             queue: Mutex::new(BinaryHeap::new()),
+            wakeup: Condvar::new(),
             rng: Mutex::new(StdRng::seed_from_u64(seed)),
             seq: Mutex::new(0),
+            pump_parks: std::sync::atomic::AtomicU64::new(0),
             shutdown: std::sync::atomic::AtomicBool::new(false),
         });
         let pump_inner = Arc::clone(&inner);
@@ -117,63 +157,139 @@ impl<M: Send + 'static> SimNet<M> {
         self.inner.inboxes.write()[node] = tx;
     }
 
-    /// Sends `msg` from `from` to `to`, subject to the fault model.
-    pub fn send(&self, from: NodeId, to: NodeId, msg: M) {
+    /// Sends `msg` from `from` to `to`, subject to the fault model: the
+    /// per-link override for `(from, to)` if one is set, else the global
+    /// config. The message may be dropped, delayed, deferred past later
+    /// sends (reordering), or delivered twice (duplication).
+    pub fn send(&self, from: NodeId, to: NodeId, msg: M)
+    where
+        M: Clone,
+    {
         if self.inner.shutdown.load(std::sync::atomic::Ordering::Acquire) {
             return;
         }
-        {
-            let parts = self.inner.partitions.read();
-            let key = (from.min(to), from.max(to));
-            if parts.contains(&key) {
-                return;
-            }
+        if self.inner.partitions.read().contains(&(from, to)) {
+            return;
         }
-        let (drop_it, delay) = {
-            let cfg = self.inner.config.read();
+        let cfg = {
+            let overrides = self.inner.link_overrides.read();
+            match overrides.get(&(from, to)) {
+                Some(link) => link.clone(),
+                None => self.inner.config.read().clone(),
+            }
+        };
+        let (drop_it, delay, dup_delay) = {
             let mut rng = self.inner.rng.lock();
             let drop_it = cfg.drop_prob > 0.0 && rng.gen_bool(cfg.drop_prob.min(1.0));
-            let span = cfg.max_delay.saturating_sub(cfg.min_delay);
-            let delay = cfg.min_delay
-                + Duration::from_nanos(if span.is_zero() {
-                    0
-                } else {
-                    rng.gen_range(0..span.as_nanos() as u64)
-                });
-            (drop_it, delay)
+            let draw_delay = |rng: &mut StdRng| {
+                let span = cfg.max_delay.saturating_sub(cfg.min_delay);
+                let mut delay = cfg.min_delay
+                    + Duration::from_nanos(if span.is_zero() {
+                        0
+                    } else {
+                        rng.gen_range(0..span.as_nanos() as u64)
+                    });
+                if cfg.reorder_prob > 0.0
+                    && !cfg.reorder_window.is_zero()
+                    && rng.gen_bool(cfg.reorder_prob.min(1.0))
+                {
+                    delay += Duration::from_nanos(
+                        rng.gen_range(0..cfg.reorder_window.as_nanos() as u64),
+                    );
+                }
+                delay
+            };
+            let delay = draw_delay(&mut rng);
+            let dup_delay = if cfg.dup_prob > 0.0 && rng.gen_bool(cfg.dup_prob.min(1.0)) {
+                Some(draw_delay(&mut rng))
+            } else {
+                None
+            };
+            (drop_it, delay, dup_delay)
         };
         if drop_it {
             return;
         }
-        let seq = {
-            let mut s = self.inner.seq.lock();
-            *s += 1;
-            *s
-        };
-        self.inner.queue.lock().push(Reverse(Pending {
-            deliver_at: Instant::now() + delay,
-            seq,
-            to,
-            msg,
-        }));
+        let now = Instant::now();
+        {
+            let mut q = self.inner.queue.lock();
+            let push = |q: &mut BinaryHeap<Reverse<Pending<M>>>, d: Duration, m: M| {
+                let seq = {
+                    let mut s = self.inner.seq.lock();
+                    *s += 1;
+                    *s
+                };
+                q.push(Reverse(Pending { deliver_at: now + d, seq, to, msg: m }));
+            };
+            if let Some(d) = dup_delay {
+                push(&mut q, d, msg.clone());
+            }
+            push(&mut q, delay, msg);
+        }
+        // The new message may be due sooner than the pump's current park
+        // deadline; wake it to recompute.
+        self.inner.wakeup.notify_one();
     }
 
-    /// Updates the fault model.
+    /// Updates the global fault model (per-link overrides keep priority).
     pub fn set_config(&self, config: NetConfig) {
         *self.inner.config.write() = config;
     }
 
+    /// The current global fault model (e.g. to snapshot before a
+    /// transient disruption and restore afterwards).
+    pub fn config(&self) -> NetConfig {
+        self.inner.config.read().clone()
+    }
+
+    /// Overrides the fault model for the directed link `from → to` only.
+    /// The reverse direction keeps its own override or the global config.
+    pub fn set_link_config(&self, from: NodeId, to: NodeId, config: NetConfig) {
+        self.inner.link_overrides.write().insert((from, to), config);
+    }
+
+    /// Removes the override for the directed link `from → to`.
+    pub fn clear_link_config(&self, from: NodeId, to: NodeId) {
+        self.inner.link_overrides.write().remove(&(from, to));
+    }
+
+    /// Removes every per-link override.
+    pub fn clear_link_overrides(&self) {
+        self.inner.link_overrides.write().clear();
+    }
+
+    /// Cuts only the `from → to` direction: `from`'s messages to `to` are
+    /// discarded while `to` can still reach `from` — an asymmetric
+    /// partition (e.g. a one-way firewall rule or NIC failure).
+    pub fn partition_one_way(&self, from: NodeId, to: NodeId) {
+        self.inner.partitions.write().insert((from, to));
+    }
+
+    /// Heals only the `from → to` direction.
+    pub fn heal_one_way(&self, from: NodeId, to: NodeId) {
+        self.inner.partitions.write().remove(&(from, to));
+    }
+
     /// Cuts the link between `a` and `b` (both directions).
     pub fn partition(&self, a: NodeId, b: NodeId) {
-        self.inner.partitions.write().insert((a.min(b), a.max(b)));
+        let mut parts = self.inner.partitions.write();
+        parts.insert((a, b));
+        parts.insert((b, a));
     }
 
-    /// Heals the link between `a` and `b`.
+    /// Heals the link between `a` and `b` (both directions).
     pub fn heal(&self, a: NodeId, b: NodeId) {
-        self.inner.partitions.write().remove(&(a.min(b), a.max(b)));
+        let mut parts = self.inner.partitions.write();
+        parts.remove(&(a, b));
+        parts.remove(&(b, a));
     }
 
-    /// Isolates `node` from everyone.
+    /// Heals every partition, in both directions.
+    pub fn heal_all(&self) {
+        self.inner.partitions.write().clear();
+    }
+
+    /// Isolates `node` from everyone (both directions).
     pub fn isolate(&self, node: NodeId) {
         for other in 0..self.len() {
             if other != node {
@@ -182,7 +298,7 @@ impl<M: Send + 'static> SimNet<M> {
         }
     }
 
-    /// Reconnects `node` to everyone.
+    /// Reconnects `node` to everyone (both directions).
     pub fn reconnect(&self, node: NodeId) {
         for other in 0..self.len() {
             if other != node {
@@ -191,9 +307,17 @@ impl<M: Send + 'static> SimNet<M> {
         }
     }
 
+    /// Times the pump thread has parked so far. Diagnostics only: an idle
+    /// network parks once and stays parked, while a regression to busy
+    /// polling shows up as thousands of iterations per second.
+    pub fn pump_parks(&self) -> u64 {
+        self.inner.pump_parks.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
     /// Stops the pump thread (also happens on drop).
     pub fn shutdown(&mut self) {
         self.inner.shutdown.store(true, std::sync::atomic::Ordering::Release);
+        self.inner.wakeup.notify_all();
         if let Some(h) = self.pump.take() {
             let _ = h.join();
         }
@@ -207,27 +331,42 @@ impl<M: Send + 'static> Drop for SimNet<M> {
 }
 
 fn pump_loop<M: Send>(inner: &Inner<M>) {
-    while !inner.shutdown.load(std::sync::atomic::Ordering::Acquire) {
-        let now = Instant::now();
-        let mut due = Vec::new();
+    let mut due = Vec::new();
+    loop {
         {
             let mut q = inner.queue.lock();
-            while let Some(Reverse(p)) = q.peek() {
-                if p.deliver_at <= now {
-                    let Reverse(p) = q.pop().expect("peeked");
-                    due.push(p);
-                } else {
+            loop {
+                if inner.shutdown.load(std::sync::atomic::Ordering::Acquire) {
+                    return;
+                }
+                let now = Instant::now();
+                while let Some(Reverse(p)) = q.peek() {
+                    if p.deliver_at <= now {
+                        let Reverse(p) = q.pop().expect("peeked");
+                        due.push(p);
+                    } else {
+                        break;
+                    }
+                }
+                if !due.is_empty() {
                     break;
                 }
+                // Nothing deliverable: park until the earliest deadline,
+                // or until send/shutdown signals the condvar.
+                let wait = q
+                    .peek()
+                    .map_or(IDLE_PARK, |Reverse(p)| p.deliver_at.saturating_duration_since(now))
+                    .min(IDLE_PARK);
+                inner.pump_parks.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                inner.wakeup.wait_for(&mut q, wait);
             }
         }
-        for p in due {
+        for p in due.drain(..) {
             let tx = inner.inboxes.read().get(p.to).cloned();
             if let Some(tx) = tx {
                 let _ = tx.send(p.msg); // receiver may be gone: fine
             }
         }
-        std::thread::sleep(Duration::from_micros(100));
     }
 }
 
@@ -281,12 +420,95 @@ mod tests {
     }
 
     #[test]
+    fn one_way_partition_blocks_a_single_direction() {
+        let (net, rxs) = net(2, NetConfig::default());
+        net.partition_one_way(0, 1);
+        net.send(0, 1, 7);
+        assert_eq!(recv_within(&rxs[1], Duration::from_millis(100)), None, "0→1 cut");
+        net.send(1, 0, 8);
+        assert_eq!(recv_within(&rxs[0], Duration::from_secs(1)), Some(8), "1→0 open");
+        net.heal_one_way(0, 1);
+        net.send(0, 1, 9);
+        assert_eq!(recv_within(&rxs[1], Duration::from_secs(1)), Some(9));
+    }
+
+    #[test]
+    fn heal_all_clears_every_direction() {
+        let (net, rxs) = net(3, NetConfig::default());
+        net.isolate(0);
+        net.partition_one_way(1, 2);
+        net.heal_all();
+        net.send(1, 0, 1);
+        net.send(1, 2, 2);
+        assert_eq!(recv_within(&rxs[0], Duration::from_secs(1)), Some(1));
+        assert_eq!(recv_within(&rxs[2], Duration::from_secs(1)), Some(2));
+    }
+
+    #[test]
     fn drops_with_probability_one() {
         let (net, rxs) = net(2, NetConfig { drop_prob: 1.0, ..NetConfig::default() });
         for i in 0..10 {
             net.send(0, 1, i);
         }
         assert_eq!(recv_within(&rxs[1], Duration::from_millis(100)), None);
+    }
+
+    #[test]
+    fn duplicates_with_probability_one() {
+        let (net, rxs) = net(2, NetConfig { dup_prob: 1.0, ..NetConfig::default() });
+        for i in 0..5 {
+            net.send(0, 1, i);
+        }
+        let mut got = Vec::new();
+        for _ in 0..10 {
+            got.push(recv_within(&rxs[1], Duration::from_secs(1)).expect("two copies each"));
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 0, 1, 1, 2, 2, 3, 3, 4, 4]);
+        assert_eq!(recv_within(&rxs[1], Duration::from_millis(50)), None, "exactly twice");
+    }
+
+    #[test]
+    fn reorder_window_lets_later_sends_overtake() {
+        // Fixed base delay, so without reordering the stream is FIFO (see
+        // ordering_respects_delays). A certain reorder roll with a window
+        // far above the base delay must produce at least one inversion.
+        let cfg = NetConfig {
+            min_delay: Duration::from_micros(100),
+            max_delay: Duration::from_micros(100),
+            reorder_prob: 0.5,
+            reorder_window: Duration::from_millis(5),
+            ..NetConfig::default()
+        };
+        let (net, rxs) = net(2, cfg);
+        for i in 0..20 {
+            net.send(0, 1, i);
+        }
+        let mut got = Vec::new();
+        for _ in 0..20 {
+            got.push(recv_within(&rxs[1], Duration::from_secs(1)).expect("delivered"));
+        }
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        assert_ne!(got, sorted, "expected at least one inversion, got FIFO {got:?}");
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>(), "nothing lost or duplicated");
+    }
+
+    #[test]
+    fn per_link_override_applies_to_one_direction_only() {
+        let (net, rxs) = net(3, NetConfig::default());
+        // Blackhole only 0→1; 0→2 and 1→0 ride the (lossless) global
+        // config.
+        net.set_link_config(0, 1, NetConfig { drop_prob: 1.0, ..NetConfig::default() });
+        net.send(0, 1, 7);
+        net.send(0, 2, 8);
+        net.send(1, 0, 9);
+        assert_eq!(recv_within(&rxs[1], Duration::from_millis(100)), None, "override drops");
+        assert_eq!(recv_within(&rxs[2], Duration::from_secs(1)), Some(8));
+        assert_eq!(recv_within(&rxs[0], Duration::from_secs(1)), Some(9));
+        net.clear_link_config(0, 1);
+        net.send(0, 1, 10);
+        assert_eq!(recv_within(&rxs[1], Duration::from_secs(1)), Some(10));
     }
 
     #[test]
@@ -321,5 +543,39 @@ mod tests {
         let mut sorted = got.clone();
         sorted.sort_unstable();
         assert_eq!(got, sorted);
+    }
+
+    #[test]
+    fn idle_network_parks_instead_of_spinning() {
+        let (net, rxs) = net(2, NetConfig::default());
+        // Let startup and the first park settle, then measure.
+        std::thread::sleep(Duration::from_millis(20));
+        let before = net.pump_parks();
+        std::thread::sleep(Duration::from_millis(150));
+        let parks = net.pump_parks() - before;
+        // The old 100µs busy-sleep loop iterated ~1500 times over this
+        // window; a parked pump wakes at most a couple of times.
+        assert!(parks <= 3, "idle pump woke {parks} times in 150ms — busy polling?");
+        // And it still delivers promptly once traffic resumes.
+        net.send(0, 1, 42);
+        assert_eq!(recv_within(&rxs[1], Duration::from_secs(1)), Some(42));
+    }
+
+    #[test]
+    fn shutdown_is_prompt_even_with_far_future_messages() {
+        let cfg = NetConfig {
+            min_delay: Duration::from_secs(30),
+            max_delay: Duration::from_secs(30),
+            ..NetConfig::default()
+        };
+        let (mut net, _rxs) = net(2, cfg);
+        net.send(0, 1, 1); // deliverable 30s out: the pump must not sleep through shutdown
+        let start = Instant::now();
+        net.shutdown();
+        assert!(
+            start.elapsed() < Duration::from_millis(500),
+            "shutdown took {:?}",
+            start.elapsed()
+        );
     }
 }

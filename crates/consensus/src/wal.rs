@@ -202,6 +202,10 @@ pub trait LogStore<T>: Send {
     fn install_snapshot(&mut self, snap: &SnapshotData<T>) -> Result<(), WalError>;
     /// Durability counters accumulated so far.
     fn stats(&self) -> DurabilityStats;
+    /// Arms a one-shot injected disk fault firing on the next matching
+    /// operation. Default: no-op — only fault-capable stores (i.e.
+    /// [`WalStore`]) honour it; [`MemLogStore`] has no disk to fail.
+    fn arm_disk_fault(&mut self, _fault: DiskFault) {}
 }
 
 /// In-memory [`LogStore`]: the "disk" is the struct itself, so a raft
@@ -756,6 +760,10 @@ impl<T: Clone + Send, C: Codec<T>> LogStore<T> for WalStore<T, C> {
 
     fn stats(&self) -> DurabilityStats {
         self.stats
+    }
+
+    fn arm_disk_fault(&mut self, fault: DiskFault) {
+        self.arm_fault(fault);
     }
 }
 

@@ -43,6 +43,7 @@
 
 pub mod baselines;
 pub mod catalog;
+pub mod chaos;
 pub mod engine;
 pub mod exec;
 pub mod faults;
@@ -51,6 +52,7 @@ pub mod pipelined;
 pub mod replica;
 
 pub use catalog::{Catalog, CatalogEntry, ProgId, TxRequest};
+pub use chaos::{ChaosClass, ChaosEvent, ChaosPhase, ChaosPlan, PLAN_NAMES};
 pub use engine::{
     BatchOutcome, Engine, FailedPolicy, Granularity, PreparedBatch, PrepareMode, SchedulerConfig,
     StageTimings, TxOutcome,

@@ -29,6 +29,14 @@
 //!   and requires byte-identical outcome traces and digests versus a
 //!   never-crashed reference across worker counts.
 //!
+//! * [`chaos`] — a chaos-campaign oracle: the full pipeline plus the
+//!   retrying client session under a seeded, eventually-healing
+//!   [`ChaosPlan`](prognosticator_core::ChaosPlan) (leader churn,
+//!   asymmetric partitions, replica restarts, duplicate/reorder storms,
+//!   overload bursts, disk faults), asserting terminal outcomes for every
+//!   request, post-heal liveness, replica determinism across worker
+//!   counts, and log-level exactly-once.
+//!
 //! [`strategies`] supplies `proptest` strategies generating
 //! [`TxRequest`](prognosticator_core::TxRequest) batches and seeded
 //! [`FaultPlan`](prognosticator_core::FaultPlan)s over all three bundled
@@ -38,6 +46,7 @@
 //!
 //! [`Engine`]: prognosticator_core::Engine
 
+pub mod chaos;
 pub mod differential;
 pub mod recovery;
 pub mod schedule;
@@ -68,6 +77,7 @@ pub fn report_oracle_failure(oracle: &str, detail: &str, reason: &str) {
     }
 }
 
+pub use chaos::{run_chaos, ChaosOracleConfig, ChaosReport, ChaosViolation};
 pub use differential::{run_differential, DifferentialConfig, DifferentialReport, Mismatch};
 pub use recovery::{
     crash_batch_for, run_crash_recovery, CrashRecoveryReport, RecoveryFuzzConfig, RecoveryMismatch,

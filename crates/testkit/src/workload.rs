@@ -108,12 +108,19 @@ impl TestWorkload {
     /// A fresh store holding the workload's initial state.
     pub fn fresh_store(&self) -> Arc<EpochStore> {
         let store = Arc::new(EpochStore::new());
-        match &self.generator {
-            Generator::SmallBank(w) => w.populate(&store),
-            Generator::Tpcc(w) => w.populate(&store),
-            Generator::Rubis(w) => w.populate(&store),
-        }
+        self.populate_store(&store);
         store
+    }
+
+    /// Populates an existing `store` with the workload's initial state
+    /// (for harnesses — like the pipeline — that create stores
+    /// themselves).
+    pub fn populate_store(&self, store: &EpochStore) {
+        match &self.generator {
+            Generator::SmallBank(w) => w.populate(store),
+            Generator::Tpcc(w) => w.populate(store),
+            Generator::Rubis(w) => w.populate(store),
+        }
     }
 
     /// Generates a batch of `size` requests from `rng`.

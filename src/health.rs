@@ -1,0 +1,202 @@
+//! Per-replica health tracking and deterministic degradation levels.
+//!
+//! The pipeline feeds this pure state machine three signals — a replica
+//! lagged behind consensus, a replica was crash-restarted, a sync round
+//! completed cleanly — and reads back a per-replica
+//! [`HealthState`] plus the fleet-wide aggregate (the *worst* replica).
+//! The aggregate drives graceful degradation: under `Degraded` or
+//! `Recovering` the pipeline shrinks its effective admission capacity
+//! (see `Pipeline::submit`), shedding load *before* the backlog can grow
+//! unboundedly, and surfaces the pressure to the client layer as a
+//! deterministic rejection it can back off on.
+//!
+//! The machine is deliberately wall-clock-free: transitions depend only
+//! on the order of signals, so identical runs degrade identically. Each
+//! state is also exported as an obs gauge (`pipeline.replica<i>.health`,
+//! 0 = healthy, 1 = recovering, 2 = degraded) by the pipeline.
+
+/// Health of one replica, from the pipeline's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HealthState {
+    /// Keeping pace; no recent faults.
+    Healthy,
+    /// Recently recovered (or recovering) — on probation until a streak
+    /// of clean sync rounds completes.
+    Recovering,
+    /// Behind consensus or freshly faulted; admission is curtailed.
+    Degraded,
+}
+
+impl HealthState {
+    /// The gauge encoding (0 = healthy, 1 = recovering, 2 = degraded).
+    pub fn as_gauge(self) -> i64 {
+        match self {
+            HealthState::Healthy => 0,
+            HealthState::Recovering => 1,
+            HealthState::Degraded => 2,
+        }
+    }
+
+    /// Stable lowercase name (used in shed-rejection reasons, which must
+    /// be deterministic).
+    pub fn name(self) -> &'static str {
+        match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Recovering => "recovering",
+            HealthState::Degraded => "degraded",
+        }
+    }
+}
+
+/// Tracks every replica's [`HealthState`]. See the module docs for the
+/// transition rules.
+#[derive(Debug, Clone)]
+pub struct HealthMonitor {
+    states: Vec<HealthState>,
+    clean_streak: Vec<u32>,
+    /// Clean sync rounds a `Recovering` replica needs before it is
+    /// `Healthy` again.
+    probation: u32,
+}
+
+impl HealthMonitor {
+    /// A monitor for `replicas` replicas, all initially healthy, with the
+    /// default probation of 2 clean rounds.
+    pub fn new(replicas: usize) -> Self {
+        HealthMonitor {
+            states: vec![HealthState::Healthy; replicas],
+            clean_streak: vec![0; replicas],
+            probation: 2,
+        }
+    }
+
+    /// Registers one more (healthy) replica.
+    pub fn add_replica(&mut self) {
+        self.states.push(HealthState::Healthy);
+        self.clean_streak.push(0);
+    }
+
+    /// Signal: `replica` did not catch up with consensus in time.
+    pub fn on_lag(&mut self, replica: usize) {
+        self.states[replica] = HealthState::Degraded;
+        self.clean_streak[replica] = 0;
+    }
+
+    /// Signal: `replica` was crash-restarted and replayed its state.
+    pub fn on_restart(&mut self, replica: usize) {
+        self.states[replica] = HealthState::Recovering;
+        self.clean_streak[replica] = 0;
+    }
+
+    /// Signal: a sync round completed cleanly for `replica`. A degraded
+    /// replica moves to `Recovering`; a recovering one becomes `Healthy`
+    /// after [`probation`](HealthMonitor::new) consecutive clean rounds.
+    pub fn on_clean_sync(&mut self, replica: usize) {
+        match self.states[replica] {
+            HealthState::Healthy => {}
+            HealthState::Degraded => {
+                self.states[replica] = HealthState::Recovering;
+                self.clean_streak[replica] = 1;
+            }
+            HealthState::Recovering => {
+                self.clean_streak[replica] += 1;
+                if self.clean_streak[replica] >= self.probation {
+                    self.states[replica] = HealthState::Healthy;
+                    self.clean_streak[replica] = 0;
+                }
+            }
+        }
+    }
+
+    /// The state of `replica`.
+    pub fn state(&self, replica: usize) -> HealthState {
+        self.states[replica]
+    }
+
+    /// All per-replica states, in replica order.
+    pub fn states(&self) -> &[HealthState] {
+        &self.states
+    }
+
+    /// The fleet-wide aggregate: the *worst* replica's state (`Degraded`
+    /// dominates `Recovering` dominates `Healthy`). An empty fleet is
+    /// healthy.
+    pub fn aggregate(&self) -> HealthState {
+        self.states.iter().copied().max().unwrap_or(HealthState::Healthy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lag_degrades_and_clean_rounds_heal_via_probation() {
+        let mut m = HealthMonitor::new(2);
+        assert_eq!(m.aggregate(), HealthState::Healthy);
+        m.on_lag(1);
+        assert_eq!(m.state(1), HealthState::Degraded);
+        assert_eq!(m.aggregate(), HealthState::Degraded);
+        // First clean round: probation, not instant health.
+        m.on_clean_sync(1);
+        assert_eq!(m.state(1), HealthState::Recovering);
+        assert_eq!(m.aggregate(), HealthState::Recovering);
+        // Probation (2 clean rounds counted from the transition).
+        m.on_clean_sync(1);
+        assert_eq!(m.state(1), HealthState::Healthy);
+        assert_eq!(m.aggregate(), HealthState::Healthy);
+        // Replica 0 was never touched.
+        assert_eq!(m.state(0), HealthState::Healthy);
+    }
+
+    #[test]
+    fn restart_enters_probation_directly() {
+        let mut m = HealthMonitor::new(1);
+        m.on_restart(0);
+        assert_eq!(m.state(0), HealthState::Recovering);
+        m.on_clean_sync(0);
+        assert_eq!(m.state(0), HealthState::Recovering, "one round is not enough");
+        m.on_clean_sync(0);
+        assert_eq!(m.state(0), HealthState::Healthy);
+    }
+
+    #[test]
+    fn relapse_resets_the_streak() {
+        let mut m = HealthMonitor::new(1);
+        m.on_restart(0);
+        m.on_clean_sync(0);
+        m.on_lag(0); // relapse mid-probation: back to the start
+        assert_eq!(m.state(0), HealthState::Degraded);
+        m.on_clean_sync(0);
+        assert_eq!(m.state(0), HealthState::Recovering, "streak restarted at relapse");
+        m.on_clean_sync(0);
+        assert_eq!(m.state(0), HealthState::Healthy);
+    }
+
+    #[test]
+    fn aggregate_is_the_worst_state() {
+        let mut m = HealthMonitor::new(3);
+        m.on_restart(1);
+        assert_eq!(m.aggregate(), HealthState::Recovering);
+        m.on_lag(2);
+        assert_eq!(m.aggregate(), HealthState::Degraded);
+        m.on_clean_sync(2);
+        assert_eq!(m.aggregate(), HealthState::Recovering, "1 and 2 both on probation");
+    }
+
+    #[test]
+    fn gauge_encoding_and_names_are_stable() {
+        assert_eq!(HealthState::Healthy.as_gauge(), 0);
+        assert_eq!(HealthState::Recovering.as_gauge(), 1);
+        assert_eq!(HealthState::Degraded.as_gauge(), 2);
+        assert_eq!(HealthState::Degraded.name(), "degraded");
+    }
+
+    #[test]
+    fn added_replicas_start_healthy() {
+        let mut m = HealthMonitor::new(0);
+        assert_eq!(m.aggregate(), HealthState::Healthy);
+        m.add_replica();
+        assert_eq!(m.state(0), HealthState::Healthy);
+    }
+}

@@ -17,15 +17,22 @@
 //! [`Pipeline`] handle, including recovery of late-joining replicas by
 //! committed-log replay. The [`wal_codec`] module supplies the binary
 //! batch codec that lets the consensus WAL persist `Vec<TxRequest>`
-//! payloads durably.
+//! payloads durably. The [`client`] module layers per-request deadlines,
+//! deterministic retry/backoff and exactly-once outcome resolution on
+//! top, and [`health`] tracks per-replica degradation driving the
+//! pipeline's graceful load shedding.
 //!
 //! See the repository `README.md` for a quickstart and `DESIGN.md` for the
 //! full system inventory; runnable examples live under `examples/`.
 
+pub mod client;
+pub mod health;
 pub mod pipeline;
 pub mod wal_codec;
 
-pub use pipeline::{Pipeline, PipelineConfig, PipelineError};
+pub use client::{ClientConfig, ClientOutcome, ClientReport, ClientSession};
+pub use health::{HealthMonitor, HealthState};
+pub use pipeline::{BatchEvent, Pipeline, PipelineConfig, PipelineError};
 pub use wal_codec::TxBatchCodec;
 
 pub use prognosticator_consensus as consensus;

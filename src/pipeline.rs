@@ -9,6 +9,7 @@
 //! the committed log from the initial population, the standard
 //! deterministic-database recovery story.
 
+use crate::health::{HealthMonitor, HealthState};
 use crate::wal_codec::TxBatchCodec;
 use prognosticator_consensus::{
     Admission, Batcher, DurabilityReport, LogStore, NetConfig, Quarantine, Quarantined,
@@ -16,7 +17,7 @@ use prognosticator_consensus::{
 };
 use prognosticator_core::{
     Catalog, ConsensusFault, FaultPlan, RecoveryReport, Replica, SchedulerConfig, StageTimings,
-    TxRequest,
+    TxOutcome, TxRequest,
 };
 use prognosticator_storage::EpochStore;
 use std::collections::HashSet;
@@ -154,8 +155,34 @@ struct ReplicaSlot {
     replica: Replica,
     /// Committed-log entries already applied.
     consumed: usize,
+    /// Of those, entries that were *live* (proposal id not voided) — the
+    /// replica's position in the filtered stream the outcome journal is
+    /// indexed by.
+    live_consumed: usize,
     /// Consensus node whose log this replica follows.
     node: usize,
+}
+
+/// One entry per batch the pipeline finished deciding, in decision order:
+/// the positional journal the client session layer
+/// ([`crate::client::ClientSession`]) walks to map accepted transactions
+/// to terminal outcomes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchEvent {
+    /// The batch committed through consensus. Its per-transaction outcome
+    /// vector lands at the matching index of
+    /// [`Pipeline::outcome_journal`] on the next sync.
+    Committed {
+        /// Transactions in the batch.
+        len: usize,
+    },
+    /// The batch exhausted its retry budget and went to quarantine; its
+    /// proposal id was voided, so it can never execute — even if a
+    /// deposed leader's log later commits the entry.
+    Quarantined {
+        /// Transactions in the batch.
+        len: usize,
+    },
 }
 
 /// The assembled deterministic database.
@@ -187,6 +214,20 @@ pub struct Pipeline {
     recovery_replay_us: u64,
     /// Number of replica recoveries performed.
     recoveries: usize,
+    /// One event per decided batch, in decision order (see [`BatchEvent`]).
+    batch_events: Vec<BatchEvent>,
+    /// Per-transaction outcome vectors, indexed by *live committed batch*
+    /// (the voided-id-filtered stream). Filled by the first replica to
+    /// apply each batch during [`Pipeline::sync`]; determinism makes
+    /// every other replica's vector byte-identical (asserted).
+    outcome_journal: Vec<Vec<TxOutcome>>,
+    /// Per-replica health driving graceful degradation.
+    health: HealthMonitor,
+    /// Requests refused to protect the system: bounded-admission
+    /// rejections plus health-based load shedding.
+    shed_requests: u64,
+    /// Batches proposed while the fleet aggregate was not `Healthy`.
+    degraded_batches: u64,
 }
 
 /// A consensus disruption currently applied to the simulated network.
@@ -255,6 +296,11 @@ impl Pipeline {
             stage_totals: StageTimings::default(),
             recovery_replay_us: 0,
             recoveries: 0,
+            batch_events: Vec::new(),
+            outcome_journal: Vec::new(),
+            health: HealthMonitor::new(0),
+            shed_requests: 0,
+            degraded_batches: 0,
         };
         for _ in 0..replica_count {
             pipeline.add_replica();
@@ -285,8 +331,20 @@ impl Pipeline {
         let node = self.replicas.len() % self.cluster.len();
         let mut replica = self.fresh_replica();
         replica.set_fault_plan(self.fault_plan.clone());
-        self.replicas.push(ReplicaSlot { replica, consumed: 0, node });
+        self.replicas.push(ReplicaSlot { replica, consumed: 0, live_consumed: 0, node });
+        self.health.add_replica();
+        self.publish_health_gauges();
         self.replicas.len() - 1
+    }
+
+    /// Exports every replica's health state as an obs gauge
+    /// (`pipeline.replica<i>.health`; 0 = healthy, 1 = recovering,
+    /// 2 = degraded).
+    fn publish_health_gauges(&self) {
+        let reg = prognosticator_obs::Registry::global();
+        for (i, state) in self.health.states().iter().enumerate() {
+            reg.gauge(&format!("pipeline.replica{i}.health")).set(state.as_gauge());
+        }
     }
 
     /// Installs (or clears) a deterministic fault plan across the whole
@@ -320,8 +378,33 @@ impl Pipeline {
     ///   queue drains.
     /// * [`PipelineError::BatchTimedOut`] if consensus cannot commit.
     pub fn submit(&mut self, req: TxRequest) -> Result<(), PipelineError> {
+        // Graceful degradation: while any replica is degraded or on
+        // recovery probation, shrink the effective admission capacity so
+        // the backlog cannot outgrow a weakened fleet. Deterministic: the
+        // same queue depth and health state always shed identically.
+        if let Some(cap) = self.config.max_pending {
+            let state = self.health.aggregate();
+            let effective = match state {
+                HealthState::Healthy => cap,
+                HealthState::Recovering => (cap * 3 / 4).max(1),
+                HealthState::Degraded => (cap / 2).max(1),
+            };
+            if effective < cap && self.batcher.queued() >= effective {
+                self.shed_requests += 1;
+                prognosticator_obs::Registry::global().counter("pipeline.shed_requests").inc();
+                return Err(PipelineError::Rejected {
+                    reason: format!(
+                        "load shed ({}): {} of {effective} reduced admission slots pending (cap {cap})",
+                        state.name(),
+                        self.batcher.queued()
+                    ),
+                });
+            }
+        }
         match self.batcher.try_push(req) {
             Admission::Rejected { reason, .. } => {
+                self.shed_requests += 1;
+                prognosticator_obs::Registry::global().counter("pipeline.shed_requests").inc();
                 return Err(PipelineError::Rejected { reason });
             }
             Admission::Accepted => {}
@@ -386,6 +469,11 @@ impl Pipeline {
     }
 
     fn propose(&mut self, batch: Vec<TxRequest>) -> Result<(), PipelineError> {
+        let len = batch.len();
+        if self.health.aggregate() != HealthState::Healthy {
+            self.degraded_batches += 1;
+            prognosticator_obs::Registry::global().counter("pipeline.degraded_batches").inc();
+        }
         // Inject this batch's consensus disruption, if any. A majority is
         // always left intact, so the cluster can still make progress; the
         // disruption is healed before the first retry (transient fault).
@@ -418,6 +506,7 @@ impl Pipeline {
             // would desynchronize `proposed_batches` from the log.
             if self.cluster.proposal_committed(id) {
                 self.proposed_batches += 1;
+                self.batch_events.push(BatchEvent::Committed { len });
                 self.maybe_compact();
                 return Ok(());
             }
@@ -430,9 +519,11 @@ impl Pipeline {
                 attempts,
                 format!("proposal did not commit after {attempts} attempts"),
             );
+            self.batch_events.push(BatchEvent::Quarantined { len });
             return Err(PipelineError::BatchQuarantined { attempts });
         }
         self.proposed_batches += 1;
+        self.batch_events.push(BatchEvent::Committed { len });
         self.maybe_compact();
         Ok(())
     }
@@ -502,6 +593,8 @@ impl Pipeline {
         self.recovery_replay_us += report.replay_us;
         self.recoveries += 1;
         self.replicas[idx].replica = replica;
+        self.health.on_restart(idx);
+        self.publish_health_gauges();
         report
     }
 
@@ -549,6 +642,35 @@ impl Pipeline {
         self.consensus_retries
     }
 
+    /// The batch decision journal, in decision order — one event per
+    /// batch that was either committed or quarantined.
+    pub fn batch_events(&self) -> &[BatchEvent] {
+        &self.batch_events
+    }
+
+    /// Per-transaction outcome vectors of every live committed batch
+    /// applied so far (indexed like the `Committed` entries of
+    /// [`Pipeline::batch_events`]). Populated during [`Pipeline::sync`].
+    pub fn outcome_journal(&self) -> &[Vec<TxOutcome>] {
+        &self.outcome_journal
+    }
+
+    /// The per-replica health monitor.
+    pub fn health(&self) -> &HealthMonitor {
+        &self.health
+    }
+
+    /// Requests refused to protect the system so far — bounded-admission
+    /// rejections plus health-based load shedding.
+    pub fn shed_requests(&self) -> u64 {
+        self.shed_requests
+    }
+
+    /// Batches proposed while the fleet aggregate was not `Healthy`.
+    pub fn degraded_batches(&self) -> u64 {
+        self.degraded_batches
+    }
+
     /// Per-stage timers summed across every batch applied by every
     /// replica so far (predict/queue/execute/commit/apply, prepare-ahead
     /// overlap, and fresh lock-queue allocations).
@@ -572,6 +694,8 @@ impl Pipeline {
         for idx in 0..self.replicas.len() {
             let (node, consumed) = (self.replicas[idx].node, self.replicas[idx].consumed);
             if !self.wait_for_live_committed(node, target, self.config.consensus_timeout) {
+                self.health.on_lag(idx);
+                self.publish_health_gauges();
                 return Err(PipelineError::ReplicaLagged { replica: idx });
             }
             let log = self.cluster.committed(node);
@@ -589,9 +713,25 @@ impl Pipeline {
             // the engine's queuer thread while batch N executes.
             let outcomes =
                 self.replicas[idx].replica.execute_stream(new_batches, self.config.prepare_ahead);
-            for outcome in &outcomes {
+            let first_live = self.replicas[idx].live_consumed;
+            for (k, outcome) in outcomes.iter().enumerate() {
+                // First replica to apply a live batch records its outcome
+                // vector; every later replica must reproduce it exactly
+                // (per-transaction determinism, stronger than the digest
+                // check below).
+                if first_live + k == self.outcome_journal.len() {
+                    self.outcome_journal.push(outcome.outcomes.clone());
+                } else {
+                    assert_eq!(
+                        self.outcome_journal[first_live + k],
+                        outcome.outcomes,
+                        "replica {idx} diverged on batch {} outcomes",
+                        first_live + k
+                    );
+                }
                 self.stage_totals.accumulate(&outcome.stage);
             }
+            self.replicas[idx].live_consumed += outcomes.len();
         }
         let digests = self.digests();
         if !digests.windows(2).all(|w| w[0] == w[1]) {
@@ -611,6 +751,10 @@ impl Pipeline {
             prognosticator_obs::dump_all("replica-divergence");
             panic!("replica divergence detected: {digests:?}");
         }
+        for idx in 0..self.replicas.len() {
+            self.health.on_clean_sync(idx);
+        }
+        self.publish_health_gauges();
         Ok(())
     }
 
@@ -631,6 +775,25 @@ impl Pipeline {
     /// The consensus cluster (fault injection in tests).
     pub fn cluster(&self) -> &RaftCluster<Vec<TxRequest>> {
         &self.cluster
+    }
+
+    /// The live committed batch stream as observed by `node`: committed
+    /// payloads with quarantine-voided proposal ids filtered out. This is
+    /// exactly the stream replicas execute, so determinism oracles can
+    /// replay it through fresh replicas at other worker counts.
+    pub fn live_committed(&self, node: usize) -> Vec<Vec<TxRequest>> {
+        self.cluster
+            .committed(node)
+            .iter()
+            .filter(|entry| !self.voided_ids.contains(&entry.id))
+            .map(|entry| entry.payload.clone())
+            .collect()
+    }
+
+    /// Proposal ids voided at quarantine time (skipped by every
+    /// committed-log consumer).
+    pub fn voided_ids(&self) -> &HashSet<u64> {
+        &self.voided_ids
     }
 
     /// Stops every replica's worker pool.
@@ -1045,6 +1208,82 @@ mod tests {
         p.sync().expect("syncs despite loss");
         let d = p.digests();
         assert_eq!(d[0], d[1]);
+        p.shutdown();
+    }
+
+    #[test]
+    fn batch_events_and_outcome_journal_align_with_committed_batches() {
+        let (catalog, bump) = counter_catalog();
+        let mut p = Pipeline::new(catalog, small_config(), 2, populate()).expect("boots");
+        for i in 0..24 {
+            p.submit(TxRequest::new(bump, vec![Value::Int(i % 16)])).expect("submits");
+        }
+        p.flush().expect("flushes");
+        p.sync().expect("syncs");
+        let events = p.batch_events();
+        assert_eq!(events.len(), 3);
+        let lens: Vec<usize> = events
+            .iter()
+            .map(|e| match e {
+                BatchEvent::Committed { len } => *len,
+                BatchEvent::Quarantined { .. } => panic!("healthy run quarantined"),
+            })
+            .collect();
+        assert_eq!(lens.iter().sum::<usize>(), 24, "events cover every request");
+        // One outcome vector per committed batch, all committed, and the
+        // second replica's sync asserted equality rather than appending.
+        assert_eq!(p.outcome_journal().len(), 3);
+        for (k, outcomes) in p.outcome_journal().iter().enumerate() {
+            assert_eq!(outcomes.len(), lens[k]);
+            assert!(outcomes.iter().all(|o| *o == TxOutcome::Committed));
+        }
+        p.shutdown();
+    }
+
+    #[test]
+    fn restart_puts_replica_on_probation_and_shrinks_admission() {
+        let (catalog, bump) = counter_catalog();
+        let config = PipelineConfig {
+            batch_window: Duration::from_secs(60),
+            max_pending: Some(8),
+            ..small_config()
+        };
+        let mut p = Pipeline::new(catalog, config, 1, populate()).expect("boots");
+        for i in 0..8 {
+            p.submit(TxRequest::new(bump, vec![Value::Int(i)])).expect("submits");
+        }
+        p.flush().expect("flushes");
+        p.sync().expect("syncs");
+        assert_eq!(p.health().aggregate(), HealthState::Healthy);
+
+        // Crash-restart: the replica goes on probation and the pipeline
+        // sheds load early (admission capacity drops to 3/4 of the cap).
+        p.restart_replica(0);
+        assert_eq!(p.health().aggregate(), HealthState::Recovering);
+        let mut accepted = 0usize;
+        let shed_reason = loop {
+            match p.submit(TxRequest::new(bump, vec![Value::Int(accepted as i64 % 16)])) {
+                Ok(()) => accepted += 1,
+                Err(PipelineError::Rejected { reason }) => break reason,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+            assert!(accepted <= 8, "reduced capacity must bite before the full cap");
+        };
+        assert_eq!(accepted, 6, "recovering fleet admits 3/4 of the cap");
+        assert!(shed_reason.contains("load shed (recovering)"), "got: {shed_reason}");
+        assert!(p.shed_requests() >= 1);
+
+        // Clean rounds clear probation and restore full capacity.
+        p.flush().expect("flushes");
+        p.sync().expect("syncs");
+        p.sync().expect("second clean round");
+        assert_eq!(p.health().aggregate(), HealthState::Healthy);
+        for i in 0..8 {
+            p.submit(TxRequest::new(bump, vec![Value::Int(i)])).expect("full cap is back");
+        }
+        p.flush().expect("flushes");
+        p.sync().expect("syncs");
+        assert_eq!(p.degraded_batches(), 1, "the probation-era batch was counted");
         p.shutdown();
     }
 }
