@@ -125,7 +125,7 @@ impl SeqEngine {
         for req in batch {
             let entry = self.catalog.entry(req.program);
             match execute_live_buffered(&self.store, entry.program(), &req.inputs) {
-                Ok(()) => {
+                Ok(_) => {
                     outcome.committed += 1;
                     outcome.latencies_ns.push(start.elapsed().as_nanos() as u64);
                     outcome.outcomes.push(TxOutcome::Committed);

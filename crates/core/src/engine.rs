@@ -48,7 +48,7 @@
 use crate::catalog::{Catalog, TxRequest};
 use crate::exec::{
     execute_live_buffered, execute_read_only, execute_reconnoitered, execute_scoped,
-    execute_update, reconnoiter, AccessScope, TxFailure,
+    execute_update, reconnoiter, AccessLog, AccessScope, TxFailure,
 };
 use crate::faults::{AbortReason, FaultPlan};
 use crate::locktable::{FifoPolicy, LockTable, LockTableBuilder, ReadyPolicy, TxIdx};
@@ -481,6 +481,38 @@ fn key_fingerprint(key: &Key) -> u64 {
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
     h
+}
+
+/// Records a committed transaction's [`AccessLog`] as `TxRead`/`TxWrite`
+/// flight events (logical coordinates only: batch, tx, per-tx sequence,
+/// key fingerprint, per-key version). These are the isolation checker's
+/// inputs; they are replay-stable because read order is program order and
+/// the write flush is key-sorted.
+fn record_access_log(work: &BatchWork, tx: TxIdx, log: &AccessLog) {
+    let Some(rec) = &work.recorder else { return };
+    if !rec.is_enabled() {
+        return;
+    }
+    for (seq, (key, ver)) in log.reads.iter().enumerate() {
+        let (fp, ver) = (key_fingerprint(key), *ver);
+        rec.record(|| Event::TxRead {
+            batch: work.batch_index,
+            tx: u64::from(tx),
+            seq: seq as u64,
+            key: fp,
+            version: ver,
+        });
+    }
+    for (seq, (key, ver)) in log.writes.iter().enumerate() {
+        let (fp, ver) = (key_fingerprint(key), *ver);
+        rec.record(|| Event::TxWrite {
+            batch: work.batch_index,
+            tx: u64::from(tx),
+            seq: seq as u64,
+            key: fp,
+            version: ver,
+        });
+    }
 }
 
 /// The prepare-ahead queuer thread's endpoints. The thread is spawned
@@ -1015,7 +1047,8 @@ impl Engine {
                 execute_live_buffered(&self.store, &slot.program, &slot.req.inputs)
             }));
             match result {
-                Ok(Ok(())) => {
+                Ok(Ok(log)) => {
+                    record_access_log(work, i, &log);
                     slot.finished_ns.store(work.now_ns().max(1), Ordering::Release);
                 }
                 Ok(Err(TxFailure::Eval(e))) => {
@@ -1305,10 +1338,11 @@ fn worker_loop(worker_id: usize, shared: &Shared, store: &EpochStore) {
                         )
                     }));
                     match result {
-                        Ok(Ok(emitted)) => {
+                        Ok(Ok((emitted, log))) => {
                             let mut state = slot.state.lock();
                             state.output = Some(emitted);
                             drop(state);
+                            record_access_log(&work, i, &log);
                             slot.finished_ns.store(work.now_ns().max(1), Ordering::Release);
                         }
                         Ok(Err(TxFailure::Eval(e))) => {
@@ -1448,7 +1482,8 @@ fn execute_update_slot(work: &BatchWork, i: TxIdx, store: &EpochStore) {
         }
     }));
     match result {
-        Ok(Ok(())) => {
+        Ok(Ok(log)) => {
+            record_access_log(work, i, &log);
             slot.finished_ns.store(work.now_ns().max(1), Ordering::Release);
         }
         Ok(Err(TxFailure::Eval(e))) => {

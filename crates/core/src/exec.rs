@@ -32,6 +32,27 @@ impl AccessScope {
     }
 }
 
+/// The observed access provenance of one committed execution: which
+/// per-key version each store read saw, and which version each committed
+/// write installed.
+///
+/// This is the raw material of the isolation checker
+/// (`testkit::isolation`): WR/WW/RW dependency edges are reconstructed
+/// entirely from these logical coordinates, so they must be replay-stable.
+/// Reads record the *first* store read per key (later reads re-observe the
+/// same locked version, and read-your-writes hits are not store reads);
+/// version `0` means the key had no visible version (the virtual initial
+/// version). Writes are recorded in key order — the commit flush is sorted
+/// so the log (and the flight-recorder events derived from it) is
+/// byte-identical across runs regardless of `HashMap` iteration order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AccessLog {
+    /// `(key, observed version)` per first store read, in program order.
+    pub reads: Vec<(Key, u64)>,
+    /// `(key, installed version)` per committed write, in key order.
+    pub writes: Vec<(Key, u64)>,
+}
+
 /// Why a transaction execution failed and must be retried.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TxFailure {
@@ -59,13 +80,14 @@ pub struct ExecView<'a> {
     store: &'a EpochStore,
     allowed: &'a AccessScope,
     buffer: HashMap<Key, Value>,
+    reads: Vec<(Key, u64)>,
     violated: bool,
 }
 
 impl<'a> ExecView<'a> {
     /// Creates a view allowing access to `allowed` (the locked scope).
     pub fn new(store: &'a EpochStore, allowed: &'a AccessScope) -> Self {
-        ExecView { store, allowed, buffer: HashMap::new(), violated: false }
+        ExecView { store, allowed, buffer: HashMap::new(), reads: Vec::new(), violated: false }
     }
 
     /// Whether any out-of-set access happened.
@@ -73,12 +95,20 @@ impl<'a> ExecView<'a> {
         self.violated
     }
 
-    /// Flushes buffered writes to the store (call only on commit).
-    pub fn commit(self) {
+    /// Flushes buffered writes to the store (call only on commit) and
+    /// returns the access log. The flush is sorted by key so the install
+    /// order — and the version numbers other transactions observe — never
+    /// depends on `HashMap` iteration order.
+    pub fn commit(self) -> AccessLog {
         debug_assert!(!self.violated, "committing a violated execution");
-        for (k, v) in self.buffer {
-            self.store.put(&k, v);
+        let mut buffered: Vec<(Key, Value)> = self.buffer.into_iter().collect();
+        buffered.sort_by(|(a, _), (b, _)| a.cmp(b));
+        let mut writes = Vec::with_capacity(buffered.len());
+        for (k, v) in buffered {
+            let ver = self.store.put_versioned(&k, v);
+            writes.push((k, ver));
         }
+        AccessLog { reads: self.reads, writes }
     }
 }
 
@@ -88,7 +118,11 @@ impl TxStore for ExecView<'_> {
             return Some(v.clone());
         }
         if self.allowed.allows(key) {
-            self.store.get_latest(key)
+            let (ver, value) = self.store.get_latest_versioned(key);
+            if !self.reads.iter().any(|(k, _)| k == key) {
+                self.reads.push((key.clone(), ver));
+            }
+            value
         } else {
             self.violated = true;
             None
@@ -120,7 +154,7 @@ pub fn validate_pivots(store: &EpochStore, prediction: &Prediction) -> Result<()
 
 /// Executes an update transaction under its predicted key-set:
 /// validate pivots → run buffered → commit (or abort without side
-/// effects).
+/// effects). Returns the observed [`AccessLog`] on commit.
 ///
 /// # Errors
 /// [`TxFailure`] on stale pivots, key-set violations, or workload bugs.
@@ -129,7 +163,7 @@ pub fn execute_update(
     program: &Program,
     inputs: &[Value],
     prediction: &Prediction,
-) -> Result<(), TxFailure> {
+) -> Result<AccessLog, TxFailure> {
     validate_pivots(store, prediction)?;
     let allowed = AccessScope::keys_of(prediction);
     let view = ExecView::new(store, &allowed);
@@ -137,7 +171,8 @@ pub fn execute_update(
 }
 
 /// Executes a read-only transaction against the batch snapshot (lock-less,
-/// paper §III-C). Returns the emitted values.
+/// paper §III-C). Returns the emitted values plus the observed
+/// [`AccessLog`] (snapshot reads only; ROTs never write).
 ///
 /// # Errors
 /// [`TxFailure::Eval`] on workload bugs (ROTs cannot otherwise fail).
@@ -146,11 +181,30 @@ pub fn execute_read_only(
     program: &Program,
     inputs: &[Value],
     snapshot_epoch: u64,
-) -> Result<Vec<Value>, TxFailure> {
-    let mut view = store.snapshot(snapshot_epoch);
+) -> Result<(Vec<Value>, AccessLog), TxFailure> {
+    // Snapshot reads carry provenance too: the checker needs the version
+    // each ROT observed to place it between the writer batches.
+    struct TracedSnapshot<'a> {
+        store: &'a EpochStore,
+        epoch: u64,
+        reads: Vec<(Key, u64)>,
+    }
+    impl TxStore for TracedSnapshot<'_> {
+        fn get(&mut self, key: &Key) -> Option<Value> {
+            let (ver, value) = self.store.get_at_versioned(key, self.epoch);
+            if !self.reads.iter().any(|(k, _)| k == key) {
+                self.reads.push((key.clone(), ver));
+            }
+            value
+        }
+        fn put(&mut self, _key: &Key, _value: Value) {
+            panic!("read-only transaction attempted a write");
+        }
+    }
+    let mut view = TracedSnapshot { store, epoch: snapshot_epoch, reads: Vec::new() };
     let interp = Interpreter::new().without_input_validation();
     match interp.run(program, inputs, &mut view) {
-        Ok(out) => Ok(out.emitted),
+        Ok(out) => Ok((out.emitted, AccessLog { reads: view.reads, writes: Vec::new() })),
         Err(e) => Err(TxFailure::Eval(e)),
     }
 }
@@ -216,7 +270,7 @@ pub fn execute_reconnoitered(
     program: &Program,
     inputs: &[Value],
     prediction: &Prediction,
-) -> Result<(), TxFailure> {
+) -> Result<AccessLog, TxFailure> {
     let allowed = AccessScope::keys_of(prediction);
     let view = ExecView::new(store, &allowed);
     execute_in_view(view, program, inputs)
@@ -239,29 +293,38 @@ pub fn execute_live_buffered(
     store: &EpochStore,
     program: &Program,
     inputs: &[Value],
-) -> Result<(), TxFailure> {
+) -> Result<AccessLog, TxFailure> {
     struct BufferedLive<'a> {
         store: &'a EpochStore,
         buffer: HashMap<Key, Value>,
+        reads: Vec<(Key, u64)>,
     }
     impl TxStore for BufferedLive<'_> {
         fn get(&mut self, key: &Key) -> Option<Value> {
             if let Some(v) = self.buffer.get(key) {
                 return Some(v.clone());
             }
-            self.store.get_latest(key)
+            let (ver, value) = self.store.get_latest_versioned(key);
+            if !self.reads.iter().any(|(k, _)| k == key) {
+                self.reads.push((key.clone(), ver));
+            }
+            value
         }
         fn put(&mut self, key: &Key, value: Value) {
             self.buffer.insert(key.clone(), value);
         }
     }
-    let mut view = BufferedLive { store, buffer: HashMap::new() };
+    let mut view = BufferedLive { store, buffer: HashMap::new(), reads: Vec::new() };
     let interp = Interpreter::new().without_input_validation();
     interp.run(program, inputs, &mut view).map_err(TxFailure::Eval)?;
-    for (k, v) in view.buffer {
-        store.put(&k, v);
+    let mut buffered: Vec<(Key, Value)> = view.buffer.into_iter().collect();
+    buffered.sort_by(|(a, _), (b, _)| a.cmp(b));
+    let mut writes = Vec::with_capacity(buffered.len());
+    for (k, v) in buffered {
+        let ver = store.put_versioned(&k, v);
+        writes.push((k, ver));
     }
-    Ok(())
+    Ok(AccessLog { reads: view.reads, writes })
 }
 
 /// Executes a transaction inside an arbitrary [`AccessScope`] (used by the
@@ -275,7 +338,7 @@ pub fn execute_scoped(
     program: &Program,
     inputs: &[Value],
     scope: &AccessScope,
-) -> Result<(), TxFailure> {
+) -> Result<AccessLog, TxFailure> {
     let view = ExecView::new(store, scope);
     execute_in_view(view, program, inputs)
 }
@@ -284,15 +347,14 @@ fn execute_in_view(
     mut view: ExecView<'_>,
     program: &Program,
     inputs: &[Value],
-) -> Result<(), TxFailure> {
+) -> Result<AccessLog, TxFailure> {
     let interp = Interpreter::new().without_input_validation();
     match interp.run(program, inputs, &mut view) {
         Ok(_) => {
             if view.violated() {
                 return Err(TxFailure::KeySetViolation);
             }
-            view.commit();
-            Ok(())
+            Ok(view.commit())
         }
         // An evaluation error after an out-of-scope access is the
         // violation itself: the view deterministically injected `Unit`
@@ -341,8 +403,39 @@ mod tests {
         // Read-your-writes inside the view.
         assert_eq!(view.get(&k(1)), Some(Value::Int(11)));
         assert!(!view.violated());
-        view.commit();
+        let log = view.commit();
         assert_eq!(store.get_latest(&k(1)), Some(Value::Int(11)));
+        // Provenance: read saw ver 1 (populate), write installed ver 2;
+        // the second get was a read-your-writes buffer hit, not logged.
+        assert_eq!(log.reads, vec![(k(1), 1)]);
+        assert_eq!(log.writes, vec![(k(1), 2)]);
+    }
+
+    #[test]
+    fn access_log_reads_absent_keys_as_version_zero() {
+        let store = EpochStore::new();
+        let allowed = AccessScope::Keys([k(5)].into_iter().collect());
+        let mut view = ExecView::new(&store, &allowed);
+        assert_eq!(view.get(&k(5)), None);
+        let log = view.commit();
+        assert_eq!(log.reads, vec![(k(5), 0)]);
+    }
+
+    #[test]
+    fn commit_flush_is_sorted_by_key() {
+        let store = EpochStore::new();
+        let keys: Vec<Key> = (0..16).map(k).collect();
+        let allowed = AccessScope::Keys(keys.iter().cloned().collect());
+        let mut view = ExecView::new(&store, &allowed);
+        // Insert in reverse so HashMap order can't accidentally be sorted.
+        for (i, key) in keys.iter().enumerate().rev() {
+            view.put(key, Value::Int(i as i64));
+        }
+        let log = view.commit();
+        let logged: Vec<&Key> = log.writes.iter().map(|(key, _)| key).collect();
+        let mut sorted = logged.clone();
+        sorted.sort();
+        assert_eq!(logged, sorted, "write log must be in key order");
     }
 
     #[test]
@@ -431,9 +524,13 @@ mod tests {
         let program = b.build();
         // Uncommitted write in the current batch is invisible to the ROT.
         store.put(&k(1), Value::Int(99));
-        let out =
+        let (out, log) =
             execute_read_only(&store, &program, &[], store.snapshot_epoch()).unwrap();
         assert_eq!(out, vec![Value::Int(5)]);
+        // The ROT observed the populated version (ver 1), not the
+        // current-batch write, and ROTs never log writes.
+        assert_eq!(log.reads, vec![(k(1), 1)]);
+        assert!(log.writes.is_empty());
     }
 
     #[test]

@@ -72,6 +72,36 @@ pub enum Event {
         /// Slot index within the batch.
         tx: u64,
     },
+    /// A committed transaction observed a key version when it read
+    /// (provenance for the isolation checker). `version` is the key's
+    /// monotone per-key version number; `0` means the key had no visible
+    /// version (the virtual initial version).
+    TxRead {
+        /// Batch sequence number.
+        batch: u64,
+        /// Slot index within the batch.
+        tx: u64,
+        /// Read sequence within the transaction (program order).
+        seq: u64,
+        /// Key fingerprint.
+        key: u64,
+        /// Observed per-key version number.
+        version: u64,
+    },
+    /// A committed transaction installed a key version when its write
+    /// buffer flushed. `seq` follows the key-sorted flush order.
+    TxWrite {
+        /// Batch sequence number.
+        batch: u64,
+        /// Slot index within the batch.
+        tx: u64,
+        /// Write sequence within the transaction (key order).
+        seq: u64,
+        /// Key fingerprint.
+        key: u64,
+        /// Installed per-key version number.
+        version: u64,
+    },
     /// A transaction released its key queues.
     LockRelease {
         /// Batch sequence number.
@@ -133,6 +163,8 @@ impl Event {
             Event::TxOutcome { .. } => "tx_outcome",
             Event::LockWait { .. } => "lock_wait",
             Event::LockGrant { .. } => "lock_grant",
+            Event::TxRead { .. } => "tx_read",
+            Event::TxWrite { .. } => "tx_write",
             Event::LockRelease { .. } => "lock_release",
             Event::QueuerHandoff { .. } => "queuer_handoff",
             Event::WalFsync { .. } => "wal_fsync",
@@ -149,19 +181,24 @@ impl Event {
             Event::BatchStart { .. } => 1,
             Event::LockWait { .. } => 2,
             Event::LockGrant { .. } => 3,
-            Event::LockRelease { .. } => 4,
-            Event::TxOutcome { .. } => 5,
-            Event::FaultInjected { .. } => 6,
-            Event::BatchEnd { .. } => 7,
-            Event::WalFsync { .. } => 8,
-            Event::RecoveryReplay { .. } => 9,
-            Event::DigestMismatch { .. } => 10,
-            Event::OracleFailure { .. } => 11,
+            Event::TxRead { .. } => 4,
+            Event::TxWrite { .. } => 5,
+            Event::LockRelease { .. } => 6,
+            Event::TxOutcome { .. } => 7,
+            Event::FaultInjected { .. } => 8,
+            Event::BatchEnd { .. } => 9,
+            Event::WalFsync { .. } => 10,
+            Event::RecoveryReplay { .. } => 11,
+            Event::DigestMismatch { .. } => 12,
+            Event::OracleFailure { .. } => 13,
         }
     }
 
     /// Canonical ordering key: batch-major, then event kind in lifecycle
-    /// order, then slot, then key. Independent of arrival interleaving.
+    /// order, then slot, then key — except access events (`TxRead`/
+    /// `TxWrite`), which tie-break by their per-transaction sequence so
+    /// one transaction's accesses keep program/flush order. Independent of
+    /// arrival interleaving.
     fn sort_key(&self) -> (u64, u8, u64, u64) {
         let (batch, tx, key) = match *self {
             Event::BatchStart { batch, .. }
@@ -174,6 +211,13 @@ impl Event {
             | Event::LockRelease { batch, tx }
             | Event::FaultInjected { batch, tx, .. } => (batch, tx, 0),
             Event::LockWait { batch, tx, key, .. } => (batch, tx, key),
+            // Tie-break by (batch, tx, seq), NOT by key fingerprint: two
+            // runs record the same accesses in the same per-tx order, so
+            // seq is interleaving-independent while being cheaper and
+            // collision-free where fingerprints are not.
+            Event::TxRead { batch, tx, seq, .. } | Event::TxWrite { batch, tx, seq, .. } => {
+                (batch, tx, seq)
+            }
             Event::WalFsync { index } => (index, 0, 0),
             Event::OracleFailure { .. } => (u64::MAX, 0, 0),
         };
@@ -223,6 +267,14 @@ impl Event {
             Event::LockGrant { batch, tx } | Event::LockRelease { batch, tx } => {
                 fields.push(format!("\"batch\":{batch}"));
                 fields.push(format!("\"tx\":{tx}"));
+            }
+            Event::TxRead { batch, tx, seq, key, version }
+            | Event::TxWrite { batch, tx, seq, key, version } => {
+                fields.push(format!("\"batch\":{batch}"));
+                fields.push(format!("\"tx\":{tx}"));
+                fields.push(format!("\"seq\":{seq}"));
+                fields.push(format!("\"key\":{key}"));
+                fields.push(format!("\"version\":{version}"));
             }
             Event::WalFsync { index } => {
                 fields.push(format!("\"index\":{index}"));
@@ -532,6 +584,38 @@ mod tests {
         let b = build(&[3, 2, 1, 0]);
         assert_eq!(a, b, "dump body must not depend on arrival order");
         assert!(a.starts_with("{\"type\":\"batch_start\""));
+    }
+
+    #[test]
+    fn access_events_sort_by_tx_then_seq() {
+        let build = |order: &[usize]| {
+            let rec = FlightRecorder::new(2);
+            rec.set_enabled(true);
+            let events = [
+                Event::TxRead { batch: 0, tx: 0, seq: 0, key: 9, version: 1 },
+                Event::TxRead { batch: 0, tx: 0, seq: 1, key: 3, version: 2 },
+                Event::TxWrite { batch: 0, tx: 0, seq: 0, key: 3, version: 3 },
+                Event::TxRead { batch: 0, tx: 1, seq: 0, key: 3, version: 3 },
+                Event::TxWrite { batch: 1, tx: 0, seq: 0, key: 9, version: 4 },
+            ];
+            for &i in order {
+                let e = events[i].clone();
+                rec.record(move || e);
+            }
+            rec.render_jsonl()
+        };
+        let a = build(&[0, 1, 2, 3, 4]);
+        let b = build(&[4, 3, 2, 1, 0]);
+        assert_eq!(a, b, "access-event dump must not depend on arrival order");
+        // Kind-rank-major within the batch (reads before writes), then
+        // (tx, seq) — so tx 0's reads come in seq order (not key order),
+        // then tx 1's read, then tx 0's write.
+        let lines: Vec<&str> = a.lines().collect();
+        assert!(lines[0].contains("\"tx\":0") && lines[0].contains("\"key\":9"));
+        assert!(lines[1].contains("\"tx\":0") && lines[1].contains("\"key\":3"));
+        assert!(lines[2].contains("\"type\":\"tx_read\"") && lines[2].contains("\"tx\":1"));
+        assert!(lines[3].contains("\"type\":\"tx_write\"") && lines[3].contains("\"tx\":0"));
+        assert!(lines[4].contains("\"batch\":1"));
     }
 
     #[test]

@@ -9,10 +9,21 @@ use prognosticator_txir::Value;
 /// [`VersionChain::get_at`]. This is what gives read-only transactions and
 /// the *prepare indirect keys* phase a stable snapshot (paper §III-C), and
 /// what lets the Calvin baseline read deliberately stale state.
+///
+/// Each installed write additionally carries a per-key **version number**
+/// (`ver`, monotone from 1): the provenance coordinate the isolation
+/// checker uses to reconstruct WR/WW/RW dependencies from flight-recorder
+/// traces. Version numbers are replay-stable — within a batch the same-key
+/// write order is the lock-queue order, which is deterministic regardless
+/// of worker count or ready policy — and survive GC (the counter never
+/// resets). `ver == 0` is reserved for "the initial/absent version"
+/// observed by reads that found no value.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct VersionChain {
-    /// `(epoch, value)` pairs, ascending by epoch.
-    versions: Vec<(u64, Value)>,
+    /// `(epoch, ver, value)` triples, ascending by epoch (and by ver).
+    versions: Vec<(u64, u64, Value)>,
+    /// Next version number to assign (monotone; survives GC).
+    next_ver: u64,
 }
 
 impl VersionChain {
@@ -21,47 +32,70 @@ impl VersionChain {
         Self::default()
     }
 
-    /// Creates a chain with a single initial version.
+    /// Creates a chain with a single initial version (ver 1).
     pub fn with_initial(epoch: u64, value: Value) -> Self {
-        VersionChain { versions: vec![(epoch, value)] }
+        VersionChain { versions: vec![(epoch, 1, value)], next_ver: 2 }
     }
 
     /// The latest value, if any.
     pub fn latest(&self) -> Option<&Value> {
-        self.versions.last().map(|(_, v)| v)
+        self.versions.last().map(|(_, _, v)| v)
+    }
+
+    /// The latest value with its version number, if any.
+    pub fn latest_versioned(&self) -> Option<(u64, &Value)> {
+        self.versions.last().map(|(_, ver, v)| (*ver, v))
     }
 
     /// The epoch of the latest version, if any.
     pub fn latest_epoch(&self) -> Option<u64> {
-        self.versions.last().map(|(e, _)| *e)
+        self.versions.last().map(|(e, _, _)| *e)
     }
 
     /// The newest value with version epoch ≤ `epoch`.
     pub fn get_at(&self, epoch: u64) -> Option<&Value> {
-        match self.versions.binary_search_by_key(&epoch, |(e, _)| *e) {
-            Ok(i) => Some(&self.versions[i].1),
+        self.get_at_versioned(epoch).map(|(_, v)| v)
+    }
+
+    /// The newest value with version epoch ≤ `epoch`, plus its version
+    /// number.
+    pub fn get_at_versioned(&self, epoch: u64) -> Option<(u64, &Value)> {
+        match self.versions.binary_search_by_key(&epoch, |(e, _, _)| *e) {
+            Ok(i) => Some((self.versions[i].1, &self.versions[i].2)),
             Err(0) => None,
-            Err(i) => Some(&self.versions[i - 1].1),
+            Err(i) => Some((self.versions[i - 1].1, &self.versions[i - 1].2)),
         }
     }
 
-    /// Writes `value` at `epoch`.
+    /// Writes `value` at `epoch`, returning the installed version number.
     ///
     /// Writing at the latest epoch replaces that version (last write in a
-    /// batch wins); writing at a newer epoch appends.
+    /// batch wins) but still consumes a fresh version number — the
+    /// intra-batch intermediate is a distinct write for dependency
+    /// tracking even though only the final value survives the epoch.
+    /// Writing at a newer epoch appends.
     ///
     /// # Panics
     /// Panics if `epoch` is older than the latest version — batches only
     /// move forward.
-    pub fn put(&mut self, epoch: u64, value: Value) {
-        match self.versions.last_mut() {
-            Some((e, v)) if *e == epoch => *v = value,
-            Some((e, _)) => {
-                assert!(*e < epoch, "write at epoch {epoch} older than latest {e}");
-                self.versions.push((epoch, value));
-            }
-            None => self.versions.push((epoch, value)),
+    pub fn put(&mut self, epoch: u64, value: Value) -> u64 {
+        if self.next_ver == 0 {
+            self.next_ver = 1;
         }
+        let ver = self.next_ver;
+        self.next_ver += 1;
+        match self.versions.last_mut() {
+            Some((e, last_ver, v)) if *e == epoch => {
+                *last_ver = ver;
+                *v = value;
+            }
+            Some((e, _, _)) => {
+                assert!(*e < epoch, "write at epoch {epoch} older than latest {e}");
+                self.versions.push((epoch, ver, value));
+            }
+            None => self.versions.push((epoch, ver, value)),
+        }
+        ver
     }
 
     /// Number of stored versions.
@@ -77,9 +111,10 @@ impl VersionChain {
     /// Drops all versions that are superseded at or before `epoch`,
     /// keeping the newest version ≤ `epoch` (still needed for snapshot
     /// reads at `epoch`) and everything newer. Returns the number of
-    /// versions dropped (GC accounting).
+    /// versions dropped (GC accounting). Version numbers of surviving
+    /// entries — and the allocation counter — are unchanged.
     pub fn gc_before(&mut self, epoch: u64) -> usize {
-        let keep_from = match self.versions.iter().rposition(|(e, _)| *e <= epoch) {
+        let keep_from = match self.versions.iter().rposition(|(e, _, _)| *e <= epoch) {
             Some(i) => i,
             None => return 0,
         };
@@ -156,5 +191,40 @@ mod tests {
         // Versions strictly before the kept one are gone: reads at older
         // epochs now miss (GC callers must not need those snapshots).
         assert_eq!(c.get_at(1), None);
+    }
+
+    #[test]
+    fn version_numbers_are_monotone_and_returned() {
+        let mut c = VersionChain::with_initial(0, Value::Int(0));
+        assert_eq!(c.latest_versioned(), Some((1, &Value::Int(0))));
+        assert_eq!(c.put(1, Value::Int(10)), 2);
+        assert_eq!(c.put(2, Value::Int(20)), 3);
+        assert_eq!(c.get_at_versioned(0), Some((1, &Value::Int(0))));
+        assert_eq!(c.get_at_versioned(1), Some((2, &Value::Int(10))));
+        assert_eq!(c.get_at_versioned(5), Some((3, &Value::Int(20))));
+    }
+
+    #[test]
+    fn same_epoch_overwrite_consumes_a_version() {
+        let mut c = VersionChain::new();
+        assert_eq!(c.put(1, Value::Int(1)), 1);
+        assert_eq!(c.put(1, Value::Int(2)), 2);
+        // Only the final intra-epoch value survives, carrying the newest
+        // version number.
+        assert_eq!(c.latest_versioned(), Some((2, &Value::Int(2))));
+        assert_eq!(c.put(2, Value::Int(3)), 3);
+    }
+
+    #[test]
+    fn gc_preserves_version_numbers() {
+        let mut c = VersionChain::new();
+        for e in 0..6 {
+            c.put(e, Value::Int(e as i64));
+        }
+        c.gc_before(3);
+        // Surviving entries keep their pre-GC version numbers and the
+        // counter keeps climbing.
+        assert_eq!(c.get_at_versioned(3), Some((4, &Value::Int(3))));
+        assert_eq!(c.put(9, Value::Int(9)), 7);
     }
 }

@@ -122,18 +122,45 @@ impl EpochStore {
         self.shard(key).read().get(key).and_then(|c| c.latest().cloned())
     }
 
+    /// Reads the latest version of `key` with its per-key version number
+    /// (provenance for the isolation checker). A missing key reads as
+    /// `(0, None)` — version 0 is the virtual initial version.
+    pub fn get_latest_versioned(&self, key: &Key) -> (u64, Option<Value>) {
+        self.latency.charge_read();
+        match self.shard(key).read().get(key).and_then(|c| c.latest_versioned()) {
+            Some((ver, v)) => (ver, Some(v.clone())),
+            None => (0, None),
+        }
+    }
+
     /// Reads the newest version of `key` with epoch ≤ `epoch`.
     pub fn get_at(&self, key: &Key, epoch: u64) -> Option<Value> {
         self.latency.charge_read();
         self.shard(key).read().get(key).and_then(|c| c.get_at(epoch).cloned())
     }
 
+    /// Reads the newest version of `key` with epoch ≤ `epoch`, plus its
+    /// per-key version number (`0` when nothing is visible).
+    pub fn get_at_versioned(&self, key: &Key, epoch: u64) -> (u64, Option<Value>) {
+        self.latency.charge_read();
+        match self.shard(key).read().get(key).and_then(|c| c.get_at_versioned(epoch)) {
+            Some((ver, v)) => (ver, Some(v.clone())),
+            None => (0, None),
+        }
+    }
+
     /// Writes `value` under `key` at the current epoch.
     pub fn put(&self, key: &Key, value: Value) {
+        self.put_versioned(key, value);
+    }
+
+    /// Writes `value` under `key` at the current epoch, returning the
+    /// per-key version number the write installed.
+    pub fn put_versioned(&self, key: &Key, value: Value) -> u64 {
         self.latency.charge_write();
         let epoch = self.current_epoch();
         let mut shard = self.shard(key).write();
-        shard.entry(key.clone()).or_default().put(epoch, value);
+        shard.entry(key.clone()).or_default().put(epoch, value)
     }
 
     /// Number of keys present (any version).
@@ -361,6 +388,21 @@ mod tests {
         s.gc_before(8);
         assert!(s.version_count() <= 3);
         assert_eq!(s.get_latest(&k(1)), Some(Value::Int(9)));
+    }
+
+    #[test]
+    fn versioned_reads_report_provenance() {
+        let s = EpochStore::new();
+        assert_eq!(s.get_latest_versioned(&k(1)), (0, None));
+        s.populate(vec![(k(1), Value::Int(0))]);
+        assert_eq!(s.get_latest_versioned(&k(1)), (1, Some(Value::Int(0))));
+        assert_eq!(s.put_versioned(&k(1), Value::Int(10)), 2);
+        s.advance_epoch();
+        assert_eq!(s.put_versioned(&k(1), Value::Int(20)), 3);
+        assert_eq!(s.get_at_versioned(&k(1), 0), (1, Some(Value::Int(0))));
+        assert_eq!(s.get_at_versioned(&k(1), 1), (2, Some(Value::Int(10))));
+        assert_eq!(s.get_latest_versioned(&k(1)), (3, Some(Value::Int(20))));
+        assert_eq!(s.get_at_versioned(&k(2), 99), (0, None));
     }
 
     #[test]

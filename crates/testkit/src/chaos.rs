@@ -223,6 +223,8 @@ fn replay_digest(workload: &TestWorkload, stream: &[Vec<TxRequest>], workers: us
     );
     replica.execute_stream(stream.to_vec(), 1);
     let digest = replica.state_digest();
+    // Replay legs double as isolation checks whenever recording is on.
+    crate::isolation::assert_replica_serializable(&replica, "chaos replay");
     replica.shutdown();
     digest
 }

@@ -115,6 +115,8 @@ fn engine_leg(
         outcomes.push(out.outcomes);
     }
     let digest = replica.state_digest();
+    // Engine legs double as isolation checks whenever recording is on.
+    crate::isolation::assert_replica_serializable(&replica, &name);
     replica.shutdown();
     Leg { name, outcomes, digest, committed }
 }

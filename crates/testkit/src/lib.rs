@@ -29,6 +29,15 @@
 //!   and requires byte-identical outcome traces and digests versus a
 //!   never-crashed reference across worker counts.
 //!
+//! * [`isolation`] — a polygraph-style serializability checker: it
+//!   rebuilds the WR/WW/RW dependency graph from the flight recorder's
+//!   per-transaction read/write version provenance and certifies
+//!   acyclicity against the batch order, shrinking any violation to a
+//!   shortest-cycle witness. A mutation harness forges known
+//!   violations (swapped commits, stale reads, dropped lock releases)
+//!   to prove the checker rejects bad histories, and every other
+//!   oracle calls it opportunistically whenever recording is on.
+//!
 //! * [`chaos`] — a chaos-campaign oracle: the full pipeline plus the
 //!   retrying client session under a seeded, eventually-healing
 //!   [`ChaosPlan`](prognosticator_core::ChaosPlan) (leader churn,
@@ -48,6 +57,7 @@
 
 pub mod chaos;
 pub mod differential;
+pub mod isolation;
 pub mod recovery;
 pub mod schedule;
 pub mod soundness;
@@ -79,6 +89,11 @@ pub fn report_oracle_failure(oracle: &str, detail: &str, reason: &str) {
 
 pub use chaos::{run_chaos, ChaosOracleConfig, ChaosReport, ChaosViolation};
 pub use differential::{run_differential, DifferentialConfig, DifferentialReport, Mismatch};
+pub use isolation::{
+    check_replica_trace, check_trace, inject_violation, run_isolation, trace_stream, CycleWitness,
+    Edge, EdgeKind, IsolationConfig, IsolationReport, IsolationViolation, Mutation, Trace, TxId,
+    Verdict,
+};
 pub use recovery::{
     crash_batch_for, run_crash_recovery, CrashRecoveryReport, RecoveryFuzzConfig, RecoveryMismatch,
 };

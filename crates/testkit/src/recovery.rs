@@ -140,6 +140,8 @@ fn run_reference(
         trace.push((o.outcomes, o.aborted, o.carried_over.len()));
     }
     let digest = replica.state_digest();
+    // Reference legs double as isolation checks when recording is on.
+    crate::isolation::assert_replica_serializable(&replica, "recovery reference");
     replica.shutdown();
     (trace, digest)
 }
@@ -248,6 +250,12 @@ fn run_crashed(
         trace.push((o.outcomes, o.aborted, o.carried_over.len()));
     }
     let digest = recovered.state_digest();
+    // The recovered replica replayed plus re-executed everything on a
+    // fresh store, so its trace is a complete history: check it too.
+    if let Some(msg) = crate::isolation::check_replica_trace(&recovered, "recovered replica") {
+        recovered.shutdown();
+        return Err(msg);
+    }
     recovered.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
     Ok((trace, digest, durable_batches, caught_up, stats, report.replay_us))

@@ -109,6 +109,9 @@ fn run_schedule(
         outcomes.push(out.outcomes);
     }
     let digest = replica.state_digest();
+    // When recording is on, every explored schedule's trace also runs
+    // through the independent serializability checker.
+    crate::isolation::assert_replica_serializable(&replica, "schedule run");
     replica.shutdown();
     RunResult { outcomes, digest, committed, aborted }
 }

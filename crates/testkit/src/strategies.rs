@@ -20,10 +20,18 @@ pub fn fixture(kind: WorkloadKind) -> Arc<TestWorkload> {
     static SMALLBANK: OnceLock<Arc<TestWorkload>> = OnceLock::new();
     static TPCC: OnceLock<Arc<TestWorkload>> = OnceLock::new();
     static RUBIS: OnceLock<Arc<TestWorkload>> = OnceLock::new();
+    static HOT_SKEW: OnceLock<Arc<TestWorkload>> = OnceLock::new();
+    static SCAN_STORM: OnceLock<Arc<TestWorkload>> = OnceLock::new();
+    static YCSB_MIX: OnceLock<Arc<TestWorkload>> = OnceLock::new();
+    static CHAIN_PIVOT: OnceLock<Arc<TestWorkload>> = OnceLock::new();
     let cell = match kind {
         WorkloadKind::SmallBank => &SMALLBANK,
         WorkloadKind::Tpcc => &TPCC,
         WorkloadKind::Rubis => &RUBIS,
+        WorkloadKind::HotSkew => &HOT_SKEW,
+        WorkloadKind::ScanStorm => &SCAN_STORM,
+        WorkloadKind::YcsbMix => &YCSB_MIX,
+        WorkloadKind::ChainPivot => &CHAIN_PIVOT,
     };
     Arc::clone(cell.get_or_init(|| Arc::new(TestWorkload::new(kind))))
 }

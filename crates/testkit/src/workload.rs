@@ -1,11 +1,12 @@
-//! One enum over the three bundled workloads, so oracles and strategies
-//! can be workload-parametric without generics.
+//! One enum over the bundled workloads — the three standard benchmarks
+//! plus the adversarial scenario pack — so oracles and strategies can be
+//! workload-parametric without generics.
 
 use prognosticator_core::{Catalog, TxRequest};
 use prognosticator_storage::EpochStore;
 use prognosticator_workloads::{
-    DeterministicRng, RubisConfig, RubisWorkload, SmallBankConfig, SmallBankWorkload, TpccConfig,
-    TpccWorkload,
+    AdversarialConfig, AdversarialMix, AdversarialWorkload, DeterministicRng, RubisConfig,
+    RubisWorkload, SmallBankConfig, SmallBankWorkload, TpccConfig, TpccWorkload,
 };
 use std::sync::Arc;
 
@@ -18,12 +19,30 @@ pub enum WorkloadKind {
     Tpcc,
     /// RUBiS: auction-site mix.
     Rubis,
+    /// Adversarial: Zipfian (s = 1.3) hot-key RMW storm.
+    HotSkew,
+    /// Adversarial: long snapshot scans under a concurrent write storm.
+    ScanStorm,
+    /// Adversarial: YCSB-style CRUD mix over a skewed key space.
+    YcsbMix,
+    /// Adversarial: indirect-key chains racing link rewrites (DT pivots).
+    ChainPivot,
 }
 
 impl WorkloadKind {
-    /// All three workloads, for "run everything" loops.
+    /// The three standard workloads, for "run everything" loops. The
+    /// adversarial pack is separate ([`WorkloadKind::ADVERSARIAL`]) so
+    /// existing suites keep their cell counts.
     pub const ALL: [WorkloadKind; 3] =
         [WorkloadKind::SmallBank, WorkloadKind::Tpcc, WorkloadKind::Rubis];
+
+    /// The four adversarial scenarios (ISSUE 7's scenario pack).
+    pub const ADVERSARIAL: [WorkloadKind; 4] = [
+        WorkloadKind::HotSkew,
+        WorkloadKind::ScanStorm,
+        WorkloadKind::YcsbMix,
+        WorkloadKind::ChainPivot,
+    ];
 
     /// Stable lowercase name (used in reports and reproducer file names).
     pub fn name(self) -> &'static str {
@@ -31,6 +50,20 @@ impl WorkloadKind {
             WorkloadKind::SmallBank => "smallbank",
             WorkloadKind::Tpcc => "tpcc",
             WorkloadKind::Rubis => "rubis",
+            WorkloadKind::HotSkew => "hot_skew",
+            WorkloadKind::ScanStorm => "scan_storm",
+            WorkloadKind::YcsbMix => "ycsb_mix",
+            WorkloadKind::ChainPivot => "chain_pivot",
+        }
+    }
+
+    fn adversarial_mix(self) -> Option<AdversarialMix> {
+        match self {
+            WorkloadKind::HotSkew => Some(AdversarialMix::HotSkew),
+            WorkloadKind::ScanStorm => Some(AdversarialMix::ScanStorm),
+            WorkloadKind::YcsbMix => Some(AdversarialMix::YcsbMix),
+            WorkloadKind::ChainPivot => Some(AdversarialMix::ChainPivot),
+            _ => None,
         }
     }
 }
@@ -39,6 +72,7 @@ enum Generator {
     SmallBank(SmallBankWorkload),
     Tpcc(TpccWorkload),
     Rubis(RubisWorkload),
+    Adversarial(AdversarialWorkload),
 }
 
 /// A registered workload at test scale: its catalog plus a batch
@@ -91,6 +125,17 @@ impl TestWorkload {
                 RubisWorkload::register(&mut catalog, RubisConfig { users: 40, items: 40 })
                     .expect("rubis registers"),
             ),
+            adversarial => Generator::Adversarial(
+                AdversarialWorkload::register(
+                    &mut catalog,
+                    AdversarialConfig {
+                        keys: 48,
+                        zipf_s_hundredths: 130,
+                        mix: adversarial.adversarial_mix().expect("adversarial kind"),
+                    },
+                )
+                .expect("adversarial registers"),
+            ),
         };
         TestWorkload { kind, catalog: Arc::new(catalog), generator }
     }
@@ -120,6 +165,7 @@ impl TestWorkload {
             Generator::SmallBank(w) => w.populate(store),
             Generator::Tpcc(w) => w.populate(store),
             Generator::Rubis(w) => w.populate(store),
+            Generator::Adversarial(w) => w.populate(store),
         }
     }
 
@@ -129,6 +175,7 @@ impl TestWorkload {
             Generator::SmallBank(w) => w.gen_batch(rng, size),
             Generator::Tpcc(w) => w.gen_batch(rng, size),
             Generator::Rubis(w) => w.gen_batch(rng, size),
+            Generator::Adversarial(w) => w.gen_batch(rng, size),
         }
     }
 
@@ -146,7 +193,7 @@ mod tests {
 
     #[test]
     fn all_workloads_register_and_generate() {
-        for kind in WorkloadKind::ALL {
+        for kind in WorkloadKind::ALL.into_iter().chain(WorkloadKind::ADVERSARIAL) {
             let w = TestWorkload::new(kind);
             let stream = w.gen_stream(7, 2, 5);
             assert_eq!(stream.len(), 2);

@@ -1,0 +1,401 @@
+//! Adversarial scenario pack: the access patterns ForeSight-style
+//! predictive scheduling handles worst.
+//!
+//! Four mixes over one small schema, each stressing a different seam of
+//! the deterministic runtime:
+//!
+//! | mix | stress |
+//! |---|---|
+//! | [`AdversarialMix::HotSkew`] | Zipfian (s ≥ 1.2) hot-key read-modify-writes — maximal lock-queue depth on a handful of keys |
+//! | [`AdversarialMix::ScanStorm`] | long read-only scans against the epoch snapshot concurrent with a hot write storm — MVCC historical reads under write pressure |
+//! | [`AdversarialMix::YcsbMix`] | YCSB-style CRUD (reads/blind writes/RMWs) over a skewed key space |
+//! | [`AdversarialMix::ChainPivot`] | indirect-key chains (1- and 2-level) racing link rewrites — the DT pivot-validation path |
+//!
+//! Two tables: `kv(i) → Int` (data) and `ptr(i) → Int` (indirection
+//! links). The 2-level chain (`chain_hop2`) pivots on a pivot; whether
+//! symbolic execution profiles it or degrades to the reconnaissance
+//! fallback, the engine must keep histories serializable — which is
+//! exactly what the isolation checker certifies over these traces.
+
+use crate::gen::{DeterministicRng, Zipfian};
+use prognosticator_core::{Catalog, ProgId, TxRequest};
+use prognosticator_storage::EpochStore;
+use prognosticator_symexec::ExploreError;
+use prognosticator_txir::{
+    Expr, InputBound, Key, Program, ProgramBuilder, TableId, TableRegistry, Value,
+};
+
+/// Number of keys one `scan` transaction reads (unrolled GETs).
+pub const SCAN_LEN: i64 = 16;
+
+/// Which adversarial traffic mix to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AdversarialMix {
+    /// Zipfian hot-key RMW storm.
+    HotSkew,
+    /// Long snapshot scans under a concurrent write storm.
+    ScanStorm,
+    /// YCSB-style CRUD mix over a skewed key space.
+    YcsbMix,
+    /// Indirect-key chains racing link rewrites.
+    ChainPivot,
+}
+
+/// Scale parameters.
+#[derive(Debug, Clone)]
+pub struct AdversarialConfig {
+    /// Rows in each of `kv` and `ptr`.
+    pub keys: i64,
+    /// Zipfian exponent in hundredths (`120` ⇒ s = 1.2, the pack's
+    /// minimum skew).
+    pub zipf_s_hundredths: u32,
+    /// Traffic mix.
+    pub mix: AdversarialMix,
+}
+
+impl Default for AdversarialConfig {
+    fn default() -> Self {
+        AdversarialConfig { keys: 64, zipf_s_hundredths: 120, mix: AdversarialMix::HotSkew }
+    }
+}
+
+/// Table ids of the adversarial schema.
+#[derive(Debug, Clone, Copy)]
+pub struct AdversarialTables {
+    /// kv(i) → Int data rows.
+    pub kv: TableId,
+    /// ptr(i) → Int indirection links.
+    pub ptr: TableId,
+}
+
+fn tables(b: &mut ProgramBuilder) -> AdversarialTables {
+    AdversarialTables { kv: b.table("kv"), ptr: b.table("ptr") }
+}
+
+/// The six adversarial programs plus the shared registry.
+#[derive(Debug, Clone)]
+pub struct AdversarialPrograms {
+    /// hot_rmw(k, v) — IT read-modify-write.
+    pub hot_rmw: Program,
+    /// blind_write(k, v) — IT blind write.
+    pub blind_write: Program,
+    /// read_one(k) — ROT point read.
+    pub read_one: Program,
+    /// scan(start) — ROT over [`SCAN_LEN`] consecutive keys.
+    pub scan: Program,
+    /// chain_hop(k, v) — DT via one `ptr` hop.
+    pub chain_hop: Program,
+    /// chain_hop2(k, v) — DT via two `ptr` hops (pivot of a pivot).
+    pub chain_hop2: Program,
+    /// relink(k, to) — IT rewriting a `ptr` link (invalidates pivots).
+    pub relink: Program,
+    /// Table registry.
+    pub tables: TableRegistry,
+    /// Table ids.
+    pub ids: AdversarialTables,
+}
+
+/// Builds all programs.
+pub fn programs(config: &AdversarialConfig) -> AdversarialPrograms {
+    let n = config.keys;
+
+    let mut b = ProgramBuilder::new("hot_rmw");
+    let t = tables(&mut b);
+    let k = b.input("k", InputBound::int(0, n - 1));
+    let v = b.input("v", InputBound::int(1, 100));
+    let cur = b.var("cur");
+    let key = Expr::key(t.kv, vec![Expr::input(k)]);
+    b.get(cur, key.clone());
+    b.put(key, Expr::var(cur).add(Expr::input(v)));
+    let (hot_rmw, registry) = b.build_with_tables();
+
+    let mut b = ProgramBuilder::with_tables("blind_write", registry.clone());
+    let t = tables(&mut b);
+    let k = b.input("k", InputBound::int(0, n - 1));
+    let v = b.input("v", InputBound::int(1, 100));
+    b.put(Expr::key(t.kv, vec![Expr::input(k)]), Expr::input(v));
+    let blind_write = b.build();
+
+    let mut b = ProgramBuilder::with_tables("read_one", registry.clone());
+    let t = tables(&mut b);
+    let k = b.input("k", InputBound::int(0, n - 1));
+    let cur = b.var("cur");
+    b.get(cur, Expr::key(t.kv, vec![Expr::input(k)]));
+    b.emit(Expr::var(cur));
+    let read_one = b.build();
+
+    let mut b = ProgramBuilder::with_tables("scan", registry.clone());
+    let t = tables(&mut b);
+    let start = b.input("start", InputBound::int(0, n - SCAN_LEN));
+    let mut sum = Expr::lit(0);
+    for i in 0..SCAN_LEN {
+        let row = b.var(&format!("r{i}"));
+        b.get(row, Expr::key(t.kv, vec![Expr::input(start).add(Expr::lit(i))]));
+        sum = sum.add(Expr::var(row));
+    }
+    b.emit(sum);
+    let scan = b.build();
+
+    let mut b = ProgramBuilder::with_tables("chain_hop", registry.clone());
+    let t = tables(&mut b);
+    let k = b.input("k", InputBound::int(0, n - 1));
+    let v = b.input("v", InputBound::int(1, 100));
+    let p = b.var("p");
+    let cur = b.var("cur");
+    b.get(p, Expr::key(t.ptr, vec![Expr::input(k)]));
+    b.get(cur, Expr::key(t.kv, vec![Expr::var(p)]));
+    b.put(Expr::key(t.kv, vec![Expr::var(p)]), Expr::var(cur).add(Expr::input(v)));
+    let chain_hop = b.build();
+
+    let mut b = ProgramBuilder::with_tables("chain_hop2", registry.clone());
+    let t = tables(&mut b);
+    let k = b.input("k", InputBound::int(0, n - 1));
+    let v = b.input("v", InputBound::int(1, 100));
+    let p = b.var("p");
+    let q = b.var("q");
+    let cur = b.var("cur");
+    b.get(p, Expr::key(t.ptr, vec![Expr::input(k)]));
+    b.get(q, Expr::key(t.ptr, vec![Expr::var(p)]));
+    b.get(cur, Expr::key(t.kv, vec![Expr::var(q)]));
+    b.put(Expr::key(t.kv, vec![Expr::var(q)]), Expr::var(cur).add(Expr::input(v)));
+    let chain_hop2 = b.build();
+
+    let mut b = ProgramBuilder::with_tables("relink", registry.clone());
+    let t = tables(&mut b);
+    let k = b.input("k", InputBound::int(0, n - 1));
+    let to = b.input("to", InputBound::int(0, n - 1));
+    b.put(Expr::key(t.ptr, vec![Expr::input(k)]), Expr::input(to));
+    let relink = b.build();
+
+    let mut probe = ProgramBuilder::with_tables("probe", registry.clone());
+    let ids = tables(&mut probe);
+    AdversarialPrograms {
+        hot_rmw,
+        blind_write,
+        read_one,
+        scan,
+        chain_hop,
+        chain_hop2,
+        relink,
+        tables: registry,
+        ids,
+    }
+}
+
+/// A registered adversarial workload.
+#[derive(Debug)]
+pub struct AdversarialWorkload {
+    /// Scale parameters and mix.
+    pub config: AdversarialConfig,
+    /// hot_rmw program id.
+    pub hot_rmw: ProgId,
+    /// blind_write program id.
+    pub blind_write: ProgId,
+    /// read_one program id.
+    pub read_one: ProgId,
+    /// scan program id.
+    pub scan: ProgId,
+    /// chain_hop program id.
+    pub chain_hop: ProgId,
+    /// chain_hop2 program id.
+    pub chain_hop2: ProgId,
+    /// relink program id.
+    pub relink: ProgId,
+    /// Table ids.
+    pub tables: AdversarialTables,
+    zipf: Zipfian,
+}
+
+impl AdversarialWorkload {
+    /// Builds, analyzes and registers all programs.
+    ///
+    /// # Errors
+    /// Propagates analysis errors (IR bugs); capped analyses (possible
+    /// for the 2-level chain) degrade to the reconnaissance fallback
+    /// inside the catalog and are not errors.
+    pub fn register(
+        catalog: &mut Catalog,
+        config: AdversarialConfig,
+    ) -> Result<Self, ExploreError> {
+        assert!(config.keys > SCAN_LEN, "need more keys than one scan covers");
+        let progs = programs(&config);
+        let zipf = Zipfian::new(config.keys as usize, config.zipf_s_hundredths);
+        Ok(AdversarialWorkload {
+            hot_rmw: catalog.register(progs.hot_rmw)?,
+            blind_write: catalog.register(progs.blind_write)?,
+            read_one: catalog.register(progs.read_one)?,
+            scan: catalog.register(progs.scan)?,
+            chain_hop: catalog.register(progs.chain_hop)?,
+            chain_hop2: catalog.register(progs.chain_hop2)?,
+            relink: catalog.register(progs.relink)?,
+            config,
+            tables: progs.ids,
+            zipf,
+        })
+    }
+
+    /// Populates `kv[i] = i` and a scrambled link map
+    /// `ptr[i] = (7i + 3) mod keys` (links always in-bounds).
+    pub fn populate(&self, store: &EpochStore) {
+        let t = self.tables;
+        for i in 0..self.config.keys {
+            store.insert_initial(Key::of_ints(t.kv, &[i]), Value::Int(i));
+            store.insert_initial(
+                Key::of_ints(t.ptr, &[i]),
+                Value::Int((7 * i + 3) % self.config.keys),
+            );
+        }
+    }
+
+    /// Draws a Zipfian-hot key (rank 0 = hottest = key 0).
+    fn hot_key(&self, rng: &mut DeterministicRng) -> i64 {
+        self.zipf.sample(rng) as i64
+    }
+
+    /// Generates one request of the configured mix.
+    pub fn gen_tx(&self, rng: &mut DeterministicRng) -> TxRequest {
+        let v = Value::Int(1 + rng.below(100));
+        match self.config.mix {
+            AdversarialMix::HotSkew => {
+                let k = Value::Int(self.hot_key(rng));
+                match rng.below(10) {
+                    0 => TxRequest::new(self.read_one, vec![k]),
+                    1 => TxRequest::new(self.blind_write, vec![k, v]),
+                    _ => TxRequest::new(self.hot_rmw, vec![k, v]),
+                }
+            }
+            AdversarialMix::ScanStorm => {
+                if rng.percent(40) {
+                    let start = rng.below(self.config.keys - SCAN_LEN + 1);
+                    TxRequest::new(self.scan, vec![Value::Int(start)])
+                } else {
+                    TxRequest::new(self.hot_rmw, vec![Value::Int(self.hot_key(rng)), v])
+                }
+            }
+            AdversarialMix::YcsbMix => {
+                let k = Value::Int(self.hot_key(rng));
+                match rng.below(4) {
+                    0 | 1 => TxRequest::new(self.read_one, vec![k]),
+                    2 => TxRequest::new(self.blind_write, vec![k, v]),
+                    _ => TxRequest::new(self.hot_rmw, vec![k, v]),
+                }
+            }
+            AdversarialMix::ChainPivot => {
+                let k = Value::Int(self.hot_key(rng));
+                match rng.below(20) {
+                    0..=6 => TxRequest::new(self.chain_hop, vec![k, v]),
+                    7..=9 => TxRequest::new(self.chain_hop2, vec![k, v]),
+                    10..=14 => {
+                        let to = Value::Int(rng.below(self.config.keys));
+                        TxRequest::new(self.relink, vec![k, to])
+                    }
+                    _ => TxRequest::new(self.hot_rmw, vec![k, v]),
+                }
+            }
+        }
+    }
+
+    /// Generates a whole batch.
+    pub fn gen_batch(&self, rng: &mut DeterministicRng, size: usize) -> Vec<TxRequest> {
+        (0..size).map(|_| self.gen_tx(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prognosticator_core::{baselines, Replica, TxClass};
+    use std::sync::Arc;
+
+    fn cfg(mix: AdversarialMix) -> AdversarialConfig {
+        AdversarialConfig { keys: 48, zipf_s_hundredths: 130, mix }
+    }
+
+    #[test]
+    fn classes_are_as_designed() {
+        let mut catalog = Catalog::new();
+        let wl = AdversarialWorkload::register(&mut catalog, cfg(AdversarialMix::HotSkew)).unwrap();
+        assert_eq!(catalog.entry(wl.hot_rmw).class(), TxClass::Independent);
+        assert_eq!(catalog.entry(wl.blind_write).class(), TxClass::Independent);
+        assert_eq!(catalog.entry(wl.read_one).class(), TxClass::ReadOnly);
+        assert_eq!(catalog.entry(wl.scan).class(), TxClass::ReadOnly);
+        assert_eq!(catalog.entry(wl.chain_hop).class(), TxClass::Dependent);
+        assert_eq!(catalog.entry(wl.relink).class(), TxClass::Independent);
+        // chain_hop2 is dependent whether profiled or degraded.
+        assert_eq!(catalog.entry(wl.chain_hop2).class(), TxClass::Dependent);
+    }
+
+    #[test]
+    fn every_mix_registers_and_runs() {
+        for mix in [
+            AdversarialMix::HotSkew,
+            AdversarialMix::ScanStorm,
+            AdversarialMix::YcsbMix,
+            AdversarialMix::ChainPivot,
+        ] {
+            let mut catalog = Catalog::new();
+            let wl = AdversarialWorkload::register(&mut catalog, cfg(mix)).unwrap();
+            let catalog = Arc::new(catalog);
+            let store = Arc::new(EpochStore::new());
+            wl.populate(&store);
+            let mut replica =
+                Replica::with_store(baselines::mq_mf(2), Arc::clone(&catalog), Arc::clone(&store));
+            let mut rng = DeterministicRng::new(11);
+            for _ in 0..3 {
+                let outcome = replica.execute_batch(wl.gen_batch(&mut rng, 24));
+                assert_eq!(outcome.committed + outcome.aborted, 24, "{mix:?}");
+                // Adversarial traffic is contended, not buggy: nothing in
+                // the pack can abort (no divisions, all keys in-bounds).
+                assert_eq!(outcome.aborted, 0, "{mix:?}");
+            }
+            replica.shutdown();
+        }
+    }
+
+    #[test]
+    fn replicas_converge_under_every_mix() {
+        for mix in [AdversarialMix::HotSkew, AdversarialMix::ChainPivot] {
+            let mut catalog = Catalog::new();
+            let wl = AdversarialWorkload::register(&mut catalog, cfg(mix)).unwrap();
+            let catalog = Arc::new(catalog);
+            let make = |workers| {
+                let store = Arc::new(EpochStore::new());
+                wl.populate(&store);
+                Replica::with_store(baselines::mq_mf(workers), Arc::clone(&catalog), store)
+            };
+            let mut a = make(1);
+            let mut b = make(4);
+            let mut rng = DeterministicRng::new(23);
+            for _ in 0..4 {
+                let batch = wl.gen_batch(&mut rng, 24);
+                a.execute_batch(batch.clone());
+                b.execute_batch(batch);
+                assert_eq!(a.state_digest(), b.state_digest(), "{mix:?}");
+            }
+            a.shutdown();
+            b.shutdown();
+        }
+    }
+
+    #[test]
+    fn hot_skew_concentrates_traffic() {
+        let mut catalog = Catalog::new();
+        let wl = AdversarialWorkload::register(&mut catalog, cfg(AdversarialMix::HotSkew)).unwrap();
+        let mut rng = DeterministicRng::new(5);
+        let mut hot = 0usize;
+        let mut total = 0usize;
+        for req in wl.gen_batch(&mut rng, 2000) {
+            if let Some(Value::Int(k)) = req.inputs.first() {
+                total += 1;
+                if *k < 5 {
+                    hot += 1;
+                }
+            }
+        }
+        assert!(total > 0);
+        assert!(
+            hot * 2 > total,
+            "top-5 keys should absorb most traffic: {hot}/{total}"
+        );
+    }
+}

@@ -52,6 +52,129 @@ impl DeterministicRng {
     }
 }
 
+/// A Zipfian rank sampler with platform-deterministic weights.
+///
+/// Rank 0 is the hottest key; rank `r` has weight `(r+1)^(-s)`. The
+/// adversarial hot-skew workload uses `s ≥ 1.2`, where a handful of keys
+/// absorb most of the traffic — the worst case for predictive lock
+/// scheduling.
+///
+/// Determinism note: `libm`'s `powf` is *not* bit-identical across
+/// platforms, so the weight table is computed with hand-rolled `log2`/
+/// `exp2` series using only IEEE-754 basic operations (`+ - * /`, which
+/// are correctly rounded and therefore identical everywhere), then
+/// quantized to a fixed-point `u64` cumulative table. Sampling is an
+/// integer draw plus a binary search — no floats at sample time, so the
+/// sequence for a given `(n, s, seed)` is byte-identical on every
+/// platform.
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    /// Cumulative fixed-point weights; `cum[r]` = total weight of ranks
+    /// `0..=r`. Strictly increasing (every rank gets weight ≥ 1).
+    cum: Vec<u64>,
+}
+
+// Exactly representable, correctly rounded constant: ln(2).
+use std::f64::consts::LN_2;
+
+/// `log2(x)` for finite `x > 0`, using only `+ - * /` on `f64`.
+///
+/// Splits `x = m·2^e` with `m ∈ [1, 2)` via the bit representation, then
+/// `log2(m) = 2·atanh((m-1)/(m+1)) / ln 2` by series. `u = (m-1)/(m+1) ≤
+/// 1/3`, so 13 odd terms reach full `f64` precision.
+fn det_log2(x: f64) -> f64 {
+    debug_assert!(x > 0.0 && x.is_finite());
+    let bits = x.to_bits();
+    let e = ((bits >> 52) & 0x7ff) as i64 - 1023;
+    let m = f64::from_bits((bits & 0x000f_ffff_ffff_ffff) | (1023u64 << 52));
+    let u = (m - 1.0) / (m + 1.0);
+    let u2 = u * u;
+    let mut term = u;
+    let mut ln_m = u;
+    for k in 1..=13u32 {
+        term *= u2;
+        ln_m += term / f64::from(2 * k + 1);
+    }
+    e as f64 + (2.0 * ln_m) / LN_2
+}
+
+/// `2^y` for `y ∈ (-1100, 1)` (all this module needs), using only
+/// `+ - * /` on `f64`. Splits `y = i + f` with `f ∈ [0, 1)`; `2^i` is an
+/// exact power of two, `2^f = e^(f·ln 2)` by Taylor series (18 terms at
+/// `f·ln 2 < 0.694` is beyond full precision).
+fn det_exp2(y: f64) -> f64 {
+    let i = y.floor();
+    let f = y - i;
+    let z = f * LN_2;
+    let mut term = 1.0f64;
+    let mut exp_z = 1.0f64;
+    for k in 1..=18u32 {
+        term = term * z / f64::from(k);
+        exp_z += term;
+    }
+    // Exact 2^i by repeated doubling/halving (i is a small integer here;
+    // underflow to 0 for very negative i is the correct saturation).
+    let mut scale = 1.0f64;
+    let mut n = i as i64;
+    while n > 0 {
+        scale *= 2.0;
+        n -= 1;
+    }
+    while n < 0 {
+        scale /= 2.0;
+        n += 1;
+    }
+    exp_z * scale
+}
+
+impl Zipfian {
+    /// Builds the sampler over `n` ranks with exponent `s =
+    /// s_hundredths/100` (e.g. `120` for the adversarial `s = 1.2`).
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, s_hundredths: u32) -> Self {
+        assert!(n > 0, "Zipfian needs at least one rank");
+        let s = f64::from(s_hundredths) / 100.0;
+        let mut cum = Vec::with_capacity(n);
+        let mut total = 0u64;
+        for r in 0..n {
+            // w(r) = (r+1)^(-s) ∈ (0, 1]; quantize to 32 fractional bits
+            // and clamp to ≥ 1 so every rank stays reachable.
+            let w = det_exp2(-s * det_log2((r + 1) as f64));
+            let scaled = ((w * 4_294_967_296.0) as u64).max(1);
+            total += scaled;
+            cum.push(total);
+        }
+        Zipfian { cum }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> usize {
+        self.cum.len()
+    }
+
+    /// The quantized (fixed-point) weight of `rank` — test hook for the
+    /// monotonicity property.
+    pub fn weight(&self, rank: usize) -> u64 {
+        if rank == 0 {
+            self.cum[0]
+        } else {
+            self.cum[rank] - self.cum[rank - 1]
+        }
+    }
+
+    /// Draws a rank (0 = hottest). Integer-only: one 64-bit draw, modulo
+    /// the total weight, binary search in the cumulative table.
+    pub fn sample(&self, rng: &mut DeterministicRng) -> usize {
+        let total = *self.cum.last().expect("nonempty");
+        let draw = (u64::from(rng.next_u32()) << 32) | u64::from(rng.next_u32());
+        let target = draw % total;
+        // First rank whose cumulative weight exceeds the target.
+        self.cum.partition_point(|&c| c <= target)
+    }
+}
+
 /// TPC-C's non-uniform random distribution (clause 2.1.6): hot items and
 /// customers are selected more often, concentrating contention the same
 /// way the spec does.
@@ -120,5 +243,87 @@ mod tests {
         let mut rng = DeterministicRng::new(4);
         let hits = (0..10_000).filter(|_| rng.percent(25)).count();
         assert!((2000..3000).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn zipfian_weights_are_rank_monotone() {
+        // Frequency-rank monotonicity: w(0) ≥ w(1) ≥ … with strict decay
+        // near the head (where quantization cannot flatten the curve).
+        for s in [80u32, 120, 150, 200] {
+            let z = Zipfian::new(1000, s);
+            for r in 1..z.n() {
+                assert!(
+                    z.weight(r) <= z.weight(r - 1),
+                    "s={s}: weight({r}) > weight({})",
+                    r - 1
+                );
+            }
+            for r in 1..16 {
+                assert!(z.weight(r) < z.weight(r - 1), "s={s}: head must strictly decay at {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn zipfian_is_deterministic_per_seed() {
+        let z = Zipfian::new(64, 120);
+        let draw = |seed: u64| -> Vec<usize> {
+            let mut rng = DeterministicRng::new(seed);
+            (0..256).map(|_| z.sample(&mut rng)).collect()
+        };
+        assert_eq!(draw(42), draw(42));
+        assert_ne!(draw(42), draw(43));
+    }
+
+    #[test]
+    fn zipfian_golden_samples_pin_cross_platform_output() {
+        // Golden first samples for (n=64, s=1.2, seed=42). The weight
+        // table is built from hand-rolled log2/exp2 series over IEEE
+        // basic ops, so these values must never drift across platforms or
+        // rustc versions — any change here is a determinism regression
+        // that would invalidate recorded traces.
+        let z = Zipfian::new(64, 120);
+        let mut rng = DeterministicRng::new(42);
+        let got: Vec<usize> = (0..16).map(|_| z.sample(&mut rng)).collect();
+        assert_eq!(got, GOLDEN_ZIPF_64_120_SEED42, "Zipfian sample stream drifted");
+    }
+
+    /// See `zipfian_golden_samples_pin_cross_platform_output`.
+    const GOLDEN_ZIPF_64_120_SEED42: [usize; 16] =
+        [20, 56, 9, 5, 2, 9, 2, 7, 12, 0, 0, 0, 0, 5, 23, 0];
+
+    #[test]
+    fn zipfian_skew_concentrates_on_hot_ranks() {
+        let z = Zipfian::new(100, 120);
+        let mut rng = DeterministicRng::new(7);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // At s=1.2 over 100 ranks, rank 0 alone draws ≈19% of samples and
+        // the top 10 ranks a solid majority; spaced ranks must also keep
+        // the empirical frequency-rank order.
+        assert!(counts[0] > 50_000 / 10, "rank 0 too cold: {}", counts[0]);
+        let top10: usize = counts[..10].iter().sum();
+        assert!(top10 > 25_000, "top-10 mass too small: {top10}");
+        for (a, b) in [(0, 9), (9, 49), (49, 99)] {
+            assert!(counts[a] > counts[b], "counts[{a}]={} ≤ counts[{b}]={}", counts[a], counts[b]);
+        }
+    }
+
+    #[test]
+    fn det_log2_exp2_agree_with_std_on_integer_inputs() {
+        // Sanity vs std within a few ulps (std may differ per platform;
+        // our series must stay within 1e-12 relative of it everywhere).
+        for x in [1u64, 2, 3, 7, 10, 64, 999, 4096, 1_000_000] {
+            let ours = det_log2(x as f64);
+            let std = (x as f64).log2();
+            assert!((ours - std).abs() <= 1e-12 * std.abs().max(1.0), "log2({x}): {ours} vs {std}");
+        }
+        for y in [-20.0f64, -7.5, -1.2, -0.3, 0.0, 0.9] {
+            let ours = det_exp2(y);
+            let std = y.exp2();
+            assert!((ours - std).abs() <= 1e-12 * std.max(1e-300), "exp2({y}): {ours} vs {std}");
+        }
     }
 }

@@ -18,12 +18,16 @@
 //! [`DeterministicRng`], so replicas and baselines can be fed identical
 //! batches.
 
+pub mod adversarial;
 pub mod gen;
 pub mod rubis;
 pub mod smallbank;
 pub mod tpcc;
 
-pub use gen::{nurand, DeterministicRng};
+pub use adversarial::{
+    AdversarialConfig, AdversarialMix, AdversarialPrograms, AdversarialWorkload,
+};
+pub use gen::{nurand, DeterministicRng, Zipfian};
 pub use rubis::{RubisConfig, RubisPrograms, RubisWorkload};
 pub use smallbank::{SmallBankConfig, SmallBankPrograms, SmallBankWorkload};
 pub use tpcc::{TpccConfig, TpccPrograms, TpccWorkload};

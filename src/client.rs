@@ -562,4 +562,73 @@ mod tests {
             (0..32u64).map(|r| session.backoff(r, 3)).collect();
         assert!(distinct.len() > 8, "jitter should spread backoffs");
     }
+
+    /// Same seed + same rejection sequence ⇒ byte-identical retry
+    /// schedule and identical terminal outcomes; a different seed
+    /// reshuffles the schedule.
+    #[test]
+    fn backoff_schedule_and_terminal_outcome_replay_from_the_seed() {
+        let session_with_seed = |seed: u64| {
+            let (catalog, _) = counter_catalog();
+            let p = Pipeline::new(catalog, small_config(), 1, populate()).expect("boots");
+            ClientSession::new(
+                p,
+                ClientConfig {
+                    initial_backoff: Duration::from_millis(2),
+                    max_backoff: Duration::from_millis(16),
+                    seed,
+                    ..ClientConfig::default()
+                },
+            )
+        };
+        // A rejection sequence is (request id, attempt) pairs in
+        // admission order; the retry schedule is the backoff chosen for
+        // each rejection.
+        let rejections: Vec<(u64, u32)> =
+            (0..6u64).flat_map(|req| (1..5u32).map(move |attempt| (req, attempt))).collect();
+        let schedule = |session: &ClientSession| -> Vec<Duration> {
+            rejections.iter().map(|&(req, attempt)| session.backoff(req, attempt)).collect()
+        };
+
+        // Two independently built sessions replay the same rejection
+        // sequence into byte-identical schedules; a different seed does
+        // not.
+        let (a, b) = (session_with_seed(7), session_with_seed(7));
+        assert_eq!(schedule(&a), schedule(&b), "same seed ⇒ same retry schedule");
+        assert_ne!(schedule(&a), schedule(&session_with_seed(8)), "seed must matter");
+
+        // Terminal outcomes replay too: a full admission queue plus a
+        // zero deadline makes every over-capacity rejection terminal,
+        // so two identically seeded runs of the same submission
+        // sequence record identical outcome journals.
+        let run_overloaded = |seed: u64| -> Vec<Option<ClientOutcome>> {
+            let (catalog, bump) = counter_catalog();
+            let config = PipelineConfig {
+                max_pending: Some(2),
+                batch_window: Duration::from_secs(60),
+                ..small_config()
+            };
+            let p = Pipeline::new(catalog, config, 1, populate()).expect("boots");
+            let mut session = ClientSession::new(
+                p,
+                ClientConfig { deadline: Duration::ZERO, seed, ..ClientConfig::default() },
+            );
+            for i in 0..6 {
+                session.submit(TxRequest::new(bump, vec![Value::Int(i)]));
+            }
+            let report = session.finish();
+            assert_eq!(report.unresolved, 0);
+            report.outcomes
+        };
+        let first = run_overloaded(7);
+        assert_eq!(first, run_overloaded(7), "same seed ⇒ identical terminal outcomes");
+        assert!(
+            first.iter().any(|o| matches!(o, Some(ClientOutcome::Rejected { .. }))),
+            "the overload must actually reject something"
+        );
+        assert!(
+            first.iter().any(|o| matches!(o, Some(ClientOutcome::Committed))),
+            "admitted requests must still commit"
+        );
+    }
 }
