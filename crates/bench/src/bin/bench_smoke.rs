@@ -96,6 +96,61 @@ fn obs_overhead_guard(setup: &WorkloadSetup, cfg: &SustainConfig, size: usize) {
     );
 }
 
+/// Shard-sweep point: drives the real threaded engine (the simulator
+/// does not shard) at a fixed worker count and harvests the per-shard
+/// queue/execute split plus the cross-shard transaction ratio — the
+/// schema-v4 fields. Deterministic: fixed seed, fixed batch count.
+fn shard_sweep_point(setup: &WorkloadSetup, shards: usize, workers: usize) -> RunResult {
+    const BATCHES: usize = 8;
+    const SIZE: usize = 96;
+    let store = Arc::new(prognosticator_storage::EpochStore::new());
+    (setup.populate)(&store);
+    let mut replica = Replica::with_store(
+        prognosticator_core::SchedulerConfig { shards, ..baselines::mq_mf(workers) },
+        Arc::clone(&setup.catalog),
+        store,
+    );
+    let mut gen = (setup.make_gen)(0x05AA_2DE7);
+    let mut committed = 0usize;
+    let (mut single, mut cross) = (0u64, 0u64);
+    let (mut queue_ns, mut exec_ns) = (0u64, 0u64);
+    let mut shard_queue = vec![0u64; shards];
+    let mut shard_exec = vec![0u64; shards];
+    for _ in 0..BATCHES {
+        let o = replica.execute_batch(gen(SIZE));
+        committed += o.committed;
+        single += o.stage.single_shard_txs;
+        cross += o.stage.cross_shard_txs;
+        queue_ns += o.stage.queue_ns;
+        exec_ns += o.stage.execute_ns;
+        assert_eq!(
+            o.shard_stage.len(),
+            shards,
+            "engine reported {} shard-stage slots for {shards} shards",
+            o.shard_stage.len()
+        );
+        for (s, t) in o.shard_stage.iter().enumerate() {
+            shard_queue[s] += t.queue_ns;
+            shard_exec[s] += t.execute_ns;
+        }
+    }
+    replica.shutdown();
+    let per_batch_us = |ns: u64| ns as f64 / BATCHES as f64 / 1000.0;
+    let routed = single + cross;
+    RunResult {
+        sustainable: true,
+        batch_size: SIZE,
+        committed,
+        queue_us: per_batch_us(queue_ns),
+        execute_us: per_batch_us(exec_ns),
+        shards,
+        cross_shard_ratio: if routed == 0 { 0.0 } else { cross as f64 / routed as f64 },
+        shard_queue_us: shard_queue.iter().map(|&ns| per_batch_us(ns)).collect(),
+        shard_execute_us: shard_exec.iter().map(|&ns| per_batch_us(ns)).collect(),
+        ..RunResult::default()
+    }
+}
+
 /// Durability smoke: drives a WAL-backed consensus cluster through
 /// commits, compaction, and a snapshot-served rejoin, then times a
 /// deterministic replica recovery over a TPC-C batch log — populating the
@@ -325,6 +380,54 @@ fn main() {
         );
         groups.push((label, group));
     }
+
+    // Shard sweep: the real threaded engine across shard counts. The
+    // per-shard queue+execute split must shrink as shards increase
+    // (uniform TPC-C work spread over more partitions), and cross-shard
+    // transactions must be observed (and resolved) whenever shards > 1.
+    println!("\n== shard sweep ==");
+    let sweep_setup = tpcc_setup(4);
+    let mut sweep_rows = Vec::new();
+    let mut sweep_group = Vec::new();
+    let mut per_shard_mean = Vec::new();
+    for shards in [1usize, 2, 4, 8] {
+        let r = shard_sweep_point(&sweep_setup, shards, 4);
+        assert!(r.committed > 0, "shard-sweep/{shards}: committed nothing");
+        if shards == 1 {
+            assert_eq!(r.cross_shard_ratio, 0.0, "single shard cannot have cross-shard txs");
+        } else {
+            assert!(
+                r.cross_shard_ratio > 0.0,
+                "shard-sweep/{shards}: no cross-shard transactions observed"
+            );
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let (q, e) = (mean(&r.shard_queue_us), mean(&r.shard_execute_us));
+        per_shard_mean.push(q + e);
+        sweep_rows.push(vec![
+            shards.to_string(),
+            r.committed.to_string(),
+            format!("{:.3}", r.cross_shard_ratio),
+            format!("{q:.1}"),
+            format!("{e:.1}"),
+        ]);
+        sweep_group.push((format!("shards-{shards}"), r));
+    }
+    print!(
+        "{}",
+        render_table(
+            &["Shards", "Committed", "cross ratio", "shard queue µs", "shard execute µs"],
+            &sweep_rows
+        )
+    );
+    assert!(
+        per_shard_mean[3] < per_shard_mean[0],
+        "per-shard queue+execute must decrease with shard count \
+         (1 shard {:.1}µs vs 8 shards {:.1}µs)",
+        per_shard_mean[0],
+        per_shard_mean[3]
+    );
+    groups.push(("shard-sweep".to_string(), sweep_group));
 
     // Observability must be close to free: same trial, obs hot vs cold.
     println!("\n== obs overhead ==");

@@ -15,11 +15,13 @@ use std::path::Path;
 /// per-stage histogram summaries (`stage_hists`) and lock-contention
 /// counters (`lock_waits`, `lock_contended_keys`) were added; bumped to 3
 /// when the service-loop robustness counters (`client_retries`,
-/// `shed_requests`, `degraded_batches`) were added. Older files (and
+/// `shed_requests`, `degraded_batches`) were added; bumped to 4 when the
+/// sharded-execution fields (`shards`, `cross_shard_ratio`,
+/// `shard_queue_us`, `shard_execute_us`) were added. Older files (and
 /// pre-versioned files, which carry no `schema_version` at all) are
 /// rejected by [`load_snapshot`] so regression tooling never silently
 /// compares across incompatible layouts.
-pub const SCHEMA_VERSION: i64 = 3;
+pub const SCHEMA_VERSION: i64 = 4;
 
 /// A JSON value tree, rendered with [`Json::render`].
 #[derive(Debug, Clone, PartialEq)]
@@ -346,6 +348,21 @@ pub fn run_result_json(system: &str, r: &RunResult) -> Json {
         ("client_retries", Json::Int(r.client_retries as i64)),
         ("shed_requests", Json::Int(r.shed_requests as i64)),
         ("degraded_batches", Json::Int(r.degraded_batches as i64)),
+        // Sharded-execution fields (schema v4): the shard count the point
+        // ran at, the fraction of update transactions whose predicted
+        // key-set spanned several shards, and the per-shard mean
+        // queue/execute batch times (µs, indexed by physical shard; empty
+        // for unsharded/simulated exhibits).
+        ("shards", Json::Int(r.shards as i64)),
+        ("cross_shard_ratio", Json::Num(r.cross_shard_ratio)),
+        (
+            "shard_queue_us",
+            Json::Arr(r.shard_queue_us.iter().map(|&v| Json::Num(v)).collect()),
+        ),
+        (
+            "shard_execute_us",
+            Json::Arr(r.shard_execute_us.iter().map(|&v| Json::Num(v)).collect()),
+        ),
         // Per-stage per-batch latency distributions (µs), summarized
         // from log-linear histograms (schema v2).
         (
@@ -614,6 +631,28 @@ mod tests {
             "\"client_retries\": 4",
             "\"shed_requests\": 11",
             "\"degraded_batches\": 2",
+        ] {
+            assert!(s.contains(needle), "{needle} missing from {s}");
+        }
+    }
+
+    #[test]
+    fn run_result_includes_sharding_fields() {
+        let r = RunResult {
+            shards: 4,
+            cross_shard_ratio: 0.25,
+            shard_queue_us: vec![1.5, 2.5],
+            shard_execute_us: vec![10.0, 20.0],
+            ..RunResult::default()
+        };
+        let s = run_result_json("MQ-MF", &r).render();
+        for needle in [
+            "\"shards\": 4",
+            "\"cross_shard_ratio\": 0.25",
+            "\"shard_queue_us\": [\n",
+            "\"shard_execute_us\": [\n",
+            "2.5",
+            "20.0",
         ] {
             assert!(s.contains(needle), "{needle} missing from {s}");
         }

@@ -50,12 +50,13 @@ pub mod faults;
 pub mod locktable;
 pub mod pipelined;
 pub mod replica;
+pub mod shard;
 
 pub use catalog::{Catalog, CatalogEntry, ProgId, TxRequest};
 pub use chaos::{ChaosClass, ChaosEvent, ChaosPhase, ChaosPlan, PLAN_NAMES};
 pub use engine::{
     BatchOutcome, Engine, FailedPolicy, Granularity, PreparedBatch, PrepareMode, SchedulerConfig,
-    StageTimings, TxOutcome,
+    ShardStageTimings, StageTimings, TxOutcome,
 };
 pub use exec::{AccessScope, ExecView, TxFailure};
 pub use faults::{AbortReason, ConsensusFault, DiskFaultKind, FaultPlan};
@@ -64,4 +65,5 @@ pub use locktable::{
 };
 pub use pipelined::PipelinedExecutor;
 pub use replica::{RecoveryReport, Replica};
+pub use shard::{ShardRoute, ShardRouter};
 pub use prognosticator_symexec::TxClass;

@@ -1,0 +1,210 @@
+//! Sharded-execution equivalence at the engine level: shard counts
+//! {1, 2, 4, 8} must produce byte-identical per-transaction outcome
+//! vectors and state digests — with and without injected faults — because
+//! per-key lock queues receive transactions in the same canonical order
+//! regardless of how the key space is partitioned (DESIGN.md §3.5). The
+//! testkit's differential oracle sweeps the same counts over full
+//! workloads; this file pins the invariant close to the engine.
+
+use prognosticator_core::{
+    baselines, Catalog, FaultPlan, ProgId, Replica, SchedulerConfig, TxOutcome, TxRequest,
+};
+use prognosticator_storage::EpochStore;
+use prognosticator_txir::{Expr, InputBound, Key, ProgramBuilder, TableId, Value};
+use std::sync::Arc;
+
+const ACCOUNTS: TableId = TableId(0);
+const AUDIT: TableId = TableId(1);
+
+struct Fixture {
+    catalog: Arc<Catalog>,
+    deposit: ProgId,
+    transfer: ProgId,
+    audit3: ProgId,
+    balance: ProgId,
+}
+
+/// Programs chosen to exercise every route shape: `deposit` touches one
+/// key (always single-shard), `transfer` two, `audit3` three (almost
+/// always cross-shard at 4+ shards), `balance` is read-only.
+fn fixture() -> Fixture {
+    let mut catalog = Catalog::new();
+
+    let mut b = ProgramBuilder::new("deposit");
+    let acc = b.table("accounts");
+    b.table("audit");
+    let id = b.input("id", InputBound::int(0, 127));
+    let amt = b.input("amt", InputBound::int(0, 9));
+    let v = b.var("v");
+    b.get(v, Expr::key(acc, vec![Expr::input(id)]));
+    b.put(Expr::key(acc, vec![Expr::input(id)]), Expr::var(v).add(Expr::input(amt)));
+    let deposit = catalog.register(b.build()).unwrap();
+
+    let mut b = ProgramBuilder::new("transfer");
+    let acc = b.table("accounts");
+    b.table("audit");
+    let from = b.input("from", InputBound::int(0, 127));
+    let to = b.input("to", InputBound::int(0, 127));
+    let a = b.var("a");
+    let c = b.var("c");
+    b.get(a, Expr::key(acc, vec![Expr::input(from)]));
+    b.put(Expr::key(acc, vec![Expr::input(from)]), Expr::var(a).add(Expr::lit(-1)));
+    b.get(c, Expr::key(acc, vec![Expr::input(to)]));
+    b.put(Expr::key(acc, vec![Expr::input(to)]), Expr::var(c).add(Expr::lit(1)));
+    let transfer = catalog.register(b.build()).unwrap();
+
+    let mut b = ProgramBuilder::new("audit3");
+    let acc = b.table("accounts");
+    let audit = b.table("audit");
+    let x = b.input("x", InputBound::int(0, 127));
+    let y = b.input("y", InputBound::int(0, 127));
+    let vx = b.var("vx");
+    let vy = b.var("vy");
+    b.get(vx, Expr::key(acc, vec![Expr::input(x)]));
+    b.get(vy, Expr::key(acc, vec![Expr::input(y)]));
+    b.put(Expr::key(audit, vec![Expr::input(x)]), Expr::var(vx).add(Expr::var(vy)));
+    let audit3 = catalog.register(b.build()).unwrap();
+
+    let mut b = ProgramBuilder::new("balance");
+    let acc = b.table("accounts");
+    b.table("audit");
+    let id = b.input("id", InputBound::int(0, 127));
+    let v = b.var("v");
+    b.get(v, Expr::key(acc, vec![Expr::input(id)]));
+    b.emit(Expr::var(v));
+    let balance = catalog.register(b.build()).unwrap();
+
+    Fixture { catalog: Arc::new(catalog), deposit, transfer, audit3, balance }
+}
+
+fn replica(shards: usize, workers: usize, fx: &Fixture) -> Replica {
+    let store = Arc::new(EpochStore::new());
+    for i in 0..128i64 {
+        store.insert_initial(Key::of_ints(ACCOUNTS, &[i]), Value::Int(100));
+        store.insert_initial(Key::of_ints(AUDIT, &[i]), Value::Int(0));
+    }
+    let config = SchedulerConfig { shards, ..baselines::mq_mf(workers) };
+    Replica::with_store(config, Arc::clone(&fx.catalog), store)
+}
+
+fn mixed_batch(fx: &Fixture, seed: i64, size: usize) -> Vec<TxRequest> {
+    let mut state = seed;
+    let mut next = || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33).abs()
+    };
+    (0..size)
+        .map(|_| {
+            let a = next() % 128;
+            let b = next() % 128;
+            match next() % 4 {
+                0 => TxRequest::new(fx.deposit, vec![Value::Int(a), Value::Int(next() % 10)]),
+                1 => TxRequest::new(fx.transfer, vec![Value::Int(a), Value::Int(b)]),
+                2 => TxRequest::new(fx.audit3, vec![Value::Int(a), Value::Int(b)]),
+                _ => TxRequest::new(fx.balance, vec![Value::Int(a)]),
+            }
+        })
+        .collect()
+}
+
+/// One batch's observables: outcome vector plus per-tx output rows.
+type BatchTrace = (Vec<TxOutcome>, Vec<Option<Vec<Value>>>);
+
+/// Runs `batches` seeded batches at the given shard count, returning the
+/// per-batch outcome vectors, per-batch outputs, and the final digest.
+fn run_trace(
+    fx: &Fixture,
+    shards: usize,
+    workers: usize,
+    plan: Option<&FaultPlan>,
+    batches: usize,
+) -> (Vec<BatchTrace>, u64) {
+    let mut r = replica(shards, workers, fx);
+    if let Some(plan) = plan {
+        r.set_fault_plan(Some(plan.clone()));
+    }
+    let mut trace = Vec::new();
+    for b in 0..batches {
+        let o = r.execute_batch(mixed_batch(fx, b as i64, 48));
+        assert_eq!(o.shard_stage.len(), shards, "one stage entry per shard");
+        trace.push((o.outcomes, o.outputs));
+    }
+    let digest = r.state_digest();
+    r.shutdown();
+    (trace, digest)
+}
+
+#[test]
+fn shard_counts_are_byte_identical() {
+    let fx = fixture();
+    let runs: Vec<_> =
+        [1usize, 2, 4, 8].iter().map(|&s| run_trace(&fx, s, 3, None, 5)).collect();
+    let (reference, ref_digest) = &runs[0];
+    for (i, (trace, digest)) in runs.iter().enumerate().skip(1) {
+        assert_eq!(trace, reference, "outcome divergence at shard count {}", [2, 4, 8][i - 1]);
+        assert_eq!(digest, ref_digest, "digest divergence at shard count {}", [2, 4, 8][i - 1]);
+    }
+}
+
+#[test]
+fn shard_counts_are_byte_identical_under_faults() {
+    let fx = fixture();
+    let plan = FaultPlan::quiet(424242).with_worker_panics(150);
+    let runs: Vec<_> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&s| run_trace(&fx, s, 3, Some(&plan), 5))
+        .collect();
+    let injected: usize = runs[0]
+        .0
+        .iter()
+        .flat_map(|(outcomes, _)| outcomes)
+        .filter(|o| matches!(o, TxOutcome::Aborted { .. }))
+        .count();
+    assert!(injected > 0, "the fault plan must actually fire");
+    for pair in runs.windows(2) {
+        assert_eq!(pair[0], pair[1], "fault-plan divergence across shard counts");
+    }
+}
+
+#[test]
+fn shard_count_independent_of_worker_count() {
+    // The two axes must be orthogonal: (shards, workers) all agree.
+    let fx = fixture();
+    let mut runs = Vec::new();
+    for shards in [1usize, 4] {
+        for workers in [1usize, 2, 5] {
+            runs.push(run_trace(&fx, shards, workers, None, 4));
+        }
+    }
+    for pair in runs.windows(2) {
+        assert_eq!(pair[0], pair[1], "shards × workers divergence");
+    }
+}
+
+#[test]
+fn cross_shard_txs_are_observed_and_resolved() {
+    let fx = fixture();
+    let mut r = replica(4, 3, &fx);
+    let mut single = 0;
+    let mut cross = 0;
+    for b in 0..4 {
+        let o = r.execute_batch(mixed_batch(&fx, 1000 + b, 48));
+        assert_eq!(o.committed, 48, "cross-shard txs must all retire");
+        single += o.stage.single_shard_txs;
+        cross += o.stage.cross_shard_txs;
+    }
+    assert!(cross > 0, "multi-key txs must route cross-shard at 4 shards");
+    assert!(single > 0, "single-key txs must stay single-shard");
+    r.shutdown();
+}
+
+#[test]
+fn single_shard_engine_reports_no_cross_txs() {
+    let fx = fixture();
+    let mut r = replica(1, 2, &fx);
+    let o = r.execute_batch(mixed_batch(&fx, 77, 48));
+    assert_eq!(o.stage.cross_shard_txs, 0);
+    assert!(o.stage.single_shard_txs > 0);
+    assert_eq!(o.shard_stage.len(), 1);
+    r.shutdown();
+}

@@ -3,7 +3,7 @@
 //! it concretely touches, and the over-approximation ratio must be a
 //! finite number ≥ 1.
 
-use testkit::{check_soundness, WorkloadKind};
+use testkit::{check_soundness, check_soundness_sharded, WorkloadKind};
 
 fn assert_sound(kind: WorkloadKind, seed: u64) {
     let report = check_soundness(kind, seed, 3, 24).unwrap_or_else(|e| panic!("{e}"));
@@ -51,4 +51,63 @@ fn ratios_are_stable_across_seeds() {
     for seed in [1, 2, 3] {
         assert_sound(WorkloadKind::SmallBank, seed);
     }
+}
+
+#[test]
+fn routed_predictions_cover_every_access_at_every_shard_count() {
+    // Per-shard routing soundness (DESIGN.md §3.5): at every swept shard
+    // count, every concretely touched key must land on a shard the
+    // transaction's predicted RWS was routed to. At 1 shard everything is
+    // single-shard; above that the cross-shard ratio is monotonically
+    // non-decreasing (splitting the key space finer can only split more
+    // key-sets across shards).
+    for kind in WorkloadKind::ALL {
+        let mut last_ratio = -1.0f64;
+        for shards in [1usize, 2, 4, 8] {
+            let report = check_soundness_sharded(kind, 0x5A_0D, 3, 24, shards)
+                .unwrap_or_else(|e| panic!("{e}"));
+            assert_eq!(report.shards, shards);
+            assert_eq!(
+                report.single_shard + report.cross_shard,
+                report.checked,
+                "{}: every checked tx is routed exactly once",
+                report.workload
+            );
+            let ratio = report.cross_shard_ratio();
+            if shards == 1 {
+                assert_eq!(ratio, 0.0, "{}: one shard cannot split a key-set", report.workload);
+            }
+            assert!(
+                ratio >= last_ratio,
+                "{}: cross-shard ratio fell from {last_ratio:.3} to {ratio:.3} at {shards} shards",
+                report.workload
+            );
+            last_ratio = ratio;
+            eprintln!(
+                "[rws-soundness] {} shards={shards}: single={} cross={} ratio={:.3}",
+                report.workload, report.single_shard, report.cross_shard, ratio
+            );
+        }
+    }
+}
+
+#[test]
+fn adversarial_pack_cross_shard_ratios_are_observable() {
+    // The adversarial pack must keep its routing sound too, and its hot
+    // key-sets must actually exercise the cross-shard path at 8 shards.
+    let mut any_cross = 0usize;
+    for kind in WorkloadKind::ADVERSARIAL {
+        let report =
+            check_soundness_sharded(kind, 0xAD_5D, 3, 24, 8).unwrap_or_else(|e| panic!("{e}"));
+        assert!(report.checked > 0, "{}: nothing checked", report.workload);
+        any_cross += report.cross_shard;
+        eprintln!(
+            "[rws-soundness] {} shards=8: single={} cross={} ratio={:.3}",
+            report.workload,
+            report.single_shard,
+            report.cross_shard,
+            report.cross_shard_ratio()
+        );
+    }
+    assert!(any_cross > 0, "the adversarial pack never crossed a shard at 8 shards");
 }
