@@ -7,6 +7,9 @@
 //!
 //! Run: `cargo run --release -p prognosticator-bench --bin bench_smoke`
 
+use prognosticator::{
+    ClientConfig, OpenLoopConfig, Pipeline, PipelineConfig, Server, ServerConfig,
+};
 use prognosticator_bench::json::{snapshot_json, write_snapshot};
 use prognosticator_bench::{
     render_table, rubis_setup, run_trial, tpcc_setup, RunResult, SustainConfig, SystemKind,
@@ -16,7 +19,8 @@ use prognosticator_consensus::{
     Admission, Batcher, LogStore, NetConfig, RaftCluster, RaftTiming, RetryPolicy, U64Codec,
     WalStore,
 };
-use prognosticator_core::{baselines, Replica};
+use prognosticator_core::{baselines, Catalog, Replica};
+use prognosticator_workloads::{DeterministicRng, SmallBankConfig, SmallBankWorkload};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -313,6 +317,96 @@ fn service_loop_point() -> RunResult {
     }
 }
 
+/// Served-traffic smoke: boots the real TCP front-end over a one-replica
+/// pipeline and drives it with the open-loop load generator (target-rate
+/// schedule, Zipfian client population, latency measured from each
+/// request's *intended* send time) — populating the schema-v5
+/// `connections` / `evicted_clients` / `wire_rejects` /
+/// `open_loop_*_ms` fields so BENCH snapshots track the service
+/// front-end alongside the engine.
+fn served_traffic_point() -> RunResult {
+    const SB: SmallBankConfig = SmallBankConfig { customers: 32, hotspot_pct: 25, hotspot_size: 4 };
+    let mut catalog = Catalog::new();
+    let bank = SmallBankWorkload::register(&mut catalog, SB).expect("smallbank registers");
+    let populate = Arc::new(|store: &prognosticator_storage::EpochStore| {
+        let mut scratch = Catalog::new();
+        SmallBankWorkload::register(&mut scratch, SB).expect("smallbank registers").populate(store);
+    });
+    let pipeline = Pipeline::new(
+        Arc::new(catalog),
+        PipelineConfig {
+            batch_window: Duration::from_millis(2),
+            batch_cap: 32,
+            scheduler: baselines::mq_mf(2),
+            seed: 0x5E12,
+            ..PipelineConfig::default()
+        },
+        1,
+        populate,
+    )
+    .expect("served-traffic pipeline boots");
+    let server = Server::start(
+        pipeline,
+        ServerConfig {
+            client: ClientConfig { deadline: Duration::from_secs(2), ..ClientConfig::default() },
+            ..ServerConfig::default()
+        },
+    )
+    .expect("served-traffic server binds");
+
+    let mut rng = DeterministicRng::new(0x10AD);
+    let mut queue: Vec<prognosticator_core::TxRequest> = Vec::new();
+    let cfg = OpenLoopConfig { target_rps: 400, requests: 200, ..OpenLoopConfig::default() };
+    let report = prognosticator::server::loadgen::run_open_loop(
+        server.addr(),
+        move |_| {
+            if queue.is_empty() {
+                queue = bank.gen_batch(&mut rng, 32);
+            }
+            queue.pop().expect("non-empty batch")
+        },
+        &cfg,
+    )
+    .expect("open-loop run completes");
+    let (_, server_report) = server.shutdown();
+
+    assert_eq!(report.lost, 0, "open loop lost responses: {report:?}");
+    assert_eq!(report.failed_sends, 0, "open loop failed sends: {report:?}");
+    assert!(report.committed > 0, "served traffic committed nothing: {report:?}");
+    assert!(!server_report.engine_panicked, "{server_report:?}");
+    assert_eq!(server_report.active_connections, 0, "leaked connections: {server_report:?}");
+    assert_eq!(
+        server_report.requests,
+        server_report.responses + server_report.dropped_responses,
+        "server accounting must balance: {server_report:?}"
+    );
+
+    println!(
+        "open loop: {} sent at {:.0} rps achieved (target {}), {} committed, \
+         p50 {:.2}ms p99 {:.2}ms max {:.2}ms",
+        report.sent,
+        report.achieved_rps,
+        cfg.target_rps,
+        report.committed,
+        report.p50_ms,
+        report.p99_ms,
+        report.max_ms
+    );
+    RunResult {
+        sustainable: true,
+        committed: report.committed,
+        aborted: report.aborted,
+        throughput_tps: report.achieved_rps,
+        connections: server_report.connections,
+        evicted_clients: server_report.evicted_clients,
+        wire_rejects: server_report.wire_rejects,
+        open_loop_p50_ms: report.p50_ms,
+        open_loop_p99_ms: report.p99_ms,
+        open_loop_max_ms: report.max_ms,
+        ..RunResult::default()
+    }
+}
+
 fn main() {
     // Small, fixed trial: the point is stage coverage, not peak numbers.
     let cfg = SustainConfig {
@@ -473,6 +567,26 @@ fn main() {
         )
     );
     groups.push(("service-loop".to_string(), vec![("client".to_string(), s)]));
+
+    // Served-traffic pass: the real TCP front-end under open-loop load.
+    println!("\n== served traffic ==");
+    let t = served_traffic_point();
+    print!(
+        "{}",
+        render_table(
+            &["Committed", "connections", "evicted", "wire rejects", "p50 ms", "p99 ms", "max ms"],
+            &[vec![
+                t.committed.to_string(),
+                t.connections.to_string(),
+                t.evicted_clients.to_string(),
+                t.wire_rejects.to_string(),
+                format!("{:.2}", t.open_loop_p50_ms),
+                format!("{:.2}", t.open_loop_p99_ms),
+                format!("{:.2}", t.open_loop_max_ms),
+            ]]
+        )
+    );
+    groups.push(("served-traffic".to_string(), vec![("open-loop".to_string(), t)]));
 
     match write_snapshot("smoke", &snapshot_json("smoke", &groups)) {
         Ok(path) => println!("\nsnapshot: {}", path.display()),

@@ -17,11 +17,14 @@ use std::path::Path;
 /// when the service-loop robustness counters (`client_retries`,
 /// `shed_requests`, `degraded_batches`) were added; bumped to 4 when the
 /// sharded-execution fields (`shards`, `cross_shard_ratio`,
-/// `shard_queue_us`, `shard_execute_us`) were added. Older files (and
-/// pre-versioned files, which carry no `schema_version` at all) are
-/// rejected by [`load_snapshot`] so regression tooling never silently
-/// compares across incompatible layouts.
-pub const SCHEMA_VERSION: i64 = 4;
+/// `shard_queue_us`, `shard_execute_us`) were added; bumped to 5 when
+/// the served-traffic fields (`connections`, `evicted_clients`,
+/// `wire_rejects`, `open_loop_p50_ms`, `open_loop_p99_ms`,
+/// `open_loop_max_ms`) were added. Older files (and pre-versioned
+/// files, which carry no `schema_version` at all) are rejected by
+/// [`load_snapshot`] so regression tooling never silently compares
+/// across incompatible layouts.
+pub const SCHEMA_VERSION: i64 = 5;
 
 /// A JSON value tree, rendered with [`Json::render`].
 #[derive(Debug, Clone, PartialEq)]
@@ -363,6 +366,16 @@ pub fn run_result_json(system: &str, r: &RunResult) -> Json {
             "shard_execute_us",
             Json::Arr(r.shard_execute_us.iter().map(|&v| Json::Num(v)).collect()),
         ),
+        // Served-traffic fields (schema v5): network front-end accounting
+        // and the coordinated-omission-safe open-loop latency quantiles,
+        // measured from each request's intended send time. Zero for
+        // exhibits that drive the engine in-process without the server.
+        ("connections", Json::Int(r.connections as i64)),
+        ("evicted_clients", Json::Int(r.evicted_clients as i64)),
+        ("wire_rejects", Json::Int(r.wire_rejects as i64)),
+        ("open_loop_p50_ms", Json::Num(r.open_loop_p50_ms)),
+        ("open_loop_p99_ms", Json::Num(r.open_loop_p99_ms)),
+        ("open_loop_max_ms", Json::Num(r.open_loop_max_ms)),
         // Per-stage per-batch latency distributions (µs), summarized
         // from log-linear histograms (schema v2).
         (
@@ -653,6 +666,30 @@ mod tests {
             "\"shard_execute_us\": [\n",
             "2.5",
             "20.0",
+        ] {
+            assert!(s.contains(needle), "{needle} missing from {s}");
+        }
+    }
+
+    #[test]
+    fn run_result_includes_served_traffic_fields() {
+        let r = RunResult {
+            connections: 9,
+            evicted_clients: 2,
+            wire_rejects: 13,
+            open_loop_p50_ms: 1.5,
+            open_loop_p99_ms: 7.25,
+            open_loop_max_ms: 12.0,
+            ..RunResult::default()
+        };
+        let s = run_result_json("MQ-MF", &r).render();
+        for needle in [
+            "\"connections\": 9",
+            "\"evicted_clients\": 2",
+            "\"wire_rejects\": 13",
+            "\"open_loop_p50_ms\": 1.5",
+            "\"open_loop_p99_ms\": 7.25",
+            "\"open_loop_max_ms\": 12.0",
         ] {
             assert!(s.contains(needle), "{needle} missing from {s}");
         }

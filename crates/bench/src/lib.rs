@@ -262,6 +262,23 @@ pub struct RunResult {
     /// Mean per-batch execution time charged to each shard (µs), indexed
     /// by physical shard; empty for unsharded/simulated exhibits.
     pub shard_execute_us: Vec<f64>,
+    /// Connections the network front-end accepted over the run (schema
+    /// v5); 0 for exhibits that drive the engine in-process.
+    pub connections: u64,
+    /// Clients the front-end evicted (stalled frames, wedged response
+    /// sockets, drain-deadline overruns) over the run.
+    pub evicted_clients: u64,
+    /// Requests answered with a deterministic wire-level rejection
+    /// (per-connection pipeline-depth backpressure, drain refusals).
+    pub wire_rejects: u64,
+    /// Open-loop served-traffic latency (ms), measured from each
+    /// request's *intended* send time (coordinated-omission-safe):
+    /// median.
+    pub open_loop_p50_ms: f64,
+    /// 99th percentile of the same distribution.
+    pub open_loop_p99_ms: f64,
+    /// Worst case of the same distribution.
+    pub open_loop_max_ms: f64,
 }
 
 /// Per-stage distribution of per-batch times (µs) over the measured

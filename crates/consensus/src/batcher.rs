@@ -31,6 +31,12 @@ pub enum Admission<T> {
         item: T,
         /// Deterministic, human-readable rejection reason.
         reason: String,
+        /// Transactions queued (buffered + cut-but-untaken) at rejection
+        /// time — the same number embedded in `reason`, structured so
+        /// clients can back off proportionally to queue pressure.
+        depth: usize,
+        /// The admission cap in force at rejection time.
+        cap: usize,
     },
 }
 
@@ -224,6 +230,8 @@ impl<T> Batcher<T> {
                 return Admission::Rejected {
                     item,
                     reason: format!("admission queue full: {queued} of {cap} transactions pending"),
+                    depth: queued,
+                    cap,
                 };
             }
         }
@@ -333,9 +341,11 @@ mod tests {
         }
         assert_eq!(b.queued(), 4, "two cut batches queued");
         match b.try_push(99) {
-            Admission::Rejected { item, reason } => {
+            Admission::Rejected { item, reason, depth, cap } => {
                 assert_eq!(item, 99, "rejected item handed back");
                 assert_eq!(reason, "admission queue full: 4 of 4 transactions pending");
+                assert_eq!(depth, 4, "structured depth matches the reason string");
+                assert_eq!(cap, 4, "structured cap matches the reason string");
             }
             Admission::Accepted => panic!("cap must reject"),
         }

@@ -67,6 +67,38 @@ pub enum ChaosEvent {
         /// Which disk fault to arm.
         kind: DiskFaultKind,
     },
+    /// Have wire client `client` (mod population size) misbehave this
+    /// round. Only harnesses that drive a network front-end react; the
+    /// in-process harness treats it as a no-op.
+    WireFault {
+        /// Hostile-client index (mod the harness's client population).
+        client: usize,
+        /// The misbehaviour to stage.
+        kind: WireFaultKind,
+    },
+}
+
+/// The ways a hostile wire client can misbehave (the parameter space of
+/// [`ChaosEvent::WireFault`]). Mirrors the malformed-frame taxonomy the
+/// server's connection loop must survive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireFaultKind {
+    /// Send bytes that fail frame validation: an oversized length
+    /// prefix, a corrupted CRC, or a zero-length frame.
+    MalformedFrame,
+    /// Write only a prefix of a valid frame, then close — a torn final
+    /// frame from the server's point of view.
+    TruncatedWrite,
+    /// Open a burst of connections at once and slam them shut, driving
+    /// the acceptor through its connection cap.
+    ConnectionStorm,
+    /// Open a connection, trickle a partial frame, and stall — a
+    /// slowloris the frame deadline must evict.
+    StalledReader,
+    /// Send a valid request and disconnect before the response arrives;
+    /// the engine's work must still complete and be accounted as a
+    /// dropped response.
+    MidRequestDisconnect,
 }
 
 /// The fault classes a [`ChaosPhase`] can draw from. Each class rolls
@@ -88,6 +120,8 @@ pub enum ChaosClass {
     OverloadBurst,
     /// One-shot WAL faults ([`ChaosEvent::DiskFault`]).
     DiskFault,
+    /// Hostile network clients ([`ChaosEvent::WireFault`]).
+    WireClient,
 }
 
 impl ChaosClass {
@@ -102,6 +136,7 @@ impl ChaosClass {
             ChaosClass::MessageStorm => 14,
             ChaosClass::OverloadBurst => 15,
             ChaosClass::DiskFault => 16,
+            ChaosClass::WireClient => 17,
         }
     }
 }
@@ -132,7 +167,8 @@ pub struct ChaosPlan {
 
 /// Names of the built-in campaign presets, in [`ChaosPlan::by_name`]
 /// order — the value space of the `CHAOS_PLANS` env knob.
-pub const PLAN_NAMES: &[&str] = &["leader_churn", "split_and_storm", "crash_and_overload"];
+pub const PLAN_NAMES: &[&str] =
+    &["leader_churn", "split_and_storm", "crash_and_overload", "hostile_clients"];
 
 /// SplitMix64-style pure mix of `(seed, domain, a, b)` — the same
 /// construction [`FaultPlan`](crate::faults::FaultPlan) uses, with its own
@@ -221,12 +257,41 @@ impl ChaosPlan {
         )
     }
 
+    /// Hostile-clients campaign: wire-protocol abuse (malformed frames,
+    /// truncated writes, connection storms, stalled readers, mid-request
+    /// disconnects) from round 0, joined by overload bursts once the
+    /// service is warm. Only harnesses driving a network front-end react
+    /// to the wire events; others see it as overload-with-quiet-rounds.
+    pub fn hostile_clients(seed: u64, horizon: u64) -> Self {
+        let heal = heal_point(horizon);
+        ChaosPlan::new(
+            "hostile_clients",
+            seed,
+            vec![
+                ChaosPhase {
+                    from_step: 0,
+                    until_step: heal,
+                    per_mille: 700,
+                    classes: vec![ChaosClass::WireClient],
+                },
+                ChaosPhase {
+                    from_step: horizon / 4,
+                    until_step: heal,
+                    per_mille: 400,
+                    classes: vec![ChaosClass::WireClient, ChaosClass::OverloadBurst],
+                },
+            ],
+            heal,
+        )
+    }
+
     /// Resolves a preset by name (see [`PLAN_NAMES`]).
     pub fn by_name(name: &str, seed: u64, horizon: u64) -> Option<Self> {
         match name {
             "leader_churn" => Some(Self::leader_churn(seed, horizon)),
             "split_and_storm" => Some(Self::split_and_storm(seed, horizon)),
             "crash_and_overload" => Some(Self::crash_and_overload(seed, horizon)),
+            "hostile_clients" => Some(Self::hostile_clients(seed, horizon)),
             _ => None,
         }
     }
@@ -299,6 +364,16 @@ impl ChaosPlan {
                     _ => DiskFaultKind::PartialSnapshot,
                 },
             },
+            ChaosClass::WireClient => ChaosEvent::WireFault {
+                client: (r >> 8) as usize & 0xff,
+                kind: match r % 5 {
+                    0 => WireFaultKind::MalformedFrame,
+                    1 => WireFaultKind::TruncatedWrite,
+                    2 => WireFaultKind::ConnectionStorm,
+                    3 => WireFaultKind::StalledReader,
+                    _ => WireFaultKind::MidRequestDisconnect,
+                },
+            },
         }
     }
 }
@@ -367,6 +442,25 @@ mod tests {
         for name in PLAN_NAMES {
             assert_eq!(ChaosPlan::by_name(name, 1, 10).unwrap().name(), *name);
         }
+    }
+
+    #[test]
+    fn hostile_clients_draws_every_wire_fault_kind() {
+        use std::collections::BTreeSet;
+        let plan = ChaosPlan::hostile_clients(3, 120);
+        let mut kinds = BTreeSet::new();
+        for step in 0..plan.heal_after() {
+            for ev in plan.events_at(step) {
+                match ev {
+                    ChaosEvent::WireFault { kind, .. } => {
+                        kinds.insert(format!("{kind:?}"));
+                    }
+                    ChaosEvent::OverloadBurst { .. } => {}
+                    other => panic!("hostile_clients drew a foreign event: {other:?}"),
+                }
+            }
+        }
+        assert_eq!(kinds.len(), 5, "all five wire-fault kinds drawn, got {kinds:?}");
     }
 
     #[test]

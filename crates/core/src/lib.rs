@@ -53,7 +53,7 @@ pub mod replica;
 pub mod shard;
 
 pub use catalog::{Catalog, CatalogEntry, ProgId, TxRequest};
-pub use chaos::{ChaosClass, ChaosEvent, ChaosPhase, ChaosPlan, PLAN_NAMES};
+pub use chaos::{ChaosClass, ChaosEvent, ChaosPhase, ChaosPlan, WireFaultKind, PLAN_NAMES};
 pub use engine::{
     BatchOutcome, Engine, FailedPolicy, Granularity, PreparedBatch, PrepareMode, SchedulerConfig,
     ShardStageTimings, StageTimings, TxOutcome,

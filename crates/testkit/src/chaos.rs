@@ -205,6 +205,10 @@ fn apply_event(session: &mut ClientSession, event: &ChaosEvent, base_net: &NetCo
             session.pipeline().cluster().arm_disk_fault(node % n, fault);
             false
         }
+        // Wire faults target the network front-end; this in-process
+        // harness has no sockets, so they read as quiet rounds here. The
+        // wire fuzzer ([`crate::wire`]) is the harness that reacts.
+        ChaosEvent::WireFault { .. } => false,
     }
 }
 
@@ -218,8 +222,10 @@ fn heal_everything(session: &ClientSession, base_net: &NetConfig) {
 }
 
 /// Replays `stream` through a fresh replica with `workers` workers over
-/// `shards` key-space shards and returns its final digest.
-fn replay_digest(
+/// `shards` key-space shards and returns its final digest. Shared with
+/// the wire fuzzer ([`crate::wire`]), whose determinism leg replays the
+/// committed stream a served campaign produced.
+pub(crate) fn replay_digest(
     workload: &TestWorkload,
     stream: &[Vec<TxRequest>],
     workers: usize,
@@ -397,7 +403,7 @@ pub fn run_chaos(config: &ChaosOracleConfig) -> Result<ChaosReport, Box<ChaosVio
     // engine-terminal outcome.
     let first = post_heal_first.unwrap_or(report.outcomes.len());
     for (i, outcome) in report.outcomes.iter().enumerate().skip(first) {
-        if let Some(ClientOutcome::Rejected { reason }) = outcome {
+        if let Some(ClientOutcome::Rejected { reason, .. }) = outcome {
             let stream = session.pipeline().live_committed(0);
             return Err(violation(
                 config,

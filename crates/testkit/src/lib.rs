@@ -46,6 +46,15 @@
 //!   request, post-heal liveness, replica determinism across worker
 //!   counts, and log-level exactly-once.
 //!
+//! * [`wire`] — a wire-protocol fuzzer: a real TCP
+//!   [`Server`](prognosticator::Server) front-end under a seeded
+//!   population of hostile clients (malformed frames, truncated writes,
+//!   connection storms, stalled readers, mid-request disconnects) drawn
+//!   from the `hostile_clients` chaos plan, asserting the server never
+//!   panics, never leaks sessions, keeps its terminal-outcome accounting
+//!   balanced, and that the committed stream a hostile campaign produced
+//!   replays to byte-identical digests at every worker count.
+//!
 //! [`strategies`] supplies `proptest` strategies generating
 //! [`TxRequest`](prognosticator_core::TxRequest) batches and seeded
 //! [`FaultPlan`](prognosticator_core::FaultPlan)s over all three bundled
@@ -62,6 +71,7 @@ pub mod recovery;
 pub mod schedule;
 pub mod soundness;
 pub mod strategies;
+pub mod wire;
 pub mod workload;
 
 /// Records an [`OracleFailure`](prognosticator_obs::Event::OracleFailure)
@@ -98,6 +108,7 @@ pub use recovery::{
     crash_batch_for, run_crash_recovery, CrashRecoveryReport, RecoveryFuzzConfig, RecoveryMismatch,
 };
 pub use schedule::{explore_schedules, ScheduleReport, ScheduleSweep};
+pub use wire::{run_wire_fuzz, WireFuzzConfig, WireFuzzReport, WireFuzzViolation};
 pub use soundness::{
     check_soundness, check_soundness_sharded, SoundnessError, SoundnessReport,
 };

@@ -74,6 +74,12 @@ pub enum ClientOutcome {
     Rejected {
         /// Why it was given up on.
         reason: String,
+        /// Admission queue depth observed at the final rejection (0 when
+        /// the rejection did not come from bounded admission).
+        depth: usize,
+        /// Effective admission cap at the final rejection (0 when
+        /// unknown). Wire clients back off proportionally to `depth/cap`.
+        cap: usize,
     },
 }
 
@@ -117,6 +123,20 @@ pub struct ClientSession {
     pending_retry: Vec<usize>,
     /// Total resubmissions after quarantines.
     retries: u64,
+}
+
+/// `now + budget`, clamping to the farthest representable `Instant`
+/// instead of panicking when the budget does not fit (a near-`u64::MAX`
+/// deadline must mean "practically forever", not an overflow — and never
+/// a wrap into the past, which would reject every request instantly).
+fn saturating_deadline(now: Instant, budget: Duration) -> Instant {
+    let mut d = budget;
+    loop {
+        if let Some(t) = now.checked_add(d) {
+            return t;
+        }
+        d /= 2;
+    }
 }
 
 /// SplitMix64-style mix for backoff jitter (pure).
@@ -183,7 +203,10 @@ impl ClientSession {
             .initial_backoff
             .saturating_mul(1u32 << attempt.min(16))
             .min(self.config.max_backoff);
-        let ns = step.as_nanos() as u64;
+        // Saturate the u128→u64 conversion: a near-`Duration::MAX` step
+        // would otherwise truncate to an arbitrary (possibly tiny) wait,
+        // turning backoff into a hot spin.
+        let ns = u64::try_from(step.as_nanos()).unwrap_or(u64::MAX);
         Duration::from_nanos(ns / 2 + mix(self.config.seed, req_id, u64::from(attempt)) % (ns / 2 + 1))
     }
 
@@ -202,7 +225,7 @@ impl ClientSession {
     /// Tries to get request `id` into the batcher, backing off on
     /// admission rejections. Terminal failure records `Rejected`.
     fn admit(&mut self, id: usize) {
-        let deadline = Instant::now() + self.config.deadline;
+        let deadline = saturating_deadline(Instant::now(), self.config.deadline);
         let mut attempt: u32 = 0;
         loop {
             match self.pipeline.submit(self.reqs[id].req.clone()) {
@@ -217,10 +240,12 @@ impl ClientSession {
                     self.admitted.push(id);
                     return;
                 }
-                Err(PipelineError::Rejected { reason }) => {
+                Err(PipelineError::Rejected { reason, depth, cap }) => {
                     if Instant::now() >= deadline {
                         self.outcomes[id] = Some(ClientOutcome::Rejected {
                             reason: format!("deadline exceeded: {reason}"),
+                            depth,
+                            cap,
                         });
                         return;
                     }
@@ -228,8 +253,11 @@ impl ClientSession {
                     std::thread::sleep(self.backoff(id as u64, attempt));
                 }
                 Err(other) => {
-                    self.outcomes[id] =
-                        Some(ClientOutcome::Rejected { reason: other.to_string() });
+                    self.outcomes[id] = Some(ClientOutcome::Rejected {
+                        reason: other.to_string(),
+                        depth: 0,
+                        cap: 0,
+                    });
                     return;
                 }
             }
@@ -305,6 +333,17 @@ impl ClientSession {
     /// consumes flush progress or retry budget, so the loop cannot spin
     /// forever even under a permanently broken cluster.
     pub fn finish(&mut self) -> ClientReport {
+        self.settle();
+        let unresolved = self.outcomes.iter().filter(|o| o.is_none()).count();
+        ClientReport { outcomes: self.outcomes.clone(), retries: self.retries, unresolved }
+    }
+
+    /// Incremental [`ClientSession::finish`]: drives bounded
+    /// flush/sync/resolve/resubmit rounds over whatever has been
+    /// submitted so far, without building a report. Safe to call
+    /// repeatedly as new requests arrive — the server front-end pumps it
+    /// between socket reads to resolve in-flight requests.
+    pub fn settle(&mut self) {
         // Retry budget bounds the rounds: every non-final round either
         // resolves requests or burns at least one resubmission.
         let max_rounds = 4 + self.reqs.len() * (self.config.max_retries as usize + 1);
@@ -329,6 +368,8 @@ impl ClientSession {
                     let attempts = self.reqs[req_id].retries + 1;
                     self.outcomes[req_id] = Some(ClientOutcome::Rejected {
                         reason: format!("batch quarantined after {attempts} submissions"),
+                        depth: 0,
+                        cap: 0,
                     });
                     continue;
                 }
@@ -338,8 +379,6 @@ impl ClientSession {
                 self.admit(req_id);
             }
         }
-        let unresolved = self.outcomes.iter().filter(|o| o.is_none()).count();
-        ClientReport { outcomes: self.outcomes.clone(), retries: self.retries, unresolved }
     }
 
     /// Consumes the session, returning the wrapped pipeline.
@@ -536,6 +575,47 @@ mod tests {
             );
         }
         assert_eq!(report.retries, 8, "each request used its one retry");
+    }
+
+    /// Regression: near-`u64::MAX` deadlines and backoff steps must
+    /// saturate, not overflow. Before the fix, `Instant::now() +
+    /// config.deadline` panicked on huge budgets and `step.as_nanos() as
+    /// u64` truncated a near-`Duration::MAX` step to an arbitrary small
+    /// wait (a hot retry spin).
+    #[test]
+    fn backoff_and_deadline_saturate_near_u64_max() {
+        let huge = Duration::new(u64::MAX, 999_999_999);
+        let now = Instant::now();
+        let deadline = saturating_deadline(now, huge);
+        assert!(deadline >= now, "saturated deadline must not wrap into the past");
+        assert_eq!(saturating_deadline(now, Duration::ZERO), now);
+
+        let (catalog, bump) = counter_catalog();
+        let p = Pipeline::new(catalog, small_config(), 1, populate()).expect("boots");
+        let cfg = ClientConfig {
+            deadline: huge,
+            initial_backoff: huge,
+            max_backoff: huge,
+            ..ClientConfig::default()
+        };
+        let mut session = ClientSession::new(p, cfg);
+        // The jitter stays within [step/2, step] even at the saturation
+        // point — never a truncated near-zero wait, never an overflow.
+        for attempt in [1u32, 16, 17, u32::MAX] {
+            let d = session.backoff(7, attempt);
+            assert_eq!(d, session.backoff(7, attempt), "pure under saturation");
+            assert!(
+                d >= Duration::from_nanos(u64::MAX / 2),
+                "attempt {attempt}: truncation produced a hot spin ({d:?})"
+            );
+        }
+        // The admit path computes `now + deadline` on entry: a healthy
+        // submission under the huge budget must not panic.
+        session.submit(TxRequest::new(bump, vec![Value::Int(1)]));
+        let report = session.finish();
+        assert_eq!(report.unresolved, 0);
+        assert_eq!(report.outcomes[0], Some(ClientOutcome::Committed));
+        session.into_pipeline().shutdown();
     }
 
     #[test]

@@ -37,6 +37,18 @@ impl HealthState {
         }
     }
 
+    /// Inverse of [`HealthState::as_gauge`], for consumers that read the
+    /// state back out of a published metric (the server's acceptor polls
+    /// the engine-published gauge to refuse connections while degraded).
+    /// Unknown values clamp to `Degraded` — fail safe, shed load.
+    pub fn from_gauge(v: i64) -> HealthState {
+        match v {
+            0 => HealthState::Healthy,
+            1 => HealthState::Recovering,
+            _ => HealthState::Degraded,
+        }
+    }
+
     /// Stable lowercase name (used in shed-rejection reasons, which must
     /// be deterministic).
     pub fn name(self) -> &'static str {
@@ -190,6 +202,11 @@ mod tests {
         assert_eq!(HealthState::Recovering.as_gauge(), 1);
         assert_eq!(HealthState::Degraded.as_gauge(), 2);
         assert_eq!(HealthState::Degraded.name(), "degraded");
+        for state in [HealthState::Healthy, HealthState::Recovering, HealthState::Degraded] {
+            assert_eq!(HealthState::from_gauge(state.as_gauge()), state, "gauge roundtrip");
+        }
+        assert_eq!(HealthState::from_gauge(-1), HealthState::Degraded, "unknown fails safe");
+        assert_eq!(HealthState::from_gauge(99), HealthState::Degraded, "unknown fails safe");
     }
 
     #[test]

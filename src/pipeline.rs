@@ -124,6 +124,12 @@ pub enum PipelineError {
     Rejected {
         /// Why admission refused the transaction.
         reason: String,
+        /// Queue depth observed at rejection time (transactions pending).
+        depth: usize,
+        /// Effective admission cap in force — shrunk below
+        /// [`PipelineConfig::max_pending`] while the fleet is degraded —
+        /// so clients can back off proportionally to `depth`/`cap`.
+        cap: usize,
     },
     /// The durable WAL could not be opened or recovered.
     WalFailed {
@@ -143,7 +149,7 @@ impl std::fmt::Display for PipelineError {
             PipelineError::ReplicaLagged { replica } => {
                 write!(f, "replica {replica} did not catch up in time")
             }
-            PipelineError::Rejected { reason } => {
+            PipelineError::Rejected { reason, .. } => {
                 write!(f, "submission rejected: {reason}")
             }
             PipelineError::WalFailed { detail } => {
@@ -402,14 +408,16 @@ impl Pipeline {
                         state.name(),
                         self.batcher.queued()
                     ),
+                    depth: self.batcher.queued(),
+                    cap: effective,
                 });
             }
         }
         match self.batcher.try_push(req) {
-            Admission::Rejected { reason, .. } => {
+            Admission::Rejected { reason, depth, cap, .. } => {
                 self.shed_requests += 1;
                 prognosticator_obs::Registry::global().counter("pipeline.shed_requests").inc();
-                return Err(PipelineError::Rejected { reason });
+                return Err(PipelineError::Rejected { reason, depth, cap });
             }
             Admission::Accepted => {}
         }
@@ -1103,7 +1111,9 @@ mod tests {
         assert_eq!(
             err,
             PipelineError::Rejected {
-                reason: "admission queue full: 8 of 8 transactions pending".into()
+                reason: "admission queue full: 8 of 8 transactions pending".into(),
+                depth: 8,
+                cap: 8,
             }
         );
         // Deterministic: the same queue state rejects identically.
@@ -1268,7 +1278,11 @@ mod tests {
         let shed_reason = loop {
             match p.submit(TxRequest::new(bump, vec![Value::Int(accepted as i64 % 16)])) {
                 Ok(()) => accepted += 1,
-                Err(PipelineError::Rejected { reason }) => break reason,
+                Err(PipelineError::Rejected { reason, depth, cap }) => {
+                    assert_eq!(depth, 6, "structured depth mirrors the queue");
+                    assert_eq!(cap, 6, "structured cap is the reduced effective cap");
+                    break reason;
+                }
                 Err(e) => panic!("unexpected error: {e}"),
             }
             assert!(accepted <= 8, "reduced capacity must bite before the full cap");

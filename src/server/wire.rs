@@ -1,0 +1,528 @@
+//! Wire protocol for the service front-end: length-prefixed, CRC-checked
+//! frames over TCP, with hard size limits and a deterministic error
+//! vocabulary.
+//!
+//! A frame is `[len: u32 LE][crc32(payload): u32 LE][payload]` — the same
+//! shape the durable WAL uses ([`prognosticator_consensus::wal`]), so one
+//! CRC implementation guards both the disk and the socket. Payloads are
+//! tagged: a `REQUEST` carries a client-chosen correlation id plus a
+//! [`TxRequest`] in the canonical [`TxBatchCodec`] encoding; a `RESPONSE`
+//! echoes the id with the request's terminal outcome; an `ERROR` is a
+//! connection-level protocol failure sent best-effort before the server
+//! closes the stream. Every malformed input — zero-length frame,
+//! oversized length prefix, CRC mismatch, torn payload — decodes to
+//! [`WireError::Malformed`], never a panic and never an allocation
+//! proportional to an attacker-chosen length.
+
+use crate::wal_codec::TxBatchCodec;
+use prognosticator_consensus::wal::crc32;
+use prognosticator_consensus::Codec;
+use prognosticator_core::TxRequest;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Bytes in a frame header (length + CRC).
+pub const FRAME_HEADER: usize = 8;
+
+/// Default upper bound on a frame payload (requests are tiny; anything
+/// near this is hostile).
+pub const DEFAULT_MAX_FRAME: usize = 64 * 1024;
+
+const TAG_REQUEST: u8 = 1;
+const TAG_RESPONSE: u8 = 2;
+const TAG_ERROR: u8 = 3;
+
+const OUTCOME_COMMITTED: u8 = 0;
+const OUTCOME_ABORTED: u8 = 1;
+const OUTCOME_REJECTED: u8 = 2;
+
+/// Why an inbound byte stream was refused. Deterministic: the same bytes
+/// under the same limits always produce the same reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The frame or its payload violated the protocol.
+    Malformed(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Malformed(reason) => write!(f, "malformed frame: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Terminal outcome of one request as seen on the wire — the network
+/// projection of [`crate::client::ClientOutcome`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireOutcome {
+    /// Committed on every replica.
+    Committed,
+    /// Executed and deterministically aborted.
+    Aborted {
+        /// The engine's abort reason, rendered.
+        reason: String,
+    },
+    /// Never executed: refused by admission, shedding, pipeline-depth
+    /// backpressure, or drain.
+    Rejected {
+        /// Deterministic rejection reason.
+        reason: String,
+        /// Admission queue depth at rejection (0 when unknown) — paired
+        /// with `cap` so clients can back off proportionally.
+        depth: u64,
+        /// Effective admission cap at rejection (0 when unknown).
+        cap: u64,
+    },
+}
+
+/// One decoded `RESPONSE` frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireResponse {
+    /// The client-chosen correlation id from the matching request.
+    pub req_id: u64,
+    /// The request's terminal outcome.
+    pub outcome: WireOutcome,
+}
+
+/// Any decoded payload (server or client side).
+#[derive(Debug, Clone, PartialEq)]
+pub enum WirePayload {
+    /// A client request: correlation id + transaction.
+    Request {
+        /// Client-chosen correlation id, echoed in the response.
+        req_id: u64,
+        /// The transaction to execute.
+        req: TxRequest,
+    },
+    /// A server response.
+    Response(WireResponse),
+    /// A connection-level protocol error (the sender closes after it).
+    Error {
+        /// What the peer did wrong.
+        reason: String,
+    },
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Wraps `payload` in a `[len][crc][payload]` frame.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER + payload.len());
+    put_u32(&mut out, payload.len() as u32);
+    put_u32(&mut out, crc32(payload));
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Encodes a complete `REQUEST` frame.
+pub fn encode_request(req_id: u64, req: &TxRequest) -> Vec<u8> {
+    let mut payload = Vec::new();
+    payload.push(TAG_REQUEST);
+    put_u64(&mut payload, req_id);
+    TxBatchCodec.encode(&vec![req.clone()], &mut payload);
+    encode_frame(&payload)
+}
+
+/// Encodes a complete `RESPONSE` frame.
+pub fn encode_response(req_id: u64, outcome: &WireOutcome) -> Vec<u8> {
+    let mut payload = Vec::new();
+    payload.push(TAG_RESPONSE);
+    put_u64(&mut payload, req_id);
+    match outcome {
+        WireOutcome::Committed => {
+            payload.push(OUTCOME_COMMITTED);
+        }
+        WireOutcome::Aborted { reason } => {
+            payload.push(OUTCOME_ABORTED);
+            put_str(&mut payload, reason);
+        }
+        WireOutcome::Rejected { reason, depth, cap } => {
+            payload.push(OUTCOME_REJECTED);
+            put_u64(&mut payload, *depth);
+            put_u64(&mut payload, *cap);
+            put_str(&mut payload, reason);
+        }
+    }
+    encode_frame(&payload)
+}
+
+/// Encodes a complete `ERROR` frame.
+pub fn encode_error(reason: &str) -> Vec<u8> {
+    let mut payload = Vec::new();
+    payload.push(TAG_ERROR);
+    put_str(&mut payload, reason);
+    encode_frame(&payload)
+}
+
+/// Checked cursor over a payload (mirrors the WAL codec's reader: short
+/// or hostile buffers yield [`WireError::Malformed`], never a panic).
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| WireError::Malformed("payload truncated".into()))?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        let len = self.u32()? as usize;
+        if len > self.buf.len() - self.pos {
+            return Err(WireError::Malformed(format!(
+                "string length {len} exceeds remaining payload"
+            )));
+        }
+        let bytes = self.take(len)?;
+        std::str::from_utf8(bytes)
+            .map(str::to_owned)
+            .map_err(|e| WireError::Malformed(format!("invalid utf-8: {e}")))
+    }
+}
+
+/// Tries to extract one complete frame's payload from the front of an
+/// accumulation buffer.
+///
+/// * `Ok(Some(payload))` — a whole frame was consumed and its CRC
+///   verified.
+/// * `Ok(None)` — not enough bytes yet; call again after reading more.
+/// * `Err(..)` — the stream is hostile (zero-length frame, oversized
+///   length prefix, CRC mismatch); the caller must close the connection.
+pub fn try_extract_frame(
+    buf: &mut Vec<u8>,
+    max_frame: usize,
+) -> Result<Option<Vec<u8>>, WireError> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(buf[0..4].try_into().unwrap()) as usize;
+    if len == 0 {
+        return Err(WireError::Malformed("zero-length frame".into()));
+    }
+    if len > max_frame {
+        return Err(WireError::Malformed(format!(
+            "oversized frame: {len} bytes exceeds the {max_frame}-byte cap"
+        )));
+    }
+    if buf.len() < FRAME_HEADER + len {
+        return Ok(None);
+    }
+    let want = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+    let payload: Vec<u8> = buf[FRAME_HEADER..FRAME_HEADER + len].to_vec();
+    let got = crc32(&payload);
+    if got != want {
+        return Err(WireError::Malformed(format!(
+            "crc mismatch: header {want:#010x}, payload {got:#010x}"
+        )));
+    }
+    buf.drain(..FRAME_HEADER + len);
+    Ok(Some(payload))
+}
+
+/// Decodes a verified frame payload.
+pub fn decode_payload(payload: &[u8]) -> Result<WirePayload, WireError> {
+    let mut r = Reader { buf: payload, pos: 0 };
+    match r.u8()? {
+        TAG_REQUEST => {
+            let req_id = r.u64()?;
+            let batch = TxBatchCodec
+                .decode(&payload[r.pos..])
+                .map_err(|e| WireError::Malformed(format!("request body: {e}")))?;
+            if batch.len() != 1 {
+                return Err(WireError::Malformed(format!(
+                    "request body must hold exactly one transaction, got {}",
+                    batch.len()
+                )));
+            }
+            Ok(WirePayload::Request { req_id, req: batch.into_iter().next().unwrap() })
+        }
+        TAG_RESPONSE => {
+            let req_id = r.u64()?;
+            let outcome = match r.u8()? {
+                OUTCOME_COMMITTED => WireOutcome::Committed,
+                OUTCOME_ABORTED => WireOutcome::Aborted { reason: r.string()? },
+                OUTCOME_REJECTED => {
+                    let depth = r.u64()?;
+                    let cap = r.u64()?;
+                    WireOutcome::Rejected { reason: r.string()?, depth, cap }
+                }
+                tag => {
+                    return Err(WireError::Malformed(format!("unknown outcome tag {tag}")))
+                }
+            };
+            Ok(WirePayload::Response(WireResponse { req_id, outcome }))
+        }
+        TAG_ERROR => Ok(WirePayload::Error { reason: r.string()? }),
+        tag => Err(WireError::Malformed(format!("unknown payload tag {tag}"))),
+    }
+}
+
+/// Events a client sees while waiting on its socket.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientEvent {
+    /// A response to one of this connection's requests.
+    Response(WireResponse),
+    /// The server reported a connection-level error; it will close the
+    /// stream next.
+    ServerError(String),
+    /// The server closed the connection.
+    Closed,
+}
+
+/// A blocking client over one wire connection — the reference
+/// implementation the tests, the fuzzer, and the open-loop load
+/// generator drive.
+#[derive(Debug)]
+pub struct WireClient {
+    stream: TcpStream,
+    rx: Vec<u8>,
+    next_id: u64,
+    max_frame: usize,
+}
+
+impl WireClient {
+    /// Connects to a server.
+    pub fn connect(addr: SocketAddr) -> io::Result<WireClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(WireClient { stream, rx: Vec::new(), next_id: 0, max_frame: DEFAULT_MAX_FRAME })
+    }
+
+    /// The underlying stream (fuzzers use it for partial writes and
+    /// abrupt shutdowns).
+    pub fn stream(&mut self) -> &mut TcpStream {
+        &mut self.stream
+    }
+
+    /// Sends one request, returning its correlation id.
+    pub fn send(&mut self, req: &TxRequest) -> io::Result<u64> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.stream.write_all(&encode_request(id, req))?;
+        Ok(id)
+    }
+
+    /// Writes raw bytes (hostile-input testing).
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.stream.write_all(bytes)
+    }
+
+    /// Waits up to `timeout` for the next event from the server.
+    /// `Ok(None)` means the budget elapsed with no complete frame.
+    pub fn recv(&mut self, timeout: Duration) -> io::Result<Option<ClientEvent>> {
+        let now = Instant::now();
+        let deadline = now.checked_add(timeout).unwrap_or(now + Duration::from_secs(86_400));
+        loop {
+            match try_extract_frame(&mut self.rx, self.max_frame) {
+                Ok(Some(payload)) => {
+                    return match decode_payload(&payload) {
+                        Ok(WirePayload::Response(resp)) => {
+                            Ok(Some(ClientEvent::Response(resp)))
+                        }
+                        Ok(WirePayload::Error { reason }) => {
+                            Ok(Some(ClientEvent::ServerError(reason)))
+                        }
+                        Ok(WirePayload::Request { .. }) => Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            "server sent a request frame",
+                        )),
+                        Err(e) => Err(io::Error::new(io::ErrorKind::InvalidData, e)),
+                    };
+                }
+                Ok(None) => {}
+                Err(e) => return Err(io::Error::new(io::ErrorKind::InvalidData, e)),
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(None);
+            }
+            self.stream.set_read_timeout(Some((deadline - now).max(Duration::from_millis(1))))?;
+            let mut tmp = [0u8; 4096];
+            match self.stream.read(&mut tmp) {
+                Ok(0) => return Ok(Some(ClientEvent::Closed)),
+                Ok(n) => self.rx.extend_from_slice(&tmp[..n]),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return Ok(None);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Sends one request and blocks for its response (skipping responses
+    /// to earlier pipelined requests).
+    pub fn call(&mut self, req: &TxRequest, timeout: Duration) -> io::Result<WireResponse> {
+        let id = self.send(req)?;
+        let now = Instant::now();
+        let deadline = now.checked_add(timeout).unwrap_or(now + Duration::from_secs(86_400));
+        loop {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return Err(io::Error::new(io::ErrorKind::TimedOut, "no response in time"));
+            }
+            match self.recv(left)? {
+                Some(ClientEvent::Response(resp)) if resp.req_id == id => return Ok(resp),
+                Some(ClientEvent::Response(_)) => continue,
+                Some(ClientEvent::ServerError(reason)) => {
+                    return Err(io::Error::new(io::ErrorKind::ConnectionAborted, reason))
+                }
+                Some(ClientEvent::Closed) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::ConnectionAborted,
+                        "server closed the connection",
+                    ))
+                }
+                None => {
+                    return Err(io::Error::new(io::ErrorKind::TimedOut, "no response in time"))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prognosticator_core::ProgId;
+    use prognosticator_txir::Value;
+
+    #[test]
+    fn request_frames_roundtrip() {
+        let req = TxRequest::new(ProgId(3), vec![Value::Int(7), Value::str("x")]);
+        let frame = encode_request(42, &req);
+        let mut buf = frame.clone();
+        let payload = try_extract_frame(&mut buf, DEFAULT_MAX_FRAME)
+            .expect("valid")
+            .expect("complete");
+        assert!(buf.is_empty(), "frame fully consumed");
+        match decode_payload(&payload).expect("decodes") {
+            WirePayload::Request { req_id, req: back } => {
+                assert_eq!(req_id, 42);
+                assert_eq!(back, req);
+            }
+            other => panic!("wrong payload: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn response_frames_roundtrip_all_outcomes() {
+        for outcome in [
+            WireOutcome::Committed,
+            WireOutcome::Aborted { reason: "workload bug: div by zero".into() },
+            WireOutcome::Rejected { reason: "admission queue full".into(), depth: 8, cap: 8 },
+        ] {
+            let mut buf = encode_response(9, &outcome);
+            let payload =
+                try_extract_frame(&mut buf, DEFAULT_MAX_FRAME).expect("valid").expect("whole");
+            assert_eq!(
+                decode_payload(&payload).expect("decodes"),
+                WirePayload::Response(WireResponse { req_id: 9, outcome })
+            );
+        }
+    }
+
+    #[test]
+    fn zero_length_and_oversized_frames_are_malformed() {
+        let mut zero = vec![0u8; 8];
+        assert!(matches!(
+            try_extract_frame(&mut zero, DEFAULT_MAX_FRAME),
+            Err(WireError::Malformed(r)) if r.contains("zero-length")
+        ));
+        let mut huge = Vec::new();
+        put_u32(&mut huge, (DEFAULT_MAX_FRAME + 1) as u32);
+        huge.extend_from_slice(&[0; 4]);
+        assert!(matches!(
+            try_extract_frame(&mut huge, DEFAULT_MAX_FRAME),
+            Err(WireError::Malformed(r)) if r.contains("oversized")
+        ));
+        // The oversized check fires on the header alone — no allocation,
+        // no waiting for a body that may never come.
+        let mut header_only = Vec::new();
+        put_u32(&mut header_only, u32::MAX);
+        assert!(try_extract_frame(&mut header_only, DEFAULT_MAX_FRAME).is_err());
+    }
+
+    #[test]
+    fn crc_mismatch_is_malformed() {
+        let req = TxRequest::new(ProgId(0), vec![]);
+        let mut frame = encode_request(1, &req);
+        let last = frame.len() - 1;
+        frame[last] ^= 0xFF;
+        assert!(matches!(
+            try_extract_frame(&mut frame, DEFAULT_MAX_FRAME),
+            Err(WireError::Malformed(r)) if r.contains("crc mismatch")
+        ));
+    }
+
+    #[test]
+    fn torn_frames_wait_instead_of_erroring() {
+        let req = TxRequest::new(ProgId(5), vec![Value::Int(1)]);
+        let frame = encode_request(7, &req);
+        for cut in 0..frame.len() {
+            let mut buf = frame[..cut].to_vec();
+            assert_eq!(
+                try_extract_frame(&mut buf, DEFAULT_MAX_FRAME).expect("prefix is not hostile"),
+                None,
+                "cut at {cut}: a torn frame is incomplete, not malformed"
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_payloads_never_panic() {
+        // Every truncation of a valid payload must decode to Malformed.
+        let req = TxRequest::new(ProgId(1), vec![Value::str("abc"), Value::Int(-1)]);
+        let mut frame = encode_request(3, &req);
+        let payload =
+            try_extract_frame(&mut frame, DEFAULT_MAX_FRAME).expect("valid").expect("whole");
+        for cut in 0..payload.len() {
+            assert!(
+                decode_payload(&payload[..cut]).is_err(),
+                "payload prefix of {cut} bytes must be malformed"
+            );
+        }
+        // Unknown tags, and strings whose length prefix lies.
+        assert!(decode_payload(&[99]).is_err());
+        let mut lying = vec![TAG_ERROR];
+        put_u32(&mut lying, 1000);
+        lying.extend_from_slice(b"short");
+        assert!(decode_payload(&lying).is_err());
+    }
+}
