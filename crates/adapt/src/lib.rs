@@ -1,0 +1,607 @@
+#![warn(missing_docs)]
+//! Adaptive prediction: the policy half of Prognosticator's
+//! profile-specialization loop.
+//!
+//! The offline symbolic-execution profiles (§III-B) are sound but often
+//! loose — summarized loops predict their full static span, and dependent
+//! transactions re-resolve the same indirect keys for every repeat
+//! parameter. This crate closes the loop from runtime feedback back to
+//! the profiles:
+//!
+//! * [`StatsCollector`] implements the engine's
+//!   [`AdaptSink`](prognosticator_core::AdaptSink) seam and accumulates
+//!   per-template runtime statistics from the execute path: observed vs
+//!   predicted key counts, dependent-transaction pivot hit rates, the
+//!   range span actually touched per table, indirect-key resolutions
+//!   keyed by parameter fingerprint, and per-template false-lock-conflict
+//!   attribution. The hot path is lock-free once a template is
+//!   registered: all counters are atomics, and the registry map only
+//!   takes its write lock on first sight of a template.
+//! * [`Specializer`] turns those statistics into a candidate
+//!   [`SpecializationSet`]: narrowed range templates, a bounded
+//!   deterministic cache of resolved indirect keys for repeat parameters,
+//!   and demotion of hopelessly over-approximating templates to
+//!   coarser-but-cheaper table-granularity locking.
+//!
+//! **Determinism contract.** Nothing in this crate influences execution
+//! directly. Statistics arrive in worker-scheduling order and may differ
+//! across replicas; a candidate set only changes behavior after it is
+//! committed to the replicated log (`LogRecord::Specialize`) and
+//! installed at its log position — the same position on every replica,
+//! with byte-identical content (the WAL codec encoding is canonical).
+
+use parking_lot::{Mutex, RwLock};
+use prognosticator_core::{AdaptSink, ObservedVerdict, TxObservation};
+use prognosticator_symexec::{
+    CachedPrediction, ProfileSpecialization, ProgSpecialization, SpecializationSet,
+};
+use prognosticator_txir::{TableId, Value};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Tuning knobs for the adaptation policy, all overridable through
+/// `ADAPT_*` environment variables (see [`AdaptConfig::from_env`]).
+#[derive(Debug, Clone)]
+pub struct AdaptConfig {
+    /// Committed observations a template needs before the specializer
+    /// considers it (`ADAPT_MIN_OBS`).
+    pub min_observations: u64,
+    /// Predicted/observed key-count ratio at which a template counts as
+    /// over-approximating and becomes a narrowing candidate
+    /// (`ADAPT_OVERAPPROX_RATIO`).
+    pub over_approx_ratio: f64,
+    /// Ratio at which a template that cannot be narrowed is demoted to
+    /// table-granularity locking instead (`ADAPT_DEMOTE_RATIO`).
+    pub demote_ratio: f64,
+    /// Slack added above the observed range span when narrowing, so
+    /// organic growth does not immediately trip the scope check
+    /// (`ADAPT_NARROW_MARGIN`).
+    pub narrow_margin: i64,
+    /// Upper bound on cached indirect resolutions per template
+    /// (`ADAPT_MAX_CACHE`).
+    pub max_cache_entries: usize,
+    /// Times an exact parameter fingerprint must repeat before its
+    /// resolved prediction is worth caching (`ADAPT_MIN_REPEATS`).
+    pub min_repeats: u64,
+    /// Batches between specializer runs on the controller
+    /// (`ADAPT_INTERVAL`).
+    pub interval_batches: u64,
+}
+
+impl Default for AdaptConfig {
+    fn default() -> Self {
+        AdaptConfig {
+            min_observations: 8,
+            over_approx_ratio: 2.0,
+            demote_ratio: 16.0,
+            narrow_margin: 2,
+            max_cache_entries: 64,
+            min_repeats: 2,
+            interval_batches: 4,
+        }
+    }
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+impl AdaptConfig {
+    /// Reads the `ADAPT_*` environment knobs, falling back to
+    /// [`AdaptConfig::default`] per knob:
+    /// `ADAPT_MIN_OBS`, `ADAPT_OVERAPPROX_RATIO`, `ADAPT_DEMOTE_RATIO`,
+    /// `ADAPT_NARROW_MARGIN`, `ADAPT_MAX_CACHE`, `ADAPT_MIN_REPEATS`,
+    /// `ADAPT_INTERVAL`.
+    pub fn from_env() -> Self {
+        let d = AdaptConfig::default();
+        AdaptConfig {
+            min_observations: env_u64("ADAPT_MIN_OBS", d.min_observations),
+            over_approx_ratio: env_f64("ADAPT_OVERAPPROX_RATIO", d.over_approx_ratio),
+            demote_ratio: env_f64("ADAPT_DEMOTE_RATIO", d.demote_ratio),
+            narrow_margin: env_u64("ADAPT_NARROW_MARGIN", d.narrow_margin as u64) as i64,
+            max_cache_entries: env_u64("ADAPT_MAX_CACHE", d.max_cache_entries as u64) as usize,
+            min_repeats: env_u64("ADAPT_MIN_REPEATS", d.min_repeats),
+            interval_batches: env_u64("ADAPT_INTERVAL", d.interval_batches),
+        }
+    }
+}
+
+/// One indirect resolution captured for a repeat parameter fingerprint.
+struct RepeatEntry {
+    count: u64,
+    /// First full capture for this fingerprint (inputs + resolved
+    /// prediction). `None` until a committed observation carried one.
+    captured: Option<CachedPrediction>,
+}
+
+/// Per-template statistics. All hot-path fields are atomics; the maps
+/// (span maxima, repeat captures) take a short mutex on the commit path
+/// only.
+#[derive(Default)]
+struct TemplateStats {
+    /// Committed observations.
+    committed: AtomicU64,
+    /// Pivot-validation failures (DT re-prepares).
+    pivot_misses: AtomicU64,
+    /// Scope-check failures (under-prediction re-prepares).
+    scope_misses: AtomicU64,
+    /// Sum of predicted key counts over committed observations.
+    predicted_keys: AtomicU64,
+    /// Sum of concretely touched key counts over committed observations.
+    observed_keys: AtomicU64,
+    /// Committed observations that carried pivot observations (DTs).
+    pivot_predictions: AtomicU64,
+    /// Predicted-but-contended-and-untouched keys (false conflicts).
+    false_locked: AtomicU64,
+    /// Predictions served from the indirect cache.
+    cache_hits: AtomicU64,
+    /// Keys dropped by active range narrowing.
+    narrowed_dropped: AtomicU64,
+    /// Per `(table, key part)` maximum integer part value concretely
+    /// touched — the observed range span.
+    touched_span: Mutex<BTreeMap<(TableId, usize), i64>>,
+    /// As above, but for predicted keys — the static range span.
+    predicted_span: Mutex<BTreeMap<(TableId, usize), i64>>,
+    /// Indirect resolutions keyed by parameter fingerprint.
+    repeats: Mutex<HashMap<u64, RepeatEntry>>,
+}
+
+/// A read-only snapshot of one template's statistics, for the
+/// specializer, benches, and diagnostics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TemplateSnapshot {
+    /// Program (template) name.
+    pub program: String,
+    /// Committed observations.
+    pub committed: u64,
+    /// Pivot-validation failures.
+    pub pivot_misses: u64,
+    /// Scope-check failures.
+    pub scope_misses: u64,
+    /// Sum of predicted key counts.
+    pub predicted_keys: u64,
+    /// Sum of touched key counts.
+    pub observed_keys: u64,
+    /// Committed observations that carried pivot observations.
+    pub pivot_predictions: u64,
+    /// False-conflict attribution: predicted, contended, never touched.
+    pub false_locked: u64,
+    /// Indirect-cache hits.
+    pub cache_hits: u64,
+    /// Keys dropped by range narrowing.
+    pub narrowed_dropped: u64,
+}
+
+impl TemplateSnapshot {
+    /// Predicted-to-observed key ratio (1.0 = exact; >1 over-approximates).
+    pub fn over_approx_ratio(&self) -> f64 {
+        if self.observed_keys == 0 {
+            if self.predicted_keys == 0 { 1.0 } else { f64::INFINITY }
+        } else {
+            self.predicted_keys as f64 / self.observed_keys as f64
+        }
+    }
+
+    /// Fraction of dependent predictions whose pivots held at execution.
+    pub fn pivot_hit_rate(&self) -> f64 {
+        let attempts = self.pivot_predictions + self.pivot_misses;
+        if attempts == 0 {
+            1.0
+        } else {
+            self.pivot_predictions as f64 / attempts as f64
+        }
+    }
+}
+
+/// Lock-free-on-the-hot-path runtime-statistics collector; the engine
+/// side of the adaptation loop. Attach with `Engine::set_adapt_sink`.
+pub struct StatsCollector {
+    config: AdaptConfig,
+    templates: RwLock<HashMap<String, Arc<TemplateStats>>>,
+    batches: AtomicU64,
+}
+
+impl StatsCollector {
+    /// Creates a collector with the given policy knobs.
+    pub fn new(config: AdaptConfig) -> Self {
+        StatsCollector { config, templates: RwLock::new(HashMap::new()), batches: AtomicU64::new(0) }
+    }
+
+    /// The policy knobs this collector was built with.
+    pub fn config(&self) -> &AdaptConfig {
+        &self.config
+    }
+
+    /// Batches observed so far.
+    pub fn batches(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+
+    /// Total false-lock conflicts attributed across all templates.
+    pub fn false_conflicts(&self) -> u64 {
+        self.templates
+            .read()
+            .values()
+            .map(|t| t.false_locked.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    fn stats_for(&self, program: &str) -> Arc<TemplateStats> {
+        if let Some(stats) = self.templates.read().get(program) {
+            return Arc::clone(stats);
+        }
+        let mut map = self.templates.write();
+        Arc::clone(map.entry(program.to_owned()).or_default())
+    }
+
+    /// Read-only snapshots of every observed template, name-ordered.
+    pub fn snapshot(&self) -> Vec<TemplateSnapshot> {
+        let map = self.templates.read();
+        let mut rows: Vec<TemplateSnapshot> = map
+            .iter()
+            .map(|(name, t)| TemplateSnapshot {
+                program: name.clone(),
+                committed: t.committed.load(Ordering::Relaxed),
+                pivot_misses: t.pivot_misses.load(Ordering::Relaxed),
+                scope_misses: t.scope_misses.load(Ordering::Relaxed),
+                predicted_keys: t.predicted_keys.load(Ordering::Relaxed),
+                observed_keys: t.observed_keys.load(Ordering::Relaxed),
+                pivot_predictions: t.pivot_predictions.load(Ordering::Relaxed),
+                false_locked: t.false_locked.load(Ordering::Relaxed),
+                cache_hits: t.cache_hits.load(Ordering::Relaxed),
+                narrowed_dropped: t.narrowed_dropped.load(Ordering::Relaxed),
+            })
+            .collect();
+        rows.sort_by(|a, b| a.program.cmp(&b.program));
+        rows
+    }
+
+    fn record_spans(stats: &TemplateStats, obs: &TxObservation) {
+        let mut touched = stats.touched_span.lock();
+        for key in &obs.touched {
+            for (part, value) in key.parts.iter().enumerate() {
+                if let Value::Int(v) = value {
+                    let slot = touched.entry((key.table, part)).or_insert(i64::MIN);
+                    *slot = (*slot).max(*v);
+                }
+            }
+        }
+        drop(touched);
+        if let Some(prediction) = &obs.prediction {
+            let mut predicted = stats.predicted_span.lock();
+            for key in prediction.reads.iter().chain(prediction.writes.iter()) {
+                for (part, value) in key.parts.iter().enumerate() {
+                    if let Value::Int(v) = value {
+                        let slot = predicted.entry((key.table, part)).or_insert(i64::MIN);
+                        *slot = (*slot).max(*v);
+                    }
+                }
+            }
+        }
+    }
+
+    fn record_repeat(&self, stats: &TemplateStats, obs: &TxObservation) {
+        let mut repeats = stats.repeats.lock();
+        let len = repeats.len();
+        let entry = match repeats.get_mut(&obs.fingerprint) {
+            Some(entry) => entry,
+            // Bound the capture map: beyond 4x the cache budget, stop
+            // registering new fingerprints (existing ones keep counting).
+            None if len >= self.config.max_cache_entries.saturating_mul(4) => return,
+            None => repeats
+                .entry(obs.fingerprint)
+                .or_insert(RepeatEntry { count: 0, captured: None }),
+        };
+        entry.count += 1;
+        if entry.captured.is_none() {
+            if let Some(prediction) = &obs.prediction {
+                entry.captured = Some(CachedPrediction {
+                    fingerprint: obs.fingerprint,
+                    inputs: obs.inputs.clone(),
+                    prediction: prediction.clone(),
+                });
+            }
+        }
+    }
+}
+
+impl AdaptSink for StatsCollector {
+    fn observe_tx(&self, obs: TxObservation) {
+        let reg = prognosticator_obs::Registry::global();
+        reg.counter("adapt.observations").inc();
+        let stats = self.stats_for(&obs.program);
+        match obs.verdict {
+            ObservedVerdict::Committed => {
+                stats.committed.fetch_add(1, Ordering::Relaxed);
+                stats.predicted_keys.fetch_add(obs.predicted_keys, Ordering::Relaxed);
+                stats.observed_keys.fetch_add(obs.observed_keys, Ordering::Relaxed);
+                stats.false_locked.fetch_add(obs.false_locked, Ordering::Relaxed);
+                if obs.false_locked > 0 {
+                    reg.counter("adapt.false_conflicts").add(obs.false_locked);
+                }
+                if obs.cache_hit {
+                    stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    reg.counter("adapt.cache_hits").inc();
+                }
+                stats.narrowed_dropped.fetch_add(obs.narrowed_dropped, Ordering::Relaxed);
+                Self::record_spans(&stats, &obs);
+                if obs.pivot_count > 0 {
+                    stats.pivot_predictions.fetch_add(1, Ordering::Relaxed);
+                    self.record_repeat(&stats, &obs);
+                }
+            }
+            ObservedVerdict::PivotMiss => {
+                stats.pivot_misses.fetch_add(1, Ordering::Relaxed);
+                reg.counter("adapt.pivot_misses").inc();
+            }
+            ObservedVerdict::ScopeMiss => {
+                stats.scope_misses.fetch_add(1, Ordering::Relaxed);
+                reg.counter("adapt.scope_misses").inc();
+            }
+        }
+    }
+
+    fn observe_batch(&self, _batch_index: u64) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The adaptation policy: turns collected statistics into a candidate
+/// [`SpecializationSet`], to be committed through the replicated log by
+/// whoever drives the loop (the pipeline's controller).
+pub struct Specializer {
+    config: AdaptConfig,
+}
+
+impl Specializer {
+    /// Creates a specializer with the given policy knobs.
+    pub fn new(config: AdaptConfig) -> Self {
+        Specializer { config }
+    }
+
+    /// Proposes the next specialization set given current statistics, or
+    /// `None` when nothing would change. The proposal's version is
+    /// `current.version + 1`; its content is a pure function of the
+    /// collector snapshot, and only becomes active once committed.
+    pub fn propose(
+        &self,
+        collector: &StatsCollector,
+        current: &SpecializationSet,
+    ) -> Option<SpecializationSet> {
+        let mut programs: BTreeMap<String, ProgSpecialization> = BTreeMap::new();
+        let templates = collector.templates.read();
+        let mut names: Vec<&String> = templates.keys().collect();
+        names.sort();
+        for name in names {
+            let stats = &templates[name];
+            let committed = stats.committed.load(Ordering::Relaxed);
+            if committed < self.config.min_observations {
+                // Keep whatever the current set already holds: too little
+                // signal to revise an active specialization.
+                if let Some(existing) = current.for_program(name) {
+                    programs.insert(name.clone(), existing.clone());
+                }
+                continue;
+            }
+            let mut specs = Vec::new();
+            if let Some(cache) = self.cache_candidate(stats) {
+                specs.push(cache);
+            }
+            let predicted = stats.predicted_keys.load(Ordering::Relaxed);
+            let observed = stats.observed_keys.load(Ordering::Relaxed);
+            let ratio = if observed == 0 {
+                if predicted == 0 { 1.0 } else { f64::INFINITY }
+            } else {
+                predicted as f64 / observed as f64
+            };
+            if ratio >= self.config.over_approx_ratio {
+                match self.narrow_candidates(stats) {
+                    narrows if !narrows.is_empty() => specs.extend(narrows),
+                    _ if ratio >= self.config.demote_ratio => {
+                        specs.push(ProfileSpecialization::DemoteToTables);
+                    }
+                    _ => {}
+                }
+            }
+            if !specs.is_empty() {
+                programs.insert(name.clone(), ProgSpecialization { specs });
+            }
+        }
+        drop(templates);
+        if programs == current.programs {
+            return None;
+        }
+        let next = SpecializationSet { version: current.version + 1, programs };
+        prognosticator_obs::Registry::global().counter("adapt.proposals").inc();
+        Some(next)
+    }
+
+    /// Bounded deterministic indirect cache: fingerprints seen at least
+    /// `min_repeats` times, capped at `max_cache_entries`, ordered by
+    /// (fingerprint, inputs) so the candidate is a canonical value.
+    fn cache_candidate(&self, stats: &TemplateStats) -> Option<ProfileSpecialization> {
+        let repeats = stats.repeats.lock();
+        let mut entries: Vec<CachedPrediction> = repeats
+            .values()
+            .filter(|e| e.count >= self.config.min_repeats)
+            .filter_map(|e| e.captured.clone())
+            .collect();
+        drop(repeats);
+        if entries.is_empty() {
+            return None;
+        }
+        entries.sort_by(|a, b| {
+            a.fingerprint.cmp(&b.fingerprint).then_with(|| a.inputs.cmp(&b.inputs))
+        });
+        entries.truncate(self.config.max_cache_entries);
+        Some(ProfileSpecialization::IndirectCache { entries })
+    }
+
+    /// Narrowing candidates: `(table, part)` pairs whose predicted span
+    /// max exceeds the touched span max by more than the margin.
+    fn narrow_candidates(&self, stats: &TemplateStats) -> Vec<ProfileSpecialization> {
+        let touched = stats.touched_span.lock();
+        let predicted = stats.predicted_span.lock();
+        let mut narrows = Vec::new();
+        for (&(table, part), &pred_max) in predicted.iter() {
+            let touched_max = touched.get(&(table, part)).copied().unwrap_or(i64::MIN);
+            if touched_max == i64::MIN {
+                continue;
+            }
+            let hi_cap = touched_max.saturating_add(1).saturating_add(self.config.narrow_margin);
+            if pred_max >= hi_cap {
+                narrows.push(ProfileSpecialization::RangeNarrow { table, part, hi_cap });
+            }
+        }
+        narrows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prognosticator_core::TxObservation;
+    use prognosticator_symexec::{fingerprint_inputs, Prediction};
+    use prognosticator_txir::Key;
+
+    fn committed_obs(program: &str, predicted: Vec<Key>, touched: Vec<Key>) -> TxObservation {
+        TxObservation {
+            program: program.to_owned(),
+            fingerprint: fingerprint_inputs(&[Value::Int(1)]),
+            inputs: vec![Value::Int(1)],
+            verdict: ObservedVerdict::Committed,
+            predicted_keys: predicted.len() as u64,
+            observed_keys: touched.len() as u64,
+            pivot_count: 0,
+            false_locked: 0,
+            cache_hit: false,
+            narrowed_dropped: 0,
+            touched,
+            prediction: Some(Prediction {
+                reads: Vec::new(),
+                writes: predicted,
+                pivot_observations: Vec::new(),
+            }),
+        }
+    }
+
+    fn span(table: u16, n: i64) -> Vec<Key> {
+        (0..n).map(|i| Key::of_ints(TableId(table), &[i])).collect()
+    }
+
+    #[test]
+    fn over_approximating_template_gets_narrowed() {
+        let collector = StatsCollector::new(AdaptConfig::default());
+        // Predicts 32 keys per tx, touches the first 4.
+        for _ in 0..10 {
+            collector.observe_tx(committed_obs("scan", span(1, 32), span(1, 4)));
+        }
+        let spec = Specializer::new(AdaptConfig::default());
+        let set = spec.propose(&collector, &SpecializationSet::empty()).expect("proposes");
+        assert_eq!(set.version, 1);
+        let prog = set.for_program("scan").expect("scan specialized");
+        assert!(prog.narrows());
+        let hi_cap = prog
+            .specs
+            .iter()
+            .find_map(|s| match s {
+                ProfileSpecialization::RangeNarrow { table, part, hi_cap } => {
+                    assert_eq!((*table, *part), (TableId(1), 0));
+                    Some(*hi_cap)
+                }
+                _ => None,
+            })
+            .expect("range narrow");
+        // Touched max 3 + 1 + margin 2.
+        assert_eq!(hi_cap, 6);
+    }
+
+    #[test]
+    fn exact_templates_are_left_alone_and_proposal_converges() {
+        let collector = StatsCollector::new(AdaptConfig::default());
+        for _ in 0..10 {
+            collector.observe_tx(committed_obs("exact", span(0, 2), span(0, 2)));
+        }
+        let spec = Specializer::new(AdaptConfig::default());
+        assert!(
+            spec.propose(&collector, &SpecializationSet::empty()).is_none(),
+            "an exact template must not trigger a proposal"
+        );
+    }
+
+    #[test]
+    fn repeat_indirect_parameters_get_cached() {
+        let collector = StatsCollector::new(AdaptConfig::default());
+        let inputs = vec![Value::Int(7)];
+        let pred = Prediction {
+            reads: vec![Key::of_ints(TableId(2), &[7])],
+            writes: vec![Key::of_ints(TableId(2), &[7])],
+            pivot_observations: vec![(Key::of_ints(TableId(1), &[7]), Value::Int(7))],
+        };
+        for _ in 0..10 {
+            collector.observe_tx(TxObservation {
+                program: "follow".into(),
+                fingerprint: fingerprint_inputs(&inputs),
+                inputs: inputs.clone(),
+                verdict: ObservedVerdict::Committed,
+                predicted_keys: 2,
+                observed_keys: 2,
+                pivot_count: 1,
+                false_locked: 0,
+                cache_hit: false,
+                narrowed_dropped: 0,
+                touched: pred.key_set(),
+                prediction: Some(pred.clone()),
+            });
+        }
+        let spec = Specializer::new(AdaptConfig::default());
+        let set = spec.propose(&collector, &SpecializationSet::empty()).expect("proposes");
+        let prog = set.for_program("follow").expect("follow specialized");
+        let hit = prog.cached(fingerprint_inputs(&inputs), &inputs).expect("cached");
+        assert_eq!(hit.prediction, pred);
+    }
+
+    #[test]
+    fn pivot_hit_rate_and_ratio_reflect_observations() {
+        let collector = StatsCollector::new(AdaptConfig::default());
+        collector.observe_tx(committed_obs("t", span(0, 4), span(0, 2)));
+        collector.observe_tx(TxObservation {
+            verdict: ObservedVerdict::PivotMiss,
+            ..committed_obs("t", Vec::new(), Vec::new())
+        });
+        let rows = collector.snapshot();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].committed, 1);
+        assert_eq!(rows[0].pivot_misses, 1);
+        assert!((rows[0].over_approx_ratio() - 2.0).abs() < f64::EPSILON);
+        assert!((rows[0].pivot_hit_rate() - 0.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn env_knobs_override_defaults() {
+        // Serialized by cargo's per-process test env: set, read, unset.
+        std::env::set_var("ADAPT_MIN_OBS", "3");
+        std::env::set_var("ADAPT_NARROW_MARGIN", "9");
+        let config = AdaptConfig::from_env();
+        std::env::remove_var("ADAPT_MIN_OBS");
+        std::env::remove_var("ADAPT_NARROW_MARGIN");
+        assert_eq!(config.min_observations, 3);
+        assert_eq!(config.narrow_margin, 9);
+        assert_eq!(config.min_repeats, AdaptConfig::default().min_repeats);
+    }
+
+    #[test]
+    fn false_conflicts_accumulate_per_template() {
+        let collector = StatsCollector::new(AdaptConfig::default());
+        let mut obs = committed_obs("hot", span(0, 4), span(0, 4));
+        obs.false_locked = 3;
+        collector.observe_tx(obs);
+        assert_eq!(collector.false_conflicts(), 3);
+        assert_eq!(collector.snapshot()[0].false_locked, 3);
+    }
+}

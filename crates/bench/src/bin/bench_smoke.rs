@@ -19,8 +19,11 @@ use prognosticator_consensus::{
     Admission, Batcher, LogStore, NetConfig, RaftCluster, RaftTiming, RetryPolicy, U64Codec,
     WalStore,
 };
-use prognosticator_core::{baselines, Catalog, Replica};
-use prognosticator_workloads::{DeterministicRng, SmallBankConfig, SmallBankWorkload};
+use prognosticator_adapt::{AdaptConfig, Specializer, StatsCollector};
+use prognosticator_core::{baselines, AdaptSink, Catalog, LogRecord, Replica, SpecializationSet};
+use prognosticator_workloads::{
+    AdaptiveConfig, AdaptiveWorkload, DeterministicRng, SmallBankConfig, SmallBankWorkload,
+};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -226,7 +229,7 @@ fn durability_point(setup: &WorkloadSetup) -> RunResult {
         baselines::mq_mf(2),
         Arc::clone(&setup.catalog),
         fresh(),
-        batches,
+        batches.into_iter().map(prognosticator_core::LogRecord::Batch).collect(),
         None,
         Some(digest),
     );
@@ -405,6 +408,84 @@ fn served_traffic_point() -> RunResult {
         open_loop_max_ms: report.max_ms,
         ..RunResult::default()
     }
+}
+
+/// Adaptation pass: the adaptive workload (widened wide-range scans over
+/// a Zipfian-hot tail) replayed twice over the identical batch stream —
+/// once on static profiles, once with a mid-stream specialization swap
+/// learned from the first half — populating the schema-v6
+/// `specializations_active` / `false_conflicts` / `predicted_keys` /
+/// `observed_keys` fields. The adaptive leg must attribute strictly
+/// fewer false lock conflicts while reaching the identical digest.
+fn adaptation_points() -> (RunResult, RunResult) {
+    const BATCHES: usize = 12;
+    const SIZE: usize = 48;
+    let mut catalog = Catalog::new();
+    let wl = AdaptiveWorkload::register(&mut catalog, AdaptiveConfig::default())
+        .expect("adaptive registers");
+    let catalog = Arc::new(catalog);
+    let fresh = || {
+        let store = Arc::new(prognosticator_storage::EpochStore::new());
+        wl.populate(&store);
+        store
+    };
+    let mut rng = DeterministicRng::new(0xADA_B5);
+    let stream: Vec<Vec<prognosticator_core::TxRequest>> =
+        (0..BATCHES).map(|_| wl.gen_batch(&mut rng, SIZE)).collect();
+
+    // Learn a specialization set from the first half of the stream.
+    let learn_collector = Arc::new(StatsCollector::new(AdaptConfig::default()));
+    let mut learner = Replica::with_store(baselines::mq_mf(2), Arc::clone(&catalog), fresh());
+    learner
+        .engine()
+        .set_adapt_sink(Some(Arc::clone(&learn_collector) as Arc<dyn AdaptSink>));
+    learner.execute_stream(stream[..BATCHES / 2].to_vec(), 1);
+    learner.shutdown();
+    let set = Specializer::new(AdaptConfig::default())
+        .propose(&learn_collector, &SpecializationSet::empty())
+        .expect("the widened scan must trigger a specialization");
+
+    // Replay the identical stream with and without the mid-stream swap.
+    let run = |records: Vec<LogRecord>, specs_active: u64| -> (RunResult, u64) {
+        let collector = Arc::new(StatsCollector::new(AdaptConfig::default()));
+        let mut replica = Replica::with_store(baselines::mq_mf(2), Arc::clone(&catalog), fresh());
+        replica.engine().set_adapt_sink(Some(Arc::clone(&collector) as Arc<dyn AdaptSink>));
+        let committed =
+            replica.execute_records(records, 1).iter().map(|o| o.committed).sum();
+        let digest = replica.state_digest();
+        replica.shutdown();
+        let (mut predicted, mut observed) = (0u64, 0u64);
+        for row in collector.snapshot() {
+            predicted += row.predicted_keys;
+            observed += row.observed_keys;
+        }
+        let result = RunResult {
+            sustainable: true,
+            batch_size: SIZE,
+            committed,
+            specializations_active: specs_active,
+            false_conflicts: collector.false_conflicts(),
+            predicted_keys: predicted,
+            observed_keys: observed,
+            ..RunResult::default()
+        };
+        (result, digest)
+    };
+    let static_records: Vec<LogRecord> =
+        stream.iter().cloned().map(LogRecord::Batch).collect();
+    let mut adaptive_records: Vec<LogRecord> =
+        stream[..BATCHES / 2].iter().cloned().map(LogRecord::Batch).collect();
+    adaptive_records.push(LogRecord::Specialize(set.clone()));
+    adaptive_records
+        .extend(stream[BATCHES / 2..].iter().cloned().map(LogRecord::Batch));
+
+    let (static_run, static_digest) = run(static_records, 0);
+    let (adaptive_run, adaptive_digest) = run(adaptive_records, set.programs.len() as u64);
+    assert_eq!(
+        static_digest, adaptive_digest,
+        "specialization changed execution results — it may only change locking"
+    );
+    (static_run, adaptive_run)
 }
 
 fn main() {
@@ -587,6 +668,51 @@ fn main() {
         )
     );
     groups.push(("served-traffic".to_string(), vec![("open-loop".to_string(), t)]));
+
+    // Adaptation pass: identical Zipfian hot-skew stream on static vs
+    // specialized profiles — the schema-v6 loop-closure guardrail.
+    println!("\n== adaptation ==");
+    let (a_static, a_adaptive) = adaptation_points();
+    assert!(a_static.false_conflicts > 0, "static widened scan produced no false conflicts");
+    assert!(
+        a_adaptive.false_conflicts < a_static.false_conflicts,
+        "specialization did not reduce false conflicts: {} (adaptive) vs {} (static)",
+        a_adaptive.false_conflicts,
+        a_static.false_conflicts
+    );
+    assert!(a_adaptive.specializations_active > 0, "no specialization was active");
+    assert!(
+        a_static.predicted_keys > a_static.observed_keys,
+        "the adaptive workload must over-approximate statically"
+    );
+    print!(
+        "{}",
+        render_table(
+            &["Run", "Committed", "specs", "false conflicts", "predicted", "observed"],
+            &[
+                vec![
+                    "static".to_string(),
+                    a_static.committed.to_string(),
+                    a_static.specializations_active.to_string(),
+                    a_static.false_conflicts.to_string(),
+                    a_static.predicted_keys.to_string(),
+                    a_static.observed_keys.to_string(),
+                ],
+                vec![
+                    "adaptive".to_string(),
+                    a_adaptive.committed.to_string(),
+                    a_adaptive.specializations_active.to_string(),
+                    a_adaptive.false_conflicts.to_string(),
+                    a_adaptive.predicted_keys.to_string(),
+                    a_adaptive.observed_keys.to_string(),
+                ],
+            ]
+        )
+    );
+    groups.push((
+        "adaptation".to_string(),
+        vec![("static".to_string(), a_static), ("adaptive".to_string(), a_adaptive)],
+    ));
 
     match write_snapshot("smoke", &snapshot_json("smoke", &groups)) {
         Ok(path) => println!("\nsnapshot: {}", path.display()),

@@ -20,11 +20,14 @@ use std::path::Path;
 /// `shard_queue_us`, `shard_execute_us`) were added; bumped to 5 when
 /// the served-traffic fields (`connections`, `evicted_clients`,
 /// `wire_rejects`, `open_loop_p50_ms`, `open_loop_p99_ms`,
-/// `open_loop_max_ms`) were added. Older files (and pre-versioned
-/// files, which carry no `schema_version` at all) are rejected by
-/// [`load_snapshot`] so regression tooling never silently compares
-/// across incompatible layouts.
-pub const SCHEMA_VERSION: i64 = 5;
+/// `open_loop_max_ms`) were added; bumped to 6 when the
+/// adaptive-prediction fields (`specializations_active`,
+/// `false_conflicts`, `predicted_keys`, `observed_keys`) were added.
+/// Older files (and pre-versioned files, which carry no
+/// `schema_version` at all) are rejected by [`load_snapshot`] so
+/// regression tooling never silently compares across incompatible
+/// layouts.
+pub const SCHEMA_VERSION: i64 = 6;
 
 /// A JSON value tree, rendered with [`Json::render`].
 #[derive(Debug, Clone, PartialEq)]
@@ -376,6 +379,15 @@ pub fn run_result_json(system: &str, r: &RunResult) -> Json {
         ("open_loop_p50_ms", Json::Num(r.open_loop_p50_ms)),
         ("open_loop_p99_ms", Json::Num(r.open_loop_p99_ms)),
         ("open_loop_max_ms", Json::Num(r.open_loop_max_ms)),
+        // Adaptive-prediction fields (schema v6): programs with an
+        // active specialization, false lock conflicts attributed
+        // (predicted ∩ contended − touched), and the predicted/observed
+        // key totals whose quotient is the run's over-approximation
+        // ratio. Zero for static-profile exhibits.
+        ("specializations_active", Json::Int(r.specializations_active as i64)),
+        ("false_conflicts", Json::Int(r.false_conflicts as i64)),
+        ("predicted_keys", Json::Int(r.predicted_keys as i64)),
+        ("observed_keys", Json::Int(r.observed_keys as i64)),
         // Per-stage per-batch latency distributions (µs), summarized
         // from log-linear histograms (schema v2).
         (

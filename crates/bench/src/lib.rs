@@ -279,6 +279,20 @@ pub struct RunResult {
     pub open_loop_p99_ms: f64,
     /// Worst case of the same distribution.
     pub open_loop_max_ms: f64,
+    /// Programs carrying an active profile specialization during the
+    /// run (schema v6); 0 for static-profile exhibits.
+    pub specializations_active: u64,
+    /// False lock conflicts attributed over the run: keys a transaction
+    /// predicted and contended on but never touched (schema v6); 0 when
+    /// no adaptation collector observed the run.
+    pub false_conflicts: u64,
+    /// Sum of predicted key counts over committed, profile-classified
+    /// transactions (schema v6); 0 without an adaptation collector.
+    pub predicted_keys: u64,
+    /// Sum of concretely touched key counts over the same transactions
+    /// (schema v6); `predicted_keys / observed_keys` is the run's
+    /// over-approximation ratio.
+    pub observed_keys: u64,
 }
 
 /// Per-stage distribution of per-batch times (µs) over the measured

@@ -1,0 +1,135 @@
+//! Adaptation seams of the engine: the replicated log-record type that
+//! carries specialization swaps, and the observer interface the execute
+//! path feeds runtime statistics through.
+//!
+//! The mechanism/policy split mirrors the flight recorder: the engine
+//! *mechanically* taps its execute path (one branch when nothing is
+//! attached) and *mechanically* applies whatever [`SpecializationSet`]
+//! was installed, while the policy — turning observations into candidate
+//! specializations — lives entirely in `prognosticator-adapt`. The core
+//! crate therefore never depends on the adaptation subsystem.
+//!
+//! **Determinism contract.** Observations are advisory: they arrive in
+//! worker-scheduling order and may differ across replicas in order and
+//! (for bounded captures) in content. Nothing downstream of a sink may
+//! influence execution directly — a proposed specialization only takes
+//! effect once it is committed to the replicated log as
+//! [`LogRecord::Specialize`] and installed at its log position, which is
+//! the same position on every replica.
+
+use crate::catalog::TxRequest;
+use prognosticator_symexec::{Prediction, SpecializationSet};
+use prognosticator_txir::{Key, Value};
+
+/// One entry of the replicated log. Historically the log carried bare
+/// transaction batches; adaptive prediction adds a second kind — a
+/// committed specialization swap — so that every replica switches
+/// prediction overlays at the identical batch index.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogRecord {
+    /// An ordered transaction batch (the common case).
+    Batch(Vec<TxRequest>),
+    /// Install this specialization set before executing any later batch
+    /// in the log. Replayed at the same position on recovery.
+    Specialize(SpecializationSet),
+}
+
+impl LogRecord {
+    /// The batch payload, if this is a batch record.
+    pub fn as_batch(&self) -> Option<&Vec<TxRequest>> {
+        match self {
+            LogRecord::Batch(batch) => Some(batch),
+            LogRecord::Specialize(_) => None,
+        }
+    }
+
+    /// Consumes the record into its batch payload, if it is one.
+    pub fn into_batch(self) -> Option<Vec<TxRequest>> {
+        match self {
+            LogRecord::Batch(batch) => Some(batch),
+            LogRecord::Specialize(_) => None,
+        }
+    }
+}
+
+/// How the observed transaction attempt ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObservedVerdict {
+    /// The attempt committed; the observation carries its access log.
+    Committed,
+    /// Pivot validation failed — the dependent transaction's key-set was
+    /// resolved against state that changed before it executed.
+    PivotMiss,
+    /// The execution scope check fired — the (possibly narrowed)
+    /// prediction under-approximated; the engine re-prepares it.
+    ScopeMiss,
+}
+
+/// One execute-path observation of a single update-transaction attempt,
+/// delivered to the attached [`AdaptSink`].
+///
+/// Built only when a sink is attached; the collector pays for the clones,
+/// not the default configuration.
+#[derive(Debug, Clone)]
+pub struct TxObservation {
+    /// Program (template) name.
+    pub program: String,
+    /// [`prognosticator_symexec::fingerprint_inputs`] of the inputs.
+    pub fingerprint: u64,
+    /// The exact transaction inputs (for indirect-cache capture).
+    pub inputs: Vec<Value>,
+    /// How the attempt ended.
+    pub verdict: ObservedVerdict,
+    /// Keys the (possibly specialized) prediction locked.
+    pub predicted_keys: u64,
+    /// Distinct keys the execution concretely touched.
+    pub observed_keys: u64,
+    /// Pivot observations the prediction carried (0 for direct profiles).
+    pub pivot_count: u64,
+    /// Predicted keys that were lock-contended this round but never
+    /// concretely touched — the false-conflict attribution for this
+    /// template. Deterministic: a pure function of the batch contents.
+    pub false_locked: u64,
+    /// The prediction came from the indirect cache.
+    pub cache_hit: bool,
+    /// Keys dropped from the prediction by range narrowing.
+    pub narrowed_dropped: u64,
+    /// The distinct keys concretely touched (empty on retry verdicts).
+    pub touched: Vec<Key>,
+    /// The prediction the attempt ran under (committed verdicts only;
+    /// pivot observations included, for indirect-cache capture).
+    pub prediction: Option<Prediction>,
+}
+
+/// Observer interface the engine's execute path feeds. Implemented by the
+/// adaptation collector (`prognosticator-adapt`); attached via
+/// `Engine::set_adapt_sink` exactly like the flight recorder.
+///
+/// Calls arrive concurrently from worker threads in scheduling order —
+/// implementations must be thread-safe and order-insensitive.
+pub trait AdaptSink: Send + Sync {
+    /// One update-transaction attempt was observed.
+    fn observe_tx(&self, obs: TxObservation);
+
+    /// A batch finished executing (flush/boundary hook).
+    fn observe_batch(&self, batch_index: u64) {
+        let _ = batch_index;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::ProgId;
+
+    #[test]
+    fn log_record_batch_accessors() {
+        let batch = vec![TxRequest::new(ProgId(0), vec![Value::Int(1)])];
+        let rec = LogRecord::Batch(batch.clone());
+        assert_eq!(rec.as_batch(), Some(&batch));
+        assert_eq!(rec.clone().into_batch(), Some(batch));
+        let swap = LogRecord::Specialize(SpecializationSet::empty());
+        assert!(swap.as_batch().is_none());
+        assert!(swap.into_batch().is_none());
+    }
+}

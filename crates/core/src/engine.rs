@@ -45,6 +45,7 @@
 //! [`BatchOutcome::outcomes`]. Only unattributable panics (engine bugs,
 //! catalog/profile mismatches) remain batch-fatal.
 
+use crate::adapt::{AdaptSink, ObservedVerdict, TxObservation};
 use crate::catalog::{Catalog, TxRequest};
 use crate::exec::{
     execute_live_buffered, execute_read_only, execute_reconnoitered, execute_scoped,
@@ -58,8 +59,12 @@ use crossbeam::utils::Backoff;
 use parking_lot::{Condvar, Mutex, RwLock};
 use prognosticator_obs::{Counter, Event, FlightRecorder, Histogram, Registry};
 use prognosticator_storage::{EpochStore, LatencyConfig, ShardWatermarks};
-use prognosticator_symexec::{PredictError, Prediction, Profile, TxClass};
+use prognosticator_symexec::{
+    apply_narrowing, fingerprint_inputs, predict_specialized, PredictError, Prediction, Profile,
+    ProgSpecialization, SpecializationSet, TxClass,
+};
 use prognosticator_txir::{Key, Program, Value};
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
@@ -303,6 +308,26 @@ pub struct BatchOutcome {
     /// Per-shard queue/execute split, indexed by physical shard (length =
     /// the engine's configured shard count; empty from the simulator).
     pub shard_stage: Vec<ShardStageTimings>,
+    /// Keys the committed update transactions' (possibly specialized)
+    /// predictions locked, summed. Deterministic: a pure function of the
+    /// batch contents and the installed specialization set.
+    pub predicted_keys: u64,
+    /// Distinct keys the committed update transactions concretely
+    /// touched, summed. Deterministic (see `predicted_keys`).
+    pub observed_keys: u64,
+    /// Predicted keys that were lock-contended but never concretely
+    /// touched, summed over committed update transactions — the batch's
+    /// false lock conflicts. Collected only while an adaptation sink is
+    /// attached (zero otherwise); deterministic when collected.
+    pub false_conflicts: u64,
+    /// Dependent transactions whose prediction came from the indirect
+    /// specialization cache (pivot re-check passed).
+    pub spec_cache_hits: u64,
+    /// Keys dropped from predictions by range-narrowing specializations.
+    pub spec_narrowed: u64,
+    /// Version of the specialization set the batch was classified under
+    /// (0 = static profiles only).
+    pub spec_version: u64,
     /// Results emitted by read-only transactions, indexed by batch
     /// position (`None` for update transactions and carried-over ones).
     pub outputs: Vec<Option<Vec<Value>>>,
@@ -352,6 +377,13 @@ struct TxSlot {
     finished_ns: AtomicU64,
     first_fail_ns: AtomicU64,
     aborts: AtomicU32,
+    /// Specialization + adaptation bookkeeping, aggregated into
+    /// [`BatchOutcome`] (all deterministic; see the field docs there).
+    spec_cache_hit: AtomicBool,
+    spec_narrowed: AtomicU64,
+    predicted_keys: AtomicU64,
+    observed_keys: AtomicU64,
+    false_locked: AtomicU64,
 }
 
 /// Records a deterministic abort for `slot` (first reason wins).
@@ -375,6 +407,11 @@ pub struct PreparedBatch {
     dt_idxs: Vec<TxIdx>,
     it_idxs: Vec<TxIdx>,
     predict_ns: u64,
+    /// The specialization set the batch was classified under, pinned at
+    /// classification so execute sees the same overlay even if a swap is
+    /// installed in between (the replica only swaps at drain points, but
+    /// the pin makes the outcome a pure function of this batch + set).
+    specs: Arc<SpecializationSet>,
 }
 
 impl PreparedBatch {
@@ -430,6 +467,15 @@ struct BatchWork {
     batch_index: u64,
     /// Ready-transaction selection policy for the update phase.
     ready_policy: Arc<dyn ReadyPolicy>,
+    /// Specialization set this batch was classified under.
+    specs: Arc<SpecializationSet>,
+    /// Adaptation sink, if one is attached (snapshot, like `recorder`).
+    adapt: Option<Arc<dyn AdaptSink>>,
+    /// Union over rounds of lock-contended keys, collected at freeze time
+    /// only while an adaptation sink is attached — the "contended" leg of
+    /// false-conflict attribution. Derived from the frozen lock tables,
+    /// so deterministic.
+    contended: RwLock<HashSet<Key>>,
     /// Flight recorder, if one is attached to the engine. Events carry
     /// only logical coordinates; when detached/disabled the record sites
     /// cost one branch (plus one relaxed load inside the recorder).
@@ -497,6 +543,8 @@ struct EngineMetrics {
     tx_aborted: Arc<Counter>,
     lock_waits: Arc<Counter>,
     lock_contended_keys: Arc<Counter>,
+    false_conflicts: Arc<Counter>,
+    spec_cache_hits: Arc<Counter>,
     single_shard_txs: Arc<Counter>,
     cross_shard_txs: Arc<Counter>,
     batch_queue_us: Arc<Histogram>,
@@ -515,6 +563,8 @@ impl EngineMetrics {
             tx_aborted: r.counter("engine.tx_aborted"),
             lock_waits: r.counter("engine.lock_waits"),
             lock_contended_keys: r.counter("engine.lock_contended_keys"),
+            false_conflicts: r.counter("engine.false_conflicts"),
+            spec_cache_hits: r.counter("engine.spec_cache_hits"),
             single_shard_txs: r.counter("engine.single_shard_txs"),
             cross_shard_txs: r.counter("engine.cross_shard_txs"),
             batch_queue_us: r.histogram("engine.batch_queue_us"),
@@ -615,6 +665,11 @@ pub struct Engine {
     metrics: EngineMetrics,
     /// Flight recorder attached via [`Engine::set_recorder`].
     recorder: RwLock<Option<Arc<FlightRecorder>>>,
+    /// Adaptation sink attached via [`Engine::set_adapt_sink`].
+    adapt_sink: RwLock<Option<Arc<dyn AdaptSink>>>,
+    /// The installed specialization set. Shared (via `Arc`) with the
+    /// prepare-ahead queuer thread, which snapshots it per batch.
+    specializations: Arc<RwLock<Arc<SpecializationSet>>>,
 }
 
 impl std::fmt::Debug for Engine {
@@ -668,6 +723,8 @@ impl Engine {
             queuer: Mutex::new(QueuerState::default()),
             metrics: EngineMetrics::new(router.shards()),
             recorder: RwLock::new(None),
+            adapt_sink: RwLock::new(None),
+            specializations: Arc::new(RwLock::new(Arc::new(SpecializationSet::empty()))),
         }
     }
 
@@ -685,6 +742,38 @@ impl Engine {
     /// The attached flight recorder, if any.
     pub fn recorder(&self) -> Option<Arc<FlightRecorder>> {
         self.recorder.read().clone()
+    }
+
+    /// Attaches (or detaches) an adaptation sink. Subsequent batches feed
+    /// it execute-path observations ([`TxObservation`]); observing never
+    /// changes outcomes.
+    pub fn set_adapt_sink(&self, sink: Option<Arc<dyn AdaptSink>>) {
+        *self.adapt_sink.write() = sink;
+    }
+
+    /// The attached adaptation sink, if any.
+    pub fn adapt_sink(&self) -> Option<Arc<dyn AdaptSink>> {
+        self.adapt_sink.read().clone()
+    }
+
+    /// Installs a specialization set; batches classified from now on
+    /// predict under it. **Determinism contract:** callers must only
+    /// install sets delivered as committed [`crate::adapt::LogRecord::Specialize`]
+    /// entries, at their log position, with no batch in flight — the
+    /// replica's record loop and recovery replay both guarantee this.
+    pub fn install_specializations(&self, set: SpecializationSet) {
+        let version = set.version;
+        let programs = set.programs.len() as u64;
+        *self.specializations.write() = Arc::new(set);
+        if let Some(rec) = self.recorder() {
+            let batch = self.batches_executed();
+            rec.record(|| Event::SpecializationActivated { batch, version, programs });
+        }
+    }
+
+    /// The currently installed specialization set.
+    pub fn specializations(&self) -> Arc<SpecializationSet> {
+        self.specializations.read().clone()
     }
 
     /// Installs (or clears) a deterministic fault-injection plan applied
@@ -724,7 +813,8 @@ impl Engine {
     /// run while an earlier batch is still executing without changing any
     /// outcome.
     pub fn prepare(&self, batch: Vec<TxRequest>) -> PreparedBatch {
-        prepare_batch(self.config.granularity, self.config.prepare, &self.catalog, batch)
+        let specs = self.specializations.read().clone();
+        prepare_batch(self.config.granularity, self.config.prepare, &self.catalog, specs, batch)
     }
 
     /// Hands `batch` to the dedicated queuer thread for classification.
@@ -741,15 +831,20 @@ impl Engine {
                 let catalog = Arc::clone(&self.catalog);
                 let granularity = self.config.granularity;
                 let mode = self.config.prepare;
+                let specializations = Arc::clone(&self.specializations);
                 // The thread owns only what classification needs — no
                 // engine reference, so engine teardown can never race it.
+                // The specialization slot is shared: each batch snapshots
+                // the set current at its classification, which the replica
+                // only swaps at drain points (no batch in flight).
                 let handle = std::thread::Builder::new()
                     .name("prognosticator-queuer".to_string())
                     .spawn(move || {
                         while let Ok(batch) = submit_rx.recv() {
                             let result =
                                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                    prepare_batch(granularity, mode, &catalog, batch)
+                                    let specs = specializations.read().clone();
+                                    prepare_batch(granularity, mode, &catalog, specs, batch)
                                 }))
                                 .map_err(|payload| panic_message(payload.as_ref()));
                             if done_tx.send(result).is_err() {
@@ -822,7 +917,7 @@ impl Engine {
             t_mark = Instant::now();
         };
         let batch_start = Instant::now();
-        let PreparedBatch { slots, rot_idxs, dt_idxs, it_idxs, predict_ns } = prepared;
+        let PreparedBatch { slots, rot_idxs, dt_idxs, it_idxs, predict_ns, specs } = prepared;
         let batch_size = slots.len();
         let batch_index = self.batches_executed.fetch_add(1, Ordering::AcqRel);
         let fault_plan = self.fault_plan.read().clone();
@@ -859,6 +954,9 @@ impl Engine {
             fault_plan,
             batch_index,
             ready_policy: Arc::clone(&self.config.ready_policy),
+            specs,
+            adapt: self.adapt_sink.read().clone(),
+            contended: RwLock::new(HashSet::new()),
             recorder: self.recorder.read().clone(),
             lock_waits: AtomicU64::new(0),
             shard_exec_ns: (0..self.router.shards()).map(|_| AtomicU64::new(0)).collect(),
@@ -966,6 +1064,16 @@ impl Engine {
                 let table = Arc::new(b.freeze(work.slots.len()));
                 shard_queue_ns[s] += t_freeze.elapsed().as_nanos() as u64;
                 outcome.stage.lock_contended_keys += table.contended_keys();
+                // Contended-key set for false-conflict attribution; the
+                // waiter list names every contended queue at least once.
+                if work.adapt.is_some() {
+                    let mut contended = work.contended.write();
+                    for (key, _, _) in table.waiters() {
+                        if !contended.contains(key) {
+                            contended.insert(key.clone());
+                        }
+                    }
+                }
                 if let Some(rec) = &work.recorder {
                     if rec.is_enabled() {
                         for (key, tx, depth) in table.waiters() {
@@ -1164,7 +1272,13 @@ impl Engine {
         // --- Metrics --- (carried-over slots never set `finished_ns`,
         // aborted slots never do either: the three states are disjoint)
         let apply_start = Instant::now();
+        outcome.spec_version = work.specs.version;
         for slot in &work.slots {
+            outcome.predicted_keys += slot.predicted_keys.load(Ordering::Acquire);
+            outcome.observed_keys += slot.observed_keys.load(Ordering::Acquire);
+            outcome.false_conflicts += slot.false_locked.load(Ordering::Acquire);
+            outcome.spec_cache_hits += u64::from(slot.spec_cache_hit.load(Ordering::Acquire));
+            outcome.spec_narrowed += slot.spec_narrowed.load(Ordering::Acquire);
             let mut state = slot.state.lock();
             outcome.outputs.push(state.output.take());
             let finished = slot.finished_ns.load(Ordering::Acquire);
@@ -1217,6 +1331,8 @@ impl Engine {
         self.metrics.tx_committed.add(outcome.committed as u64);
         self.metrics.tx_aborted.add(outcome.aborted as u64);
         self.metrics.lock_waits.add(outcome.stage.lock_waits);
+        self.metrics.false_conflicts.add(outcome.false_conflicts);
+        self.metrics.spec_cache_hits.add(outcome.spec_cache_hits);
         self.metrics
             .lock_contended_keys
             .add(outcome.stage.lock_contended_keys);
@@ -1229,6 +1345,9 @@ impl Engine {
         for (s, st) in outcome.shard_stage.iter().enumerate() {
             self.metrics.shard_queue_us[s].record(st.queue_ns / 1_000);
             self.metrics.shard_execute_us[s].record(st.execute_ns / 1_000);
+        }
+        if let Some(sink) = &work.adapt {
+            sink.observe_batch(batch_index);
         }
         outcome
     }
@@ -1249,6 +1368,7 @@ impl Engine {
             }));
             match result {
                 Ok(Ok(log)) => {
+                    observe_commit(work, slot, &log);
                     record_access_log(work, i, &log);
                     slot.finished_ns.store(work.now_ns().max(1), Ordering::Release);
                 }
@@ -1307,6 +1427,7 @@ fn prepare_batch(
     granularity: Granularity,
     prepare: PrepareMode,
     catalog: &Catalog,
+    specs: Arc<SpecializationSet>,
     batch: Vec<TxRequest>,
 ) -> PreparedBatch {
     let t0 = Instant::now();
@@ -1315,7 +1436,7 @@ fn prepare_batch(
     let mut dt_idxs: Vec<TxIdx> = Vec::new();
     let mut it_idxs: Vec<TxIdx> = Vec::new();
     for (i, req) in batch.into_iter().enumerate() {
-        let slot = classify_request(granularity, prepare, catalog, req);
+        let slot = classify_request(granularity, prepare, catalog, &specs, req);
         match slot.class {
             TxClass::ReadOnly => rot_idxs.push(i as TxIdx),
             TxClass::Dependent => dt_idxs.push(i as TxIdx),
@@ -1324,7 +1445,7 @@ fn prepare_batch(
         slots.push(slot);
     }
     let predict_ns = t0.elapsed().as_nanos() as u64;
-    PreparedBatch { slots, rot_idxs, dt_idxs, it_idxs, predict_ns }
+    PreparedBatch { slots, rot_idxs, dt_idxs, it_idxs, predict_ns, specs }
 }
 
 /// Classifies one request into a slot (instance-level: a DT program whose
@@ -1333,6 +1454,7 @@ fn classify_request(
     granularity: Granularity,
     prepare: PrepareMode,
     catalog: &Catalog,
+    specs: &SpecializationSet,
     req: TxRequest,
 ) -> TxSlot {
     let entry = catalog.entry(req.program);
@@ -1340,12 +1462,14 @@ fn classify_request(
     let profile = entry.profile().cloned();
     let mut prediction = None;
     let mut table_scope = None;
+    let mut narrowed = 0u64;
+    let spec = specs.for_program(program.name());
 
     let class = match granularity {
         Granularity::Table => {
             // NODO: everything is an independent transaction over
             // table-granularity conflict classes.
-            let tables: std::collections::HashSet<_> = entry
+            let tables: HashSet<_> = entry
                 .read_tables()
                 .iter()
                 .chain(entry.write_tables())
@@ -1357,8 +1481,24 @@ fn classify_request(
         Granularity::Key => match prepare {
             PrepareMode::Profile => match &profile {
                 Some(p) if p.class() == TxClass::ReadOnly => TxClass::ReadOnly,
+                // Demoted template: skip per-key prediction and lock its
+                // declared tables (the NODO discipline, per program).
+                // Trivially sound — tables ⊇ keys — and never aborts.
+                Some(_) if spec.is_some_and(ProgSpecialization::demoted) => {
+                    let tables: HashSet<_> = entry
+                        .read_tables()
+                        .iter()
+                        .chain(entry.write_tables())
+                        .copied()
+                        .collect();
+                    table_scope = Some(AccessScope::Tables(tables));
+                    TxClass::Independent
+                }
                 Some(p) => match p.predict_direct(&req.inputs) {
-                    Ok(pred) => {
+                    Ok(mut pred) => {
+                        if let Some(sp) = spec {
+                            narrowed = apply_narrowing(&mut pred, sp);
+                        }
                         prediction = Some(pred);
                         TxClass::Independent
                     }
@@ -1390,6 +1530,11 @@ fn classify_request(
         finished_ns: AtomicU64::new(0),
         first_fail_ns: AtomicU64::new(0),
         aborts: AtomicU32::new(0),
+        spec_cache_hit: AtomicBool::new(false),
+        spec_narrowed: AtomicU64::new(narrowed),
+        predicted_keys: AtomicU64::new(0),
+        observed_keys: AtomicU64::new(0),
+        false_locked: AtomicU64::new(0),
     }
 }
 
@@ -1450,11 +1595,35 @@ fn prepare_slot_at(work: &BatchWork, i: TxIdx, store: &EpochStore, snap: Snapsho
                         };
                         v.unwrap_or(Value::Unit)
                     };
+                    // Retry rounds (live re-prepare) bypass the overlay:
+                    // a narrowing-induced scope violation must recover
+                    // with the raw profile's full prediction.
+                    let spec = match snap {
+                        SnapshotKind::Live => None,
+                        SnapshotKind::Epoch(_) => work.specs.for_program(profile.program_name()),
+                    };
                     // A prediction failure here is a catalog/profile
                     // mismatch — fatal, not a per-transaction abort.
-                    Ok(profile
-                        .predict(&slot.req.inputs, Some(&mut resolver))
-                        .expect("profile prediction with resolver cannot need more"))
+                    match spec {
+                        Some(sp) => {
+                            let (pred, spec_out) = predict_specialized(
+                                &profile,
+                                &slot.req.inputs,
+                                Some(&mut resolver),
+                                sp,
+                            )
+                            .expect("profile prediction with resolver cannot need more");
+                            if spec_out.cache_hit {
+                                slot.spec_cache_hit.store(true, Ordering::Release);
+                            }
+                            slot.spec_narrowed
+                                .fetch_add(spec_out.narrowed_dropped, Ordering::Relaxed);
+                            Ok(pred)
+                        }
+                        None => Ok(profile
+                            .predict(&slot.req.inputs, Some(&mut resolver))
+                            .expect("profile prediction with resolver cannot need more")),
+                    }
                 }
                 // SE-capped program: full reconnaissance.
                 None => reconnoiter_with(store, slot, snap),
@@ -1652,6 +1821,81 @@ fn worker_loop(worker_id: usize, shared: &Shared, store: &EpochStore) {
     }
 }
 
+/// Records a committed update transaction's deterministic adaptation
+/// aggregates (predicted/observed key counts, false-conflict attribution)
+/// into its slot, and — when a sink is attached — delivers the full
+/// [`TxObservation`] to it.
+fn observe_commit(work: &BatchWork, slot: &TxSlot, log: &AccessLog) {
+    let prediction = slot.state.lock().prediction.clone();
+    let mut touched: Vec<&Key> = log
+        .reads
+        .iter()
+        .map(|(k, _)| k)
+        .chain(log.writes.iter().map(|(k, _)| k))
+        .collect();
+    touched.sort();
+    touched.dedup();
+    slot.observed_keys.store(touched.len() as u64, Ordering::Release);
+    let predicted = match (&slot.table_scope, &prediction) {
+        // Table-granularity slots predict no keys.
+        (None, Some(p)) => p.key_set(),
+        _ => Vec::new(),
+    };
+    slot.predicted_keys.store(predicted.len() as u64, Ordering::Release);
+    let Some(sink) = &work.adapt else { return };
+    let false_locked = {
+        let contended = work.contended.read();
+        predicted
+            .iter()
+            .filter(|k| contended.contains(*k) && touched.binary_search(k).is_err())
+            .count() as u64
+    };
+    slot.false_locked.store(false_locked, Ordering::Release);
+    let pivot_count = prediction
+        .as_ref()
+        .map_or(0, |p| p.pivot_observations.len() as u64);
+    sink.observe_tx(TxObservation {
+        program: slot.program.name().to_string(),
+        fingerprint: fingerprint_inputs(&slot.req.inputs),
+        inputs: slot.req.inputs.clone(),
+        verdict: ObservedVerdict::Committed,
+        predicted_keys: predicted.len() as u64,
+        observed_keys: touched.len() as u64,
+        pivot_count,
+        false_locked,
+        cache_hit: slot.spec_cache_hit.load(Ordering::Acquire),
+        narrowed_dropped: slot.spec_narrowed.load(Ordering::Acquire),
+        touched: touched.into_iter().cloned().collect(),
+        prediction,
+    });
+}
+
+/// Delivers a retry (pivot-miss / scope-miss) observation for slot `i`'s
+/// failed attempt, when a sink is attached.
+fn observe_retry(work: &BatchWork, slot: &TxSlot, verdict: ObservedVerdict) {
+    let Some(sink) = &work.adapt else { return };
+    let pivot_count = slot
+        .state
+        .lock()
+        .prediction
+        .as_ref()
+        .map_or(0, |p| p.pivot_observations.len() as u64);
+    sink.observe_tx(TxObservation {
+        program: slot.program.name().to_string(),
+        fingerprint: fingerprint_inputs(&slot.req.inputs),
+        inputs: slot.req.inputs.clone(),
+        verdict,
+        predicted_keys: 0,
+        observed_keys: 0,
+        pivot_count,
+        false_locked: 0,
+        cache_hit: slot.spec_cache_hit.load(Ordering::Acquire),
+        narrowed_dropped: slot.spec_narrowed.load(Ordering::Acquire),
+        touched: Vec::new(),
+        prediction: None,
+    });
+}
+
 /// Executes update slot `i`, recording success, a deterministic abort, or
 /// pushing it to the failed (retry) list.
 ///
@@ -1701,13 +1945,19 @@ fn execute_update_slot(work: &BatchWork, i: TxIdx, store: &EpochStore) {
     }));
     match result {
         Ok(Ok(log)) => {
+            observe_commit(work, slot, &log);
             record_access_log(work, i, &log);
             slot.finished_ns.store(work.now_ns().max(1), Ordering::Release);
         }
         Ok(Err(TxFailure::Eval(e))) => {
             record_abort(slot, AbortReason::workload(slot.program.name(), e));
         }
-        Ok(Err(_)) => {
+        Ok(Err(failure)) => {
+            let verdict = match failure {
+                TxFailure::PivotChanged { .. } => ObservedVerdict::PivotMiss,
+                _ => ObservedVerdict::ScopeMiss,
+            };
+            observe_retry(work, slot, verdict);
             slot.aborts.fetch_add(1, Ordering::Relaxed);
             work.failed.lock().push(i);
         }

@@ -41,6 +41,7 @@
 //! # }
 //! ```
 
+pub mod adapt;
 pub mod baselines;
 pub mod catalog;
 pub mod chaos;
@@ -52,6 +53,7 @@ pub mod pipelined;
 pub mod replica;
 pub mod shard;
 
+pub use adapt::{AdaptSink, LogRecord, ObservedVerdict, TxObservation};
 pub use catalog::{Catalog, CatalogEntry, ProgId, TxRequest};
 pub use chaos::{ChaosClass, ChaosEvent, ChaosPhase, ChaosPlan, WireFaultKind, PLAN_NAMES};
 pub use engine::{
@@ -66,4 +68,6 @@ pub use locktable::{
 pub use pipelined::PipelinedExecutor;
 pub use replica::{RecoveryReport, Replica};
 pub use shard::{ShardRoute, ShardRouter};
-pub use prognosticator_symexec::TxClass;
+pub use prognosticator_symexec::{
+    CachedPrediction, ProfileSpecialization, ProgSpecialization, SpecializationSet, TxClass,
+};

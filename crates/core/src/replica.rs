@@ -1,11 +1,13 @@
 //! A replica: store + engine + carried-over transaction handling.
 
+use crate::adapt::LogRecord;
 use crate::catalog::{Catalog, TxRequest};
 use crate::engine::{BatchOutcome, Engine, SchedulerConfig};
 use crate::faults::FaultPlan;
 use crate::pipelined::PipelinedExecutor;
 use prognosticator_obs::{Event, FlightRecorder};
 use prognosticator_storage::EpochStore;
+use prognosticator_symexec::SpecializationSet;
 use std::sync::Arc;
 
 /// A full replica of the deterministic database: its own store and engine.
@@ -47,11 +49,14 @@ impl Replica {
         Self::with_store(config, catalog, Arc::new(EpochStore::new()))
     }
 
-    /// Rebuilds a replica from the durable committed-batch log.
+    /// Rebuilds a replica from the durable committed-record log.
     ///
-    /// In a deterministic database the ordered batch log *is* the state:
+    /// In a deterministic database the ordered log *is* the state:
     /// recovery is nothing but replaying the committed prefix against a
-    /// fresh store. `plan` is the fault plan the pre-crash run executed
+    /// fresh store. Batch records re-execute; specialization-swap records
+    /// re-install their set at the identical log position, so every
+    /// replayed batch predicts with the same overlay the pre-crash run
+    /// used. `plan` is the fault plan the pre-crash run executed
     /// under, if any — replay runs its [`FaultPlan::replay`] variant, so
     /// no faults are re-injected (no worker unwinds, spikes, or network
     /// disruptions) yet every originally injected abort is reproduced
@@ -61,29 +66,37 @@ impl Replica {
     /// Panics if `expected_digest` is provided and the recovered digest
     /// differs — a recovery-soundness violation, never a transient error.
     /// `store` is the replica's *bootstrap* state — the same initial rows
-    /// every replica starts from (recovery replays the batch log on top
-    /// of it, not on an empty store).
+    /// every replica starts from (recovery replays the log on top of it,
+    /// not on an empty store).
     pub fn recover(
         config: SchedulerConfig,
         catalog: Arc<Catalog>,
         store: Arc<EpochStore>,
-        committed_batches: Vec<Vec<TxRequest>>,
+        committed: Vec<LogRecord>,
         plan: Option<&FaultPlan>,
         expected_digest: Option<u64>,
     ) -> (Self, RecoveryReport) {
         let started = std::time::Instant::now();
         let mut replica = Self::with_store(config, catalog, store);
         replica.set_fault_plan(plan.map(|p| p.clone().replay()));
-        let batches_replayed = committed_batches.len();
-        let transactions = committed_batches.iter().map(Vec::len).sum();
+        let batches_replayed = committed.iter().filter(|r| r.as_batch().is_some()).count();
+        let transactions = committed
+            .iter()
+            .map(|r| r.as_batch().map_or(0, Vec::len))
+            .sum();
         let mut outcomes = Vec::with_capacity(batches_replayed);
-        for batch in committed_batches {
-            let txs = batch.len() as u64;
-            let index = replica.engine.batches_executed();
-            if let Some(rec) = replica.engine.recorder() {
-                rec.record(|| Event::RecoveryReplay { batch: index, txs });
+        for record in committed {
+            match record {
+                LogRecord::Batch(batch) => {
+                    let txs = batch.len() as u64;
+                    let index = replica.engine.batches_executed();
+                    if let Some(rec) = replica.engine.recorder() {
+                        rec.record(|| Event::RecoveryReplay { batch: index, txs });
+                    }
+                    outcomes.push(replica.execute_batch(batch));
+                }
+                LogRecord::Specialize(set) => replica.install_specializations(set),
             }
-            outcomes.push(replica.execute_batch(batch));
         }
         // Recovery ends where the crash happened; new live batches run
         // under the original plan again, which the caller reinstalls.
@@ -181,6 +194,44 @@ impl Replica {
     ) -> Vec<BatchOutcome> {
         let driver = PipelinedExecutor::new(Arc::clone(&self.engine), depth);
         driver.execute_stream(batches, &mut self.carry_over)
+    }
+
+    /// Executes a run of committed log records in order. Batch records
+    /// stream through the prepare-ahead pipeline exactly like
+    /// [`Replica::execute_stream`]; a specialization-swap record is a
+    /// drain point — every earlier batch finishes (and its prepare-ahead
+    /// classification with it) before the set installs, so the batches a
+    /// set applies to are exactly those after its log position, on every
+    /// replica, at every pipeline depth.
+    pub fn execute_records(
+        &mut self,
+        records: Vec<LogRecord>,
+        depth: usize,
+    ) -> Vec<BatchOutcome> {
+        let mut outcomes = Vec::new();
+        let mut run: Vec<Vec<TxRequest>> = Vec::new();
+        for record in records {
+            match record {
+                LogRecord::Batch(batch) => run.push(batch),
+                LogRecord::Specialize(set) => {
+                    if !run.is_empty() {
+                        outcomes.extend(self.execute_stream(std::mem::take(&mut run), depth));
+                    }
+                    self.install_specializations(set);
+                }
+            }
+        }
+        if !run.is_empty() {
+            outcomes.extend(self.execute_stream(run, depth));
+        }
+        outcomes
+    }
+
+    /// Installs a committed specialization set on the engine. Must only
+    /// be called at the set's log position with no batch in flight (see
+    /// [`Replica::execute_records`]).
+    pub fn install_specializations(&self, set: SpecializationSet) {
+        self.engine.install_specializations(set);
     }
 
     /// Transactions still waiting to be retried.

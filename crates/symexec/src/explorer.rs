@@ -53,6 +53,16 @@ pub struct ExplorerConfig {
     pub max_path_depth: u32,
     /// Enumeration limit handed to the solver.
     pub solver_enum_limit: u128,
+    /// When > 0, a summarized loop whose *end bound* depends on a pivot is
+    /// **widened**: the pivot-dependent bound is replaced by this constant
+    /// hull, so the `Range` template predicts the full static span and
+    /// drops its pivot dependency (the paper's §III-B over-approximation —
+    /// a state-bounded scan becomes an independent transaction at the
+    /// price of a loose RWS). Sound only when the dynamic trip count never
+    /// exceeds the hull: the RWS-soundness oracle checks that empirically,
+    /// and the engine's execution scope check turns a violation into a
+    /// deterministic failure. `0` (the default) disables widening.
+    pub widen_loop_hull: i64,
 }
 
 impl Default for ExplorerConfig {
@@ -66,6 +76,7 @@ impl Default for ExplorerConfig {
             max_concrete_iters: 4096,
             max_path_depth: 4096,
             solver_enum_limit: crate::solver::DEFAULT_ENUM_LIMIT,
+            widen_loop_hull: 0,
         }
     }
 }
@@ -103,6 +114,9 @@ pub struct AnalysisStats {
     pub max_depth: u32,
     /// Loops summarized into `Range` entries.
     pub loop_summarizations: u64,
+    /// Summarized loops whose pivot-dependent end bound was widened to the
+    /// configured static hull (`ExplorerConfig::widen_loop_hull`).
+    pub loops_widened: u64,
     /// Infeasible branches pruned by the solver.
     pub pruned_infeasible: u64,
     /// Peak estimated bytes of live symbolic states during DFS.
@@ -675,12 +689,22 @@ fn try_summarize<'p>(
         }
     }
 
-    // Commit: record the Range entries and advance past the loop.
+    // Commit: record the Range entries and advance past the loop. A
+    // pivot-dependent end bound is widened to the configured static hull
+    // (over-approximating the span, dropping the pivot dependency); the
+    // trip count is then the workload's responsibility to keep under the
+    // hull, and the runtime adaptation layer narrows the slack back.
+    let to_committed = if ctx.config.widen_loop_hull > 0 && to_s.mentions_pivot() {
+        ctx.stats.loops_widened += 1;
+        SymExpr::int(ctx.config.widen_loop_hull)
+    } else {
+        to_s.clone()
+    };
     if !reads.is_empty() {
         machine.push_read(RwsEntry::Range {
             loop_var: lv,
             from: SymExpr::int(from_c),
-            to: to_s.clone(),
+            to: to_committed.clone(),
             entries: reads,
         });
     }
@@ -688,7 +712,7 @@ fn try_summarize<'p>(
         machine.push_write(RwsEntry::Range {
             loop_var: lv,
             from: SymExpr::int(from_c),
-            to: to_s.clone(),
+            to: to_committed,
             entries: writes,
         });
     }
@@ -1123,6 +1147,46 @@ mod tests {
                 Key::of_ints(TableId(0), &[11]),
             ]
         );
+    }
+
+    #[test]
+    fn pivot_bounded_loop_widens_to_static_hull() {
+        // w = GET(ctrl(0)); for i in 0..w.0 { r = GET(t(i)); PUT(t(i), r.0+1) }
+        // — a watermark-bounded scan. Without widening the summarized
+        // Range's end bound mentions the watermark pivot (DT); with
+        // widening the bound becomes the static hull, the pivot
+        // dependency disappears, and the scan classifies as IT with a
+        // full-span (over-approximating) prediction.
+        let build = || {
+            let mut b = ProgramBuilder::new("scan");
+            let ctrl = b.table("ctrl");
+            let t = b.table("t");
+            let w = b.var("w");
+            let r = b.var("r");
+            let i = b.var("i");
+            b.get(w, Expr::key(ctrl, vec![Expr::lit(0)]));
+            b.for_(i, Expr::lit(0), Expr::var(w).field(0), |b| {
+                b.get(r, Expr::key(t, vec![Expr::var(i)]));
+                b.put(
+                    Expr::key(t, vec![Expr::var(i)]),
+                    Expr::var(r).field(0).add(Expr::lit(1)),
+                );
+            });
+            b.build()
+        };
+
+        let exact = analyze(&build(), &ExplorerConfig::optimized()).unwrap();
+        assert_eq!(exact.profile.class(), TxClass::Dependent);
+        assert_eq!(exact.stats.loops_widened, 0);
+
+        let cfg = ExplorerConfig { widen_loop_hull: 8, ..ExplorerConfig::optimized() };
+        let wide = analyze(&build(), &cfg).unwrap();
+        assert_eq!(wide.stats.loops_widened, 1);
+        assert_eq!(wide.stats.loop_summarizations, 1);
+        assert_eq!(wide.profile.class(), TxClass::Independent);
+        let pred = wide.profile.predict_direct(&[]).unwrap();
+        assert_eq!(pred.writes.len(), 8, "writes cover the full hull");
+        assert_eq!(pred.reads.len(), 9, "ctrl read plus the full hull");
     }
 
     #[test]

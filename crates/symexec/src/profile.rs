@@ -215,13 +215,21 @@ impl Profile {
         max
     }
 
-    /// Rough profile size in bytes.
+    /// Rough profile size in bytes. Each pivot template is charged its
+    /// struct size plus its parts — charging the parts alone made a
+    /// profile with N constant-part pivots (whose `Const` parts fold to
+    /// the node size) appear barely larger than one with none, while
+    /// [`Profile::max_indirect_entries`] reported its indirection; the
+    /// two metrics now move together.
     pub fn approx_size(&self) -> usize {
         self.root.approx_size()
             + self
                 .pivots
                 .iter()
-                .map(|kt| kt.parts.iter().map(SymExpr::approx_size).sum::<usize>())
+                .map(|kt| {
+                    std::mem::size_of::<KeyTemplate>()
+                        + kt.parts.iter().map(SymExpr::approx_size).sum::<usize>()
+                })
                 .sum::<usize>()
     }
 
@@ -532,6 +540,66 @@ mod tests {
         assert_eq!(pred.reads, vec![Key::of_ints(TableId(2), &[42])]);
         assert_eq!(pred.writes, vec![Key::of_ints(TableId(3), &[42])]);
         assert_eq!(reads, 1, "pivot resolved once, then cached");
+    }
+
+    #[test]
+    fn pivot_bounded_range_counts_indirection_and_size_consistently() {
+        // Regression for the indirect-entry accounting: a range whose
+        // *bound* consults a pivot but whose body is direct used to report
+        // max_indirect_entries() == 0 even though is_indirect() (and the
+        // Dependent classification) said otherwise, and approx_size()
+        // charged the pivot template nothing beyond its folded parts.
+        let piv = KeyTemplate::new(TableId(0), vec![SymExpr::int(0)]);
+        let body = RwsEntry::Single(KeyTemplate::new(
+            TableId(4),
+            vec![SymExpr::LoopVar(crate::sym::LoopVarId(0))],
+        ));
+        let entry = RwsEntry::Range {
+            loop_var: crate::sym::LoopVarId(0),
+            from: SymExpr::int(0),
+            to: SymExpr::Field(Box::new(SymExpr::Pivot(PivotId(0))), 0),
+            entries: vec![body],
+        };
+        assert!(entry.is_indirect(), "pivot-bounded range is indirect");
+        assert_eq!(entry.indirect_count(), 1, "the pivot bound is a store consultation");
+
+        let with_pivot = Profile::new(
+            "cursor_scan".into(),
+            leaf(vec![], vec![entry]),
+            vec![piv],
+        );
+        assert_eq!(with_pivot.class(), TxClass::Dependent);
+        assert_eq!(
+            with_pivot.max_indirect_entries(),
+            1,
+            "classification and the indirection metric agree"
+        );
+
+        // A profile identical except for the pivot templates must be
+        // strictly smaller: the pivot template's own footprint counts.
+        let without_pivot = Profile::new(
+            "cursor_scan_no_piv".into(),
+            leaf(
+                vec![],
+                vec![RwsEntry::Range {
+                    loop_var: crate::sym::LoopVarId(0),
+                    from: SymExpr::int(0),
+                    to: SymExpr::Field(Box::new(SymExpr::Pivot(PivotId(0))), 0),
+                    entries: vec![RwsEntry::Single(KeyTemplate::new(
+                        TableId(4),
+                        vec![SymExpr::LoopVar(crate::sym::LoopVarId(0))],
+                    ))],
+                }],
+            ),
+            vec![],
+        );
+        assert!(
+            with_pivot.approx_size()
+                >= without_pivot.approx_size() + std::mem::size_of::<KeyTemplate>(),
+            "each pivot template is charged at least its struct size: {} vs {}",
+            with_pivot.approx_size(),
+            without_pivot.approx_size(),
+        );
     }
 
     #[test]

@@ -43,13 +43,22 @@ impl RwsEntry {
         }
     }
 
-    /// Number of leaf (Single) entries that are indirect; `Range` entries
-    /// count their body once (the Table I "indirect keys" metric counts
-    /// template positions, not expansions).
+    /// Number of template positions that need the store to instantiate
+    /// (the Table I "indirect keys" metric counts template positions, not
+    /// expansions). A `Range` counts its body once plus each *bound* that
+    /// consults a pivot — a pivot-bounded range needs the store for its
+    /// expansion length even when its body is direct, and
+    /// [`RwsEntry::is_indirect`] already classifies it as indirect;
+    /// counting zero positions for it understated every pivot-bounded
+    /// scan (TPC-C delivery's district cursors).
     pub fn indirect_count(&self) -> u64 {
         match self {
             RwsEntry::Single(kt) => u64::from(kt.is_indirect()),
-            RwsEntry::Range { entries, .. } => entries.iter().map(RwsEntry::indirect_count).sum(),
+            RwsEntry::Range { from, to, entries, .. } => {
+                u64::from(from.mentions_pivot())
+                    + u64::from(to.mentions_pivot())
+                    + entries.iter().map(RwsEntry::indirect_count).sum::<u64>()
+            }
         }
     }
 

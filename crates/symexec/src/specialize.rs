@@ -1,0 +1,413 @@
+//! Profile specializations: runtime-learned overlays on static profiles.
+//!
+//! The offline profiles of §III-B are sound but often loose: summarized
+//! loops predict their full static span, and dependent transactions
+//! re-resolve the same indirect keys for every repeat parameter. This
+//! module defines the *specialization* overlay the adaptive-prediction
+//! subsystem (`prognosticator-adapt`) learns from runtime statistics and
+//! replicates through the committed log:
+//!
+//! * [`ProfileSpecialization::IndirectCache`] — a bounded deterministic
+//!   cache of fully-resolved predictions keyed by exact transaction
+//!   inputs. A hit is *proved* equivalent to a fresh walk: the cached
+//!   pivot observations are re-read against the current snapshot and the
+//!   cache is bypassed on any mismatch, so a hit returns byte-for-byte
+//!   the prediction `Profile::predict` would have produced (prediction is
+//!   a pure function of the inputs and the pivot values).
+//! * [`ProfileSpecialization::RangeNarrow`] — clamps the predicted keys
+//!   of a summarized range to the span runtime actually touched (plus a
+//!   margin). Narrowing is *speculative*: the engine's scope check turns
+//!   any under-prediction into a deterministic key-set violation and
+//!   re-prepares with the raw profile, so safety never depends on the
+//!   learned bound being right.
+//! * [`ProfileSpecialization::DemoteToTables`] — demotes a template whose
+//!   per-key prediction is expensive and loose to table-granularity
+//!   locking: trivially sound (tables ⊇ keys) and cheaper to prepare, at
+//!   the price of coarser conflicts.
+//!
+//! A [`SpecializationSet`] is versioned and totally ordered; replicas only
+//! ever install sets delivered as committed log entries, so every replica
+//! predicts with a byte-identical overlay at every batch index.
+
+use crate::profile::{PredictError, Profile};
+use crate::rws::{PivotResolver, Prediction};
+use prognosticator_txir::{TableId, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// FNV-1a offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(hash: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *hash ^= u64::from(b);
+        *hash = hash.wrapping_mul(FNV_PRIME);
+    }
+}
+
+fn fingerprint_value(hash: &mut u64, v: &Value) {
+    match v {
+        Value::Unit => fnv1a(hash, &[0]),
+        Value::Bool(b) => fnv1a(hash, &[1, u8::from(*b)]),
+        Value::Int(i) => {
+            fnv1a(hash, &[2]);
+            fnv1a(hash, &i.to_le_bytes());
+        }
+        Value::Str(s) => {
+            fnv1a(hash, &[3]);
+            fnv1a(hash, &(s.len() as u64).to_le_bytes());
+            fnv1a(hash, s.as_bytes());
+        }
+        Value::Record(fields) => {
+            fnv1a(hash, &[4]);
+            fnv1a(hash, &(fields.len() as u64).to_le_bytes());
+            for f in fields.iter() {
+                fingerprint_value(hash, f);
+            }
+        }
+        Value::List(items) => {
+            fnv1a(hash, &[5]);
+            fnv1a(hash, &(items.len() as u64).to_le_bytes());
+            for f in items.iter() {
+                fingerprint_value(hash, f);
+            }
+        }
+    }
+}
+
+/// Deterministic 64-bit fingerprint of a transaction's input vector
+/// (FNV-1a over a canonical tagged encoding). Used to key the indirect
+/// cache and the collector's repeat-parameter statistics. Fingerprints
+/// are a fast index, never a proof of equality: cache hits additionally
+/// compare the stored inputs exactly.
+pub fn fingerprint_inputs(inputs: &[Value]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    fnv1a(&mut hash, &(inputs.len() as u64).to_le_bytes());
+    for v in inputs {
+        fingerprint_value(&mut hash, v);
+    }
+    hash
+}
+
+/// One cached fully-resolved prediction for an exact input vector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CachedPrediction {
+    /// [`fingerprint_inputs`] of `inputs` (fast lookup index).
+    pub fingerprint: u64,
+    /// The exact inputs the prediction was resolved for.
+    pub inputs: Vec<Value>,
+    /// The resolved prediction, pivot observations included.
+    pub prediction: Prediction,
+}
+
+/// One learned specialization of a program's profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ProfileSpecialization {
+    /// Cache of resolved indirect predictions for repeat parameters.
+    /// Entries are sorted by `(fingerprint, inputs)` — the set is a value,
+    /// not a mutable structure, so every replica holds identical bytes.
+    IndirectCache {
+        /// Cached resolutions, sorted by fingerprint.
+        entries: Vec<CachedPrediction>,
+    },
+    /// Clamp predicted keys on `table` whose part `part` is an integer
+    /// `>= hi_cap` — the runtime-observed range span plus margin.
+    /// Speculative: under-prediction is caught by the engine's scope
+    /// check and deterministically re-prepared with the raw profile.
+    RangeNarrow {
+        /// Table whose range expansion is narrowed.
+        table: TableId,
+        /// Key-part index holding the range's induction value.
+        part: usize,
+        /// Exclusive upper cap on that part.
+        hi_cap: i64,
+    },
+    /// Demote the program to table-granularity locking: skip per-key
+    /// prediction entirely and lock its declared read/write tables.
+    DemoteToTables,
+}
+
+/// All specializations active for one program.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ProgSpecialization {
+    /// Specializations in application order (cache lookup first, then
+    /// narrowing filters).
+    pub specs: Vec<ProfileSpecialization>,
+}
+
+impl ProgSpecialization {
+    /// Whether the program is demoted to table-granularity locking.
+    pub fn demoted(&self) -> bool {
+        self.specs.iter().any(|s| matches!(s, ProfileSpecialization::DemoteToTables))
+    }
+
+    /// The cache entry matching `inputs` exactly, if any.
+    pub fn cached(&self, fingerprint: u64, inputs: &[Value]) -> Option<&CachedPrediction> {
+        self.specs.iter().find_map(|s| match s {
+            ProfileSpecialization::IndirectCache { entries } => entries
+                .iter()
+                .find(|e| e.fingerprint == fingerprint && e.inputs == inputs),
+            _ => None,
+        })
+    }
+
+    /// Whether any specialization narrows a range (speculative overlay).
+    pub fn narrows(&self) -> bool {
+        self.specs.iter().any(|s| matches!(s, ProfileSpecialization::RangeNarrow { .. }))
+    }
+}
+
+/// A versioned, replicated table of per-program specializations.
+///
+/// Version 0 is the empty (static-profiles-only) set every engine boots
+/// with. Any other version must arrive as a committed log entry; the map
+/// is keyed by program name and ordered, so identical sets encode to
+/// identical bytes on every replica.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SpecializationSet {
+    /// Monotone activation version (0 = static profiles only).
+    pub version: u64,
+    /// Per-program specializations, ordered by program name.
+    pub programs: BTreeMap<String, ProgSpecialization>,
+}
+
+impl SpecializationSet {
+    /// The empty, version-0 set (static profiles only).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Specializations for `program`, if any.
+    pub fn for_program(&self, program: &str) -> Option<&ProgSpecialization> {
+        self.programs.get(program)
+    }
+
+    /// Total number of active specializations across programs.
+    pub fn active_count(&self) -> u64 {
+        self.programs.values().map(|p| p.specs.len() as u64).sum()
+    }
+}
+
+/// What applying a specialization overlay did to one prediction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpecOutcome {
+    /// The prediction came from the indirect cache (pivot re-check passed).
+    pub cache_hit: bool,
+    /// Keys dropped by range narrowing. Non-zero marks the prediction
+    /// speculative: a scope violation must re-prepare with the raw
+    /// profile.
+    pub narrowed_dropped: u64,
+}
+
+impl SpecOutcome {
+    /// Whether the prediction may under-approximate (narrowed overlay).
+    pub fn speculative(&self) -> bool {
+        self.narrowed_dropped > 0
+    }
+}
+
+fn narrow_keys(keys: &mut Vec<prognosticator_txir::Key>, table: TableId, part: usize, hi_cap: i64) -> u64 {
+    let before = keys.len();
+    keys.retain(|k| {
+        if k.table != table {
+            return true;
+        }
+        match k.parts.get(part) {
+            Some(Value::Int(v)) => *v < hi_cap,
+            _ => true,
+        }
+    });
+    (before - keys.len()) as u64
+}
+
+/// Applies `spec`'s narrowing filters to an already-computed prediction.
+pub fn apply_narrowing(prediction: &mut Prediction, spec: &ProgSpecialization) -> u64 {
+    let mut dropped = 0;
+    for s in &spec.specs {
+        if let ProfileSpecialization::RangeNarrow { table, part, hi_cap } = s {
+            dropped += narrow_keys(&mut prediction.reads, *table, *part, *hi_cap);
+            dropped += narrow_keys(&mut prediction.writes, *table, *part, *hi_cap);
+        }
+    }
+    dropped
+}
+
+/// Predicts with a specialization overlay applied.
+///
+/// Semantics relative to [`Profile::predict`]:
+/// 1. On an exact-input cache hit whose recorded pivot observations all
+///    match the current snapshot (via `resolver`), the cached prediction
+///    is returned verbatim — provably byte-identical to a fresh walk.
+/// 2. Otherwise a fresh walk runs, and range-narrowing filters are
+///    applied to its result (reported in [`SpecOutcome::narrowed_dropped`]).
+///
+/// Demotion is not handled here — a demoted program skips per-key
+/// prediction entirely at classification time (engine side).
+///
+/// # Errors
+/// Same as [`Profile::predict`].
+pub fn predict_specialized(
+    profile: &Profile,
+    inputs: &[Value],
+    mut resolver: Option<&mut dyn PivotResolver>,
+    spec: &ProgSpecialization,
+) -> Result<(Prediction, SpecOutcome), PredictError> {
+    if let Some(r) = resolver.as_deref_mut() {
+        let fp = fingerprint_inputs(inputs);
+        if let Some(hit) = spec.cached(fp, inputs) {
+            let fresh = hit
+                .prediction
+                .pivot_observations
+                .iter()
+                .all(|(k, v)| &r.read(k) == v);
+            if fresh {
+                return Ok((
+                    hit.prediction.clone(),
+                    SpecOutcome { cache_hit: true, narrowed_dropped: 0 },
+                ));
+            }
+        }
+    }
+    let mut prediction = profile.predict(inputs, resolver)?;
+    let dropped = apply_narrowing(&mut prediction, spec);
+    Ok((prediction, SpecOutcome { cache_hit: false, narrowed_dropped: dropped }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::ProfileNode;
+    use crate::rws::{RwsEntry, RwsTemplate};
+    use crate::sym::{KeyTemplate, LoopVarId, PivotId, SymExpr};
+    use prognosticator_txir::Key;
+
+    fn ranged_profile() -> Profile {
+        // for ℓ in 0..8 { write t1(ℓ) } with a pivot-read marker key.
+        let body = RwsEntry::Single(KeyTemplate::new(
+            TableId(1),
+            vec![SymExpr::LoopVar(LoopVarId(0))],
+        ));
+        let root = ProfileNode::Leaf(RwsTemplate {
+            reads: vec![RwsEntry::Single(KeyTemplate::new(
+                TableId(0),
+                vec![SymExpr::Field(Box::new(SymExpr::Pivot(PivotId(0))), 0)],
+            ))],
+            writes: vec![RwsEntry::Range {
+                loop_var: LoopVarId(0),
+                from: SymExpr::int(0),
+                to: SymExpr::int(8),
+                entries: vec![body],
+            }],
+        });
+        Profile::new(
+            "ranged".into(),
+            root,
+            vec![KeyTemplate::new(TableId(0), vec![SymExpr::int(0)])],
+        )
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_discriminating() {
+        let a = vec![Value::Int(1), Value::str("x")];
+        assert_eq!(fingerprint_inputs(&a), fingerprint_inputs(&a.clone()));
+        assert_ne!(fingerprint_inputs(&a), fingerprint_inputs(&[Value::Int(2)]));
+        assert_ne!(
+            fingerprint_inputs(&[Value::Int(0)]),
+            fingerprint_inputs(&[Value::Bool(false)]),
+            "tagged encoding separates types"
+        );
+    }
+
+    #[test]
+    fn cache_hit_requires_matching_pivots() {
+        let p = ranged_profile();
+        let inputs = vec![Value::Int(5)];
+        let mut resolver = |_: &Key| Value::record(vec![Value::Int(2)]);
+        let base = p.predict(&inputs, Some(&mut resolver)).unwrap();
+        assert_eq!(base.pivot_observations.len(), 1);
+
+        let spec = ProgSpecialization {
+            specs: vec![ProfileSpecialization::IndirectCache {
+                entries: vec![CachedPrediction {
+                    fingerprint: fingerprint_inputs(&inputs),
+                    inputs: inputs.clone(),
+                    prediction: base.clone(),
+                }],
+            }],
+        };
+
+        // Same pivot value: hit, byte-identical to the fresh walk.
+        let mut same = |_: &Key| Value::record(vec![Value::Int(2)]);
+        let (pred, out) = predict_specialized(&p, &inputs, Some(&mut same), &spec).unwrap();
+        assert!(out.cache_hit);
+        assert_eq!(pred, base);
+
+        // Changed pivot value: miss, falls back to a fresh walk.
+        let mut moved = |_: &Key| Value::record(vec![Value::Int(3)]);
+        let (pred, out) = predict_specialized(&p, &inputs, Some(&mut moved), &spec).unwrap();
+        assert!(!out.cache_hit);
+        assert_eq!(
+            pred.pivot_observations,
+            vec![(Key::of_ints(TableId(0), &[0]), Value::record(vec![Value::Int(3)]))]
+        );
+    }
+
+    #[test]
+    fn cache_hit_requires_exact_inputs_not_just_fingerprint() {
+        let p = ranged_profile();
+        let inputs = vec![Value::Int(5)];
+        let mut resolver = |_: &Key| Value::record(vec![Value::Int(2)]);
+        let base = p.predict(&inputs, Some(&mut resolver)).unwrap();
+        // A forged entry whose fingerprint matches other inputs must not
+        // serve them: the exact-inputs comparison guards collisions.
+        let spec = ProgSpecialization {
+            specs: vec![ProfileSpecialization::IndirectCache {
+                entries: vec![CachedPrediction {
+                    fingerprint: fingerprint_inputs(&[Value::Int(6)]),
+                    inputs: inputs.clone(),
+                    prediction: base,
+                }],
+            }],
+        };
+        let mut r = |_: &Key| Value::record(vec![Value::Int(2)]);
+        let (_, out) = predict_specialized(&p, &[Value::Int(6)], Some(&mut r), &spec).unwrap();
+        assert!(!out.cache_hit, "fingerprint alone never serves a hit");
+    }
+
+    #[test]
+    fn range_narrowing_drops_tail_keys_and_marks_speculative() {
+        let p = ranged_profile();
+        let spec = ProgSpecialization {
+            specs: vec![ProfileSpecialization::RangeNarrow {
+                table: TableId(1),
+                part: 0,
+                hi_cap: 3,
+            }],
+        };
+        let mut r = |_: &Key| Value::record(vec![Value::Int(0)]);
+        let (pred, out) = predict_specialized(&p, &[Value::Int(1)], Some(&mut r), &spec).unwrap();
+        assert_eq!(out.narrowed_dropped, 5, "8-wide range clamped to [0,3)");
+        assert!(out.speculative());
+        let expect: Vec<Key> = (0..3).map(|i| Key::of_ints(TableId(1), &[i])).collect();
+        assert_eq!(pred.writes, expect);
+        // Keys on other tables (the pivot read) are untouched.
+        assert_eq!(pred.reads, vec![Key::of_ints(TableId(0), &[0])]);
+    }
+
+    #[test]
+    fn empty_set_is_version_zero_and_inert() {
+        let set = SpecializationSet::empty();
+        assert_eq!(set.version, 0);
+        assert_eq!(set.active_count(), 0);
+        assert!(set.for_program("anything").is_none());
+    }
+
+    #[test]
+    fn demotion_flag_is_visible() {
+        let spec = ProgSpecialization { specs: vec![ProfileSpecialization::DemoteToTables] };
+        assert!(spec.demoted());
+        assert!(!spec.narrows());
+    }
+}

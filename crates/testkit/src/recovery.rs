@@ -233,7 +233,7 @@ fn run_crashed(
         prognosticator_core::SchedulerConfig { shards, ..baselines::mq_mf(workers) },
         std::sync::Arc::clone(workload.catalog()),
         workload.fresh_store(),
-        durable,
+        durable.into_iter().map(prognosticator_core::LogRecord::Batch).collect(),
         Some(plan),
         None,
     );

@@ -22,9 +22,11 @@
 use crate::workload::{TestWorkload, WorkloadKind};
 use prognosticator_core::ShardRouter;
 use prognosticator_storage::EpochStore;
-use prognosticator_symexec::{PivotResolver, TxClass};
+use prognosticator_symexec::{
+    predict_specialized, PivotResolver, SpecializationSet, TxClass,
+};
 use prognosticator_txir::{Interpreter, Key, TxStore, Value};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// An RWS-soundness violation: the profile under-approximated.
 #[derive(Debug)]
@@ -53,6 +55,48 @@ impl std::fmt::Display for SoundnessError {
 
 impl std::error::Error for SoundnessError {}
 
+/// Per-template (per-program) soundness statistics: the oracle's view of
+/// how tight one program's profile is on the replayed stream, and how
+/// often its resolved pivots were still valid after execution.
+#[derive(Debug, Clone, Default)]
+pub struct TemplateSoundness {
+    /// Program name.
+    pub program: String,
+    /// Checked transactions of this template.
+    pub checked: usize,
+    /// Total predicted keys.
+    pub predicted_keys: u64,
+    /// Total concretely touched keys.
+    pub touched_keys: u64,
+    /// Checked transactions whose prediction consulted ≥ 1 pivot.
+    pub pivot_predictions: usize,
+    /// Of those, predictions whose every pivot observation still matched
+    /// a post-execution re-read (the engine's validation would pass; a
+    /// template that overwrites its own pivot scores misses here).
+    pub pivot_hits: usize,
+}
+
+impl TemplateSoundness {
+    /// Per-template over-approximation ratio (predicted / touched; `1.0`
+    /// when the template touched nothing).
+    pub fn ratio(&self) -> f64 {
+        if self.touched_keys == 0 {
+            1.0
+        } else {
+            self.predicted_keys as f64 / self.touched_keys as f64
+        }
+    }
+
+    /// Pivot hit rate (`1.0` for templates that never consult pivots).
+    pub fn pivot_hit_rate(&self) -> f64 {
+        if self.pivot_predictions == 0 {
+            1.0
+        } else {
+            self.pivot_hits as f64 / self.pivot_predictions as f64
+        }
+    }
+}
+
 /// Per-workload soundness statistics.
 #[derive(Debug)]
 pub struct SoundnessReport {
@@ -75,6 +119,8 @@ pub struct SoundnessReport {
     pub single_shard: usize,
     /// Checked transactions whose predicted RWS spanned shards.
     pub cross_shard: usize,
+    /// Per-template statistics, ordered by program name.
+    pub templates: Vec<TemplateSoundness>,
 }
 
 impl SoundnessReport {
@@ -93,6 +139,53 @@ impl SoundnessReport {
         } else {
             self.cross_shard as f64 / self.checked as f64
         }
+    }
+
+    /// The `n` loosest templates, worst first (ties broken by name so the
+    /// output is stable across runs).
+    pub fn worst_templates(&self, n: usize) -> Vec<&TemplateSoundness> {
+        let mut sorted: Vec<&TemplateSoundness> = self.templates.iter().collect();
+        sorted.sort_by(|a, b| {
+            b.ratio()
+                .partial_cmp(&a.ratio())
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.program.cmp(&b.program))
+        });
+        sorted.truncate(n);
+        sorted
+    }
+
+    /// Multi-line human summary: the workload totals plus the top-3
+    /// loosest templates with their over-approximation ratios and pivot
+    /// hit rates. This is what failure messages and the suite's summary
+    /// output print.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!(
+            "[rws-soundness] {}: checked={} recon={} read_only={} predicted={} touched={} \
+             ratio={:.3}",
+            self.workload,
+            self.checked,
+            self.recon,
+            self.read_only,
+            self.predicted_keys,
+            self.touched_keys,
+            self.ratio()
+        );
+        for t in self.worst_templates(3) {
+            let _ = write!(
+                out,
+                "\n  worst `{}`: ratio={:.3} pivot_hit_rate={:.3} \
+                 (checked={} predicted={} touched={})",
+                t.program,
+                t.ratio(),
+                t.pivot_hit_rate(),
+                t.checked,
+                t.predicted_keys,
+                t.touched_keys
+            );
+        }
+        out
     }
 }
 
@@ -220,14 +313,16 @@ pub fn check_soundness_sharded(
         shards: router.shards(),
         single_shard: 0,
         cross_shard: 0,
+        templates: Vec::new(),
     };
+    let mut per_template: BTreeMap<String, TemplateSoundness> = BTreeMap::new();
 
     let mut tx_index = 0usize;
     for batch in stream {
         for tx in batch {
             let entry = workload.catalog().entry(tx.program);
             let program = entry.program().clone();
-            let predicted: Option<HashSet<Key>> = match entry.profile() {
+            let predicted_full = match entry.profile() {
                 Some(profile) => {
                     let mut resolver = StoreResolver { store: &store };
                     let prediction = profile
@@ -235,15 +330,16 @@ pub fn check_soundness_sharded(
                         .unwrap_or_else(|e| {
                             panic!("predict failed for `{}`: {e:?}", program.name())
                         });
-                    Some(prediction.key_set().into_iter().collect())
+                    Some(prediction)
                 }
                 None => None,
             };
 
             let (touched, _ran) = traced_execute(&interp, &program, &tx.inputs, &store);
 
-            match predicted {
-                Some(predicted) => {
+            match predicted_full {
+                Some(prediction) => {
+                    let predicted: HashSet<Key> = prediction.key_set().into_iter().collect();
                     let missing: Vec<Key> =
                         touched.iter().filter(|k| !predicted.contains(*k)).cloned().collect();
                     if !missing.is_empty() {
@@ -259,6 +355,26 @@ pub fn check_soundness_sharded(
                     }
                     report.predicted_keys += predicted.len() as u64;
                     report.touched_keys += touched.len() as u64;
+
+                    let t = per_template
+                        .entry(program.name().to_string())
+                        .or_insert_with(|| TemplateSoundness {
+                            program: program.name().to_string(),
+                            ..TemplateSoundness::default()
+                        });
+                    t.checked += 1;
+                    t.predicted_keys += predicted.len() as u64;
+                    t.touched_keys += touched.len() as u64;
+                    if !prediction.pivot_observations.is_empty() {
+                        t.pivot_predictions += 1;
+                        let valid = prediction
+                            .pivot_observations
+                            .iter()
+                            .all(|(k, v)| &store.get_latest(k).unwrap_or(Value::Unit) == v);
+                        if valid {
+                            t.pivot_hits += 1;
+                        }
+                    }
 
                     // Routing soundness: the engine routes this tx at
                     // prepare time from exactly this prediction, so every
@@ -306,6 +422,166 @@ pub fn check_soundness_sharded(
 
     assert!(report.checked > 0, "stream for {} contained no profiled transactions", kind.name());
     assert!(report.touched_keys > 0, "profiled transactions touched no keys");
+    report.templates = per_template.into_values().collect();
+    Ok(report)
+}
+
+/// Per-workload statistics of a specialized-profile soundness sweep.
+#[derive(Debug)]
+pub struct SpecializedSoundnessReport {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Specialization-set version the sweep ran under.
+    pub spec_version: u64,
+    /// Transactions checked against a specialized prediction.
+    pub checked: usize,
+    /// Predictions served from the indirect cache (each proved
+    /// byte-identical to a fresh walk before being accepted).
+    pub cache_hits: usize,
+    /// Predictions with ≥ 1 key dropped by range narrowing (each still a
+    /// superset of its concrete touch set on this stream).
+    pub narrowed: usize,
+    /// Transactions of demoted programs (checked at table granularity).
+    pub demoted: usize,
+    /// Keys dropped by narrowing, total.
+    pub narrowed_dropped: u64,
+}
+
+/// Replays a stream exactly like [`check_soundness`], but predicting
+/// through the specialization overlay (`predict_specialized`) the way an
+/// engine with `specs` installed would. Asserts, per transaction:
+///
+/// * **cache hits** return byte-identical predictions to a fresh profile
+///   walk (the `IndirectCache` equivalence proof, checked empirically);
+/// * **narrowed** predictions are still supersets of the concrete touch
+///   set — i.e. the learned caps are sound on this stream (the engine
+///   would additionally recover any violation via its scope check);
+/// * **demoted** programs touch only their declared tables.
+///
+/// # Errors
+/// Returns a [`SoundnessError`] naming the keys a specialized prediction
+/// missed.
+///
+/// # Panics
+/// Panics if prediction fails or a cache hit diverges from the fresh
+/// walk — both are specialization-layer correctness bugs.
+pub fn check_specialized_soundness(
+    kind: WorkloadKind,
+    seed: u64,
+    batches: usize,
+    batch_size: usize,
+    specs: &SpecializationSet,
+) -> Result<SpecializedSoundnessReport, SoundnessError> {
+    let workload = TestWorkload::new(kind);
+    let store = workload.fresh_store();
+    let stream = workload.gen_stream(seed, batches, batch_size);
+    let interp = Interpreter::new().without_input_validation();
+
+    let mut report = SpecializedSoundnessReport {
+        workload: kind.name(),
+        spec_version: specs.version,
+        checked: 0,
+        cache_hits: 0,
+        narrowed: 0,
+        demoted: 0,
+        narrowed_dropped: 0,
+    };
+
+    let mut tx_index = 0usize;
+    for batch in stream {
+        for tx in batch {
+            let entry = workload.catalog().entry(tx.program);
+            let program = entry.program().clone();
+            let spec = specs.for_program(program.name());
+
+            // Demoted programs skip per-key prediction: the check is that
+            // execution stays inside the declared tables.
+            if spec.is_some_and(|s| s.demoted()) {
+                let (touched, _ran) = traced_execute(&interp, &program, &tx.inputs, &store);
+                let tables: HashSet<_> = entry
+                    .read_tables()
+                    .iter()
+                    .chain(entry.write_tables())
+                    .copied()
+                    .collect();
+                let missing: Vec<Key> = touched
+                    .iter()
+                    .filter(|k| !tables.contains(&k.table))
+                    .cloned()
+                    .collect();
+                if !missing.is_empty() {
+                    return Err(SoundnessError {
+                        program: program.name().to_string(),
+                        tx_index,
+                        missing,
+                    });
+                }
+                report.checked += 1;
+                report.demoted += 1;
+                tx_index += 1;
+                continue;
+            }
+
+            let predicted = match (entry.profile(), spec) {
+                (Some(profile), Some(spec)) => {
+                    let mut fresh_resolver = StoreResolver { store: &store };
+                    let fresh = profile
+                        .predict(&tx.inputs, Some(&mut fresh_resolver))
+                        .unwrap_or_else(|e| {
+                            panic!("predict failed for `{}`: {e:?}", program.name())
+                        });
+                    let mut resolver = StoreResolver { store: &store };
+                    let (prediction, outcome) =
+                        predict_specialized(profile, &tx.inputs, Some(&mut resolver), spec)
+                            .unwrap_or_else(|e| {
+                                panic!(
+                                    "specialized predict failed for `{}`: {e:?}",
+                                    program.name()
+                                )
+                            });
+                    if outcome.cache_hit {
+                        assert_eq!(
+                            prediction, fresh,
+                            "cache hit for `{}` (tx #{tx_index}) diverged from a fresh walk",
+                            program.name()
+                        );
+                        report.cache_hits += 1;
+                    }
+                    if outcome.narrowed_dropped > 0 {
+                        report.narrowed += 1;
+                        report.narrowed_dropped += outcome.narrowed_dropped;
+                    }
+                    Some(prediction.key_set().into_iter().collect::<HashSet<Key>>())
+                }
+                (Some(profile), None) => {
+                    let mut resolver = StoreResolver { store: &store };
+                    let prediction = profile
+                        .predict(&tx.inputs, Some(&mut resolver))
+                        .unwrap_or_else(|e| {
+                            panic!("predict failed for `{}`: {e:?}", program.name())
+                        });
+                    Some(prediction.key_set().into_iter().collect())
+                }
+                (None, _) => None,
+            };
+
+            let (touched, _ran) = traced_execute(&interp, &program, &tx.inputs, &store);
+            if let Some(predicted) = predicted {
+                let missing: Vec<Key> =
+                    touched.iter().filter(|k| !predicted.contains(*k)).cloned().collect();
+                if !missing.is_empty() {
+                    return Err(SoundnessError {
+                        program: program.name().to_string(),
+                        tx_index,
+                        missing,
+                    });
+                }
+                report.checked += 1;
+            }
+            tx_index += 1;
+        }
+        store.advance_epoch();
+    }
     Ok(report)
 }
 

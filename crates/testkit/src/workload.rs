@@ -5,8 +5,9 @@
 use prognosticator_core::{Catalog, TxRequest};
 use prognosticator_storage::EpochStore;
 use prognosticator_workloads::{
-    AdversarialConfig, AdversarialMix, AdversarialWorkload, DeterministicRng, RubisConfig,
-    RubisWorkload, SmallBankConfig, SmallBankWorkload, TpccConfig, TpccWorkload,
+    AdaptiveConfig, AdaptiveWorkload, AdversarialConfig, AdversarialMix, AdversarialWorkload,
+    DeterministicRng, RubisConfig, RubisWorkload, SmallBankConfig, SmallBankWorkload, TpccConfig,
+    TpccWorkload,
 };
 use std::sync::Arc;
 
@@ -27,6 +28,10 @@ pub enum WorkloadKind {
     YcsbMix,
     /// Adversarial: indirect-key chains racing link rewrites (DT pivots).
     ChainPivot,
+    /// Adaptive-prediction scenario: widened wide-range scans (static
+    /// over-approximation), a tail-touch storm, and repeat-parameter
+    /// indirect payments — the feedback loop's native workload.
+    Adaptive,
 }
 
 impl WorkloadKind {
@@ -54,6 +59,7 @@ impl WorkloadKind {
             WorkloadKind::ScanStorm => "scan_storm",
             WorkloadKind::YcsbMix => "ycsb_mix",
             WorkloadKind::ChainPivot => "chain_pivot",
+            WorkloadKind::Adaptive => "adaptive",
         }
     }
 
@@ -73,6 +79,7 @@ enum Generator {
     Tpcc(TpccWorkload),
     Rubis(RubisWorkload),
     Adversarial(AdversarialWorkload),
+    Adaptive(AdaptiveWorkload),
 }
 
 /// A registered workload at test scale: its catalog plus a batch
@@ -125,6 +132,10 @@ impl TestWorkload {
                 RubisWorkload::register(&mut catalog, RubisConfig { users: 40, items: 40 })
                     .expect("rubis registers"),
             ),
+            WorkloadKind::Adaptive => Generator::Adaptive(
+                AdaptiveWorkload::register(&mut catalog, AdaptiveConfig::default())
+                    .expect("adaptive registers"),
+            ),
             adversarial => Generator::Adversarial(
                 AdversarialWorkload::register(
                     &mut catalog,
@@ -166,6 +177,7 @@ impl TestWorkload {
             Generator::Tpcc(w) => w.populate(store),
             Generator::Rubis(w) => w.populate(store),
             Generator::Adversarial(w) => w.populate(store),
+            Generator::Adaptive(w) => w.populate(store),
         }
     }
 
@@ -176,6 +188,7 @@ impl TestWorkload {
             Generator::Tpcc(w) => w.gen_batch(rng, size),
             Generator::Rubis(w) => w.gen_batch(rng, size),
             Generator::Adversarial(w) => w.gen_batch(rng, size),
+            Generator::Adaptive(w) => w.gen_batch(rng, size),
         }
     }
 
@@ -193,7 +206,11 @@ mod tests {
 
     #[test]
     fn all_workloads_register_and_generate() {
-        for kind in WorkloadKind::ALL.into_iter().chain(WorkloadKind::ADVERSARIAL) {
+        for kind in WorkloadKind::ALL
+            .into_iter()
+            .chain(WorkloadKind::ADVERSARIAL)
+            .chain([WorkloadKind::Adaptive])
+        {
             let w = TestWorkload::new(kind);
             let stream = w.gen_stream(7, 2, 5);
             assert_eq!(stream.len(), 2);

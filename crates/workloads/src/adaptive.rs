@@ -1,0 +1,408 @@
+//! Adaptive-prediction scenario: a workload whose *static* profiles
+//! genuinely over-approximate, so the runtime feedback loop
+//! (`prognosticator-adapt`) has real slack to win back.
+//!
+//! The over-approximation is manufactured the way the paper's §III-B
+//! does it: the wide-range scan's watermark-bounded loop is analyzed with
+//! [`ExplorerConfig::widen_loop_hull`], which replaces the pivot-dependent
+//! end bound by the static hull [`SLOT_SPAN`]. The scan then classifies
+//! as an *independent* transaction (no prepare-phase pivot resolution, no
+//! validation retries) but predicts — and locks — the full `0..SLOT_SPAN`
+//! span while execution only touches `0..watermark`. Against the
+//! tail-touch storm (Zipfian-hot on the slack keys the scan never
+//! touches) this produces measurable *false lock conflicts*, which range
+//! narrowing then eliminates.
+//!
+//! Programs:
+//!
+//! | program | class | role |
+//! |---|---|---|
+//! | `wide_scan(g)` | IT (widened) | full-hull prediction, prefix-only execution — the `RangeNarrow` target |
+//! | `tail_touch(g, j, v)` | IT | Zipfian RMW on the scan's *untouched* tail — false-conflict generator |
+//! | `chain_pay(name, v)` | DT | indirect account lookup with a small repeat-parameter domain — the `IndirectCache` target |
+//! | `relink_name(name, to)` | IT | rewrites an `idx` link, invalidating cached pivots (cache-bypass path) |
+//! | `bump_watermark(g)` | DT | grows the watermark toward [`AdaptiveConfig::watermark_cap`] — observed span drifts under a committed narrowing |
+//! | `audit(g)` | ROT | point read of the sentinel row |
+//!
+//! The sentinel contract making widening sound: `ctrl(g)` (the watermark)
+//! only ever moves between `0` and `watermark_cap ≤ SLOT_SPAN`, so the
+//! scan's dynamic trip count never exceeds the hull. The RWS-soundness
+//! oracle checks this empirically on generated streams.
+
+use crate::gen::{DeterministicRng, Zipfian};
+use prognosticator_core::{Catalog, ProgId, TxRequest};
+use prognosticator_storage::EpochStore;
+use prognosticator_symexec::{ExploreError, ExplorerConfig};
+use prognosticator_txir::{
+    Expr, InputBound, Key, Program, ProgramBuilder, TableId, TableRegistry, Value,
+};
+
+/// Static widening hull: keys `slots(g, 0..SLOT_SPAN)` are predicted by
+/// every `wide_scan`, whatever the watermark says.
+pub const SLOT_SPAN: i64 = 16;
+
+/// Scale parameters.
+#[derive(Debug, Clone)]
+pub struct AdaptiveConfig {
+    /// Scan groups (each with its own sentinel row and slot span).
+    pub groups: i64,
+    /// Initial watermark per group (rows a fresh `wide_scan` touches).
+    pub watermark: i64,
+    /// Exclusive cap `bump_watermark` never exceeds (≤ [`SLOT_SPAN`] —
+    /// the widening soundness contract).
+    pub watermark_cap: i64,
+    /// Repeat-parameter domain of `chain_pay` (small ⇒ repeats ⇒ cache
+    /// candidates).
+    pub names: i64,
+    /// Account rows behind the `idx` indirection.
+    pub accounts: i64,
+    /// Zipfian exponent (hundredths) for the tail-touch and name draws.
+    pub zipf_s_hundredths: u32,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            groups: 4,
+            watermark: 3,
+            watermark_cap: 6,
+            names: 8,
+            accounts: 32,
+            zipf_s_hundredths: 130,
+        }
+    }
+}
+
+/// Table ids of the adaptive schema.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveTables {
+    /// ctrl(g) → Int watermark sentinel.
+    pub ctrl: TableId,
+    /// slots(g, i) → Int scan rows.
+    pub slots: TableId,
+    /// idx(name) → Int account link.
+    pub idx: TableId,
+    /// acct(a) → Int balances.
+    pub acct: TableId,
+}
+
+fn tables(b: &mut ProgramBuilder) -> AdaptiveTables {
+    AdaptiveTables {
+        ctrl: b.table("ctrl"),
+        slots: b.table("slots"),
+        idx: b.table("idx"),
+        acct: b.table("acct"),
+    }
+}
+
+/// The six adaptive programs plus the shared registry.
+#[derive(Debug, Clone)]
+pub struct AdaptivePrograms {
+    /// wide_scan(g) — watermark-bounded RMW scan (widened to the hull).
+    pub wide_scan: Program,
+    /// tail_touch(g, j, v) — IT RMW on a tail slot.
+    pub tail_touch: Program,
+    /// chain_pay(name, v) — DT payment through the `idx` link.
+    pub chain_pay: Program,
+    /// relink_name(name, to) — IT link rewrite.
+    pub relink_name: Program,
+    /// bump_watermark(g) — DT capped watermark increment.
+    pub bump_watermark: Program,
+    /// audit(g) — ROT sentinel read.
+    pub audit: Program,
+    /// Table registry.
+    pub tables: TableRegistry,
+    /// Table ids.
+    pub ids: AdaptiveTables,
+}
+
+/// Builds all programs.
+pub fn programs(config: &AdaptiveConfig) -> AdaptivePrograms {
+    let groups = config.groups;
+
+    // wide_scan: w = ctrl(g); for i in 0..w { slots(g,i) += 1 }.
+    let mut b = ProgramBuilder::new("wide_scan");
+    let t = tables(&mut b);
+    let g = b.input("g", InputBound::int(0, groups - 1));
+    let w = b.var("w");
+    let r = b.var("r");
+    let i = b.var("i");
+    b.get(w, Expr::key(t.ctrl, vec![Expr::input(g)]));
+    b.for_(i, Expr::lit(0), Expr::var(w), |b| {
+        b.get(r, Expr::key(t.slots, vec![Expr::input(g), Expr::var(i)]));
+        b.put(
+            Expr::key(t.slots, vec![Expr::input(g), Expr::var(i)]),
+            Expr::var(r).add(Expr::lit(1)),
+        );
+    });
+    let (wide_scan, registry) = b.build_with_tables();
+
+    let mut b = ProgramBuilder::with_tables("tail_touch", registry.clone());
+    let t = tables(&mut b);
+    let g = b.input("g", InputBound::int(0, groups - 1));
+    let j = b.input("j", InputBound::int(0, SLOT_SPAN - 1));
+    let v = b.input("v", InputBound::int(1, 100));
+    let cur = b.var("cur");
+    let key = Expr::key(t.slots, vec![Expr::input(g), Expr::input(j)]);
+    b.get(cur, key.clone());
+    b.put(key, Expr::var(cur).add(Expr::input(v)));
+    let tail_touch = b.build();
+
+    let mut b = ProgramBuilder::with_tables("chain_pay", registry.clone());
+    let t = tables(&mut b);
+    let name = b.input("name", InputBound::int(0, config.names - 1));
+    let v = b.input("v", InputBound::int(1, 100));
+    let p = b.var("p");
+    let bal = b.var("bal");
+    b.get(p, Expr::key(t.idx, vec![Expr::input(name)]));
+    b.get(bal, Expr::key(t.acct, vec![Expr::var(p)]));
+    b.put(Expr::key(t.acct, vec![Expr::var(p)]), Expr::var(bal).add(Expr::input(v)));
+    let chain_pay = b.build();
+
+    let mut b = ProgramBuilder::with_tables("relink_name", registry.clone());
+    let t = tables(&mut b);
+    let name = b.input("name", InputBound::int(0, config.names - 1));
+    let to = b.input("to", InputBound::int(0, config.accounts - 1));
+    b.put(Expr::key(t.idx, vec![Expr::input(name)]), Expr::input(to));
+    let relink_name = b.build();
+
+    let mut b = ProgramBuilder::with_tables("bump_watermark", registry.clone());
+    let t = tables(&mut b);
+    let g = b.input("g", InputBound::int(0, groups - 1));
+    let w = b.var("w");
+    b.get(w, Expr::key(t.ctrl, vec![Expr::input(g)]));
+    b.if_then(Expr::var(w).lt(Expr::lit(config.watermark_cap)), |b| {
+        b.put(Expr::key(t.ctrl, vec![Expr::input(g)]), Expr::var(w).add(Expr::lit(1)));
+    });
+    let bump_watermark = b.build();
+
+    let mut b = ProgramBuilder::with_tables("audit", registry.clone());
+    let t = tables(&mut b);
+    let g = b.input("g", InputBound::int(0, groups - 1));
+    let w = b.var("w");
+    b.get(w, Expr::key(t.ctrl, vec![Expr::input(g)]));
+    b.emit(Expr::var(w));
+    let audit = b.build();
+
+    let mut probe = ProgramBuilder::with_tables("probe", registry.clone());
+    let ids = tables(&mut probe);
+    AdaptivePrograms {
+        wide_scan,
+        tail_touch,
+        chain_pay,
+        relink_name,
+        bump_watermark,
+        audit,
+        tables: registry,
+        ids,
+    }
+}
+
+/// A registered adaptive workload.
+#[derive(Debug)]
+pub struct AdaptiveWorkload {
+    /// Scale parameters.
+    pub config: AdaptiveConfig,
+    /// wide_scan program id.
+    pub wide_scan: ProgId,
+    /// tail_touch program id.
+    pub tail_touch: ProgId,
+    /// chain_pay program id.
+    pub chain_pay: ProgId,
+    /// relink_name program id.
+    pub relink_name: ProgId,
+    /// bump_watermark program id.
+    pub bump_watermark: ProgId,
+    /// audit program id.
+    pub audit: ProgId,
+    /// Table ids.
+    pub tables: AdaptiveTables,
+    tail_zipf: Zipfian,
+    name_zipf: Zipfian,
+}
+
+impl AdaptiveWorkload {
+    /// Builds, analyzes and registers all programs. `wide_scan` is
+    /// analyzed with the widening hull at [`SLOT_SPAN`]; everything else
+    /// gets the exact optimized analysis.
+    ///
+    /// # Errors
+    /// Propagates analysis errors (IR bugs).
+    ///
+    /// # Panics
+    /// Panics if the configuration violates the widening soundness
+    /// contract (`watermark ≤ watermark_cap ≤ SLOT_SPAN`).
+    pub fn register(catalog: &mut Catalog, config: AdaptiveConfig) -> Result<Self, ExploreError> {
+        assert!(
+            0 <= config.watermark
+                && config.watermark <= config.watermark_cap
+                && config.watermark_cap <= SLOT_SPAN,
+            "widening contract: watermark ≤ cap ≤ SLOT_SPAN"
+        );
+        assert!(config.watermark_cap < SLOT_SPAN, "need an untouched tail for tail_touch");
+        let progs = programs(&config);
+        let widened = ExplorerConfig {
+            widen_loop_hull: SLOT_SPAN,
+            ..ExplorerConfig::optimized()
+        };
+        let tail_len = (SLOT_SPAN - config.watermark_cap) as usize;
+        Ok(AdaptiveWorkload {
+            wide_scan: catalog.register_with(progs.wide_scan, &widened)?,
+            tail_touch: catalog.register(progs.tail_touch)?,
+            chain_pay: catalog.register(progs.chain_pay)?,
+            relink_name: catalog.register(progs.relink_name)?,
+            bump_watermark: catalog.register(progs.bump_watermark)?,
+            audit: catalog.register(progs.audit)?,
+            tail_zipf: Zipfian::new(tail_len, config.zipf_s_hundredths),
+            name_zipf: Zipfian::new(config.names as usize, config.zipf_s_hundredths),
+            config,
+            tables: progs.ids,
+        })
+    }
+
+    /// Populates sentinels at the initial watermark, zeroed slots over the
+    /// full hull, a scrambled name→account link map, and account balances.
+    pub fn populate(&self, store: &EpochStore) {
+        let t = self.tables;
+        for g in 0..self.config.groups {
+            store.insert_initial(Key::of_ints(t.ctrl, &[g]), Value::Int(self.config.watermark));
+            for i in 0..SLOT_SPAN {
+                store.insert_initial(Key::of_ints(t.slots, &[g, i]), Value::Int(0));
+            }
+        }
+        for name in 0..self.config.names {
+            store.insert_initial(
+                Key::of_ints(t.idx, &[name]),
+                Value::Int((7 * name + 3) % self.config.accounts),
+            );
+        }
+        for a in 0..self.config.accounts {
+            store.insert_initial(Key::of_ints(t.acct, &[a]), Value::Int(100));
+        }
+    }
+
+    /// Draws a tail slot index: Zipfian-hot at the *last* slot, never
+    /// below `watermark_cap` — the storm only ever hits keys a sound scan
+    /// can never touch.
+    fn tail_slot(&self, rng: &mut DeterministicRng) -> i64 {
+        SLOT_SPAN - 1 - self.tail_zipf.sample(rng) as i64
+    }
+
+    /// Generates one request (12/20 scans-and-storm, 5/20 indirect
+    /// payments, rare link rewrites / watermark bumps / audits).
+    pub fn gen_tx(&self, rng: &mut DeterministicRng) -> TxRequest {
+        let g = Value::Int(rng.below(self.config.groups));
+        let v = Value::Int(1 + rng.below(100));
+        match rng.below(20) {
+            0..=6 => TxRequest::new(self.wide_scan, vec![g]),
+            7..=11 => {
+                let j = Value::Int(self.tail_slot(rng));
+                TxRequest::new(self.tail_touch, vec![g, j, v])
+            }
+            12..=16 => {
+                let name = Value::Int(self.name_zipf.sample(rng) as i64);
+                TxRequest::new(self.chain_pay, vec![name, v])
+            }
+            17 => {
+                let name = Value::Int(self.name_zipf.sample(rng) as i64);
+                let to = Value::Int(rng.below(self.config.accounts));
+                TxRequest::new(self.relink_name, vec![name, to])
+            }
+            18 => TxRequest::new(self.bump_watermark, vec![g]),
+            _ => TxRequest::new(self.audit, vec![g]),
+        }
+    }
+
+    /// Generates a whole batch.
+    pub fn gen_batch(&self, rng: &mut DeterministicRng, size: usize) -> Vec<TxRequest> {
+        (0..size).map(|_| self.gen_tx(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prognosticator_core::TxClass;
+
+    #[test]
+    fn classes_are_as_designed() {
+        let mut catalog = Catalog::new();
+        let wl = AdaptiveWorkload::register(&mut catalog, AdaptiveConfig::default()).unwrap();
+        // The widened scan is the whole point: IT despite its
+        // state-bounded loop.
+        assert_eq!(catalog.entry(wl.wide_scan).class(), TxClass::Independent);
+        assert_eq!(catalog.entry(wl.tail_touch).class(), TxClass::Independent);
+        assert_eq!(catalog.entry(wl.chain_pay).class(), TxClass::Dependent);
+        assert_eq!(catalog.entry(wl.relink_name).class(), TxClass::Independent);
+        assert_eq!(catalog.entry(wl.bump_watermark).class(), TxClass::Dependent);
+        assert_eq!(catalog.entry(wl.audit).class(), TxClass::ReadOnly);
+    }
+
+    #[test]
+    fn wide_scan_predicts_the_full_hull() {
+        let mut catalog = Catalog::new();
+        let wl = AdaptiveWorkload::register(&mut catalog, AdaptiveConfig::default()).unwrap();
+        let profile = catalog.entry(wl.wide_scan).profile().expect("profiled");
+        let pred = profile.predict_direct(&[Value::Int(1)]).expect("IT predicts directly");
+        // ctrl(1) plus slots(1, 0..SLOT_SPAN) reads; the full span written.
+        assert_eq!(pred.reads.len() as i64, 1 + SLOT_SPAN);
+        assert_eq!(pred.writes.len() as i64, SLOT_SPAN);
+        // Execution under the default watermark touches only the prefix:
+        // static over-approximation is real, not cosmetic.
+        let cfg = AdaptiveConfig::default();
+        assert!(cfg.watermark < SLOT_SPAN / 2);
+    }
+
+    #[test]
+    fn tail_touches_never_hit_a_sound_scan_prefix() {
+        let mut catalog = Catalog::new();
+        let cfg = AdaptiveConfig::default();
+        let cap = cfg.watermark_cap;
+        let wl = AdaptiveWorkload::register(&mut catalog, cfg).unwrap();
+        let mut rng = DeterministicRng::new(7);
+        for _ in 0..2000 {
+            let j = wl.tail_slot(&mut rng);
+            assert!(j >= cap && j < SLOT_SPAN, "tail slot {j} escaped [{cap}, {SLOT_SPAN})");
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic_and_cover_all_programs() {
+        let mut catalog = Catalog::new();
+        let wl = AdaptiveWorkload::register(&mut catalog, AdaptiveConfig::default()).unwrap();
+        let batch_a = wl.gen_batch(&mut DeterministicRng::new(42), 200);
+        let batch_b = wl.gen_batch(&mut DeterministicRng::new(42), 200);
+        assert_eq!(batch_a, batch_b);
+        for prog in [
+            wl.wide_scan,
+            wl.tail_touch,
+            wl.chain_pay,
+            wl.relink_name,
+            wl.bump_watermark,
+            wl.audit,
+        ] {
+            assert!(batch_a.iter().any(|tx| tx.program == prog), "{prog:?} missing from mix");
+        }
+    }
+
+    #[test]
+    fn repeat_parameters_repeat() {
+        // The chain_pay name domain is small and Zipfian-hot: a modest
+        // stream must revisit the hottest fingerprint many times (the
+        // indirect-cache precondition).
+        let mut catalog = Catalog::new();
+        let wl = AdaptiveWorkload::register(&mut catalog, AdaptiveConfig::default()).unwrap();
+        let mut rng = DeterministicRng::new(3);
+        let mut name_counts = std::collections::HashMap::new();
+        for _ in 0..400 {
+            let tx = wl.gen_tx(&mut rng);
+            if tx.program == wl.chain_pay {
+                *name_counts.entry(tx.inputs[0].clone()).or_insert(0u32) += 1;
+            }
+        }
+        assert!(
+            name_counts.values().any(|&c| c >= 10),
+            "no repeated chain_pay parameter in 400 txs: {name_counts:?}"
+        );
+    }
+}

@@ -18,12 +18,14 @@
 //! [`DeterministicRng`], so replicas and baselines can be fed identical
 //! batches.
 
+pub mod adaptive;
 pub mod adversarial;
 pub mod gen;
 pub mod rubis;
 pub mod smallbank;
 pub mod tpcc;
 
+pub use adaptive::{AdaptiveConfig, AdaptivePrograms, AdaptiveWorkload};
 pub use adversarial::{
     AdversarialConfig, AdversarialMix, AdversarialPrograms, AdversarialWorkload,
 };
